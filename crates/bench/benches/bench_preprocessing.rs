@@ -1,0 +1,80 @@
+//! Criterion benches for the offline phase (Table IX): contraction
+//! hierarchy construction, pruned-landmark-labeling construction (degree vs
+//! CH-rank ordering — the `ablate-ordering` comparison), inverted-label-
+//! index construction, and the index primitives `FindNN` / label distance
+//! queries that dominate online time (Table X's "NN query time" row).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kosr_graph::CategoryId;
+use kosr_hoplabel::HubOrder;
+use kosr_index::{CategoryIndexSet, LabelNn, NearestNeighbors};
+use kosr_workloads::{Scenario, ScenarioName};
+
+const SCALE: f64 = 0.1;
+
+fn table9_preprocessing(c: &mut Criterion) {
+    for name in [ScenarioName::Cal, ScenarioName::Gplus] {
+        let g = Scenario::new(name).with_scale(SCALE).build();
+        let mut group = c.benchmark_group(format!("table9/{}", name.as_str()));
+        group.sample_size(10);
+        group.bench_function("ch_build", |b| {
+            b.iter(|| criterion::black_box(kosr_ch::build(&g)))
+        });
+        let ch = kosr_ch::build(&g);
+        group.bench_function("pll_ch_order", |b| {
+            b.iter(|| criterion::black_box(kosr_hoplabel::build(&g, &HubOrder::from_ch(&ch))))
+        });
+        group.bench_function("pll_degree_order", |b| {
+            b.iter(|| criterion::black_box(kosr_hoplabel::build(&g, &HubOrder::Degree)))
+        });
+        let labels = kosr_hoplabel::build(&g, &HubOrder::from_ch(&ch));
+        group.bench_function("inverted_build", |b| {
+            b.iter(|| criterion::black_box(CategoryIndexSet::build(&labels, g.categories())))
+        });
+        group.finish();
+    }
+}
+
+fn index_primitives(c: &mut Criterion) {
+    let g = Scenario::new(ScenarioName::Fla).with_scale(SCALE).build();
+    let ch = kosr_ch::build(&g);
+    let labels = kosr_hoplabel::build(&g, &HubOrder::from_ch(&ch));
+    let inverted = CategoryIndexSet::build(&labels, g.categories());
+    let n = g.num_vertices() as u32;
+
+    let mut group = c.benchmark_group("primitives/FLA");
+    group.bench_function("label_distance_query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            let j = (i * 31 + 13) % n;
+            criterion::black_box(
+                labels.distance(kosr_graph::VertexId(i), kosr_graph::VertexId(j)),
+            )
+        })
+    });
+    group.bench_function("find_nn_first", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 101) % n;
+            // Fresh provider: measures the cold first-NN cost.
+            let mut nn = LabelNn::new(&labels, &inverted);
+            criterion::black_box(nn.find_nn(kosr_graph::VertexId(i), CategoryId(0), 1))
+        })
+    });
+    group.bench_function("find_nn_stream_of_10", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 101) % n;
+            let mut nn = LabelNn::new(&labels, &inverted);
+            for x in 1..=10 {
+                criterion::black_box(nn.find_nn(kosr_graph::VertexId(i), CategoryId(0), x));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table9_preprocessing, index_primitives);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Criterion timing benches for the query-side experiments:
+//!
+//! * `fig3_overall` — one group per scenario, one bench per method
+//!   (Figure 3(a) at micro scale),
+//! * `fig3_k` — StarKOSR/PruningKOSR across the k sweep (Figure 3(d)),
+//! * `fig3_c` — across the |C| sweep (Figure 3(f)),
+//! * `fig3_ci` — across the |Ci| sweep (Figure 3(h)),
+//! * `fig6_zipf` — zipfian factor sweep (Figure 6),
+//! * `fig7_osr` — k = 1 with GSP comparators (Figure 7).
+//!
+//! Scenario scale is kept small so `cargo bench` completes in minutes; the
+//! `repro` binary is the full-scale reproduction path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kosr_bench::harness::{to_query, Prepared};
+use kosr_core::{gsp, GspEngine, Method};
+use kosr_workloads::{assign_zipf, gen_queries, QuerySpec, Scenario, ScenarioName};
+
+const SCALE: f64 = 0.12;
+
+fn prepared(name: ScenarioName) -> Prepared {
+    Prepared::build(Scenario::new(name).with_scale(SCALE))
+}
+
+fn queries(prep: &Prepared, c_len: usize, k: usize, seed: u64) -> Vec<QuerySpec> {
+    gen_queries(&prep.ig.graph, 8, c_len, k, seed)
+}
+
+fn run_batch(prep: &Prepared, qs: &[QuerySpec], m: Method) {
+    for spec in qs {
+        let out = prep.ig.run(&to_query(spec), m);
+        criterion::black_box(out.witnesses.len());
+    }
+}
+
+fn fig3_overall(c: &mut Criterion) {
+    for name in [ScenarioName::Cal, ScenarioName::Fla, ScenarioName::Gplus] {
+        let prep = prepared(name);
+        let qs = queries(&prep, 4, 10, 31);
+        let mut group = c.benchmark_group(format!("fig3_overall/{}", name.as_str()));
+        group.sample_size(10);
+        for m in [Method::Sk, Method::Pk, Method::SkDij, Method::PkDij] {
+            group.bench_function(m.name(), |b| b.iter(|| run_batch(&prep, &qs, m)));
+        }
+        // KPNE only where its product space stays tractable.
+        if name == ScenarioName::Cal {
+            group.bench_function("KPNE", |b| b.iter(|| run_batch(&prep, &qs, Method::Kpne)));
+        }
+        group.finish();
+    }
+}
+
+fn fig3_k(c: &mut Criterion) {
+    let prep = prepared(ScenarioName::Fla);
+    let mut group = c.benchmark_group("fig3_k/FLA");
+    group.sample_size(10);
+    for k in [10usize, 30, 50] {
+        let qs = queries(&prep, 4, k, 7 + k as u64);
+        group.bench_with_input(BenchmarkId::new("SK", k), &k, |b, _| {
+            b.iter(|| run_batch(&prep, &qs, Method::Sk))
+        });
+        group.bench_with_input(BenchmarkId::new("PK", k), &k, |b, _| {
+            b.iter(|| run_batch(&prep, &qs, Method::Pk))
+        });
+    }
+    group.finish();
+}
+
+fn fig3_c(c: &mut Criterion) {
+    let prep = prepared(ScenarioName::Fla);
+    let mut group = c.benchmark_group("fig3_c/FLA");
+    group.sample_size(10);
+    for c_len in [2usize, 6, 10] {
+        let qs = queries(&prep, c_len, 10, 11 + c_len as u64);
+        group.bench_with_input(BenchmarkId::new("SK", c_len), &c_len, |b, _| {
+            b.iter(|| run_batch(&prep, &qs, Method::Sk))
+        });
+        group.bench_with_input(BenchmarkId::new("PK", c_len), &c_len, |b, _| {
+            b.iter(|| run_batch(&prep, &qs, Method::Pk))
+        });
+    }
+    group.finish();
+}
+
+fn fig3_ci(c: &mut Criterion) {
+    let base = prepared(ScenarioName::Fla);
+    let mut group = c.benchmark_group("fig3_ci/FLA");
+    group.sample_size(10);
+    for size in [10usize, 25, 50] {
+        let prep = base.with_categories(|g| {
+            kosr_workloads::assign_uniform(g, 20, size, 0xC1 + size as u64)
+        });
+        let qs = gen_queries(&prep.ig.graph, 8, 4, 10, 13 + size as u64);
+        group.bench_with_input(BenchmarkId::new("SK", size), &size, |b, _| {
+            b.iter(|| run_batch(&prep, &qs, Method::Sk))
+        });
+        group.bench_with_input(BenchmarkId::new("PK", size), &size, |b, _| {
+            b.iter(|| run_batch(&prep, &qs, Method::Pk))
+        });
+    }
+    group.finish();
+}
+
+fn fig6_zipf(c: &mut Criterion) {
+    let base = prepared(ScenarioName::Fla);
+    let total = 20 * Scenario::new(ScenarioName::Fla)
+        .with_scale(SCALE)
+        .default_category_size();
+    let mut group = c.benchmark_group("fig6_zipf/FLA");
+    group.sample_size(10);
+    for f10 in [12u32, 18] {
+        let f = f10 as f64 / 10.0;
+        let prep = base.with_categories(|g| assign_zipf(g, 20, total, f, 0x21F + f10 as u64));
+        let qs = gen_queries(&prep.ig.graph, 8, 4, 10, 17 + f10 as u64);
+        group.bench_with_input(BenchmarkId::new("SK", format!("f{f:.1}")), &f, |b, _| {
+            b.iter(|| run_batch(&prep, &qs, Method::Sk))
+        });
+        group.bench_with_input(BenchmarkId::new("PK", format!("f{f:.1}")), &f, |b, _| {
+            b.iter(|| run_batch(&prep, &qs, Method::Pk))
+        });
+    }
+    group.finish();
+}
+
+fn fig7_osr(c: &mut Criterion) {
+    let prep = prepared(ScenarioName::Fla);
+    let qs = queries(&prep, 4, 1, 71);
+    let mut group = c.benchmark_group("fig7_osr/FLA");
+    group.sample_size(10);
+    group.bench_function("SK", |b| b.iter(|| run_batch(&prep, &qs, Method::Sk)));
+    group.bench_function("PK", |b| b.iter(|| run_batch(&prep, &qs, Method::Pk)));
+    group.bench_function("GSP-CH", |b| {
+        b.iter(|| {
+            for spec in &qs {
+                let (w, _) = gsp(
+                    &prep.ig.graph,
+                    spec.source,
+                    spec.target,
+                    &spec.categories,
+                    &GspEngine::Ch(&prep.ch),
+                );
+                criterion::black_box(w);
+            }
+        })
+    });
+    group.bench_function("GSP-Dij", |b| {
+        b.iter(|| {
+            for spec in &qs {
+                let (w, _) = gsp(
+                    &prep.ig.graph,
+                    spec.source,
+                    spec.target,
+                    &spec.categories,
+                    &GspEngine::Dijkstra,
+                );
+                criterion::black_box(w);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig3_overall,
+    fig3_k,
+    fig3_c,
+    fig3_ci,
+    fig6_zipf,
+    fig7_osr
+);
+criterion_main!(benches);

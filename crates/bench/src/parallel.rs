@@ -1,0 +1,116 @@
+//! Parallel batch execution of query instances across threads.
+//!
+//! The paper averages over 50 independent query instances per measurement
+//! point. For *counter* experiments (examined routes, NN queries — Figures
+//! 3(b), 3(c), 5) the instances are embarrassingly parallel: the indexes
+//! are immutable and all per-query state is thread-local, so fanning the
+//! batch across cores (crossbeam scoped threads, parking_lot-guarded
+//! collection) cuts wall time by ~#cores. **Wall-clock timing figures use
+//! the sequential [`crate::harness::measure`] instead** — concurrent
+//! contention would distort them.
+
+use parking_lot::Mutex;
+
+use kosr_core::{KosrOutcome, Method};
+use kosr_workloads::QuerySpec;
+
+use crate::harness::{to_query, Prepared};
+
+/// Runs `method` over every instance concurrently and returns the outcomes
+/// in instance order. `threads = 0` means one thread per available core.
+pub fn run_batch_parallel(
+    prep: &Prepared,
+    queries: &[QuerySpec],
+    method: Method,
+    threads: usize,
+) -> Vec<KosrOutcome> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(queries.len().max(1));
+
+    let results: Mutex<Vec<Option<KosrOutcome>>> = Mutex::new(vec![None; queries.len()]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let out = prep.ig.run(&to_query(&queries[i]), method);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("batch worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+/// Mean examined-routes / NN-query counters over a parallel batch — the
+/// fast path for the counter-only experiments.
+pub fn mean_counters_parallel(
+    prep: &Prepared,
+    queries: &[QuerySpec],
+    method: Method,
+    threads: usize,
+) -> (f64, f64) {
+    let outcomes = run_batch_parallel(prep, queries, method, threads);
+    let n = outcomes.len().max(1) as f64;
+    let examined: u64 = outcomes.iter().map(|o| o.stats.examined_routes).sum();
+    let nn: u64 = outcomes.iter().map(|o| o.stats.nn_queries).sum();
+    (examined as f64 / n, nn as f64 / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::prepare_scenario;
+    use kosr_workloads::{gen_queries, ScenarioName};
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let prep = prepare_scenario(ScenarioName::Col, 0.04);
+        let queries = gen_queries(&prep.ig.graph, 12, 3, 5, 3);
+        let par = run_batch_parallel(&prep, &queries, Method::Sk, 4);
+        assert_eq!(par.len(), queries.len());
+        for (spec, out) in queries.iter().zip(&par) {
+            let seq = prep.ig.run(&to_query(spec), Method::Sk);
+            assert_eq!(seq.costs(), out.costs());
+            assert_eq!(seq.stats.examined_routes, out.stats.examined_routes);
+            assert_eq!(seq.stats.nn_queries, out.stats.nn_queries);
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let prep = prepare_scenario(ScenarioName::Col, 0.04);
+        let queries = gen_queries(&prep.ig.graph, 4, 2, 3, 9);
+        let out = run_batch_parallel(&prep, &queries, Method::Pk, 0);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn mean_counters_match_manual_average() {
+        let prep = prepare_scenario(ScenarioName::Col, 0.04);
+        let queries = gen_queries(&prep.ig.graph, 6, 3, 4, 11);
+        let (ex, nn) = mean_counters_parallel(&prep, &queries, Method::Sk, 3);
+        let outcomes = run_batch_parallel(&prep, &queries, Method::Sk, 1);
+        let ex2: f64 = outcomes.iter().map(|o| o.stats.examined_routes as f64).sum::<f64>()
+            / outcomes.len() as f64;
+        let nn2: f64 = outcomes.iter().map(|o| o.stats.nn_queries as f64).sum::<f64>()
+            / outcomes.len() as f64;
+        assert_eq!(ex, ex2);
+        assert_eq!(nn, nn2);
+    }
+}

@@ -1,0 +1,291 @@
+//! Contraction-hierarchy preprocessing: node ordering and shortcut
+//! insertion.
+//!
+//! The paper's GSP baseline [29] relies on contraction hierarchies
+//! (Geisberger et al., WEA 2008) for its category-to-category transitions;
+//! this module is a from-scratch implementation. Vertices are contracted in
+//! importance order (edge difference + deleted neighbors, maintained lazily)
+//! and a *witness search* decides for every in/out neighbor pair whether a
+//! shortcut is needed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{inf_add, Graph, VertexId, Weight};
+
+use crate::hierarchy::{ChEdge, ContractionHierarchy, NO_MIDDLE};
+
+/// Tunables for CH preprocessing. The defaults are sensible for road-like
+/// and social graphs at the scales used in this workspace.
+#[derive(Clone, Debug)]
+pub struct ChParams {
+    /// Settled-vertex budget of each witness search. Exhausting the budget
+    /// conservatively inserts the shortcut (correct, possibly redundant).
+    pub witness_settle_limit: usize,
+    /// Weight of the edge-difference term in the priority function.
+    pub edge_difference_factor: i64,
+    /// Weight of the deleted-neighbors term in the priority function.
+    pub deleted_neighbors_factor: i64,
+}
+
+impl Default for ChParams {
+    fn default() -> Self {
+        ChParams {
+            witness_settle_limit: 500,
+            edge_difference_factor: 4,
+            deleted_neighbors_factor: 1,
+        }
+    }
+}
+
+/// Dynamic adjacency used only during preprocessing.
+#[derive(Clone, Debug)]
+struct DynEdge {
+    other: VertexId,
+    weight: Weight,
+    /// Contracted middle vertex if this is a shortcut.
+    middle: u32,
+}
+
+struct Builder<'g> {
+    g: &'g Graph,
+    params: ChParams,
+    fwd: Vec<Vec<DynEdge>>,
+    bwd: Vec<Vec<DynEdge>>,
+    contracted: Vec<bool>,
+    deleted_neighbors: Vec<i64>,
+    /// Scratch for witness searches.
+    wit_dist: kosr_pathfinding::TimestampedVec<Weight>,
+    wit_heap: BinaryHeap<Reverse<(Weight, VertexId)>>,
+}
+
+impl<'g> Builder<'g> {
+    fn new(g: &'g Graph, params: ChParams) -> Self {
+        let n = g.num_vertices();
+        let mut fwd = vec![Vec::new(); n];
+        let mut bwd = vec![Vec::new(); n];
+        for u in g.vertices() {
+            for (v, w) in g.out_edges(u) {
+                fwd[u.index()].push(DynEdge {
+                    other: v,
+                    weight: w,
+                    middle: NO_MIDDLE,
+                });
+                bwd[v.index()].push(DynEdge {
+                    other: u,
+                    weight: w,
+                    middle: NO_MIDDLE,
+                });
+            }
+        }
+        Builder {
+            g,
+            params,
+            fwd,
+            bwd,
+            contracted: vec![false; n],
+            deleted_neighbors: vec![0; n],
+            wit_dist: kosr_pathfinding::TimestampedVec::new(n, kosr_graph::INFINITY),
+            wit_heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Shortest distance from `u` among non-contracted vertices, avoiding
+    /// `banned`, stopping early beyond `limit` or after the settle budget.
+    /// Returns tentative distances via `wit_dist` (valid until next call).
+    fn witness_search(&mut self, u: VertexId, banned: VertexId, limit: Weight) {
+        self.wit_dist.reset();
+        self.wit_heap.clear();
+        self.wit_dist.set(u.index(), 0);
+        self.wit_heap.push(Reverse((0, u)));
+        let mut settled = 0usize;
+        while let Some(Reverse((d, v))) = self.wit_heap.pop() {
+            if d > self.wit_dist.get(v.index()) {
+                continue;
+            }
+            if d > limit || settled >= self.params.witness_settle_limit {
+                return;
+            }
+            settled += 1;
+            for e in &self.fwd[v.index()] {
+                let x = e.other;
+                if x == banned || self.contracted[x.index()] {
+                    continue;
+                }
+                let nd = inf_add(d, e.weight);
+                if nd < self.wit_dist.get(x.index()) {
+                    self.wit_dist.set(x.index(), nd);
+                    self.wit_heap.push(Reverse((nd, x)));
+                }
+            }
+        }
+    }
+
+    /// Shortcuts that contracting `v` would require, as
+    /// `(from, to, weight)` triples.
+    fn required_shortcuts(&mut self, v: VertexId) -> Vec<(VertexId, VertexId, Weight)> {
+        let ins: Vec<(VertexId, Weight)> = self.bwd[v.index()]
+            .iter()
+            .filter(|e| !self.contracted[e.other.index()])
+            .map(|e| (e.other, e.weight))
+            .collect();
+        let outs: Vec<(VertexId, Weight)> = self.fwd[v.index()]
+            .iter()
+            .filter(|e| !self.contracted[e.other.index()])
+            .map(|e| (e.other, e.weight))
+            .collect();
+        let mut result = Vec::new();
+        if ins.is_empty() || outs.is_empty() {
+            return result;
+        }
+        let max_out = outs.iter().map(|&(_, w)| w).max().unwrap_or(0);
+        for &(u, w1) in &ins {
+            let limit = inf_add(w1, max_out);
+            self.witness_search(u, v, limit);
+            for &(x, w2) in &outs {
+                if x == u {
+                    continue;
+                }
+                let via = inf_add(w1, w2);
+                if self.wit_dist.get(x.index()) > via {
+                    result.push((u, x, via));
+                }
+            }
+        }
+        result
+    }
+
+    /// Priority of contracting `v` (lower contracts earlier).
+    fn priority(&mut self, v: VertexId) -> i64 {
+        let shortcuts = self.required_shortcuts(v).len() as i64;
+        let in_deg = self.bwd[v.index()]
+            .iter()
+            .filter(|e| !self.contracted[e.other.index()])
+            .count() as i64;
+        let out_deg = self.fwd[v.index()]
+            .iter()
+            .filter(|e| !self.contracted[e.other.index()])
+            .count() as i64;
+        let edge_diff = shortcuts - in_deg - out_deg;
+        self.params.edge_difference_factor * edge_diff
+            + self.params.deleted_neighbors_factor * self.deleted_neighbors[v.index()]
+    }
+
+    fn contract(&mut self, v: VertexId) {
+        let shortcuts = self.required_shortcuts(v);
+        for (u, x, w) in shortcuts {
+            // Keep only the cheapest parallel edge.
+            if let Some(e) = self.fwd[u.index()]
+                .iter_mut()
+                .find(|e| e.other == x)
+            {
+                if w < e.weight {
+                    e.weight = w;
+                    e.middle = v.0;
+                    let b = self.bwd[x.index()]
+                        .iter_mut()
+                        .find(|e| e.other == u)
+                        .expect("fwd/bwd out of sync");
+                    b.weight = w;
+                    b.middle = v.0;
+                }
+                continue;
+            }
+            self.fwd[u.index()].push(DynEdge {
+                other: x,
+                weight: w,
+                middle: v.0,
+            });
+            self.bwd[x.index()].push(DynEdge {
+                other: u,
+                weight: w,
+                middle: v.0,
+            });
+        }
+        self.contracted[v.index()] = true;
+        for e in &self.fwd[v.index()] {
+            if !self.contracted[e.other.index()] {
+                self.deleted_neighbors[e.other.index()] += 1;
+            }
+        }
+        for e in &self.bwd[v.index()] {
+            if !self.contracted[e.other.index()] {
+                self.deleted_neighbors[e.other.index()] += 1;
+            }
+        }
+    }
+
+    fn run(mut self) -> ContractionHierarchy {
+        let n = self.g.num_vertices();
+        // Initial priorities.
+        let mut queue: BinaryHeap<Reverse<(i64, VertexId)>> = BinaryHeap::new();
+        for v in self.g.vertices() {
+            let p = self.priority(v);
+            queue.push(Reverse((p, v)));
+        }
+        let mut rank = vec![0u32; n];
+        let mut next_rank = 0u32;
+        while let Some(Reverse((p, v))) = queue.pop() {
+            if self.contracted[v.index()] {
+                continue;
+            }
+            // Lazy update: recompute; if no longer minimal, requeue.
+            let fresh = self.priority(v);
+            if fresh > p {
+                if let Some(Reverse((top, _))) = queue.peek() {
+                    if fresh > *top {
+                        queue.push(Reverse((fresh, v)));
+                        continue;
+                    }
+                }
+            }
+            self.contract(v);
+            rank[v.index()] = next_rank;
+            next_rank += 1;
+        }
+
+        // Assemble the search graphs. An edge (a, b) of the augmented graph
+        // is *upward* if rank(b) > rank(a) and *downward* otherwise.
+        let mut up_fwd: Vec<Vec<ChEdge>> = vec![Vec::new(); n];
+        let mut up_bwd: Vec<Vec<ChEdge>> = vec![Vec::new(); n];
+        let mut down_fwd: Vec<Vec<ChEdge>> = vec![Vec::new(); n];
+        for a in 0..n {
+            for e in &self.fwd[a] {
+                let b = e.other;
+                let edge = ChEdge {
+                    other: b,
+                    weight: e.weight,
+                    middle: e.middle,
+                };
+                if rank[b.index()] > rank[a] {
+                    up_fwd[a].push(edge);
+                } else {
+                    down_fwd[a].push(edge);
+                }
+            }
+            for e in &self.bwd[a] {
+                // Edge (e.other -> a); from a's backward perspective it is
+                // "upward" when the *source* outranks a.
+                let b = e.other;
+                if rank[b.index()] > rank[a] {
+                    up_bwd[a].push(ChEdge {
+                        other: b,
+                        weight: e.weight,
+                        middle: e.middle,
+                    });
+                }
+            }
+        }
+        ContractionHierarchy::assemble(rank, up_fwd, up_bwd, down_fwd)
+    }
+}
+
+/// Builds a contraction hierarchy for `g` with default parameters.
+pub fn build(g: &Graph) -> ContractionHierarchy {
+    build_with(g, ChParams::default())
+}
+
+/// Builds a contraction hierarchy with explicit parameters.
+pub fn build_with(g: &Graph, params: ChParams) -> ContractionHierarchy {
+    Builder::new(g, params).run()
+}

@@ -1,0 +1,181 @@
+//! The finished contraction hierarchy: ranks plus three CSR-packed edge
+//! families (forward-upward, backward-upward, forward-downward), each edge
+//! remembering the contracted *middle* vertex so shortcuts can be unpacked
+//! back into original-graph paths.
+
+use kosr_graph::{VertexId, Weight};
+
+/// Sentinel middle for original (non-shortcut) edges.
+pub const NO_MIDDLE: u32 = u32::MAX;
+
+/// One hierarchy edge (target/source depending on family, weight, middle).
+#[derive(Clone, Copy, Debug)]
+pub struct ChEdge {
+    /// The far endpoint of the edge.
+    pub other: VertexId,
+    /// Edge weight (original weight or sum of the two bridged edges).
+    pub weight: Weight,
+    /// Contracted vertex this shortcut bridges, or [`NO_MIDDLE`].
+    pub middle: u32,
+}
+
+/// CSR packing of one edge family.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ChCsr {
+    offsets: Vec<u32>,
+    edges: Vec<ChEdge>,
+}
+
+impl ChCsr {
+    fn from_rows(rows: Vec<Vec<ChEdge>>) -> ChCsr {
+        let n = rows.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let total: usize = rows.iter().map(Vec::len).sum();
+        let mut edges = Vec::with_capacity(total);
+        for row in rows {
+            edges.extend(row);
+            offsets.push(edges.len() as u32);
+        }
+        ChCsr { offsets, edges }
+    }
+
+    #[inline]
+    pub(crate) fn row(&self, v: usize) -> &[ChEdge] {
+        &self.edges[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// A contraction hierarchy over a graph with `rank.len()` vertices.
+///
+/// Produced by [`crate::build`]; queried through [`crate::ChQuery`] (point
+/// to point) and [`crate::Phast`] (one/multi-source to all).
+#[derive(Clone, Debug)]
+pub struct ContractionHierarchy {
+    /// Contraction rank per vertex; higher = contracted later = more
+    /// important.
+    rank: Vec<u32>,
+    /// Vertices sorted by descending rank (the PHAST sweep order).
+    by_desc_rank: Vec<VertexId>,
+    /// Upward edges leaving each vertex (forward search).
+    up_fwd: ChCsr,
+    /// Upward edges *entering* each vertex, keyed by the lower endpoint
+    /// (backward search walks these against edge direction).
+    up_bwd: ChCsr,
+    /// Downward edges leaving each vertex (PHAST sweep).
+    down_fwd: ChCsr,
+}
+
+impl ContractionHierarchy {
+    pub(crate) fn assemble(
+        rank: Vec<u32>,
+        up_fwd: Vec<Vec<ChEdge>>,
+        up_bwd: Vec<Vec<ChEdge>>,
+        down_fwd: Vec<Vec<ChEdge>>,
+    ) -> Self {
+        let mut by_desc_rank: Vec<VertexId> = (0..rank.len() as u32).map(VertexId).collect();
+        by_desc_rank.sort_unstable_by_key(|v| std::cmp::Reverse(rank[v.index()]));
+        ContractionHierarchy {
+            rank,
+            by_desc_rank,
+            up_fwd: ChCsr::from_rows(up_fwd),
+            up_bwd: ChCsr::from_rows(up_bwd),
+            down_fwd: ChCsr::from_rows(down_fwd),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// The contraction rank of `v` (0 = contracted first).
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> u32 {
+        self.rank[v.index()]
+    }
+
+    /// Vertices ordered by descending rank — also a good hub-labeling order.
+    pub fn vertices_by_descending_rank(&self) -> &[VertexId] {
+        &self.by_desc_rank
+    }
+
+    /// Upward out-edges of `v` (forward search relaxes these).
+    #[inline]
+    pub fn up_edges(&self, v: VertexId) -> &[ChEdge] {
+        self.up_fwd.row(v.index())
+    }
+
+    /// Upward in-edges of `v` (backward search relaxes these against their
+    /// direction; `other` is the higher-ranked source).
+    #[inline]
+    pub fn up_edges_rev(&self, v: VertexId) -> &[ChEdge] {
+        self.up_bwd.row(v.index())
+    }
+
+    /// Downward out-edges of `v` (the PHAST sweep relaxes these).
+    #[inline]
+    pub fn down_edges(&self, v: VertexId) -> &[ChEdge] {
+        self.down_fwd.row(v.index())
+    }
+
+    /// Total number of stored edges across all families (diagnostics).
+    pub fn num_edges(&self) -> usize {
+        // up_fwd ∪ down_fwd partitions the augmented forward graph; up_bwd
+        // mirrors a subset of it.
+        self.up_fwd.len() + self.down_fwd.len()
+    }
+
+    /// Number of shortcut edges in the augmented forward graph.
+    pub fn num_shortcuts(&self) -> usize {
+        self.up_fwd
+            .edges
+            .iter()
+            .chain(self.down_fwd.edges.iter())
+            .filter(|e| e.middle != NO_MIDDLE)
+            .count()
+    }
+
+    /// Recursively expands the hierarchy edge `(a, b)` into the sequence of
+    /// original-graph vertices it bridges, excluding `a`, including `b`.
+    ///
+    /// `weight` must be the stored weight of the edge being unpacked (used
+    /// to locate the matching middle).
+    pub fn unpack_edge(&self, a: VertexId, b: VertexId, weight: Weight, out: &mut Vec<VertexId>) {
+        // Find the edge in either family leaving `a`.
+        let edge = self
+            .up_fwd
+            .row(a.index())
+            .iter()
+            .chain(self.down_fwd.row(a.index()))
+            .find(|e| e.other == b && e.weight == weight)
+            .copied();
+        match edge {
+            Some(e) if e.middle != NO_MIDDLE => {
+                let m = VertexId(e.middle);
+                // Weights of the two halves are unknown here; resolve them by
+                // looking up the cheapest a→m and m→b hierarchy edges.
+                let w1 = self.cheapest_edge(a, m).expect("shortcut half a->m");
+                let w2 = self.cheapest_edge(m, b).expect("shortcut half m->b");
+                debug_assert_eq!(w1 + w2, weight, "shortcut halves must sum");
+                self.unpack_edge(a, m, w1, out);
+                self.unpack_edge(m, b, w2, out);
+            }
+            _ => out.push(b),
+        }
+    }
+
+    fn cheapest_edge(&self, a: VertexId, b: VertexId) -> Option<Weight> {
+        self.up_fwd
+            .row(a.index())
+            .iter()
+            .chain(self.down_fwd.row(a.index()))
+            .filter(|e| e.other == b)
+            .map(|e| e.weight)
+            .min()
+    }
+}

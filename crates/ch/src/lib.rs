@@ -1,0 +1,264 @@
+//! # kosr-ch
+//!
+//! Contraction hierarchies (Geisberger et al., WEA 2008) built from scratch
+//! as the substrate of the paper's GSP baseline \[29\], plus PHAST-style
+//! one-to-all sweeps for GSP's dynamic-programming transitions.
+//!
+//! * [`build`] / [`build_with`] — preprocessing: importance ordering (edge
+//!   difference + deleted neighbors, lazy updates) and witness-search-driven
+//!   shortcut insertion.
+//! * [`ContractionHierarchy`] — ranks + upward/downward CSR edge families
+//!   with shortcut middles for path unpacking.
+//! * [`ChQuery`] — bidirectional upward point-to-point queries.
+//! * [`Phast`] — multi-source-to-all sweeps with origin tracking.
+//!
+//! The hierarchy's descending-rank order doubles as a high-quality hub
+//! ordering for the 2-hop labeling in `kosr-hoplabel`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod hierarchy;
+mod phast;
+mod query;
+
+pub use builder::{build, build_with, ChParams};
+pub use hierarchy::{ChEdge, ContractionHierarchy, NO_MIDDLE};
+pub use phast::Phast;
+pub use query::ChQuery;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::{Graph, GraphBuilder, VertexId, INFINITY};
+    use kosr_pathfinding::{Dijkstra, Dir};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn grid(rows: u32, cols: u32, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new((rows * cols) as usize);
+        for r in 0..rows {
+            for c in 0..cols {
+                let id = r * cols + c;
+                if c + 1 < cols {
+                    b.add_undirected_edge(v(id), v(id + 1), rng.gen_range(1..20));
+                }
+                if r + 1 < rows {
+                    b.add_undirected_edge(v(id), v(id + cols), rng.gen_range(1..20));
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn random_digraph(n: u32, m: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n as usize);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let w = rng.gen_range(0..n);
+            if u != w {
+                b.add_edge(v(u), v(w), rng.gen_range(1..100));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let g = grid(5, 5, 1);
+        let ch = build(&g);
+        let mut seen = [false; 25];
+        for u in g.vertices() {
+            let r = ch.rank(u) as usize;
+            assert!(!seen[r], "duplicate rank {r}");
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(ch.vertices_by_descending_rank().len(), 25);
+        // First in the order is the highest-ranked vertex.
+        let first = ch.vertices_by_descending_rank()[0];
+        assert_eq!(ch.rank(first), 24);
+    }
+
+    #[test]
+    fn distances_match_dijkstra_on_grid() {
+        let g = grid(6, 6, 7);
+        let ch = build(&g);
+        let mut q = ChQuery::new(g.num_vertices());
+        let mut d = Dijkstra::new(g.num_vertices());
+        for s in (0..36).step_by(5) {
+            d.one_to_all(&g, Dir::Forward, v(s));
+            for t in 0..36 {
+                assert_eq!(
+                    q.distance(&ch, v(s), v(t)),
+                    d.distance(v(t)),
+                    "s={s} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_match_dijkstra_on_random_digraphs() {
+        for seed in 0..5 {
+            let g = random_digraph(60, 220, seed);
+            let ch = build(&g);
+            let mut q = ChQuery::new(g.num_vertices());
+            let mut d = Dijkstra::new(g.num_vertices());
+            for s in (0..60).step_by(7) {
+                d.one_to_all(&g, Dir::Forward, v(s));
+                for t in 0..60 {
+                    assert_eq!(
+                        q.distance(&ch, v(s), v(t)),
+                        d.distance(v(t)),
+                        "seed={seed} s={s} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1), 3);
+        b.add_edge(v(2), v(3), 4);
+        let g = b.build();
+        let ch = build(&g);
+        let mut q = ChQuery::new(4);
+        assert_eq!(q.distance(&ch, v(0), v(3)), INFINITY);
+        assert_eq!(q.distance(&ch, v(1), v(0)), INFINITY);
+        assert_eq!(q.distance(&ch, v(0), v(1)), 3);
+        let (c, p) = q.shortest_path(&ch, v(0), v(3));
+        assert_eq!(c, INFINITY);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn unpacked_paths_are_valid_original_paths() {
+        let g = grid(6, 6, 11);
+        let ch = build(&g);
+        let mut q = ChQuery::new(g.num_vertices());
+        let mut d = Dijkstra::new(g.num_vertices());
+        for s in [0u32, 7, 13, 35] {
+            d.one_to_all(&g, Dir::Forward, v(s));
+            for t in [0u32, 5, 17, 30, 35] {
+                let (cost, path) = q.shortest_path(&ch, v(s), v(t));
+                assert_eq!(cost, d.distance(v(t)));
+                if s == t {
+                    assert_eq!(path, vec![v(s)]);
+                    continue;
+                }
+                assert_eq!(path.first(), Some(&v(s)));
+                assert_eq!(path.last(), Some(&v(t)));
+                let mut sum = 0;
+                for w in path.windows(2) {
+                    sum += g
+                        .edge_weight(w[0], w[1])
+                        .unwrap_or_else(|| panic!("missing edge {:?}->{:?}", w[0], w[1]));
+                }
+                assert_eq!(sum, cost);
+            }
+        }
+    }
+
+    #[test]
+    fn validated_path_helper() {
+        let g = grid(4, 4, 3);
+        let ch = build(&g);
+        let mut q = ChQuery::new(g.num_vertices());
+        let p = q.validated_path(&ch, &g, v(0), v(15)).unwrap();
+        assert_eq!(p.source(), v(0));
+        assert_eq!(p.target(), v(15));
+    }
+
+    #[test]
+    fn phast_matches_one_to_all() {
+        let g = grid(6, 6, 21);
+        let ch = build(&g);
+        let mut ph = Phast::new(g.num_vertices());
+        let mut d = Dijkstra::new(g.num_vertices());
+        for s in [0u32, 9, 35] {
+            ph.one_to_all(&ch, v(s));
+            d.one_to_all(&g, Dir::Forward, v(s));
+            for t in 0..36 {
+                assert_eq!(ph.distance(v(t)), d.distance(v(t)), "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn phast_multi_source_matches_dijkstra_and_tracks_origins() {
+        let g = random_digraph(50, 180, 99);
+        let ch = build(&g);
+        let seeds = [(v(3), 10u64), (v(17), 0), (v(40), 5)];
+        let mut ph = Phast::new(g.num_vertices());
+        ph.multi_source_to_all(&ch, &seeds);
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.multi_source(&g, Dir::Forward, &seeds);
+        for t in 0..50 {
+            assert_eq!(ph.distance(v(t)), d.distance(v(t)), "t={t}");
+            if kosr_graph::is_finite(ph.distance(v(t))) {
+                // The origin must be a seed achieving the minimum.
+                let o = ph.origin_of(v(t)).unwrap();
+                assert!(seeds.iter().any(|&(s, _)| s == o));
+            } else {
+                assert_eq!(ph.origin_of(v(t)), None);
+            }
+        }
+    }
+
+    #[test]
+    fn phast_with_infinite_seeds_ignores_them() {
+        let g = grid(3, 3, 2);
+        let ch = build(&g);
+        let mut ph = Phast::new(g.num_vertices());
+        ph.multi_source_to_all(&ch, &[(v(0), INFINITY), (v(4), 2)]);
+        assert_eq!(ph.origin_of(v(8)), Some(v(4)));
+        assert!(ph.distance(v(0)) >= 2, "v0 reached only through v4's seed");
+    }
+
+    #[test]
+    fn shortcut_count_reported() {
+        let g = grid(8, 8, 5);
+        let ch = build(&g);
+        // A grid always needs some shortcuts; the count is merely sane.
+        assert!(ch.num_shortcuts() < 8 * ch.num_edges());
+        assert!(ch.num_edges() >= g.num_edges());
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let g = grid(5, 5, 13);
+        let a = build(&g);
+        let b = build(&g);
+        for u in g.vertices() {
+            assert_eq!(a.rank(u), b.rank(u));
+        }
+    }
+
+    #[test]
+    fn custom_params() {
+        let g = grid(5, 5, 13);
+        let ch = build_with(
+            &g,
+            ChParams {
+                witness_settle_limit: 5, // tiny budget => more shortcuts, still correct
+                ..ChParams::default()
+            },
+        );
+        let mut q = ChQuery::new(g.num_vertices());
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.one_to_all(&g, Dir::Forward, v(0));
+        for t in 0..25 {
+            assert_eq!(q.distance(&ch, v(0), v(t)), d.distance(v(t)));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! PHAST-style one-to-all / multi-source-to-all sweeps over a contraction
+//! hierarchy (Delling et al.): an upward Dijkstra from the seed set followed
+//! by a single linear scan of the downward edges in descending rank order.
+//!
+//! This is the engine behind the GSP baseline's category transition: seed
+//! every vertex of category `C_{i-1}` with its dynamic-programming cost
+//! `X[i-1][·]`, sweep once, and read off `X[i][·]` at the vertices of `C_i`.
+//! Origin tracking records *which* seed realised each minimum, which is all
+//! GSP needs to reconstruct the optimal witness.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{inf_add, is_finite, VertexId, Weight, INFINITY};
+use kosr_pathfinding::TimestampedVec;
+
+use crate::hierarchy::ContractionHierarchy;
+
+const NO_ORIGIN: u32 = u32::MAX;
+
+/// Reusable PHAST sweep state.
+#[derive(Clone, Debug)]
+pub struct Phast {
+    dist: TimestampedVec<Weight>,
+    origin: TimestampedVec<u32>,
+    heap: BinaryHeap<Reverse<(Weight, VertexId)>>,
+}
+
+impl Phast {
+    /// Creates sweep state for hierarchies with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Phast {
+            dist: TimestampedVec::new(num_vertices, INFINITY),
+            origin: TimestampedVec::new(num_vertices, NO_ORIGIN),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Computes `min_seed (cost(seed) + dis(seed, v))` for **every** vertex
+    /// `v`, together with the argmin seed.
+    pub fn multi_source_to_all(&mut self, ch: &ContractionHierarchy, seeds: &[(VertexId, Weight)]) {
+        let n = ch.num_vertices();
+        self.dist.resize(n);
+        self.origin.resize(n);
+        self.dist.reset();
+        self.origin.reset();
+        self.heap.clear();
+
+        for &(v, d) in seeds {
+            if is_finite(d) && d < self.dist.get(v.index()) {
+                self.dist.set(v.index(), d);
+                self.origin.set(v.index(), v.0);
+                self.heap.push(Reverse((d, v)));
+            }
+        }
+
+        // Phase 1: upward multi-source Dijkstra.
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if d > self.dist.get(v.index()) {
+                continue;
+            }
+            let ov = self.origin.get(v.index());
+            for e in ch.up_edges(v) {
+                let nd = inf_add(d, e.weight);
+                if nd < self.dist.get(e.other.index()) {
+                    self.dist.set(e.other.index(), nd);
+                    self.origin.set(e.other.index(), ov);
+                    self.heap.push(Reverse((nd, e.other)));
+                }
+            }
+        }
+
+        // Phase 2: downward sweep in descending rank order. When `u` is
+        // processed its distance is final, so one pass suffices.
+        for &u in ch.vertices_by_descending_rank() {
+            let du = self.dist.get(u.index());
+            if !is_finite(du) {
+                continue;
+            }
+            let ou = self.origin.get(u.index());
+            for e in ch.down_edges(u) {
+                let nd = inf_add(du, e.weight);
+                if nd < self.dist.get(e.other.index()) {
+                    self.dist.set(e.other.index(), nd);
+                    self.origin.set(e.other.index(), ou);
+                }
+            }
+        }
+    }
+
+    /// One-to-all from a single source.
+    pub fn one_to_all(&mut self, ch: &ContractionHierarchy, s: VertexId) {
+        self.multi_source_to_all(ch, &[(s, 0)]);
+    }
+
+    /// Distance of `v` after the last sweep.
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> Weight {
+        self.dist.get(v.index())
+    }
+
+    /// The seed that realised `v`'s minimum, if `v` is reachable.
+    #[inline]
+    pub fn origin_of(&self, v: VertexId) -> Option<VertexId> {
+        let o = self.origin.get(v.index());
+        (o != NO_ORIGIN).then_some(VertexId(o))
+    }
+}

@@ -1,0 +1,213 @@
+//! Point-to-point queries over a contraction hierarchy: bidirectional
+//! *upward* Dijkstra with shortcut unpacking for full path retrieval.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{inf_add, is_finite, Graph, VertexId, Weight, INFINITY};
+use kosr_pathfinding::TimestampedVec;
+
+use crate::hierarchy::ContractionHierarchy;
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable CH point-to-point query state.
+#[derive(Clone, Debug)]
+pub struct ChQuery {
+    dist_f: TimestampedVec<Weight>,
+    dist_b: TimestampedVec<Weight>,
+    parent_f: TimestampedVec<u32>,
+    parent_b: TimestampedVec<u32>,
+    pweight_f: TimestampedVec<Weight>,
+    pweight_b: TimestampedVec<Weight>,
+    heap_f: BinaryHeap<Reverse<(Weight, VertexId)>>,
+    heap_b: BinaryHeap<Reverse<(Weight, VertexId)>>,
+    /// Vertices settled by the last query (diagnostics).
+    pub settled_count: usize,
+}
+
+impl ChQuery {
+    /// Creates query state for hierarchies with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        ChQuery {
+            dist_f: TimestampedVec::new(num_vertices, INFINITY),
+            dist_b: TimestampedVec::new(num_vertices, INFINITY),
+            parent_f: TimestampedVec::new(num_vertices, NO_PARENT),
+            parent_b: TimestampedVec::new(num_vertices, NO_PARENT),
+            pweight_f: TimestampedVec::new(num_vertices, 0),
+            pweight_b: TimestampedVec::new(num_vertices, 0),
+            heap_f: BinaryHeap::new(),
+            heap_b: BinaryHeap::new(),
+            settled_count: 0,
+        }
+    }
+
+    /// Shortest-path distance from `s` to `t` ([`INFINITY`] if unreachable).
+    pub fn distance(&mut self, ch: &ContractionHierarchy, s: VertexId, t: VertexId) -> Weight {
+        self.run(ch, s, t).0
+    }
+
+    /// Shortest path from `s` to `t` in **original-graph vertices**
+    /// (shortcuts unpacked), as `(cost, vertices)`; empty when unreachable.
+    pub fn shortest_path(
+        &mut self,
+        ch: &ContractionHierarchy,
+        s: VertexId,
+        t: VertexId,
+    ) -> (Weight, Vec<VertexId>) {
+        let (best, meet) = self.run(ch, s, t);
+        if !is_finite(best) {
+            return (INFINITY, Vec::new());
+        }
+        let meet = meet.expect("finite distance implies a meeting vertex");
+
+        // Forward half: collect the up-graph hops s → … → meet, then unpack.
+        let mut fwd_hops = Vec::new();
+        let mut cur = meet;
+        while self.parent_f.get(cur.index()) != NO_PARENT {
+            let p = VertexId(self.parent_f.get(cur.index()));
+            fwd_hops.push((p, cur, self.pweight_f.get(cur.index())));
+            cur = p;
+        }
+        fwd_hops.reverse();
+        let mut path = vec![s];
+        for (a, b, w) in fwd_hops {
+            ch.unpack_edge(a, b, w, &mut path);
+        }
+        // Backward half: meet → … → t (parents point toward t).
+        let mut cur = meet;
+        while self.parent_b.get(cur.index()) != NO_PARENT {
+            let p = VertexId(self.parent_b.get(cur.index()));
+            let w = self.pweight_b.get(cur.index());
+            ch.unpack_edge(cur, p, w, &mut path);
+            cur = p;
+        }
+        (best, path)
+    }
+
+    fn run(
+        &mut self,
+        ch: &ContractionHierarchy,
+        s: VertexId,
+        t: VertexId,
+    ) -> (Weight, Option<VertexId>) {
+        let n = ch.num_vertices();
+        self.dist_f.resize(n);
+        self.dist_b.resize(n);
+        self.parent_f.resize(n);
+        self.parent_b.resize(n);
+        self.pweight_f.resize(n);
+        self.pweight_b.resize(n);
+        self.dist_f.reset();
+        self.dist_b.reset();
+        self.parent_f.reset();
+        self.parent_b.reset();
+        self.pweight_f.reset();
+        self.pweight_b.reset();
+        self.heap_f.clear();
+        self.heap_b.clear();
+        self.settled_count = 0;
+
+        self.dist_f.set(s.index(), 0);
+        self.dist_b.set(t.index(), 0);
+        self.heap_f.push(Reverse((0, s)));
+        self.heap_b.push(Reverse((0, t)));
+
+        let mut best = INFINITY;
+        let mut meet = None;
+        if s == t {
+            return (0, Some(s));
+        }
+
+        // CH stopping rule: a direction may stop once its queue minimum is
+        // at least the best meeting cost (paths are up-then-down, so the
+        // plain bidirectional sum rule does not apply).
+        loop {
+            let tf = self.heap_f.peek().map_or(INFINITY, |Reverse((d, _))| *d);
+            let tb = self.heap_b.peek().map_or(INFINITY, |Reverse((d, _))| *d);
+            if tf >= best && tb >= best {
+                break;
+            }
+            if tf <= tb {
+                // Forward step.
+                if let Some(Reverse((d, v))) = self.heap_f.pop() {
+                    if d > self.dist_f.get(v.index()) {
+                        continue;
+                    }
+                    self.settled_count += 1;
+                    let through = inf_add(d, self.dist_b.get(v.index()));
+                    if through < best {
+                        best = through;
+                        meet = Some(v);
+                    }
+                    // Stall-on-demand: if a higher-ranked in-neighbor u
+                    // already offers a shorter way into v, every shortest
+                    // path through v goes down through u first — expanding
+                    // v upward cannot help.
+                    if ch
+                        .up_edges_rev(v)
+                        .iter()
+                        .any(|e| inf_add(self.dist_f.get(e.other.index()), e.weight) < d)
+                    {
+                        continue;
+                    }
+                    for e in ch.up_edges(v) {
+                        let nd = inf_add(d, e.weight);
+                        if nd < self.dist_f.get(e.other.index()) {
+                            self.dist_f.set(e.other.index(), nd);
+                            self.parent_f.set(e.other.index(), v.0);
+                            self.pweight_f.set(e.other.index(), e.weight);
+                            self.heap_f.push(Reverse((nd, e.other)));
+                        }
+                    }
+                }
+            } else if let Some(Reverse((d, v))) = self.heap_b.pop() {
+                if d > self.dist_b.get(v.index()) {
+                    continue;
+                }
+                self.settled_count += 1;
+                let through = inf_add(d, self.dist_f.get(v.index()));
+                if through < best {
+                    best = through;
+                    meet = Some(v);
+                }
+                // Stall-on-demand, mirrored: a higher-ranked out-neighbor
+                // that reaches t cheaper makes v's backward expansion moot.
+                if ch
+                    .up_edges(v)
+                    .iter()
+                    .any(|e| inf_add(self.dist_b.get(e.other.index()), e.weight) < d)
+                {
+                    continue;
+                }
+                for e in ch.up_edges_rev(v) {
+                    let nd = inf_add(d, e.weight);
+                    if nd < self.dist_b.get(e.other.index()) {
+                        self.dist_b.set(e.other.index(), nd);
+                        self.parent_b.set(e.other.index(), v.0);
+                        self.pweight_b.set(e.other.index(), e.weight);
+                        self.heap_b.push(Reverse((nd, e.other)));
+                    }
+                }
+            }
+        }
+        (best, meet)
+    }
+
+    /// Convenience: validates an unpacked path against the original graph.
+    pub fn validated_path(
+        &mut self,
+        ch: &ContractionHierarchy,
+        g: &Graph,
+        s: VertexId,
+        t: VertexId,
+    ) -> Option<kosr_pathfinding::Path> {
+        let (cost, vertices) = self.shortest_path(ch, s, t);
+        if !is_finite(cost) {
+            return None;
+        }
+        let p = kosr_pathfinding::Path { vertices, cost };
+        p.validate(g).ok()?;
+        Some(p)
+    }
+}

@@ -1,0 +1,349 @@
+//! **Arbitrary-order** optimal sequenced routes — the paper's announced
+//! future work (the `k ≥ 1 / arbitrary order / general graphs` cell of its
+//! Table I is empty; the conclusion names closing it as the next step).
+//!
+//! Find the cheapest route from `s` to `t` that visits one vertex of
+//! *every* category of `C`, in **any** order. The problem generalises the
+//! generalized traveling salesman path problem, so the exact algorithm here
+//! is exponential in `|C|` only — a Held-Karp dynamic program over category
+//! subsets whose transitions reuse the same multi-source machinery as GSP:
+//!
+//! ```text
+//! X[{}]      = { s: 0 }
+//! X[S ∪ {c}][u ∈ V_c] = min over v ( X[S][v] + dis(v, u) )
+//! answer     = min over v ( X[C][v] + dis(v, t) )
+//! ```
+//!
+//! `|C| · 2^|C|` multi-source sweeps in total — practical for the paper's
+//! query sizes (`|C| ≤ 10`).
+
+use kosr_graph::{is_finite, CategoryId, FxHashMap, Graph, VertexId, Weight, INFINITY};
+use kosr_pathfinding::{Dijkstra, Dir};
+
+use crate::types::Witness;
+
+/// Statistics of one arbitrary-order run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArbitraryOrderStats {
+    /// Multi-source sweeps performed.
+    pub sweeps: usize,
+    /// Wall-clock time.
+    pub total: std::time::Duration,
+}
+
+/// The optimal *arbitrary-order* sequenced route from `source` to `target`
+/// through all of `categories` (any visiting order), or `None` if
+/// infeasible. The returned witness lists the stops in the order the
+/// optimal route visits them.
+///
+/// # Panics
+/// Panics if `categories.len() >= 20` (the subset DP would not fit).
+pub fn arbitrary_order_osr(
+    g: &Graph,
+    source: VertexId,
+    target: VertexId,
+    categories: &[CategoryId],
+    ) -> (Option<Witness>, ArbitraryOrderStats) {
+    let m = categories.len();
+    assert!(m < 20, "arbitrary-order DP supports |C| < 20");
+    let t0 = std::time::Instant::now();
+    let mut stats = ArbitraryOrderStats::default();
+    let full: u32 = (1u32 << m) - 1;
+
+    // X[S] : member vertex -> (cost, predecessor member, predecessor subset)
+    // Keyed per subset; layer 0 holds only the source.
+    let mut layers: Vec<FxHashMap<VertexId, (Weight, VertexId)>> =
+        vec![FxHashMap::default(); 1 << m];
+    layers[0].insert(source, (0, source));
+
+    let mut dij = Dijkstra::new(g.num_vertices());
+    // Process subsets in increasing popcount so predecessors are final.
+    let mut order: Vec<u32> = (0..=full).collect();
+    order.sort_unstable_by_key(|s| s.count_ones());
+
+    for &subset in &order {
+        if layers[subset as usize].is_empty() {
+            continue;
+        }
+        let mut seeds: Vec<(VertexId, Weight)> = layers[subset as usize]
+            .iter()
+            .map(|(&v, &(d, _))| (v, d))
+            .collect();
+        seeds.sort_unstable();
+        // Extend to every category not yet visited. One sweep serves all of
+        // them (the sweep computes distances to every vertex).
+        let missing: Vec<usize> = (0..m).filter(|i| subset & (1 << i) == 0).collect();
+        if missing.is_empty() {
+            continue;
+        }
+        dij.multi_source(g, Dir::Forward, &seeds);
+        stats.sweeps += 1;
+        for &ci in &missing {
+            let next = subset | (1 << ci);
+            for &u in g.categories().vertices_of(categories[ci]) {
+                let d = dij.distance(u);
+                if !is_finite(d) {
+                    continue;
+                }
+                let origin = dij.origin_of(u).expect("finite distance has origin");
+                let entry = layers[next as usize].entry(u).or_insert((INFINITY, u));
+                if d < entry.0 {
+                    *entry = (d, origin);
+                }
+            }
+        }
+    }
+
+    // Close at the destination.
+    if layers[full as usize].is_empty() {
+        stats.total = t0.elapsed();
+        return (None, stats);
+    }
+    let mut seeds: Vec<(VertexId, Weight)> = layers[full as usize]
+        .iter()
+        .map(|(&v, &(d, _))| (v, d))
+        .collect();
+    seeds.sort_unstable();
+    dij.multi_source(g, Dir::Forward, &seeds);
+    stats.sweeps += 1;
+    let best = dij.distance(target);
+    if !is_finite(best) {
+        stats.total = t0.elapsed();
+        return (None, stats);
+    }
+
+    // Reconstruct stops backwards: from the final origin, walk predecessor
+    // members through the subsets. We must rediscover which subset each
+    // predecessor belonged to; greedily peel categories whose recorded
+    // entry matches.
+    let mut stops_rev = vec![target];
+    let mut cur = dij.origin_of(target).expect("finite");
+    let mut subset = full;
+    while subset != 0 {
+        stops_rev.push(cur);
+        let (_, pred) = layers[subset as usize][&cur];
+        // Remove the category `cur` satisfied in this step: any set bit
+        // whose category contains `cur` and whose removal leaves a layer
+        // containing `pred` with consistent cost.
+        let mut peeled = None;
+        #[allow(clippy::needless_range_loop)] // `ci` drives bit tests and the slice
+        for ci in 0..m {
+            if subset & (1 << ci) != 0 && g.categories().has_category(cur, categories[ci]) {
+                let prev = subset & !(1 << ci);
+                if let Some(&(pd, _)) = layers[prev as usize].get(&pred) {
+                    let (cd, _) = layers[subset as usize][&cur];
+                    if pd <= cd {
+                        peeled = Some((ci, prev));
+                        break;
+                    }
+                }
+            }
+        }
+        let (_, prev) = peeled.expect("reconstruction must peel one category");
+        subset = prev;
+        cur = pred;
+    }
+    stops_rev.push(source);
+    stops_rev.reverse();
+    stats.total = t0.elapsed();
+    (
+        Some(Witness {
+            vertices: stops_rev,
+            cost: best,
+        }),
+        stats,
+    )
+}
+
+/// **Top-k arbitrary-order** sequenced routes: the `k ≥ 1 / arbitrary
+/// order / general graphs` cell of the paper's Table I.
+///
+/// Runs StarKOSR once per permutation of `categories` and merges the
+/// per-order top-k lists, deduplicating witnesses that arise under several
+/// orders (possible when a stop carries more than one queried category).
+/// Exact, and practical for the small `|C|` of interactive queries
+/// (`|C|! · ` one StarKOSR run each); larger sequences call for the
+/// approximation literature the paper cites (\[7\], \[30\]).
+///
+/// # Panics
+/// Panics if `categories.len() > 7` (5,040 permutations is the sane limit).
+pub fn arbitrary_order_topk<'a, N, T, F>(
+    source: VertexId,
+    target: VertexId,
+    categories: &[CategoryId],
+    k: usize,
+    mut make_engine: F,
+) -> Vec<crate::types::Witness>
+where
+    N: kosr_index::NearestNeighbors + 'a,
+    T: kosr_index::TargetDistance + 'a,
+    F: FnMut() -> (N, T),
+{
+    assert!(categories.len() <= 7, "permutation search limited to |C| <= 7");
+    fn permutations(cats: &[CategoryId]) -> Vec<Vec<CategoryId>> {
+        if cats.len() <= 1 {
+            return vec![cats.to_vec()];
+        }
+        let mut out = Vec::new();
+        for i in 0..cats.len() {
+            let mut rest = cats.to_vec();
+            let head = rest.remove(i);
+            for mut tail in permutations(&rest) {
+                tail.insert(0, head);
+                out.push(tail);
+            }
+        }
+        out
+    }
+
+    let mut merged: Vec<crate::types::Witness> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<VertexId>> = Default::default();
+    for perm in permutations(categories) {
+        let (nn, oracle) = make_engine();
+        let q = crate::types::Query::new(source, target, perm, k);
+        for w in crate::star::star_kosr(&q, nn, oracle).witnesses {
+            if seen.insert(w.vertices.clone()) {
+                merged.push(w);
+            }
+        }
+    }
+    merged.sort_by(|x, y| (x.cost, &x.vertices).cmp(&(y.cost, &y.vertices)));
+    merged.truncate(k);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsp::{gsp, GspEngine};
+    use kosr_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Exhaustive oracle: min over all category permutations of the
+    /// fixed-order optimum (GSP).
+    fn permutation_oracle(
+        g: &Graph,
+        s: VertexId,
+        t: VertexId,
+        cats: &[CategoryId],
+    ) -> Option<Weight> {
+        fn permutations(cats: &[CategoryId]) -> Vec<Vec<CategoryId>> {
+            if cats.len() <= 1 {
+                return vec![cats.to_vec()];
+            }
+            let mut out = Vec::new();
+            for i in 0..cats.len() {
+                let mut rest = cats.to_vec();
+                let head = rest.remove(i);
+                for mut tail in permutations(&rest) {
+                    tail.insert(0, head);
+                    out.push(tail);
+                }
+            }
+            out
+        }
+        permutations(cats)
+            .into_iter()
+            .filter_map(|p| gsp(g, s, t, &p, &GspEngine::Dijkstra).0.map(|w| w.cost))
+            .min()
+    }
+
+    fn world(seed: u64) -> Graph {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 30u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for _ in 0..140 {
+            let a = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            if a != c {
+                b.add_edge(v(a), v(c), rng.gen_range(1..30));
+            }
+        }
+        for c in 0..3 {
+            b.categories_mut().add_category(format!("C{c}"));
+        }
+        for i in 0..n {
+            if rng.gen_bool(0.25) {
+                b.categories_mut()
+                    .insert(v(i), CategoryId(rng.gen_range(0..3)));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_permutation_oracle() {
+        for seed in 0..6 {
+            let g = world(seed);
+            let cats = [CategoryId(0), CategoryId(1), CategoryId(2)];
+            for (s, t) in [(0u32, 29u32), (5, 20), (13, 7)] {
+                let (w, stats) = arbitrary_order_osr(&g, v(s), v(t), &cats);
+                let want = permutation_oracle(&g, v(s), v(t), &cats);
+                assert_eq!(w.as_ref().map(|w| w.cost), want, "seed {seed} s {s} t {t}");
+                if let Some(w) = w {
+                    // Witness visits every category exactly once, somewhere.
+                    assert_eq!(w.vertices.len(), cats.len() + 2);
+                    let mut seen = [false; 3];
+                    for &stop in &w.vertices[1..w.vertices.len() - 1] {
+                        for (i, &c) in cats.iter().enumerate() {
+                            if g.categories().has_category(stop, c) {
+                                seen[i] = true;
+                            }
+                        }
+                    }
+                    assert!(seen.iter().all(|&x| x), "all categories visited");
+                    // Legs are consistent shortest-path distances.
+                    let mut dij = Dijkstra::new(g.num_vertices());
+                    let sum: Weight = w
+                        .vertices
+                        .windows(2)
+                        .map(|p| dij.one_to_one(&g, Dir::Forward, p[0], p[1]))
+                        .sum();
+                    assert_eq!(sum, w.cost);
+                }
+                assert!(stats.sweeps <= 3 * 8 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_order_never_worse_than_fixed_order() {
+        for seed in 6..10 {
+            let g = world(seed);
+            let cats = [CategoryId(0), CategoryId(1), CategoryId(2)];
+            let (free, _) = arbitrary_order_osr(&g, v(1), v(25), &cats);
+            let (fixed, _) = gsp(&g, v(1), v(25), &cats, &GspEngine::Dijkstra);
+            match (free, fixed) {
+                (Some(a), Some(b)) => assert!(a.cost <= b.cost),
+                (None, Some(_)) => panic!("fixed order feasible but free order not"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn empty_category_list_is_shortest_path() {
+        let g = world(3);
+        let (w, stats) = arbitrary_order_osr(&g, v(0), v(10), &[]);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let d = dij.one_to_one(&g, Dir::Forward, v(0), v(10));
+        assert_eq!(w.map(|w| w.cost), kosr_graph::is_finite(d).then_some(d));
+        assert_eq!(stats.sweeps, 1);
+    }
+
+    #[test]
+    fn infeasible_when_category_unreachable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 1);
+        let c0 = b.categories_mut().add_category("A");
+        b.categories_mut().insert(v(2), c0); // v2 is unreachable
+        let g = b.build();
+        let (w, _) = arbitrary_order_osr(&g, v(0), v(1), &[c0]);
+        assert!(w.is_none());
+    }
+}

@@ -1,0 +1,179 @@
+//! Arena storage for partially explored witnesses.
+//!
+//! The search algorithms extend and fork routes millions of times; cloning a
+//! `Vec<VertexId>` per queue entry would dominate the run time. Instead every
+//! partial witness is a node in a parent-linked arena: extension is O(1),
+//! queue entries carry a 4-byte node id, and — crucially for Algorithm 2's
+//! bookkeeping — **prefix identity is node-id equality**: the depth-`i`
+//! ancestor of a complete route *is* the dominating-route node recorded in
+//! `HT≺` iff the complete route descends from it.
+
+use kosr_graph::VertexId;
+
+/// Index of a route node in a [`RouteArena`].
+pub type NodeId = u32;
+
+const NO_PARENT: NodeId = NodeId::MAX;
+
+/// Append-only arena of witness-prefix nodes.
+#[derive(Clone, Debug, Default)]
+pub struct RouteArena {
+    vertices: Vec<VertexId>,
+    parents: Vec<NodeId>,
+    /// Witness length (vertex count) of each node; the root has length 1.
+    lens: Vec<u16>,
+}
+
+impl RouteArena {
+    /// An empty arena.
+    pub fn new() -> RouteArena {
+        RouteArena::default()
+    }
+
+    /// Number of nodes allocated.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` iff no nodes were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Creates a root node `⟨v⟩`.
+    pub fn root(&mut self, v: VertexId) -> NodeId {
+        self.push(v, NO_PARENT, 1)
+    }
+
+    /// Creates the child `⟨…parent…, v⟩`.
+    pub fn extend(&mut self, parent: NodeId, v: VertexId) -> NodeId {
+        let len = self.lens[parent as usize] + 1;
+        self.push(v, parent, len)
+    }
+
+    fn push(&mut self, v: VertexId, parent: NodeId, len: u16) -> NodeId {
+        let id = self.vertices.len() as NodeId;
+        self.vertices.push(v);
+        self.parents.push(parent);
+        self.lens.push(len);
+        id
+    }
+
+    /// The last vertex of the witness prefix `node`.
+    #[inline]
+    pub fn vertex(&self, node: NodeId) -> VertexId {
+        self.vertices[node as usize]
+    }
+
+    /// The parent node, if `node` is not a root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        let p = self.parents[node as usize];
+        (p != NO_PARENT).then_some(p)
+    }
+
+    /// Number of vertices in the witness prefix.
+    #[inline]
+    pub fn witness_len(&self, node: NodeId) -> usize {
+        self.lens[node as usize] as usize
+    }
+
+    /// The ancestor of `node` whose witness length is `len`
+    /// (`len == witness_len(node)` returns `node` itself).
+    ///
+    /// # Panics
+    /// Panics if `len` is 0 or exceeds the node's length.
+    pub fn ancestor_with_len(&self, node: NodeId, len: usize) -> NodeId {
+        let mut cur = node;
+        let mut cur_len = self.witness_len(node);
+        assert!(len >= 1 && len <= cur_len, "no ancestor of length {len}");
+        while cur_len > len {
+            cur = self.parents[cur as usize];
+            cur_len -= 1;
+        }
+        cur
+    }
+
+    /// Reconstructs the full vertex sequence of the witness prefix.
+    pub fn materialize(&self, node: NodeId) -> Vec<VertexId> {
+        let mut out = vec![VertexId(0); self.witness_len(node)];
+        let mut cur = node;
+        for slot in out.iter_mut().rev() {
+            *slot = self.vertices[cur as usize];
+            cur = self.parents[cur as usize];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn extend_and_materialize() {
+        let mut a = RouteArena::new();
+        let r = a.root(v(10));
+        let n1 = a.extend(r, v(20));
+        let n2 = a.extend(n1, v(30));
+        assert_eq!(a.materialize(n2), vec![v(10), v(20), v(30)]);
+        assert_eq!(a.materialize(r), vec![v(10)]);
+        assert_eq!(a.witness_len(n2), 3);
+        assert_eq!(a.vertex(n2), v(30));
+        assert_eq!(a.parent(n2), Some(n1));
+        assert_eq!(a.parent(r), None);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn forking_shares_prefixes() {
+        let mut a = RouteArena::new();
+        let r = a.root(v(0));
+        let x = a.extend(r, v(1));
+        let y = a.extend(r, v(2)); // sibling of x
+        assert_eq!(a.materialize(x), vec![v(0), v(1)]);
+        assert_eq!(a.materialize(y), vec![v(0), v(2)]);
+        assert_eq!(a.parent(x), a.parent(y));
+    }
+
+    #[test]
+    fn ancestor_lookup() {
+        let mut a = RouteArena::new();
+        let r = a.root(v(0));
+        let n1 = a.extend(r, v(1));
+        let n2 = a.extend(n1, v(2));
+        let n3 = a.extend(n2, v(3));
+        assert_eq!(a.ancestor_with_len(n3, 4), n3);
+        assert_eq!(a.ancestor_with_len(n3, 3), n2);
+        assert_eq!(a.ancestor_with_len(n3, 2), n1);
+        assert_eq!(a.ancestor_with_len(n3, 1), r);
+    }
+
+    #[test]
+    fn prefix_identity_is_node_identity() {
+        let mut a = RouteArena::new();
+        let r = a.root(v(0));
+        let p = a.extend(r, v(5));
+        let c1 = a.extend(p, v(6));
+        // A different route that happens to pass the same vertex 5:
+        let q = a.extend(r, v(5));
+        let c2 = a.extend(q, v(6));
+        // Same vertex sequences, different identities:
+        assert_eq!(a.materialize(c1), a.materialize(c2));
+        assert_ne!(a.ancestor_with_len(c1, 2), a.ancestor_with_len(c2, 2));
+        assert_eq!(a.ancestor_with_len(c1, 2), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ancestor")]
+    fn ancestor_out_of_range_panics() {
+        let mut a = RouteArena::new();
+        let r = a.root(v(0));
+        a.ancestor_with_len(r, 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Exhaustive top-k oracle for testing: enumerates **every** witness
+//! `⟨s, v1, …, vj, t⟩` in the category product space, scores it by summing
+//! exact shortest-path distances, and returns the k cheapest.
+//!
+//! Exponential in `|C|` — strictly a ground-truth generator for small
+//! graphs. All query algorithms are property-tested against it.
+
+use kosr_graph::{inf_add, is_finite, FxHashMap, Graph, VertexId, Weight};
+use kosr_pathfinding::{Dijkstra, Dir};
+
+use crate::types::{Query, Witness};
+
+/// Enumerates the top-k witnesses exhaustively, or returns `None` when the
+/// product space exceeds `combo_limit` (guarding against runaway tests).
+pub fn brute_force_topk(g: &Graph, query: &Query, combo_limit: usize) -> Option<Vec<Witness>> {
+    // Guard the combinatorial size first.
+    let mut combos: usize = 1;
+    for &c in &query.categories {
+        combos = combos.checked_mul(g.categories().category_size(c).max(1))?;
+        if combos > combo_limit {
+            return None;
+        }
+    }
+
+    // Distance tables from every vertex that can start a leg.
+    let mut sources: Vec<VertexId> = vec![query.source];
+    for &c in &query.categories {
+        sources.extend_from_slice(g.categories().vertices_of(c));
+    }
+    sources.sort_unstable();
+    sources.dedup();
+    let mut dist: FxHashMap<VertexId, Vec<Weight>> = FxHashMap::default();
+    let mut dij = Dijkstra::new(g.num_vertices());
+    for &s in &sources {
+        dij.one_to_all(g, Dir::Forward, s);
+        dist.insert(s, g.vertices().map(|v| dij.distance(v)).collect());
+    }
+    let leg = |from: VertexId, to: VertexId| dist[&from][to.index()];
+
+    // DFS over the category layers.
+    let mut results: Vec<Witness> = Vec::new();
+    let mut prefix: Vec<VertexId> = vec![query.source];
+    fn rec(
+        g: &Graph,
+        query: &Query,
+        leg: &dyn Fn(VertexId, VertexId) -> Weight,
+        prefix: &mut Vec<VertexId>,
+        cost: Weight,
+        depth: usize,
+        results: &mut Vec<Witness>,
+    ) {
+        if !is_finite(cost) {
+            return; // infeasible prefix; extensions stay infeasible
+        }
+        if depth == query.categories.len() {
+            let total = inf_add(cost, leg(*prefix.last().unwrap(), query.target));
+            if is_finite(total) {
+                let mut vertices = prefix.clone();
+                vertices.push(query.target);
+                results.push(Witness {
+                    vertices,
+                    cost: total,
+                });
+            }
+            return;
+        }
+        for &m in g.categories().vertices_of(query.categories[depth]) {
+            let c2 = inf_add(cost, leg(*prefix.last().unwrap(), m));
+            prefix.push(m);
+            rec(g, query, leg, prefix, c2, depth + 1, results);
+            prefix.pop();
+        }
+    }
+    rec(g, query, &leg, &mut prefix, 0, 0, &mut results);
+
+    results.sort_by(|a, b| (a.cost, &a.vertices).cmp(&(b.cost, &b.vertices)));
+    results.truncate(query.k);
+    Some(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::{CategoryId, GraphBuilder};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn setup() -> Graph {
+        // 0 → {1,2}[A] → {3}[B] → 4, assorted weights.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(v(0), v(1), 1);
+        b.add_edge(v(0), v(2), 2);
+        b.add_edge(v(1), v(3), 5);
+        b.add_edge(v(2), v(3), 1);
+        b.add_edge(v(3), v(4), 1);
+        let a = b.categories_mut().add_category("A");
+        let bb = b.categories_mut().add_category("B");
+        b.categories_mut().insert(v(1), a);
+        b.categories_mut().insert(v(2), a);
+        b.categories_mut().insert(v(3), bb);
+        b.build()
+    }
+
+    #[test]
+    fn enumerates_and_ranks() {
+        let g = setup();
+        let q = Query::new(v(0), v(4), vec![CategoryId(0), CategoryId(1)], 10);
+        let out = brute_force_topk(&g, &q, 1000).unwrap();
+        // Two witnesses: via 2 (2+1+1=4) and via 1 (1+5+1=7).
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].cost, 4);
+        assert_eq!(out[0].vertices, vec![v(0), v(2), v(3), v(4)]);
+        assert_eq!(out[1].cost, 7);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let g = setup();
+        let q = Query::new(v(0), v(4), vec![CategoryId(0), CategoryId(1)], 1);
+        let out = brute_force_topk(&g, &q, 1000).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cost, 4);
+    }
+
+    #[test]
+    fn combo_limit_bails() {
+        let g = setup();
+        let q = Query::new(v(0), v(4), vec![CategoryId(0); 30], 1);
+        assert!(brute_force_topk(&g, &q, 1000).is_none());
+    }
+
+    #[test]
+    fn infeasible_is_empty() {
+        let g = setup();
+        // Nothing reaches vertex 0.
+        let q = Query::new(v(4), v(0), vec![CategoryId(0)], 3);
+        let out = brute_force_topk(&g, &q, 1000).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared plumbing for the search algorithms: timed wrappers around the
+//! neighbor provider, the target oracle and the global priority queue
+//! (feeding Table X's run-time decomposition), plus the *dummy destination
+//! category* logic — the paper introduces `C_{|C|+1} = {t}` so that reaching
+//! the destination is one more category extension.
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use kosr_graph::{is_finite, CategoryId, VertexId, Weight};
+use kosr_index::{NearestNeighbors, TargetDistance};
+
+use crate::types::Query;
+
+/// NN provider wrapper accumulating time and exposing the inner counters.
+pub(crate) struct TimedNn<N> {
+    inner: N,
+    pub nanos: u64,
+}
+
+impl<N: NearestNeighbors> TimedNn<N> {
+    pub fn new(inner: N) -> Self {
+        TimedNn { inner, nanos: 0 }
+    }
+
+    pub fn queries(&self) -> u64 {
+        self.inner.nn_queries()
+    }
+}
+
+impl<N: NearestNeighbors> NearestNeighbors for TimedNn<N> {
+    fn find_nn(&mut self, v: VertexId, c: CategoryId, x: usize) -> Option<(VertexId, Weight)> {
+        let t0 = Instant::now();
+        let r = self.inner.find_nn(v, c, x);
+        self.nanos += t0.elapsed().as_nanos() as u64;
+        r
+    }
+
+    fn nn_queries(&self) -> u64 {
+        self.inner.nn_queries()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+}
+
+/// Target-oracle wrapper accumulating time.
+pub(crate) struct TimedTarget<T> {
+    inner: T,
+    pub nanos: u64,
+}
+
+impl<T: TargetDistance> TimedTarget<T> {
+    pub fn new(inner: T) -> Self {
+        TimedTarget { inner, nanos: 0 }
+    }
+}
+
+impl<T: TargetDistance> TargetDistance for TimedTarget<T> {
+    fn to_target(&mut self, v: VertexId) -> Weight {
+        let t0 = Instant::now();
+        let r = self.inner.to_target(v);
+        self.nanos += t0.elapsed().as_nanos() as u64;
+        r
+    }
+
+    fn target(&self) -> VertexId {
+        self.inner.target()
+    }
+}
+
+/// The x-th nearest neighbor of `v` at witness position `pos`
+/// (1-based: positions `1..=|C|` are the query categories, position
+/// `|C| + 1` is the dummy destination category `{t}`).
+pub(crate) fn neighbor<N: NearestNeighbors, T: TargetDistance>(
+    nn: &mut N,
+    target: &mut T,
+    query: &Query,
+    v: VertexId,
+    pos: usize,
+    x: usize,
+) -> Option<(VertexId, Weight)> {
+    if pos <= query.categories.len() {
+        nn.find_nn(v, query.categories[pos - 1], x)
+    } else if x == 1 {
+        let d = target.to_target(v);
+        is_finite(d).then_some((query.target, d))
+    } else {
+        None // the dummy category has exactly one member
+    }
+}
+
+/// Min-heap with wall-clock accounting and peak-size tracking.
+pub(crate) struct TimedHeap<T: Ord> {
+    heap: BinaryHeap<T>,
+    pub nanos: u64,
+    pub peak: usize,
+}
+
+impl<T: Ord> TimedHeap<T> {
+    pub fn new() -> Self {
+        TimedHeap {
+            heap: BinaryHeap::new(),
+            nanos: 0,
+            peak: 0,
+        }
+    }
+
+    pub fn push(&mut self, item: T) {
+        let t0 = Instant::now();
+        self.heap.push(item);
+        self.nanos += t0.elapsed().as_nanos() as u64;
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        let t0 = Instant::now();
+        let r = self.heap.pop();
+        self.nanos += t0.elapsed().as_nanos() as u64;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn timed_heap_orders_and_tracks_peak() {
+        let mut h: TimedHeap<Reverse<u32>> = TimedHeap::new();
+        h.push(Reverse(5));
+        h.push(Reverse(1));
+        h.push(Reverse(3));
+        assert_eq!(h.peak, 3);
+        assert_eq!(h.pop(), Some(Reverse(1)));
+        assert_eq!(h.pop(), Some(Reverse(3)));
+        h.push(Reverse(9));
+        assert_eq!(h.peak, 3, "peak is a high-water mark");
+        assert_eq!(h.pop(), Some(Reverse(5)));
+        assert_eq!(h.pop(), Some(Reverse(9)));
+        assert_eq!(h.pop(), None);
+    }
+}

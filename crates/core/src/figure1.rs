@@ -1,0 +1,327 @@
+//! The paper's running example (Figure 1): an eight-vertex road network
+//! with shopping malls (`MA`), restaurants (`RE`) and cinemas (`CI`).
+//!
+//! The edge list below was reconstructed from the paper's own numbers and
+//! reproduces **every** worked value in the text: the Example 1 top-3 costs
+//! (20/21/22), the label distances of Table IV (e.g. `dis(a,c) = 20`,
+//! Example 3), the inverted-index lookups of Table V / Examples 4–5
+//! (`NN(s, MA) = a@8, c@10`), the PruningKOSR trace of Table III and the
+//! StarKOSR trace of Table VI. The golden tests in this module execute
+//! those traces.
+
+use kosr_graph::{CategoryId, Graph, GraphBuilder, VertexId};
+
+/// The Figure 1 fixture: graph plus named vertices and categories.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// The road network of Figure 1.
+    pub graph: Graph,
+    /// Source vertex `s`.
+    pub s: VertexId,
+    /// Shopping mall `a`.
+    pub a: VertexId,
+    /// Restaurant `b`.
+    pub b: VertexId,
+    /// Shopping mall `c`.
+    pub c: VertexId,
+    /// Cinema `d`.
+    pub d: VertexId,
+    /// Restaurant `e`.
+    pub e: VertexId,
+    /// Cinema `f`.
+    pub f: VertexId,
+    /// Destination vertex `t`.
+    pub t: VertexId,
+    /// Category `MA` (shopping malls: `a`, `c`).
+    pub ma: CategoryId,
+    /// Category `RE` (restaurants: `b`, `e`).
+    pub re: CategoryId,
+    /// Category `CI` (cinemas: `d`, `f`).
+    pub ci: CategoryId,
+}
+
+/// Builds the Figure 1 graph.
+pub fn figure1() -> Figure1 {
+    let s = VertexId(0);
+    let a = VertexId(1);
+    let b = VertexId(2);
+    let c = VertexId(3);
+    let d = VertexId(4);
+    let e = VertexId(5);
+    let f = VertexId(6);
+    let t = VertexId(7);
+
+    let mut builder = GraphBuilder::new(8);
+    let ma = builder.categories_mut().add_category("MA");
+    let re = builder.categories_mut().add_category("RE");
+    let ci = builder.categories_mut().add_category("CI");
+    builder.categories_mut().insert(a, ma);
+    builder.categories_mut().insert(c, ma);
+    builder.categories_mut().insert(b, re);
+    builder.categories_mut().insert(e, re);
+    builder.categories_mut().insert(d, ci);
+    builder.categories_mut().insert(f, ci);
+
+    // The 14 edges of Figure 1 (weights 8,5,6,3,5,3,5,10,4,3,10,10,3,15),
+    // reverse-engineered from the shortest distances of Tables III-VI.
+    builder.add_edge(s, a, 8);
+    builder.add_edge(s, c, 10);
+    builder.add_edge(a, b, 5);
+    builder.add_edge(a, e, 6);
+    builder.add_edge(b, d, 3);
+    builder.add_edge(b, s, 5);
+    builder.add_edge(c, b, 5);
+    builder.add_edge(c, d, 3);
+    builder.add_edge(d, t, 4);
+    builder.add_edge(e, d, 3);
+    builder.add_edge(e, f, 10);
+    builder.add_edge(f, t, 3);
+    builder.add_edge(t, c, 15);
+    builder.add_edge(t, e, 10);
+
+    Figure1 {
+        graph: builder.build(),
+        s,
+        a,
+        b,
+        c,
+        d,
+        e,
+        f,
+        t,
+        ma,
+        re,
+        ci,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_topk;
+    use crate::gsp::{gsp, GspEngine};
+    use crate::kpne::{kpne, pne};
+    use crate::pruning::pruning_kosr;
+    use crate::star::star_kosr;
+    use crate::types::Query;
+    use kosr_hoplabel::{HopLabels, HubOrder};
+    use kosr_index::{
+        CategoryIndexSet, DijkstraNn, DijkstraTarget, LabelNn, LabelTarget, NearestNeighbors,
+        NenFinder,
+    };
+
+    fn indexed() -> (Figure1, HopLabels, CategoryIndexSet) {
+        let fx = figure1();
+        let labels = kosr_hoplabel::build(&fx.graph, &HubOrder::Degree);
+        let inverted = CategoryIndexSet::build(&labels, fx.graph.categories());
+        (fx, labels, inverted)
+    }
+
+    /// Every pairwise distance quoted in the paper's tables and examples.
+    #[test]
+    fn distances_match_the_papers_tables() {
+        let (fx, labels, _) = indexed();
+        kosr_hoplabel::verify_exact(&fx.graph, &labels).unwrap();
+        let d = |x, y| labels.distance(x, y);
+        // Example 3: dis(a, c) = 20 (a → b → s → c).
+        assert_eq!(d(fx.a, fx.c), 20);
+        // Table IV spot checks.
+        assert_eq!(d(fx.s, fx.t), 17);
+        assert_eq!(d(fx.t, fx.s), 25);
+        assert_eq!(d(fx.s, fx.a), 8);
+        assert_eq!(d(fx.t, fx.a), 33);
+        assert_eq!(d(fx.a, fx.b), 5);
+        assert_eq!(d(fx.a, fx.e), 6);
+        assert_eq!(d(fx.a, fx.t), 12);
+        assert_eq!(d(fx.s, fx.b), 13);
+        assert_eq!(d(fx.t, fx.b), 20);
+        assert_eq!(d(fx.b, fx.t), 7);
+        assert_eq!(d(fx.s, fx.c), 10);
+        assert_eq!(d(fx.t, fx.c), 15);
+        assert_eq!(d(fx.c, fx.b), 5);
+        assert_eq!(d(fx.c, fx.d), 3);
+        assert_eq!(d(fx.c, fx.t), 7);
+        assert_eq!(d(fx.b, fx.d), 3);
+        assert_eq!(d(fx.e, fx.d), 3);
+        assert_eq!(d(fx.s, fx.d), 13);
+        assert_eq!(d(fx.t, fx.d), 13);
+        assert_eq!(d(fx.d, fx.t), 4);
+        assert_eq!(d(fx.s, fx.e), 14);
+        assert_eq!(d(fx.t, fx.e), 10);
+        assert_eq!(d(fx.e, fx.t), 7);
+        assert_eq!(d(fx.e, fx.f), 10);
+        assert_eq!(d(fx.s, fx.f), 24);
+        assert_eq!(d(fx.t, fx.f), 20);
+        assert_eq!(d(fx.f, fx.t), 3);
+        // Step-7 candidate of Table III: dis(c, e) = 17 (c → d → t → e).
+        assert_eq!(d(fx.c, fx.e), 17);
+        // Step-8 sibling: dis(b, f) = 27 (b → d → t → e → f).
+        assert_eq!(d(fx.b, fx.f), 27);
+    }
+
+    /// Examples 4-5: the nearest neighbors of `s` in `MA` are `a` (8) then
+    /// `c` (10), found through the inverted label index.
+    #[test]
+    fn find_nn_examples_4_and_5() {
+        let (fx, labels, inverted) = indexed();
+        let mut nn = LabelNn::new(&labels, &inverted);
+        assert_eq!(nn.find_nn(fx.s, fx.ma, 1), Some((fx.a, 8)));
+        assert_eq!(nn.find_nn(fx.s, fx.ma, 2), Some((fx.c, 10)));
+        assert_eq!(nn.find_nn(fx.s, fx.ma, 3), None);
+        // RE from a: b (5) then e (6). CI from b: d (3) then f (27).
+        assert_eq!(nn.find_nn(fx.a, fx.re, 1), Some((fx.b, 5)));
+        assert_eq!(nn.find_nn(fx.a, fx.re, 2), Some((fx.e, 6)));
+        assert_eq!(nn.find_nn(fx.b, fx.ci, 1), Some((fx.d, 3)));
+        assert_eq!(nn.find_nn(fx.b, fx.ci, 2), Some((fx.f, 27)));
+    }
+
+    /// Example 6 / Table VI steps 1-3: the nearest *estimated* neighbor of
+    /// `s` in `MA` is `c` (10 + 7 = 17), then `a` (8 + 12 = 20).
+    #[test]
+    fn find_nen_example_6() {
+        let (fx, labels, inverted) = indexed();
+        let mut nn = LabelNn::new(&labels, &inverted);
+        let mut oracle = LabelTarget::new(&labels, fx.t);
+        let mut nen = NenFinder::new();
+        let first = nen.find_nen(&mut nn, &mut oracle, fx.s, fx.ma, 1).unwrap();
+        assert_eq!((first.vertex, first.dist, first.estimate), (fx.c, 10, 17));
+        let second = nen.find_nen(&mut nn, &mut oracle, fx.s, fx.ma, 2).unwrap();
+        assert_eq!((second.vertex, second.dist, second.estimate), (fx.a, 8, 20));
+        assert!(nen.find_nen(&mut nn, &mut oracle, fx.s, fx.ma, 3).is_none());
+    }
+
+    fn query(fx: &Figure1, k: usize) -> Query {
+        Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], k)
+    }
+
+    /// Example 1: the top-3 routes are ⟨s,a,b,d,t⟩(20), ⟨s,a,e,d,t⟩(21),
+    /// ⟨s,c,b,d,t⟩(22) — via every algorithm and provider combination.
+    #[test]
+    fn example_1_top_3_routes() {
+        let (fx, labels, inverted) = indexed();
+        let q = query(&fx, 3);
+        let expect_costs = vec![20, 21, 22];
+        let expect_first = vec![fx.s, fx.a, fx.b, fx.d, fx.t];
+
+        let out = kpne(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(out.costs(), expect_costs);
+        assert_eq!(out.witnesses[0].vertices, expect_first);
+        assert_eq!(out.witnesses[1].vertices, vec![fx.s, fx.a, fx.e, fx.d, fx.t]);
+        assert_eq!(out.witnesses[2].vertices, vec![fx.s, fx.c, fx.b, fx.d, fx.t]);
+
+        let out = pruning_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(out.costs(), expect_costs);
+        let out = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(out.costs(), expect_costs);
+
+        // Dijkstra-backed providers (the *-Dij baselines) agree.
+        let out = kpne(&q, DijkstraNn::new(&fx.graph), DijkstraTarget::new(&fx.graph, fx.t));
+        assert_eq!(out.costs(), expect_costs);
+        let out = pruning_kosr(&q, DijkstraNn::new(&fx.graph), DijkstraTarget::new(&fx.graph, fx.t));
+        assert_eq!(out.costs(), expect_costs);
+        let out = star_kosr(&q, DijkstraNn::new(&fx.graph), DijkstraTarget::new(&fx.graph, fx.t));
+        assert_eq!(out.costs(), expect_costs);
+
+        // Brute force agrees on both costs and witnesses.
+        let brute = brute_force_topk(&fx.graph, &q, 10_000).unwrap();
+        assert_eq!(brute.iter().map(|w| w.cost).collect::<Vec<_>>(), expect_costs);
+        assert_eq!(brute[0].vertices, expect_first);
+    }
+
+    /// Table III: PruningKOSR answers k = 2 in exactly 13 queue
+    /// extractions, returning costs 20 and 21.
+    #[test]
+    fn table_3_pruning_trace() {
+        let (fx, labels, inverted) = indexed();
+        let q = query(&fx, 2);
+        let out = pruning_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(out.costs(), vec![20, 21]);
+        assert_eq!(out.stats.examined_routes, 13, "Table III runs in 13 steps");
+        // Step 6 parks ⟨s,c,b⟩; step 9 reconsiders it together with
+        // ⟨s,a,e,d⟩; step 12 parks ⟨s,c,b,d⟩ again.
+        assert_eq!(out.stats.dominated_routes, 3);
+        assert_eq!(out.stats.reconsidered_routes, 2);
+    }
+
+    /// Table VI: StarKOSR answers the same query in exactly 9 extractions.
+    #[test]
+    fn table_6_star_trace() {
+        let (fx, labels, inverted) = indexed();
+        let q = query(&fx, 2);
+        let out = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(out.costs(), vec![20, 21]);
+        assert_eq!(out.stats.examined_routes, 9, "Table VI runs in 9 steps");
+        assert_eq!(out.stats.dominated_routes, 0, "no dominance events occur");
+    }
+
+    /// StarKOSR examines the fewest routes — the paper's Figure 3(b)
+    /// ordering in miniature. (KPNE's exponential blow-up over PK needs
+    /// larger category counts than Figure 1 offers; at k = 1, where PK pays
+    /// no reconsideration pops, the ordering is already strict.)
+    #[test]
+    fn search_space_ordering() {
+        let (fx, labels, inverted) = indexed();
+        let q = query(&fx, 2);
+        let kp = kpne(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let pk = pruning_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let sk = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert!(kp.stats.examined_routes > sk.stats.examined_routes);
+        assert!(pk.stats.examined_routes > sk.stats.examined_routes);
+
+        let q1 = query(&fx, 1);
+        let kp1 = kpne(&q1, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let pk1 = pruning_kosr(&q1, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(kp1.stats.examined_routes, 10);
+        assert_eq!(pk1.stats.examined_routes, 9, "Table III finds route #1 at step 9");
+    }
+
+    /// PNE (k = 1) and GSP both find the optimal sequenced route of cost 20.
+    #[test]
+    fn osr_algorithms_agree() {
+        let (fx, labels, inverted) = indexed();
+        let q = query(&fx, 1);
+        let (w, _) = pne(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(w.unwrap().cost, 20);
+        let (w, stats) = gsp(&fx.graph, fx.s, fx.t, &q.categories, &GspEngine::Dijkstra);
+        let w = w.unwrap();
+        assert_eq!(w.cost, 20);
+        assert_eq!(w.vertices, vec![fx.s, fx.a, fx.b, fx.d, fx.t]);
+        assert_eq!(stats.searches, 4);
+        let ch = kosr_ch::build(&fx.graph);
+        let (w, _) = gsp(&fx.graph, fx.s, fx.t, &q.categories, &GspEngine::Ch(&ch));
+        assert_eq!(w.unwrap().cost, 20);
+    }
+
+    /// Witness materialization: the winning witness expands to the actual
+    /// road route s → a → b → d → t (all legs are single edges here).
+    #[test]
+    fn materialize_top_route() {
+        let (fx, labels, inverted) = indexed();
+        let q = query(&fx, 1);
+        let out = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let route = out.witnesses[0].materialize(&fx.graph, &labels).unwrap();
+        assert_eq!(route.cost, 20);
+        assert_eq!(route.vertices, vec![fx.s, fx.a, fx.b, fx.d, fx.t]);
+        route.validate(&fx.graph).unwrap();
+    }
+
+    /// Asking for more routes than exist returns the full feasible set:
+    /// 2 × 2 × 2 = 8 witnesses.
+    #[test]
+    fn k_exceeds_feasible_set() {
+        let (fx, labels, inverted) = indexed();
+        let q = query(&fx, 100);
+        let out = kpne(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(out.witnesses.len(), 8);
+        let brute = brute_force_topk(&fx.graph, &q, 10_000).unwrap();
+        assert_eq!(
+            out.costs(),
+            brute.iter().map(|w| w.cost).collect::<Vec<_>>()
+        );
+        // PruningKOSR and StarKOSR agree on the full enumeration too.
+        let pk = pruning_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(pk.costs(), out.costs());
+        let sk = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        assert_eq!(sk.costs(), out.costs());
+    }
+}

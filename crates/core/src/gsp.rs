@@ -1,0 +1,198 @@
+//! **GSP** (Rice & Tsotras [29]): the state-of-the-art *optimal sequenced
+//! route* (k = 1) algorithm, reproduced as the paper's OSR comparator
+//! (Figure 7).
+//!
+//! GSP is a dynamic program over the category layers:
+//!
+//! ```text
+//! X[0][s] = 0
+//! X[i][v] = min over u ∈ C_{i-1} of ( X[i-1][u] + dis(u, v) ),  v ∈ C_i
+//! ```
+//!
+//! Each transition is one **multi-source** shortest-path pass seeded with
+//! the previous layer's costs. Two engines are provided: plain multi-source
+//! Dijkstra, and the contraction-hierarchy PHAST sweep the original paper
+//! engineers (`O(|C|)` graph searches total). Because the recurrence only
+//! carries the *minimum* per vertex, GSP cannot enumerate second-best
+//! routes — the structural reason the KOSR paper gives for why it does not
+//! extend to k > 1 (§III-B).
+
+use std::time::Instant;
+
+use kosr_ch::{ContractionHierarchy, Phast};
+use kosr_graph::{is_finite, CategoryId, FxHashMap, Graph, VertexId, Weight};
+use kosr_pathfinding::{Dijkstra, Dir};
+
+use crate::types::Witness;
+
+/// The shortest-path machinery GSP runs its transitions on.
+pub enum GspEngine<'a> {
+    /// Plain multi-source Dijkstra on the original graph.
+    Dijkstra,
+    /// Multi-source upward search + PHAST downward sweep over a prebuilt
+    /// contraction hierarchy (the engine of \[29\]).
+    Ch(&'a ContractionHierarchy),
+}
+
+/// Instrumentation for one GSP run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GspStats {
+    /// Graph searches performed (`|C| + 1`).
+    pub searches: usize,
+    /// Wall-clock time.
+    pub total: std::time::Duration,
+}
+
+/// Runs GSP: the optimal sequenced route from `source` to `target` through
+/// `categories` in order, or `None` if no feasible route exists.
+pub fn gsp(
+    g: &Graph,
+    source: VertexId,
+    target: VertexId,
+    categories: &[CategoryId],
+    engine: &GspEngine<'_>,
+) -> (Option<Witness>, GspStats) {
+    let t0 = Instant::now();
+    let mut stats = GspStats::default();
+
+    // One dispatcher so the DP below is engine-agnostic.
+    enum Runner<'r> {
+        Dij(Dijkstra, &'r Graph),
+        Ch(Phast, &'r ContractionHierarchy),
+    }
+    impl Runner<'_> {
+        fn sweep(&mut self, seeds: &[(VertexId, Weight)]) {
+            match self {
+                Runner::Dij(d, g) => d.multi_source(g, Dir::Forward, seeds),
+                Runner::Ch(p, ch) => p.multi_source_to_all(ch, seeds),
+            }
+        }
+        fn read(&self, v: VertexId) -> (Weight, Option<VertexId>) {
+            match self {
+                Runner::Dij(d, _) => (d.distance(v), d.origin_of(v)),
+                Runner::Ch(p, _) => (p.distance(v), p.origin_of(v)),
+            }
+        }
+    }
+    let mut runner = match engine {
+        GspEngine::Dijkstra => Runner::Dij(Dijkstra::new(g.num_vertices()), g),
+        GspEngine::Ch(ch) => {
+            assert_eq!(ch.num_vertices(), g.num_vertices(), "hierarchy mismatch");
+            Runner::Ch(Phast::new(g.num_vertices()), ch)
+        }
+    };
+
+    // DP layers: cost and predecessor (previous-layer vertex) per member.
+    let mut layers: Vec<FxHashMap<VertexId, (Weight, VertexId)>> = Vec::new();
+    let mut frontier: Vec<(VertexId, Weight)> = vec![(source, 0)];
+
+    for &c in categories {
+        runner.sweep(&frontier);
+        stats.searches += 1;
+        let mut layer = FxHashMap::default();
+        for &m in g.categories().vertices_of(c) {
+            let (d, origin) = runner.read(m);
+            if is_finite(d) {
+                layer.insert(m, (d, origin.expect("finite distance has an origin")));
+            }
+        }
+        if layer.is_empty() {
+            stats.total = t0.elapsed();
+            return (None, stats); // no member of c is reachable
+        }
+        frontier = layer.iter().map(|(&m, &(d, _))| (m, d)).collect();
+        // Deterministic seed order (hash maps iterate arbitrarily).
+        frontier.sort_unstable();
+        layers.push(layer);
+    }
+
+    // Final transition into the destination.
+    runner.sweep(&frontier);
+    stats.searches += 1;
+    let (total_cost, origin) = runner.read(target);
+    if !is_finite(total_cost) {
+        stats.total = t0.elapsed();
+        return (None, stats);
+    }
+
+    // Witness reconstruction: walk the per-layer predecessors backwards.
+    let mut rev = vec![target];
+    let mut cur = origin.expect("finite distance has an origin");
+    for layer in layers.iter().rev() {
+        rev.push(cur);
+        cur = layer[&cur].1;
+    }
+    rev.push(source);
+    rev.reverse();
+    stats.total = t0.elapsed();
+    (
+        Some(Witness {
+            vertices: rev,
+            cost: total_cost,
+        }),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// 0 →(1) 1[A] →(1) 2[B] →(1) 3 ; 0 →(5) 4[A] →(1) 3 (B unreachable via 4)
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(v(0), v(1), 1);
+        b.add_edge(v(1), v(2), 1);
+        b.add_edge(v(2), v(3), 1);
+        b.add_edge(v(0), v(4), 5);
+        b.add_edge(v(4), v(3), 1);
+        let a = b.categories_mut().add_category("A");
+        let bb = b.categories_mut().add_category("B");
+        b.categories_mut().insert(v(1), a);
+        b.categories_mut().insert(v(4), a);
+        b.categories_mut().insert(v(2), bb);
+        b.build()
+    }
+
+    #[test]
+    fn finds_optimal_witness() {
+        let g = tiny();
+        let (w, stats) = gsp(&g, v(0), v(3), &[CategoryId(0), CategoryId(1)], &GspEngine::Dijkstra);
+        let w = w.unwrap();
+        assert_eq!(w.cost, 3);
+        assert_eq!(w.vertices, vec![v(0), v(1), v(2), v(3)]);
+        assert_eq!(stats.searches, 3);
+    }
+
+    #[test]
+    fn ch_engine_agrees() {
+        let g = tiny();
+        let ch = kosr_ch::build(&g);
+        let (a, _) = gsp(&g, v(0), v(3), &[CategoryId(0), CategoryId(1)], &GspEngine::Dijkstra);
+        let (b, _) = gsp(&g, v(0), v(3), &[CategoryId(0), CategoryId(1)], &GspEngine::Ch(&ch));
+        assert_eq!(a.unwrap().cost, b.unwrap().cost);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let g = tiny();
+        // Reverse direction: nothing reaches 0.
+        let (w, _) = gsp(&g, v(3), v(0), &[CategoryId(0)], &GspEngine::Dijkstra);
+        assert!(w.is_none());
+    }
+
+    #[test]
+    fn empty_category_sequence_is_shortest_path() {
+        let g = tiny();
+        let (w, stats) = gsp(&g, v(0), v(3), &[], &GspEngine::Dijkstra);
+        let w = w.unwrap();
+        assert_eq!(w.cost, 3);
+        assert_eq!(w.vertices, vec![v(0), v(3)]);
+        assert_eq!(stats.searches, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! **KPNE** — the baseline: PNE (progressive neighbor exploration, Algorithm
+//! 1 of the paper, originally [32]) extended to top-k by collecting complete
+//! routes instead of returning the first one (§III-B).
+//!
+//! The priority queue holds partially explored witnesses ordered by real
+//! cost. Examining `⟨v0, …, vq⟩` (created as the `x`-th-NN extension of its
+//! parent) spawns at most two candidates:
+//!
+//! * **extend** — append `vq`'s *nearest* neighbor in the next category, and
+//! * **sibling** — re-extend the parent through its `(x+1)`-th nearest
+//!   neighbor in the current category.
+//!
+//! This lazy enumeration reaches every witness exactly once, so popping in
+//! cost order emits the top-k optimal sequenced routes — at the price of
+//! examining *every* witness cheaper than the k-th optimum, which is the
+//! exponential blow-up PruningKOSR and StarKOSR attack.
+
+use std::cmp::Reverse;
+use std::time::Instant;
+
+use kosr_graph::Weight;
+use kosr_index::{NearestNeighbors, TargetDistance};
+
+use crate::arena::{NodeId, RouteArena};
+use crate::engine::{neighbor, TimedHeap, TimedNn, TimedTarget};
+use crate::types::{KosrOutcome, Query, QueryStats, Witness};
+
+/// Queue entry: `(cost, node, level, x, last_leg)`, min-ordered by
+/// `(cost, node)` for determinism. `level` is the number of categories
+/// visited (0 = source only); `x` records which NN index produced the tail.
+type Entry = Reverse<(Weight, NodeId, u16, u32, Weight)>;
+
+/// Answers `query` with the KPNE baseline over the given providers.
+pub fn kpne<N, T>(query: &Query, nn: N, target: T) -> KosrOutcome
+where
+    N: NearestNeighbors,
+    T: TargetDistance,
+{
+    kpne_bounded(query, nn, target, u64::MAX)
+}
+
+/// [`kpne`] with an examined-routes budget: the search aborts (with
+/// `stats.truncated = true`) once `limit` routes were extracted — the
+/// harness's analogue of the paper's 3,600-second INF cutoff.
+pub fn kpne_bounded<N, T>(query: &Query, nn: N, target: T, limit: u64) -> KosrOutcome
+where
+    N: NearestNeighbors,
+    T: TargetDistance,
+{
+    debug_assert_eq!(target.target(), query.target);
+    let t0 = Instant::now();
+    let mut nn = TimedNn::new(nn);
+    let mut target = TimedTarget::new(target);
+    let nn_base = nn.queries();
+
+    let mut arena = RouteArena::new();
+    let mut heap: TimedHeap<Entry> = TimedHeap::new();
+    let mut stats = QueryStats {
+        examined_per_level: vec![0; query.witness_len()],
+        ..QueryStats::default()
+    };
+    let final_level = (query.categories.len() + 1) as u16;
+
+    let root = arena.root(query.source);
+    heap.push(Reverse((0, root, 0, 1, 0)));
+
+    let mut witnesses: Vec<Witness> = Vec::with_capacity(query.k);
+    while let Some(Reverse((cost, node, level, x, last_leg))) = heap.pop() {
+        stats.examined_routes += 1;
+        stats.examined_per_level[level as usize] += 1;
+        if stats.examined_routes > limit {
+            stats.truncated = true;
+            break;
+        }
+
+        if level == final_level {
+            witnesses.push(Witness {
+                vertices: arena.materialize(node),
+                cost,
+            });
+            if witnesses.len() == query.k {
+                break;
+            }
+            continue; // the dummy category has no further siblings
+        }
+
+        // Extend through the nearest neighbor of the next category.
+        let tail = arena.vertex(node);
+        if let Some((u, d)) = neighbor(&mut nn, &mut target, query, tail, level as usize + 1, 1) {
+            let child = arena.extend(node, u);
+            heap.push(Reverse((cost + d, child, level + 1, 1, d)));
+        }
+
+        // Sibling: parent's (x+1)-th nearest neighbor in this category.
+        if level > 0 {
+            let parent = arena.parent(node).expect("level > 0 implies a parent");
+            let pv = arena.vertex(parent);
+            if let Some((u, d)) =
+                neighbor(&mut nn, &mut target, query, pv, level as usize, x as usize + 1)
+            {
+                let parent_cost = cost - last_leg;
+                let child = arena.extend(parent, u);
+                heap.push(Reverse((parent_cost + d, child, level, x + 1, d)));
+            }
+        }
+    }
+
+    stats.nn_queries = nn.queries() - nn_base;
+    stats.heap_peak = heap.peak;
+    stats.time.nn =
+        std::time::Duration::from_nanos(nn.nanos) + std::time::Duration::from_nanos(target.nanos);
+    stats.time.queue = std::time::Duration::from_nanos(heap.nanos);
+    stats.time.total = t0.elapsed();
+    stats.time.finalize();
+    KosrOutcome { witnesses, stats }
+}
+
+/// **PNE**: the original optimal-sequenced-route algorithm — KPNE with
+/// `k = 1` (§III-B). Returns the optimal witness, if a feasible route
+/// exists.
+pub fn pne<N, T>(query: &Query, nn: N, target: T) -> (Option<Witness>, QueryStats)
+where
+    N: NearestNeighbors,
+    T: TargetDistance,
+{
+    let q1 = Query {
+        k: 1,
+        ..query.clone()
+    };
+    let mut out = kpne(&q1, nn, target);
+    (out.witnesses.pop(), out.stats)
+}

@@ -1,0 +1,233 @@
+//! High-level runner: bundles a graph with its indexes and dispatches the
+//! seven KOSR methods of the paper's evaluation (§V-A "Methods") by name.
+
+use std::io;
+use std::path::Path;
+
+use kosr_graph::{CategoryId, Graph};
+use kosr_hoplabel::{BuildStats, HopLabels, HubOrder, LabelSet};
+use kosr_index::disk::DiskIndex;
+use kosr_index::{
+    CategoryIndexSet, DijkstraNn, DijkstraTarget, InvertedStats, LabelNn, LabelTarget,
+};
+
+use crate::kpne::kpne;
+use crate::pruning::pruning_kosr;
+use crate::star::star_kosr;
+use crate::types::{KosrOutcome, Query};
+
+/// The KOSR methods evaluated in the paper (Figure 3's legend).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Baseline KPNE with the inverted-label `FindNN`.
+    Kpne,
+    /// Baseline KPNE with Dijkstra NN searches.
+    KpneDij,
+    /// PruningKOSR (PK) with `FindNN`.
+    Pk,
+    /// PruningKOSR with Dijkstra NN searches.
+    PkDij,
+    /// StarKOSR (SK) with `FindNN` + label estimation.
+    Sk,
+    /// StarKOSR with Dijkstra NN searches + Dijkstra estimation.
+    SkDij,
+}
+
+impl Method {
+    /// All in-memory methods, in the paper's legend order.
+    pub const ALL: [Method; 6] = [
+        Method::KpneDij,
+        Method::PkDij,
+        Method::SkDij,
+        Method::Kpne,
+        Method::Pk,
+        Method::Sk,
+    ];
+
+    /// The paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Kpne => "KPNE",
+            Method::KpneDij => "KPNE-Dij",
+            Method::Pk => "PK",
+            Method::PkDij => "PK-Dij",
+            Method::Sk => "SK",
+            Method::SkDij => "SK-Dij",
+        }
+    }
+
+    /// `true` for the methods that need the label/inverted indexes.
+    pub fn needs_index(&self) -> bool {
+        matches!(self, Method::Kpne | Method::Pk | Method::Sk)
+    }
+}
+
+/// A graph bundled with its 2-hop labels and inverted label indexes —
+/// everything the in-memory methods need.
+pub struct IndexedGraph {
+    /// The underlying graph.
+    pub graph: Graph,
+    /// The 2-hop label index.
+    pub labels: HopLabels,
+    /// Per-category inverted label indexes.
+    pub inverted: CategoryIndexSet,
+    /// Label preprocessing statistics (Table IX, top half).
+    pub label_stats: BuildStats,
+    /// Inverted-index preprocessing statistics (Table IX, bottom half).
+    pub inverted_stats: InvertedStats,
+}
+
+impl IndexedGraph {
+    /// Builds both indexes with the given hub order.
+    pub fn build(graph: Graph, order: &HubOrder) -> IndexedGraph {
+        let (labels, label_stats) = kosr_hoplabel::build_with_stats(&graph, order);
+        let (inverted, inverted_stats) =
+            CategoryIndexSet::build_with_stats(&labels, graph.categories());
+        IndexedGraph {
+            graph,
+            labels,
+            inverted,
+            label_stats,
+            inverted_stats,
+        }
+    }
+
+    /// Builds with the recommended ordering: contraction-hierarchy rank.
+    pub fn build_default(graph: Graph) -> IndexedGraph {
+        let ch = kosr_ch::build(&graph);
+        Self::build(graph, &HubOrder::from_ch(&ch))
+    }
+
+    /// Answers `query` with `method`. Providers are constructed fresh per
+    /// call, matching the paper's independent-query measurement protocol.
+    pub fn run(&self, query: &Query, method: Method) -> KosrOutcome {
+        match method {
+            Method::Kpne => kpne(
+                query,
+                LabelNn::new(&self.labels, &self.inverted),
+                LabelTarget::new(&self.labels, query.target),
+            ),
+            Method::Pk => pruning_kosr(
+                query,
+                LabelNn::new(&self.labels, &self.inverted),
+                LabelTarget::new(&self.labels, query.target),
+            ),
+            Method::Sk => star_kosr(
+                query,
+                LabelNn::new(&self.labels, &self.inverted),
+                LabelTarget::new(&self.labels, query.target),
+            ),
+            Method::KpneDij => kpne(
+                query,
+                DijkstraNn::new(&self.graph),
+                DijkstraTarget::new(&self.graph, query.target),
+            ),
+            Method::PkDij => pruning_kosr(
+                query,
+                DijkstraNn::new(&self.graph),
+                DijkstraTarget::new(&self.graph, query.target),
+            ),
+            Method::SkDij => star_kosr(
+                query,
+                DijkstraNn::new(&self.graph),
+                DijkstraTarget::new(&self.graph, query.target),
+            ),
+        }
+    }
+
+    /// Writes the SK-DB on-disk index for this graph.
+    pub fn write_disk_index(&self, path: &Path) -> io::Result<()> {
+        kosr_index::disk::create(path, &self.labels, self.graph.categories())
+    }
+}
+
+/// Answers `query` with **SK-DB**: StarKOSR over label indexes resident on
+/// disk (§IV-C). Per the paper, each query pays `|C| + 4` seeks to load the
+/// category segments it needs plus `Lout(s)`/`Lin(t)`, and that load +
+/// initialization time is part of the measured query time.
+pub fn run_sk_db(disk: &DiskIndex, query: &Query) -> io::Result<KosrOutcome> {
+    let t0 = std::time::Instant::now();
+    let n = disk.num_vertices();
+
+    // Assemble a query-local mini index holding exactly the loaded parts.
+    let mut labels = HopLabels::empty(n);
+    *labels.lout_mut(query.source) = disk.load_lout(query.source)?;
+    *labels.lin_mut(query.target) = disk.load_lin(query.target)?;
+    // The paper also locates the source's and destination's own categories
+    // (2 more seeks); loading Lin(s)/Lout(t) keeps self-distances exact.
+    *labels.lin_mut(query.source) = disk.load_lin(query.source)?;
+    *labels.lout_mut(query.target) = disk.load_lout(query.target)?;
+
+    let mut distinct: Vec<CategoryId> = query.categories.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let max_cat = distinct.iter().map(|c| c.index() + 1).max().unwrap_or(0);
+    let mut indexes: Vec<kosr_index::InvertedLabelIndex> = Vec::new();
+    indexes.resize_with(max_cat, Default::default);
+    for &c in &distinct {
+        let segment = disk.load_category(c)?;
+        for (v, lout) in segment.louts {
+            let slot: &mut LabelSet = labels.lout_mut(v);
+            if slot.is_empty() {
+                *slot = lout;
+            }
+        }
+        indexes[c.index()] = segment.inverted;
+    }
+    let inverted = CategoryIndexSet::from_indexes(indexes);
+
+    let mut out = star_kosr(
+        query,
+        LabelNn::new(&labels, &inverted),
+        LabelTarget::new(&labels, query.target),
+    );
+    // Fold the load time into the reported total (the paper's SK-DB cost).
+    out.stats.time.total = t0.elapsed();
+    out.stats.time.finalize();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1;
+    use kosr_graph::Weight;
+
+    #[test]
+    fn all_methods_agree_on_figure1() {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let expect: Vec<Weight> = vec![20, 21, 22];
+        for m in Method::ALL {
+            let out = ig.run(&q, m);
+            assert_eq!(out.costs(), expect, "method {}", m.name());
+        }
+    }
+
+    #[test]
+    fn sk_db_agrees_and_counts_seeks() {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let dir = std::env::temp_dir().join(format!("kosr_skdb_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.idx");
+        ig.write_disk_index(&path).unwrap();
+
+        let disk = DiskIndex::open(&path).unwrap();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let out = run_sk_db(&disk, &q).unwrap();
+        assert_eq!(out.costs(), vec![20, 21, 22]);
+        // |C| + 4 seeks, exactly as §IV-C promises.
+        assert_eq!(disk.seek_count(), (q.categories.len() + 4) as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(Method::Sk.name(), "SK");
+        assert!(Method::Sk.needs_index());
+        assert!(!Method::SkDij.needs_index());
+        assert_eq!(Method::ALL.len(), 6);
+    }
+}

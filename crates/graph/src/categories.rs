@@ -1,0 +1,245 @@
+//! The category function `F : V → 2^S` of Definition 1, stored in both
+//! directions: per-vertex category sets and per-category vertex sets
+//! (`V_{Ci}`, Definition 3).
+//!
+//! Updates (adding/removing a category of a vertex) follow the paper's
+//! "handling dynamic updates" extension (§IV-C); downstream indexes such as
+//! the inverted label index subscribe to the same operations.
+
+use crate::{CategoryId, VertexId};
+
+/// Bidirectional vertex ↔ category membership table.
+///
+/// The paper's `F(v)` is [`CategoryTable::categories_of`], and `V_{Ci}` is
+/// [`CategoryTable::vertices_of`]. Membership is a set: inserting a duplicate
+/// pair is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct CategoryTable {
+    /// `F(v)`: categories of each vertex, sorted ascending.
+    per_vertex: Vec<Vec<CategoryId>>,
+    /// `V_{Ci}`: vertices of each category, sorted ascending.
+    per_category: Vec<Vec<VertexId>>,
+    /// Optional human-readable names, indexed by category.
+    names: Vec<String>,
+}
+
+impl CategoryTable {
+    /// Creates an empty table for `num_vertices` vertices and no categories.
+    pub fn new(num_vertices: usize) -> Self {
+        CategoryTable {
+            per_vertex: vec![Vec::new(); num_vertices],
+            per_category: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Number of vertices the table covers.
+    pub fn num_vertices(&self) -> usize {
+        self.per_vertex.len()
+    }
+
+    /// Number of known categories (`|S|`).
+    pub fn num_categories(&self) -> usize {
+        self.per_category.len()
+    }
+
+    /// Registers a new category with the given display name and returns its id.
+    pub fn add_category(&mut self, name: impl Into<String>) -> CategoryId {
+        let id = CategoryId(self.per_category.len() as u32);
+        self.per_category.push(Vec::new());
+        self.names.push(name.into());
+        id
+    }
+
+    /// Ensures at least `n` categories exist, creating anonymous ones
+    /// (named `"C<i>"`) as needed.
+    pub fn ensure_categories(&mut self, n: usize) {
+        while self.per_category.len() < n {
+            let next = self.per_category.len();
+            self.add_category(format!("C{next}"));
+        }
+    }
+
+    /// The display name of a category.
+    pub fn name(&self, c: CategoryId) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// Replaces the display name of a category.
+    pub fn rename(&mut self, c: CategoryId, name: impl Into<String>) {
+        self.names[c.index()] = name.into();
+    }
+
+    /// Looks a category up by display name.
+    pub fn category_by_name(&self, name: &str) -> Option<CategoryId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| CategoryId(i as u32))
+    }
+
+    /// Adds `v` to category `c` (the paper's *category insert* update).
+    /// Returns `true` if the membership was newly created.
+    ///
+    /// # Panics
+    /// Panics if `v` or `c` is out of range.
+    pub fn insert(&mut self, v: VertexId, c: CategoryId) -> bool {
+        let cats = &mut self.per_vertex[v.index()];
+        match cats.binary_search(&c) {
+            Ok(_) => false,
+            Err(pos) => {
+                cats.insert(pos, c);
+                let verts = &mut self.per_category[c.index()];
+                match verts.binary_search(&v) {
+                    Ok(_) => unreachable!("membership tables out of sync"),
+                    Err(vpos) => verts.insert(vpos, v),
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes `v` from category `c` (the paper's *category remove* update).
+    /// Returns `true` if the membership existed.
+    pub fn remove(&mut self, v: VertexId, c: CategoryId) -> bool {
+        let cats = &mut self.per_vertex[v.index()];
+        match cats.binary_search(&c) {
+            Ok(pos) => {
+                cats.remove(pos);
+                let verts = &mut self.per_category[c.index()];
+                let vpos = verts
+                    .binary_search(&v)
+                    .expect("membership tables out of sync");
+                verts.remove(vpos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// `F(v)`: the (sorted) categories of vertex `v`.
+    #[inline]
+    pub fn categories_of(&self, v: VertexId) -> &[CategoryId] {
+        &self.per_vertex[v.index()]
+    }
+
+    /// `V_{Ci}`: the (sorted) vertices of category `c`.
+    #[inline]
+    pub fn vertices_of(&self, c: CategoryId) -> &[VertexId] {
+        &self.per_category[c.index()]
+    }
+
+    /// `|Ci|`: the size of a category's vertex set.
+    #[inline]
+    pub fn category_size(&self, c: CategoryId) -> usize {
+        self.per_category[c.index()].len()
+    }
+
+    /// `true` iff `Ci ∈ F(v)`.
+    #[inline]
+    pub fn has_category(&self, v: VertexId, c: CategoryId) -> bool {
+        self.per_vertex[v.index()].binary_search(&c).is_ok()
+    }
+
+    /// Iterates all `(vertex, category)` membership pairs.
+    pub fn memberships(&self) -> impl Iterator<Item = (VertexId, CategoryId)> + '_ {
+        self.per_vertex.iter().enumerate().flat_map(|(v, cats)| {
+            cats.iter()
+                .map(move |&c| (VertexId(v as u32), c))
+        })
+    }
+
+    /// Total number of `(vertex, category)` memberships.
+    pub fn num_memberships(&self) -> usize {
+        self.per_vertex.iter().map(Vec::len).sum()
+    }
+
+    /// Grows the table to cover `n` vertices (no-op if already larger).
+    pub fn resize_vertices(&mut self, n: usize) {
+        if n > self.per_vertex.len() {
+            self.per_vertex.resize(n, Vec::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut t = CategoryTable::new(5);
+        let ma = t.add_category("MA");
+        let re = t.add_category("RE");
+        assert!(t.insert(v(0), ma));
+        assert!(t.insert(v(2), ma));
+        assert!(t.insert(v(1), re));
+        assert!(!t.insert(v(0), ma), "duplicate insert is a no-op");
+
+        assert_eq!(t.vertices_of(ma), &[v(0), v(2)]);
+        assert_eq!(t.categories_of(v(0)), &[ma]);
+        assert!(t.has_category(v(2), ma));
+        assert!(!t.has_category(v(2), re));
+        assert_eq!(t.category_size(ma), 2);
+        assert_eq!(t.num_memberships(), 3);
+    }
+
+    #[test]
+    fn multi_category_vertex_stays_sorted() {
+        let mut t = CategoryTable::new(3);
+        let a = t.add_category("A");
+        let b = t.add_category("B");
+        let c = t.add_category("C");
+        t.insert(v(1), c);
+        t.insert(v(1), a);
+        t.insert(v(1), b);
+        assert_eq!(t.categories_of(v(1)), &[a, b, c]);
+    }
+
+    #[test]
+    fn remove_membership() {
+        let mut t = CategoryTable::new(4);
+        let a = t.add_category("A");
+        t.insert(v(3), a);
+        t.insert(v(1), a);
+        assert!(t.remove(v(3), a));
+        assert!(!t.remove(v(3), a), "double remove reports absence");
+        assert_eq!(t.vertices_of(a), &[v(1)]);
+        assert!(t.categories_of(v(3)).is_empty());
+    }
+
+    #[test]
+    fn name_lookup() {
+        let mut t = CategoryTable::new(1);
+        let ma = t.add_category("MA");
+        assert_eq!(t.name(ma), "MA");
+        assert_eq!(t.category_by_name("MA"), Some(ma));
+        assert_eq!(t.category_by_name("nope"), None);
+    }
+
+    #[test]
+    fn ensure_categories_creates_anonymous_names() {
+        let mut t = CategoryTable::new(1);
+        t.ensure_categories(3);
+        assert_eq!(t.num_categories(), 3);
+        assert_eq!(t.name(CategoryId(2)), "C2");
+        t.ensure_categories(2); // shrink request is a no-op
+        assert_eq!(t.num_categories(), 3);
+    }
+
+    #[test]
+    fn memberships_iterates_all_pairs() {
+        let mut t = CategoryTable::new(3);
+        let a = t.add_category("A");
+        let b = t.add_category("B");
+        t.insert(v(0), a);
+        t.insert(v(2), b);
+        t.insert(v(2), a);
+        let pairs: Vec<_> = t.memberships().collect();
+        assert_eq!(pairs, vec![(v(0), a), (v(2), a), (v(2), b)]);
+    }
+}

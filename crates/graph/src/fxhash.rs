@@ -1,0 +1,130 @@
+//! A small, fast, non-cryptographic hasher for integer-keyed maps.
+//!
+//! The hot paths of the KOSR algorithms hash `(VertexId, len)` pairs millions
+//! of times per query. `SipHash` (std's default) is measurably slower for
+//! such short integer keys; the classic `FxHash` multiply-xor scheme used by
+//! rustc is a drop-in replacement. External fast-hash crates are outside the
+//! allowed dependency set, so the ~40 lines live here.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Multiply-xor hasher (the `FxHash` algorithm from the Firefox/rustc
+/// codebases). Low quality but extremely fast for short integer keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), i as u64 * 3);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i * 2)), Some(&(i as u64 * 3)));
+        }
+        assert_eq!(m.get(&(5, 11)), None);
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_stream_matches_padding_semantics() {
+        // Hashing a short byte slice must be deterministic and distinct from
+        // a different slice of the same length.
+        let h = |b: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(b);
+            hasher.finish()
+        };
+        assert_eq!(h(b"abc"), h(b"abc"));
+        assert_ne!(h(b"abc"), h(b"abd"));
+        assert_ne!(h(b"abcdefgh1"), h(b"abcdefgh2"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # kosr-graph
+//!
+//! Graph substrate for the KOSR workspace: the directed weighted,
+//! vertex-categorised graph `G(V, E, F, W)` of *Finding Top-k Optimal
+//! Sequenced Routes* (Liu et al., ICDE 2018), Definition 1.
+//!
+//! * [`Graph`] / [`GraphBuilder`] — immutable CSR adjacency (forward **and**
+//!   backward) with minimum-weight parallel-edge collapsing.
+//! * [`CategoryTable`] — the category function `F : V → 2^S` and the
+//!   per-category vertex sets `V_{Ci}`, with the dynamic updates of §IV-C.
+//! * [`io`] — native text format and DIMACS `.gr` parsing.
+//! * [`fxhash`] — fast integer hashing used by every hot map in the
+//!   workspace.
+//!
+//! Edge weights are arbitrary non-negative integers; nothing here (or
+//! anywhere else in the workspace) assumes the triangle inequality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod categories;
+mod csr;
+pub mod fxhash;
+pub mod io;
+pub mod scc;
+mod types;
+
+pub use categories::CategoryTable;
+pub use csr::{EdgeIter, Graph, GraphBuilder};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use scc::{strongly_connected_components, SccDecomposition};
+pub use types::{inf_add, is_finite, CategoryId, VertexId, Weight, INFINITY};

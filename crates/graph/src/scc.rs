@@ -1,0 +1,236 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Used by the workload generators and tests to validate that query
+//! endpoints live in one strongly connected region — the paper samples
+//! source/destination pairs uniformly, which only measures route-finding
+//! work when the pair is actually connected.
+
+use crate::{Graph, VertexId};
+
+/// The strongly-connected-component decomposition of a graph.
+#[derive(Clone, Debug)]
+pub struct SccDecomposition {
+    /// Component id per vertex (dense, `0..num_components`).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+impl SccDecomposition {
+    /// `true` iff `a` and `b` are mutually reachable.
+    pub fn same_component(&self, a: VertexId, b: VertexId) -> bool {
+        self.component[a.index()] == self.component[b.index()]
+    }
+
+    /// Size of each component, indexed by component id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The id and size of the largest component.
+    pub fn largest(&self) -> (u32, usize) {
+        self.component_sizes()
+            .into_iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .map(|(i, s)| (i as u32, s))
+            .unwrap_or((0, 0))
+    }
+}
+
+/// Computes the SCCs of `g` with an iterative Tarjan traversal
+/// (explicit stack — safe on deep graphs).
+pub fn strongly_connected_components(g: &Graph) -> SccDecomposition {
+    let n = g.num_vertices();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut component = vec![UNSET; n];
+    let mut next_index = 0u32;
+    let mut num_components = 0u32;
+
+    // Explicit DFS frames: (vertex, next out-edge position).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut edge_pos)) = frames.last_mut() {
+            let out: Vec<VertexId> = g.out_edges(VertexId(v)).map(|(u, _)| u).collect();
+            if (*edge_pos as usize) < out.len() {
+                let u = out[*edge_pos as usize].0;
+                *edge_pos += 1;
+                if index[u as usize] == UNSET {
+                    index[u as usize] = next_index;
+                    low[u as usize] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u as usize] = true;
+                    frames.push((u, 0));
+                } else if on_stack[u as usize] {
+                    low[v as usize] = low[v as usize].min(index[u as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    // v roots a component: pop the stack down to v.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = num_components;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    SccDecomposition {
+        component,
+        num_components: num_components as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // cycle {0,1,2} -> bridge -> cycle {3,4}
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(v(0), v(1), 1);
+        b.add_edge(v(1), v(2), 1);
+        b.add_edge(v(2), v(0), 1);
+        b.add_edge(v(2), v(3), 1);
+        b.add_edge(v(3), v(4), 1);
+        b.add_edge(v(4), v(3), 1);
+        let g = b.build();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 2);
+        assert!(scc.same_component(v(0), v(2)));
+        assert!(scc.same_component(v(3), v(4)));
+        assert!(!scc.same_component(v(0), v(3)));
+        let mut sizes = scc.component_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+        assert_eq!(scc.largest().1, 3);
+    }
+
+    #[test]
+    fn dag_is_all_singletons() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1), 1);
+        b.add_edge(v(1), v(2), 1);
+        b.add_edge(v(0), v(3), 1);
+        let g = b.build();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 4);
+    }
+
+    #[test]
+    fn full_cycle_is_one_component() {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..6u32 {
+            b.add_edge(v(i), v((i + 1) % 6), 1);
+        }
+        let g = b.build();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 1);
+        assert_eq!(scc.largest().1, 6);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(strongly_connected_components(&g).num_components, 0);
+        let g = GraphBuilder::new(3).build();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 3);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 60k-vertex path: a recursive Tarjan would blow the stack.
+        let n = 60_000u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_edge(v(i), v(i + 1), 1);
+        }
+        let g = b.build();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, n as usize);
+    }
+
+    /// Ground-truth cross-check on random graphs: mutual reachability
+    /// (computed by forward+backward BFS) must match component equality.
+    #[test]
+    fn matches_mutual_reachability() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let n = 20usize;
+            let mut b = GraphBuilder::new(n);
+            for _ in 0..40 {
+                let x = rng.gen_range(0..n as u32);
+                let y = rng.gen_range(0..n as u32);
+                if x != y {
+                    b.add_edge(v(x), v(y), 1);
+                }
+            }
+            let g = b.build();
+            let scc = strongly_connected_components(&g);
+            let reach = |from: VertexId| -> Vec<bool> {
+                let mut seen = vec![false; n];
+                let mut stack = vec![from];
+                seen[from.index()] = true;
+                while let Some(u) = stack.pop() {
+                    for (w, _) in g.out_edges(u) {
+                        if !seen[w.index()] {
+                            seen[w.index()] = true;
+                            stack.push(w);
+                        }
+                    }
+                }
+                seen
+            };
+            let reachable: Vec<Vec<bool>> = (0..n as u32).map(|i| reach(v(i))).collect();
+            #[allow(clippy::needless_range_loop)] // a/c index two parallel tables
+            for a in 0..n {
+                for c in 0..n {
+                    let mutual = reachable[a][c] && reachable[c][a];
+                    assert_eq!(
+                        mutual,
+                        scc.same_component(v(a as u32), v(c as u32)),
+                        "a={a} c={c}"
+                    );
+                }
+            }
+        }
+    }
+}

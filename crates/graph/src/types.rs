@@ -1,0 +1,141 @@
+//! Fundamental scalar types shared by every crate in the workspace.
+//!
+//! Vertices and categories are compact `u32` newtypes (the performance guide's
+//! "smaller integers" advice): the hot search structures store millions of
+//! them, and half-width ids keep queue entries within two machine words.
+//! Accumulated path costs use `u64` so that summing `u32`-scale edge weights
+//! over long witnesses can never overflow.
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`Graph`](crate::Graph).
+///
+/// Vertices are dense indices `0..graph.num_vertices()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The vertex index as a `usize`, for slice indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline(always)]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    #[inline(always)]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize);
+        VertexId(v as u32)
+    }
+}
+
+/// Identifier of a point-of-interest category (e.g. *shopping mall*,
+/// *restaurant*). Categories are dense indices `0..num_categories`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CategoryId(pub u32);
+
+impl CategoryId {
+    /// The category index as a `usize`, for slice indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CategoryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for CategoryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for CategoryId {
+    #[inline(always)]
+    fn from(v: u32) -> Self {
+        CategoryId(v)
+    }
+}
+
+/// Additive travel cost. Edge weights are non-negative and need **not**
+/// satisfy the triangle inequality (Definition 1 of the paper).
+pub type Weight = u64;
+
+/// Sentinel for "unreachable". Chosen far below `u64::MAX` so that
+/// `INFINITY + w` for any realistic edge weight `w` cannot wrap around;
+/// saturating arithmetic is still used wherever sums of distances occur.
+pub const INFINITY: Weight = u64::MAX / 4;
+
+/// `true` iff `w` denotes a reachable (finite) distance.
+#[inline(always)]
+pub fn is_finite(w: Weight) -> bool {
+    w < INFINITY
+}
+
+/// Saturating distance addition that keeps [`INFINITY`] absorbing:
+/// `inf_add(INFINITY, x) >= INFINITY` for every `x`.
+#[inline(always)]
+pub fn inf_add(a: Weight, b: Weight) -> Weight {
+    a.saturating_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(42u32);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v:?}"), "v42");
+        assert_eq!(format!("{v}"), "42");
+        assert_eq!(VertexId::from(7usize), VertexId(7));
+    }
+
+    #[test]
+    fn category_id_roundtrip() {
+        let c = CategoryId::from(3u32);
+        assert_eq!(c.index(), 3);
+        assert_eq!(format!("{c:?}"), "C3");
+    }
+
+    #[test]
+    fn infinity_is_absorbing() {
+        assert!(!is_finite(INFINITY));
+        assert!(is_finite(0));
+        assert!(is_finite(INFINITY - 1));
+        assert!(inf_add(INFINITY, INFINITY) >= INFINITY);
+        assert!(inf_add(INFINITY, 123) >= INFINITY);
+        assert_eq!(inf_add(2, 3), 5);
+    }
+
+    #[test]
+    fn infinity_headroom_for_sums() {
+        // Adding a full edge weight to INFINITY must not wrap to a small value.
+        assert!(inf_add(INFINITY, u32::MAX as Weight) > INFINITY / 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the graph substrate: builder normalisation, CSR
+//! consistency, category-table invariants and I/O round-trips over
+//! arbitrary inputs.
+
+use kosr_graph::{io, CategoryId, Graph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
+    (2usize..30).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec(
+                (0u32..n as u32, 0u32..n as u32, 0u64..1000),
+                0..120,
+            ),
+        )
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, u64)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, w) in edges {
+        b.add_edge(VertexId(u), VertexId(v), w);
+    }
+    b.build()
+}
+
+proptest! {
+    /// Forward and backward CSR describe the same edge multiset, rows are
+    /// sorted, and `edge_weight` equals the minimum weight over duplicates.
+    #[test]
+    fn csr_forward_backward_consistency((n, edges) in arb_edges()) {
+        let g = build(n, &edges);
+        // Forward == transposed backward.
+        let mut fwd: Vec<(u32, u32, u64)> = Vec::new();
+        let mut bwd: Vec<(u32, u32, u64)> = Vec::new();
+        for v in g.vertices() {
+            let mut last = None;
+            for (u, w) in g.out_edges(v) {
+                prop_assert!(last.is_none_or(|p| p < u), "rows sorted, no dups");
+                last = Some(u);
+                fwd.push((v.0, u.0, w));
+            }
+            for (u, w) in g.in_edges(v) {
+                bwd.push((u.0, v.0, w));
+            }
+        }
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        prop_assert_eq!(fwd, bwd);
+
+        // edge_weight returns the min across parallel inputs; self loops gone.
+        for &(u, v, _) in &edges {
+            if u == v {
+                prop_assert!(!g.has_edge(VertexId(u), VertexId(v)));
+                continue;
+            }
+            let min = edges
+                .iter()
+                .filter(|&&(a, b, _)| a == u && b == v)
+                .map(|&(_, _, w)| w)
+                .min();
+            prop_assert_eq!(g.edge_weight(VertexId(u), VertexId(v)), min);
+        }
+    }
+
+    /// The native text format round-trips graphs with categories exactly.
+    #[test]
+    fn native_io_roundtrip((n, edges) in arb_edges(),
+                           memberships in proptest::collection::vec((0u32..30, 0u32..4), 0..40)) {
+        let mut b = GraphBuilder::new(n);
+        b.categories_mut().ensure_categories(4);
+        for &(u, v, w) in &edges {
+            b.add_edge(VertexId(u), VertexId(v), w);
+        }
+        for &(v, c) in &memberships {
+            b.categories_mut().insert(VertexId(v % n as u32), CategoryId(c));
+        }
+        let g = b.build();
+
+        let mut buf = Vec::new();
+        io::write_native(&g, &mut buf).unwrap();
+        let g2 = io::read_native(std::io::BufReader::new(&buf[..])).unwrap();
+
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.vertices() {
+            let a: Vec<_> = g.out_edges(v).collect();
+            let b: Vec<_> = g2.out_edges(v).collect();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(g.categories().categories_of(v), g2.categories().categories_of(v));
+        }
+    }
+
+    /// Category insert/remove sequences keep both directions of the
+    /// membership table consistent.
+    #[test]
+    fn category_table_bidirectional_consistency(
+        ops in proptest::collection::vec((0u32..20, 0u32..3, any::<bool>()), 0..60)
+    ) {
+        let mut t = kosr_graph::CategoryTable::new(20);
+        t.ensure_categories(3);
+        let mut model: std::collections::HashSet<(u32, u32)> = Default::default();
+        for (v, c, insert) in ops {
+            if insert {
+                t.insert(VertexId(v), CategoryId(c));
+                model.insert((v, c));
+            } else {
+                t.remove(VertexId(v), CategoryId(c));
+                model.remove(&(v, c));
+            }
+        }
+        prop_assert_eq!(t.num_memberships(), model.len());
+        for &(v, c) in &model {
+            prop_assert!(t.has_category(VertexId(v), CategoryId(c)));
+            prop_assert!(t.vertices_of(CategoryId(c)).contains(&VertexId(v)));
+        }
+        for v in 0..20u32 {
+            for c in 0..3u32 {
+                prop_assert_eq!(
+                    t.has_category(VertexId(v), CategoryId(c)),
+                    model.contains(&(v, c))
+                );
+            }
+        }
+    }
+
+    /// SCC components are consistent with `reversed()`: reversing edges
+    /// never changes the decomposition.
+    #[test]
+    fn scc_invariant_under_reversal((n, edges) in arb_edges()) {
+        let g = build(n, &edges);
+        let a = kosr_graph::strongly_connected_components(&g);
+        let b = kosr_graph::strongly_connected_components(&g.reversed());
+        prop_assert_eq!(a.num_components, b.num_components);
+        for x in 0..n as u32 {
+            for y in 0..n as u32 {
+                prop_assert_eq!(
+                    a.same_component(VertexId(x), VertexId(y)),
+                    b.same_component(VertexId(x), VertexId(y))
+                );
+            }
+        }
+    }
+}

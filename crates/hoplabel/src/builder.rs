@@ -1,0 +1,258 @@
+//! Pruned landmark labeling (Akiba, Iwata, Yoshida — SIGMOD 2013 [2]),
+//! generalised from BFS to Dijkstra for weighted directed graphs.
+//!
+//! For each hub `h` in importance order, a **forward** pruned Dijkstra adds
+//! `(h, dis(h,u))` to `Lin(u)` of every settled `u` — unless the labels
+//! committed so far already answer `dis(h,u)` at least as well, in which
+//! case `u` is *pruned* (its label is skipped and its out-edges are not
+//! relaxed). A symmetric **backward** search populates `Lout`. The classic
+//! induction shows the resulting labels satisfy the cover property for
+//! every pair, while staying far smaller than all-pairs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{inf_add, Graph, VertexId, Weight, INFINITY};
+use kosr_pathfinding::{Dir, TimestampedVec};
+
+use crate::label::HopLabels;
+use crate::order::HubOrder;
+
+/// Preprocessing statistics (feeds Table IX).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// Wall-clock preprocessing time.
+    pub build_time: std::time::Duration,
+    /// Vertices settled across all pruned searches (effort measure).
+    pub settled_total: usize,
+    /// Labels added (== total entries in the final index).
+    pub labels_added: usize,
+    /// Searches pruned at the settle step.
+    pub pruned_total: usize,
+}
+
+/// Builds a 2-hop label index for `g` using the given hub order.
+pub fn build(g: &Graph, order: &HubOrder) -> HopLabels {
+    build_with_stats(g, order).0
+}
+
+/// Builds the index and reports construction statistics.
+pub fn build_with_stats(g: &Graph, order: &HubOrder) -> (HopLabels, BuildStats) {
+    let start = std::time::Instant::now();
+    let n = g.num_vertices();
+    let hubs = order.materialize(g);
+    assert_eq!(hubs.len(), n, "hub order must cover every vertex");
+
+    let mut labels = HopLabels::empty(n);
+    let mut stats = BuildStats::default();
+
+    // O(1) pruning queries: the hub's own opposite-side label set is loaded
+    // into a dense timestamped array before each search.
+    let mut lookup: TimestampedVec<Weight> = TimestampedVec::new(n, INFINITY);
+    let mut dist: TimestampedVec<Weight> = TimestampedVec::new(n, INFINITY);
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+
+    for &h in &hubs {
+        // ---------- forward search: populates Lin ----------
+        // Pruning test for settled u: min over x ∈ Lout(h) ∩ Lin(u) of
+        // d(h,x)+d(x,u) ≤ d. Load Lout(h) once.
+        lookup.reset();
+        for (x, d) in labels.lout(h).iter() {
+            lookup.set(x.index(), d);
+        }
+        // h itself is implicitly in both sides with distance 0 only after
+        // this search runs; the lookup misses it, which is what makes the
+        // first settle (h at distance 0) unpruned.
+        dist.reset();
+        heap.clear();
+        dist.set(h.index(), 0);
+        heap.push(Reverse((0, h)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist.get(u.index()) {
+                continue;
+            }
+            stats.settled_total += 1;
+            // Pruning query via already-committed labels.
+            let mut covered = INFINITY;
+            for (x, dx) in labels.lin(u).iter() {
+                let via = inf_add(lookup.get(x.index()), dx);
+                if via < covered {
+                    covered = via;
+                }
+            }
+            if covered <= d {
+                stats.pruned_total += 1;
+                continue;
+            }
+            labels.lin_mut(u).push_unsorted(h, d);
+            stats.labels_added += 1;
+            for (w, wt) in Dir::Forward.edges(g, u) {
+                let nd = inf_add(d, wt);
+                if nd < dist.get(w.index()) {
+                    dist.set(w.index(), nd);
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+
+        // ---------- backward search: populates Lout ----------
+        lookup.reset();
+        for (x, d) in labels.lin(h).iter() {
+            lookup.set(x.index(), d);
+        }
+        dist.reset();
+        heap.clear();
+        dist.set(h.index(), 0);
+        heap.push(Reverse((0, h)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist.get(u.index()) {
+                continue;
+            }
+            stats.settled_total += 1;
+            let mut covered = INFINITY;
+            for (x, dx) in labels.lout(u).iter() {
+                let via = inf_add(dx, lookup.get(x.index()));
+                if via < covered {
+                    covered = via;
+                }
+            }
+            if covered <= d {
+                stats.pruned_total += 1;
+                continue;
+            }
+            labels.lout_mut(u).push_unsorted(h, d);
+            stats.labels_added += 1;
+            for (w, wt) in Dir::Backward.edges(g, u) {
+                let nd = inf_add(d, wt);
+                if nd < dist.get(w.index()) {
+                    dist.set(w.index(), nd);
+                    heap.push(Reverse((nd, w)));
+                }
+            }
+        }
+    }
+
+    // Entries were appended in hub-rank order; public queries merge-join on
+    // hub id, so sort each set once.
+    for v in 0..n {
+        labels.lin_mut(VertexId(v as u32)).sort_by_hub();
+        labels.lout_mut(VertexId(v as u32)).sort_by_hub();
+    }
+
+    stats.build_time = start.elapsed();
+    (labels, stats)
+}
+
+/// Exhaustively checks the cover property of `labels` against Dijkstra
+/// ground truth — O(|V|²) queries, for tests and small graphs only.
+pub fn verify_exact(g: &Graph, labels: &HopLabels) -> Result<(), String> {
+    let mut d = kosr_pathfinding::Dijkstra::new(g.num_vertices());
+    for s in g.vertices() {
+        d.one_to_all(g, Dir::Forward, s);
+        for t in g.vertices() {
+            let want = d.distance(t);
+            let got = labels.distance(s, t);
+            if want != got {
+                return Err(format!(
+                    "dis({s:?},{t:?}): labels say {got}, dijkstra says {want}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn random_digraph(n: u32, m: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n as usize);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n);
+            let w = rng.gen_range(0..n);
+            if u != w {
+                b.add_edge(v(u), v(w), rng.gen_range(1..50));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn exact_on_random_digraphs_degree_order() {
+        for seed in 0..6 {
+            let g = random_digraph(40, 140, seed);
+            let labels = build(&g, &HubOrder::Degree);
+            verify_exact(&g, &labels).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn exact_on_sparse_disconnected_graph() {
+        let g = random_digraph(40, 30, 3);
+        let labels = build(&g, &HubOrder::Degree);
+        verify_exact(&g, &labels).unwrap();
+    }
+
+    #[test]
+    fn exact_on_undirected_grid() {
+        let mut b = GraphBuilder::new(16);
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                let id = r * 4 + c;
+                if c + 1 < 4 {
+                    b.add_undirected_edge(v(id), v(id + 1), (id % 5 + 1) as Weight);
+                }
+                if r + 1 < 4 {
+                    b.add_undirected_edge(v(id), v(id + 4), (id % 3 + 1) as Weight);
+                }
+            }
+        }
+        let g = b.build();
+        let labels = build(&g, &HubOrder::Degree);
+        verify_exact(&g, &labels).unwrap();
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let g = random_digraph(20, 60, 8);
+        let labels = build(&g, &HubOrder::Degree);
+        for s in g.vertices() {
+            assert_eq!(labels.distance(s, s), 0);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = random_digraph(30, 100, 5);
+        let (labels, stats) = build_with_stats(&g, &HubOrder::Degree);
+        assert_eq!(stats.labels_added, labels.num_entries());
+        assert!(stats.settled_total >= stats.labels_added);
+        assert!(stats.build_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn pruning_makes_labels_smaller_than_all_pairs() {
+        let g = random_digraph(40, 200, 17);
+        let labels = build(&g, &HubOrder::Degree);
+        // All-pairs would be up to 2*n^2 entries; pruning must beat half that.
+        assert!(labels.num_entries() < 40 * 40);
+    }
+
+    #[test]
+    fn custom_order_still_exact() {
+        let g = random_digraph(25, 90, 4);
+        // Worst-case order (identity) is slower/bigger but must stay exact.
+        let order = HubOrder::Custom((0..25u32).map(v).collect());
+        let labels = build(&g, &order);
+        verify_exact(&g, &labels).unwrap();
+    }
+}

@@ -1,0 +1,194 @@
+//! Binary serialization of hop-label indexes.
+//!
+//! The format is deliberately simple and versioned: it backs both offline
+//! persistence (`Table IX` preprocessing is paid once) and the per-category
+//! disk-resident layout used by the SK-DB method (§IV-C, "disk-based query
+//! answering").
+//!
+//! Layout (little endian):
+//! ```text
+//! magic  : 8 bytes  = b"KOSRHL1\0"
+//! n      : u32      vertex count
+//! 2n sets: u32 len, then len × (u32 hub, u64 dist)   -- Lin(0), Lout(0), Lin(1), …
+//! ```
+
+use bytes::{Buf, BufMut};
+use kosr_graph::{VertexId, Weight};
+
+use crate::label::{HopLabels, LabelSet};
+
+const MAGIC: &[u8; 8] = b"KOSRHL1\0";
+
+/// Errors produced while decoding a label index.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The magic header is absent or wrong.
+    BadMagic,
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// Trailing bytes after the declared contents.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad magic header"),
+            CodecError::Truncated => write!(f, "buffer truncated"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends one label set to `buf`.
+pub fn encode_label_set(set: &LabelSet, buf: &mut Vec<u8>) {
+    buf.put_u32_le(set.len() as u32);
+    for (h, d) in set.iter() {
+        buf.put_u32_le(h.0);
+        buf.put_u64_le(d);
+    }
+}
+
+/// Reads one label set from `buf` (advancing it).
+pub fn decode_label_set(buf: &mut &[u8]) -> Result<LabelSet, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len * 12 {
+        return Err(CodecError::Truncated);
+    }
+    let mut set = LabelSet::default();
+    for _ in 0..len {
+        let hub = VertexId(buf.get_u32_le());
+        let dist: Weight = buf.get_u64_le();
+        set.push_unsorted(hub, dist);
+    }
+    // Sets are written sorted; keep the invariant even for hand-crafted input.
+    set.sort_by_hub();
+    Ok(set)
+}
+
+/// Serializes a complete index.
+pub fn encode(labels: &HopLabels) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + labels.size_bytes() + 8 * labels.num_vertices());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(labels.num_vertices() as u32);
+    for v in 0..labels.num_vertices() {
+        let v = VertexId(v as u32);
+        encode_label_set(labels.lin(v), &mut buf);
+        encode_label_set(labels.lout(v), &mut buf);
+    }
+    buf
+}
+
+/// Deserializes a complete index.
+pub fn decode(mut buf: &[u8]) -> Result<HopLabels, CodecError> {
+    if buf.remaining() < 8 || &buf[..8] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    buf.advance(8);
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut labels = HopLabels::empty(n);
+    for v in 0..n {
+        let v = VertexId(v as u32);
+        *labels.lin_mut(v) = decode_label_set(&mut buf)?;
+        *labels.lout_mut(v) = decode_label_set(&mut buf)?;
+    }
+    if buf.has_remaining() {
+        return Err(CodecError::TrailingBytes(buf.remaining()));
+    }
+    Ok(labels)
+}
+
+/// Writes the index to a file.
+pub fn write_to_file(labels: &HopLabels, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(labels))
+}
+
+/// Reads an index from a file.
+pub fn read_from_file(path: &std::path::Path) -> std::io::Result<HopLabels> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn sample() -> HopLabels {
+        let mut l = HopLabels::empty(3);
+        l.lin_mut(v(0)).insert(v(0), 0);
+        l.lin_mut(v(1)).insert(v(0), 5);
+        l.lin_mut(v(1)).insert(v(1), 0);
+        l.lout_mut(v(0)).insert(v(0), 0);
+        l.lout_mut(v(0)).insert(v(1), 5);
+        l.lout_mut(v(2)).insert(v(2), 0);
+        l
+    }
+
+    #[test]
+    fn roundtrip() {
+        let l = sample();
+        let buf = encode(&l);
+        let l2 = decode(&buf).unwrap();
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = encode(&sample());
+        buf[0] = b'X';
+        assert_eq!(decode(&buf), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let buf = encode(&sample());
+        for cut in [4usize, 9, 13, buf.len() - 1] {
+            assert_eq!(
+                decode(&buf[..cut]),
+                Err(if cut < 8 {
+                    CodecError::BadMagic
+                } else {
+                    CodecError::Truncated
+                }),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = encode(&sample());
+        buf.push(0);
+        assert_eq!(decode(&buf), Err(CodecError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let l = sample();
+        let dir = std::env::temp_dir().join("kosr_codec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("labels.bin");
+        write_to_file(&l, &path).unwrap();
+        let l2 = read_from_file(&path).unwrap();
+        assert_eq!(l, l2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_index_roundtrip() {
+        let l = HopLabels::empty(0);
+        assert_eq!(decode(&encode(&l)).unwrap(), l);
+    }
+}

@@ -1,0 +1,98 @@
+//! Hub orderings for pruned landmark labeling.
+//!
+//! Label sizes are extremely sensitive to the order in which hubs are
+//! processed. Two practical heuristics are provided:
+//!
+//! * **Degree** — process high-degree vertices first. Excellent on social
+//!   networks (the paper's G+), the original heuristic of [2].
+//! * **CH rank** — process vertices in descending contraction-hierarchy
+//!   rank. Road networks have low degree everywhere, so degree carries no
+//!   signal; CH importance (which approximates reach/highway dimension) is
+//!   the established substitute.
+
+use kosr_graph::{Graph, VertexId};
+
+/// Strategy for choosing the hub processing order.
+#[derive(Clone, Debug)]
+pub enum HubOrder {
+    /// Descending total degree, ties by vertex id (deterministic).
+    Degree,
+    /// An explicit order; must be a permutation of all vertices.
+    Custom(Vec<VertexId>),
+}
+
+impl HubOrder {
+    /// Resolves the strategy into a concrete vertex permutation for `g`.
+    pub fn materialize(&self, g: &Graph) -> Vec<VertexId> {
+        match self {
+            HubOrder::Degree => {
+                let mut vs: Vec<VertexId> = g.vertices().collect();
+                vs.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v.0));
+                vs
+            }
+            HubOrder::Custom(order) => order.clone(),
+        }
+    }
+
+    /// Builds a [`HubOrder::Custom`] from a contraction hierarchy's
+    /// descending-rank order (the recommended ordering for road networks).
+    pub fn from_ch(ch: &kosr_ch::ContractionHierarchy) -> HubOrder {
+        HubOrder::Custom(ch.vertices_by_descending_rank().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first() {
+        let mut b = GraphBuilder::new(4);
+        // v1 has degree 3 (star centre).
+        b.add_undirected_edge(v(1), v(0), 1);
+        b.add_undirected_edge(v(1), v(2), 1);
+        b.add_undirected_edge(v(1), v(3), 1);
+        let g = b.build();
+        let order = HubOrder::Degree.materialize(&g);
+        assert_eq!(order[0], v(1));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn degree_ties_break_by_id() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected_edge(v(0), v(1), 1);
+        b.add_undirected_edge(v(1), v(2), 1);
+        let g = b.build();
+        let order = HubOrder::Degree.materialize(&g);
+        assert_eq!(order, vec![v(1), v(0), v(2)]);
+    }
+
+    #[test]
+    fn custom_order_passes_through() {
+        let g = GraphBuilder::new(3).build();
+        let order = HubOrder::Custom(vec![v(2), v(0), v(1)]).materialize(&g);
+        assert_eq!(order, vec![v(2), v(0), v(1)]);
+    }
+
+    #[test]
+    fn ch_order_is_a_permutation() {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5u32 {
+            b.add_undirected_edge(v(i), v(i + 1), 1 + i as u64);
+        }
+        let g = b.build();
+        let ch = kosr_ch::build(&g);
+        let order = HubOrder::from_ch(&ch).materialize(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..6u32).map(v).collect::<Vec<_>>());
+        // First element has the top rank.
+        assert_eq!(ch.rank(order[0]), 5);
+    }
+}

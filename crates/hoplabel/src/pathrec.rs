@@ -1,0 +1,140 @@
+//! Shortest-path reconstruction through the label index.
+//!
+//! The paper notes (§IV-A) that "given the witness … the actual route can be
+//! restored by concatenating all sub-routes between consecutive vertices in
+//! the witness". The sub-routes are recovered here by **next-hop walking**:
+//! from `cur`, any out-neighbor `n` with
+//! `w(cur,n) + dis(n,t) == dis(cur,t)` continues a shortest path. This needs
+//! no extra per-label parent storage (the paper's alternative [2]); each
+//! step costs one label scan.
+//!
+//! Graphs with zero-weight cycles could make the greedy walk revisit
+//! vertices; a visited set plus an iteration cap detects that, falling back
+//! to a bidirectional Dijkstra, so the function is total.
+
+use kosr_graph::{is_finite, Graph, VertexId};
+use kosr_pathfinding::{BiDijkstra, Path};
+
+use crate::label::HopLabels;
+
+/// Reconstructs a shortest `s → t` path using label distance queries.
+/// Returns `None` iff `t` is unreachable from `s`.
+pub fn shortest_path(g: &Graph, labels: &HopLabels, s: VertexId, t: VertexId) -> Option<Path> {
+    let total = labels.distance(s, t);
+    if !is_finite(total) {
+        return None;
+    }
+    let mut vertices = vec![s];
+    let mut cur = s;
+    let mut remaining = total;
+    let mut visited = kosr_graph::FxHashSet::default();
+    visited.insert(s);
+    let cap = g.num_vertices() + 1;
+    while cur != t && vertices.len() <= cap {
+        let mut advanced = false;
+        for (n, w) in g.out_edges(cur) {
+            if w > remaining || visited.contains(&n) {
+                continue;
+            }
+            if w + labels.distance(n, t) == remaining {
+                vertices.push(n);
+                visited.insert(n);
+                remaining -= w;
+                cur = n;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            // Zero-weight-cycle corner case: fall back to an exact search.
+            let (cost, path) = BiDijkstra::new(g.num_vertices()).shortest_path(g, s, t);
+            debug_assert_eq!(cost, total);
+            return Some(Path {
+                vertices: path,
+                cost,
+            });
+        }
+    }
+    Some(Path {
+        vertices,
+        cost: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use crate::order::HubOrder;
+    use kosr_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn reconstructed_paths_validate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut b = GraphBuilder::new(30);
+        for _ in 0..120 {
+            let u = rng.gen_range(0..30u32);
+            let w = rng.gen_range(0..30u32);
+            if u != w {
+                b.add_edge(v(u), v(w), rng.gen_range(1..40));
+            }
+        }
+        let g = b.build();
+        let labels = build(&g, &HubOrder::Degree);
+        for s in 0..30u32 {
+            for t in 0..30u32 {
+                let want = labels.distance(v(s), v(t));
+                match shortest_path(&g, &labels, v(s), v(t)) {
+                    Some(p) => {
+                        assert_eq!(p.cost, want);
+                        assert_eq!(p.source(), v(s));
+                        assert_eq!(p.target(), v(t));
+                        p.validate(&g).unwrap();
+                    }
+                    None => assert!(!is_finite(want), "s={s} t={t}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_self_path() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(v(0), v(1), 3);
+        let g = b.build();
+        let labels = build(&g, &HubOrder::Degree);
+        let p = shortest_path(&g, &labels, v(0), v(0)).unwrap();
+        assert_eq!(p.vertices, vec![v(0)]);
+        assert_eq!(p.cost, 0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 3);
+        let g = b.build();
+        let labels = build(&g, &HubOrder::Degree);
+        assert!(shortest_path(&g, &labels, v(0), v(2)).is_none());
+        assert!(shortest_path(&g, &labels, v(1), v(0)).is_none());
+    }
+
+    #[test]
+    fn zero_weight_edges_are_handled() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1), 0);
+        b.add_edge(v(1), v(0), 0); // zero cycle
+        b.add_edge(v(1), v(2), 2);
+        b.add_edge(v(2), v(3), 0);
+        let g = b.build();
+        let labels = build(&g, &HubOrder::Degree);
+        let p = shortest_path(&g, &labels, v(0), v(3)).unwrap();
+        assert_eq!(p.cost, 2);
+        p.validate(&g).unwrap();
+    }
+}

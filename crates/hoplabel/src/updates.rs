@@ -1,0 +1,255 @@
+//! Incremental label maintenance under **edge insertions / weight
+//! decreases** — the paper's "graph structure updates" (§IV-C), which
+//! defers to the dynamic-labeling literature ([3] Akiba et al., WWW 2014).
+//!
+//! Inserting an edge `(a, b, w)` can only *shrink* distances, so the labels
+//! only need additions. Every newly improved pair `(s, t)` has a shortest
+//! path through the new edge: `s ⇝ a → b ⇝ t`. It therefore suffices to
+//!
+//! * resume a **forward** pruned Dijkstra for every hub `h ∈ Lin(a)`,
+//!   seeded at `b` with distance `d(h,a) + w` (extends `Lin` coverage), and
+//! * resume a **backward** pruned Dijkstra for every hub `h ∈ Lout(b)`,
+//!   seeded at `a` with distance `w + d(b,h)` (extends `Lout` coverage).
+//!
+//! Pruning against the *current* labels keeps the index minimal-ish and, as
+//! in the static construction, never discards a needed entry: an entry is
+//! skipped only when existing labels already answer the hub-to-vertex
+//! distance at least as well.
+//!
+//! Edge **deletions / weight increases** can invalidate entries and are not
+//! supported incrementally (the decremental problem is substantially harder
+//! — see [3]); rebuild instead. This mirrors the paper, which also only
+//! details insert-style maintenance.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{inf_add, Graph, VertexId, Weight, INFINITY};
+use kosr_pathfinding::{Dir, TimestampedVec};
+
+use crate::label::HopLabels;
+
+/// Scratch state reusable across many edge insertions.
+pub struct IncrementalUpdater {
+    dist: TimestampedVec<Weight>,
+    heap: BinaryHeap<Reverse<(Weight, VertexId)>>,
+}
+
+impl IncrementalUpdater {
+    /// Creates scratch for graphs with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        IncrementalUpdater {
+            dist: TimestampedVec::new(num_vertices, INFINITY),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Updates `labels` after inserting edge `(a, b, w)` into the graph.
+    ///
+    /// `g` must be the **post-insertion** graph (the new edge present).
+    /// Returns the number of label entries added. Weight *decreases* of an
+    /// existing edge are handled identically (pass the new weight).
+    pub fn insert_edge(
+        &mut self,
+        g: &Graph,
+        labels: &mut HopLabels,
+        a: VertexId,
+        b: VertexId,
+        w: Weight,
+    ) -> usize {
+        debug_assert!(g.edge_weight(a, b).is_some_and(|ew| ew <= w));
+        let mut added = 0;
+
+        // Forward resumes: hubs that reach `a` may now reach more via b.
+        let hubs_in: Vec<(VertexId, Weight)> = labels.lin(a).iter().collect();
+        for (h, d_ha) in hubs_in {
+            added += self.resume(g, labels, Dir::Forward, h, b, inf_add(d_ha, w));
+        }
+        // Backward resumes: hubs reachable from `b` are now reachable from
+        // more vertices via a.
+        let hubs_out: Vec<(VertexId, Weight)> = labels.lout(b).iter().collect();
+        for (h, d_bh) in hubs_out {
+            added += self.resume(g, labels, Dir::Backward, h, a, inf_add(w, d_bh));
+        }
+        added
+    }
+
+    /// Pruned Dijkstra resumed from `seed` at distance `seed_dist`, adding
+    /// `(hub, ·)` entries on the `dir` side.
+    fn resume(
+        &mut self,
+        g: &Graph,
+        labels: &mut HopLabels,
+        dir: Dir,
+        hub: VertexId,
+        seed: VertexId,
+        seed_dist: Weight,
+    ) -> usize {
+        self.dist.resize(g.num_vertices());
+        self.dist.reset();
+        self.heap.clear();
+        self.dist.set(seed.index(), seed_dist);
+        self.heap.push(Reverse((seed_dist, seed)));
+        let mut added = 0;
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist.get(u.index()) {
+                continue;
+            }
+            // Prune: current labels already answer hub↔u at least as well.
+            let covered = match dir {
+                Dir::Forward => labels.distance(hub, u),
+                Dir::Backward => labels.distance(u, hub),
+            };
+            if covered <= d {
+                continue;
+            }
+            match dir {
+                Dir::Forward => {
+                    labels.lin_mut(u).insert(hub, d);
+                }
+                Dir::Backward => {
+                    labels.lout_mut(u).insert(hub, d);
+                }
+            }
+            added += 1;
+            for (x, wt) in dir.edges(g, u) {
+                let nd = inf_add(d, wt);
+                if nd < self.dist.get(x.index()) {
+                    self.dist.set(x.index(), nd);
+                    self.heap.push(Reverse((nd, x)));
+                }
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build, verify_exact};
+    use crate::order::HubOrder;
+    use kosr_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn random_world(seed: u64, n: u32, m: usize) -> Vec<(u32, u32, u64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m)
+            .filter_map(|_| {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                (a != b).then(|| (a, b, rng.gen_range(1..40)))
+            })
+            .collect()
+    }
+
+    fn graph_of(n: u32, edges: &[(u32, u32, u64)]) -> Graph {
+        let mut b = GraphBuilder::new(n as usize);
+        for &(x, y, w) in edges {
+            b.add_edge(v(x), v(y), w);
+        }
+        b.build()
+    }
+
+    /// Insert edges one at a time; after each, the incrementally maintained
+    /// index must answer every pair exactly.
+    #[test]
+    fn incremental_inserts_stay_exact() {
+        for seed in 0..5 {
+            let n = 25u32;
+            let mut edges = random_world(seed, n, 60);
+            let extra = random_world(seed ^ 0xFF, n, 6);
+            let g0 = graph_of(n, &edges);
+            let mut labels = build(&g0, &HubOrder::Degree);
+            let mut upd = IncrementalUpdater::new(n as usize);
+            for &(a, b, w) in &extra {
+                // Skip if a cheaper-or-equal parallel edge already exists
+                // (builder would collapse it; no distance change).
+                let current = graph_of(n, &edges).edge_weight(v(a), v(b));
+                if current.is_some_and(|cw| cw <= w) {
+                    continue;
+                }
+                edges.push((a, b, w));
+                let g = graph_of(n, &edges);
+                upd.insert_edge(&g, &mut labels, v(a), v(b), w);
+                verify_exact(&g, &labels)
+                    .unwrap_or_else(|e| panic!("seed {seed} after +({a},{b},{w}): {e}"));
+            }
+        }
+    }
+
+    /// An insertion that creates brand-new reachability (connects two
+    /// components) is covered too.
+    #[test]
+    fn connects_components() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(v(0), v(1), 2);
+        b.add_edge(v(1), v(2), 2);
+        b.add_edge(v(3), v(4), 2);
+        b.add_edge(v(4), v(5), 2);
+        let g0 = b.build();
+        let mut labels = build(&g0, &HubOrder::Degree);
+        assert!(!kosr_graph::is_finite(labels.distance(v(0), v(5))));
+
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(v(0), v(1), 2);
+        b.add_edge(v(1), v(2), 2);
+        b.add_edge(v(3), v(4), 2);
+        b.add_edge(v(4), v(5), 2);
+        b.add_edge(v(2), v(3), 7); // the bridge
+        let g1 = b.build();
+        let mut upd = IncrementalUpdater::new(6);
+        let added = upd.insert_edge(&g1, &mut labels, v(2), v(3), 7);
+        assert!(added > 0);
+        verify_exact(&g1, &labels).unwrap();
+        assert_eq!(labels.distance(v(0), v(5)), 2 + 2 + 7 + 2 + 2);
+    }
+
+    /// A no-op insertion (edge longer than existing paths) adds nothing.
+    #[test]
+    fn useless_edge_adds_no_labels() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 1);
+        b.add_edge(v(1), v(2), 1);
+        let g0 = b.build();
+        let mut labels = build(&g0, &HubOrder::Degree);
+        let before = labels.num_entries();
+
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 1);
+        b.add_edge(v(1), v(2), 1);
+        b.add_edge(v(0), v(2), 50); // dominated by 0→1→2
+        let g1 = b.build();
+        let mut upd = IncrementalUpdater::new(3);
+        let added = upd.insert_edge(&g1, &mut labels, v(0), v(2), 50);
+        assert_eq!(added, 0);
+        assert_eq!(labels.num_entries(), before);
+        verify_exact(&g1, &labels).unwrap();
+    }
+
+    /// Weight decreases use the same path.
+    #[test]
+    fn weight_decrease_is_an_insert() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 10);
+        b.add_edge(v(1), v(2), 1);
+        let g0 = b.build();
+        let mut labels = build(&g0, &HubOrder::Degree);
+        assert_eq!(labels.distance(v(0), v(2)), 11);
+
+        // The 0→1 street gets faster.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 4);
+        b.add_edge(v(1), v(2), 1);
+        let g1 = b.build();
+        let mut upd = IncrementalUpdater::new(3);
+        upd.insert_edge(&g1, &mut labels, v(0), v(1), 4);
+        verify_exact(&g1, &labels).unwrap();
+        assert_eq!(labels.distance(v(0), v(2)), 5);
+    }
+}

@@ -1,0 +1,383 @@
+//! Disk-resident index layout for the paper's **SK-DB** method (§IV-C,
+//! *disk-based query answering*).
+//!
+//! "In the case that the label index cannot fit into memory, we store the
+//! indexes into disk according to categories": each category `Ci` owns one
+//! contiguous segment holding `IL(Ci)` plus `Lout(v)` for every `v ∈ V_Ci`,
+//! so a query touches `|C| + 4` seeks — one per required category segment
+//! plus the source's `Lout` and the destination's `Lin`.
+//!
+//! The paper locates segments with a disk-based B+-tree; an in-memory sorted
+//! offset directory (binary-searchable, loaded once at `open`) provides the
+//! same `O(log n)` lookup with identical I/O granularity — see DESIGN.md,
+//! substitution table.
+//!
+//! File layout (little endian):
+//! ```text
+//! magic       : 8 bytes = b"KOSRDX1\0"
+//! n, nc       : u32, u32
+//! vertex dir  : n × (u64 lout_off, u32 lout_len, u64 lin_off, u32 lin_len)
+//! category dir: nc × (u64 off, u32 len)
+//! data        : label sets / category segments, byte-addressed above
+//! ```
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::{Buf, BufMut};
+use kosr_graph::{CategoryId, CategoryTable, FxHashMap, VertexId, Weight};
+use kosr_hoplabel::codec::{decode_label_set, encode_label_set};
+use kosr_hoplabel::{HopLabels, LabelSet};
+use parking_lot::Mutex;
+
+use crate::inverted::InvertedLabelIndex;
+
+const MAGIC: &[u8; 8] = b"KOSRDX1\0";
+
+/// One category's loaded segment: its inverted index plus the `Lout` sets of
+/// all member vertices.
+#[derive(Debug, Default)]
+pub struct CategorySegment {
+    /// `IL(Ci)`.
+    pub inverted: InvertedLabelIndex,
+    /// `Lout(v)` for each member `v ∈ V_Ci`.
+    pub louts: FxHashMap<VertexId, LabelSet>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct VertexSlot {
+    lout_off: u64,
+    lout_len: u32,
+    lin_off: u64,
+    lin_len: u32,
+}
+
+/// A read-only handle to an on-disk index with seek/byte accounting.
+pub struct DiskIndex {
+    file: Mutex<File>,
+    vertex_dir: Vec<VertexSlot>,
+    category_dir: Vec<(u64, u32)>,
+    seeks: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+/// Serialises `labels` + per-category segments for `categories` into `path`.
+pub fn create(path: &Path, labels: &HopLabels, categories: &CategoryTable) -> io::Result<()> {
+    let n = labels.num_vertices();
+    let nc = categories.num_categories();
+
+    // Encode all payloads first to learn their sizes.
+    let mut payload = Vec::new();
+    let mut vertex_dir = vec![VertexSlot::default(); n];
+    for (vi, slot) in vertex_dir.iter_mut().enumerate() {
+        let v = VertexId(vi as u32);
+        let start = payload.len() as u64;
+        encode_label_set(labels.lout(v), &mut payload);
+        slot.lout_off = start;
+        slot.lout_len = (payload.len() as u64 - start) as u32;
+        let start = payload.len() as u64;
+        encode_label_set(labels.lin(v), &mut payload);
+        slot.lin_off = start;
+        slot.lin_len = (payload.len() as u64 - start) as u32;
+    }
+    let mut category_dir = Vec::with_capacity(nc);
+    for ci in 0..nc {
+        let c = CategoryId(ci as u32);
+        let start = payload.len() as u64;
+        encode_category_segment(labels, categories, c, &mut payload);
+        category_dir.push((start, (payload.len() as u64 - start) as u32));
+    }
+
+    // Header + directories, then rebase payload offsets.
+    let header_len = 8 + 8 + n * 24 + nc * 12;
+    let mut out = Vec::with_capacity(header_len + payload.len());
+    out.put_slice(MAGIC);
+    out.put_u32_le(n as u32);
+    out.put_u32_le(nc as u32);
+    for slot in &vertex_dir {
+        out.put_u64_le(slot.lout_off + header_len as u64);
+        out.put_u32_le(slot.lout_len);
+        out.put_u64_le(slot.lin_off + header_len as u64);
+        out.put_u32_le(slot.lin_len);
+    }
+    for &(off, len) in &category_dir {
+        out.put_u64_le(off + header_len as u64);
+        out.put_u32_le(len);
+    }
+    debug_assert_eq!(out.len(), header_len);
+    out.extend_from_slice(&payload);
+    let mut f = File::create(path)?;
+    f.write_all(&out)?;
+    f.sync_all()
+}
+
+fn encode_category_segment(
+    labels: &HopLabels,
+    categories: &CategoryTable,
+    c: CategoryId,
+    out: &mut Vec<u8>,
+) {
+    let il = InvertedLabelIndex::build(labels, categories, c);
+    let mut lists: Vec<(VertexId, &[(VertexId, Weight)])> = il.iter_lists().collect();
+    lists.sort_unstable_by_key(|&(h, _)| h); // deterministic file bytes
+    out.put_u32_le(lists.len() as u32);
+    for (hub, list) in lists {
+        out.put_u32_le(hub.0);
+        out.put_u32_le(list.len() as u32);
+        for &(m, d) in list {
+            out.put_u32_le(m.0);
+            out.put_u64_le(d);
+        }
+    }
+    let members = categories.vertices_of(c);
+    out.put_u32_le(members.len() as u32);
+    for &m in members {
+        out.put_u32_le(m.0);
+        encode_label_set(labels.lout(m), out);
+    }
+}
+
+impl DiskIndex {
+    /// Opens an index file, reading only the directories into memory.
+    pub fn open(path: &Path) -> io::Result<DiskIndex> {
+        let mut f = File::open(path)?;
+        let mut head = [0u8; 16];
+        f.read_exact(&mut head)?;
+        if &head[..8] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut cursor = &head[8..];
+        let n = cursor.get_u32_le() as usize;
+        let nc = cursor.get_u32_le() as usize;
+        let mut dir_bytes = vec![0u8; n * 24 + nc * 12];
+        f.read_exact(&mut dir_bytes)?;
+        let mut buf = &dir_bytes[..];
+        let mut vertex_dir = Vec::with_capacity(n);
+        for _ in 0..n {
+            vertex_dir.push(VertexSlot {
+                lout_off: buf.get_u64_le(),
+                lout_len: buf.get_u32_le(),
+                lin_off: buf.get_u64_le(),
+                lin_len: buf.get_u32_le(),
+            });
+        }
+        let mut category_dir = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            category_dir.push((buf.get_u64_le(), buf.get_u32_le()));
+        }
+        Ok(DiskIndex {
+            file: Mutex::new(f),
+            vertex_dir,
+            category_dir,
+            seeks: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_dir.len()
+    }
+
+    /// Number of category segments.
+    pub fn num_categories(&self) -> usize {
+        self.category_dir.len()
+    }
+
+    fn read_at(&self, off: u64, len: u32) -> io::Result<Vec<u8>> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(off))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        Ok(buf)
+    }
+
+    /// Loads `Lout(v)` (one seek).
+    pub fn load_lout(&self, v: VertexId) -> io::Result<LabelSet> {
+        let slot = self.vertex_dir[v.index()];
+        let buf = self.read_at(slot.lout_off, slot.lout_len)?;
+        decode_label_set(&mut buf.as_slice())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Loads `Lin(v)` (one seek).
+    pub fn load_lin(&self, v: VertexId) -> io::Result<LabelSet> {
+        let slot = self.vertex_dir[v.index()];
+        let buf = self.read_at(slot.lin_off, slot.lin_len)?;
+        decode_label_set(&mut buf.as_slice())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Loads a whole category segment (one seek + one sequential read).
+    pub fn load_category(&self, c: CategoryId) -> io::Result<CategorySegment> {
+        let (off, len) = self.category_dir[c.index()];
+        let raw = self.read_at(off, len)?;
+        let mut buf = raw.as_slice();
+        let truncated = || io::Error::new(io::ErrorKind::InvalidData, "truncated segment");
+        if buf.remaining() < 4 {
+            return Err(truncated());
+        }
+        let num_lists = buf.get_u32_le() as usize;
+        let mut lists: FxHashMap<VertexId, Vec<(VertexId, Weight)>> = FxHashMap::default();
+        for _ in 0..num_lists {
+            if buf.remaining() < 8 {
+                return Err(truncated());
+            }
+            let hub = VertexId(buf.get_u32_le());
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len * 12 {
+                return Err(truncated());
+            }
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                let m = VertexId(buf.get_u32_le());
+                let d: Weight = buf.get_u64_le();
+                list.push((m, d));
+            }
+            lists.insert(hub, list);
+        }
+        if buf.remaining() < 4 {
+            return Err(truncated());
+        }
+        let num_members = buf.get_u32_le() as usize;
+        let mut louts = FxHashMap::default();
+        for _ in 0..num_members {
+            if buf.remaining() < 4 {
+                return Err(truncated());
+            }
+            let m = VertexId(buf.get_u32_le());
+            let set = decode_label_set(&mut buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            louts.insert(m, set);
+        }
+        Ok(CategorySegment {
+            inverted: InvertedLabelIndex::from_lists(lists, num_members),
+            louts,
+        })
+    }
+
+    /// Seeks performed so far.
+    pub fn seek_count(&self) -> u64 {
+        self.seeks.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Resets the I/O counters.
+    pub fn reset_io_counters(&self) {
+        self.seeks.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::GraphBuilder;
+    use kosr_hoplabel::HubOrder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn setup(test: &str) -> (kosr_graph::Graph, HopLabels, std::path::PathBuf) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut b = GraphBuilder::new(25);
+        for _ in 0..90 {
+            let a = rng.gen_range(0..25u32);
+            let c = rng.gen_range(0..25u32);
+            if a != c {
+                b.add_edge(v(a), v(c), rng.gen_range(1..20));
+            }
+        }
+        let ca = b.categories_mut().add_category("A");
+        let cb = b.categories_mut().add_category("B");
+        for i in 0..25u32 {
+            if i % 3 == 0 {
+                b.categories_mut().insert(v(i), ca);
+            }
+            if i % 4 == 1 {
+                b.categories_mut().insert(v(i), cb);
+            }
+        }
+        let g = b.build();
+        let labels = kosr_hoplabel::build(&g, &HubOrder::Degree);
+        let dir = std::env::temp_dir().join(format!("kosr_disk_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Unique file per test: the tests run concurrently.
+        (g, labels, dir.join(format!("{test}.bin")))
+    }
+
+    #[test]
+    fn roundtrip_vertex_labels() {
+        let (g, labels, path) = setup("roundtrip_vertex_labels");
+        create(&path, &labels, g.categories()).unwrap();
+        let disk = DiskIndex::open(&path).unwrap();
+        assert_eq!(disk.num_vertices(), 25);
+        assert_eq!(disk.num_categories(), 2);
+        for i in 0..25u32 {
+            assert_eq!(&disk.load_lout(v(i)).unwrap(), labels.lout(v(i)));
+            assert_eq!(&disk.load_lin(v(i)).unwrap(), labels.lin(v(i)));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_category_segment() {
+        let (g, labels, path) = setup("roundtrip_category_segment");
+        create(&path, &labels, g.categories()).unwrap();
+        let disk = DiskIndex::open(&path).unwrap();
+        for c in [CategoryId(0), CategoryId(1)] {
+            let seg = disk.load_category(c).unwrap();
+            let fresh = InvertedLabelIndex::build(&labels, g.categories(), c);
+            assert_eq!(seg.inverted.num_entries(), fresh.num_entries());
+            assert_eq!(seg.inverted.num_members(), fresh.num_members());
+            // Every member's Lout is present and identical.
+            for &m in g.categories().vertices_of(c) {
+                assert_eq!(seg.louts.get(&m).unwrap(), labels.lout(m));
+            }
+            // Lists agree hub by hub.
+            for (hub, list) in fresh.iter_lists() {
+                assert_eq!(seg.inverted.list(hub).unwrap(), list);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn io_counters_track_access() {
+        let (g, labels, path) = setup("io_counters_track_access");
+        create(&path, &labels, g.categories()).unwrap();
+        let disk = DiskIndex::open(&path).unwrap();
+        assert_eq!(disk.seek_count(), 0);
+        disk.load_lout(v(0)).unwrap();
+        disk.load_lin(v(1)).unwrap();
+        disk.load_category(CategoryId(0)).unwrap();
+        assert_eq!(disk.seek_count(), 3);
+        assert!(disk.bytes_read() > 0);
+        disk.reset_io_counters();
+        assert_eq!(disk.seek_count(), 0);
+        assert_eq!(disk.bytes_read(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (g, labels, path) = setup("bad_magic_rejected");
+        create(&path, &labels, g.categories()).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[0] = b'X';
+        std::fs::write(&path, &data).unwrap();
+        assert!(DiskIndex::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,343 @@
+//! The **inverted label index** `IL(Ci)` of §IV-A.
+//!
+//! For a category `Ci`, the inverted index groups the `Lin` entries of all
+//! member vertices *by hub*: `IL(u′)` lists `(u, d_{u′,u})` for every member
+//! `u ∈ V_Ci` with `(u′, d_{u′,u}) ∈ Lin(u)`, sorted ascending by cost. A
+//! `FindNN` stream then k-way-merges the `IL(u′)` lists matching `Lout(v)`
+//! (Table V / Example 4 of the paper).
+//!
+//! Dynamic category updates (§IV-C) insert or remove one member's entries in
+//! `O(|Lin(v)| log |Ci|)` by binary-searching each affected hub list.
+
+use kosr_graph::{CategoryId, CategoryTable, FxHashMap, VertexId, Weight};
+use kosr_hoplabel::HopLabels;
+
+/// Inverted label index of a single category.
+#[derive(Clone, Debug, Default)]
+pub struct InvertedLabelIndex {
+    /// Hub `u′` → entries `(member, d(u′, member))` sorted by (cost, member).
+    lists: FxHashMap<VertexId, Vec<(VertexId, Weight)>>,
+    /// Number of member vertices indexed.
+    num_members: usize,
+}
+
+impl InvertedLabelIndex {
+    /// Builds `IL(c)` from the members' `Lin` labels.
+    pub fn build(labels: &HopLabels, categories: &CategoryTable, c: CategoryId) -> Self {
+        let members = categories.vertices_of(c);
+        let mut lists: FxHashMap<VertexId, Vec<(VertexId, Weight)>> = FxHashMap::default();
+        for &u in members {
+            for (hub, d) in labels.lin(u).iter() {
+                lists.entry(hub).or_default().push((u, d));
+            }
+        }
+        for list in lists.values_mut() {
+            list.sort_unstable_by_key(|&(m, d)| (d, m));
+        }
+        InvertedLabelIndex {
+            lists,
+            num_members: members.len(),
+        }
+    }
+
+    /// The inverted list of hub `u′` (`IL(u′)`), if any member references it.
+    #[inline]
+    pub fn list(&self, hub: VertexId) -> Option<&[(VertexId, Weight)]> {
+        self.lists.get(&hub).map(Vec::as_slice)
+    }
+
+    /// Number of hubs with a non-empty list.
+    pub fn num_hubs(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of member vertices covered.
+    pub fn num_members(&self) -> usize {
+        self.num_members
+    }
+
+    /// Total entries across all lists (the paper's `|IL(Ci)|`).
+    pub fn num_entries(&self) -> usize {
+        self.lists.values().map(Vec::len).sum()
+    }
+
+    /// Average entries per hub list (the paper's `Avg |IL(v)|`).
+    pub fn avg_list_len(&self) -> f64 {
+        if self.lists.is_empty() {
+            0.0
+        } else {
+            self.num_entries() as f64 / self.lists.len() as f64
+        }
+    }
+
+    /// Bytes consumed by the entry arrays.
+    pub fn size_bytes(&self) -> usize {
+        self.num_entries() * (std::mem::size_of::<VertexId>() + std::mem::size_of::<Weight>())
+    }
+
+    /// Registers a **new member** `v` (category insert of §IV-C): every
+    /// `(u′, d) ∈ Lin(v)` gains an inverted entry, placed by binary search.
+    pub fn insert_member(&mut self, labels: &HopLabels, v: VertexId) {
+        for (hub, d) in labels.lin(v).iter() {
+            let list = self.lists.entry(hub).or_default();
+            let pos = list.partition_point(|&(m, dm)| (dm, m) < (d, v));
+            list.insert(pos, (v, d));
+        }
+        self.num_members += 1;
+    }
+
+    /// Removes a member `v` (category remove of §IV-C).
+    pub fn remove_member(&mut self, labels: &HopLabels, v: VertexId) {
+        for (hub, d) in labels.lin(v).iter() {
+            if let Some(list) = self.lists.get_mut(&hub) {
+                let pos = list.partition_point(|&(m, dm)| (dm, m) < (d, v));
+                if pos < list.len() && list[pos] == (v, d) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.lists.remove(&hub);
+                }
+            }
+        }
+        self.num_members = self.num_members.saturating_sub(1);
+    }
+
+    /// Iterates `(hub, list)` pairs (serialization support).
+    pub fn iter_lists(&self) -> impl Iterator<Item = (VertexId, &[(VertexId, Weight)])> {
+        self.lists.iter().map(|(&h, l)| (h, l.as_slice()))
+    }
+
+    /// Builds directly from raw hub lists (deserialization support). Lists
+    /// are re-sorted to enforce the invariant.
+    pub fn from_lists(
+        lists: FxHashMap<VertexId, Vec<(VertexId, Weight)>>,
+        num_members: usize,
+    ) -> Self {
+        let mut idx = InvertedLabelIndex { lists, num_members };
+        for list in idx.lists.values_mut() {
+            list.sort_unstable_by_key(|&(m, d)| (d, m));
+        }
+        idx
+    }
+}
+
+/// Build statistics for a whole graph's inverted indexes (Table IX, bottom).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InvertedStats {
+    /// Wall-clock construction time.
+    pub build_time: std::time::Duration,
+    /// Average `|IL(Ci)|` (entries per category).
+    pub avg_entries_per_category: f64,
+    /// Average `|IL(v)|` (entries per hub list).
+    pub avg_list_len: f64,
+    /// Total bytes across all categories.
+    pub size_bytes: usize,
+}
+
+/// The inverted label indexes of **every** category of a graph.
+#[derive(Clone, Debug, Default)]
+pub struct CategoryIndexSet {
+    indexes: Vec<InvertedLabelIndex>,
+}
+
+impl CategoryIndexSet {
+    /// Builds `IL(Ci)` for all categories.
+    pub fn build(labels: &HopLabels, categories: &CategoryTable) -> Self {
+        Self::build_with_stats(labels, categories).0
+    }
+
+    /// Builds all indexes and reports Table IX statistics.
+    pub fn build_with_stats(
+        labels: &HopLabels,
+        categories: &CategoryTable,
+    ) -> (Self, InvertedStats) {
+        let start = std::time::Instant::now();
+        let indexes: Vec<InvertedLabelIndex> = (0..categories.num_categories())
+            .map(|c| InvertedLabelIndex::build(labels, categories, CategoryId(c as u32)))
+            .collect();
+        let nc = indexes.len().max(1);
+        let total_entries: usize = indexes.iter().map(InvertedLabelIndex::num_entries).sum();
+        let total_lists: usize = indexes.iter().map(InvertedLabelIndex::num_hubs).sum();
+        let stats = InvertedStats {
+            build_time: start.elapsed(),
+            avg_entries_per_category: total_entries as f64 / nc as f64,
+            avg_list_len: if total_lists == 0 {
+                0.0
+            } else {
+                total_entries as f64 / total_lists as f64
+            },
+            size_bytes: indexes.iter().map(InvertedLabelIndex::size_bytes).sum(),
+        };
+        (CategoryIndexSet { indexes }, stats)
+    }
+
+    /// Assembles a set from prebuilt per-category indexes (index `i` serves
+    /// `CategoryId(i)`). Used by the disk-backed SK-DB runner, which loads
+    /// only the categories a query needs and leaves the rest empty.
+    pub fn from_indexes(indexes: Vec<InvertedLabelIndex>) -> Self {
+        CategoryIndexSet { indexes }
+    }
+
+    /// The inverted index of category `c`.
+    #[inline]
+    pub fn category(&self, c: CategoryId) -> &InvertedLabelIndex {
+        &self.indexes[c.index()]
+    }
+
+    /// Mutable access for dynamic updates.
+    pub fn category_mut(&mut self, c: CategoryId) -> &mut InvertedLabelIndex {
+        &mut self.indexes[c.index()]
+    }
+
+    /// Number of categories covered.
+    pub fn num_categories(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Applies the paper's category-insert update across tables
+    /// (`CategoryTable` + inverted index stay in sync).
+    pub fn insert_membership(
+        &mut self,
+        labels: &HopLabels,
+        categories: &mut CategoryTable,
+        v: VertexId,
+        c: CategoryId,
+    ) -> bool {
+        if categories.insert(v, c) {
+            self.indexes[c.index()].insert_member(labels, v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies the paper's category-remove update across tables.
+    pub fn remove_membership(
+        &mut self,
+        labels: &HopLabels,
+        categories: &mut CategoryTable,
+        v: VertexId,
+        c: CategoryId,
+    ) -> bool {
+        if categories.remove(v, c) {
+            self.indexes[c.index()].remove_member(labels, v);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::GraphBuilder;
+    use kosr_hoplabel::HubOrder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Path graph 0→1→2→3→4 with weights 1,2,3,4; categories on odd/even.
+    fn setup() -> (kosr_graph::Graph, HopLabels) {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4u32 {
+            b.add_edge(v(i), v(i + 1), (i + 1) as u64);
+        }
+        let ca = b.categories_mut().add_category("A");
+        let cb = b.categories_mut().add_category("B");
+        b.categories_mut().insert(v(1), ca);
+        b.categories_mut().insert(v(3), ca);
+        b.categories_mut().insert(v(2), cb);
+        let g = b.build();
+        let labels = kosr_hoplabel::build(&g, &HubOrder::Degree);
+        (g, labels)
+    }
+
+    #[test]
+    fn lists_are_sorted_by_cost() {
+        let (g, labels) = setup();
+        let il = InvertedLabelIndex::build(&labels, g.categories(), CategoryId(0));
+        assert_eq!(il.num_members(), 2);
+        assert!(il.num_entries() > 0);
+        for (_, list) in il.iter_lists() {
+            for w in list.windows(2) {
+                assert!(w[0].1 <= w[1].1, "list not sorted: {list:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn entries_match_lin_labels() {
+        let (g, labels) = setup();
+        let ca = CategoryId(0);
+        let il = InvertedLabelIndex::build(&labels, g.categories(), ca);
+        // Every Lin entry of every member must appear exactly once.
+        let mut expect = 0usize;
+        for &m in g.categories().vertices_of(ca) {
+            for (hub, d) in labels.lin(m).iter() {
+                expect += 1;
+                let list = il.list(hub).expect("hub list exists");
+                assert!(list.contains(&(m, d)));
+            }
+        }
+        assert_eq!(il.num_entries(), expect);
+    }
+
+    #[test]
+    fn insert_remove_member_roundtrip() {
+        let (g, labels) = setup();
+        let ca = CategoryId(0);
+        let before = InvertedLabelIndex::build(&labels, g.categories(), ca);
+        let mut il = before.clone();
+        // Insert v4 then remove it: back to the original.
+        il.insert_member(&labels, v(4));
+        assert_eq!(il.num_members(), 3);
+        assert!(il.num_entries() > before.num_entries());
+        for (_, list) in il.iter_lists() {
+            for w in list.windows(2) {
+                assert!((w[0].1, w[0].0) <= (w[1].1, w[1].0));
+            }
+        }
+        il.remove_member(&labels, v(4));
+        assert_eq!(il.num_members(), 2);
+        assert_eq!(il.num_entries(), before.num_entries());
+    }
+
+    #[test]
+    fn category_index_set_updates_stay_in_sync() {
+        let (mut g, labels) = setup();
+        let mut set = CategoryIndexSet::build(&labels, g.categories());
+        let cb = CategoryId(1);
+        let mut cats = g.categories().clone();
+        assert!(set.insert_membership(&labels, &mut cats, v(4), cb));
+        assert!(!set.insert_membership(&labels, &mut cats, v(4), cb));
+        assert!(cats.has_category(v(4), cb));
+        // Rebuilding from scratch gives the same entry count.
+        g.set_categories(cats.clone());
+        let rebuilt = InvertedLabelIndex::build(&labels, &cats, cb);
+        assert_eq!(set.category(cb).num_entries(), rebuilt.num_entries());
+        assert!(set.remove_membership(&labels, &mut cats, v(4), cb));
+        assert!(!set.remove_membership(&labels, &mut cats, v(4), cb));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let (g, labels) = setup();
+        let (_, stats) = CategoryIndexSet::build_with_stats(&labels, g.categories());
+        assert!(stats.avg_entries_per_category > 0.0);
+        assert!(stats.avg_list_len > 0.0);
+        assert!(stats.size_bytes > 0);
+    }
+
+    #[test]
+    fn empty_category_is_fine() {
+        let (g, labels) = setup();
+        let mut cats = g.categories().clone();
+        let empty = cats.add_category("EMPTY");
+        let il = InvertedLabelIndex::build(&labels, &cats, empty);
+        assert_eq!(il.num_members(), 0);
+        assert_eq!(il.num_entries(), 0);
+        assert_eq!(il.avg_list_len(), 0.0);
+    }
+}

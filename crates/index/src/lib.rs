@@ -1,0 +1,31 @@
+//! # kosr-index
+//!
+//! The query-time index layer of the paper (§IV): inverted label indexes and
+//! the two neighbor-stream primitives every KOSR algorithm is built on.
+//!
+//! * [`InvertedLabelIndex`] / [`CategoryIndexSet`] — `IL(Ci)`: per-category,
+//!   per-hub sorted inverted lists over the 2-hop labels, with the dynamic
+//!   category updates of §IV-C.
+//! * [`NearestNeighbors`] — the `FindNN` abstraction (Algorithm 3), provided
+//!   by [`LabelNn`] (inverted-index streams) and [`DijkstraNn`] (the `*-Dij`
+//!   baselines' resumable searches).
+//! * [`NenFinder`] — `FindNEN` (Algorithm 4): nearest *estimated* neighbors
+//!   ordered by `dis(v,u) + dis(u,t)` for StarKOSR.
+//! * [`TargetDistance`] — fixed-destination oracles ([`LabelTarget`],
+//!   [`DijkstraTarget`]) behind the A* estimation.
+//! * [`disk`] — the SK-DB on-disk layout (per-category segments + offset
+//!   directory standing in for the paper's B+-tree).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+mod inverted;
+mod nen;
+mod nn;
+mod target;
+
+pub use inverted::{CategoryIndexSet, InvertedLabelIndex, InvertedStats};
+pub use nen::{EstimatedNeighbor, NenFinder};
+pub use nn::{DijkstraNn, LabelNn, NearestNeighbors};
+pub use target::{DijkstraTarget, LabelTarget, TargetDistance};

@@ -1,0 +1,383 @@
+//! `FindNN` (Algorithm 3): the x-th nearest neighbor of a vertex within a
+//! category, as an incrementally extended, memoised stream.
+//!
+//! Two interchangeable providers implement [`NearestNeighbors`]:
+//!
+//! * [`LabelNn`] — the paper's Algorithm 3 over the inverted label index:
+//!   per `(v, C)` it keeps the found-neighbor list `NL`, a candidate
+//!   priority queue `NQ` of one cursor per matching inverted list, and the
+//!   per-hub scan positions `KV`. Each next neighbor costs one heap pop
+//!   plus one cursor advance — no search restarts.
+//! * [`DijkstraNn`] — the `*-Dij` baseline: one resumable Dijkstra per
+//!   source vertex (shared across categories), filtered by membership.
+//!
+//! Both count **NN queries** the way the paper's evaluation does: serving a
+//! request from the memoised `NL` list is *not* counted; computing a fresh
+//! neighbor is.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{CategoryId, FxHashMap, FxHashSet, Graph, VertexId, Weight};
+use kosr_hoplabel::HopLabels;
+use kosr_pathfinding::{Dir, ResumableDijkstra};
+
+use crate::inverted::CategoryIndexSet;
+
+/// A source of x-th nearest neighbors within categories.
+///
+/// `x` is **1-based** (`x = 1` is the nearest neighbor), matching the
+/// paper's notation. Implementations must return neighbors of strictly
+/// nondecreasing distance as `x` grows and must be memoised: repeated calls
+/// with the same arguments are cheap and stable.
+pub trait NearestNeighbors {
+    /// The `x`-th vertex of category `c` by distance from `v`
+    /// (`None` when fewer than `x` members are reachable).
+    fn find_nn(&mut self, v: VertexId, c: CategoryId, x: usize) -> Option<(VertexId, Weight)>;
+
+    /// Number of *fresh* NN computations so far (the paper's "# NN queries";
+    /// `NL` cache hits are excluded).
+    fn nn_queries(&self) -> u64;
+
+    /// Resets the NN-query counter (per-query accounting).
+    fn reset_counters(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// Label-based provider (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+/// Per-(v, C) stream state: `NL`, `NQ` and the per-hub cursors `KV`.
+#[derive(Clone, Debug, Default)]
+struct NnState {
+    /// `NL`: neighbors found so far, ascending distance.
+    nl: Vec<(VertexId, Weight)>,
+    /// `NQ`: candidate frontier — (total cost, member, hub slot).
+    nq: BinaryHeap<Reverse<(Weight, VertexId, u32)>>,
+    /// Matching hubs: `(d(v, hub), hub)` for each `Lout(v)` entry with a
+    /// non-empty inverted list.
+    hubs: Vec<(Weight, VertexId)>,
+    /// `KV`: next unscanned position in each hub's inverted list.
+    cursors: Vec<u32>,
+    /// Members already emitted (duplicate suppression across hubs).
+    found: FxHashSet<VertexId>,
+    started: bool,
+}
+
+/// Algorithm 3 over the in-memory inverted label index.
+pub struct LabelNn<'a> {
+    labels: &'a HopLabels,
+    inverted: &'a CategoryIndexSet,
+    states: FxHashMap<(VertexId, CategoryId), NnState>,
+    nn_queries: u64,
+}
+
+impl<'a> LabelNn<'a> {
+    /// Creates a provider over prebuilt labels and inverted indexes.
+    pub fn new(labels: &'a HopLabels, inverted: &'a CategoryIndexSet) -> Self {
+        LabelNn {
+            labels,
+            inverted,
+            states: FxHashMap::default(),
+            nn_queries: 0,
+        }
+    }
+
+    fn state_compute_next(
+        state: &mut NnState,
+        labels: &HopLabels,
+        inverted: &CategoryIndexSet,
+        v: VertexId,
+        c: CategoryId,
+    ) -> Option<(VertexId, Weight)> {
+        let il = inverted.category(c);
+        if !state.started {
+            state.started = true;
+            // Lines 6-10: seed NQ with the head of every matching list.
+            for (hub, dvh) in labels.lout(v).iter() {
+                if let Some(list) = il.list(hub) {
+                    let slot = state.hubs.len() as u32;
+                    state.hubs.push((dvh, hub));
+                    state.cursors.push(1);
+                    let (m, dm) = list[0];
+                    state
+                        .nq
+                        .push(Reverse((dvh.saturating_add(dm), m, slot)));
+                }
+            }
+        }
+        // Lines 11-18: pop the global minimum; advance that hub's cursor past
+        // already-found members; suppress duplicates of the popped member.
+        loop {
+            let Reverse((total, member, slot)) = state.nq.pop()?;
+            // Advance the stream the popped candidate came from.
+            let (dvh, hub) = state.hubs[slot as usize];
+            if let Some(list) = il.list(hub) {
+                let mut pos = state.cursors[slot as usize] as usize;
+                while pos < list.len() && state.found.contains(&list[pos].0) {
+                    pos += 1;
+                }
+                if pos < list.len() {
+                    let (m, dm) = list[pos];
+                    state
+                        .nq
+                        .push(Reverse((dvh.saturating_add(dm), m, slot)));
+                    state.cursors[slot as usize] = (pos + 1) as u32;
+                } else {
+                    state.cursors[slot as usize] = u32::MAX; // the paper's '-'
+                }
+            }
+            if state.found.insert(member) {
+                state.nl.push((member, total));
+                return Some((member, total));
+            }
+        }
+    }
+}
+
+impl NearestNeighbors for LabelNn<'_> {
+    fn find_nn(&mut self, v: VertexId, c: CategoryId, x: usize) -> Option<(VertexId, Weight)> {
+        debug_assert!(x >= 1, "x is 1-based");
+        let state = self.states.entry((v, c)).or_default();
+        // Lines 4-5: NL cache hit (not counted as an NN query).
+        if state.nl.len() >= x {
+            return Some(state.nl[x - 1]);
+        }
+        while state.nl.len() < x {
+            self.nn_queries += 1;
+            Self::state_compute_next(state, self.labels, self.inverted, v, c)?;
+        }
+        Some(state.nl[x - 1])
+    }
+
+    fn nn_queries(&self) -> u64 {
+        self.nn_queries
+    }
+
+    fn reset_counters(&mut self) {
+        self.nn_queries = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dijkstra-based provider (the *-Dij baselines)
+// ---------------------------------------------------------------------------
+
+/// Per-(v, C) filter state over the shared resumable search.
+#[derive(Clone, Debug, Default)]
+struct DijState {
+    nl: Vec<(VertexId, Weight)>,
+    /// Next index of the shared settled list to inspect.
+    scan_pos: usize,
+}
+
+/// Nearest neighbors via resumable Dijkstra searches (no index).
+pub struct DijkstraNn<'a> {
+    g: &'a Graph,
+    searches: FxHashMap<VertexId, ResumableDijkstra>,
+    states: FxHashMap<(VertexId, CategoryId), DijState>,
+    nn_queries: u64,
+}
+
+impl<'a> DijkstraNn<'a> {
+    /// Creates a provider over the raw graph.
+    pub fn new(g: &'a Graph) -> Self {
+        DijkstraNn {
+            g,
+            searches: FxHashMap::default(),
+            states: FxHashMap::default(),
+            nn_queries: 0,
+        }
+    }
+}
+
+impl NearestNeighbors for DijkstraNn<'_> {
+    fn find_nn(&mut self, v: VertexId, c: CategoryId, x: usize) -> Option<(VertexId, Weight)> {
+        debug_assert!(x >= 1, "x is 1-based");
+        let state = self.states.entry((v, c)).or_default();
+        if state.nl.len() >= x {
+            return Some(state.nl[x - 1]);
+        }
+        let search = self
+            .searches
+            .entry(v)
+            .or_insert_with(|| ResumableDijkstra::new(v, Dir::Forward));
+        while state.nl.len() < x {
+            self.nn_queries += 1;
+            loop {
+                let (u, d) = search.settled_at(self.g, state.scan_pos)?;
+                state.scan_pos += 1;
+                if self.g.categories().has_category(u, c) {
+                    state.nl.push((u, d));
+                    break;
+                }
+            }
+        }
+        Some(state.nl[x - 1])
+    }
+
+    fn nn_queries(&self) -> u64 {
+        self.nn_queries
+    }
+
+    fn reset_counters(&mut self) {
+        self.nn_queries = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::GraphBuilder;
+    use kosr_hoplabel::HubOrder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Random digraph with two categories scattered around.
+    fn setup(seed: u64) -> (Graph, HopLabels, CategoryIndexSet) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 40u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for _ in 0..160 {
+            let a = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            if a != c {
+                b.add_edge(v(a), v(c), rng.gen_range(1..30));
+            }
+        }
+        let ca = b.categories_mut().add_category("A");
+        let cb = b.categories_mut().add_category("B");
+        for i in 0..n {
+            if rng.gen_bool(0.3) {
+                b.categories_mut().insert(v(i), ca);
+            }
+            if rng.gen_bool(0.2) {
+                b.categories_mut().insert(v(i), cb);
+            }
+        }
+        let g = b.build();
+        let labels = kosr_hoplabel::build(&g, &HubOrder::Degree);
+        let inverted = CategoryIndexSet::build(&labels, g.categories());
+        (g, labels, inverted)
+    }
+
+    /// Ground truth: all members sorted by (distance, id), reachable only.
+    fn brute_nn(g: &Graph, labels: &HopLabels, s: VertexId, c: CategoryId) -> Vec<(VertexId, Weight)> {
+        let mut all: Vec<(VertexId, Weight)> = g
+            .categories()
+            .vertices_of(c)
+            .iter()
+            .map(|&m| (m, labels.distance(s, m)))
+            .filter(|&(_, d)| kosr_graph::is_finite(d))
+            .collect();
+        all.sort_unstable_by_key(|&(m, d)| (d, m));
+        all
+    }
+
+    #[test]
+    fn label_nn_yields_true_distance_sequence() {
+        for seed in 0..4 {
+            let (g, labels, inverted) = setup(seed);
+            let mut nn = LabelNn::new(&labels, &inverted);
+            for s in 0..40u32 {
+                for cat in [CategoryId(0), CategoryId(1)] {
+                    let want = brute_nn(&g, &labels, v(s), cat);
+                    for (i, &(wm, wd)) in want.iter().enumerate() {
+                        let (m, d) = nn
+                            .find_nn(v(s), cat, i + 1)
+                            .unwrap_or_else(|| panic!("seed {seed} s {s} x {}", i + 1));
+                        assert_eq!(d, wd, "seed {seed} s={s} x={}", i + 1);
+                        // Ties may reorder vertices; distances must agree.
+                        let _ = (m, wm);
+                    }
+                    assert_eq!(
+                        nn.find_nn(v(s), cat, want.len() + 1),
+                        None,
+                        "stream must end after {} members",
+                        want.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_nn_matches_label_nn_distances() {
+        let (g, labels, inverted) = setup(7);
+        let mut a = LabelNn::new(&labels, &inverted);
+        let mut b = DijkstraNn::new(&g);
+        for s in 0..40u32 {
+            for cat in [CategoryId(0), CategoryId(1)] {
+                for x in 1..=5usize {
+                    let da = a.find_nn(v(s), cat, x).map(|(_, d)| d);
+                    let db = b.find_nn(v(s), cat, x).map(|(_, d)| d);
+                    assert_eq!(da, db, "s={s} cat={cat:?} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_nondecreasing_and_duplicate_free() {
+        let (g, labels, inverted) = setup(3);
+        let _ = g;
+        let mut nn = LabelNn::new(&labels, &inverted);
+        for s in [0u32, 5, 11] {
+            let mut seen = FxHashSet::default();
+            let mut last = 0;
+            let mut x = 1;
+            while let Some((m, d)) = nn.find_nn(v(s), CategoryId(0), x) {
+                assert!(d >= last);
+                assert!(seen.insert(m), "duplicate member {m:?}");
+                last = d;
+                x += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn nl_cache_hits_are_not_counted() {
+        let (_, labels, inverted) = setup(5);
+        let mut nn = LabelNn::new(&labels, &inverted);
+        nn.find_nn(v(0), CategoryId(0), 3);
+        let after_first = nn.nn_queries();
+        // Re-request the same and smaller x: pure cache hits.
+        nn.find_nn(v(0), CategoryId(0), 3);
+        nn.find_nn(v(0), CategoryId(0), 1);
+        nn.find_nn(v(0), CategoryId(0), 2);
+        assert_eq!(nn.nn_queries(), after_first);
+        nn.reset_counters();
+        assert_eq!(nn.nn_queries(), 0);
+    }
+
+    #[test]
+    fn member_source_returns_itself_first() {
+        let (g, labels, inverted) = setup(11);
+        let cat = CategoryId(0);
+        // Find a vertex that belongs to the category.
+        let member = g.categories().vertices_of(cat)[0];
+        let mut nn = LabelNn::new(&labels, &inverted);
+        let (m, d) = nn.find_nn(member, cat, 1).unwrap();
+        assert_eq!(d, 0);
+        assert_eq!(m, member);
+        let mut dij = DijkstraNn::new(&g);
+        let (m2, d2) = dij.find_nn(member, cat, 1).unwrap();
+        assert_eq!((m2, d2), (member, 0));
+    }
+
+    #[test]
+    fn empty_category_yields_none() {
+        let (g, labels, _) = setup(13);
+        let mut cats = g.categories().clone();
+        let empty = cats.add_category("EMPTY");
+        let inverted = CategoryIndexSet::build(&labels, &cats);
+        let mut nn = LabelNn::new(&labels, &inverted);
+        assert_eq!(nn.find_nn(v(0), empty, 1), None);
+        let mut dij = DijkstraNn::new(&g);
+        assert_eq!(dij.find_nn(v(0), empty, 1), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Point-to-point A* with a pluggable admissible heuristic.
+//!
+//! StarKOSR (§IV-B) lifts exactly this idea to *sequenced* routes: order the
+//! frontier by `g-cost + h(v)` where `h` never overestimates the remaining
+//! cost. The generic single-pair version lives here both as a reusable
+//! substrate and as executable documentation of the admissibility argument
+//! (tests cross-check against plain Dijkstra).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{inf_add, is_finite, Graph, VertexId, Weight, INFINITY};
+
+use crate::dijkstra::Dir;
+use crate::timestamp::TimestampedVec;
+
+/// Reusable A* search state.
+#[derive(Clone, Debug)]
+pub struct AStar {
+    dist: TimestampedVec<Weight>,
+    parent: TimestampedVec<u32>,
+    closed: TimestampedVec<bool>,
+    heap: BinaryHeap<Reverse<(Weight, Weight, VertexId)>>,
+    /// Vertices settled by the last run (the quantity a heuristic shrinks).
+    pub settled_count: usize,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+impl AStar {
+    /// Creates search state for graphs with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        AStar {
+            dist: TimestampedVec::new(num_vertices, INFINITY),
+            parent: TimestampedVec::new(num_vertices, NO_PARENT),
+            closed: TimestampedVec::new(num_vertices, false),
+            heap: BinaryHeap::new(),
+            settled_count: 0,
+        }
+    }
+
+    /// Shortest-path distance from `s` to `t` using heuristic `h`.
+    ///
+    /// `h(v)` must be **admissible** (a lower bound on `dis(v, t)`); the
+    /// zero heuristic degrades gracefully to Dijkstra. Consistency is not
+    /// required: closed vertices are reopened if improved.
+    pub fn distance<H>(&mut self, g: &Graph, s: VertexId, t: VertexId, mut h: H) -> Weight
+    where
+        H: FnMut(VertexId) -> Weight,
+    {
+        let n = g.num_vertices();
+        self.dist.resize(n);
+        self.parent.resize(n);
+        self.closed.resize(n);
+        self.dist.reset();
+        self.parent.reset();
+        self.closed.reset();
+        self.heap.clear();
+        self.settled_count = 0;
+
+        self.dist.set(s.index(), 0);
+        self.heap.push(Reverse((h(s), 0, s)));
+
+        while let Some(Reverse((_, d, v))) = self.heap.pop() {
+            if d > self.dist.get(v.index()) {
+                continue; // stale
+            }
+            if self.closed.get(v.index()) {
+                continue;
+            }
+            self.closed.set(v.index(), true);
+            self.settled_count += 1;
+            if v == t {
+                return d;
+            }
+            for (u, w) in Dir::Forward.edges(g, v) {
+                let nd = inf_add(d, w);
+                if nd < self.dist.get(u.index()) {
+                    self.dist.set(u.index(), nd);
+                    self.parent.set(u.index(), v.0);
+                    // Reopen if previously closed with a worse value.
+                    if self.closed.get(u.index()) {
+                        self.closed.set(u.index(), false);
+                    }
+                    let est = inf_add(nd, h(u));
+                    if is_finite(est) {
+                        self.heap.push(Reverse((est, nd, u)));
+                    }
+                }
+            }
+        }
+        INFINITY
+    }
+
+    /// The path found by the last [`AStar::distance`] call, if `t` was
+    /// reached.
+    pub fn path_to(&self, t: VertexId) -> Option<Vec<VertexId>> {
+        if !is_finite(self.dist.get(t.index())) {
+            return None;
+        }
+        let mut chain = vec![t];
+        let mut cur = t;
+        while self.parent.get(cur.index()) != NO_PARENT {
+            cur = VertexId(self.parent.get(cur.index()));
+            chain.push(cur);
+        }
+        chain.reverse();
+        Some(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::Dijkstra;
+    use kosr_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn ladder(n: u32) -> Graph {
+        // Two parallel rails with rungs; irregular weights.
+        let mut b = GraphBuilder::new((2 * n) as usize);
+        for i in 0..n - 1 {
+            b.add_edge(v(2 * i), v(2 * i + 2), 3);
+            b.add_edge(v(2 * i + 1), v(2 * i + 3), 2);
+        }
+        for i in 0..n {
+            b.add_edge(v(2 * i), v(2 * i + 1), 1);
+            b.add_edge(v(2 * i + 1), v(2 * i), 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn zero_heuristic_matches_dijkstra() {
+        let g = ladder(10);
+        let mut a = AStar::new(g.num_vertices());
+        let mut d = Dijkstra::new(g.num_vertices());
+        for t in 0..20u32 {
+            let want = d.one_to_one(&g, Dir::Forward, v(0), v(t));
+            let got = a.distance(&g, v(0), v(t), |_| 0);
+            assert_eq!(got, want, "t={t}");
+        }
+    }
+
+    #[test]
+    fn exact_heuristic_expands_only_the_path() {
+        let g = ladder(10);
+        let t = v(19);
+        // Perfect heuristic: true remaining distance via a backward search.
+        let mut back = Dijkstra::new(g.num_vertices());
+        back.one_to_all(&g, Dir::Backward, t);
+        let h: Vec<Weight> = (0..g.num_vertices())
+            .map(|i| back.distance(v(i as u32)))
+            .collect();
+
+        let mut a = AStar::new(g.num_vertices());
+        let exact = a.distance(&g, v(0), t, |u| h[u.index()]);
+        let settled_exact = a.settled_count;
+        let plain = a.distance(&g, v(0), t, |_| 0);
+        let settled_plain = a.settled_count;
+        assert_eq!(exact, plain);
+        assert!(
+            settled_exact <= settled_plain,
+            "a perfect heuristic must not settle more vertices \
+             ({settled_exact} vs {settled_plain})"
+        );
+        // The perfect heuristic settles only path vertices.
+        let path = a.path_to(t).unwrap();
+        assert!(settled_exact <= path.len() + 1);
+    }
+
+    #[test]
+    fn inadmissible_infinite_heuristic_prunes_unreachable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 1);
+        let g = b.build();
+        let mut a = AStar::new(3);
+        // dis(v, 2) is INFINITY for all v; the search space collapses.
+        assert_eq!(a.distance(&g, v(0), v(2), |_| INFINITY), INFINITY);
+        assert!(a.settled_count <= 1, "only the source may be expanded");
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = ladder(5);
+        let mut a = AStar::new(g.num_vertices());
+        let cost = a.distance(&g, v(0), v(9), |_| 0);
+        let path = a.path_to(v(9)).unwrap();
+        assert_eq!(path.first(), Some(&v(0)));
+        assert_eq!(path.last(), Some(&v(9)));
+        let mut sum = 0;
+        for w in path.windows(2) {
+            sum += g.edge_weight(w[0], w[1]).unwrap();
+        }
+        assert_eq!(sum, cost);
+        assert_eq!(a.path_to(v(9)).unwrap().len(), path.len());
+    }
+
+    #[test]
+    fn unreachable_target() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(v(1), v(0), 1);
+        let g = b.build();
+        let mut a = AStar::new(2);
+        assert_eq!(a.distance(&g, v(0), v(1), |_| 0), INFINITY);
+        assert_eq!(a.path_to(v(1)), None);
+    }
+}

@@ -1,0 +1,246 @@
+//! Bidirectional Dijkstra for point-to-point distance queries.
+//!
+//! Used as a faster ground-truth oracle in tests/benches and as the fallback
+//! distance engine where no hop-labeling index has been built.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{inf_add, is_finite, Graph, VertexId, Weight, INFINITY};
+
+use crate::dijkstra::Dir;
+use crate::timestamp::TimestampedVec;
+
+/// Reusable bidirectional search state.
+#[derive(Clone, Debug)]
+pub struct BiDijkstra {
+    dist_f: TimestampedVec<Weight>,
+    dist_b: TimestampedVec<Weight>,
+    parent_f: TimestampedVec<u32>,
+    parent_b: TimestampedVec<u32>,
+    heap_f: BinaryHeap<Reverse<(Weight, VertexId)>>,
+    heap_b: BinaryHeap<Reverse<(Weight, VertexId)>>,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+impl BiDijkstra {
+    /// Creates state for graphs with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        BiDijkstra {
+            dist_f: TimestampedVec::new(num_vertices, INFINITY),
+            dist_b: TimestampedVec::new(num_vertices, INFINITY),
+            parent_f: TimestampedVec::new(num_vertices, NO_PARENT),
+            parent_b: TimestampedVec::new(num_vertices, NO_PARENT),
+            heap_f: BinaryHeap::new(),
+            heap_b: BinaryHeap::new(),
+        }
+    }
+
+    /// Shortest-path distance from `s` to `t`, or [`INFINITY`].
+    pub fn distance(&mut self, g: &Graph, s: VertexId, t: VertexId) -> Weight {
+        self.query(g, s, t).0
+    }
+
+    /// Shortest path from `s` to `t` as `(cost, vertices)`;
+    /// `(INFINITY, empty)` when unreachable.
+    pub fn shortest_path(&mut self, g: &Graph, s: VertexId, t: VertexId) -> (Weight, Vec<VertexId>) {
+        let (best, meet) = self.query(g, s, t);
+        if !is_finite(best) {
+            return (INFINITY, Vec::new());
+        }
+        let meet = meet.expect("finite distance implies a meeting vertex");
+        // Forward half: meet ← … ← s, then reversed.
+        let mut fwd = vec![meet];
+        let mut cur = meet;
+        while self.parent_f.get(cur.index()) != NO_PARENT {
+            cur = VertexId(self.parent_f.get(cur.index()));
+            fwd.push(cur);
+        }
+        fwd.reverse();
+        // Backward half: meet → … → t (parents in the backward search point
+        // toward t).
+        let mut cur = meet;
+        while self.parent_b.get(cur.index()) != NO_PARENT {
+            cur = VertexId(self.parent_b.get(cur.index()));
+            fwd.push(cur);
+        }
+        (best, fwd)
+    }
+
+    fn query(&mut self, g: &Graph, s: VertexId, t: VertexId) -> (Weight, Option<VertexId>) {
+        let n = g.num_vertices();
+        self.dist_f.resize(n);
+        self.dist_b.resize(n);
+        self.parent_f.resize(n);
+        self.parent_b.resize(n);
+        self.dist_f.reset();
+        self.dist_b.reset();
+        self.parent_f.reset();
+        self.parent_b.reset();
+        self.heap_f.clear();
+        self.heap_b.clear();
+
+        self.dist_f.set(s.index(), 0);
+        self.dist_b.set(t.index(), 0);
+        self.heap_f.push(Reverse((0, s)));
+        self.heap_b.push(Reverse((0, t)));
+
+        let mut best = if s == t { 0 } else { INFINITY };
+        let mut meet = (s == t).then_some(s);
+
+        loop {
+            let top_f = self.heap_f.peek().map_or(INFINITY, |Reverse((d, _))| *d);
+            let top_b = self.heap_b.peek().map_or(INFINITY, |Reverse((d, _))| *d);
+            // Standard stopping criterion: once the two frontiers together
+            // reach the best meeting cost, no shorter s-t path remains. When
+            // one heap drains with `best` still infinite the sum saturates
+            // past INFINITY and we also stop (t unreachable — see tests).
+            if inf_add(top_f, top_b) >= best.min(INFINITY) {
+                break;
+            }
+            // Expand the side with the smaller frontier.
+            if top_f <= top_b {
+                if let Some(Reverse((d, v))) = self.heap_f.pop() {
+                    if d > self.dist_f.get(v.index()) {
+                        continue;
+                    }
+                    for (u, w) in Dir::Forward.edges(g, v) {
+                        let nd = inf_add(d, w);
+                        if nd < self.dist_f.get(u.index()) {
+                            self.dist_f.set(u.index(), nd);
+                            self.parent_f.set(u.index(), v.0);
+                            self.heap_f.push(Reverse((nd, u)));
+                        }
+                        let through = inf_add(nd, self.dist_b.get(u.index()));
+                        if through < best {
+                            best = through;
+                            meet = Some(u);
+                        }
+                    }
+                    let through = inf_add(d, self.dist_b.get(v.index()));
+                    if through < best {
+                        best = through;
+                        meet = Some(v);
+                    }
+                }
+            } else if let Some(Reverse((d, v))) = self.heap_b.pop() {
+                if d > self.dist_b.get(v.index()) {
+                    continue;
+                }
+                for (u, w) in Dir::Backward.edges(g, v) {
+                    let nd = inf_add(d, w);
+                    if nd < self.dist_b.get(u.index()) {
+                        self.dist_b.set(u.index(), nd);
+                        self.parent_b.set(u.index(), v.0);
+                        self.heap_b.push(Reverse((nd, u)));
+                    }
+                    let through = inf_add(nd, self.dist_f.get(u.index()));
+                    if through < best {
+                        best = through;
+                        meet = Some(u);
+                    }
+                }
+                let through = inf_add(d, self.dist_f.get(v.index()));
+                if through < best {
+                    best = through;
+                    meet = Some(v);
+                }
+            }
+        }
+        (if is_finite(best) { best } else { INFINITY }, meet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::Dijkstra;
+    use kosr_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn grid3() -> Graph {
+        // 3x3 grid, undirected unit weights, vertex r*3+c.
+        let mut b = GraphBuilder::new(9);
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let id = r * 3 + c;
+                if c + 1 < 3 {
+                    b.add_undirected_edge(v(id), v(id + 1), 1);
+                }
+                if r + 1 < 3 {
+                    b.add_undirected_edge(v(id), v(id + 3), 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_unidirectional_on_grid() {
+        let g = grid3();
+        let mut bi = BiDijkstra::new(9);
+        let mut di = Dijkstra::new(9);
+        for s in 0..9u32 {
+            for t in 0..9u32 {
+                let want = di.one_to_one(&g, Dir::Forward, v(s), v(t));
+                let got = bi.distance(&g, v(s), v(t));
+                assert_eq!(got, want, "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_infinity() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 1);
+        let g = b.build();
+        let mut bi = BiDijkstra::new(3);
+        assert_eq!(bi.distance(&g, v(0), v(2)), INFINITY);
+        assert_eq!(bi.distance(&g, v(1), v(0)), INFINITY);
+        let (c, p) = bi.shortest_path(&g, v(0), v(2));
+        assert_eq!(c, INFINITY);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn path_reconstruction_is_a_real_path() {
+        let g = grid3();
+        let mut bi = BiDijkstra::new(9);
+        let (cost, path) = bi.shortest_path(&g, v(0), v(8));
+        assert_eq!(cost, 4);
+        assert_eq!(path.first(), Some(&v(0)));
+        assert_eq!(path.last(), Some(&v(8)));
+        let mut total = 0;
+        for pair in path.windows(2) {
+            total += g.edge_weight(pair[0], pair[1]).expect("edge must exist");
+        }
+        assert_eq!(total, cost);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = grid3();
+        let mut bi = BiDijkstra::new(9);
+        assert_eq!(bi.distance(&g, v(4), v(4)), 0);
+        let (c, p) = bi.shortest_path(&g, v(4), v(4));
+        assert_eq!(c, 0);
+        assert_eq!(p, vec![v(4)]);
+    }
+
+    #[test]
+    fn directed_asymmetry() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1), 1);
+        b.add_edge(v(1), v(2), 1);
+        b.add_edge(v(2), v(3), 1);
+        b.add_edge(v(3), v(0), 10);
+        let g = b.build();
+        let mut bi = BiDijkstra::new(4);
+        assert_eq!(bi.distance(&g, v(0), v(3)), 3);
+        assert_eq!(bi.distance(&g, v(3), v(0)), 10);
+    }
+}

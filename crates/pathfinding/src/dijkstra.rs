@@ -1,0 +1,350 @@
+//! Dijkstra's algorithm in the flavours the KOSR stack needs: one-to-one,
+//! one-to-all, one-to-many, and multi-source with origin tracking (the
+//! engine of the GSP baseline's dynamic-programming transition).
+//!
+//! The search state ([`Dijkstra`]) is reusable across runs on the same graph
+//! — distance/parent arrays are version-stamped, so consecutive searches pay
+//! no O(|V|) clearing cost.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kosr_graph::{inf_add, is_finite, Graph, VertexId, Weight, INFINITY};
+
+use crate::timestamp::TimestampedVec;
+
+/// Search direction: expand along outgoing or incoming edges.
+///
+/// A backward search from `t` computes `dis(v, t)` for every settled `v`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Expand `v` through `out_edges(v)`; distances are `dis(source, v)`.
+    Forward,
+    /// Expand `v` through `in_edges(v)`; distances are `dis(v, source)`.
+    Backward,
+}
+
+impl Dir {
+    /// Iterates the neighbors of `v` in this direction.
+    #[inline]
+    pub fn edges<'g>(self, g: &'g Graph, v: VertexId) -> kosr_graph::EdgeIter<'g> {
+        match self {
+            Dir::Forward => g.out_edges(v),
+            Dir::Backward => g.in_edges(v),
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Forward => Dir::Backward,
+            Dir::Backward => Dir::Forward,
+        }
+    }
+}
+
+/// Min-heap entry ordered by distance (ties broken by vertex id for
+/// determinism across platforms).
+pub(crate) type HeapEntry = Reverse<(Weight, VertexId)>;
+
+/// Reusable Dijkstra search state over graphs with up to `n` vertices.
+#[derive(Clone, Debug)]
+pub struct Dijkstra {
+    dist: TimestampedVec<Weight>,
+    parent: TimestampedVec<VertexId>,
+    origin: TimestampedVec<VertexId>,
+    settled: TimestampedVec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Number of vertices settled by the last run (profiling aid).
+    pub settled_count: usize,
+}
+
+/// Marker for "no parent" in the search tree.
+const NO_VERTEX: VertexId = VertexId(u32::MAX);
+
+impl Dijkstra {
+    /// Creates search state for graphs with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Dijkstra {
+            dist: TimestampedVec::new(num_vertices, INFINITY),
+            parent: TimestampedVec::new(num_vertices, NO_VERTEX),
+            origin: TimestampedVec::new(num_vertices, NO_VERTEX),
+            settled: TimestampedVec::new(num_vertices, false),
+            heap: BinaryHeap::new(),
+            settled_count: 0,
+        }
+    }
+
+    fn prepare(&mut self, g: &Graph) {
+        self.dist.resize(g.num_vertices());
+        self.parent.resize(g.num_vertices());
+        self.origin.resize(g.num_vertices());
+        self.settled.resize(g.num_vertices());
+        self.dist.reset();
+        self.parent.reset();
+        self.origin.reset();
+        self.settled.reset();
+        self.heap.clear();
+        self.settled_count = 0;
+    }
+
+    fn seed(&mut self, v: VertexId, d: Weight) {
+        if d < self.dist.get(v.index()) {
+            self.dist.set(v.index(), d);
+            self.origin.set(v.index(), v);
+            self.heap.push(Reverse((d, v)));
+        }
+    }
+
+    /// Runs until the queue is empty or `stop(v, d)` returns `true` for a
+    /// newly settled vertex (which is still recorded as settled).
+    fn run(&mut self, g: &Graph, dir: Dir, mut stop: impl FnMut(VertexId, Weight) -> bool) {
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if d > self.dist.get(v.index()) {
+                continue; // stale entry
+            }
+            self.settled.set(v.index(), true);
+            self.settled_count += 1;
+            if stop(v, d) {
+                return;
+            }
+            let ov = self.origin.get(v.index());
+            for (u, w) in dir.edges(g, v) {
+                let nd = inf_add(d, w);
+                if nd < self.dist.get(u.index()) {
+                    self.dist.set(u.index(), nd);
+                    self.parent.set(u.index(), v);
+                    self.origin.set(u.index(), ov);
+                    self.heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+    }
+
+    /// Shortest distance from `s` to `t` (`Forward`) or from `t` to `s`
+    /// (`Backward`), with early termination at the target.
+    pub fn one_to_one(&mut self, g: &Graph, dir: Dir, s: VertexId, t: VertexId) -> Weight {
+        self.prepare(g);
+        self.seed(s, 0);
+        self.run(g, dir, |v, _| v == t);
+        self.dist.get(t.index())
+    }
+
+    /// Full single-source shortest-path tree from `s`.
+    pub fn one_to_all(&mut self, g: &Graph, dir: Dir, s: VertexId) {
+        self.prepare(g);
+        self.seed(s, 0);
+        self.run(g, dir, |_, _| false);
+    }
+
+    /// Single-source search that stops once every vertex of `targets` is
+    /// settled. Returns the number of targets actually reached.
+    pub fn one_to_many(&mut self, g: &Graph, dir: Dir, s: VertexId, targets: &[VertexId]) -> usize {
+        self.prepare(g);
+        self.seed(s, 0);
+        let mut pending: std::collections::HashSet<VertexId> = targets.iter().copied().collect();
+        let total = pending.len();
+        if pending.is_empty() {
+            return 0;
+        }
+        let mut reached = 0usize;
+        self.run(g, dir, |v, _| {
+            if pending.remove(&v) {
+                reached += 1;
+            }
+            reached == total
+        });
+        reached
+    }
+
+    /// Multi-source search: every `(vertex, initial_cost)` pair seeds the
+    /// queue; [`Dijkstra::origin_of`] afterwards reports which seed settled
+    /// each vertex. This is exactly the GSP transition
+    /// `X[i][j] = min_l X[i-1][l] + dis(v_{i-1,l}, v_{i,j})`.
+    pub fn multi_source(&mut self, g: &Graph, dir: Dir, seeds: &[(VertexId, Weight)]) {
+        self.prepare(g);
+        for &(v, d) in seeds {
+            if is_finite(d) {
+                self.seed(v, d);
+            }
+        }
+        self.run(g, dir, |_, _| false);
+    }
+
+    /// Distance of `v` computed by the last run ([`INFINITY`] if unreached).
+    #[inline]
+    pub fn distance(&self, v: VertexId) -> Weight {
+        self.dist.get(v.index())
+    }
+
+    /// `true` iff `v` was settled (finalised) by the last run.
+    #[inline]
+    pub fn is_settled(&self, v: VertexId) -> bool {
+        self.settled.get(v.index())
+    }
+
+    /// Tree parent of `v` in the last run (`None` for seeds/unreached).
+    #[inline]
+    pub fn parent_of(&self, v: VertexId) -> Option<VertexId> {
+        let p = self.parent.get(v.index());
+        (p != NO_VERTEX).then_some(p)
+    }
+
+    /// The seed vertex whose search tree contains `v` (multi-source runs).
+    #[inline]
+    pub fn origin_of(&self, v: VertexId) -> Option<VertexId> {
+        let o = self.origin.get(v.index());
+        (o != NO_VERTEX).then_some(o)
+    }
+
+    /// Reconstructs the vertex sequence from the seed to `v` (for
+    /// `Dir::Forward`; for `Dir::Backward` the returned sequence is from `v`
+    /// to the seed). Returns `None` if `v` was not reached.
+    pub fn path_of(&self, dir: Dir, v: VertexId) -> Option<Vec<VertexId>> {
+        if !is_finite(self.dist.get(v.index())) {
+            return None;
+        }
+        let mut chain = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent_of(cur) {
+            chain.push(p);
+            cur = p;
+        }
+        if dir == Dir::Forward {
+            chain.reverse();
+        }
+        Some(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// 0→1(2), 1→2(2), 0→2(10), 2→3(1), 1→3(9)
+    fn line() -> Graph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(v(0), v(1), 2);
+        b.add_edge(v(1), v(2), 2);
+        b.add_edge(v(0), v(2), 10);
+        b.add_edge(v(2), v(3), 1);
+        b.add_edge(v(1), v(3), 9);
+        b.build()
+    }
+
+    #[test]
+    fn one_to_one_forward() {
+        let g = line();
+        let mut d = Dijkstra::new(g.num_vertices());
+        assert_eq!(d.one_to_one(&g, Dir::Forward, v(0), v(3)), 5);
+        assert_eq!(d.one_to_one(&g, Dir::Forward, v(0), v(2)), 4);
+        assert_eq!(d.one_to_one(&g, Dir::Forward, v(3), v(0)), INFINITY);
+    }
+
+    #[test]
+    fn one_to_one_backward_is_reverse_distance() {
+        let g = line();
+        let mut d = Dijkstra::new(g.num_vertices());
+        // Backward search from 3: dis(v, 3).
+        assert_eq!(d.one_to_one(&g, Dir::Backward, v(3), v(0)), 5);
+        assert_eq!(d.one_to_one(&g, Dir::Backward, v(3), v(2)), 1);
+    }
+
+    #[test]
+    fn one_to_all_distances_and_parents() {
+        let g = line();
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.one_to_all(&g, Dir::Forward, v(0));
+        assert_eq!(d.distance(v(0)), 0);
+        assert_eq!(d.distance(v(1)), 2);
+        assert_eq!(d.distance(v(2)), 4);
+        assert_eq!(d.distance(v(3)), 5);
+        assert_eq!(d.distance(v(4)), INFINITY);
+        assert!(!d.is_settled(v(4)));
+        assert_eq!(d.path_of(Dir::Forward, v(3)), Some(vec![v(0), v(1), v(2), v(3)]));
+        assert_eq!(d.path_of(Dir::Forward, v(4)), None);
+        assert_eq!(d.parent_of(v(0)), None);
+        assert_eq!(d.settled_count, 4);
+    }
+
+    #[test]
+    fn backward_path_orientation() {
+        let g = line();
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.one_to_all(&g, Dir::Backward, v(3));
+        // Path of vertex 0 in a backward search is the route 0 → … → 3.
+        assert_eq!(d.path_of(Dir::Backward, v(0)), Some(vec![v(0), v(1), v(2), v(3)]));
+    }
+
+    #[test]
+    fn one_to_many_early_stop() {
+        let g = line();
+        let mut d = Dijkstra::new(g.num_vertices());
+        let reached = d.one_to_many(&g, Dir::Forward, v(0), &[v(1), v(2)]);
+        assert_eq!(reached, 2);
+        assert_eq!(d.distance(v(1)), 2);
+        assert_eq!(d.distance(v(2)), 4);
+        // v3 may or may not be settled, but its tentative distance can't be wrong:
+        assert!(d.distance(v(3)) >= 5 || !d.is_settled(v(3)));
+        // Unreachable target
+        let reached = d.one_to_many(&g, Dir::Forward, v(0), &[v(4)]);
+        assert_eq!(reached, 0);
+        // Empty target list
+        assert_eq!(d.one_to_many(&g, Dir::Forward, v(0), &[]), 0);
+    }
+
+    #[test]
+    fn multi_source_origins() {
+        let g = line();
+        let mut d = Dijkstra::new(g.num_vertices());
+        // Seed 1 with 0 and 0 with 100: everything downstream of 1 should
+        // originate from 1.
+        d.multi_source(&g, Dir::Forward, &[(v(0), 100), (v(1), 0)]);
+        assert_eq!(d.distance(v(3)), 3);
+        assert_eq!(d.origin_of(v(3)), Some(v(1)));
+        assert_eq!(d.origin_of(v(0)), Some(v(0)));
+        assert_eq!(d.distance(v(0)), 100);
+    }
+
+    #[test]
+    fn multi_source_ignores_infinite_seeds() {
+        let g = line();
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.multi_source(&g, Dir::Forward, &[(v(0), INFINITY), (v(1), 1)]);
+        assert_eq!(d.distance(v(0)), INFINITY);
+        assert_eq!(d.distance(v(2)), 3);
+    }
+
+    #[test]
+    fn reuse_between_runs_is_clean() {
+        let g = line();
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.one_to_all(&g, Dir::Forward, v(0));
+        assert_eq!(d.distance(v(3)), 5);
+        d.one_to_all(&g, Dir::Forward, v(2));
+        assert_eq!(d.distance(v(3)), 1);
+        assert_eq!(d.distance(v(1)), INFINITY, "state from run 1 must not leak");
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(v(0), v(1), 0);
+        b.add_edge(v(1), v(2), 0);
+        let g = b.build();
+        let mut d = Dijkstra::new(3);
+        assert_eq!(d.one_to_one(&g, Dir::Forward, v(0), v(2)), 0);
+    }
+
+    #[test]
+    fn dir_flip() {
+        assert_eq!(Dir::Forward.flip(), Dir::Backward);
+        assert_eq!(Dir::Backward.flip(), Dir::Forward);
+    }
+}

@@ -1,0 +1,32 @@
+//! # kosr-pathfinding
+//!
+//! Shortest-path substrate for the KOSR workspace:
+//!
+//! * [`Dijkstra`] — reusable one-to-one / one-to-all / one-to-many /
+//!   multi-source searches with parent and origin tracking (the GSP
+//!   baseline's transition engine),
+//! * [`BiDijkstra`] — bidirectional point-to-point queries,
+//! * [`AStar`] — heuristic point-to-point search (the single-pair analogue
+//!   of StarKOSR's estimation strategy),
+//! * [`ResumableDijkstra`] — pausable settled-vertex streams powering the
+//!   paper's Dijkstra-based nearest-neighbor baselines (`*-Dij`),
+//! * [`Path`] — validated concrete routes,
+//! * [`TimestampedVec`] — O(1)-resettable scratch arrays shared by all of
+//!   the above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod astar;
+mod bidirectional;
+mod dijkstra;
+mod knn;
+mod path;
+mod timestamp;
+
+pub use astar::AStar;
+pub use bidirectional::BiDijkstra;
+pub use dijkstra::{Dijkstra, Dir};
+pub use knn::ResumableDijkstra;
+pub use path::{Path, PathError};
+pub use timestamp::TimestampedVec;

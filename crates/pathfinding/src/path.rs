@@ -1,0 +1,208 @@
+//! Concrete paths (Definition 2): vertex sequences connected by edges, with
+//! validation and concatenation helpers used when materialising a witness
+//! back into an actual route.
+
+use kosr_graph::{Graph, VertexId, Weight};
+
+/// A concrete route `⟨v0, v1, …, vq⟩` whose consecutive vertices are joined
+/// by graph edges, together with its total cost (Definition 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// The vertex sequence; at least one vertex.
+    pub vertices: Vec<VertexId>,
+    /// Sum of the traversed edge weights.
+    pub cost: Weight,
+}
+
+/// Ways a vertex sequence can fail [`Path::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// The vertex list is empty.
+    Empty,
+    /// Two consecutive vertices are not joined by an edge.
+    MissingEdge(VertexId, VertexId),
+    /// The stored cost differs from the sum of edge weights.
+    CostMismatch {
+        /// Cost recorded on the path.
+        stored: Weight,
+        /// Cost recomputed from the graph.
+        actual: Weight,
+    },
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "empty path"),
+            PathError::MissingEdge(u, v) => write!(f, "no edge {u:?} -> {v:?}"),
+            PathError::CostMismatch { stored, actual } => {
+                write!(f, "stored cost {stored} != recomputed {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl Path {
+    /// A single-vertex path of cost 0.
+    pub fn trivial(v: VertexId) -> Path {
+        Path {
+            vertices: vec![v],
+            cost: 0,
+        }
+    }
+
+    /// Builds a path from a vertex sequence, computing its cost from the
+    /// graph. Fails if any consecutive pair lacks an edge.
+    pub fn from_vertices(g: &Graph, vertices: Vec<VertexId>) -> Result<Path, PathError> {
+        if vertices.is_empty() {
+            return Err(PathError::Empty);
+        }
+        let mut cost = 0;
+        for pair in vertices.windows(2) {
+            match g.edge_weight(pair[0], pair[1]) {
+                Some(w) => cost += w,
+                None => return Err(PathError::MissingEdge(pair[0], pair[1])),
+            }
+        }
+        Ok(Path { vertices, cost })
+    }
+
+    /// First vertex.
+    pub fn source(&self) -> VertexId {
+        *self.vertices.first().expect("paths are non-empty")
+    }
+
+    /// Last vertex.
+    pub fn target(&self) -> VertexId {
+        *self.vertices.last().expect("paths are non-empty")
+    }
+
+    /// Number of vertices `|P|`.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` iff the path has no vertices (never true for validated paths).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Checks edge existence and cost consistency against `g`.
+    pub fn validate(&self, g: &Graph) -> Result<(), PathError> {
+        if self.vertices.is_empty() {
+            return Err(PathError::Empty);
+        }
+        let mut actual = 0;
+        for pair in self.vertices.windows(2) {
+            match g.edge_weight(pair[0], pair[1]) {
+                Some(w) => actual += w,
+                None => return Err(PathError::MissingEdge(pair[0], pair[1])),
+            }
+        }
+        if actual != self.cost {
+            return Err(PathError::CostMismatch {
+                stored: self.cost,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends `other` to `self`; `other` must start where `self` ends.
+    /// The duplicated junction vertex is kept once.
+    pub fn concat(mut self, other: &Path) -> Path {
+        assert_eq!(
+            self.target(),
+            other.source(),
+            "paths must share their junction vertex"
+        );
+        self.vertices.extend_from_slice(&other.vertices[1..]);
+        self.cost += other.cost;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::GraphBuilder;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn g() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1), 2);
+        b.add_edge(v(1), v(2), 3);
+        b.add_edge(v(2), v(3), 4);
+        b.build()
+    }
+
+    #[test]
+    fn from_vertices_computes_cost() {
+        let g = g();
+        let p = Path::from_vertices(&g, vec![v(0), v(1), v(2)]).unwrap();
+        assert_eq!(p.cost, 5);
+        assert_eq!(p.source(), v(0));
+        assert_eq!(p.target(), v(2));
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        p.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn missing_edge_detected() {
+        let g = g();
+        let err = Path::from_vertices(&g, vec![v(0), v(2)]).unwrap_err();
+        assert_eq!(err, PathError::MissingEdge(v(0), v(2)));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let g = g();
+        assert_eq!(Path::from_vertices(&g, vec![]).unwrap_err(), PathError::Empty);
+    }
+
+    #[test]
+    fn cost_mismatch_detected() {
+        let g = g();
+        let mut p = Path::from_vertices(&g, vec![v(0), v(1)]).unwrap();
+        p.cost = 99;
+        assert!(matches!(
+            p.validate(&g),
+            Err(PathError::CostMismatch { stored: 99, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn concat_joins_at_junction() {
+        let g = g();
+        let a = Path::from_vertices(&g, vec![v(0), v(1)]).unwrap();
+        let b = Path::from_vertices(&g, vec![v(1), v(2), v(3)]).unwrap();
+        let joined = a.concat(&b);
+        assert_eq!(joined.vertices, vec![v(0), v(1), v(2), v(3)]);
+        assert_eq!(joined.cost, 9);
+        joined.validate(&g).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "junction")]
+    fn concat_requires_junction() {
+        let g = g();
+        let a = Path::from_vertices(&g, vec![v(0), v(1)]).unwrap();
+        let b = Path::from_vertices(&g, vec![v(2), v(3)]).unwrap();
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = g();
+        let p = Path::trivial(v(2));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.cost, 0);
+        p.validate(&g).unwrap();
+    }
+}

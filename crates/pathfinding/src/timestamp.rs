@@ -1,0 +1,147 @@
+//! Version-stamped arrays: O(1) logical clearing of per-vertex scratch state.
+//!
+//! Query algorithms run thousands of searches over the same graph. Clearing a
+//! `Vec<Weight>` of |V| entries per search would dominate run time, and a
+//! `HashMap` per search would allocate. A timestamped array keeps a version
+//! counter per slot; bumping the global version invalidates every slot in
+//! O(1) (the rustc "generation index" pattern from the design-pattern guide).
+
+/// A fixed-size array whose contents can be reset in O(1).
+#[derive(Clone, Debug)]
+pub struct TimestampedVec<T> {
+    data: Vec<T>,
+    stamp: Vec<u32>,
+    version: u32,
+    default: T,
+}
+
+impl<T: Copy> TimestampedVec<T> {
+    /// Creates an array of `n` slots, all logically holding `default`.
+    pub fn new(n: usize, default: T) -> Self {
+        TimestampedVec {
+            data: vec![default; n],
+            stamp: vec![0; n],
+            version: 1,
+            default,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the array has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Logically resets every slot to the default value, in O(1)
+    /// (amortised: on version wrap-around the stamps are zeroed eagerly).
+    pub fn reset(&mut self) {
+        if self.version == u32::MAX {
+            self.stamp.fill(0);
+            self.version = 0;
+        }
+        self.version += 1;
+    }
+
+    /// Reads slot `i` (default if untouched since the last reset).
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> T {
+        if self.stamp[i] == self.version {
+            self.data[i]
+        } else {
+            self.default
+        }
+    }
+
+    /// Writes slot `i`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, value: T) {
+        self.stamp[i] = self.version;
+        self.data[i] = value;
+    }
+
+    /// `true` iff slot `i` was written since the last reset.
+    #[inline(always)]
+    pub fn is_set(&self, i: usize) -> bool {
+        self.stamp[i] == self.version
+    }
+
+    /// Grows the array to cover `n` slots (no-op if already larger).
+    pub fn resize(&mut self, n: usize) {
+        if n > self.data.len() {
+            self.data.resize(n, self.default);
+            self.stamp.resize(n, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_until_set() {
+        let mut a = TimestampedVec::new(4, u64::MAX);
+        assert_eq!(a.get(2), u64::MAX);
+        assert!(!a.is_set(2));
+        a.set(2, 7);
+        assert_eq!(a.get(2), 7);
+        assert!(a.is_set(2));
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_logically() {
+        let mut a = TimestampedVec::new(3, 0u32);
+        a.set(0, 1);
+        a.set(1, 2);
+        a.reset();
+        assert_eq!(a.get(0), 0);
+        assert_eq!(a.get(1), 0);
+        assert!(!a.is_set(0));
+        a.set(0, 9);
+        assert_eq!(a.get(0), 9);
+    }
+
+    #[test]
+    fn many_resets_do_not_confuse_slots() {
+        let mut a = TimestampedVec::new(2, -1i64);
+        for round in 0..100 {
+            a.reset();
+            assert_eq!(a.get(0), -1, "round {round}");
+            a.set(0, round);
+            assert_eq!(a.get(0), round);
+            assert_eq!(a.get(1), -1);
+        }
+    }
+
+    #[test]
+    fn resize_preserves_contents() {
+        let mut a = TimestampedVec::new(2, 0u8);
+        a.set(1, 5);
+        a.resize(5);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(4), 0);
+        a.resize(3); // shrink request ignored
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn version_wraparound_is_handled() {
+        let mut a = TimestampedVec::new(1, 0u32);
+        // Force the version to the wrap boundary and cross it.
+        a.version = u32::MAX - 1;
+        a.set(0, 3);
+        a.reset(); // version == u32::MAX
+        assert_eq!(a.get(0), 0);
+        a.set(0, 4);
+        a.reset(); // wraps: stamps zeroed
+        assert_eq!(a.get(0), 0);
+        a.set(0, 5);
+        assert_eq!(a.get(0), 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Category assignment following §V-A of the paper:
+//!
+//! * **uniform** — "we fix the number of vertices in each category with
+//!   parameter `|Ci|`, and then uniformly assign a category to vertices"
+//!   (the default for COL/FLA/G+);
+//! * **zipfian** — skewed category sizes controlled by a factor `f ≥ 1`,
+//!   where *greater `f` means less skew* (the FLA experiment of Figure 6).
+//!
+//! The paper does not spell out its zipf parameterisation; here sizes
+//! follow `size(rank) ∝ rank^(-2.4 / f)`, which preserves the property the
+//! experiment depends on (at `f = 1.2` the largest category outweighs the
+//! smallest by orders of magnitude; by `f = 1.8` the sizes flatten).
+
+use kosr_graph::{CategoryId, Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Assigns `num_categories` categories of exactly `category_size` uniformly
+/// random distinct vertices each (a vertex may serve several categories).
+///
+/// # Panics
+/// Panics if `category_size` exceeds the vertex count.
+pub fn assign_uniform(g: &mut Graph, num_categories: usize, category_size: usize, seed: u64) {
+    let n = g.num_vertices();
+    assert!(category_size <= n, "category larger than the graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = kosr_graph::CategoryTable::new(n);
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    for ci in 0..num_categories {
+        let c = table.add_category(format!("C{ci}"));
+        pool.shuffle(&mut rng);
+        for &v in &pool[..category_size] {
+            table.insert(VertexId(v), c);
+        }
+    }
+    g.set_categories(table);
+}
+
+/// The zipfian sizes used by [`assign_zipf`], exposed for inspection:
+/// `num_categories` sizes summing to ≈ `total_memberships`, skew controlled
+/// by `f` (≥ 1; larger = flatter).
+pub fn zipf_sizes(num_categories: usize, total_memberships: usize, f: f64) -> Vec<usize> {
+    assert!(f >= 1.0, "the paper's factor f is at least 1");
+    let alpha = 2.4 / f;
+    let weights: Vec<f64> = (1..=num_categories)
+        .map(|rank| (rank as f64).powf(-alpha))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| ((w / total_w) * total_memberships as f64).round().max(1.0) as usize)
+        .collect()
+}
+
+/// Assigns `num_categories` categories with zipfian-skewed sizes totalling
+/// ≈ `total_memberships` memberships.
+pub fn assign_zipf(
+    g: &mut Graph,
+    num_categories: usize,
+    total_memberships: usize,
+    f: f64,
+    seed: u64,
+) {
+    let n = g.num_vertices();
+    let sizes = zipf_sizes(num_categories, total_memberships, f);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = kosr_graph::CategoryTable::new(n);
+    let mut pool: Vec<u32> = (0..n as u32).collect();
+    for (ci, &size) in sizes.iter().enumerate() {
+        let c = table.add_category(format!("Z{ci}"));
+        pool.shuffle(&mut rng);
+        for &v in &pool[..size.min(n)] {
+            table.insert(VertexId(v), c);
+        }
+    }
+    g.set_categories(table);
+}
+
+/// Convenience: the category ids `0..count` (the assigners number them
+/// densely).
+pub fn category_ids(count: usize) -> Vec<CategoryId> {
+    (0..count as u32).map(CategoryId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::road_grid_undirected;
+
+    #[test]
+    fn uniform_sizes_are_exact() {
+        let mut g = road_grid_undirected(10, 10, 1);
+        assign_uniform(&mut g, 5, 17, 99);
+        assert_eq!(g.categories().num_categories(), 5);
+        for c in category_ids(5) {
+            assert_eq!(g.categories().category_size(c), 17);
+        }
+        assert_eq!(g.categories().num_memberships(), 5 * 17);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let mut a = road_grid_undirected(8, 8, 1);
+        let mut b = road_grid_undirected(8, 8, 1);
+        assign_uniform(&mut a, 3, 10, 7);
+        assign_uniform(&mut b, 3, 10, 7);
+        for c in category_ids(3) {
+            assert_eq!(a.categories().vertices_of(c), b.categories().vertices_of(c));
+        }
+    }
+
+    #[test]
+    fn zipf_sizes_skew_shrinks_with_f() {
+        let skewed = zipf_sizes(20, 4000, 1.2);
+        let flat = zipf_sizes(20, 4000, 1.8);
+        let ratio = |s: &[usize]| s[0] as f64 / s[s.len() - 1].max(1) as f64;
+        assert!(
+            ratio(&skewed) > ratio(&flat),
+            "f=1.2 must be more skewed than f=1.8 ({} vs {})",
+            ratio(&skewed),
+            ratio(&flat)
+        );
+        assert!(ratio(&skewed) > 50.0, "f=1.2 is heavily skewed");
+        // Sizes are nonincreasing by rank.
+        for w in skewed.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn zipf_assignment_totals_roughly_match() {
+        let mut g = road_grid_undirected(20, 20, 3);
+        assign_zipf(&mut g, 10, 300, 1.4, 5);
+        let total = g.categories().num_memberships();
+        assert!((250..=360).contains(&total), "total {total}");
+        assert_eq!(g.categories().num_categories(), 10);
+        // Every category is non-empty.
+        for c in category_ids(10) {
+            assert!(g.categories().category_size(c) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "category larger")]
+    fn uniform_rejects_oversized_categories() {
+        let mut g = road_grid_undirected(3, 3, 1);
+        assign_uniform(&mut g, 1, 100, 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Synthetic graph generators with the *shape* of the paper's datasets
+//! (Table VII): sparse near-planar road networks — undirected with
+//! distance-like weights (CAL, NYC) or directed with asymmetric travel
+//! times (COL, FLA) — and a dense, low-diameter, unit-weight social graph
+//! (G+). All generators are fully seeded and deterministic.
+
+use kosr_graph::{Graph, GraphBuilder, VertexId, Weight};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected road network: a `rows × cols` grid with perturbed
+/// distance weights plus a sprinkle of diagonal shortcut streets.
+///
+/// Distances are symmetric; like real road distances they still violate
+/// the triangle inequality as *graph* weights (a direct edge may be longer
+/// than a detour).
+pub fn road_grid_undirected(rows: u32, cols: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (rows * cols) as usize;
+    let mut b = GraphBuilder::new(n).with_edge_capacity(4 * n);
+    let id = |r: u32, c: u32| VertexId(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_undirected_edge(id(r, c), id(r, c + 1), rng.gen_range(10..100));
+            }
+            if r + 1 < rows {
+                b.add_undirected_edge(id(r, c), id(r + 1, c), rng.gen_range(10..100));
+            }
+            // Occasional diagonal street (~10% of cells).
+            if c + 1 < cols && r + 1 < rows && rng.gen_bool(0.1) {
+                b.add_undirected_edge(id(r, c), id(r + 1, c + 1), rng.gen_range(14..140));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A directed road network: the same grid topology with **asymmetric**
+/// travel-time weights — each direction of a street is perturbed
+/// independently (rush-hour asymmetry), as in the paper's COL/FLA graphs.
+pub fn road_grid_directed(rows: u32, cols: u32, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = (rows * cols) as usize;
+    let mut b = GraphBuilder::new(n).with_edge_capacity(4 * n);
+    let id = |r: u32, c: u32| VertexId(r * cols + c);
+    let two_way = |b: &mut GraphBuilder, u: VertexId, v: VertexId, rng: &mut StdRng| {
+        let base: Weight = rng.gen_range(10..100);
+        // Each direction deviates up to ±30% from the base time.
+        let skew = |rng: &mut StdRng, base: Weight| {
+            let lo = (base * 7) / 10;
+            let hi = (base * 13) / 10;
+            rng.gen_range(lo..=hi).max(1)
+        };
+        b.add_edge(u, v, skew(rng, base));
+        b.add_edge(v, u, skew(rng, base));
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                two_way(&mut b, id(r, c), id(r, c + 1), &mut rng);
+            }
+            if r + 1 < rows {
+                two_way(&mut b, id(r, c), id(r + 1, c), &mut rng);
+            }
+            if c + 1 < cols && r + 1 < rows && rng.gen_bool(0.1) {
+                two_way(&mut b, id(r, c), id(r + 1, c + 1), &mut rng);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A social graph in the style of G+: preferential attachment with
+/// `attach` links per new vertex, every edge in both directions with unit
+/// weight. Dense neighborhoods, diameter of a handful of hops.
+pub fn social_graph(n: u32, attach: usize, seed: u64) -> Graph {
+    assert!(attach >= 1 && (attach as u32) < n.max(2), "attach out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n as usize).with_edge_capacity(2 * attach * n as usize);
+    // Endpoint multiset for degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * attach * n as usize);
+    let m0 = (attach as u32 + 1).min(n);
+    for i in 0..m0 {
+        for j in (i + 1)..m0 {
+            b.add_undirected_edge(VertexId(i), VertexId(j), 1);
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in m0..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(attach);
+        let mut guard = 0;
+        while chosen.len() < attach && guard < 50 * attach {
+            guard += 1;
+            let pick = endpoints[rng.gen_range(0..endpoints.len())];
+            if pick != v && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &u in &chosen {
+            b.add_undirected_edge(VertexId(v), VertexId(u), 1);
+            endpoints.push(v);
+            endpoints.push(u);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_pathfinding::{Dijkstra, Dir};
+
+    #[test]
+    fn undirected_grid_shape() {
+        let g = road_grid_undirected(10, 12, 1);
+        assert_eq!(g.num_vertices(), 120);
+        // Grid edges both ways: at least 2*(9*12 + 10*11) directed edges.
+        assert!(g.num_edges() >= 2 * (9 * 12 + 10 * 11));
+        // Symmetric weights.
+        for u in g.vertices().take(30) {
+            for (v, w) in g.out_edges(u) {
+                assert_eq!(g.edge_weight(v, u), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_grid_is_connected() {
+        let g = road_grid_undirected(8, 8, 7);
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.one_to_all(&g, Dir::Forward, VertexId(0));
+        assert_eq!(d.settled_count, 64);
+    }
+
+    #[test]
+    fn directed_grid_is_strongly_connected_but_asymmetric() {
+        let g = road_grid_directed(8, 8, 3);
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.one_to_all(&g, Dir::Forward, VertexId(0));
+        assert_eq!(d.settled_count, 64, "forward reachability");
+        d.one_to_all(&g, Dir::Backward, VertexId(0));
+        assert_eq!(d.settled_count, 64, "backward reachability");
+        // At least one street with asymmetric directions.
+        let asymmetric = g.vertices().any(|u| {
+            g.out_edges(u)
+                .any(|(v, w)| g.edge_weight(v, u).is_some_and(|w2| w2 != w))
+        });
+        assert!(asymmetric);
+    }
+
+    #[test]
+    fn social_graph_is_dense_and_low_diameter() {
+        let g = social_graph(500, 8, 11);
+        assert_eq!(g.num_vertices(), 500);
+        assert!(g.num_edges() >= 2 * 8 * 450);
+        // Unit weights ⇒ hop distances; diameter stays small.
+        let mut d = Dijkstra::new(g.num_vertices());
+        d.one_to_all(&g, Dir::Forward, VertexId(42));
+        assert_eq!(d.settled_count, 500, "connected");
+        let max_hops = g.vertices().map(|v| d.distance(v)).max().unwrap();
+        assert!(max_hops <= 6, "diameter {max_hops} too large for a PA graph");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = road_grid_directed(6, 6, 42);
+        let b = road_grid_directed(6, 6, 42);
+        assert_eq!(a.total_weight(), b.total_weight());
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = road_grid_directed(6, 6, 43);
+        assert_ne!(a.total_weight(), c.total_weight());
+        let s1 = social_graph(100, 4, 9);
+        let s2 = social_graph(100, 4, 9);
+        assert_eq!(s1.num_edges(), s2.num_edges());
+    }
+}

@@ -1,0 +1,162 @@
+//! Seeded KOSR query generation (§V-A "Queries"): "for each KOSR query
+//! `(s, t, C, k)`, we randomly select a source-destination pair, a category
+//! sequence with size |C|, and an integer k. … In each experiment, 50
+//! random query instances are constructed and the average query time is
+//! reported."
+//!
+//! Source/destination pairs are resampled (boundedly) until the destination
+//! is reachable, so every instance measures real route-finding work rather
+//! than an immediate infeasibility exit.
+
+use kosr_graph::{is_finite, CategoryId, Graph, VertexId};
+use kosr_pathfinding::{BiDijkstra, Dijkstra, Dir};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One generated query instance (mirrors `kosr_core::Query` without the
+/// dependency).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Source vertex.
+    pub source: VertexId,
+    /// Destination vertex.
+    pub target: VertexId,
+    /// Category sequence of the requested length.
+    pub categories: Vec<CategoryId>,
+    /// Number of routes requested.
+    pub k: usize,
+}
+
+/// Generates `count` seeded query instances over `g`.
+///
+/// * `c_len` — the category-sequence length `|C|`; categories are sampled
+///   without replacement from the graph's non-empty categories (with
+///   replacement if fewer than `c_len` exist).
+/// * `k` — the fixed `k` of every instance.
+///
+/// # Panics
+/// Panics if the graph has no vertices or no non-empty categories.
+pub fn gen_queries(g: &Graph, count: usize, c_len: usize, k: usize, seed: u64) -> Vec<QuerySpec> {
+    let n = g.num_vertices();
+    assert!(n >= 2, "need at least two vertices");
+    let nonempty: Vec<CategoryId> = (0..g.categories().num_categories() as u32)
+        .map(CategoryId)
+        .filter(|&c| g.categories().category_size(c) > 0)
+        .collect();
+    assert!(!nonempty.is_empty(), "graph has no categorised vertices");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bidir = BiDijkstra::new(n);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Reachable (s, t) pair, with a bounded number of retries.
+        let (mut s, mut t) = (VertexId(0), VertexId(0));
+        let mut ok = false;
+        for _ in 0..100 {
+            s = VertexId(rng.gen_range(0..n as u32));
+            t = VertexId(rng.gen_range(0..n as u32));
+            if s != t && is_finite(bidir.distance(g, s, t)) {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "could not sample a reachable source-destination pair");
+
+        let categories = if nonempty.len() >= c_len {
+            let mut pool = nonempty.clone();
+            pool.shuffle(&mut rng);
+            pool.truncate(c_len);
+            pool
+        } else {
+            (0..c_len)
+                .map(|_| nonempty[rng.gen_range(0..nonempty.len())])
+                .collect()
+        };
+        out.push(QuerySpec {
+            source: s,
+            target: t,
+            categories,
+            k,
+        });
+    }
+    out
+}
+
+/// `true` iff at least one feasible route exists for `spec` — used by tests
+/// to cross-check algorithm outputs on generated workloads.
+pub fn is_feasible(g: &Graph, spec: &QuerySpec) -> bool {
+    // Forward reachability sweep through the category layers.
+    let mut d = Dijkstra::new(g.num_vertices());
+    let mut frontier: Vec<(VertexId, kosr_graph::Weight)> = vec![(spec.source, 0)];
+    for &c in &spec.categories {
+        d.multi_source(g, Dir::Forward, &frontier);
+        frontier = g
+            .categories()
+            .vertices_of(c)
+            .iter()
+            .filter(|&&m| is_finite(d.distance(m)))
+            .map(|&m| (m, d.distance(m)))
+            .collect();
+        if frontier.is_empty() {
+            return false;
+        }
+    }
+    d.multi_source(g, Dir::Forward, &frontier);
+    is_finite(d.distance(spec.target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::assign_uniform;
+    use crate::graphs::{road_grid_directed, social_graph};
+
+    fn setup() -> Graph {
+        let mut g = road_grid_directed(12, 12, 5);
+        assign_uniform(&mut g, 8, 20, 9);
+        g
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = setup();
+        let qs = gen_queries(&g, 10, 4, 7, 42);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            assert_ne!(q.source, q.target);
+            assert_eq!(q.categories.len(), 4);
+            assert_eq!(q.k, 7);
+            // No-replacement sampling: distinct categories.
+            let mut c = q.categories.clone();
+            c.sort_unstable();
+            c.dedup();
+            assert_eq!(c.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = setup();
+        assert_eq!(gen_queries(&g, 5, 3, 10, 1), gen_queries(&g, 5, 3, 10, 1));
+        assert_ne!(gen_queries(&g, 5, 3, 10, 1), gen_queries(&g, 5, 3, 10, 2));
+    }
+
+    #[test]
+    fn grid_queries_are_feasible() {
+        let g = setup();
+        for q in gen_queries(&g, 10, 3, 5, 3) {
+            assert!(is_feasible(&g, &q));
+        }
+    }
+
+    #[test]
+    fn repeats_allowed_when_categories_scarce() {
+        let mut g = social_graph(200, 5, 2);
+        assign_uniform(&mut g, 2, 30, 3);
+        let qs = gen_queries(&g, 5, 4, 3, 8);
+        for q in &qs {
+            assert_eq!(q.categories.len(), 4, "sampled with replacement");
+        }
+    }
+}

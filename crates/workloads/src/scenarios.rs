@@ -1,0 +1,235 @@
+//! The five evaluation scenarios — laptop-scale analogues of the paper's
+//! Table VII datasets, preserving each dataset's *shape*:
+//!
+//! | scenario | paper dataset | shape preserved |
+//! |---|---|---|
+//! | `cal`   | California road network + real POIs | undirected distance weights, many (63) modest categories |
+//! | `nyc`   | New York City roads + OSM POIs | undirected, larger, many (135) small categories |
+//! | `col`   | Colorado roads | directed asymmetric travel times, uniform synthetic categories |
+//! | `fla`   | Florida roads (the paper's main sweep graph) | directed, largest road graph, uniform synthetic categories |
+//! | `gplus` | Google+ social graph | dense unit-weight graph of tiny diameter |
+//!
+//! Sizes are scaled down ~50× so the full reproduction runs in minutes;
+//! every generator parameter lives here so the scale can be turned back up.
+
+use kosr_graph::Graph;
+
+use crate::categories::{assign_uniform, assign_zipf};
+use crate::graphs::{road_grid_directed, road_grid_undirected, social_graph};
+
+/// Which scenario to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScenarioName {
+    /// California-like: undirected roads, 63 real-ish categories.
+    Cal,
+    /// New-York-City-like: undirected roads, 135 POI categories.
+    Nyc,
+    /// Colorado-like: directed travel-time roads, uniform categories.
+    Col,
+    /// Florida-like: directed travel-time roads (the main sweep graph).
+    Fla,
+    /// Google+-like: dense unit-weight social graph.
+    Gplus,
+}
+
+impl ScenarioName {
+    /// All five scenarios in the paper's presentation order.
+    pub const ALL: [ScenarioName; 5] = [
+        ScenarioName::Cal,
+        ScenarioName::Nyc,
+        ScenarioName::Col,
+        ScenarioName::Fla,
+        ScenarioName::Gplus,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScenarioName::Cal => "CAL",
+            ScenarioName::Nyc => "NYC",
+            ScenarioName::Col => "COL",
+            ScenarioName::Fla => "FLA",
+            ScenarioName::Gplus => "G+",
+        }
+    }
+}
+
+/// A fully parameterised scenario; [`Scenario::build`] yields the graph.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Which dataset this mimics.
+    pub name: ScenarioName,
+    /// Scaling knob: 1.0 = the default laptop scale below.
+    pub scale: f64,
+    /// Override for the per-category size of the uniform scenarios
+    /// (`|Ci|`, the Figure 3(h) sweep). `None` = scenario default.
+    pub category_size: Option<usize>,
+    /// RNG seed for both the graph and the categories.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The scenario at default scale and seed.
+    pub fn new(name: ScenarioName) -> Scenario {
+        Scenario {
+            name,
+            scale: 1.0,
+            category_size: None,
+            seed: 0x5eed_0000 + name as u64,
+        }
+    }
+
+    /// Overrides the uniform per-category size `|Ci|`.
+    pub fn with_category_size(mut self, size: usize) -> Scenario {
+        self.category_size = Some(size);
+        self
+    }
+
+    /// Overrides the scale factor.
+    pub fn with_scale(mut self, scale: f64) -> Scenario {
+        self.scale = scale;
+        self
+    }
+
+    fn dim(&self, base: u32) -> u32 {
+        ((base as f64) * self.scale.sqrt()).round().max(4.0) as u32
+    }
+
+    /// Default `|Ci|` for the uniform scenarios (the paper's 10,000 scaled).
+    pub fn default_category_size(&self) -> usize {
+        let base = match self.name {
+            ScenarioName::Col => 150,
+            ScenarioName::Fla => 200,
+            ScenarioName::Gplus => 120,
+            _ => 100,
+        };
+        ((base as f64) * self.scale).round().max(4.0) as usize
+    }
+
+    /// Number of categories carried by the scenario.
+    pub fn num_categories(&self) -> usize {
+        match self.name {
+            ScenarioName::Cal => 63,
+            ScenarioName::Nyc => 135,
+            _ => 20,
+        }
+    }
+
+    /// Builds the graph with categories assigned.
+    pub fn build(&self) -> Graph {
+        let seed = self.seed;
+        match self.name {
+            ScenarioName::Cal => {
+                // ~4.2k vertices; 63 moderately skewed categories covering
+                // ~60% of the vertices (CAL: 47k of 68k categorised).
+                let mut g = road_grid_undirected(self.dim(64), self.dim(66), seed);
+                let memberships = (g.num_vertices() as f64 * 0.6) as usize;
+                assign_zipf(&mut g, 63, memberships, 1.6, seed ^ 0xCA7);
+                g
+            }
+            ScenarioName::Nyc => {
+                // ~7.4k vertices; 135 small POI categories (~30% coverage).
+                let mut g = road_grid_undirected(self.dim(85), self.dim(87), seed);
+                let memberships = (g.num_vertices() as f64 * 0.3) as usize;
+                assign_zipf(&mut g, 135, memberships, 1.8, seed ^ 0x24C);
+                g
+            }
+            ScenarioName::Col => {
+                let mut g = road_grid_directed(self.dim(77), self.dim(78), seed);
+                let size = self.category_size.unwrap_or_else(|| self.default_category_size());
+                assign_uniform(&mut g, self.num_categories(), size, seed ^ 0xC01);
+                g
+            }
+            ScenarioName::Fla => {
+                let mut g = road_grid_directed(self.dim(95), self.dim(97), seed);
+                let size = self.category_size.unwrap_or_else(|| self.default_category_size());
+                assign_uniform(&mut g, self.num_categories(), size, seed ^ 0xF1A);
+                g
+            }
+            ScenarioName::Gplus => {
+                // ~2.2k vertices with ~25 attachments: dense, diameter ≈ 4.
+                let n = ((2200.0 * self.scale) as u32).max(50);
+                let mut g = social_graph(n, 25, seed);
+                let size = self
+                    .category_size
+                    .unwrap_or_else(|| self.default_category_size())
+                    .min(g.num_vertices());
+                assign_uniform(&mut g, self.num_categories(), size, seed ^ 0x901);
+                g
+            }
+        }
+    }
+}
+
+/// The paper's Table VIII parameter grid, scaled: sweep values with the
+/// defaults in **bold** marked by `default`.
+#[derive(Clone, Copy, Debug)]
+pub struct ParameterGrid {
+    /// `|Ci|` sweep (Figure 3(h)); paper: 5k, **10k**, 15k, 20k.
+    pub category_sizes: [usize; 4],
+    /// `|C|` sweep (Figures 3(f,g)); paper: 2, 4, **6**, 8, 10.
+    pub c_lens: [usize; 5],
+    /// `k` sweep (Figures 3(d,e)); paper: 10, 20, **30**, 40, 50.
+    pub ks: [usize; 5],
+    /// Default `|C|`.
+    pub default_c_len: usize,
+    /// Default `k`.
+    pub default_k: usize,
+    /// Query instances per measurement point (the paper uses 50).
+    pub instances: usize,
+}
+
+impl Default for ParameterGrid {
+    fn default() -> Self {
+        ParameterGrid {
+            category_sizes: [100, 200, 300, 400],
+            c_lens: [2, 4, 6, 8, 10],
+            ks: [10, 20, 30, 40, 50],
+            default_c_len: 6,
+            default_k: 30,
+            instances: 50,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build() {
+        for name in ScenarioName::ALL {
+            let s = Scenario::new(name).with_scale(0.05);
+            let g = s.build();
+            assert!(g.num_vertices() > 0, "{}", name.as_str());
+            assert!(g.num_edges() > 0);
+            assert_eq!(g.categories().num_categories(), s.num_categories());
+            assert!(g.categories().num_memberships() > 0);
+        }
+    }
+
+    #[test]
+    fn category_size_override() {
+        let s = Scenario::new(ScenarioName::Fla)
+            .with_scale(0.05)
+            .with_category_size(7);
+        let g = s.build();
+        for c in 0..20u32 {
+            assert_eq!(g.categories().category_size(kosr_graph::CategoryId(c)), 7);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = Scenario::new(ScenarioName::Col).with_scale(0.05).build();
+        let b = Scenario::new(ScenarioName::Col).with_scale(0.05).build();
+        assert_eq!(a.total_weight(), b.total_weight());
+        assert_eq!(a.categories().num_memberships(), b.categories().num_memberships());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ScenarioName::Gplus.as_str(), "G+");
+        assert_eq!(ScenarioName::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Dynamic category maintenance (§IV-C): a venue changes what it offers and
+//! the index follows along **without** rebuilding the 2-hop labels.
+//!
+//! A café at a busy corner starts serving full dinners, so it joins the
+//! `restaurant` category: the inverted label index absorbs the change in
+//! `O(|Lin(v)| log |Ci|)`, and the very next query can route through it.
+//! Later it drops the dinner menu again and the index (and answers) return
+//! to the previous state.
+//!
+//! ```text
+//! cargo run --release --example dynamic_updates
+//! ```
+
+use kosr::core::{IndexedGraph, Method, Query};
+use kosr::graph::CategoryId;
+use kosr::workloads::{assign_uniform, gen_queries, road_grid_undirected};
+
+fn main() {
+    let mut g = road_grid_undirected(40, 40, 31);
+    assign_uniform(&mut g, 2, 25, 8);
+    let (cafe, restaurant) = (CategoryId(0), CategoryId(1));
+    let mut ig = IndexedGraph::build_default(g);
+
+    let spec = &gen_queries(&ig.graph, 1, 2, 3, 2)[0];
+    let query = Query::new(spec.source, spec.target, vec![cafe, restaurant], 3);
+    let before = ig.run(&query, Method::Sk);
+    println!("before the update: top-3 costs {:?}", before.costs());
+
+    // Promote the best café into the restaurant category too (it now serves
+    // dinner). The incremental update touches only the inverted lists of
+    // the hubs in the café's Lin label.
+    let promoted = before.witnesses[0].vertices[1];
+    let mut cats = ig.graph.categories().clone();
+    let changed = ig
+        .inverted
+        .insert_membership(&ig.labels, &mut cats, promoted, restaurant);
+    ig.graph.set_categories(cats);
+    println!(
+        "\npromoted {promoted:?} into 'restaurant' (index updated incrementally: {changed})"
+    );
+
+    let after = ig.run(&query, Method::Sk);
+    println!("after the update:  top-3 costs {:?}", after.costs());
+    assert!(
+        after.witnesses[0].cost <= before.witnesses[0].cost,
+        "a new restaurant option can only help"
+    );
+    // The promoted venue can now serve both stops back to back.
+    let zero_leg = after
+        .witnesses
+        .iter()
+        .any(|w| w.vertices[1] == promoted && w.vertices[2] == promoted);
+    println!("some top route uses the café for both stops: {zero_leg}");
+
+    // Dinner service ends: remove the membership, answers roll back.
+    let mut cats = ig.graph.categories().clone();
+    ig.inverted
+        .remove_membership(&ig.labels, &mut cats, promoted, restaurant);
+    ig.graph.set_categories(cats);
+    let rolled_back = ig.run(&query, Method::Sk);
+    println!(
+        "\nafter the removal: top-3 costs {:?} (matches 'before': {})",
+        rolled_back.costs(),
+        rolled_back.costs() == before.costs()
+    );
+    assert_eq!(rolled_back.costs(), before.costs());
+}

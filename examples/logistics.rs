@@ -1,0 +1,80 @@
+//! Logistics dispatch on a *directed* travel-time network — the paper's
+//! general-graph setting where edge weights are asymmetric (rush-hour
+//! traffic) and the triangle inequality does not hold.
+//!
+//! A courier run must go depot -> pickup point -> customs office ->
+//! cold-storage warehouse -> delivery address. We compare all the paper's
+//! methods on the same query, then use the *no-destination* variant (§IV-C)
+//! for a driver who may end the shift at whichever warehouse comes last.
+//!
+//! ```text
+//! cargo run --release --example logistics
+//! ```
+
+use kosr::core::{no_destination_kosr, IndexedGraph, Method, Query};
+use kosr::graph::CategoryId;
+use kosr::index::LabelNn;
+use kosr::workloads::{assign_uniform, gen_queries, road_grid_directed};
+
+fn main() {
+    // Directed city: each street direction has its own travel time.
+    let mut g = road_grid_directed(55, 55, 99);
+    // 0 = pickup points, 1 = customs offices, 2 = cold-storage warehouses.
+    assign_uniform(&mut g, 3, 60, 41);
+    let (pickup, customs, warehouse) = (CategoryId(0), CategoryId(1), CategoryId(2));
+
+    let ig = IndexedGraph::build_default(g);
+    let spec = &gen_queries(&ig.graph, 1, 3, 4, 12345)[0];
+    let query = Query::new(
+        spec.source,
+        spec.target,
+        vec![pickup, customs, warehouse],
+        4,
+    );
+
+    println!(
+        "courier run {} -> pickup -> customs -> warehouse -> {}  (top-{})",
+        query.source, query.target, query.k
+    );
+    println!("\nmethod comparison on the same query:");
+    let mut reference: Option<Vec<u64>> = None;
+    for m in Method::ALL {
+        let out = ig.run(&query, m);
+        println!(
+            "  {:<9} {:>9.3} ms   {:>7} examined   {:>6} NN queries",
+            m.name(),
+            out.stats.time.total.as_secs_f64() * 1e3,
+            out.stats.examined_routes,
+            out.stats.nn_queries
+        );
+        // Every method returns the same top-k cost vector.
+        match &reference {
+            None => reference = Some(out.costs()),
+            Some(r) => assert_eq!(r, &out.costs(), "{} disagrees", m.name()),
+        }
+    }
+    let costs = reference.unwrap();
+    println!("\nagreed top-{} costs: {costs:?}", costs.len());
+
+    // Shift-end variant: stop at the warehouse, wherever it is.
+    let open_end = no_destination_kosr(
+        query.source,
+        &[pickup, customs, warehouse],
+        3,
+        LabelNn::new(&ig.labels, &ig.inverted),
+    );
+    println!("\nno-destination variant (end at any warehouse):");
+    for (i, w) in open_end.witnesses.iter().enumerate() {
+        println!(
+            "  #{}: cost {:>5}  depot {:?} -> stops {:?}",
+            i + 1,
+            w.cost,
+            w.vertices[0],
+            &w.vertices[1..]
+        );
+    }
+    assert!(
+        open_end.witnesses[0].cost <= costs[0],
+        "dropping the fixed destination can only shorten the route"
+    );
+}

@@ -1,0 +1,81 @@
+//! Trip planning over a synthetic city: the paper's motivating scenario at
+//! realistic scale, including a *personal preference* variant (§IV-C).
+//!
+//! A user drives from home to a friend's place and wants to pass a gas
+//! station, a supermarket and a pharmacy, in that order. We return the
+//! top-5 alternatives (the whole point of KOSR: the single optimum rarely
+//! suits everyone), then re-plan with the constraint that the supermarket
+//! must be one of the user's preferred chain stores.
+//!
+//! ```text
+//! cargo run --release --example trip_planning
+//! ```
+
+use kosr::core::{star_kosr, FilteredNn, IndexedGraph, Method, Query};
+use kosr::graph::{CategoryId, VertexId};
+use kosr::index::{LabelNn, LabelTarget};
+use kosr::workloads::{assign_uniform, road_grid_undirected};
+
+fn main() {
+    // A ~60x60 city grid with symmetric street distances.
+    let mut g = road_grid_undirected(60, 60, 2024);
+    // Three POI categories: 0 = gas, 1 = supermarket, 2 = pharmacy.
+    assign_uniform(&mut g, 3, 80, 7);
+    let (gas, market, pharmacy) = (CategoryId(0), CategoryId(1), CategoryId(2));
+
+    let ig = IndexedGraph::build_default(g);
+    let home = VertexId(0); // north-west corner
+    let friend = VertexId((60 * 60) - 1); // south-east corner
+
+    let query = Query::new(home, friend, vec![gas, market, pharmacy], 5);
+    let out = ig.run(&query, Method::Sk);
+    println!("top-5 trips (any supermarket):");
+    for (i, w) in out.witnesses.iter().enumerate() {
+        println!(
+            "  #{}: cost {:>5}  stops {:?}",
+            i + 1,
+            w.cost,
+            &w.vertices[1..w.vertices.len() - 1]
+        );
+    }
+    println!(
+        "  ({} routes examined, {} NN queries, {:.2} ms)\n",
+        out.stats.examined_routes,
+        out.stats.nn_queries,
+        out.stats.time.total.as_secs_f64() * 1e3
+    );
+
+    // Preference: only every fourth supermarket belongs to the user's
+    // favourite chain. The filter plugs into the NN stream (the paper's
+    // "line 15 of Algorithm 3" hook) and composes with any method.
+    let preferred: Vec<VertexId> = ig
+        .graph
+        .categories()
+        .vertices_of(market)
+        .iter()
+        .copied()
+        .filter(|v| v.0 % 4 == 0)
+        .collect();
+    println!(
+        "re-planning with {} preferred supermarkets out of {}:",
+        preferred.len(),
+        ig.graph.categories().category_size(market)
+    );
+    let allowed: std::collections::HashSet<VertexId> = preferred.into_iter().collect();
+    let nn = FilteredNn::new(LabelNn::new(&ig.labels, &ig.inverted), move |c, v| {
+        c != market || allowed.contains(&v)
+    });
+    let constrained = star_kosr(&query, nn, LabelTarget::new(&ig.labels, friend));
+    for (i, w) in constrained.witnesses.iter().enumerate() {
+        println!(
+            "  #{}: cost {:>5}  stops {:?}",
+            i + 1,
+            w.cost,
+            &w.vertices[1..w.vertices.len() - 1]
+        );
+    }
+    assert!(
+        constrained.witnesses[0].cost >= out.witnesses[0].cost,
+        "constraining can only increase the optimal cost"
+    );
+}

@@ -1,0 +1,253 @@
+//! `kosr` — command-line front end for top-k optimal sequenced route
+//! queries over graphs in the native text format.
+//!
+//! ```text
+//! kosr stats   --graph city.kosr
+//! kosr query   --graph city.kosr -s 4 -t 981 -C MA,RE,CI -k 3 [--method sk]
+//! kosr osr     --graph city.kosr -s 4 -t 981 -C MA,RE,CI            # k = 1 via GSP
+//! kosr anyorder --graph city.kosr -s 4 -t 981 -C MA,RE,CI           # any visiting order
+//! ```
+//!
+//! Categories are given by name or numeric id, comma separated. Methods:
+//! `sk` (default), `pk`, `kpne`, `sk-dij`, `pk-dij`, `kpne-dij`.
+
+use std::io::BufReader;
+use std::process::exit;
+
+use kosr::core::{arbitrary_order_osr, gsp, GspEngine, IndexedGraph, Method, Query};
+use kosr::graph::{io, CategoryId, Graph, VertexId};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  kosr stats    --graph FILE\n  kosr query    --graph FILE -s SRC -t DST -C c1,c2,... [-k K] [--method M]\n  kosr osr      --graph FILE -s SRC -t DST -C c1,c2,...\n  kosr anyorder --graph FILE -s SRC -t DST -C c1,c2,...\nmethods: sk pk kpne sk-dij pk-dij kpne-dij"
+    );
+    exit(2);
+}
+
+struct Args {
+    graph: Option<String>,
+    source: Option<u32>,
+    target: Option<u32>,
+    categories: Vec<String>,
+    k: usize,
+    method: String,
+}
+
+fn parse_args(rest: &[String]) -> Args {
+    let mut a = Args {
+        graph: None,
+        source: None,
+        target: None,
+        categories: Vec::new(),
+        k: 3,
+        method: "sk".into(),
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        let need = |i: usize| {
+            rest.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value after {}", rest[i]);
+                usage()
+            })
+        };
+        match rest[i].as_str() {
+            "--graph" => {
+                a.graph = Some(need(i).clone());
+                i += 2;
+            }
+            "-s" | "--source" => {
+                a.source = Some(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "-t" | "--target" => {
+                a.target = Some(need(i).parse().unwrap_or_else(|_| usage()));
+                i += 2;
+            }
+            "-C" | "--categories" => {
+                a.categories = need(i).split(',').map(str::to_string).collect();
+                i += 2;
+            }
+            "-k" => {
+                a.k = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--method" => {
+                a.method = need(i).to_lowercase();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    a
+}
+
+fn load_graph(path: &str) -> Graph {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    });
+    io::read_native(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn resolve_categories(g: &Graph, names: &[String]) -> Vec<CategoryId> {
+    names
+        .iter()
+        .map(|name| {
+            if let Some(c) = g.categories().category_by_name(name) {
+                return c;
+            }
+            if let Ok(id) = name.parse::<u32>() {
+                if (id as usize) < g.categories().num_categories() {
+                    return CategoryId(id);
+                }
+            }
+            eprintln!("unknown category '{name}'");
+            exit(1);
+        })
+        .collect()
+}
+
+fn require_endpoints(g: &Graph, a: &Args) -> (VertexId, VertexId, Vec<CategoryId>) {
+    let (Some(s), Some(t)) = (a.source, a.target) else {
+        usage();
+    };
+    if s as usize >= g.num_vertices() || t as usize >= g.num_vertices() {
+        eprintln!("source/target out of range (|V| = {})", g.num_vertices());
+        exit(1);
+    }
+    if a.categories.is_empty() {
+        usage();
+    }
+    (VertexId(s), VertexId(t), resolve_categories(g, &a.categories))
+}
+
+fn print_witness(g: &Graph, rank: usize, w: &kosr::core::Witness) {
+    let stops: Vec<String> = w
+        .vertices
+        .iter()
+        .map(|&v| {
+            let cats = g.categories().categories_of(v);
+            if cats.is_empty() {
+                format!("{v}")
+            } else {
+                format!("{v}[{}]", g.categories().name(cats[0]))
+            }
+        })
+        .collect();
+    println!("#{rank}  cost {:>8}  {}", w.cost, stops.join(" -> "));
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let cmd = argv[0].as_str();
+    let args = parse_args(&argv[1..]);
+    let Some(graph_path) = args.graph.clone() else {
+        usage();
+    };
+    let g = load_graph(&graph_path);
+
+    match cmd {
+        "stats" => {
+            println!("vertices    {}", g.num_vertices());
+            println!("edges       {}", g.num_edges());
+            println!("categories  {}", g.categories().num_categories());
+            println!("memberships {}", g.categories().num_memberships());
+            let scc = kosr::graph::strongly_connected_components(&g);
+            println!(
+                "SCCs        {} (largest {})",
+                scc.num_components,
+                scc.largest().1
+            );
+            for c in 0..g.categories().num_categories() {
+                let c = CategoryId(c as u32);
+                println!(
+                    "  category {:<12} |Ci| = {}",
+                    g.categories().name(c),
+                    g.categories().category_size(c)
+                );
+            }
+        }
+        "query" => {
+            let (s, t, cats) = require_endpoints(&g, &args);
+            let method = match args.method.as_str() {
+                "sk" => Method::Sk,
+                "pk" => Method::Pk,
+                "kpne" => Method::Kpne,
+                "sk-dij" => Method::SkDij,
+                "pk-dij" => Method::PkDij,
+                "kpne-dij" => Method::KpneDij,
+                other => {
+                    eprintln!("unknown method '{other}'");
+                    usage();
+                }
+            };
+            let q = Query::new(s, t, cats, args.k);
+            if let Err(e) = q.validate(&g) {
+                eprintln!("invalid query: {e}");
+                exit(1);
+            }
+            eprintln!("building indexes ...");
+            let ig = IndexedGraph::build_default(g);
+            let out = ig.run(&q, method);
+            if out.witnesses.is_empty() {
+                println!("no feasible route");
+                exit(3);
+            }
+            for (i, w) in out.witnesses.iter().enumerate() {
+                print_witness(&ig.graph, i + 1, w);
+            }
+            eprintln!(
+                "({} examined, {} NN queries, {:.2} ms)",
+                out.stats.examined_routes,
+                out.stats.nn_queries,
+                out.stats.time.total.as_secs_f64() * 1e3
+            );
+        }
+        "osr" => {
+            let (s, t, cats) = require_endpoints(&g, &args);
+            let (w, stats) = gsp(&g, s, t, &cats, &GspEngine::Dijkstra);
+            match w {
+                Some(w) => {
+                    print_witness(&g, 1, &w);
+                    eprintln!(
+                        "(GSP: {} graph searches, {:.2} ms)",
+                        stats.searches,
+                        stats.total.as_secs_f64() * 1e3
+                    );
+                }
+                None => {
+                    println!("no feasible route");
+                    exit(3);
+                }
+            }
+        }
+        "anyorder" => {
+            let (s, t, cats) = require_endpoints(&g, &args);
+            let (w, stats) = arbitrary_order_osr(&g, s, t, &cats);
+            match w {
+                Some(w) => {
+                    print_witness(&g, 1, &w);
+                    eprintln!(
+                        "(subset DP: {} sweeps, {:.2} ms)",
+                        stats.sweeps,
+                        stats.total.as_secs_f64() * 1e3
+                    );
+                }
+                None => {
+                    println!("no feasible route");
+                    exit(3);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,42 @@
+//! # kosr — Top-k Optimal Sequenced Routes
+//!
+//! Facade crate re-exporting the whole workspace: a production-quality Rust
+//! reproduction of *Finding Top-k Optimal Sequenced Routes* (Liu, Jin, Yang,
+//! Zhou — ICDE 2018, arXiv:1802.08014).
+//!
+//! A KOSR query `(s, t, C, k)` finds the `k` cheapest routes from `s` to `t`
+//! that visit one vertex of each category of `C = ⟨C1, …, Cj⟩` in order, on a
+//! general directed graph whose weights need not satisfy the triangle
+//! inequality.
+//!
+//! ```
+//! use kosr::graph::{GraphBuilder, VertexId};
+//! use kosr::core::figure1;
+//!
+//! // The paper's running example (Figure 1): top-3 routes cost 20, 21, 22.
+//! let fx = figure1::figure1();
+//! let g = &fx.graph;
+//! assert_eq!(g.num_vertices(), 8);
+//! ```
+//!
+//! Module map (one per workspace crate):
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | CSR graph, categories, I/O |
+//! | [`pathfinding`] | Dijkstra toolkit, resumable k-NN search |
+//! | [`ch`] | contraction hierarchies + PHAST sweeps |
+//! | [`hoplabel`] | 2-hop labeling (pruned landmark labeling) |
+//! | [`index`] | inverted label index, `FindNN`, `FindNEN` |
+//! | [`core`] | KPNE, PruningKOSR, StarKOSR, PNE, GSP |
+//! | [`workloads`] | synthetic graphs, categories, query generators |
+
+#![forbid(unsafe_code)]
+
+pub use kosr_ch as ch;
+pub use kosr_core as core;
+pub use kosr_graph as graph;
+pub use kosr_hoplabel as hoplabel;
+pub use kosr_index as index;
+pub use kosr_pathfinding as pathfinding;
+pub use kosr_workloads as workloads;

@@ -1,0 +1,125 @@
+//! Distance-oracle equivalence properties: every shortest-path engine in
+//! the workspace (bidirectional Dijkstra, A*, contraction hierarchies,
+//! PHAST, 2-hop labels, resumable k-NN streams) must agree with plain
+//! Dijkstra on arbitrary graphs — including disconnected ones, zero-weight
+//! edges and parallel-edge collapses.
+
+use kosr::ch::{ChQuery, Phast};
+use kosr::graph::{Graph, GraphBuilder, VertexId};
+use kosr::hoplabel::HubOrder;
+use kosr::pathfinding::{AStar, BiDijkstra, Dijkstra, Dir, ResumableDijkstra};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..24,
+        proptest::collection::vec((0u32..24, 0u32..24, 0u64..40), 1..100),
+    )
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                let (u, v) = (u as usize % n, v as usize % n);
+                if u != v {
+                    b.add_edge(VertexId(u as u32), VertexId(v as u32), w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_point_to_point_engines_agree(g in arb_graph(), s in 0u32..24, t in 0u32..24) {
+        let n = g.num_vertices() as u32;
+        let (s, t) = (VertexId(s % n), VertexId(t % n));
+        let mut dij = Dijkstra::new(g.num_vertices());
+        let want = dij.one_to_one(&g, Dir::Forward, s, t);
+
+        let mut bi = BiDijkstra::new(g.num_vertices());
+        prop_assert_eq!(bi.distance(&g, s, t), want, "bidirectional");
+
+        let mut astar = AStar::new(g.num_vertices());
+        prop_assert_eq!(astar.distance(&g, s, t, |_| 0), want, "a* (zero h)");
+
+        let ch = kosr::ch::build(&g);
+        let mut chq = ChQuery::new(g.num_vertices());
+        prop_assert_eq!(chq.distance(&ch, s, t), want, "contraction hierarchy");
+
+        let labels = kosr::hoplabel::build(&g, &HubOrder::from_ch(&ch));
+        prop_assert_eq!(labels.distance(s, t), want, "2-hop labels");
+    }
+
+    #[test]
+    fn phast_agrees_with_one_to_all(g in arb_graph(), s in 0u32..24) {
+        let n = g.num_vertices() as u32;
+        let s = VertexId(s % n);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        dij.one_to_all(&g, Dir::Forward, s);
+        let ch = kosr::ch::build(&g);
+        let mut ph = Phast::new(g.num_vertices());
+        ph.one_to_all(&ch, s);
+        for t in g.vertices() {
+            prop_assert_eq!(ph.distance(t), dij.distance(t), "t={:?}", t);
+        }
+    }
+
+    #[test]
+    fn resumable_stream_is_sorted_and_complete(g in arb_graph(), s in 0u32..24) {
+        let n = g.num_vertices() as u32;
+        let s = VertexId(s % n);
+        let mut dij = Dijkstra::new(g.num_vertices());
+        dij.one_to_all(&g, Dir::Forward, s);
+        let reachable = g.vertices().filter(|&v| kosr::graph::is_finite(dij.distance(v))).count();
+
+        let mut stream = ResumableDijkstra::new(s, Dir::Forward);
+        let mut seen = std::collections::HashSet::new();
+        let mut last = 0;
+        while let Some((v, d)) = stream.next_settled(&g) {
+            prop_assert!(d >= last, "distances nondecreasing");
+            prop_assert_eq!(d, dij.distance(v), "distance matches dijkstra");
+            prop_assert!(seen.insert(v), "no vertex settled twice");
+            last = d;
+        }
+        prop_assert_eq!(seen.len(), reachable, "stream covers the reachable set");
+    }
+
+    /// CH path unpacking yields edge-exact paths of the optimal cost.
+    #[test]
+    fn ch_paths_are_valid(g in arb_graph(), s in 0u32..24, t in 0u32..24) {
+        let n = g.num_vertices() as u32;
+        let (s, t) = (VertexId(s % n), VertexId(t % n));
+        let ch = kosr::ch::build(&g);
+        let mut chq = ChQuery::new(g.num_vertices());
+        let (cost, path) = chq.shortest_path(&ch, s, t);
+        if kosr::graph::is_finite(cost) {
+            prop_assert_eq!(*path.first().unwrap(), s);
+            prop_assert_eq!(*path.last().unwrap(), t);
+            let mut sum = 0u64;
+            for w in path.windows(2) {
+                let ew = g.edge_weight(w[0], w[1]);
+                prop_assert!(ew.is_some(), "edge {:?}->{:?} missing", w[0], w[1]);
+                sum += ew.unwrap();
+            }
+            prop_assert_eq!(sum, cost);
+        } else {
+            prop_assert!(path.is_empty());
+        }
+    }
+
+    /// Label-based path reconstruction is edge-exact too.
+    #[test]
+    fn label_paths_are_valid(g in arb_graph(), s in 0u32..24, t in 0u32..24) {
+        let n = g.num_vertices() as u32;
+        let (s, t) = (VertexId(s % n), VertexId(t % n));
+        let labels = kosr::hoplabel::build(&g, &HubOrder::Degree);
+        match kosr::hoplabel::shortest_path(&g, &labels, s, t) {
+            Some(p) => {
+                prop_assert_eq!(p.cost, labels.distance(s, t));
+                prop_assert!(p.validate(&g).is_ok(), "{:?}", p.validate(&g));
+            }
+            None => prop_assert!(!kosr::graph::is_finite(labels.distance(s, t))),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Full-pipeline integration: scenario generation → CH → PLL → inverted
+//! indexes → queries → all methods, asserting the cross-method agreements
+//! and instrumentation invariants the evaluation section relies on.
+
+use kosr::core::{gsp, run_sk_db, GspEngine, IndexedGraph, Method, Query};
+use kosr::hoplabel::HubOrder;
+use kosr::index::disk::DiskIndex;
+use kosr::workloads::{gen_queries, Scenario, ScenarioName};
+
+fn pipeline(name: ScenarioName) -> (IndexedGraph, kosr::ch::ContractionHierarchy) {
+    let g = Scenario::new(name).with_scale(0.06).build();
+    let ch = kosr::ch::build(&g);
+    let ig = IndexedGraph::build(g, &HubOrder::from_ch(&ch));
+    (ig, ch)
+}
+
+/// Every method agrees on every generated query, on a road scenario and on
+/// the social scenario.
+#[test]
+fn all_methods_agree_on_generated_workloads() {
+    for name in [ScenarioName::Col, ScenarioName::Gplus] {
+        let (ig, _) = pipeline(name);
+        for spec in gen_queries(&ig.graph, 8, 3, 5, 42) {
+            let q = Query::new(spec.source, spec.target, spec.categories.clone(), spec.k);
+            let reference = ig.run(&q, Method::Sk);
+            for m in Method::ALL {
+                let out = ig.run(&q, m);
+                assert_eq!(
+                    out.costs(),
+                    reference.costs(),
+                    "{} on {} disagrees for {:?}",
+                    m.name(),
+                    name.as_str(),
+                    q
+                );
+            }
+        }
+    }
+}
+
+/// GSP (both engines) equals the k = 1 answer of the KOSR methods.
+#[test]
+fn gsp_agrees_with_k1() {
+    let (ig, ch) = pipeline(ScenarioName::Fla);
+    for spec in gen_queries(&ig.graph, 10, 4, 1, 7) {
+        let q = Query::new(spec.source, spec.target, spec.categories.clone(), 1);
+        let sk = ig.run(&q, Method::Sk);
+        let (w_dij, _) = gsp(&ig.graph, q.source, q.target, &q.categories, &GspEngine::Dijkstra);
+        let (w_ch, stats) = gsp(&ig.graph, q.source, q.target, &q.categories, &GspEngine::Ch(&ch));
+        assert_eq!(stats.searches, q.categories.len() + 1);
+        match (sk.witnesses.first(), w_dij, w_ch) {
+            (Some(a), Some(b), Some(c)) => {
+                assert_eq!(a.cost, b.cost);
+                assert_eq!(a.cost, c.cost);
+            }
+            (None, None, None) => {}
+            other => panic!("feasibility disagreement: {other:?}"),
+        }
+    }
+}
+
+/// SK-DB answers equal in-memory SK and pay exactly |C| + 4 seeks/query.
+#[test]
+fn sk_db_equals_sk_with_bounded_io() {
+    let (ig, _) = pipeline(ScenarioName::Col);
+    let dir = std::env::temp_dir().join(format!("kosr_pipe_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("col.idx");
+    ig.write_disk_index(&path).unwrap();
+    let disk = DiskIndex::open(&path).unwrap();
+
+    for spec in gen_queries(&ig.graph, 6, 4, 8, 21) {
+        let q = Query::new(spec.source, spec.target, spec.categories.clone(), spec.k);
+        disk.reset_io_counters();
+        let from_disk = run_sk_db(&disk, &q).unwrap();
+        let in_memory = ig.run(&q, Method::Sk);
+        assert_eq!(from_disk.costs(), in_memory.costs());
+        assert_eq!(disk.seek_count(), (q.categories.len() + 4) as u64);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Instrumentation invariants: per-level counts sum to the total, the
+/// heap peak is positive, and the search-space ordering of Figure 3(b)
+/// holds on a real workload (KPNE ≥ PK ≥ SK on examined routes, averaged).
+#[test]
+fn instrumentation_invariants_and_figure3b_ordering() {
+    let (ig, _) = pipeline(ScenarioName::Fla);
+    let queries = gen_queries(&ig.graph, 10, 4, 10, 99);
+    let (mut tot_kp, mut tot_pk, mut tot_sk) = (0u64, 0u64, 0u64);
+    for spec in &queries {
+        let q = Query::new(spec.source, spec.target, spec.categories.clone(), spec.k);
+        for m in [Method::Kpne, Method::Pk, Method::Sk] {
+            let out = ig.run(&q, m);
+            let level_sum: u64 = out.stats.examined_per_level.iter().sum();
+            assert_eq!(level_sum, out.stats.examined_routes, "{}", m.name());
+            assert!(out.stats.heap_peak > 0);
+            assert!(!out.stats.truncated);
+            match m {
+                Method::Kpne => tot_kp += out.stats.examined_routes,
+                Method::Pk => tot_pk += out.stats.examined_routes,
+                Method::Sk => tot_sk += out.stats.examined_routes,
+                _ => unreachable!(),
+            }
+        }
+    }
+    assert!(tot_kp >= tot_pk, "KPNE {tot_kp} vs PK {tot_pk}");
+    assert!(tot_pk >= tot_sk, "PK {tot_pk} vs SK {tot_sk}");
+}
+
+/// Figure 5's shape: SK's per-level examined counts rise then fall back to
+/// (roughly) k at the destination level.
+#[test]
+fn figure5_shape_on_fla() {
+    let (ig, _) = pipeline(ScenarioName::Fla);
+    let queries = gen_queries(&ig.graph, 10, 6, 30, 5);
+    let mut per_level = vec![0u64; 8];
+    for spec in &queries {
+        let q = Query::new(spec.source, spec.target, spec.categories.clone(), spec.k);
+        let out = ig.run(&q, Method::Sk);
+        for (i, &c) in out.stats.examined_per_level.iter().enumerate() {
+            per_level[i] += c;
+        }
+    }
+    // Level 0 is exactly one pop per query.
+    assert_eq!(per_level[0], queries.len() as u64);
+    // The destination level pops ≈ k routes per query (exactly k when no
+    // ties truncate early).
+    let dest = *per_level.last().unwrap();
+    assert!(dest <= 30 * queries.len() as u64);
+    assert!(dest >= 25 * queries.len() as u64 / 10, "got {dest}");
+    // Some middle level exceeds the destination level (the bulge of
+    // Figure 5).
+    let mid_max = per_level[1..7].iter().max().copied().unwrap();
+    assert!(
+        mid_max >= dest,
+        "expected a mid-sequence bulge: {per_level:?}"
+    );
+}
+
+/// The paper's key scaling claim (Lemma 3): PK's examined routes stay
+/// polynomial — bounded by Σ|Ci||Ci+1| + (k-1)Σ|Ci| — on generated
+/// workloads.
+#[test]
+fn lemma3_bound_holds() {
+    let (ig, _) = pipeline(ScenarioName::Col);
+    for spec in gen_queries(&ig.graph, 6, 3, 10, 31) {
+        let q = Query::new(spec.source, spec.target, spec.categories.clone(), spec.k);
+        let out = ig.run(&q, Method::Pk);
+        // Bound: |C0|=1 (source), sizes of the category layers, |C_{j+1}|=1.
+        let mut sizes = vec![1usize];
+        sizes.extend(
+            q.categories
+                .iter()
+                .map(|&c| ig.graph.categories().category_size(c)),
+        );
+        sizes.push(1);
+        let pairwise: u64 = sizes.windows(2).map(|w| (w[0] * w[1]) as u64).sum();
+        let reconsider: u64 =
+            (q.k as u64 - 1) * sizes[1..].iter().map(|&s| s as u64).sum::<u64>();
+        let bound = pairwise + reconsider;
+        assert!(
+            out.stats.examined_routes <= bound,
+            "examined {} exceeds Lemma 3 bound {}",
+            out.stats.examined_routes,
+            bound
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! End-to-end coverage of the §IV-C query variants on top of the public
+//! API: unweighted graphs, undirected graphs, no-source, no-destination and
+//! per-category preferences — each cross-checked against a brute-force
+//! computation built only from label distance queries.
+
+use kosr::core::{
+    no_destination_kosr, no_source_kosr, star_kosr, FilteredNn, IndexedGraph, Method, Query,
+};
+use kosr::graph::{CategoryId, VertexId};
+use kosr::index::{LabelNn, LabelTarget};
+use kosr::workloads::{assign_uniform, road_grid_undirected, social_graph};
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+/// Unweighted graphs (§IV-C: "simply set the weights of all edges to 1"):
+/// witness costs equal hop counts.
+#[test]
+fn unweighted_graph_counts_hops() {
+    let mut g = social_graph(300, 6, 5);
+    assign_uniform(&mut g, 2, 40, 9);
+    let ig = IndexedGraph::build_default(g);
+    let q = Query::new(v(3), v(250), vec![CategoryId(0), CategoryId(1)], 4);
+    let out = ig.run(&q, Method::Sk);
+    assert!(!out.witnesses.is_empty());
+    for w in &out.witnesses {
+        // Each leg is a hop distance; the total is at most the sum of
+        // per-leg diameters (tiny in a PA graph).
+        assert!(w.cost <= 20, "hop cost {} is implausible", w.cost);
+    }
+    // KPNE agrees (ties galore — the stress case for deterministic order).
+    let kp = ig.run(&q, Method::Kpne);
+    assert_eq!(out.costs(), kp.costs());
+}
+
+/// Undirected graphs: Lin and Lout are mirror images, and reversing a
+/// query's endpoints with a reversed category sequence gives the same cost.
+#[test]
+fn undirected_graph_is_symmetric() {
+    let mut g = road_grid_undirected(18, 18, 77);
+    assign_uniform(&mut g, 2, 30, 4);
+    let ig = IndexedGraph::build_default(g);
+    // dis(a, b) == dis(b, a) for a sample of pairs.
+    for (a, b) in [(0u32, 300u32), (5, 17), (100, 200), (7, 290)] {
+        assert_eq!(
+            ig.labels.distance(v(a), v(b)),
+            ig.labels.distance(v(b), v(a)),
+            "{a} vs {b}"
+        );
+    }
+    let fwd = ig.run(
+        &Query::new(v(0), v(323), vec![CategoryId(0), CategoryId(1)], 1),
+        Method::Sk,
+    );
+    let bwd = ig.run(
+        &Query::new(v(323), v(0), vec![CategoryId(1), CategoryId(0)], 1),
+        Method::Sk,
+    );
+    assert_eq!(fwd.costs(), bwd.costs(), "symmetric world, mirrored query");
+}
+
+/// No-source: matches a brute-force minimum over all first-category starts.
+#[test]
+fn no_source_matches_brute_force() {
+    let mut g = road_grid_undirected(12, 12, 3);
+    assign_uniform(&mut g, 3, 12, 21);
+    let ig = IndexedGraph::build_default(g);
+    let (c0, c1, c2) = (CategoryId(0), CategoryId(1), CategoryId(2));
+    let t = v(100);
+
+    let out = no_source_kosr(
+        ig.graph.categories().vertices_of(c0),
+        &[c1, c2],
+        t,
+        5,
+        LabelNn::new(&ig.labels, &ig.inverted),
+        LabelTarget::new(&ig.labels, t),
+    );
+
+    // Brute force from label distances.
+    let mut all: Vec<u64> = Vec::new();
+    for &a in ig.graph.categories().vertices_of(c0) {
+        for &b in ig.graph.categories().vertices_of(c1) {
+            for &c in ig.graph.categories().vertices_of(c2) {
+                let cost = ig.labels.distance(a, b) + ig.labels.distance(b, c)
+                    + ig.labels.distance(c, t);
+                if kosr::graph::is_finite(cost) {
+                    all.push(cost);
+                }
+            }
+        }
+    }
+    all.sort_unstable();
+    all.truncate(5);
+    assert_eq!(out.costs(), all);
+    for w in &out.witnesses {
+        assert_eq!(w.vertices.len(), 4, "⟨v1, v2, v3, t⟩");
+        assert!(ig.graph.categories().has_category(w.vertices[0], c0));
+    }
+}
+
+/// No-destination: matches a brute-force minimum ending at the last
+/// category.
+#[test]
+fn no_destination_matches_brute_force() {
+    let mut g = road_grid_undirected(12, 12, 13);
+    assign_uniform(&mut g, 2, 10, 31);
+    let ig = IndexedGraph::build_default(g);
+    let (c0, c1) = (CategoryId(0), CategoryId(1));
+    let s = v(0);
+
+    let out = no_destination_kosr(s, &[c0, c1], 4, LabelNn::new(&ig.labels, &ig.inverted));
+
+    let mut all: Vec<u64> = Vec::new();
+    for &a in ig.graph.categories().vertices_of(c0) {
+        for &b in ig.graph.categories().vertices_of(c1) {
+            let cost = ig.labels.distance(s, a) + ig.labels.distance(a, b);
+            if kosr::graph::is_finite(cost) {
+                all.push(cost);
+            }
+        }
+    }
+    all.sort_unstable();
+    all.truncate(4);
+    assert_eq!(out.costs(), all);
+    for w in &out.witnesses {
+        assert_eq!(w.vertices.len(), 3, "⟨s, v1, v2⟩");
+        assert_eq!(w.vertices[0], s);
+    }
+}
+
+/// Preference filters narrow the answer set monotonically and compose with
+/// both PK and SK.
+#[test]
+fn preference_filter_is_monotone() {
+    let mut g = road_grid_undirected(15, 15, 8);
+    assign_uniform(&mut g, 2, 20, 2);
+    let ig = IndexedGraph::build_default(g);
+    let q = Query::new(v(3), v(200), vec![CategoryId(0), CategoryId(1)], 3);
+
+    let unconstrained = ig.run(&q, Method::Sk);
+    // Allow only even-id vertices in category 0.
+    let nn = FilteredNn::new(LabelNn::new(&ig.labels, &ig.inverted), |c, vx| {
+        c != CategoryId(0) || vx.0 % 2 == 0
+    });
+    let constrained = star_kosr(&q, nn, LabelTarget::new(&ig.labels, q.target));
+    assert!(constrained.witnesses[0].cost >= unconstrained.witnesses[0].cost);
+    for w in &constrained.witnesses {
+        assert_eq!(w.vertices[1].0 % 2, 0, "filtered stop must be even");
+    }
+    // The filtered answer equals running the query on a world where the
+    // filtered-out vertices simply lost the category.
+    let mut g2 = ig.graph.clone();
+    let odd: Vec<VertexId> = g2
+        .categories()
+        .vertices_of(CategoryId(0))
+        .iter()
+        .copied()
+        .filter(|vx| vx.0 % 2 == 1)
+        .collect();
+    for vx in odd {
+        g2.categories_mut().remove(vx, CategoryId(0));
+    }
+    let ig2 = IndexedGraph::build_default(g2);
+    let reduced = ig2.run(&q, Method::Pk);
+    assert_eq!(constrained.costs(), reduced.costs());
+}
+
+/// A vertex carrying two consecutive categories can serve both witness
+/// slots (Definition 4 allows r_i ≤ r_{i+1}); the zero-cost leg must
+/// materialize cleanly.
+#[test]
+fn repeated_witness_vertex_materializes() {
+    let mut b = kosr::graph::GraphBuilder::new(3);
+    b.add_edge(v(0), v(1), 2);
+    b.add_edge(v(1), v(2), 3);
+    let ca = b.categories_mut().add_category("A");
+    let cb = b.categories_mut().add_category("B");
+    b.categories_mut().insert(v(1), ca);
+    b.categories_mut().insert(v(1), cb);
+    let g = b.build();
+    let ig = IndexedGraph::build_default(g);
+    let q = Query::new(v(0), v(2), vec![ca, cb], 1);
+    for m in Method::ALL {
+        let out = ig.run(&q, m);
+        assert_eq!(out.costs(), vec![5], "method {}", m.name());
+        assert_eq!(out.witnesses[0].vertices, vec![v(0), v(1), v(1), v(2)]);
+    }
+    let out = ig.run(&q, Method::Sk);
+    let route = out.witnesses[0].materialize(&ig.graph, &ig.labels).unwrap();
+    assert_eq!(route.vertices, vec![v(0), v(1), v(2)]);
+    assert_eq!(route.cost, 5);
+}
+
+/// Top-k arbitrary order: #1 matches the subset-DP OSR optimum, costs are
+/// nondecreasing, and no fixed-order answer beats any returned route.
+#[test]
+fn arbitrary_order_topk_is_consistent() {
+    use kosr::core::{arbitrary_order_osr, arbitrary_order_topk};
+    let mut g = road_grid_undirected(10, 10, 17);
+    assign_uniform(&mut g, 3, 8, 5);
+    let ig = IndexedGraph::build_default(g);
+    let cats = [CategoryId(0), CategoryId(1), CategoryId(2)];
+    let (s, t) = (v(0), v(99));
+
+    let topk = arbitrary_order_topk(s, t, &cats, 5, || {
+        (
+            LabelNn::new(&ig.labels, &ig.inverted),
+            LabelTarget::new(&ig.labels, t),
+        )
+    });
+    assert_eq!(topk.len(), 5);
+    for pair in topk.windows(2) {
+        assert!(pair[0].cost <= pair[1].cost);
+    }
+    let (osr, _) = arbitrary_order_osr(&ig.graph, s, t, &cats);
+    assert_eq!(topk[0].cost, osr.unwrap().cost, "top-1 equals the DP optimum");
+    // Any fixed-order top-1 is ≥ the free-order top-1.
+    let fixed = ig.run(&Query::new(s, t, cats.to_vec(), 1), Method::Sk);
+    assert!(fixed.witnesses[0].cost >= topk[0].cost);
+}
