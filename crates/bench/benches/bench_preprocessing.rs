@@ -49,9 +49,7 @@ fn index_primitives(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 7919) % n;
             let j = (i * 31 + 13) % n;
-            criterion::black_box(
-                labels.distance(kosr_graph::VertexId(i), kosr_graph::VertexId(j)),
-            )
+            criterion::black_box(labels.distance(kosr_graph::VertexId(i), kosr_graph::VertexId(j)))
         })
     });
     group.bench_function("find_nn_first", |b| {

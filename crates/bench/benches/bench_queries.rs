@@ -88,9 +88,8 @@ fn fig3_ci(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_ci/FLA");
     group.sample_size(10);
     for size in [10usize, 25, 50] {
-        let prep = base.with_categories(|g| {
-            kosr_workloads::assign_uniform(g, 20, size, 0xC1 + size as u64)
-        });
+        let prep = base
+            .with_categories(|g| kosr_workloads::assign_uniform(g, 20, size, 0xC1 + size as u64));
         let qs = gen_queries(&prep.ig.graph, 8, 4, 10, 13 + size as u64);
         group.bench_with_input(BenchmarkId::new("SK", size), &size, |b, _| {
             b.iter(|| run_batch(&prep, &qs, Method::Sk))
@@ -104,9 +103,10 @@ fn fig3_ci(c: &mut Criterion) {
 
 fn fig6_zipf(c: &mut Criterion) {
     let base = prepared(ScenarioName::Fla);
-    let total = 20 * Scenario::new(ScenarioName::Fla)
-        .with_scale(SCALE)
-        .default_category_size();
+    let total = 20
+        * Scenario::new(ScenarioName::Fla)
+            .with_scale(SCALE)
+            .default_category_size();
     let mut group = c.benchmark_group("fig6_zipf/FLA");
     group.sample_size(10);
     for f10 in [12u32, 18] {

@@ -1,0 +1,93 @@
+//! Serving-layer throughput baseline: batch QPS of `kosr-service` on a
+//! synthetic mixed workload, so later PRs optimising the executor, cache
+//! or planner have a number to beat.
+//!
+//! * `batch/{1,2,4}workers` — 400 mixed queries through pools of
+//!   increasing width, cold cache per iteration (measures raw execution +
+//!   queue machinery).
+//! * `batch/4workers_warm` — same stream with the cache pre-warmed
+//!   (measures the memoised serving path).
+//! * `batch/4workers_nocache` — caching disabled (planner + executor only).
+//!
+//! The measured batch's cache hit rate is printed once per configuration
+//! so hit-rate regressions show up alongside timing ones.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kosr_core::{IndexedGraph, Query};
+use kosr_service::{KosrService, ServiceConfig};
+use kosr_workloads::{assign_uniform, gen_mixed_traffic, road_grid_directed, TrafficMix};
+
+fn world() -> (Arc<IndexedGraph>, Vec<Query>) {
+    let mut g = road_grid_directed(20, 20, 13);
+    assign_uniform(&mut g, 8, 25, 5);
+    let ig = Arc::new(IndexedGraph::build_default(g));
+    let stream = gen_mixed_traffic(&ig.graph, 400, &TrafficMix::default(), 29);
+    let queries = stream
+        .iter()
+        .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
+        .collect();
+    (ig, queries)
+}
+
+fn config(workers: usize, cache: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 1024,
+        cache_capacity: cache,
+        ..Default::default()
+    }
+}
+
+fn drain(service: &KosrService, queries: &[Query]) {
+    for r in service.run_batch(queries) {
+        criterion::black_box(r.expect("bench workload completes").outcome.witnesses.len());
+    }
+}
+
+fn service_throughput(c: &mut Criterion) {
+    let (ig, queries) = world();
+    let mut group = c.benchmark_group("service_throughput/batch");
+    group.sample_size(10);
+
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("{workers}workers"), |b| {
+            b.iter(|| {
+                // Fresh service per iteration: cold cache, cold queue.
+                let service = KosrService::new(Arc::clone(&ig), config(workers, 4096));
+                drain(&service, &queries);
+            })
+        });
+    }
+
+    group.bench_function("4workers_warm", |b| {
+        let service = KosrService::new(Arc::clone(&ig), config(4, 4096));
+        drain(&service, &queries); // warm the cache
+        b.iter(|| drain(&service, &queries));
+    });
+
+    group.bench_function("4workers_nocache", |b| {
+        let service = KosrService::new(Arc::clone(&ig), config(4, 0));
+        b.iter(|| drain(&service, &queries));
+    });
+
+    group.finish();
+
+    // One representative hit-rate line for the measured stream.
+    let service = KosrService::new(Arc::clone(&ig), config(4, 4096));
+    drain(&service, &queries);
+    let stats = service.stats();
+    println!(
+        "info: service_throughput stream: {} queries, cache hit rate {:.1}% ({} hits / {} completed), {:.0} QPS incl. setup",
+        queries.len(),
+        100.0 * stats.cache_hit_rate(),
+        stats.cache_hits,
+        stats.completed,
+        stats.qps
+    );
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

@@ -197,7 +197,10 @@ fn fig3(ctx: &mut Ctx) {
 }
 
 fn sweep_k(ctx: &mut Ctx, name: ScenarioName, ks: &[usize], label: &str) {
-    println!("\n== {label}: effect of k on {} (|C|={DEF_C}) ==", name.as_str());
+    println!(
+        "\n== {label}: effect of k on {} (|C|={DEF_C}) ==",
+        name.as_str()
+    );
     let mut t = TextTable::new(vec![
         "k", "KPNE-Dij", "PK-Dij", "SK-Dij", "KPNE", "PK", "SK", "SK-DB",
     ]);
@@ -212,7 +215,10 @@ fn sweep_k(ctx: &mut Ctx, name: ScenarioName, ks: &[usize], label: &str) {
 }
 
 fn sweep_c(ctx: &mut Ctx, name: ScenarioName, label: &str) {
-    println!("\n== {label}: effect of |C| on {} (k={DEF_K}) ==", name.as_str());
+    println!(
+        "\n== {label}: effect of |C| on {} (k={DEF_K}) ==",
+        name.as_str()
+    );
     let mut t = TextTable::new(vec![
         "|C|", "KPNE-Dij", "PK-Dij", "SK-Dij", "KPNE", "PK", "SK", "SK-DB",
     ]);
@@ -264,7 +270,10 @@ fn fig3h(ctx: &mut Ctx) {
 
 fn fig4(ctx: &mut Ctx) {
     for name in [ScenarioName::Cal, ScenarioName::Fla] {
-        println!("\n== Figure 4: small k on {} (|C|={DEF_C}) ==", name.as_str());
+        println!(
+            "\n== Figure 4: small k on {} (|C|={DEF_C}) ==",
+            name.as_str()
+        );
         let mut t = TextTable::new(vec![
             "k", "KPNE-Dij", "PK-Dij", "SK-Dij", "KPNE", "PK", "SK", "SK-DB",
         ]);
@@ -299,9 +308,10 @@ fn fig5(ctx: &mut Ctx) {
 
 fn fig6(ctx: &mut Ctx) {
     println!("\n== Figure 6: zipfian category factor f on FLA (|C|={DEF_C}, k={DEF_K}) ==");
-    let total = 20 * Scenario::new(ScenarioName::Fla)
-        .with_scale(ctx.scale)
-        .default_category_size();
+    let total = 20
+        * Scenario::new(ScenarioName::Fla)
+            .with_scale(ctx.scale)
+            .default_category_size();
     let limits = ctx.limits;
     let instances = ctx.instances;
     let base = ctx.prep(ScenarioName::Fla);
@@ -309,7 +319,13 @@ fn fig6(ctx: &mut Ctx) {
     for f10 in [12u32, 14, 16, 18] {
         let f = f10 as f64 / 10.0;
         let prep = base.with_categories(|g| assign_zipf(g, 20, total, f, 0x21F + f10 as u64));
-        let queries = gen_queries(&prep.ig.graph, instances, DEF_C, DEF_K, 0xF1660 + f10 as u64);
+        let queries = gen_queries(
+            &prep.ig.graph,
+            instances,
+            DEF_C,
+            DEF_K,
+            0xF1660 + f10 as u64,
+        );
         let mut cells = vec![format!("{f:.1}")];
         for m in [Method::Kpne, Method::Pk, Method::Sk] {
             cells.push(measure(&prep, &queries, m, limits).time_cell());
@@ -429,7 +445,10 @@ fn ablate(ctx: &mut Ctx) {
             name.as_str().to_string(),
             deg.num_entries().to_string(),
             ch_entries.to_string(),
-            format!("{:.2}x", deg.num_entries() as f64 / ch_entries.max(1) as f64),
+            format!(
+                "{:.2}x",
+                deg.num_entries() as f64 / ch_entries.max(1) as f64
+            ),
         ]);
     }
     print!("{}", t.render());
@@ -485,7 +504,8 @@ fn main() {
                 i += 2;
             }
             "--budget-ms" => {
-                limits.budget = Duration::from_millis(args[i + 1].parse().expect("--budget-ms u64"));
+                limits.budget =
+                    Duration::from_millis(args[i + 1].parse().expect("--budget-ms u64"));
                 i += 2;
             }
             "--limit" => {
@@ -505,8 +525,18 @@ fn main() {
         "table7" => table7(&mut ctx),
         "table9" => table9(&mut ctx),
         "fig3" | "fig3a" | "fig3b" | "fig3c" => fig3(&mut ctx),
-        "fig3d" => sweep_k(&mut ctx, ScenarioName::Fla, &[10, 20, 30, 40, 50], "Figure 3(d)"),
-        "fig3e" => sweep_k(&mut ctx, ScenarioName::Cal, &[10, 20, 30, 40, 50], "Figure 3(e)"),
+        "fig3d" => sweep_k(
+            &mut ctx,
+            ScenarioName::Fla,
+            &[10, 20, 30, 40, 50],
+            "Figure 3(d)",
+        ),
+        "fig3e" => sweep_k(
+            &mut ctx,
+            ScenarioName::Cal,
+            &[10, 20, 30, 40, 50],
+            "Figure 3(e)",
+        ),
         "fig3f" => sweep_c(&mut ctx, ScenarioName::Fla, "Figure 3(f)"),
         "fig3g" => sweep_c(&mut ctx, ScenarioName::Cal, "Figure 3(g)"),
         "fig3h" => fig3h(&mut ctx),
@@ -520,8 +550,18 @@ fn main() {
             table7(&mut ctx);
             table9(&mut ctx);
             fig3(&mut ctx);
-            sweep_k(&mut ctx, ScenarioName::Fla, &[10, 20, 30, 40, 50], "Figure 3(d)");
-            sweep_k(&mut ctx, ScenarioName::Cal, &[10, 20, 30, 40, 50], "Figure 3(e)");
+            sweep_k(
+                &mut ctx,
+                ScenarioName::Fla,
+                &[10, 20, 30, 40, 50],
+                "Figure 3(d)",
+            );
+            sweep_k(
+                &mut ctx,
+                ScenarioName::Cal,
+                &[10, 20, 30, 40, 50],
+                "Figure 3(e)",
+            );
             sweep_c(&mut ctx, ScenarioName::Fla, "Figure 3(f)");
             sweep_c(&mut ctx, ScenarioName::Cal, "Figure 3(g)");
             fig3h(&mut ctx);

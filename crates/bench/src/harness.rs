@@ -74,12 +74,7 @@ impl Prepared {
 
 /// Converts a workload query spec into a core query.
 pub fn to_query(spec: &QuerySpec) -> Query {
-    Query::new(
-        spec.source,
-        spec.target,
-        spec.categories.clone(),
-        spec.k,
-    )
+    Query::new(spec.source, spec.target, spec.categories.clone(), spec.k)
 }
 
 /// Aggregated measurement of one (method, parameter point) cell.
@@ -107,7 +102,12 @@ pub struct PointResult {
 }
 
 impl PointResult {
-    fn from_outcomes(method: String, outcomes: &[KosrOutcome], attempted: usize, inf: bool) -> Self {
+    fn from_outcomes(
+        method: String,
+        outcomes: &[KosrOutcome],
+        attempted: usize,
+        inf: bool,
+    ) -> Self {
         let n = outcomes.len().max(1) as f64;
         let mean = |f: &dyn Fn(&KosrOutcome) -> f64| outcomes.iter().map(f).sum::<f64>() / n;
         let levels = outcomes
@@ -262,7 +262,12 @@ pub fn measure_sk_db(disk: &DiskIndex, queries: &[QuerySpec], limits: Limits) ->
 }
 
 /// Runs GSP (k = 1) over a batch; `use_ch` picks the engine.
-pub fn measure_gsp(prep: &Prepared, queries: &[QuerySpec], use_ch: bool, limits: Limits) -> PointResult {
+pub fn measure_gsp(
+    prep: &Prepared,
+    queries: &[QuerySpec],
+    use_ch: bool,
+    limits: Limits,
+) -> PointResult {
     let start = Instant::now();
     let mut times = Vec::with_capacity(queries.len());
     let mut attempted = 0;
@@ -287,7 +292,11 @@ pub fn measure_gsp(prep: &Prepared, queries: &[QuerySpec], use_ch: bool, limits:
     }
     let n = times.len().max(1) as f64;
     PointResult {
-        method: if use_ch { "GSP".into() } else { "GSP-Dij".into() },
+        method: if use_ch {
+            "GSP".into()
+        } else {
+            "GSP-Dij".into()
+        },
         completed: times.len(),
         attempted,
         inf: times.len() < queries.len().min(3),
@@ -429,7 +438,11 @@ mod tests {
             kosr_workloads::assign_uniform(g, 20, 5, 123);
         });
         assert_eq!(
-            resized.ig.graph.categories().category_size(kosr_graph::CategoryId(0)),
+            resized
+                .ig
+                .graph
+                .categories()
+                .category_size(kosr_graph::CategoryId(0)),
             5
         );
         // Labels are shared, only categories/inverted changed.

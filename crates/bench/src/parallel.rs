@@ -106,9 +106,15 @@ mod tests {
         let queries = gen_queries(&prep.ig.graph, 6, 3, 4, 11);
         let (ex, nn) = mean_counters_parallel(&prep, &queries, Method::Sk, 3);
         let outcomes = run_batch_parallel(&prep, &queries, Method::Sk, 1);
-        let ex2: f64 = outcomes.iter().map(|o| o.stats.examined_routes as f64).sum::<f64>()
+        let ex2: f64 = outcomes
+            .iter()
+            .map(|o| o.stats.examined_routes as f64)
+            .sum::<f64>()
             / outcomes.len() as f64;
-        let nn2: f64 = outcomes.iter().map(|o| o.stats.nn_queries as f64).sum::<f64>()
+        let nn2: f64 = outcomes
+            .iter()
+            .map(|o| o.stats.nn_queries as f64)
+            .sum::<f64>()
             / outcomes.len() as f64;
         assert_eq!(ex, ex2);
         assert_eq!(nn, nn2);

@@ -175,10 +175,7 @@ impl<'g> Builder<'g> {
         let shortcuts = self.required_shortcuts(v);
         for (u, x, w) in shortcuts {
             // Keep only the cheapest parallel edge.
-            if let Some(e) = self.fwd[u.index()]
-                .iter_mut()
-                .find(|e| e.other == x)
-            {
+            if let Some(e) = self.fwd[u.index()].iter_mut().find(|e| e.other == x) {
                 if w < e.weight {
                     e.weight = w;
                     e.middle = v.0;

@@ -96,11 +96,7 @@ mod tests {
         for s in (0..36).step_by(5) {
             d.one_to_all(&g, Dir::Forward, v(s));
             for t in 0..36 {
-                assert_eq!(
-                    q.distance(&ch, v(s), v(t)),
-                    d.distance(v(t)),
-                    "s={s} t={t}"
-                );
+                assert_eq!(q.distance(&ch, v(s), v(t)), d.distance(v(t)), "s={s} t={t}");
             }
         }
     }

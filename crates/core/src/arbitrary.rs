@@ -43,7 +43,7 @@ pub fn arbitrary_order_osr(
     source: VertexId,
     target: VertexId,
     categories: &[CategoryId],
-    ) -> (Option<Witness>, ArbitraryOrderStats) {
+) -> (Option<Witness>, ArbitraryOrderStats) {
     let m = categories.len();
     assert!(m < 20, "arbitrary-order DP supports |C| < 20");
     let t0 = std::time::Instant::now();
@@ -179,7 +179,10 @@ where
     T: kosr_index::TargetDistance + 'a,
     F: FnMut() -> (N, T),
 {
-    assert!(categories.len() <= 7, "permutation search limited to |C| <= 7");
+    assert!(
+        categories.len() <= 7,
+        "permutation search limited to |C| <= 7"
+    );
     fn permutations(cats: &[CategoryId]) -> Vec<Vec<CategoryId>> {
         if cats.len() <= 1 {
             return vec![cats.to_vec()];

@@ -203,28 +203,61 @@ mod tests {
         let expect_costs = vec![20, 21, 22];
         let expect_first = vec![fx.s, fx.a, fx.b, fx.d, fx.t];
 
-        let out = kpne(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let out = kpne(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(out.costs(), expect_costs);
         assert_eq!(out.witnesses[0].vertices, expect_first);
-        assert_eq!(out.witnesses[1].vertices, vec![fx.s, fx.a, fx.e, fx.d, fx.t]);
-        assert_eq!(out.witnesses[2].vertices, vec![fx.s, fx.c, fx.b, fx.d, fx.t]);
+        assert_eq!(
+            out.witnesses[1].vertices,
+            vec![fx.s, fx.a, fx.e, fx.d, fx.t]
+        );
+        assert_eq!(
+            out.witnesses[2].vertices,
+            vec![fx.s, fx.c, fx.b, fx.d, fx.t]
+        );
 
-        let out = pruning_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let out = pruning_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(out.costs(), expect_costs);
-        let out = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let out = star_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(out.costs(), expect_costs);
 
         // Dijkstra-backed providers (the *-Dij baselines) agree.
-        let out = kpne(&q, DijkstraNn::new(&fx.graph), DijkstraTarget::new(&fx.graph, fx.t));
+        let out = kpne(
+            &q,
+            DijkstraNn::new(&fx.graph),
+            DijkstraTarget::new(&fx.graph, fx.t),
+        );
         assert_eq!(out.costs(), expect_costs);
-        let out = pruning_kosr(&q, DijkstraNn::new(&fx.graph), DijkstraTarget::new(&fx.graph, fx.t));
+        let out = pruning_kosr(
+            &q,
+            DijkstraNn::new(&fx.graph),
+            DijkstraTarget::new(&fx.graph, fx.t),
+        );
         assert_eq!(out.costs(), expect_costs);
-        let out = star_kosr(&q, DijkstraNn::new(&fx.graph), DijkstraTarget::new(&fx.graph, fx.t));
+        let out = star_kosr(
+            &q,
+            DijkstraNn::new(&fx.graph),
+            DijkstraTarget::new(&fx.graph, fx.t),
+        );
         assert_eq!(out.costs(), expect_costs);
 
         // Brute force agrees on both costs and witnesses.
         let brute = brute_force_topk(&fx.graph, &q, 10_000).unwrap();
-        assert_eq!(brute.iter().map(|w| w.cost).collect::<Vec<_>>(), expect_costs);
+        assert_eq!(
+            brute.iter().map(|w| w.cost).collect::<Vec<_>>(),
+            expect_costs
+        );
         assert_eq!(brute[0].vertices, expect_first);
     }
 
@@ -234,7 +267,11 @@ mod tests {
     fn table_3_pruning_trace() {
         let (fx, labels, inverted) = indexed();
         let q = query(&fx, 2);
-        let out = pruning_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let out = pruning_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(out.costs(), vec![20, 21]);
         assert_eq!(out.stats.examined_routes, 13, "Table III runs in 13 steps");
         // Step 6 parks ⟨s,c,b⟩; step 9 reconsiders it together with
@@ -248,7 +285,11 @@ mod tests {
     fn table_6_star_trace() {
         let (fx, labels, inverted) = indexed();
         let q = query(&fx, 2);
-        let out = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let out = star_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(out.costs(), vec![20, 21]);
         assert_eq!(out.stats.examined_routes, 9, "Table VI runs in 9 steps");
         assert_eq!(out.stats.dominated_routes, 0, "no dominance events occur");
@@ -262,17 +303,40 @@ mod tests {
     fn search_space_ordering() {
         let (fx, labels, inverted) = indexed();
         let q = query(&fx, 2);
-        let kp = kpne(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
-        let pk = pruning_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
-        let sk = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let kp = kpne(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
+        let pk = pruning_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
+        let sk = star_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert!(kp.stats.examined_routes > sk.stats.examined_routes);
         assert!(pk.stats.examined_routes > sk.stats.examined_routes);
 
         let q1 = query(&fx, 1);
-        let kp1 = kpne(&q1, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
-        let pk1 = pruning_kosr(&q1, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let kp1 = kpne(
+            &q1,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
+        let pk1 = pruning_kosr(
+            &q1,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(kp1.stats.examined_routes, 10);
-        assert_eq!(pk1.stats.examined_routes, 9, "Table III finds route #1 at step 9");
+        assert_eq!(
+            pk1.stats.examined_routes, 9,
+            "Table III finds route #1 at step 9"
+        );
     }
 
     /// PNE (k = 1) and GSP both find the optimal sequenced route of cost 20.
@@ -280,7 +344,11 @@ mod tests {
     fn osr_algorithms_agree() {
         let (fx, labels, inverted) = indexed();
         let q = query(&fx, 1);
-        let (w, _) = pne(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let (w, _) = pne(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(w.unwrap().cost, 20);
         let (w, stats) = gsp(&fx.graph, fx.s, fx.t, &q.categories, &GspEngine::Dijkstra);
         let w = w.unwrap();
@@ -298,7 +366,11 @@ mod tests {
     fn materialize_top_route() {
         let (fx, labels, inverted) = indexed();
         let q = query(&fx, 1);
-        let out = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let out = star_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         let route = out.witnesses[0].materialize(&fx.graph, &labels).unwrap();
         assert_eq!(route.cost, 20);
         assert_eq!(route.vertices, vec![fx.s, fx.a, fx.b, fx.d, fx.t]);
@@ -311,7 +383,11 @@ mod tests {
     fn k_exceeds_feasible_set() {
         let (fx, labels, inverted) = indexed();
         let q = query(&fx, 100);
-        let out = kpne(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let out = kpne(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(out.witnesses.len(), 8);
         let brute = brute_force_topk(&fx.graph, &q, 10_000).unwrap();
         assert_eq!(
@@ -319,9 +395,17 @@ mod tests {
             brute.iter().map(|w| w.cost).collect::<Vec<_>>()
         );
         // PruningKOSR and StarKOSR agree on the full enumeration too.
-        let pk = pruning_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let pk = pruning_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(pk.costs(), out.costs());
-        let sk = star_kosr(&q, LabelNn::new(&labels, &inverted), LabelTarget::new(&labels, fx.t));
+        let sk = star_kosr(
+            &q,
+            LabelNn::new(&labels, &inverted),
+            LabelTarget::new(&labels, fx.t),
+        );
         assert_eq!(sk.costs(), out.costs());
     }
 }

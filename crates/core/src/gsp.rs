@@ -162,7 +162,13 @@ mod tests {
     #[test]
     fn finds_optimal_witness() {
         let g = tiny();
-        let (w, stats) = gsp(&g, v(0), v(3), &[CategoryId(0), CategoryId(1)], &GspEngine::Dijkstra);
+        let (w, stats) = gsp(
+            &g,
+            v(0),
+            v(3),
+            &[CategoryId(0), CategoryId(1)],
+            &GspEngine::Dijkstra,
+        );
         let w = w.unwrap();
         assert_eq!(w.cost, 3);
         assert_eq!(w.vertices, vec![v(0), v(1), v(2), v(3)]);
@@ -173,8 +179,20 @@ mod tests {
     fn ch_engine_agrees() {
         let g = tiny();
         let ch = kosr_ch::build(&g);
-        let (a, _) = gsp(&g, v(0), v(3), &[CategoryId(0), CategoryId(1)], &GspEngine::Dijkstra);
-        let (b, _) = gsp(&g, v(0), v(3), &[CategoryId(0), CategoryId(1)], &GspEngine::Ch(&ch));
+        let (a, _) = gsp(
+            &g,
+            v(0),
+            v(3),
+            &[CategoryId(0), CategoryId(1)],
+            &GspEngine::Dijkstra,
+        );
+        let (b, _) = gsp(
+            &g,
+            v(0),
+            v(3),
+            &[CategoryId(0), CategoryId(1)],
+            &GspEngine::Ch(&ch),
+        );
         assert_eq!(a.unwrap().cost, b.unwrap().cost);
     }
 

@@ -95,9 +95,14 @@ where
         if level > 0 {
             let parent = arena.parent(node).expect("level > 0 implies a parent");
             let pv = arena.vertex(parent);
-            if let Some((u, d)) =
-                neighbor(&mut nn, &mut target, query, pv, level as usize, x as usize + 1)
-            {
+            if let Some((u, d)) = neighbor(
+                &mut nn,
+                &mut target,
+                query,
+                pv,
+                level as usize,
+                x as usize + 1,
+            ) {
                 let parent_cost = cost - last_leg;
                 let child = arena.extend(parent, u);
                 heap.push(Reverse((parent_cost + d, child, level, x + 1, d)));

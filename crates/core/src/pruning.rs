@@ -124,10 +124,7 @@ where
                 }
             }
             std::collections::hash_map::Entry::Occupied(_) => {
-                ht_sub
-                    .entry(slot)
-                    .or_default()
-                    .push(Reverse((cost, node)));
+                ht_sub.entry(slot).or_default().push(Reverse((cost, node)));
                 stats.dominated_routes += 1;
             }
         }
@@ -136,9 +133,14 @@ where
         if level > 0 && x != NO_X {
             let parent = arena.parent(node).expect("level > 0 implies a parent");
             let pv = arena.vertex(parent);
-            if let Some((u, d)) =
-                neighbor(&mut nn, &mut target, query, pv, level as usize, x as usize + 1)
-            {
+            if let Some((u, d)) = neighbor(
+                &mut nn,
+                &mut target,
+                query,
+                pv,
+                level as usize,
+                x as usize + 1,
+            ) {
                 let parent_cost = cost - last_leg;
                 let child = arena.extend(parent, u);
                 heap.push(Reverse((parent_cost + d, child, level, x + 1, d)));

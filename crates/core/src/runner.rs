@@ -11,8 +11,6 @@ use kosr_index::{
     CategoryIndexSet, DijkstraNn, DijkstraTarget, InvertedStats, LabelNn, LabelTarget,
 };
 
-use crate::kpne::kpne;
-use crate::pruning::pruning_kosr;
 use crate::star::star_kosr;
 use crate::types::{KosrOutcome, Query};
 
@@ -98,39 +96,67 @@ impl IndexedGraph {
         Self::build(graph, &HubOrder::from_ch(&ch))
     }
 
+    /// Vertex count of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Selectivity `|V_Ci| / |V|` of category `c`, read from the inverted
+    /// label index (the query-time source of truth for planners).
+    pub fn category_selectivity(&self, c: CategoryId) -> f64 {
+        self.inverted.selectivity(c, self.graph.num_vertices())
+    }
+
     /// Answers `query` with `method`. Providers are constructed fresh per
     /// call, matching the paper's independent-query measurement protocol.
     pub fn run(&self, query: &Query, method: Method) -> KosrOutcome {
+        self.run_bounded(query, method, u64::MAX)
+    }
+
+    /// [`Self::run`] with an examined-routes budget: the search aborts (with
+    /// `stats.truncated = true`) once `limit` routes have been extracted.
+    /// This is the admission-control knob serving layers use to keep one
+    /// pathological query from monopolising a worker.
+    pub fn run_bounded(&self, query: &Query, method: Method, limit: u64) -> KosrOutcome {
+        use crate::kpne::kpne_bounded;
+        use crate::pruning::pruning_kosr_bounded;
+        use crate::star::star_kosr_bounded;
         match method {
-            Method::Kpne => kpne(
+            Method::Kpne => kpne_bounded(
                 query,
                 LabelNn::new(&self.labels, &self.inverted),
                 LabelTarget::new(&self.labels, query.target),
+                limit,
             ),
-            Method::Pk => pruning_kosr(
+            Method::Pk => pruning_kosr_bounded(
                 query,
                 LabelNn::new(&self.labels, &self.inverted),
                 LabelTarget::new(&self.labels, query.target),
+                limit,
             ),
-            Method::Sk => star_kosr(
+            Method::Sk => star_kosr_bounded(
                 query,
                 LabelNn::new(&self.labels, &self.inverted),
                 LabelTarget::new(&self.labels, query.target),
+                limit,
             ),
-            Method::KpneDij => kpne(
+            Method::KpneDij => kpne_bounded(
                 query,
                 DijkstraNn::new(&self.graph),
                 DijkstraTarget::new(&self.graph, query.target),
+                limit,
             ),
-            Method::PkDij => pruning_kosr(
+            Method::PkDij => pruning_kosr_bounded(
                 query,
                 DijkstraNn::new(&self.graph),
                 DijkstraTarget::new(&self.graph, query.target),
+                limit,
             ),
-            Method::SkDij => star_kosr(
+            Method::SkDij => star_kosr_bounded(
                 query,
                 DijkstraNn::new(&self.graph),
                 DijkstraTarget::new(&self.graph, query.target),
+                limit,
             ),
         }
     }

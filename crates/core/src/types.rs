@@ -17,12 +17,7 @@ pub struct Query {
 
 impl Query {
     /// Convenience constructor.
-    pub fn new(
-        source: VertexId,
-        target: VertexId,
-        categories: Vec<CategoryId>,
-        k: usize,
-    ) -> Query {
+    pub fn new(source: VertexId, target: VertexId, categories: Vec<CategoryId>, k: usize) -> Query {
         Query {
             source,
             target,

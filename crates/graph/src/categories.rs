@@ -143,10 +143,10 @@ impl CategoryTable {
 
     /// Iterates all `(vertex, category)` membership pairs.
     pub fn memberships(&self) -> impl Iterator<Item = (VertexId, CategoryId)> + '_ {
-        self.per_vertex.iter().enumerate().flat_map(|(v, cats)| {
-            cats.iter()
-                .map(move |&c| (VertexId(v as u32), c))
-        })
+        self.per_vertex
+            .iter()
+            .enumerate()
+            .flat_map(|(v, cats)| cats.iter().map(move |&c| (VertexId(v as u32), c)))
     }
 
     /// Total number of `(vertex, category)` memberships.

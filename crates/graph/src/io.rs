@@ -100,7 +100,9 @@ pub fn read_native<R: BufRead>(input: R) -> Result<Graph, ParseError> {
         let tag = it.next().unwrap();
         match tag {
             "kosr" => {
-                let ver = it.next().ok_or_else(|| malformed(lineno, "missing version"))?;
+                let ver = it
+                    .next()
+                    .ok_or_else(|| malformed(lineno, "missing version"))?;
                 if ver != "1" {
                     return Err(malformed(lineno, format!("unsupported version {ver}")));
                 }
@@ -187,7 +189,10 @@ pub fn read_dimacs<R: BufRead>(input: R) -> Result<Graph, ParseError> {
             "p" => {
                 let kind = it.next().ok_or_else(|| malformed(lineno, "missing 'sp'"))?;
                 if kind != "sp" {
-                    return Err(malformed(lineno, format!("expected 'p sp', got 'p {kind}'")));
+                    return Err(malformed(
+                        lineno,
+                        format!("expected 'p sp', got 'p {kind}'"),
+                    ));
                 }
                 let n: usize = parse_field(&mut it, lineno, "vertex count")?;
                 let m: usize = parse_field(&mut it, lineno, "edge count")?;

@@ -9,10 +9,7 @@ fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64)>)> {
     (2usize..30).prop_flat_map(|n| {
         (
             Just(n),
-            proptest::collection::vec(
-                (0u32..n as u32, 0u32..n as u32, 0u64..1000),
-                0..120,
-            ),
+            proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0u64..1000), 0..120),
         )
     })
 }

@@ -339,10 +339,7 @@ mod tests {
                 "s={s}"
             );
             // memoised second call agrees
-            assert_eq!(
-                td.distance_from(&labels, v(s)),
-                labels.distance(v(s), v(3))
-            );
+            assert_eq!(td.distance_from(&labels, v(s)), labels.distance(v(s), v(3)));
         }
     }
 }

@@ -187,8 +187,7 @@ mod tests {
             .filter_map(|&m| {
                 let d = labels.distance(s, m);
                 let dt = labels.distance(m, t);
-                (kosr_graph::is_finite(d) && kosr_graph::is_finite(dt))
-                    .then(|| (d + dt, d))
+                (kosr_graph::is_finite(d) && kosr_graph::is_finite(dt)).then(|| (d + dt, d))
             })
             .collect();
         all.sort_unstable();
@@ -209,9 +208,7 @@ mod tests {
                     for (i, &(west, _)) in want.iter().enumerate() {
                         let got = finder
                             .find_nen(&mut nn, &mut oracle, v(s), cat, i + 1)
-                            .unwrap_or_else(|| {
-                                panic!("seed {seed} s {s} t {t} x {}", i + 1)
-                            });
+                            .unwrap_or_else(|| panic!("seed {seed} s {s} t {t} x {}", i + 1));
                         assert_eq!(got.estimate, west, "seed {seed} s {s} t {t} x {}", i + 1);
                         assert_eq!(
                             got.estimate,

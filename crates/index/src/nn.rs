@@ -100,9 +100,7 @@ impl<'a> LabelNn<'a> {
                     state.hubs.push((dvh, hub));
                     state.cursors.push(1);
                     let (m, dm) = list[0];
-                    state
-                        .nq
-                        .push(Reverse((dvh.saturating_add(dm), m, slot)));
+                    state.nq.push(Reverse((dvh.saturating_add(dm), m, slot)));
                 }
             }
         }
@@ -119,9 +117,7 @@ impl<'a> LabelNn<'a> {
                 }
                 if pos < list.len() {
                     let (m, dm) = list[pos];
-                    state
-                        .nq
-                        .push(Reverse((dvh.saturating_add(dm), m, slot)));
+                    state.nq.push(Reverse((dvh.saturating_add(dm), m, slot)));
                     state.cursors[slot as usize] = (pos + 1) as u32;
                 } else {
                     state.cursors[slot as usize] = u32::MAX; // the paper's '-'
@@ -266,7 +262,12 @@ mod tests {
     }
 
     /// Ground truth: all members sorted by (distance, id), reachable only.
-    fn brute_nn(g: &Graph, labels: &HopLabels, s: VertexId, c: CategoryId) -> Vec<(VertexId, Weight)> {
+    fn brute_nn(
+        g: &Graph,
+        labels: &HopLabels,
+        s: VertexId,
+        c: CategoryId,
+    ) -> Vec<(VertexId, Weight)> {
         let mut all: Vec<(VertexId, Weight)> = g
             .categories()
             .vertices_of(c)

@@ -44,7 +44,12 @@ impl BiDijkstra {
 
     /// Shortest path from `s` to `t` as `(cost, vertices)`;
     /// `(INFINITY, empty)` when unreachable.
-    pub fn shortest_path(&mut self, g: &Graph, s: VertexId, t: VertexId) -> (Weight, Vec<VertexId>) {
+    pub fn shortest_path(
+        &mut self,
+        g: &Graph,
+        s: VertexId,
+        t: VertexId,
+    ) -> (Weight, Vec<VertexId>) {
         let (best, meet) = self.query(g, s, t);
         if !is_finite(best) {
             return (INFINITY, Vec::new());

@@ -267,7 +267,10 @@ mod tests {
         assert_eq!(d.distance(v(3)), 5);
         assert_eq!(d.distance(v(4)), INFINITY);
         assert!(!d.is_settled(v(4)));
-        assert_eq!(d.path_of(Dir::Forward, v(3)), Some(vec![v(0), v(1), v(2), v(3)]));
+        assert_eq!(
+            d.path_of(Dir::Forward, v(3)),
+            Some(vec![v(0), v(1), v(2), v(3)])
+        );
         assert_eq!(d.path_of(Dir::Forward, v(4)), None);
         assert_eq!(d.parent_of(v(0)), None);
         assert_eq!(d.settled_count, 4);
@@ -279,7 +282,10 @@ mod tests {
         let mut d = Dijkstra::new(g.num_vertices());
         d.one_to_all(&g, Dir::Backward, v(3));
         // Path of vertex 0 in a backward search is the route 0 → … → 3.
-        assert_eq!(d.path_of(Dir::Backward, v(0)), Some(vec![v(0), v(1), v(2), v(3)]));
+        assert_eq!(
+            d.path_of(Dir::Backward, v(0)),
+            Some(vec![v(0), v(1), v(2), v(3)])
+        );
     }
 
     #[test]

@@ -163,7 +163,10 @@ mod tests {
     #[test]
     fn empty_rejected() {
         let g = g();
-        assert_eq!(Path::from_vertices(&g, vec![]).unwrap_err(), PathError::Empty);
+        assert_eq!(
+            Path::from_vertices(&g, vec![]).unwrap_err(),
+            PathError::Empty
+        );
     }
 
     #[test]
@@ -173,7 +176,10 @@ mod tests {
         p.cost = 99;
         assert!(matches!(
             p.validate(&g),
-            Err(PathError::CostMismatch { stored: 99, actual: 2 })
+            Err(PathError::CostMismatch {
+                stored: 99,
+                actual: 2
+            })
         ));
     }
 

@@ -1,0 +1,411 @@
+//! The canonical-query LRU result cache.
+//!
+//! KOSR traffic is heavily skewed in practice — popular (source,
+//! destination, category-sequence) combinations repeat — so the serving
+//! layer memoises complete [`KosrOutcome`]s keyed on a canonicalised query.
+//! The cache is an O(1) LRU (hash map + intrusive doubly-linked list over a
+//! slab), with hit/miss/eviction counters and the invalidation hooks later
+//! dynamic-update PRs will drive.
+
+use kosr_core::{KosrOutcome, Query};
+use kosr_graph::{CategoryId, VertexId};
+use std::collections::HashMap;
+
+/// The canonical form of a query used as the cache key.
+///
+/// Canonicalisation today: the `(s, t, C, k)` tuple exactly as validated
+/// (two queries hit the same entry iff they request the same routes). The
+/// method chosen by the planner is deliberately *not* part of the key —
+/// every method returns the same top-k answer (the cross-validation suite
+/// enforces this), so an answer computed by one method serves them all.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    source: VertexId,
+    target: VertexId,
+    categories: Box<[CategoryId]>,
+    k: usize,
+}
+
+impl CacheKey {
+    /// Canonicalises `query`.
+    pub fn canonical(query: &Query) -> CacheKey {
+        CacheKey {
+            source: query.source,
+            target: query.target,
+            categories: query.categories.clone().into_boxed_slice(),
+            k: query.k,
+        }
+    }
+
+    /// `true` if the key's category sequence mentions `c` (used by
+    /// category-level invalidation).
+    pub fn touches_category(&self, c: CategoryId) -> bool {
+        self.categories.contains(&c)
+    }
+}
+
+/// Monotonic counters describing cache behaviour since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries dropped by invalidation hooks.
+    pub invalidations: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups, in `0.0 ..= 1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: CacheKey,
+    value: KosrOutcome,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU cache of complete query outcomes.
+///
+/// Not internally synchronised: the service wraps it in a mutex. All
+/// operations are O(1) except the invalidation hooks, which scan.
+pub struct ResultCache {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+    invalidations: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` outcomes. `capacity == 0`
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            insertions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            insertions: self.insertions,
+            invalidations: self.invalidations,
+            entries: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    // Unlinks node `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    // Links node `i` at the most-recently-used end.
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. The outcome is
+    /// cloned out so the caller never holds references into the cache.
+    pub fn get(&mut self, key: &CacheKey) -> Option<KosrOutcome> {
+        match self.lookup(key) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// [`Self::get`] for opportunistic pre-checks: counts a hit but **not**
+    /// a miss, so a query probed here and looked up again later (e.g. the
+    /// service's submit fast path followed by the worker's re-check) is
+    /// charged exactly one miss in [`CacheStats`].
+    pub fn probe(&mut self, key: &CacheKey) -> Option<KosrOutcome> {
+        let v = self.lookup(key)?;
+        self.hits += 1;
+        Some(v)
+    }
+
+    fn lookup(&mut self, key: &CacheKey) -> Option<KosrOutcome> {
+        let i = self.map.get(key).copied()?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.slab[i].value.clone())
+    }
+
+    /// Inserts (or refreshes) `key → outcome`, evicting the
+    /// least-recently-used entry when at capacity.
+    pub fn insert(&mut self, key: CacheKey, outcome: KosrOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = outcome;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.slab[lru].key);
+            self.free.push(lru);
+            self.evictions += 1;
+        }
+        let node = Node {
+            key: key.clone(),
+            value: outcome,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = node;
+                i
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        self.insertions += 1;
+    }
+
+    /// Drops every entry whose predicate matches. Returns how many were
+    /// dropped. O(entries).
+    pub fn invalidate_if(&mut self, mut pred: impl FnMut(&CacheKey) -> bool) -> usize {
+        let doomed: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(_, &i)| i)
+            .collect();
+        for i in doomed.iter().copied() {
+            self.unlink(i);
+            self.map.remove(&self.slab[i].key);
+            self.free.push(i);
+        }
+        self.invalidations += doomed.len() as u64;
+        doomed.len()
+    }
+
+    /// Invalidation hook for dynamic category updates: drops every cached
+    /// answer whose category sequence mentions `c` (their member sets — and
+    /// hence their answers — may have changed).
+    pub fn invalidate_category(&mut self, c: CategoryId) -> usize {
+        self.invalidate_if(|k| k.touches_category(c))
+    }
+
+    /// Invalidation hook for graph-structure updates (edge insertions,
+    /// weight changes): every cached distance may be stale, so everything
+    /// goes.
+    pub fn clear(&mut self) -> usize {
+        let n = self.map.len();
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.invalidations += n as u64;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_core::Witness;
+
+    fn key(s: u32, t: u32, cats: &[u32], k: usize) -> CacheKey {
+        CacheKey::canonical(&Query::new(
+            VertexId(s),
+            VertexId(t),
+            cats.iter().map(|&c| CategoryId(c)).collect(),
+            k,
+        ))
+    }
+
+    fn outcome(cost: u64) -> KosrOutcome {
+        KosrOutcome {
+            witnesses: vec![Witness {
+                vertices: vec![VertexId(0), VertexId(1)],
+                cost,
+            }],
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn hit_returns_identical_outcome() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(&key(0, 1, &[2], 3)).is_none());
+        c.insert(key(0, 1, &[2], 3), outcome(42));
+        let got = c.get(&key(0, 1, &[2], 3)).expect("hit");
+        assert_eq!(got.witnesses[0].cost, 42);
+        assert_eq!(got.witnesses[0].vertices, outcome(42).witnesses[0].vertices);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn key_distinguishes_all_fields() {
+        let mut c = ResultCache::new(16);
+        c.insert(key(0, 1, &[2], 3), outcome(1));
+        assert!(c.get(&key(9, 1, &[2], 3)).is_none(), "source differs");
+        assert!(c.get(&key(0, 9, &[2], 3)).is_none(), "target differs");
+        assert!(c.get(&key(0, 1, &[9], 3)).is_none(), "categories differ");
+        assert!(c.get(&key(0, 1, &[2, 2], 3)).is_none(), "length differs");
+        assert!(c.get(&key(0, 1, &[2], 9)).is_none(), "k differs");
+        assert!(c.get(&key(0, 1, &[2], 3)).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_at_capacity() {
+        let mut c = ResultCache::new(3);
+        for i in 0..3 {
+            c.insert(key(i, 0, &[0], 1), outcome(i as u64));
+        }
+        // Touch 0 so 1 becomes the LRU, then overflow.
+        assert!(c.get(&key(0, 0, &[0], 1)).is_some());
+        c.insert(key(3, 0, &[0], 1), outcome(3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(&key(1, 0, &[0], 1)).is_none(), "LRU entry 1 evicted");
+        assert!(c.get(&key(0, 0, &[0], 1)).is_some());
+        assert!(c.get(&key(2, 0, &[0], 1)).is_some());
+        assert!(c.get(&key(3, 0, &[0], 1)).is_some());
+    }
+
+    #[test]
+    fn eviction_churn_reuses_slots() {
+        let mut c = ResultCache::new(2);
+        for i in 0..100u32 {
+            c.insert(key(i, 0, &[0], 1), outcome(i as u64));
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 98);
+        assert!(c.slab.len() <= 3, "slab bounded by capacity, not churn");
+        assert_eq!(c.get(&key(99, 0, &[0], 1)).unwrap().witnesses[0].cost, 99);
+        assert_eq!(c.get(&key(98, 0, &[0], 1)).unwrap().witnesses[0].cost, 98);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 0, &[0], 1), outcome(1));
+        c.insert(key(1, 0, &[0], 1), outcome(2));
+        c.insert(key(0, 0, &[0], 1), outcome(7)); // refresh, 1 becomes LRU
+        c.insert(key(2, 0, &[0], 1), outcome(3)); // evicts 1
+        assert_eq!(c.get(&key(0, 0, &[0], 1)).unwrap().witnesses[0].cost, 7);
+        assert!(c.get(&key(1, 0, &[0], 1)).is_none());
+    }
+
+    #[test]
+    fn category_invalidation_is_selective() {
+        let mut c = ResultCache::new(8);
+        c.insert(key(0, 1, &[1, 2], 1), outcome(1));
+        c.insert(key(0, 1, &[3], 1), outcome(2));
+        c.insert(key(2, 3, &[2, 4], 1), outcome(3));
+        assert_eq!(c.invalidate_category(CategoryId(2)), 2);
+        assert!(c.get(&key(0, 1, &[1, 2], 1)).is_none());
+        assert!(c.get(&key(2, 3, &[2, 4], 1)).is_none());
+        assert!(c.get(&key(0, 1, &[3], 1)).is_some());
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.clear(), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().invalidations, 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(0, 1, &[2], 3), outcome(1));
+        assert!(c.get(&key(0, 1, &[2], 3)).is_none());
+        assert_eq!(c.stats().insertions, 0);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 1, &[2], 3), outcome(1));
+        c.get(&key(0, 1, &[2], 3));
+        c.get(&key(0, 1, &[2], 3));
+        c.get(&key(5, 5, &[2], 3));
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

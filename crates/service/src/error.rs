@@ -1,0 +1,98 @@
+//! The typed error / admission-control surface of the service.
+
+use kosr_core::QueryError;
+use std::time::Duration;
+
+/// Why the service refused, dropped, or failed a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The submission queue is at capacity; the caller should back off and
+    /// retry (the service sheds load instead of buffering unboundedly).
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The query spent longer than its deadline waiting in the queue.
+    DeadlineExceeded {
+        /// The deadline the query was admitted with.
+        deadline: Duration,
+    },
+    /// The search exhausted its examined-routes budget before finding all
+    /// k routes; the partial answer is discarded (and never cached).
+    BudgetExhausted {
+        /// The expansion budget the planner granted.
+        examined_budget: u64,
+    },
+    /// The query failed validation against the served graph (bad endpoint,
+    /// unknown or empty category, `k == 0`) — rejected at admission, before
+    /// consuming worker time.
+    InvalidQuery(QueryError),
+    /// The service is draining and no longer accepts work.
+    ShuttingDown,
+    /// The worker executing this query disappeared without responding
+    /// (a worker panic); the query's fate is unknown.
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServiceError::DeadlineExceeded { deadline } => {
+                write!(f, "deadline of {deadline:?} exceeded")
+            }
+            ServiceError::BudgetExhausted { examined_budget } => {
+                write!(
+                    f,
+                    "expansion budget of {examined_budget} examined routes exhausted"
+                )
+            }
+            ServiceError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::WorkerLost => write!(f, "worker lost before responding"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::InvalidQuery(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ServiceError {
+    fn from(e: QueryError) -> ServiceError {
+        ServiceError::InvalidQuery(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(ServiceError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(ServiceError::DeadlineExceeded {
+            deadline: Duration::from_millis(5)
+        }
+        .to_string()
+        .contains("deadline"));
+        assert!(ServiceError::BudgetExhausted {
+            examined_budget: 500
+        }
+        .to_string()
+        .contains("500"));
+        let e: ServiceError = QueryError::ZeroK.into();
+        assert!(e.to_string().contains("positive"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServiceError::ShuttingDown).is_none());
+    }
+}

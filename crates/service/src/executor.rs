@@ -1,0 +1,694 @@
+//! The serving engine: a worker pool draining a bounded submission queue
+//! against one shared, immutable [`IndexedGraph`].
+//!
+//! Life of a query:
+//!
+//! 1. **Admission** — [`KosrService::submit`] validates the query against
+//!    the graph (typed rejection on bad endpoints / categories / k) and
+//!    refuses when the queue is full, so overload sheds load instead of
+//!    buffering unboundedly.
+//! 2. **Planning** — the [`QueryPlanner`] picks a method and expansion
+//!    budget from the query's shape and category selectivity.
+//! 3. **Cache** — a canonicalised-key LRU returns memoised outcomes for
+//!    repeat queries without touching a worker's search state.
+//! 4. **Execution** — a worker runs `IndexedGraph::run_bounded`; the
+//!    outcome travels back through the ticket. End-to-end latency (queue
+//!    wait included) feeds the service histogram.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use kosr_core::{IndexedGraph, KosrOutcome, Query};
+use kosr_graph::CategoryId;
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::error::ServiceError;
+use crate::planner::{QueryPlan, QueryPlanner};
+use crate::stats::{LatencyHistogram, ServiceStats};
+
+/// Service tunables.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue. `0` means one per core.
+    pub workers: usize,
+    /// Submission-queue capacity; submissions beyond it get
+    /// [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Planner thresholds.
+    pub planner: crate::planner::PlannerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 4096,
+            cache_capacity: 8192,
+            planner: Default::default(),
+        }
+    }
+}
+
+/// A successfully answered query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The routes and per-query search instrumentation.
+    pub outcome: KosrOutcome,
+    /// What the planner decided for this query.
+    pub plan: QueryPlan,
+    /// `true` when the outcome came from the result cache.
+    pub cached: bool,
+    /// End-to-end latency: submission to response, queue wait included.
+    pub latency: Duration,
+}
+
+/// A pending response: redeem with [`Ticket::wait`].
+#[must_use = "a ticket must be waited on to observe the query's result"]
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<QueryResponse, ServiceError>>,
+}
+
+impl Ticket {
+    /// Blocks until the query resolves.
+    pub fn wait(self) -> Result<QueryResponse, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::WorkerLost))
+    }
+
+    fn immediate(result: Result<QueryResponse, ServiceError>) -> Ticket {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(result);
+        Ticket { rx }
+    }
+}
+
+struct Job {
+    query: Query,
+    key: CacheKey,
+    plan: QueryPlan,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<QueryResponse, ServiceError>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    ig: Arc<IndexedGraph>,
+    planner: QueryPlanner,
+    queue: Mutex<QueueState>,
+    /// Signals workers that a job (or shutdown) is available.
+    wake: Condvar,
+    queue_capacity: usize,
+    /// `cache_capacity > 0`: lets hot paths skip the cache mutex entirely
+    /// when caching is disabled.
+    cache_enabled: bool,
+    cache: Mutex<ResultCache>,
+    latency: LatencyHistogram,
+    started: Instant,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    budget_exhausted: AtomicU64,
+    rejected_invalid: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Shared {
+    fn respond(
+        &self,
+        tx: &mpsc::Sender<Result<QueryResponse, ServiceError>>,
+        result: Result<QueryResponse, ServiceError>,
+    ) {
+        match &result {
+            Ok(resp) => {
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                if resp.cached {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                self.latency.record(resp.latency);
+            }
+            Err(ServiceError::DeadlineExceeded { .. }) => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(ServiceError::BudgetExhausted { .. }) => {
+                self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {}
+        }
+        // A dropped ticket just means the caller stopped listening.
+        let _ = tx.send(result);
+    }
+
+    fn execute(&self, job: Job) {
+        if let Some(deadline) = job.plan.deadline {
+            if job.submitted.elapsed() > deadline {
+                self.respond(&job.tx, Err(ServiceError::DeadlineExceeded { deadline }));
+                return;
+            }
+        }
+
+        if self.cache_enabled {
+            if let Some(outcome) = self.cache.lock().unwrap().get(&job.key) {
+                self.respond(
+                    &job.tx,
+                    Ok(QueryResponse {
+                        outcome,
+                        plan: job.plan,
+                        cached: true,
+                        latency: job.submitted.elapsed(),
+                    }),
+                );
+                return;
+            }
+        }
+
+        let outcome = self
+            .ig
+            .run_bounded(&job.query, job.plan.method, job.plan.examined_budget);
+
+        if outcome.stats.truncated {
+            // The budget ran out before all k routes were found: surface a
+            // typed failure rather than caching a partial answer.
+            self.respond(
+                &job.tx,
+                Err(ServiceError::BudgetExhausted {
+                    examined_budget: job.plan.examined_budget,
+                }),
+            );
+            return;
+        }
+
+        if self.cache_enabled {
+            self.cache.lock().unwrap().insert(job.key, outcome.clone());
+        }
+        self.respond(
+            &job.tx,
+            Ok(QueryResponse {
+                outcome,
+                plan: job.plan,
+                cached: false,
+                latency: job.submitted.elapsed(),
+            }),
+        );
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if q.shutting_down {
+                        return;
+                    }
+                    q = self.wake.wait(q).unwrap();
+                }
+            };
+            self.execute(job);
+        }
+    }
+}
+
+/// A thread-safe KOSR serving engine over one shared immutable index.
+///
+/// Dropping the service drains outstanding work: already-queued queries
+/// are answered, new submissions are refused, workers then join.
+pub struct KosrService {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl KosrService {
+    /// Spawns the worker pool against `ig`.
+    pub fn new(ig: Arc<IndexedGraph>, config: ServiceConfig) -> KosrService {
+        let workers = if config.workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            ig,
+            planner: QueryPlanner::new(config.planner),
+            queue: Mutex::new(QueueState::default()),
+            wake: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            cache_enabled: config.cache_capacity > 0,
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            latency: LatencyHistogram::new(),
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            budget_exhausted: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("kosr-worker-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        KosrService {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The served index (shared, immutable).
+    pub fn indexed_graph(&self) -> &Arc<IndexedGraph> {
+        &self.shared.ig
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The planner's decision for `query` (what execution would do) —
+    /// exposed so callers and tests can cross-check plans.
+    pub fn plan(&self, query: &Query) -> QueryPlan {
+        self.shared.planner.plan(&self.shared.ig, query)
+    }
+
+    /// Admission control + enqueue. Returns a [`Ticket`] redeemable for the
+    /// response, or a typed rejection without consuming worker time.
+    pub fn submit(&self, query: Query) -> Result<Ticket, ServiceError> {
+        if let Err(e) = query.validate(&self.shared.ig.graph) {
+            self.shared.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::InvalidQuery(e));
+        }
+        let plan = self.shared.planner.plan(&self.shared.ig, &query);
+        let key = CacheKey::canonical(&query);
+        let submitted = Instant::now();
+
+        // Fast path: answer cache hits inline — no queue round-trip for hot
+        // repeated queries. `try_lock` keeps submitters from serialising on
+        // the cache mutex under contention: on a busy cache the query just
+        // takes the queue path, where the worker re-checks the cache.
+        if self.shared.cache_enabled {
+            // `probe` (not `get`) so a cold query missed here and again by
+            // the worker is charged exactly one miss in the counters.
+            let cached = match self.shared.cache.try_lock() {
+                Ok(mut cache) => cache.probe(&key),
+                Err(_) => None,
+            };
+            if let Some(outcome) = cached {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                let resp = QueryResponse {
+                    outcome,
+                    plan,
+                    cached: true,
+                    latency: submitted.elapsed(),
+                };
+                self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.shared.latency.record(resp.latency);
+                return Ok(Ticket::immediate(Ok(resp)));
+            }
+        }
+
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.shutting_down {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if q.jobs.len() >= self.shared.queue_capacity {
+                self.shared
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::QueueFull {
+                    capacity: self.shared.queue_capacity,
+                });
+            }
+            q.jobs.push_back(Job {
+                query,
+                key,
+                plan,
+                submitted,
+                tx,
+            });
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.wake.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a whole batch and blocks until every query resolves;
+    /// responses come back in input order. Queries the queue cannot admit
+    /// are reported as their rejection error in-place.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<QueryResponse, ServiceError>> {
+        let tickets: Vec<Result<Ticket, ServiceError>> =
+            queries.iter().map(|q| self.submit(q.clone())).collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::wait))
+            .collect()
+    }
+
+    /// Drops every cached answer touching category `c` — the hook dynamic
+    /// category updates will call.
+    pub fn invalidate_category(&self, c: CategoryId) -> usize {
+        self.shared.cache.lock().unwrap().invalidate_category(c)
+    }
+
+    /// Drops the whole result cache (graph-structure updates).
+    pub fn invalidate_all(&self) -> usize {
+        self.shared.cache.lock().unwrap().clear()
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().unwrap().stats()
+    }
+
+    /// Aggregate service health snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared;
+        let window = s.started.elapsed();
+        let completed = s.completed.load(Ordering::Relaxed);
+        ServiceStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected_queue_full: s.rejected_queue_full.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+            budget_exhausted: s.budget_exhausted.load(Ordering::Relaxed),
+            rejected_invalid: s.rejected_invalid.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            window,
+            qps: if window.as_secs_f64() > 0.0 {
+                completed as f64 / window.as_secs_f64()
+            } else {
+                0.0
+            },
+            latency_mean: s.latency.mean(),
+            latency_p50: s.latency.quantile(0.5),
+            latency_p99: s.latency.quantile(0.99),
+            latency_max: s.latency.max(),
+            cache: s.cache.lock().unwrap().stats(),
+        }
+    }
+}
+
+impl Drop for KosrService {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().shutting_down = true;
+        self.shared.wake.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Convenience: answers `queries` sequentially on the caller's thread with
+/// the same planner policy a service would use — the single-threaded
+/// baseline services are validated against.
+pub fn run_sequential(
+    ig: &IndexedGraph,
+    planner: &QueryPlanner,
+    queries: &[Query],
+) -> Vec<KosrOutcome> {
+    queries
+        .iter()
+        .map(|q| {
+            let plan = planner.plan(ig, q);
+            ig.run_bounded(q, plan.method, plan.examined_budget)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_core::figure1::figure1;
+
+    fn service(
+        workers: usize,
+        queue: usize,
+        cache: usize,
+    ) -> (KosrService, kosr_core::figure1::Figure1) {
+        let fx = figure1();
+        let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+        (
+            KosrService::new(
+                ig,
+                ServiceConfig {
+                    workers,
+                    queue_capacity: queue,
+                    cache_capacity: cache,
+                    ..Default::default()
+                },
+            ),
+            fx,
+        )
+    }
+
+    fn fig1_query(fx: &kosr_core::figure1::Figure1, k: usize) -> Query {
+        Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], k)
+    }
+
+    #[test]
+    fn answers_figure1_through_the_pool() {
+        let (svc, fx) = service(4, 64, 64);
+        let resp = svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        assert!(!resp.cached);
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache_with_identical_routes() {
+        let (svc, fx) = service(2, 64, 64);
+        let first = svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap();
+        let second = svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap();
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(
+            first
+                .outcome
+                .witnesses
+                .iter()
+                .map(|w| &w.vertices)
+                .collect::<Vec<_>>(),
+            second
+                .outcome
+                .witnesses
+                .iter()
+                .map(|w| &w.vertices)
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(first.outcome.costs(), second.outcome.costs());
+        let stats = svc.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_queries_rejected_at_admission() {
+        let (svc, fx) = service(1, 8, 8);
+        let bad = Query::new(fx.s, fx.t, vec![fx.ma], 0);
+        match svc.submit(bad) {
+            Err(ServiceError::InvalidQuery(kosr_core::QueryError::ZeroK)) => {}
+            other => panic!("expected ZeroK rejection, got {other:?}"),
+        }
+        let bad_cat = Query::new(fx.s, fx.t, vec![kosr_graph::CategoryId(99)], 1);
+        assert!(matches!(
+            svc.submit(bad_cat),
+            Err(ServiceError::InvalidQuery(
+                kosr_core::QueryError::UnknownCategory(_)
+            ))
+        ));
+        assert_eq!(svc.stats().rejected_invalid, 2);
+        assert_eq!(svc.stats().submitted, 0);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_reports_inline_errors() {
+        let (svc, fx) = service(4, 64, 0);
+        let queries = vec![
+            fig1_query(&fx, 1),
+            Query::new(fx.s, fx.t, vec![fx.ma], 0), // invalid
+            fig1_query(&fx, 3),
+        ];
+        let results = svc.run_batch(&queries);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().outcome.costs(), vec![20]);
+        assert!(matches!(
+            results[1],
+            Err(ServiceError::InvalidQuery(kosr_core::QueryError::ZeroK))
+        ));
+        assert_eq!(
+            results[2].as_ref().unwrap().outcome.costs(),
+            vec![20, 21, 22]
+        );
+    }
+
+    #[test]
+    fn zero_deadline_times_out_in_queue() {
+        let fx = figure1();
+        let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+        let svc = KosrService::new(
+            ig,
+            ServiceConfig {
+                workers: 1,
+                planner: crate::planner::PlannerConfig {
+                    deadline: Some(Duration::ZERO),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let err = svc
+            .submit(fig1_query(&fx, 3))
+            .unwrap()
+            .wait()
+            .expect_err("a zero deadline cannot be met");
+        assert_eq!(
+            err,
+            ServiceError::DeadlineExceeded {
+                deadline: Duration::ZERO
+            }
+        );
+        assert_eq!(svc.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn truncated_searches_report_budget_exhausted_and_stay_uncached() {
+        let fx = figure1();
+        let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+        let svc = KosrService::new(
+            ig,
+            ServiceConfig {
+                workers: 1,
+                planner: crate::planner::PlannerConfig {
+                    // One examined route cannot complete k=3.
+                    expansion_per_level: 0,
+                    max_examined: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let err = svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap_err();
+        assert!(
+            matches!(err, ServiceError::BudgetExhausted { .. }),
+            "{err:?}"
+        );
+        assert_eq!(svc.stats().budget_exhausted, 1);
+        assert_eq!(svc.stats().deadline_exceeded, 0);
+        assert_eq!(
+            svc.cache_stats().insertions,
+            0,
+            "partial answers not cached"
+        );
+    }
+
+    #[test]
+    fn queue_full_rejects_while_workers_are_wedged() {
+        let fx = figure1();
+        let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+        let svc = KosrService::new(
+            ig,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 2,
+                cache_capacity: 8,
+                ..Default::default()
+            },
+        );
+        // Wedge the worker: it must take the cache lock before executing
+        // any job, so holding it from here freezes the drain deterministically.
+        // Distinct k values keep every submission off the submit-side
+        // cache fast path (all cold misses).
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        {
+            let _wedge = svc.shared.cache.lock().unwrap();
+            for k in 1..=8 {
+                match svc.submit(fig1_query(&fx, k)) {
+                    Ok(t) => tickets.push(t),
+                    Err(ServiceError::QueueFull { capacity }) => {
+                        assert_eq!(capacity, 2);
+                        rejected += 1;
+                    }
+                    Err(e) => panic!("unexpected {e:?}"),
+                }
+            }
+        }
+        // Capacity 2 + at most 1 job already claimed by the worker: at
+        // least 5 of the 8 must have been shed.
+        assert!(rejected >= 5, "rejected={rejected}");
+        assert_eq!(svc.stats().rejected_queue_full, rejected);
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn category_invalidation_forces_recompute() {
+        let (svc, fx) = service(2, 16, 16);
+        let _ = svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap();
+        assert_eq!(svc.cache_stats().entries, 1);
+        assert_eq!(svc.invalidate_category(fx.re), 1);
+        assert_eq!(svc.cache_stats().entries, 0);
+        let again = svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap();
+        assert!(!again.cached, "invalidated entry must be recomputed");
+        assert_eq!(svc.invalidate_all(), 1);
+    }
+
+    #[test]
+    fn drop_drains_and_joins() {
+        let (svc, fx) = service(2, 64, 0);
+        let tickets: Vec<Ticket> = (1..=4)
+            .map(|k| svc.submit(fig1_query(&fx, k)).unwrap())
+            .collect();
+        drop(svc); // must not deadlock; queued work still answered
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.wait().expect("queued before shutdown → answered");
+            assert_eq!(resp.outcome.costs().len(), i + 1);
+        }
+    }
+
+    #[test]
+    fn sequential_baseline_matches_service() {
+        let (svc, fx) = service(4, 64, 64);
+        let queries: Vec<Query> = (1..=3).map(|k| fig1_query(&fx, k)).collect();
+        let service_out = svc.run_batch(&queries);
+        let seq = run_sequential(svc.indexed_graph(), &QueryPlanner::default(), &queries);
+        for (a, b) in service_out.iter().zip(&seq) {
+            let a = a.as_ref().unwrap();
+            assert_eq!(a.outcome.costs(), b.costs());
+            assert_eq!(
+                a.outcome
+                    .witnesses
+                    .iter()
+                    .map(|w| &w.vertices)
+                    .collect::<Vec<_>>(),
+                b.witnesses.iter().map(|w| &w.vertices).collect::<Vec<_>>()
+            );
+        }
+    }
+}

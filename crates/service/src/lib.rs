@@ -1,0 +1,50 @@
+//! # kosr-service
+//!
+//! The concurrent query-serving subsystem of the KOSR workspace: takes the
+//! single-shot algorithms of `kosr-core` (Liu et al., ICDE 2018) and turns
+//! them into a thread-safe engine that serves many heterogeneous sequenced-
+//! route queries against **one** shared, immutable [`IndexedGraph`] — the
+//! serving shape systems like *Sequenced Route Query with Semantic
+//! Hierarchy* (arXiv:2009.03776) argue for.
+//!
+//! | piece | role |
+//! |---|---|
+//! | [`QueryPlanner`] / [`QueryPlan`] | picks `Method::{Kpne, Pk, Sk}` + expansion budget from k, \|C\| and category selectivity |
+//! | [`ResultCache`] | canonical-key LRU over complete outcomes, with counters + invalidation hooks |
+//! | [`KosrService`] | bounded submission queue + worker pool + admission control |
+//! | [`ServiceStats`] / [`LatencyHistogram`] | QPS, p50/p99 end-to-end latency, cache hit rate |
+//! | [`ServiceError`] | typed rejections: queue-full, deadline, invalid query |
+//!
+//! ```
+//! use std::sync::Arc;
+//! use kosr_core::{figure1, IndexedGraph, Query};
+//! use kosr_service::{KosrService, ServiceConfig};
+//!
+//! let fx = figure1::figure1();
+//! let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+//! let service = KosrService::new(ig, ServiceConfig::default());
+//!
+//! let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+//! let resp = service.submit(q).unwrap().wait().unwrap();
+//! assert_eq!(resp.outcome.costs(), vec![20, 21, 22]); // Example 1 of the paper
+//! assert!(service.stats().completed >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod error;
+mod executor;
+mod planner;
+mod stats;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use error::ServiceError;
+pub use executor::{run_sequential, KosrService, QueryResponse, ServiceConfig, Ticket};
+pub use planner::{PlannerConfig, QueryPlan, QueryPlanner};
+pub use stats::{LatencyHistogram, ServiceStats};
+
+// Re-exported so service users don't need a direct kosr-core dependency
+// for the common request/response types.
+pub use kosr_core::{IndexedGraph, KosrOutcome, Method, Query, QueryError};

@@ -1,0 +1,117 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! few external APIs the codebase relies on are re-implemented locally with
+//! identical signatures. Only the subset actually used by `kosr-hoplabel`'s
+//! codec and `kosr-index`'s disk layout is provided: little-endian integer
+//! reads/writes over `&[u8]` and `Vec<u8>`.
+
+#![forbid(unsafe_code)]
+
+/// Read access to a buffer of bytes, advancing an internal cursor.
+pub trait Buf {
+    /// Bytes left between the cursor and the end.
+    fn remaining(&self) -> usize;
+
+    /// Moves the cursor forward `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// The bytes between the cursor and the end.
+    fn chunk(&self) -> &[u8];
+
+    /// `remaining() > 0`.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads a little-endian `u32` and advances past it.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64` and advances past it.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads one byte and advances past it.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends `src` verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_slice(b"xy");
+        out.put_u8(7);
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 4 + 8 + 2 + 1);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(&buf.chunk()[..2], b"xy");
+        buf.advance(2);
+        assert!(buf.has_remaining());
+        assert_eq!(buf.get_u8(), 7);
+        assert!(!buf.has_remaining());
+    }
+}

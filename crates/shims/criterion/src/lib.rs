@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group / `bench_function` / `bench_with_input` / `iter`
+//! surface the workspace's benches use, with a simple median-of-samples
+//! timing loop instead of criterion's full statistical machinery. Honors
+//! `KOSR_BENCH_SAMPLES` (default 10) so CI can dial effort down, and
+//! supports the `--bench <filter>` / bare-filter CLI arguments cargo
+//! passes through.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterised benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("SK", 10)` renders as `SK/10`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall times of the routine under measurement.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample and records each duration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed warmup pass to populate caches/allocator state.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        times: Vec::new(),
+    };
+    f(&mut b);
+    b.times.sort_unstable();
+    let median = b
+        .times
+        .get(b.times.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    let total: Duration = b.times.iter().sum();
+    println!(
+        "bench: {name:<48} median {median:>12.3?}  ({} samples, {total:.3?} total)",
+        b.times.len()
+    );
+}
+
+fn default_samples() -> usize {
+    std::env::var("KOSR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+        .max(1)
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            filter: None,
+            sample_size: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses the arguments cargo-bench forwards (`--bench`, a name filter);
+    /// unknown flags are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--profile-time" => {
+                    // flag (possibly consuming a value we don't use)
+                    if a == "--profile-time" {
+                        let _ = args.next();
+                    }
+                }
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Criterion {
+        if self.enabled(name) {
+            run_one(name, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    fn samples(&self) -> usize {
+        // The env knob wins so CI can cap long-running groups.
+        match std::env::var("KOSR_BENCH_SAMPLES") {
+            Ok(s) => s.parse().unwrap_or(10),
+            Err(_) => self.sample_size.unwrap_or_else(default_samples),
+        }
+        .max(1)
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            run_one(&full, self.samples(), f);
+        }
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            run_one(&full, self.samples(), |b| f(b, input));
+        }
+        self
+    }
+
+    /// Closes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_smoke() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 2,
+        };
+        c.bench_function("solo", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_function("one", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match".into()),
+            sample_size: 1,
+        };
+        let mut ran = false;
+        c.bench_function("no", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+    }
+}

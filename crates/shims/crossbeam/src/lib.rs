@@ -1,0 +1,70 @@
+//! Offline stand-in for the `crossbeam` crate: [`scope`] implemented on top
+//! of `std::thread::scope` (stabilised since Rust 1.63, so crossbeam's main
+//! historical raison d'être is in std now).
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Handle passed to [`scope`]'s closure; spawns threads that may borrow
+/// from the enclosing stack frame.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle again,
+    /// mirroring crossbeam's nested-spawn signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned thread has joined.
+///
+/// Unlike crossbeam, a panicking child propagates the panic at scope exit
+/// instead of surfacing through the `Err` variant — the `Result` wrapper is
+/// kept purely for signature compatibility.
+#[allow(clippy::type_complexity)]
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .expect("workers joined");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

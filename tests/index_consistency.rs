@@ -94,7 +94,12 @@ fn dynamic_updates_equal_rebuild() {
 
     // A query whose answer must now include the new member: make newbie the
     // only member cheaply reachable by routing from itself.
-    let q = Query::new(newbie, v(100 % ig.graph.num_vertices() as u32), vec![cat], 1);
+    let q = Query::new(
+        newbie,
+        v(100 % ig.graph.num_vertices() as u32),
+        vec![cat],
+        1,
+    );
     let out = ig.run(&q, Method::Sk);
     assert!(!out.witnesses.is_empty());
     // v7 serves the category at distance 0, so the best witness uses it.
@@ -106,7 +111,10 @@ fn dynamic_updates_equal_rebuild() {
         .remove_membership(&ig.labels, &mut cats, newbie, cat);
     ig.graph.set_categories(cats);
     let rebuilt = InvertedLabelIndex::build(&ig.labels, ig.graph.categories(), cat);
-    assert_eq!(ig.inverted.category(cat).num_entries(), rebuilt.num_entries());
+    assert_eq!(
+        ig.inverted.category(cat).num_entries(),
+        rebuilt.num_entries()
+    );
 }
 
 /// Codec and disk layouts round-trip through the public API on a scenario

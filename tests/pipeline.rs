@@ -45,8 +45,20 @@ fn gsp_agrees_with_k1() {
     for spec in gen_queries(&ig.graph, 10, 4, 1, 7) {
         let q = Query::new(spec.source, spec.target, spec.categories.clone(), 1);
         let sk = ig.run(&q, Method::Sk);
-        let (w_dij, _) = gsp(&ig.graph, q.source, q.target, &q.categories, &GspEngine::Dijkstra);
-        let (w_ch, stats) = gsp(&ig.graph, q.source, q.target, &q.categories, &GspEngine::Ch(&ch));
+        let (w_dij, _) = gsp(
+            &ig.graph,
+            q.source,
+            q.target,
+            &q.categories,
+            &GspEngine::Dijkstra,
+        );
+        let (w_ch, stats) = gsp(
+            &ig.graph,
+            q.source,
+            q.target,
+            &q.categories,
+            &GspEngine::Ch(&ch),
+        );
         assert_eq!(stats.searches, q.categories.len() + 1);
         match (sk.witnesses.first(), w_dij, w_ch) {
             (Some(a), Some(b), Some(c)) => {
@@ -156,8 +168,7 @@ fn lemma3_bound_holds() {
         );
         sizes.push(1);
         let pairwise: u64 = sizes.windows(2).map(|w| (w[0] * w[1]) as u64).sum();
-        let reconsider: u64 =
-            (q.k as u64 - 1) * sizes[1..].iter().map(|&s| s as u64).sum::<u64>();
+        let reconsider: u64 = (q.k as u64 - 1) * sizes[1..].iter().map(|&s| s as u64).sum::<u64>();
         let bound = pairwise + reconsider;
         assert!(
             out.stats.examined_routes <= bound,

@@ -83,8 +83,8 @@ fn no_source_matches_brute_force() {
     for &a in ig.graph.categories().vertices_of(c0) {
         for &b in ig.graph.categories().vertices_of(c1) {
             for &c in ig.graph.categories().vertices_of(c2) {
-                let cost = ig.labels.distance(a, b) + ig.labels.distance(b, c)
-                    + ig.labels.distance(c, t);
+                let cost =
+                    ig.labels.distance(a, b) + ig.labels.distance(b, c) + ig.labels.distance(c, t);
                 if kosr::graph::is_finite(cost) {
                     all.push(cost);
                 }
@@ -215,7 +215,11 @@ fn arbitrary_order_topk_is_consistent() {
         assert!(pair[0].cost <= pair[1].cost);
     }
     let (osr, _) = arbitrary_order_osr(&ig.graph, s, t, &cats);
-    assert_eq!(topk[0].cost, osr.unwrap().cost, "top-1 equals the DP optimum");
+    assert_eq!(
+        topk[0].cost,
+        osr.unwrap().cost,
+        "top-1 equals the DP optimum"
+    );
     // Any fixed-order top-1 is ≥ the free-order top-1.
     let fixed = ig.run(&Query::new(s, t, cats.to_vec(), 1), Method::Sk);
     assert!(fixed.witnesses[0].cost >= topk[0].cost);
