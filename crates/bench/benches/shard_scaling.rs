@@ -1,0 +1,161 @@
+//! Shard-scaling throughput: the same multi-region traffic pushed through
+//! `ShardRouter` deployments of 1, 2 and 4 shards (2 workers per shard),
+//! so the scaling claim of the sharding layer — more shards ⇒ more
+//! parallel capacity ⇒ higher batch throughput — is measured, not assumed.
+//!
+//! * `batch/{1,2,4}shards` — 400 region-skewed queries, replica caches
+//!   disabled (measures execution + fan-out + merge machinery, not
+//!   memoisation).
+//! * `batch/4shards_cached` — the same stream with replica caches on
+//!   (the production configuration).
+//!
+//! A summary line prints two scaling numbers once per run:
+//!
+//! * **wall QPS** — batch wall-clock throughput; meaningful only when the
+//!   host has cores to back the worker pools (shards on one box share the
+//!   CPUs; on a single-core host more shards can only lose);
+//! * **capacity QPS** — queries / the measured critical path
+//!   `max_shard(busy / workers)`, where each shard's `busy` is timed by
+//!   replaying its shadow-rewritten share of the stream **in isolation**
+//!   (single-threaded, no contention, so the numbers are honest on any
+//!   core count). This is the throughput the same deployment sustains
+//!   once each shard has its own box — the number the 1 → 4 shard
+//!   scaling claim is about.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kosr_core::{IndexedGraph, Query};
+use kosr_service::ServiceConfig;
+use kosr_shard::{PartitionConfig, Partitioner, ShardRouter, ShardSet};
+use kosr_workloads::{assign_clustered, gen_region_traffic, road_grid_directed, RegionTraffic};
+
+fn world() -> IndexedGraph {
+    let mut g = road_grid_directed(24, 24, 17);
+    // Spatially clustered POI categories: the membership distribution
+    // region sharding is built for — a query's first-stop fan-out touches
+    // the shards its cluster overlaps, not all of them.
+    assign_clustered(&mut g, 8, 30, 0.0, 5);
+    IndexedGraph::build_default(g)
+}
+
+fn router(ig: &IndexedGraph, shards: usize, cache: usize) -> (ShardRouter, Vec<Query>) {
+    let partition = Partitioner::new(PartitionConfig {
+        num_shards: shards,
+        ..Default::default()
+    })
+    .partition(&ig.graph);
+    let queries = gen_region_traffic(&ig.graph, &partition, 400, &RegionTraffic::default(), 23)
+        .iter()
+        .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
+        .collect();
+    let set = ShardSet::build(ig, partition);
+    let config = ServiceConfig {
+        workers: 2,
+        queue_capacity: 4096,
+        cache_capacity: cache,
+        ..Default::default()
+    };
+    (ShardRouter::new(set, config), queries)
+}
+
+fn drain(router: &ShardRouter, queries: &[Query]) {
+    for r in router.run_batch(queries) {
+        criterion::black_box(r.expect("bench workload completes").outcome.witnesses.len());
+    }
+}
+
+/// Each shard's compute time for its share of the stream, measured by a
+/// **single-threaded isolated replay** of the shadow-rewritten queries —
+/// one thread running at a time, so the timings are contention-free and
+/// comparable on any host.
+fn isolated_shard_busy(router: &ShardRouter, queries: &[Query]) -> Vec<std::time::Duration> {
+    let planner = kosr_service::QueryPlanner::default();
+    (0..router.num_shards())
+        .map(|j| {
+            let share: Vec<Query> = queries
+                .iter()
+                .filter(|q| router.plan_fanout(q).contains(&j))
+                .map(|q| {
+                    let mut q = q.clone();
+                    if let Some(c1) = q.categories.first_mut() {
+                        *c1 = router.shadow(*c1);
+                    }
+                    q
+                })
+                .collect();
+            let ig = router.shard_service(j).indexed_graph();
+            let t0 = Instant::now();
+            criterion::black_box(kosr_service::run_sequential(&ig, &planner, &share));
+            t0.elapsed()
+        })
+        .collect()
+}
+
+fn shard_scaling(c: &mut Criterion) {
+    let ig = world();
+    let mut group = c.benchmark_group("shard_scaling/batch");
+    group.sample_size(10);
+
+    for shards in [1usize, 2, 4] {
+        let (router, queries) = router(&ig, shards, 0);
+        group.bench_function(format!("{shards}shards"), |b| {
+            b.iter(|| drain(&router, &queries))
+        });
+    }
+
+    {
+        let (router, queries) = router(&ig, 4, 4096);
+        group.bench_function("4shards_cached", |b| {
+            drain(&router, &queries); // warm replica caches
+            b.iter(|| drain(&router, &queries))
+        });
+    }
+    group.finish();
+
+    // The scaling headline: wall QPS and measured critical-path capacity.
+    let workers_per_shard = 2.0;
+    let mut wall = Vec::new();
+    let mut capacity = Vec::new();
+    for shards in [1usize, 4] {
+        let (router, queries) = router(&ig, shards, 0);
+        drain(&router, &queries); // warm the pools/allocator, caches off
+        let t0 = Instant::now();
+        drain(&router, &queries);
+        wall.push(queries.len() as f64 / t0.elapsed().as_secs_f64());
+        let critical_path = isolated_shard_busy(&router, &queries)
+            .into_iter()
+            .map(|busy| busy.as_secs_f64() / workers_per_shard)
+            .fold(0.0f64, f64::max);
+        capacity.push(queries.len() as f64 / critical_path);
+    }
+    let (stats, fanout) = {
+        let (router, queries) = router(&ig, 4, 0);
+        let total: usize = queries.iter().map(|q| router.plan_fanout(q).len()).sum();
+        (
+            router.partition_stats().clone(),
+            total as f64 / queries.len() as f64,
+        )
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "info: shard_scaling capacity: {:.0} QPS @1 shard → {:.0} QPS @4 shards ({:.2}x, measured critical path)",
+        capacity[0],
+        capacity[1],
+        capacity[1] / capacity[0],
+    );
+    println!(
+        "info: shard_scaling wall ({cores} cores): {:.0} QPS @1 shard → {:.0} QPS @4 shards ({:.2}x); mean fan-out {:.2}/4; partition: sizes {:?}, {} cut edges, {} boundary vertices",
+        wall[0],
+        wall[1],
+        wall[1] / wall[0],
+        fanout,
+        stats.shard_sizes,
+        stats.cut_edges,
+        stats.boundary_vertices,
+    );
+}
+
+criterion_group!(benches, shard_scaling);
+criterion_main!(benches);

@@ -51,7 +51,7 @@ pub use brute::brute_force_topk;
 pub use gsp::{gsp, GspEngine, GspStats};
 pub use kpne::{kpne, kpne_bounded, pne};
 pub use pruning::{pruning_kosr, pruning_kosr_bounded};
-pub use runner::{run_sk_db, IndexedGraph, Method};
+pub use runner::{run_sk_db, GraphUpdateError, IndexedGraph, Method};
 pub use star::{star_kosr, star_kosr_bounded};
 pub use types::{KosrOutcome, Query, QueryError, QueryStats, TimeBreakdown, Witness};
 pub use variants::{no_destination_kosr, no_source_kosr, FilteredNn};

@@ -107,6 +107,18 @@ pub struct Witness {
 }
 
 impl Witness {
+    /// The **canonical order** of witnesses: nondecreasing cost (the
+    /// paper's route order), with cost ties broken lexicographically on the
+    /// vertex tuple. This is a total order independent of which algorithm
+    /// (or which shard) produced the witness, so canonicalised top-k
+    /// results are stable under `k` (`top-k'` is a prefix of `top-k` for
+    /// `k' < k`) and under cross-shard merging.
+    pub fn canonical_cmp(&self, other: &Witness) -> std::cmp::Ordering {
+        self.cost
+            .cmp(&other.cost)
+            .then_with(|| self.vertices.cmp(&other.vertices))
+    }
+
     /// Expands the witness into an actual route (Definition 2) by
     /// concatenating shortest paths between consecutive witness vertices,
     /// reconstructed through the label index.
@@ -146,7 +158,10 @@ pub struct TimeBreakdown {
 }
 
 impl TimeBreakdown {
-    pub(crate) fn finalize(&mut self) {
+    /// Recomputes `other` as the remainder of `total` after the tracked
+    /// components (saturating). Called after the components are filled in
+    /// (per-query by the algorithms, or by cross-shard aggregation).
+    pub fn finalize(&mut self) {
         self.other = self
             .total
             .saturating_sub(self.nn)

@@ -141,6 +141,20 @@ impl Graph {
     pub fn total_weight(&self) -> Weight {
         self.out_weights.iter().sum()
     }
+
+    /// Re-opens the graph as a [`GraphBuilder`] holding every edge and the
+    /// category table — the escape hatch for structural updates (CSR is
+    /// immutable, so an edge insert rebuilds through the builder).
+    pub fn to_builder(&self) -> GraphBuilder {
+        let mut b = GraphBuilder::new(self.num_vertices()).with_edge_capacity(self.num_edges());
+        for u in self.vertices() {
+            for (v, w) in self.out_edges(u) {
+                b.add_edge(u, v, w);
+            }
+        }
+        b.categories = self.categories.clone();
+        b
+    }
 }
 
 /// Iterator over one adjacency row, yielding `(endpoint, weight)`.
@@ -419,5 +433,23 @@ mod tests {
     #[test]
     fn total_weight_fingerprint() {
         assert_eq!(diamond().total_weight(), 10);
+    }
+
+    #[test]
+    fn to_builder_roundtrips_edges_and_categories() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(v(0), v(1), 2);
+        b.add_edge(v(1), v(3), 2);
+        let c = b.categories_mut().add_category("A");
+        b.categories_mut().insert(v(1), c);
+        let g = b.build();
+
+        let mut rb = g.to_builder();
+        rb.add_edge(v(0), v(3), 9);
+        let g2 = rb.build();
+        assert_eq!(g2.num_edges(), 3);
+        assert_eq!(g2.edge_weight(v(0), v(1)), Some(2));
+        assert_eq!(g2.edge_weight(v(0), v(3)), Some(9));
+        assert!(g2.categories().has_category(v(1), c));
     }
 }

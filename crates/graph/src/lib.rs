@@ -9,6 +9,8 @@
 //! * [`CategoryTable`] — the category function `F : V → 2^S` and the
 //!   per-category vertex sets `V_{Ci}`, with the dynamic updates of §IV-C.
 //! * [`io`] — native text format and DIMACS `.gr` parsing.
+//! * [`partition`] — deterministic membership-aware region partitioning
+//!   for the sharded serving layer.
 //! * [`fxhash`] — fast integer hashing used by every hot map in the
 //!   workspace.
 //!
@@ -22,11 +24,13 @@ mod categories;
 mod csr;
 pub mod fxhash;
 pub mod io;
+pub mod partition;
 pub mod scc;
 mod types;
 
 pub use categories::CategoryTable;
 pub use csr::{EdgeIter, Graph, GraphBuilder};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use partition::{Partition, PartitionConfig, PartitionStats, Partitioner};
 pub use scc::{strongly_connected_components, SccDecomposition};
 pub use types::{inf_add, is_finite, CategoryId, VertexId, Weight, INFINITY};

@@ -24,7 +24,15 @@ pub struct InvertedLabelIndex {
 impl InvertedLabelIndex {
     /// Builds `IL(c)` from the members' `Lin` labels.
     pub fn build(labels: &HopLabels, categories: &CategoryTable, c: CategoryId) -> Self {
-        let members = categories.vertices_of(c);
+        Self::build_from_members(labels, categories.vertices_of(c))
+    }
+
+    /// Builds an inverted index over an **explicit member set** rather
+    /// than a category table entry. This is the shard-build primitive: a
+    /// region shard indexes only the members it owns (its slice of
+    /// `V_{Ci}`), yet the resulting `IL` answers `FindNN` streams exactly
+    /// over that subset.
+    pub fn build_from_members(labels: &HopLabels, members: &[VertexId]) -> Self {
         let mut lists: FxHashMap<VertexId, Vec<(VertexId, Weight)>> = FxHashMap::default();
         for &u in members {
             for (hub, d) in labels.lin(u).iter() {
@@ -346,6 +354,21 @@ mod tests {
         assert!(stats.avg_entries_per_category > 0.0);
         assert!(stats.avg_list_len > 0.0);
         assert!(stats.size_bytes > 0);
+    }
+
+    #[test]
+    fn build_from_members_matches_table_build_on_subsets() {
+        let (g, labels) = setup();
+        let ca = CategoryId(0);
+        let full = InvertedLabelIndex::build(&labels, g.categories(), ca);
+        let members = g.categories().vertices_of(ca);
+        let rebuilt = InvertedLabelIndex::build_from_members(&labels, members);
+        assert_eq!(rebuilt.num_members(), full.num_members());
+        assert_eq!(rebuilt.num_entries(), full.num_entries());
+        // A strict subset indexes exactly that subset's entries.
+        let sub = InvertedLabelIndex::build_from_members(&labels, &members[..1]);
+        assert_eq!(sub.num_members(), 1);
+        assert_eq!(sub.num_entries(), labels.lin(members[0]).len());
     }
 
     #[test]

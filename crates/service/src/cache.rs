@@ -42,6 +42,24 @@ impl CacheKey {
     pub fn touches_category(&self, c: CategoryId) -> bool {
         self.categories.contains(&c)
     }
+
+    /// The `k`-independent part of the key, under which all `k` variants
+    /// of the same `(s, t, C)` template are grouped for prefix reuse.
+    fn prefix(&self) -> PrefixKey {
+        PrefixKey {
+            source: self.source,
+            target: self.target,
+            categories: self.categories.clone(),
+        }
+    }
+}
+
+/// A [`CacheKey`] minus `k`: the grouping key for prefix-truncation reuse.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct PrefixKey {
+    source: VertexId,
+    target: VertexId,
+    categories: Box<[CategoryId]>,
 }
 
 /// Monotonic counters describing cache behaviour since construction.
@@ -57,6 +75,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries dropped by invalidation hooks.
     pub invalidations: u64,
+    /// Hits served by truncating a cached larger-`k` result (a subset of
+    /// `hits`).
+    pub prefix_hits: u64,
     /// Live entries right now.
     pub entries: usize,
     /// Configured capacity.
@@ -90,6 +111,9 @@ struct Node {
 /// operations are O(1) except the invalidation hooks, which scan.
 pub struct ResultCache {
     map: HashMap<CacheKey, usize>,
+    /// `(s, t, C)` → slab indexes of all cached `k` variants, for prefix
+    /// (`k' < k`) truncation reuse.
+    by_prefix: HashMap<PrefixKey, Vec<usize>>,
     slab: Vec<Node>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -100,6 +124,7 @@ pub struct ResultCache {
     evictions: u64,
     insertions: u64,
     invalidations: u64,
+    prefix_hits: u64,
 }
 
 impl ResultCache {
@@ -108,6 +133,7 @@ impl ResultCache {
     pub fn new(capacity: usize) -> ResultCache {
         ResultCache {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
+            by_prefix: HashMap::new(),
             slab: Vec::with_capacity(capacity.min(1 << 20)),
             free: Vec::new(),
             head: NIL,
@@ -118,6 +144,7 @@ impl ResultCache {
             evictions: 0,
             insertions: 0,
             invalidations: 0,
+            prefix_hits: 0,
         }
     }
 
@@ -139,9 +166,26 @@ impl ResultCache {
             evictions: self.evictions,
             insertions: self.insertions,
             invalidations: self.invalidations,
+            prefix_hits: self.prefix_hits,
             entries: self.map.len(),
             capacity: self.capacity,
         }
+    }
+
+    // Fully detaches node `i`: recency list, key map and prefix index; the
+    // slot goes on the free list.
+    fn detach(&mut self, i: usize) {
+        self.unlink(i);
+        let key = self.slab[i].key.clone();
+        self.map.remove(&key);
+        let pk = key.prefix();
+        if let Some(list) = self.by_prefix.get_mut(&pk) {
+            list.retain(|&j| j != i);
+            if list.is_empty() {
+                self.by_prefix.remove(&pk);
+            }
+        }
+        self.free.push(i);
     }
 
     // Unlinks node `i` from the recency list.
@@ -204,6 +248,62 @@ impl ResultCache {
         Some(self.slab[i].value.clone())
     }
 
+    /// [`Self::get`] extended with **prefix-truncation reuse**: on an exact
+    /// miss, a cached result for the same `(s, t, C)` with a larger `k` —
+    /// or one that already exhausted every feasible route — is truncated to
+    /// the requested `k` and served. Sound because the service caches only
+    /// *canonical* outcomes (`IndexedGraph::run_canonical`), whose top-k′
+    /// is a prefix of their top-k for every `k′ ≤ k`.
+    ///
+    /// Returns the outcome and `true` when it came from truncation.
+    pub fn get_prefix(&mut self, key: &CacheKey) -> Option<(KosrOutcome, bool)> {
+        match self.lookup_prefix(key) {
+            Some(hit) => {
+                self.hits += 1;
+                self.prefix_hits += hit.1 as u64;
+                Some(hit)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// [`Self::get_prefix`] with [`Self::probe`]'s counting rule: a hit is
+    /// counted, a miss is not (opportunistic pre-checks).
+    pub fn probe_prefix(&mut self, key: &CacheKey) -> Option<(KosrOutcome, bool)> {
+        let hit = self.lookup_prefix(key)?;
+        self.hits += 1;
+        self.prefix_hits += hit.1 as u64;
+        Some(hit)
+    }
+
+    fn lookup_prefix(&mut self, key: &CacheKey) -> Option<(KosrOutcome, bool)> {
+        if let Some(v) = self.lookup(key) {
+            return Some((v, false));
+        }
+        // A donor entry serves k′ = key.k if it holds at least k′ canonical
+        // witnesses (k ≥ k′) or it ran out of feasible routes before its
+        // own k (then it holds *every* feasible route).
+        let donor = {
+            let candidates = self.by_prefix.get(&key.prefix())?;
+            candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let node = &self.slab[i];
+                    node.key.k >= key.k || node.value.witnesses.len() < node.key.k
+                })
+                .min_by_key(|&i| self.slab[i].key.k)?
+        };
+        self.unlink(donor);
+        self.push_front(donor);
+        let mut out = self.slab[donor].value.clone();
+        out.witnesses.truncate(key.k);
+        Some((out, true))
+    }
+
     /// Inserts (or refreshes) `key → outcome`, evicting the
     /// least-recently-used entry when at capacity.
     pub fn insert(&mut self, key: CacheKey, outcome: KosrOutcome) {
@@ -219,9 +319,7 @@ impl ResultCache {
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
-            self.unlink(lru);
-            self.map.remove(&self.slab[lru].key);
-            self.free.push(lru);
+            self.detach(lru);
             self.evictions += 1;
         }
         let node = Node {
@@ -240,7 +338,8 @@ impl ResultCache {
                 self.slab.len() - 1
             }
         };
-        self.map.insert(key, i);
+        self.map.insert(key.clone(), i);
+        self.by_prefix.entry(key.prefix()).or_default().push(i);
         self.push_front(i);
         self.insertions += 1;
     }
@@ -255,9 +354,7 @@ impl ResultCache {
             .map(|(_, &i)| i)
             .collect();
         for i in doomed.iter().copied() {
-            self.unlink(i);
-            self.map.remove(&self.slab[i].key);
-            self.free.push(i);
+            self.detach(i);
         }
         self.invalidations += doomed.len() as u64;
         doomed.len()
@@ -276,6 +373,7 @@ impl ResultCache {
     pub fn clear(&mut self) -> usize {
         let n = self.map.len();
         self.map.clear();
+        self.by_prefix.clear();
         self.slab.clear();
         self.free.clear();
         self.head = NIL;
@@ -388,6 +486,83 @@ mod tests {
         assert_eq!(c.clear(), 1);
         assert!(c.is_empty());
         assert_eq!(c.stats().invalidations, 3);
+    }
+
+    fn outcome_n(costs: &[u64]) -> KosrOutcome {
+        KosrOutcome {
+            witnesses: costs
+                .iter()
+                .enumerate()
+                .map(|(i, &cost)| Witness {
+                    vertices: vec![VertexId(0), VertexId(i as u32 + 1)],
+                    cost,
+                })
+                .collect(),
+            stats: Default::default(),
+        }
+    }
+
+    #[test]
+    fn prefix_lookup_truncates_larger_k_entries() {
+        let mut c = ResultCache::new(8);
+        c.insert(key(0, 1, &[2], 5), outcome_n(&[10, 11, 12, 13, 14]));
+        // Exact hit is preferred and not a prefix hit.
+        let (exact, prefix) = c.get_prefix(&key(0, 1, &[2], 5)).unwrap();
+        assert!(!prefix);
+        assert_eq!(exact.witnesses.len(), 5);
+        // k' < k: served by truncation.
+        let (cut, prefix) = c.get_prefix(&key(0, 1, &[2], 2)).unwrap();
+        assert!(prefix);
+        assert_eq!(cut.costs(), vec![10, 11]);
+        assert_eq!(cut.witnesses[..], exact.witnesses[..2]);
+        // k' > k on a full entry: a real miss.
+        assert!(c.get_prefix(&key(0, 1, &[2], 9)).is_none());
+        // Different template: a real miss.
+        assert!(c.get_prefix(&key(0, 1, &[3], 2)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.prefix_hits, s.misses), (2, 1, 2));
+    }
+
+    #[test]
+    fn exhausted_entries_serve_any_k() {
+        let mut c = ResultCache::new(8);
+        // Asked for 6, only 3 feasible routes exist: the entry is closed
+        // over the whole route space and serves any k.
+        c.insert(key(0, 1, &[2], 6), outcome_n(&[5, 6, 7]));
+        let (out, prefix) = c.get_prefix(&key(0, 1, &[2], 40)).unwrap();
+        assert!(prefix);
+        assert_eq!(out.costs(), vec![5, 6, 7]);
+        let (out, _) = c.get_prefix(&key(0, 1, &[2], 2)).unwrap();
+        assert_eq!(out.costs(), vec![5, 6]);
+    }
+
+    #[test]
+    fn prefix_picks_smallest_sufficient_donor_and_survives_eviction() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 1, &[2], 4), outcome_n(&[1, 2, 3, 4]));
+        c.insert(key(0, 1, &[2], 8), outcome_n(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        let (out, prefix) = c.get_prefix(&key(0, 1, &[2], 3)).unwrap();
+        assert!(prefix);
+        assert_eq!(out.costs(), vec![1, 2, 3]);
+        // Overflow: the LRU k=8 entry (k=4 was just refreshed) is evicted
+        // and must disappear from the prefix index too.
+        c.insert(key(9, 9, &[9], 1), outcome_n(&[1]));
+        assert!(c.get_prefix(&key(0, 1, &[2], 7)).is_none());
+        let (out, _) = c.get_prefix(&key(0, 1, &[2], 4)).unwrap();
+        assert_eq!(out.costs(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn probe_prefix_counts_no_miss_and_invalidation_cleans_prefix_index() {
+        let mut c = ResultCache::new(8);
+        c.insert(key(0, 1, &[2, 3], 4), outcome_n(&[1, 2, 3, 4]));
+        assert!(c.probe_prefix(&key(0, 1, &[2, 3], 2)).is_some());
+        assert!(c.probe_prefix(&key(5, 5, &[5], 1)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.prefix_hits, s.misses), (1, 1, 0));
+        assert_eq!(c.invalidate_category(CategoryId(3)), 1);
+        assert!(c.get_prefix(&key(0, 1, &[2, 3], 2)).is_none());
+        assert!(c.by_prefix.is_empty(), "prefix index cleaned");
     }
 
     #[test]

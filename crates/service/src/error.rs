@@ -1,6 +1,7 @@
 //! The typed error / admission-control surface of the service.
 
-use kosr_core::QueryError;
+use kosr_core::{GraphUpdateError, QueryError};
+use kosr_graph::{CategoryId, VertexId};
 use std::time::Duration;
 
 /// Why the service refused, dropped, or failed a query.
@@ -68,6 +69,36 @@ impl std::error::Error for ServiceError {
 impl From<QueryError> for ServiceError {
     fn from(e: QueryError) -> ServiceError {
         ServiceError::InvalidQuery(e)
+    }
+}
+
+/// Why [`crate::KosrService::apply_update`] refused a dynamic update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// A vertex id exceeds the served graph's vertex count.
+    VertexOutOfRange(VertexId),
+    /// A category id exceeds the served graph's category count.
+    UnknownCategory(CategoryId),
+    /// The structural update was rejected by the index layer (self-loop,
+    /// weight increase, …).
+    Graph(GraphUpdateError),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::VertexOutOfRange(v) => write!(f, "vertex {v:?} out of range"),
+            UpdateError::UnknownCategory(c) => write!(f, "unknown category {c:?}"),
+            UpdateError::Graph(e) => write!(f, "graph update rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<GraphUpdateError> for UpdateError {
+    fn from(e: GraphUpdateError) -> UpdateError {
+        UpdateError::Graph(e)
     }
 }
 

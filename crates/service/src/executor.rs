@@ -11,24 +11,30 @@
 //!    budget from the query's shape and category selectivity.
 //! 3. **Cache** — a canonicalised-key LRU returns memoised outcomes for
 //!    repeat queries without touching a worker's search state.
-//! 4. **Execution** — a worker runs `IndexedGraph::run_bounded`; the
-//!    outcome travels back through the ticket. End-to-end latency (queue
-//!    wait included) feeds the service histogram.
+//! 4. **Execution** — a worker runs `IndexedGraph::run_canonical` against
+//!    an epoch-stamped snapshot of the index; the outcome travels back
+//!    through the ticket. End-to-end latency (queue wait included) feeds
+//!    the service and per-method histograms.
+//! 5. **Live updates** — [`KosrService::apply_update`] mutates the index
+//!    copy-on-write behind an `RwLock`, bumps the index epoch, and drives
+//!    the matching cache-invalidation hook; workers refuse to cache
+//!    results computed against a superseded epoch, so a stale answer is
+//!    never served after an update.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use kosr_core::{IndexedGraph, KosrOutcome, Query};
-use kosr_graph::CategoryId;
+use kosr_core::{IndexedGraph, KosrOutcome, Method, Query};
+use kosr_graph::{CategoryId, VertexId, Weight};
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
-use crate::error::ServiceError;
+use crate::error::{ServiceError, UpdateError};
 use crate::planner::{QueryPlan, QueryPlanner};
-use crate::stats::{LatencyHistogram, ServiceStats};
+use crate::stats::{LatencyHistogram, MethodStats, ServiceStats};
 
 /// Service tunables.
 #[derive(Clone, Debug)]
@@ -88,6 +94,61 @@ impl Ticket {
     }
 }
 
+/// A dynamic update routed through a live service (the paper's §IV-C
+/// operations, service-side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Add `vertex` to `category` (a POI opens / gains a tag).
+    InsertMembership {
+        /// The vertex gaining the membership.
+        vertex: VertexId,
+        /// The category gaining a member.
+        category: CategoryId,
+    },
+    /// Remove `vertex` from `category` (a POI closes / loses a tag).
+    RemoveMembership {
+        /// The vertex losing the membership.
+        vertex: VertexId,
+        /// The category losing a member.
+        category: CategoryId,
+    },
+    /// Insert edge `(from, to)` with `weight`, or decrease an existing
+    /// edge's weight to `weight` (a road opens / congestion clears).
+    InsertEdge {
+        /// Edge source.
+        from: VertexId,
+        /// Edge target.
+        to: VertexId,
+        /// The new weight (must be smaller than any existing weight).
+        weight: Weight,
+    },
+}
+
+impl Update {
+    /// The category whose cached answers the update can stale, if the
+    /// update is category-scoped (`None` for structural updates, which
+    /// stale everything).
+    pub fn touched_category(&self) -> Option<CategoryId> {
+        match self {
+            Update::InsertMembership { category, .. }
+            | Update::RemoveMembership { category, .. } => Some(*category),
+            Update::InsertEdge { .. } => None,
+        }
+    }
+}
+
+/// What applying an [`Update`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReceipt {
+    /// `false` when the update was a validated no-op (e.g. inserting an
+    /// existing membership).
+    pub applied: bool,
+    /// 2-hop label entries added by an [`Update::InsertEdge`] repair.
+    pub label_entries_added: usize,
+    /// Cached results dropped by the matching invalidation hook.
+    pub invalidated: usize,
+}
+
 struct Job {
     query: Query,
     key: CacheKey,
@@ -102,8 +163,33 @@ struct QueueState {
     shutting_down: bool,
 }
 
+/// Per-method execution counters (uncached completions only).
+#[derive(Default)]
+struct MethodCounter {
+    completed: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+fn method_slot(m: Method) -> usize {
+    match m {
+        Method::Kpne => 0,
+        Method::KpneDij => 1,
+        Method::Pk => 2,
+        Method::PkDij => 3,
+        Method::Sk => 4,
+        Method::SkDij => 5,
+    }
+}
+
 struct Shared {
-    ig: Arc<IndexedGraph>,
+    /// The served index. Reads take a brief shared lock to clone the
+    /// `Arc`; updates mutate copy-on-write behind the exclusive lock.
+    index: RwLock<Arc<IndexedGraph>>,
+    /// Bumped (under the write lock) by every applied update. Workers
+    /// stamp their index snapshot with it and refuse to cache results
+    /// whose epoch is no longer current — the guard that makes
+    /// invalidation race-free against in-flight queries.
+    epoch: AtomicU64,
     planner: QueryPlanner,
     queue: Mutex<QueueState>,
     /// Signals workers that a job (or shutdown) is available.
@@ -114,6 +200,12 @@ struct Shared {
     cache_enabled: bool,
     cache: Mutex<ResultCache>,
     latency: LatencyHistogram,
+    methods: [MethodCounter; 6],
+    /// Total worker compute time (µs) spent executing uncached queries —
+    /// the capacity signal: `busy / (window · workers)` is pool
+    /// utilization, and shard schedulers use it as the scale-out critical
+    /// path.
+    busy_micros: AtomicU64,
     started: Instant,
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -135,6 +227,10 @@ impl Shared {
                 self.completed.fetch_add(1, Ordering::Relaxed);
                 if resp.cached {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let m = &self.methods[method_slot(resp.plan.method)];
+                    m.completed.fetch_add(1, Ordering::Relaxed);
+                    m.latency.record(resp.latency);
                 }
                 self.latency.record(resp.latency);
             }
@@ -150,6 +246,13 @@ impl Shared {
         let _ = tx.send(result);
     }
 
+    /// Snapshots the served index together with the epoch it belongs to.
+    /// Both are read under one shared lock, so the pair is consistent.
+    fn index_snapshot(&self) -> (u64, Arc<IndexedGraph>) {
+        let guard = self.index.read().unwrap();
+        (self.epoch.load(Ordering::Acquire), Arc::clone(&guard))
+    }
+
     fn execute(&self, job: Job) {
         if let Some(deadline) = job.plan.deadline {
             if job.submitted.elapsed() > deadline {
@@ -159,7 +262,7 @@ impl Shared {
         }
 
         if self.cache_enabled {
-            if let Some(outcome) = self.cache.lock().unwrap().get(&job.key) {
+            if let Some((outcome, _)) = self.cache.lock().unwrap().get_prefix(&job.key) {
                 self.respond(
                     &job.tx,
                     Ok(QueryResponse {
@@ -173,9 +276,13 @@ impl Shared {
             }
         }
 
-        let outcome = self
-            .ig
-            .run_bounded(&job.query, job.plan.method, job.plan.examined_budget);
+        let (epoch, ig) = self.index_snapshot();
+        let exec_started = Instant::now();
+        let outcome = ig.run_canonical(&job.query, job.plan.method, job.plan.examined_budget);
+        self.busy_micros.fetch_add(
+            exec_started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
 
         if outcome.stats.truncated {
             // The budget ran out before all k routes were found: surface a
@@ -190,7 +297,14 @@ impl Shared {
         }
 
         if self.cache_enabled {
-            self.cache.lock().unwrap().insert(job.key, outcome.clone());
+            let mut cache = self.cache.lock().unwrap();
+            // Epoch guard: an update may have superseded the snapshot this
+            // outcome was computed from *after* the invalidation hook ran;
+            // caching it would resurrect a stale answer. (An insert racing
+            // *ahead* of the invalidation is fine — the hook sweeps it.)
+            if self.epoch.load(Ordering::Acquire) == epoch {
+                cache.insert(job.key, outcome.clone());
+            }
         }
         self.respond(
             &job.tx,
@@ -242,7 +356,8 @@ impl KosrService {
             config.workers
         };
         let shared = Arc::new(Shared {
-            ig,
+            index: RwLock::new(ig),
+            epoch: AtomicU64::new(0),
             planner: QueryPlanner::new(config.planner),
             queue: Mutex::new(QueueState::default()),
             wake: Condvar::new(),
@@ -250,6 +365,8 @@ impl KosrService {
             cache_enabled: config.cache_capacity > 0,
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             latency: LatencyHistogram::new(),
+            methods: Default::default(),
+            busy_micros: AtomicU64::new(0),
             started: Instant::now(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -274,9 +391,17 @@ impl KosrService {
         }
     }
 
-    /// The served index (shared, immutable).
-    pub fn indexed_graph(&self) -> &Arc<IndexedGraph> {
-        &self.shared.ig
+    /// A point-in-time snapshot of the served index. Updates replace the
+    /// `Arc` copy-on-write, so a held snapshot stays internally consistent
+    /// (and goes stale) rather than changing underfoot.
+    pub fn indexed_graph(&self) -> Arc<IndexedGraph> {
+        self.shared.index_snapshot().1
+    }
+
+    /// The index epoch: bumped by every applied [`Update`]. Snapshot +
+    /// epoch pairs let callers detect staleness.
+    pub fn index_epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
     }
 
     /// Number of worker threads.
@@ -287,17 +412,18 @@ impl KosrService {
     /// The planner's decision for `query` (what execution would do) —
     /// exposed so callers and tests can cross-check plans.
     pub fn plan(&self, query: &Query) -> QueryPlan {
-        self.shared.planner.plan(&self.shared.ig, query)
+        self.shared.planner.plan(&self.indexed_graph(), query)
     }
 
     /// Admission control + enqueue. Returns a [`Ticket`] redeemable for the
     /// response, or a typed rejection without consuming worker time.
     pub fn submit(&self, query: Query) -> Result<Ticket, ServiceError> {
-        if let Err(e) = query.validate(&self.shared.ig.graph) {
+        let ig = self.indexed_graph();
+        if let Err(e) = query.validate(&ig.graph) {
             self.shared.rejected_invalid.fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::InvalidQuery(e));
         }
-        let plan = self.shared.planner.plan(&self.shared.ig, &query);
+        let plan = self.shared.planner.plan(&ig, &query);
         let key = CacheKey::canonical(&query);
         let submitted = Instant::now();
 
@@ -306,10 +432,11 @@ impl KosrService {
         // the cache mutex under contention: on a busy cache the query just
         // takes the queue path, where the worker re-checks the cache.
         if self.shared.cache_enabled {
-            // `probe` (not `get`) so a cold query missed here and again by
-            // the worker is charged exactly one miss in the counters.
+            // `probe_prefix` (not `get_prefix`) so a cold query missed here
+            // and again by the worker is charged exactly one miss in the
+            // counters.
             let cached = match self.shared.cache.try_lock() {
-                Ok(mut cache) => cache.probe(&key),
+                Ok(mut cache) => cache.probe_prefix(&key).map(|(outcome, _)| outcome),
                 Err(_) => None,
             };
             if let Some(outcome) = cached {
@@ -366,8 +493,102 @@ impl KosrService {
             .collect()
     }
 
+    /// Applies a dynamic update end-to-end: mutates the served index
+    /// (copy-on-write behind the index lock), bumps the index epoch, and
+    /// drives the matching cache-invalidation hook — membership updates
+    /// drop only the answers touching the category, structural updates
+    /// drop everything. After `apply_update` returns, no response can ever
+    /// again be served from a pre-update answer: already-cached stale
+    /// entries are swept by the hook, and in-flight queries computed
+    /// against the old snapshot are barred from the cache by the epoch
+    /// guard (they still *answer* with the old snapshot — updates are
+    /// linearised at the index swap, not at submission).
+    ///
+    /// Copy-on-write means an update clones the index only when snapshots
+    /// are held elsewhere (in-flight queries, external `Arc`s); a quiescent
+    /// service mutates in place, and edge inserts repair the 2-hop labels
+    /// incrementally either way.
+    pub fn apply_update(&self, update: &Update) -> Result<UpdateReceipt, UpdateError> {
+        let mut guard = self.shared.index.write().unwrap();
+        // Validate against the current index before mutating.
+        let n = guard.graph.num_vertices();
+        let nc = guard.graph.categories().num_categories();
+        let check_vertex = |v: VertexId| {
+            (v.index() < n)
+                .then_some(())
+                .ok_or(UpdateError::VertexOutOfRange(v))
+        };
+        let (applied, label_entries_added) = match *update {
+            Update::InsertMembership { vertex, category } => {
+                check_vertex(vertex)?;
+                if category.index() >= nc {
+                    return Err(UpdateError::UnknownCategory(category));
+                }
+                (
+                    Arc::make_mut(&mut guard).insert_membership(vertex, category),
+                    0,
+                )
+            }
+            Update::RemoveMembership { vertex, category } => {
+                check_vertex(vertex)?;
+                if category.index() >= nc {
+                    return Err(UpdateError::UnknownCategory(category));
+                }
+                (
+                    Arc::make_mut(&mut guard).remove_membership(vertex, category),
+                    0,
+                )
+            }
+            Update::InsertEdge { from, to, weight } => {
+                check_vertex(from)?;
+                check_vertex(to)?;
+                let added = Arc::make_mut(&mut guard).insert_edge(from, to, weight)?;
+                (true, added)
+            }
+        };
+        if applied {
+            // Bump while still holding the write lock: workers read
+            // (epoch, index) under the read lock, so the pair is atomic.
+            self.shared.epoch.fetch_add(1, Ordering::Release);
+        }
+        drop(guard);
+
+        let invalidated = if applied {
+            match update.touched_category() {
+                Some(c) => self.invalidate_category(c),
+                None => self.invalidate_all(),
+            }
+        } else {
+            0
+        };
+        Ok(UpdateReceipt {
+            applied,
+            label_entries_added,
+            invalidated,
+        })
+    }
+
+    /// Per-method execution counters with at least one completion, in
+    /// `Method::ALL` order.
+    pub fn method_stats(&self) -> Vec<MethodStats> {
+        Method::ALL
+            .into_iter()
+            .filter_map(|m| {
+                let c = &self.shared.methods[method_slot(m)];
+                let completed = c.completed.load(Ordering::Relaxed);
+                (completed > 0).then(|| MethodStats {
+                    method: m,
+                    completed,
+                    latency_mean: c.latency.mean(),
+                    latency_p50: c.latency.quantile(0.5),
+                    latency_p99: c.latency.quantile(0.99),
+                })
+            })
+            .collect()
+    }
+
     /// Drops every cached answer touching category `c` — the hook dynamic
-    /// category updates will call.
+    /// category updates drive (directly or through [`Self::apply_update`]).
     pub fn invalidate_category(&self, c: CategoryId) -> usize {
         self.shared.cache.lock().unwrap().invalidate_category(c)
     }
@@ -405,7 +626,9 @@ impl KosrService {
             latency_p50: s.latency.quantile(0.5),
             latency_p99: s.latency.quantile(0.99),
             latency_max: s.latency.max(),
+            busy: Duration::from_micros(s.busy_micros.load(Ordering::Relaxed)),
             cache: s.cache.lock().unwrap().stats(),
+            per_method: self.method_stats(),
         }
     }
 }
@@ -421,8 +644,9 @@ impl Drop for KosrService {
 }
 
 /// Convenience: answers `queries` sequentially on the caller's thread with
-/// the same planner policy a service would use — the single-threaded
-/// baseline services are validated against.
+/// the same planner policy and canonical top-k semantics a service would
+/// use — the single-threaded baseline services (and shard routers) are
+/// validated against, bit for bit.
 pub fn run_sequential(
     ig: &IndexedGraph,
     planner: &QueryPlanner,
@@ -432,7 +656,7 @@ pub fn run_sequential(
         .iter()
         .map(|q| {
             let plan = planner.plan(ig, q);
-            ig.run_bounded(q, plan.method, plan.examined_budget)
+            ig.run_canonical(q, plan.method, plan.examined_budget)
         })
         .collect()
 }
@@ -673,11 +897,171 @@ mod tests {
     }
 
     #[test]
+    fn updates_never_serve_stale_answers() {
+        let (svc, fx) = service(2, 64, 64);
+        let q = fig1_query(&fx, 3);
+        let before = svc.submit(q.clone()).unwrap().wait().unwrap();
+        assert_eq!(before.outcome.costs(), vec![20, 21, 22]);
+        // The answer is now hot in the cache.
+        assert!(svc.submit(q.clone()).unwrap().wait().unwrap().cached);
+
+        // Close the restaurant the best route goes through (witness layout
+        // ⟨s, ma, re, ci, t⟩ — the RE stop is position 2).
+        let gone = before.outcome.witnesses[0].vertices[2];
+        let receipt = svc
+            .apply_update(&Update::RemoveMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        assert_eq!(receipt.invalidated, 1, "the cached answer touching RE");
+        assert_eq!(svc.index_epoch(), 1);
+
+        // The next response must reflect the updated world (compare to a
+        // from-scratch rebuild), and must not come from the cache.
+        let mut g2 = fx.graph.clone();
+        g2.categories_mut().remove(gone, fx.re);
+        let fresh = IndexedGraph::build_default(g2);
+        let after = svc.submit(q.clone()).unwrap().wait().unwrap();
+        assert!(!after.cached, "stale entry must have been invalidated");
+        let plan = svc.plan(&q);
+        let want = fresh.run_canonical(&q, plan.method, plan.examined_budget);
+        assert_eq!(after.outcome.witnesses, want.witnesses);
+        assert_ne!(
+            after.outcome.witnesses, before.outcome.witnesses,
+            "removing the best route's restaurant must change the answer"
+        );
+
+        // Reopen it: answers (and the cache) recover.
+        let receipt = svc
+            .apply_update(&Update::InsertMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        let back = svc.submit(q.clone()).unwrap().wait().unwrap();
+        assert_eq!(back.outcome.costs(), vec![20, 21, 22]);
+        // Duplicate insert: validated no-op, nothing invalidated.
+        let receipt = svc
+            .apply_update(&Update::InsertMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert_eq!(receipt, UpdateReceipt::default());
+
+        // Typed rejections.
+        assert_eq!(
+            svc.apply_update(&Update::InsertMembership {
+                vertex: VertexId(99),
+                category: fx.re,
+            }),
+            Err(UpdateError::VertexOutOfRange(VertexId(99)))
+        );
+        assert_eq!(
+            svc.apply_update(&Update::RemoveMembership {
+                vertex: fx.s,
+                category: CategoryId(77),
+            }),
+            Err(UpdateError::UnknownCategory(CategoryId(77)))
+        );
+    }
+
+    #[test]
+    fn edge_updates_flush_everything_and_change_routes() {
+        let (svc, fx) = service(2, 64, 64);
+        let q = fig1_query(&fx, 1);
+        let before = svc.submit(q.clone()).unwrap().wait().unwrap();
+        assert_eq!(before.outcome.costs(), vec![20]);
+
+        // An expressway from s to the first mall.
+        let mall = fx.graph.categories().vertices_of(fx.ma)[0];
+        let receipt = svc
+            .apply_update(&Update::InsertEdge {
+                from: fx.s,
+                to: mall,
+                weight: 1,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        assert!(receipt.label_entries_added > 0);
+        assert_eq!(receipt.invalidated, 1, "structural updates flush all");
+
+        let mut b2 = fx.graph.to_builder();
+        b2.add_edge(fx.s, mall, 1);
+        let fresh = IndexedGraph::build_default(b2.build());
+        let after = svc.submit(q.clone()).unwrap().wait().unwrap();
+        assert!(!after.cached);
+        let plan = svc.plan(&q);
+        assert_eq!(
+            after.outcome.witnesses,
+            fresh
+                .run_canonical(&q, plan.method, plan.examined_budget)
+                .witnesses
+        );
+
+        // Weight increases are typed rejections, not silent corruption.
+        assert!(matches!(
+            svc.apply_update(&Update::InsertEdge {
+                from: fx.s,
+                to: mall,
+                weight: 50,
+            }),
+            Err(UpdateError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn smaller_k_served_by_truncating_cached_result() {
+        let (svc, fx) = service(2, 64, 64);
+        let big = svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap();
+        assert!(!big.cached);
+        // k' < k: a cache hit by prefix truncation, bit-identical to the
+        // prefix of the k=3 answer (canonical semantics guarantee it).
+        let small = svc.submit(fig1_query(&fx, 2)).unwrap().wait().unwrap();
+        assert!(small.cached, "prefix truncation is a cache hit");
+        assert_eq!(small.outcome.witnesses[..], big.outcome.witnesses[..2]);
+        assert!(svc.cache_stats().prefix_hits >= 1);
+        // And it matches a from-scratch k=2 run exactly.
+        let q2 = fig1_query(&fx, 2);
+        let plan = svc.plan(&q2);
+        let want = svc
+            .indexed_graph()
+            .run_canonical(&q2, plan.method, plan.examined_budget);
+        assert_eq!(small.outcome.witnesses, want.witnesses);
+        // k' > k still computes.
+        let bigger = svc.submit(fig1_query(&fx, 4)).unwrap().wait().unwrap();
+        assert!(!bigger.cached);
+        assert_eq!(bigger.outcome.witnesses[..3], big.outcome.witnesses[..]);
+    }
+
+    #[test]
+    fn per_method_latency_counters_accumulate() {
+        let (svc, fx) = service(2, 64, 64);
+        for k in 1..=3 {
+            svc.submit(fig1_query(&fx, k)).unwrap().wait().unwrap();
+        }
+        // Repeat: cache hits must not count as method executions.
+        svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap();
+        let per_method = svc.method_stats();
+        let total: u64 = per_method.iter().map(|m| m.completed).sum();
+        assert_eq!(total, 3, "uncached completions only: {per_method:?}");
+        for m in &per_method {
+            assert!(m.latency_p50 <= m.latency_p99);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.per_method.len(), per_method.len());
+        assert!(stats.to_string().contains("method"));
+    }
+
+    #[test]
     fn sequential_baseline_matches_service() {
         let (svc, fx) = service(4, 64, 64);
         let queries: Vec<Query> = (1..=3).map(|k| fig1_query(&fx, k)).collect();
         let service_out = svc.run_batch(&queries);
-        let seq = run_sequential(svc.indexed_graph(), &QueryPlanner::default(), &queries);
+        let seq = run_sequential(&svc.indexed_graph(), &QueryPlanner::default(), &queries);
         for (a, b) in service_out.iter().zip(&seq) {
             let a = a.as_ref().unwrap();
             assert_eq!(a.outcome.costs(), b.costs());

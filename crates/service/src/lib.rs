@@ -10,10 +10,17 @@
 //! | piece | role |
 //! |---|---|
 //! | [`QueryPlanner`] / [`QueryPlan`] | picks `Method::{Kpne, Pk, Sk}` + expansion budget from k, \|C\| and category selectivity |
-//! | [`ResultCache`] | canonical-key LRU over complete outcomes, with counters + invalidation hooks |
+//! | [`ResultCache`] | canonical-key LRU over complete outcomes, with prefix (`k' < k`) truncation reuse, counters + invalidation hooks |
 //! | [`KosrService`] | bounded submission queue + worker pool + admission control |
-//! | [`ServiceStats`] / [`LatencyHistogram`] | QPS, p50/p99 end-to-end latency, cache hit rate |
-//! | [`ServiceError`] | typed rejections: queue-full, deadline, invalid query |
+//! | [`Update`] / [`KosrService::apply_update`] | live §IV-C updates: index mutation + epoch bump + cache invalidation |
+//! | [`ServiceStats`] / [`LatencyHistogram`] / [`MethodStats`] | QPS, p50/p99 end-to-end latency, cache hit rate, per-method latency |
+//! | [`ServiceError`] / [`UpdateError`] | typed rejections: queue-full, deadline, invalid query/update |
+//!
+//! All answers use **canonical top-k semantics**
+//! ([`IndexedGraph::run_canonical`]): nondecreasing cost with
+//! lexicographic tie-breaks, closed over cost-tie groups — the property
+//! that makes cached results truncatable and sharded execution
+//! bit-identical.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -40,10 +47,12 @@ mod planner;
 mod stats;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use error::ServiceError;
-pub use executor::{run_sequential, KosrService, QueryResponse, ServiceConfig, Ticket};
+pub use error::{ServiceError, UpdateError};
+pub use executor::{
+    run_sequential, KosrService, QueryResponse, ServiceConfig, Ticket, Update, UpdateReceipt,
+};
 pub use planner::{PlannerConfig, QueryPlan, QueryPlanner};
-pub use stats::{LatencyHistogram, ServiceStats};
+pub use stats::{LatencyHistogram, MethodStats, ServiceStats};
 
 // Re-exported so service users don't need a direct kosr-core dependency
 // for the common request/response types.

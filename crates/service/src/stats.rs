@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::cache::CacheStats;
+use kosr_core::Method;
 
 /// Number of histogram buckets: bucket `i` covers latencies in
 /// `[2^(i/SUB) µs, 2^((i+1)/SUB) µs)` at `SUB` sub-buckets per octave,
@@ -118,6 +119,24 @@ impl LatencyHistogram {
     }
 }
 
+/// Execution counters of one planner method (`Kpne`/`Pk`/`Sk`) — the
+/// feedback signal planner calibration consumes: observed per-method
+/// latency against the planner's selectivity-based choices. Cache hits are
+/// excluded (they measure the cache, not the method).
+#[derive(Clone, Copy, Debug)]
+pub struct MethodStats {
+    /// The method these counters describe.
+    pub method: Method,
+    /// Uncached completions executed with this method.
+    pub completed: u64,
+    /// Mean end-to-end latency of those completions.
+    pub latency_mean: Duration,
+    /// Median end-to-end latency.
+    pub latency_p50: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Duration,
+}
+
 /// A point-in-time snapshot of the service's aggregate health — the
 /// serving-layer analogue of the paper's per-query `QueryStats`.
 #[derive(Clone, Debug, Default)]
@@ -148,8 +167,15 @@ pub struct ServiceStats {
     pub latency_p99: Duration,
     /// Largest observed end-to-end latency.
     pub latency_max: Duration,
+    /// Total worker compute time spent executing (uncached) queries —
+    /// `busy / (window · workers)` is pool utilization, and the largest
+    /// per-shard `busy` is a sharded deployment's capacity critical path.
+    pub busy: Duration,
     /// Result-cache counters (hits/misses/evictions/size).
     pub cache: CacheStats,
+    /// Per-method execution counters (methods with at least one uncached
+    /// completion, in `Method::ALL` order).
+    pub per_method: Vec<MethodStats>,
 }
 
 impl ServiceStats {
@@ -184,6 +210,17 @@ impl std::fmt::Display for ServiceStats {
             self.cache.evictions,
             self.cache.entries
         )?;
+        for m in &self.per_method {
+            writeln!(
+                f,
+                "method {:>8}: {} runs  p50 {:?}  p99 {:?}  mean {:?}",
+                m.method.name(),
+                m.completed,
+                m.latency_p50,
+                m.latency_p99,
+                m.latency_mean
+            )?;
+        }
         write!(
             f,
             "rejected: {} queue-full, {} deadline, {} budget, {} invalid",

@@ -1,0 +1,301 @@
+//! The live update bus: routes §IV-C dynamic updates to the shard
+//! replicas that own them, driving each replica's index mutation and
+//! cache-invalidation hooks through `KosrService::apply_update`.
+
+use std::sync::Arc;
+
+use kosr_graph::{CategoryId, Partition};
+use kosr_service::{KosrService, Update, UpdateError, UpdateReceipt};
+
+/// Fans dynamic updates out to the shard replicas.
+///
+/// Routing rules (derived from what each replica materialises):
+///
+/// * **membership updates** — the *base* category is replicated on every
+///   shard (later stops of a route may use any member), so the base
+///   mutation broadcasts; the *shadow* category is owned by exactly the
+///   vertex's owner shard, which additionally applies the shadow-scoped
+///   mutation. Both applications invalidate the corresponding cached
+///   answers on their replica.
+/// * **edge updates** — the routing skeleton is replicated, so structural
+///   updates broadcast and flush every replica's cache.
+///
+/// Updates are validated once up front (against shard 0, all replicas
+/// share base state), so a rejected update mutates no replica.
+///
+/// ## Consistency model
+///
+/// `publish` is **eventually consistent across replicas, immediately
+/// consistent per replica**: each replica's `apply_update` is atomic
+/// (index swap + epoch bump + invalidation), but the fleet is walked
+/// replica by replica — and a membership update touches the owner twice
+/// (base, then shadow). A query fanned out *during* the publish window
+/// can therefore merge answers from replicas on either side of the
+/// update. Once `publish` returns, every replica has converged and the
+/// bit-identical-to-unsharded guarantee holds again (the cross-shard
+/// property test exercises exactly this quiescent equivalence). Making
+/// the window atomic fleet-wide is a two-phase commit over the shard
+/// transport — the ROADMAP's cross-box follow-up.
+pub struct LiveUpdateBus {
+    services: Vec<Arc<KosrService>>,
+    partition: Arc<Partition>,
+    base_categories: usize,
+}
+
+/// What publishing one update did across the fleet.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BusReceipt {
+    /// `false` when the update was a validated no-op everywhere.
+    pub applied: bool,
+    /// The owner shard that additionally applied the shadow-scoped
+    /// mutation (membership updates only).
+    pub owner_shard: Option<usize>,
+    /// Replicas the update was applied to.
+    pub replicas_touched: usize,
+    /// Cached answers dropped across all replicas.
+    pub invalidated: usize,
+    /// 2-hop label entries added across all replicas (edge updates).
+    pub label_entries_added: usize,
+}
+
+impl LiveUpdateBus {
+    pub(crate) fn new(
+        services: Vec<Arc<KosrService>>,
+        partition: Arc<Partition>,
+        base_categories: usize,
+    ) -> LiveUpdateBus {
+        LiveUpdateBus {
+            services,
+            partition,
+            base_categories,
+        }
+    }
+
+    fn shadow(&self, c: CategoryId) -> CategoryId {
+        crate::shadow_of(self.base_categories, c)
+    }
+
+    /// Validates `update` against the shared base state, then applies it
+    /// to every replica that materialises the touched data. Returns the
+    /// aggregate receipt.
+    pub fn publish(&self, update: &Update) -> Result<BusReceipt, UpdateError> {
+        // Validate once, against base-category bounds: replicas know more
+        // categories (the shadows), but bus clients speak base ids.
+        let probe = self.services[0].indexed_graph();
+        let n = probe.graph.num_vertices();
+        let check_vertex = |v: kosr_graph::VertexId| {
+            (v.index() < n)
+                .then_some(())
+                .ok_or(UpdateError::VertexOutOfRange(v))
+        };
+        let mut receipt = BusReceipt::default();
+        match *update {
+            Update::InsertMembership { vertex, category }
+            | Update::RemoveMembership { vertex, category } => {
+                check_vertex(vertex)?;
+                if category.index() >= self.base_categories {
+                    return Err(UpdateError::UnknownCategory(category));
+                }
+                let owner = self.partition.owner(vertex);
+                let shadow_update = match update {
+                    Update::InsertMembership { .. } => Update::InsertMembership {
+                        vertex,
+                        category: self.shadow(category),
+                    },
+                    _ => Update::RemoveMembership {
+                        vertex,
+                        category: self.shadow(category),
+                    },
+                };
+                for (j, svc) in self.services.iter().enumerate() {
+                    let base = svc.apply_update(update)?;
+                    receipt.merge(&base);
+                    if j == owner {
+                        let shadowed = svc.apply_update(&shadow_update)?;
+                        receipt.merge(&shadowed);
+                        receipt.owner_shard = Some(owner);
+                    }
+                }
+            }
+            Update::InsertEdge { from, to, .. } => {
+                check_vertex(from)?;
+                check_vertex(to)?;
+                for svc in &self.services {
+                    // All replicas share structural state: the first
+                    // rejection (weight increase, self-loop) happens on
+                    // replica 0, before anything mutated.
+                    let r = svc.apply_update(update)?;
+                    receipt.merge(&r);
+                }
+            }
+        }
+        Ok(receipt)
+    }
+}
+
+impl BusReceipt {
+    fn merge(&mut self, r: &UpdateReceipt) {
+        if r.applied {
+            self.applied = true;
+            self.replicas_touched += 1;
+        }
+        self.invalidated += r.invalidated;
+        self.label_entries_added += r.label_entries_added;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ShardRouter, ShardSet};
+    use kosr_core::figure1::figure1;
+    use kosr_core::{IndexedGraph, Query};
+    use kosr_graph::{PartitionConfig, Partitioner, VertexId};
+    use kosr_service::ServiceConfig;
+
+    fn setup() -> (ShardRouter, kosr_core::figure1::Figure1) {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let partition = Partitioner::new(PartitionConfig {
+            num_shards: 3,
+            ..Default::default()
+        })
+        .partition(&ig.graph);
+        let set = ShardSet::build(&ig, partition);
+        (
+            ShardRouter::new(
+                set,
+                ServiceConfig {
+                    workers: 1,
+                    ..Default::default()
+                },
+            ),
+            fx,
+        )
+    }
+
+    #[test]
+    fn membership_update_reaches_owner_shadow_and_all_base_replicas() {
+        let (router, fx) = setup();
+        let bus = router.update_bus();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        // Warm every replica cache.
+        let before = router.submit(q.clone()).unwrap().wait().unwrap();
+        assert_eq!(before.outcome.costs(), vec![20, 21, 22]);
+
+        // Close the best route's restaurant (witness slot 2).
+        let gone = before.outcome.witnesses[0].vertices[2];
+        let receipt = bus
+            .publish(&Update::RemoveMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        let owner = receipt.owner_shard.expect("membership update has an owner");
+        assert_eq!(owner, router.partition().owner(gone));
+        // Base applied on every replica + shadow on the owner.
+        assert_eq!(receipt.replicas_touched, router.num_shards() + 1);
+        assert!(receipt.invalidated > 0, "warm caches must be swept");
+
+        // Every replica's base category and the owner's shadow shrank.
+        for j in 0..router.num_shards() {
+            let ig = router.shard_service(j).indexed_graph();
+            assert!(!ig.graph.categories().has_category(gone, fx.re));
+            let shadow_members = ig.inverted.members_of(router.shadow(fx.re));
+            let expected = router
+                .partition()
+                .members_owned(ig.graph.categories(), fx.re, j)
+                .len();
+            assert_eq!(shadow_members, expected, "shard {j} shadow in sync");
+        }
+
+        // Post-update answers match a fresh unsharded build of the world.
+        let mut g2 = fx.graph.clone();
+        g2.categories_mut().remove(gone, fx.re);
+        let fresh = IndexedGraph::build_default(g2);
+        let after = router.submit(q.clone()).unwrap().wait().unwrap();
+        assert_eq!(
+            after.outcome.witnesses,
+            fresh
+                .run_canonical(&q, kosr_core::Method::Sk, u64::MAX)
+                .witnesses
+        );
+        assert_ne!(after.outcome.witnesses, before.outcome.witnesses);
+
+        // Duplicate removal: a validated no-op fleet-wide.
+        let receipt = bus
+            .publish(&Update::RemoveMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert!(!receipt.applied);
+        assert_eq!(receipt.replicas_touched, 0);
+    }
+
+    #[test]
+    fn edge_update_broadcasts_and_reroutes() {
+        let (router, fx) = setup();
+        let bus = router.update_bus();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let _ = router.submit(q.clone()).unwrap().wait().unwrap();
+
+        let mall = fx.graph.categories().vertices_of(fx.ma)[0];
+        let receipt = bus
+            .publish(&Update::InsertEdge {
+                from: fx.s,
+                to: mall,
+                weight: 1,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        assert_eq!(receipt.owner_shard, None);
+        assert_eq!(receipt.replicas_touched, router.num_shards());
+        assert!(receipt.label_entries_added > 0);
+
+        let mut b2 = fx.graph.to_builder();
+        b2.add_edge(fx.s, mall, 1);
+        let fresh = IndexedGraph::build_default(b2.build());
+        let after = router.submit(q.clone()).unwrap().wait().unwrap();
+        assert_eq!(
+            after.outcome.witnesses,
+            fresh
+                .run_canonical(&q, kosr_core::Method::Sk, u64::MAX)
+                .witnesses
+        );
+
+        // Weight increases reject before mutating any replica.
+        assert!(bus
+            .publish(&Update::InsertEdge {
+                from: fx.s,
+                to: mall,
+                weight: 99,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn bus_validates_before_touching_replicas() {
+        let (router, fx) = setup();
+        let bus = router.update_bus();
+        assert_eq!(
+            bus.publish(&Update::InsertMembership {
+                vertex: VertexId(123),
+                category: fx.re,
+            }),
+            Err(UpdateError::VertexOutOfRange(VertexId(123)))
+        );
+        // A *base-range* check: shadow ids are internal and rejected.
+        assert_eq!(
+            bus.publish(&Update::InsertMembership {
+                vertex: fx.s,
+                category: router.shadow(fx.re),
+            }),
+            Err(UpdateError::UnknownCategory(router.shadow(fx.re)))
+        );
+        for j in 0..router.num_shards() {
+            assert_eq!(router.shard_service(j).index_epoch(), 0, "untouched");
+        }
+    }
+}

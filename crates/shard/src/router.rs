@@ -1,0 +1,315 @@
+//! The fan-out router: one `KosrService` replica per shard, query
+//! decomposition by first-stop ownership, and the bounded-heap merge.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kosr_core::{KosrOutcome, Query};
+use kosr_graph::{CategoryId, Partition, PartitionStats};
+use kosr_service::{KosrService, ServiceConfig, ServiceError, ServiceStats, Ticket};
+
+use crate::build::ShardSet;
+use crate::bus::LiveUpdateBus;
+use crate::merge::merge_topk;
+
+/// Routes queries across the shard replicas and merges their answers.
+///
+/// Fan-out planning per query:
+///
+/// * empty category sequence — the route space is the single witness
+///   `⟨s, t⟩`; the query goes only to the **source's owner** shard;
+/// * otherwise — the query touches exactly the shards owning at least one
+///   member of its **first** category (read live from each replica's
+///   inverted index, so membership updates re-route automatically), with
+///   `C₁` rewritten to that shard's shadow category.
+///
+/// Every touched shard runs the full `k`; [`ShardTicket::wait`] merges the
+/// canonical streams with [`merge_topk`], so the response is bit-identical
+/// to an unsharded `KosrService` run of the same query.
+pub struct ShardRouter {
+    services: Vec<Arc<KosrService>>,
+    partition: Arc<Partition>,
+    base_categories: usize,
+    partition_stats: PartitionStats,
+}
+
+/// A merged cross-shard response.
+#[derive(Clone, Debug)]
+pub struct ShardedResponse {
+    /// The globally merged canonical top-k outcome.
+    pub outcome: KosrOutcome,
+    /// The shards the query fanned out to.
+    pub shards: Vec<usize>,
+    /// How many of the per-shard answers came from replica caches.
+    pub cached_shards: usize,
+    /// Submit → merged-response wall clock (slowest shard + merge).
+    pub latency: Duration,
+}
+
+/// A pending cross-shard response: redeem with [`ShardTicket::wait`].
+#[must_use = "a shard ticket must be waited on to observe the merged result"]
+pub struct ShardTicket {
+    parts: Vec<(usize, Ticket)>,
+    k: usize,
+    submitted: Instant,
+}
+
+impl ShardTicket {
+    /// Blocks until every touched shard answers, then merges. The first
+    /// per-shard failure (deadline, budget, lost worker) fails the whole
+    /// query — partial top-k sets cannot be proven correct.
+    pub fn wait(self) -> Result<ShardedResponse, ServiceError> {
+        let mut shards = Vec::with_capacity(self.parts.len());
+        let mut streams = Vec::with_capacity(self.parts.len());
+        let mut cached_shards = 0;
+        for (shard, ticket) in self.parts {
+            let resp = ticket.wait()?;
+            shards.push(shard);
+            cached_shards += resp.cached as usize;
+            streams.push(resp.outcome);
+        }
+        let outcome = merge_topk(streams, self.k);
+        Ok(ShardedResponse {
+            outcome,
+            shards,
+            cached_shards,
+            latency: self.submitted.elapsed(),
+        })
+    }
+}
+
+impl ShardRouter {
+    /// Spawns one [`KosrService`] replica (with `config`) per shard of
+    /// `set`.
+    pub fn new(set: ShardSet, config: ServiceConfig) -> ShardRouter {
+        let (shards, partition, base_categories, partition_stats) = set.into_parts();
+        let services = shards
+            .into_iter()
+            .map(|ig| Arc::new(KosrService::new(Arc::new(ig), config.clone())))
+            .collect();
+        ShardRouter {
+            services,
+            partition: Arc::new(partition),
+            base_categories,
+            partition_stats,
+        }
+    }
+
+    /// Number of shard replicas.
+    pub fn num_shards(&self) -> usize {
+        self.services.len()
+    }
+
+    /// The vertex-ownership assignment queries are routed by.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The replica serving shard `j` (for inspection and tests).
+    pub fn shard_service(&self, j: usize) -> &KosrService {
+        &self.services[j]
+    }
+
+    /// The shadow id of base category `c`.
+    pub fn shadow(&self, c: CategoryId) -> CategoryId {
+        crate::shadow_of(self.base_categories, c)
+    }
+
+    /// A bus that routes live updates to these replicas.
+    pub fn update_bus(&self) -> LiveUpdateBus {
+        LiveUpdateBus::new(
+            self.services.clone(),
+            Arc::clone(&self.partition),
+            self.base_categories,
+        )
+    }
+
+    /// The shards `query` must touch (see the type-level docs). Reads the
+    /// replicas' live inverted indexes, so the plan tracks updates.
+    pub fn plan_fanout(&self, query: &Query) -> Vec<usize> {
+        let Some(&c1) = query.categories.first() else {
+            return vec![self.partition.owner(query.source)];
+        };
+        let shadow = self.shadow(c1);
+        (0..self.services.len())
+            .filter(|&j| self.services[j].indexed_graph().inverted.members_of(shadow) > 0)
+            .collect()
+    }
+
+    /// Validates `query` once against the full (replicated) category data,
+    /// then submits the shadow-rewritten query to every planned shard.
+    ///
+    /// Admission is not atomic across shards: if a later shard refuses
+    /// (e.g. queue full), the earlier shards still compute and discard
+    /// their parts — the query as a whole is rejected.
+    pub fn submit(&self, query: Query) -> Result<ShardTicket, ServiceError> {
+        let submitted = Instant::now();
+        // Replica graphs know extra internal shadow categories; clients
+        // speak base ids only. Reject out-of-base ids *before* replica
+        // validation (which would accept a shadow id), matching what an
+        // unsharded service over the base graph would do.
+        for &c in &query.categories {
+            if c.index() >= self.base_categories {
+                return Err(ServiceError::InvalidQuery(
+                    kosr_core::QueryError::UnknownCategory(c),
+                ));
+            }
+        }
+        query
+            .validate(&self.services[0].indexed_graph().graph)
+            .map_err(ServiceError::InvalidQuery)?;
+        let targets = self.plan_fanout(&query);
+        if targets.is_empty() {
+            // Validation saw C1 non-empty, but a concurrent bus update
+            // emptied it before fan-out planning. Serialize the query
+            // after the update: the same rejection an unsharded service
+            // would give for the post-update world.
+            let c1 = query.categories[0];
+            return Err(ServiceError::InvalidQuery(
+                kosr_core::QueryError::EmptyCategory(c1),
+            ));
+        }
+        let k = query.k;
+        let mut parts = Vec::with_capacity(targets.len());
+        for &j in &targets {
+            let mut q = query.clone();
+            if let Some(c1) = q.categories.first_mut() {
+                *c1 = self.shadow(*c1);
+            }
+            parts.push((j, self.services[j].submit(q)?));
+        }
+        Ok(ShardTicket {
+            parts,
+            k,
+            submitted,
+        })
+    }
+
+    /// Submits a whole batch and blocks until every query resolves;
+    /// responses come back in input order, rejections reported in-place.
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<ShardedResponse, ServiceError>> {
+        let tickets: Vec<Result<ShardTicket, ServiceError>> =
+            queries.iter().map(|q| self.submit(q.clone())).collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(ShardTicket::wait))
+            .collect()
+    }
+
+    /// Per-shard service health snapshots.
+    pub fn per_shard_stats(&self) -> Vec<ServiceStats> {
+        self.services.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Partition quality against the base graph, captured at build time
+    /// (replica graphs carry shadow memberships and would double-count).
+    pub fn partition_stats(&self) -> &PartitionStats {
+        &self.partition_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_core::figure1::figure1;
+    use kosr_core::IndexedGraph;
+    use kosr_graph::{PartitionConfig, Partitioner};
+    use kosr_service::QueryError;
+
+    fn router(shards: usize) -> (ShardRouter, kosr_core::figure1::Figure1) {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let partition = Partitioner::new(PartitionConfig {
+            num_shards: shards,
+            ..Default::default()
+        })
+        .partition(&ig.graph);
+        let set = ShardSet::build(&ig, partition);
+        (
+            ShardRouter::new(
+                set,
+                ServiceConfig {
+                    workers: 2,
+                    ..Default::default()
+                },
+            ),
+            fx,
+        )
+    }
+
+    #[test]
+    fn figure1_answers_survive_sharding() {
+        for shards in [1, 2, 3, 4] {
+            let (router, fx) = router(shards);
+            let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+            let resp = router.submit(q).unwrap().wait().unwrap();
+            assert_eq!(resp.outcome.costs(), vec![20, 21, 22], "{shards} shards");
+            assert!(!resp.shards.is_empty());
+            assert!(resp.shards.len() <= shards);
+        }
+    }
+
+    #[test]
+    fn fanout_skips_shards_without_first_category_members() {
+        let (router, fx) = router(3);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma], 2);
+        let fanout = router.plan_fanout(&q);
+        // MA has two members; at most two shards can own one.
+        assert!(!fanout.is_empty() && fanout.len() <= 2, "{fanout:?}");
+        for &j in &fanout {
+            let svc = router.shard_service(j);
+            assert!(
+                svc.indexed_graph()
+                    .inverted
+                    .members_of(router.shadow(fx.ma))
+                    > 0
+            );
+        }
+    }
+
+    #[test]
+    fn empty_category_queries_route_to_source_owner_only() {
+        let (router, fx) = router(3);
+        let q = Query::new(fx.s, fx.t, vec![], 2);
+        assert_eq!(router.plan_fanout(&q), vec![router.partition().owner(fx.s)]);
+        let resp = router.submit(q).unwrap().wait().unwrap();
+        // The only witness is ⟨s, t⟩.
+        assert_eq!(resp.outcome.witnesses.len(), 1);
+        assert_eq!(resp.shards.len(), 1);
+    }
+
+    #[test]
+    fn invalid_queries_rejected_before_fanout() {
+        let (router, fx) = router(2);
+        assert!(matches!(
+            router.submit(Query::new(fx.s, fx.t, vec![fx.ma], 0)),
+            Err(ServiceError::InvalidQuery(QueryError::ZeroK))
+        ));
+        assert!(matches!(
+            router.submit(Query::new(fx.s, fx.t, vec![CategoryId(40)], 1)),
+            Err(ServiceError::InvalidQuery(QueryError::UnknownCategory(_)))
+        ));
+        // Shadow ids are internal: a client naming one is rejected exactly
+        // like any unknown category, even though replica graphs know it.
+        assert!(matches!(
+            router.submit(Query::new(fx.s, fx.t, vec![router.shadow(fx.ma)], 1)),
+            Err(ServiceError::InvalidQuery(QueryError::UnknownCategory(_)))
+        ));
+        let stats = router.per_shard_stats();
+        assert!(stats.iter().all(|s| s.submitted == 0));
+    }
+
+    #[test]
+    fn batch_matches_singles_and_caches_warm_per_shard() {
+        let (router, fx) = router(2);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let queries = vec![q.clone(), q.clone(), q];
+        let out = router.run_batch(&queries);
+        assert_eq!(out.len(), 3);
+        let first = out[0].as_ref().unwrap();
+        let last = out[2].as_ref().unwrap();
+        assert_eq!(first.outcome.witnesses, last.outcome.witnesses);
+        // Repeats are served from the replica caches.
+        assert_eq!(last.cached_shards, last.shards.len());
+    }
+}

@@ -14,7 +14,7 @@
 use kosr_graph::{CategoryId, Graph, VertexId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Assigns `num_categories` categories of exactly `category_size` uniformly
 /// random distinct vertices each (a vertex may serve several categories).
@@ -72,6 +72,63 @@ pub fn assign_zipf(
         pool.shuffle(&mut rng);
         for &v in &pool[..size.min(n)] {
             table.insert(VertexId(v), c);
+        }
+    }
+    g.set_categories(table);
+}
+
+/// Assigns `num_categories` **spatially clustered** categories of exactly
+/// `category_size` members each: every category grows from a random anchor
+/// vertex by BFS over the undirected skeleton (nearest neighborhoods
+/// first), with a `spill` fraction of its members scattered uniformly.
+///
+/// Real POI categories cluster — restaurants line the same streets — and
+/// it is the membership distribution region sharding is built for: a
+/// clustered category lives almost entirely in one region, so first-stop
+/// fan-out touches few shards.
+///
+/// # Panics
+/// Panics if `category_size` exceeds the vertex count.
+pub fn assign_clustered(
+    g: &mut Graph,
+    num_categories: usize,
+    category_size: usize,
+    spill: f64,
+    seed: u64,
+) {
+    let n = g.num_vertices();
+    assert!(category_size <= n, "category larger than the graph");
+    let spill = spill.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC1_05_7E);
+    let mut table = kosr_graph::CategoryTable::new(n);
+    let mut visited = vec![false; n];
+    for ci in 0..num_categories {
+        let c = table.add_category(format!("K{ci}"));
+        let clustered = category_size - ((category_size as f64) * spill).round() as usize;
+
+        // BFS from the anchor over the undirected skeleton.
+        visited.iter_mut().for_each(|v| *v = false);
+        let anchor = VertexId(rng.gen_range(0..n as u32));
+        let mut queue = std::collections::VecDeque::from([anchor]);
+        visited[anchor.index()] = true;
+        let mut taken = 0;
+        while let Some(v) = queue.pop_front() {
+            if taken < clustered {
+                table.insert(v, c);
+                taken += 1;
+            } else {
+                break;
+            }
+            for (u, _) in g.out_edges(v).chain(g.in_edges(v)) {
+                if !visited[u.index()] {
+                    visited[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        // Spill (plus any shortfall from a small component): uniform.
+        while table.category_size(c) < category_size {
+            table.insert(VertexId(rng.gen_range(0..n as u32)), c);
         }
     }
     g.set_categories(table);
@@ -146,5 +203,30 @@ mod tests {
     fn uniform_rejects_oversized_categories() {
         let mut g = road_grid_undirected(3, 3, 1);
         assign_uniform(&mut g, 1, 100, 1);
+    }
+
+    #[test]
+    fn clustered_categories_are_spatially_tight() {
+        let mut g = road_grid_undirected(20, 20, 7);
+        assign_clustered(&mut g, 6, 25, 0.1, 3);
+        assert_eq!(g.categories().num_categories(), 6);
+        for c in category_ids(6) {
+            assert_eq!(g.categories().category_size(c), 25);
+            // Tightness: members span few distinct grid rows — a uniform
+            // draw of 25 from 20 rows would hit nearly all of them.
+            let rows: std::collections::HashSet<u32> = g
+                .categories()
+                .vertices_of(c)
+                .iter()
+                .map(|v| v.0 / 20)
+                .collect();
+            assert!(rows.len() <= 12, "category {c:?} spans {} rows", rows.len());
+        }
+        // Deterministic.
+        let mut h = road_grid_undirected(20, 20, 7);
+        assign_clustered(&mut h, 6, 25, 0.1, 3);
+        for c in category_ids(6) {
+            assert_eq!(g.categories().vertices_of(c), h.categories().vertices_of(c));
+        }
     }
 }

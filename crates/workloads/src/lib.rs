@@ -15,8 +15,8 @@ pub mod queries;
 pub mod scenarios;
 pub mod traffic;
 
-pub use categories::{assign_uniform, assign_zipf, category_ids, zipf_sizes};
+pub use categories::{assign_clustered, assign_uniform, assign_zipf, category_ids, zipf_sizes};
 pub use graphs::{road_grid_directed, road_grid_undirected, social_graph};
 pub use queries::{gen_queries, is_feasible, QuerySpec};
 pub use scenarios::{ParameterGrid, Scenario, ScenarioName};
-pub use traffic::{gen_mixed_traffic, TrafficMix};
+pub use traffic::{gen_mixed_traffic, gen_region_traffic, RegionTraffic, TrafficMix};

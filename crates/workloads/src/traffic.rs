@@ -12,8 +12,10 @@
 //!   the stream (popular source/destination/category combinations), so
 //!   result caches have real hit rates to measure.
 
-use kosr_graph::Graph;
+use kosr_graph::{is_finite, CategoryId, Graph, Partition, VertexId};
+use kosr_pathfinding::BiDijkstra;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::queries::{gen_queries, QuerySpec};
@@ -83,6 +85,154 @@ pub fn gen_mixed_traffic(g: &Graph, count: usize, mix: &TrafficMix, seed: u64) -
     for _ in 0..count {
         let from_hot = rng.gen_bool(mix.hot_fraction.clamp(0.0, 1.0));
         let idx = if from_hot {
+            rng.gen_range(0..hot)
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        out.push(pool[idx].clone());
+    }
+    out
+}
+
+/// Parameters of a multi-region traffic stream (the shard-serving
+/// workload: most load concentrates on a few hot regions, most trips stay
+/// local).
+#[derive(Clone, Debug)]
+pub struct RegionTraffic {
+    /// The (|C|, k) shape classes interleaved in the stream.
+    pub classes: Vec<(usize, usize)>,
+    /// Distinct query templates drawn per (region-weighted) shape class.
+    pub uniques_per_class: usize,
+    /// Size of the hot template set (absorbs `hot_fraction` of traffic).
+    pub hot_set: usize,
+    /// Fraction of the stream drawn from the hot set.
+    pub hot_fraction: f64,
+    /// Zipf exponent of region popularity: sources land in region of
+    /// popularity rank `r` with weight `(r + 1)^-region_skew`. `0.0` is
+    /// uniform; `1.0` makes the top region dominate.
+    pub region_skew: f64,
+    /// Probability that a query's destination lies in the source's region
+    /// (trip locality).
+    pub locality: f64,
+}
+
+impl Default for RegionTraffic {
+    fn default() -> RegionTraffic {
+        RegionTraffic {
+            classes: vec![(1, 1), (2, 3), (3, 5), (4, 10)],
+            uniques_per_class: 12,
+            hot_set: 8,
+            hot_fraction: 0.5,
+            region_skew: 1.0,
+            locality: 0.7,
+        }
+    }
+}
+
+/// Generates a `count`-query multi-region stream over `g`: sources are
+/// drawn from `partition`'s regions with zipf-skewed region popularity
+/// (which region is hot is seeded), destinations stay within the source
+/// region with probability `mix.locality`, and a hot template set recurs
+/// as in [`gen_mixed_traffic`]. This is the traffic shape a sharded
+/// deployment sees: skewed per-shard load with mostly-local trips.
+///
+/// Deterministic per `(g, partition, mix, seed)`.
+///
+/// # Panics
+/// Panics if `mix.classes` is empty, the partition does not cover `g`,
+/// or `g` has no categorised vertices.
+pub fn gen_region_traffic(
+    g: &Graph,
+    partition: &Partition,
+    count: usize,
+    mix: &RegionTraffic,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    assert!(!mix.classes.is_empty(), "need at least one shape class");
+    assert_eq!(
+        partition.num_vertices(),
+        g.num_vertices(),
+        "partition must cover the graph"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC7_0A11);
+
+    let regions: Vec<Vec<VertexId>> = (0..partition.num_shards())
+        .map(|s| partition.vertices_of(s))
+        .collect();
+    // Seeded popularity ranking over the non-empty regions.
+    let mut ranked: Vec<usize> = (0..regions.len())
+        .filter(|&s| !regions[s].is_empty())
+        .collect();
+    assert!(!ranked.is_empty(), "partition has no populated region");
+    ranked.shuffle(&mut rng);
+    let weights: Vec<f64> = (0..ranked.len())
+        .map(|r| ((r + 1) as f64).powf(-mix.region_skew.max(0.0)))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let nonempty: Vec<CategoryId> = (0..g.categories().num_categories() as u32)
+        .map(CategoryId)
+        .filter(|&c| g.categories().category_size(c) > 0)
+        .collect();
+    assert!(!nonempty.is_empty(), "graph has no categorised vertices");
+
+    let pick_region = |rng: &mut StdRng| -> usize {
+        let mut x = rng.gen_range(0.0..total_weight);
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return ranked[i];
+            }
+            x -= w;
+        }
+        ranked[ranked.len() - 1]
+    };
+
+    let mut bidir = BiDijkstra::new(g.num_vertices());
+    let mut pool: Vec<QuerySpec> = Vec::new();
+    for &(c_len, k) in &mix.classes {
+        for _ in 0..mix.uniques_per_class.max(1) {
+            // A reachable (s, t) pair honoring region popularity+locality,
+            // with bounded resampling.
+            let (mut s, mut t) = (VertexId(0), VertexId(0));
+            let mut ok = false;
+            for _ in 0..200 {
+                let home = &regions[pick_region(&mut rng)];
+                s = home[rng.gen_range(0..home.len())];
+                t = if rng.gen_bool(mix.locality.clamp(0.0, 1.0)) {
+                    home[rng.gen_range(0..home.len())]
+                } else {
+                    VertexId(rng.gen_range(0..g.num_vertices() as u32))
+                };
+                if s != t && is_finite(bidir.distance(g, s, t)) {
+                    ok = true;
+                    break;
+                }
+            }
+            assert!(ok, "could not sample a reachable region-local pair");
+            let categories = if nonempty.len() >= c_len {
+                let mut cats = nonempty.clone();
+                cats.shuffle(&mut rng);
+                cats.truncate(c_len);
+                cats
+            } else {
+                (0..c_len)
+                    .map(|_| nonempty[rng.gen_range(0..nonempty.len())])
+                    .collect()
+            };
+            pool.push(QuerySpec {
+                source: s,
+                target: t,
+                categories,
+                k,
+            });
+        }
+    }
+    pool.shuffle(&mut rng);
+    let hot = mix.hot_set.clamp(1, pool.len());
+
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let idx = if rng.gen_bool(mix.hot_fraction.clamp(0.0, 1.0)) {
             rng.gen_range(0..hot)
         } else {
             rng.gen_range(0..pool.len())
@@ -200,5 +350,89 @@ mod tests {
             gen_mixed_traffic(&g, 100, &mix, 1),
             gen_mixed_traffic(&g, 100, &mix, 2)
         );
+    }
+
+    fn partition_of(g: &Graph, shards: usize) -> Partition {
+        kosr_graph::Partitioner::new(kosr_graph::PartitionConfig {
+            num_shards: shards,
+            ..Default::default()
+        })
+        .partition(g)
+    }
+
+    #[test]
+    fn region_traffic_shapes_and_determinism() {
+        let g = setup();
+        let p = partition_of(&g, 4);
+        let mix = RegionTraffic::default();
+        let stream = gen_region_traffic(&g, &p, 300, &mix, 5);
+        assert_eq!(stream.len(), 300);
+        for q in &stream {
+            assert!(mix
+                .classes
+                .iter()
+                .any(|&(c, k)| q.categories.len() == c && q.k == k));
+            assert_ne!(q.source, q.target);
+        }
+        assert_eq!(
+            gen_region_traffic(&g, &p, 100, &mix, 9),
+            gen_region_traffic(&g, &p, 100, &mix, 9)
+        );
+        assert_ne!(
+            gen_region_traffic(&g, &p, 100, &mix, 9),
+            gen_region_traffic(&g, &p, 100, &mix, 10)
+        );
+    }
+
+    #[test]
+    fn region_skew_concentrates_sources() {
+        let g = setup();
+        let p = partition_of(&g, 4);
+        let skewed = gen_region_traffic(
+            &g,
+            &p,
+            600,
+            &RegionTraffic {
+                region_skew: 2.5,
+                hot_fraction: 0.0,
+                uniques_per_class: 30,
+                ..Default::default()
+            },
+            11,
+        );
+        let mut per_region = vec![0usize; p.num_shards()];
+        for q in &skewed {
+            per_region[p.owner(q.source)] += 1;
+        }
+        per_region.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            per_region[0] > 600 / 4,
+            "hot region should exceed the uniform share: {per_region:?}"
+        );
+    }
+
+    #[test]
+    fn high_locality_keeps_trips_in_region() {
+        let g = setup();
+        let p = partition_of(&g, 4);
+        let local = gen_region_traffic(
+            &g,
+            &p,
+            400,
+            &RegionTraffic {
+                locality: 1.0,
+                hot_fraction: 0.0,
+                uniques_per_class: 25,
+                ..Default::default()
+            },
+            13,
+        );
+        let in_region = local
+            .iter()
+            .filter(|q| p.owner(q.source) == p.owner(q.target))
+            .count();
+        // All pairs were *drawn* in-region; resampling for reachability can
+        // keep a few cross-region draws, but the mass stays local.
+        assert!(in_region * 10 >= 400 * 9, "{in_region}/400 local");
     }
 }

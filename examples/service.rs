@@ -73,14 +73,15 @@ fn main() {
             .join("  ")
     );
 
-    // Cross-check every response against the sequential baseline under the
-    // same plans: concurrency and caching must not change a single route.
+    // Cross-check every response against the sequential canonical baseline
+    // under the same plans: concurrency and caching must not change a
+    // single route.
     let planner = QueryPlanner::default();
     let mut checked = 0usize;
     for (q, resp) in queries.iter().zip(&responses) {
         let resp = resp.as_ref().expect("workload admits and completes");
         let plan = planner.plan(&ig, q);
-        let seq = ig.run(q, plan.method);
+        let seq = ig.run_canonical(q, plan.method, plan.examined_budget);
         assert_eq!(resp.outcome.costs(), seq.costs(), "costs diverged");
         assert_eq!(
             resp.outcome
@@ -101,5 +102,18 @@ fn main() {
         queries.len()
     );
 
+    // The aggregate snapshot now includes per-method latency counters —
+    // the observed-cost feedback planner calibration consumes.
     println!("{}", service.stats());
+    let per_method = service.method_stats();
+    let executed: u64 = per_method.iter().map(|m| m.completed).sum();
+    for m in &per_method {
+        println!(
+            "calibration: {:>8} observed {} runs at p50 {:?} (planner picked it for {:.0}% of executed queries)",
+            m.method.name(),
+            m.completed,
+            m.latency_p50,
+            100.0 * m.completed as f64 / executed as f64,
+        );
+    }
 }

@@ -30,7 +30,8 @@
 //! | [`index`] | inverted label index, `FindNN`, `FindNEN` |
 //! | [`core`] | KPNE, PruningKOSR, StarKOSR, PNE, GSP |
 //! | [`workloads`] | synthetic graphs, categories, query + traffic generators |
-//! | [`service`] | concurrent serving: planner, result cache, batch executor |
+//! | [`service`] | concurrent serving: planner, result cache, batch executor, live updates |
+//! | [`shard`] | partitioned multi-replica serving: fan-out routing, top-k merge, update bus |
 
 #![forbid(unsafe_code)]
 
@@ -41,4 +42,5 @@ pub use kosr_hoplabel as hoplabel;
 pub use kosr_index as index;
 pub use kosr_pathfinding as pathfinding;
 pub use kosr_service as service;
+pub use kosr_shard as shard;
 pub use kosr_workloads as workloads;
