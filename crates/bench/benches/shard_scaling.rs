@@ -76,7 +76,7 @@ fn isolated_shard_busy(router: &ShardRouter, queries: &[Query]) -> Vec<std::time
         .map(|j| {
             let share: Vec<Query> = queries
                 .iter()
-                .filter(|q| router.plan_fanout(q).contains(&j))
+                .filter(|q| router.plan_fanout(q).unwrap().contains(&j))
                 .map(|q| {
                     let mut q = q.clone();
                     if let Some(c1) = q.categories.first_mut() {
@@ -132,7 +132,10 @@ fn shard_scaling(c: &mut Criterion) {
     }
     let (stats, fanout) = {
         let (router, queries) = router(&ig, 4, 0);
-        let total: usize = queries.iter().map(|q| router.plan_fanout(q).len()).sum();
+        let total: usize = queries
+            .iter()
+            .map(|q| router.plan_fanout(q).unwrap().len())
+            .sum();
         (
             router.partition_stats().clone(),
             total as f64 / queries.len() as f64,

@@ -295,6 +295,41 @@ impl IndexedGraph {
     pub fn write_disk_index(&self, path: &Path) -> io::Result<()> {
         kosr_index::disk::create(path, &self.labels, self.graph.categories())
     }
+
+    /// Serializes the graph + 2-hop labels into one snapshot blob
+    /// ([`kosr_index::snapshot`]) — what the shard transport ships to a
+    /// cold replica joining a shard.
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        kosr_index::snapshot::encode_snapshot(&self.graph, &self.labels)
+    }
+
+    /// Reconstructs an `IndexedGraph` from a snapshot blob without redoing
+    /// label preprocessing: the inverted label indexes are rebuilt from the
+    /// decoded `(labels, categories)` pair — a cheap grouping pass that
+    /// reproduces the source's maintained indexes entry for entry, so
+    /// query results and selectivity stats are preserved exactly.
+    ///
+    /// The label build statistics cannot be recovered from a blob; the
+    /// decoded index reports its label-entry count with zeroed build
+    /// effort.
+    pub fn decode_snapshot(
+        bytes: &[u8],
+    ) -> Result<IndexedGraph, kosr_index::snapshot::SnapshotError> {
+        let (graph, labels) = kosr_index::snapshot::decode_snapshot(bytes)?;
+        let (inverted, inverted_stats) =
+            CategoryIndexSet::build_with_stats(&labels, graph.categories());
+        let label_stats = BuildStats {
+            labels_added: labels.num_entries(),
+            ..Default::default()
+        };
+        Ok(IndexedGraph {
+            graph,
+            labels,
+            inverted,
+            label_stats,
+            inverted_stats,
+        })
+    }
 }
 
 /// Why [`IndexedGraph::insert_edge`] refused a structural update.
@@ -545,6 +580,45 @@ mod tests {
             ig.run_canonical(&q, Method::Sk, u64::MAX).costs(),
             vec![20, 21, 22]
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_answers_and_indexes() {
+        let fx = figure1();
+        let mut ig = IndexedGraph::build_default(fx.graph.clone());
+        // Mutate first so the snapshot captures *maintained* state, not
+        // just freshly built state.
+        let gone = fx.graph.categories().vertices_of(fx.re)[0];
+        assert!(ig.remove_membership(gone, fx.re));
+
+        let blob = ig.encode_snapshot();
+        let back = IndexedGraph::decode_snapshot(&blob).unwrap();
+
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        for m in Method::ALL {
+            assert_eq!(
+                back.run_canonical(&q, m, u64::MAX).witnesses,
+                ig.run_canonical(&q, m, u64::MAX).witnesses,
+                "snapshot replica diverged ({})",
+                m.name()
+            );
+        }
+        // Inverted indexes and the selectivity stats planners key off are
+        // reproduced exactly.
+        for c in 0..ig.graph.categories().num_categories() {
+            let c = CategoryId(c as u32);
+            assert_eq!(back.inverted.members_of(c), ig.inverted.members_of(c));
+            assert_eq!(
+                back.inverted.category(c).num_entries(),
+                ig.inverted.category(c).num_entries()
+            );
+            assert_eq!(back.category_selectivity(c), ig.category_selectivity(c));
+        }
+        assert_eq!(back.label_stats.labels_added, ig.labels.num_entries());
+
+        // Damaged blobs surface typed errors instead of panicking.
+        assert!(IndexedGraph::decode_snapshot(&blob[..blob.len() / 2]).is_err());
+        assert!(IndexedGraph::decode_snapshot(&[]).is_err());
     }
 
     #[test]

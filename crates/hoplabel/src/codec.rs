@@ -20,7 +20,7 @@ use crate::label::{HopLabels, LabelSet};
 const MAGIC: &[u8; 8] = b"KOSRHL1\0";
 
 /// Errors produced while decoding a label index.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CodecError {
     /// The magic header is absent or wrong.
     BadMagic,
@@ -94,6 +94,12 @@ pub fn decode(mut buf: &[u8]) -> Result<HopLabels, CodecError> {
         return Err(CodecError::Truncated);
     }
     let n = buf.get_u32_le() as usize;
+    // 2n length-prefixed sets follow, ≥ 8n bytes: refuse a lying vertex
+    // count before allocating n label slots (blobs arrive over the wire
+    // via snapshots, so this is adversarial surface, not just file I/O).
+    if n.saturating_mul(8) > buf.remaining() {
+        return Err(CodecError::Truncated);
+    }
     let mut labels = HopLabels::empty(n);
     for v in 0..n {
         let v = VertexId(v as u32);

@@ -15,6 +15,8 @@
 //!   [`DijkstraTarget`]) behind the A* estimation.
 //! * [`disk`] — the SK-DB on-disk layout (per-category segments + offset
 //!   directory standing in for the paper's B+-tree).
+//! * [`snapshot`] — the shard snapshot codec: graph + labels as one blob,
+//!   shipped to cold replicas by the transport layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod disk;
 mod inverted;
 mod nen;
 mod nn;
+pub mod snapshot;
 mod target;
 
 pub use inverted::{CategoryIndexSet, InvertedLabelIndex, InvertedStats};

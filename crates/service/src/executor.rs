@@ -404,6 +404,14 @@ impl KosrService {
         self.shared.epoch.load(Ordering::Acquire)
     }
 
+    /// The served index together with the epoch it belongs to, read under
+    /// one lock so the pair is consistent even against concurrent updates.
+    /// This is what transport hosts serialize when a cold replica asks for
+    /// a snapshot.
+    pub fn epoch_and_index(&self) -> (u64, Arc<IndexedGraph>) {
+        self.shared.index_snapshot()
+    }
+
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
         self.workers.len()

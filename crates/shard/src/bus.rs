@@ -1,45 +1,55 @@
-//! The live update bus: routes §IV-C dynamic updates to the shard
-//! replicas that own them, driving each replica's index mutation and
-//! cache-invalidation hooks through `KosrService::apply_update`.
+//! The live update bus, transport-native: routes §IV-C dynamic updates to
+//! every replica of every shard that owns them, records the publish order
+//! in an update log, and brings replicas that missed updates (faults,
+//! kills, cold snapshot joins) back through **replay recovery**.
+//!
+//! ## Consistency model
+//!
+//! `publish` is **eventually consistent across replicas, immediately
+//! consistent per replica**, exactly as before — but replicas now live
+//! behind transports that can fail. The invariant that keeps merged
+//! answers exact is:
+//!
+//! > a replica serves queries **iff** it has applied the full update log.
+//!
+//! A replica whose apply faults is marked `Down` on the spot (its log
+//! cursor stays behind) and the fleet fails over around it. It returns to
+//! service only through [`LiveUpdateBus::recover`], which replays the
+//! missed log suffix through its transport and then marks it healthy. A
+//! cold replica joins the same way: snapshot (+ the log cursor the blob is
+//! consistent with, from `ShardRouter::snapshot_shard`) → install → replay
+//! → healthy. Replay is idempotent: membership updates are set operations,
+//! and an edge insert that a snapshot already contains answers
+//! `WeightNotDecreased`, which replay treats as already-applied.
 
 use std::sync::Arc;
 
-use kosr_graph::{CategoryId, Partition};
-use kosr_service::{KosrService, Update, UpdateError, UpdateReceipt};
+use kosr_graph::{CategoryId, Partition, VertexId};
+use kosr_service::{Update, UpdateError, UpdateReceipt};
+use kosr_transport::{ReplicaSet, ShardTransport, TransportError};
 
-/// Fans dynamic updates out to the shard replicas.
+use crate::error::ShardError;
+use crate::state::{FanoutCache, UpdateLog};
+
+/// Fans dynamic updates out to the shard replica fleets.
 ///
 /// Routing rules (derived from what each replica materialises):
 ///
 /// * **membership updates** — the *base* category is replicated on every
-///   shard (later stops of a route may use any member), so the base
-///   mutation broadcasts; the *shadow* category is owned by exactly the
-///   vertex's owner shard, which additionally applies the shadow-scoped
-///   mutation. Both applications invalidate the corresponding cached
-///   answers on their replica.
+///   replica of every shard, so the base mutation goes fleet-wide; the
+///   *shadow* category is owned by exactly the vertex's owner shard, whose
+///   replicas additionally apply the shadow-scoped mutation.
 /// * **edge updates** — the routing skeleton is replicated, so structural
-///   updates broadcast and flush every replica's cache.
+///   updates go fleet-wide and flush every replica's cache.
 ///
-/// Updates are validated once up front (against shard 0, all replicas
-/// share base state), so a rejected update mutates no replica.
-///
-/// ## Consistency model
-///
-/// `publish` is **eventually consistent across replicas, immediately
-/// consistent per replica**: each replica's `apply_update` is atomic
-/// (index swap + epoch bump + invalidation), but the fleet is walked
-/// replica by replica — and a membership update touches the owner twice
-/// (base, then shadow). A query fanned out *during* the publish window
-/// can therefore merge answers from replicas on either side of the
-/// update. Once `publish` returns, every replica has converged and the
-/// bit-identical-to-unsharded guarantee holds again (the cross-shard
-/// property test exercises exactly this quiescent equivalence). Making
-/// the window atomic fleet-wide is a two-phase commit over the shard
-/// transport — the ROADMAP's cross-box follow-up.
+/// Updates are validated before anything mutates; a rejected update
+/// touches no replica and is not logged.
 pub struct LiveUpdateBus {
-    services: Vec<Arc<KosrService>>,
+    shards: Vec<Arc<ReplicaSet>>,
     partition: Arc<Partition>,
     base_categories: usize,
+    fanout: Arc<FanoutCache>,
+    log: Arc<UpdateLog>,
 }
 
 /// What publishing one update did across the fleet.
@@ -47,27 +57,35 @@ pub struct LiveUpdateBus {
 pub struct BusReceipt {
     /// `false` when the update was a validated no-op everywhere.
     pub applied: bool,
-    /// The owner shard that additionally applied the shadow-scoped
-    /// mutation (membership updates only).
+    /// The owner shard whose replicas additionally applied the
+    /// shadow-scoped mutation (membership updates only).
     pub owner_shard: Option<usize>,
-    /// Replicas the update was applied to.
+    /// Replica applications that changed state.
     pub replicas_touched: usize,
     /// Cached answers dropped across all replicas.
     pub invalidated: usize,
     /// 2-hop label entries added across all replicas (edge updates).
     pub label_entries_added: usize,
+    /// Replicas that missed the update (down, or faulted mid-publish):
+    /// marked `Down` with their log cursor behind, pending
+    /// [`LiveUpdateBus::recover`].
+    pub deferred_replicas: usize,
 }
 
 impl LiveUpdateBus {
     pub(crate) fn new(
-        services: Vec<Arc<KosrService>>,
+        shards: Vec<Arc<ReplicaSet>>,
         partition: Arc<Partition>,
         base_categories: usize,
+        fanout: Arc<FanoutCache>,
+        log: Arc<UpdateLog>,
     ) -> LiveUpdateBus {
         LiveUpdateBus {
-            services,
+            shards,
             partition,
             base_categories,
+            fanout,
+            log,
         }
     }
 
@@ -75,61 +93,204 @@ impl LiveUpdateBus {
         crate::shadow_of(self.base_categories, c)
     }
 
-    /// Validates `update` against the shared base state, then applies it
-    /// to every replica that materialises the touched data. Returns the
-    /// aggregate receipt.
-    pub fn publish(&self, update: &Update) -> Result<BusReceipt, UpdateError> {
+    /// The owner-shard shadow companion of a membership update, if any.
+    fn shadow_update(&self, update: &Update) -> Option<(usize, Update)> {
+        match *update {
+            Update::InsertMembership { vertex, category } => Some((
+                self.partition.owner(vertex),
+                Update::InsertMembership {
+                    vertex,
+                    category: self.shadow(category),
+                },
+            )),
+            Update::RemoveMembership { vertex, category } => Some((
+                self.partition.owner(vertex),
+                Update::RemoveMembership {
+                    vertex,
+                    category: self.shadow(category),
+                },
+            )),
+            Update::InsertEdge { .. } => None,
+        }
+    }
+
+    /// Applies `update` (and, on the owner shard, its shadow companion) to
+    /// replica `r` of shard `j`. `Ok(receipts)` only when every required
+    /// application went through.
+    fn apply_to_replica(
+        &self,
+        j: usize,
+        transport: &dyn ShardTransport,
+        update: &Update,
+        shadow: &Option<(usize, Update)>,
+    ) -> Result<Vec<UpdateReceipt>, TransportError> {
+        let mut receipts = vec![transport.apply_update(update)?];
+        if let Some((owner, shadow_update)) = shadow {
+            if *owner == j {
+                receipts.push(transport.apply_update(shadow_update)?);
+            }
+        }
+        Ok(receipts)
+    }
+
+    /// Validates `update` against the shared base state, logs it, then
+    /// applies it to every healthy replica of every shard. Replicas that
+    /// fault mid-publish are marked down with their cursor behind — the
+    /// receipt reports them as deferred — and recover by replay.
+    pub fn publish(&self, update: &Update) -> Result<BusReceipt, ShardError> {
         // Validate once, against base-category bounds: replicas know more
         // categories (the shadows), but bus clients speak base ids.
-        let probe = self.services[0].indexed_graph();
-        let n = probe.graph.num_vertices();
-        let check_vertex = |v: kosr_graph::VertexId| {
+        let probe = self.fanout.get(0, &self.shards[0])?;
+        let n = probe.num_vertices as usize;
+        let check_vertex = |v: VertexId| {
             (v.index() < n)
                 .then_some(())
-                .ok_or(UpdateError::VertexOutOfRange(v))
+                .ok_or(ShardError::Update(UpdateError::VertexOutOfRange(v)))
         };
-        let mut receipt = BusReceipt::default();
         match *update {
             Update::InsertMembership { vertex, category }
             | Update::RemoveMembership { vertex, category } => {
                 check_vertex(vertex)?;
                 if category.index() >= self.base_categories {
-                    return Err(UpdateError::UnknownCategory(category));
-                }
-                let owner = self.partition.owner(vertex);
-                let shadow_update = match update {
-                    Update::InsertMembership { .. } => Update::InsertMembership {
-                        vertex,
-                        category: self.shadow(category),
-                    },
-                    _ => Update::RemoveMembership {
-                        vertex,
-                        category: self.shadow(category),
-                    },
-                };
-                for (j, svc) in self.services.iter().enumerate() {
-                    let base = svc.apply_update(update)?;
-                    receipt.merge(&base);
-                    if j == owner {
-                        let shadowed = svc.apply_update(&shadow_update)?;
-                        receipt.merge(&shadowed);
-                        receipt.owner_shard = Some(owner);
-                    }
+                    return Err(ShardError::Update(UpdateError::UnknownCategory(category)));
                 }
             }
             Update::InsertEdge { from, to, .. } => {
                 check_vertex(from)?;
                 check_vertex(to)?;
-                for svc in &self.services {
-                    // All replicas share structural state: the first
-                    // rejection (weight increase, self-loop) happens on
-                    // replica 0, before anything mutated.
-                    let r = svc.apply_update(update)?;
-                    receipt.merge(&r);
+            }
+        }
+
+        let shadow = self.shadow_update(update);
+        let mut receipt = BusReceipt::default();
+        let mut log = self.log.lock();
+        log.entries.push(*update);
+        let seq = log.entries.len();
+        let mut applied_any = false;
+        for (j, set) in self.shards.iter().enumerate() {
+            let healthy = set.healthy_indices();
+            for r in 0..set.num_replicas() {
+                if !healthy.contains(&r) {
+                    receipt.deferred_replicas += 1;
+                    continue; // cursor stays behind; recovery will replay
+                }
+                match self.apply_to_replica(j, set.transport(r).as_ref(), update, &shadow) {
+                    Ok(receipts) => {
+                        for rec in receipts {
+                            receipt.merge(&rec);
+                        }
+                        // The shadow-scoped mutation is receipts[1], present
+                        // exactly on owner-shard replicas: only a delivered
+                        // shadow application may claim the owner slot.
+                        if shadow.as_ref().is_some_and(|&(owner, _)| owner == j) {
+                            receipt.owner_shard = Some(j);
+                        }
+                        applied_any = true;
+                        log.cursors[j][r] = seq;
+                    }
+                    Err(e) if e.is_fault() => {
+                        set.mark_down(r);
+                        receipt.deferred_replicas += 1;
+                    }
+                    Err(TransportError::Update(e)) => {
+                        if !applied_any {
+                            // Deterministic rejection on the first replica:
+                            // every consistent replica would repeat it, so
+                            // nothing mutated anywhere — unlog and refuse.
+                            log.entries.pop();
+                            return Err(ShardError::Update(e));
+                        }
+                        // A rejection after some replica accepted means
+                        // this replica diverged: quarantine it for replay.
+                        set.mark_down(r);
+                        receipt.deferred_replicas += 1;
+                    }
+                    Err(e) => return Err(ShardError::from(e)),
                 }
             }
         }
+        // Membership counts may have changed: fan-out planning must
+        // re-read. Deferred replicas count too — the update is logged and
+        // *will* apply at replay, so a cache kept warm on the strength of
+        // "nothing applied yet" would go stale the moment recovery runs.
+        // (Edge updates leave counts intact — the cache survives them.)
+        if update.touched_category().is_some() && (receipt.applied || receipt.deferred_replicas > 0)
+        {
+            self.fanout.invalidate_all();
+        }
+        // owner_shard reports the *routing* decision even for no-ops only
+        // when something applied — mirror the pre-transport semantics.
+        if !receipt.applied {
+            receipt.owner_shard = None;
+        }
         Ok(receipt)
+    }
+
+    /// Replays the log suffix replica `r` of shard `j` missed, then marks
+    /// it healthy. Returns the number of log entries replayed.
+    ///
+    /// Safe against double application: membership updates are set
+    /// operations, and an [`Update::InsertEdge`] the replica's state
+    /// already contains answers `WeightNotDecreased`, which replay counts
+    /// as already applied (snapshots can be ahead of the installed
+    /// cursor).
+    pub fn recover(&self, j: usize, r: usize) -> Result<usize, ShardError> {
+        let set = &self.shards[j];
+        let mut log = self.log.lock();
+        let start = log.cursors[j][r];
+        let mut replayed = 0;
+        for seq in start..log.entries.len() {
+            let update = log.entries[seq];
+            let shadow = self.shadow_update(&update);
+            match self.apply_to_replica(j, set.transport(r).as_ref(), &update, &shadow) {
+                Ok(_) => {}
+                Err(TransportError::Update(UpdateError::Graph(
+                    kosr_core::GraphUpdateError::WeightNotDecreased { .. },
+                ))) => {} // already in the snapshot the replica joined from
+                Err(e) if e.is_fault() => {
+                    set.mark_down(r);
+                    log.cursors[j][r] = start + replayed;
+                    return Err(ShardError::from(e));
+                }
+                Err(e) => return Err(ShardError::from(e)),
+            }
+            replayed += 1;
+        }
+        log.cursors[j][r] = log.entries.len();
+        set.mark_healthy(r);
+        // Replayed membership updates change member counts after the
+        // publish-time invalidation already happened: drop the fan-out
+        // cache again so planning re-reads the converged fleet.
+        if log.entries[start..]
+            .iter()
+            .any(|u| u.touched_category().is_some())
+        {
+            self.fanout.invalidate_all();
+        }
+        Ok(replayed)
+    }
+
+    /// Recovers every `Down` replica of every shard (see
+    /// [`LiveUpdateBus::recover`]); returns `(shard, replica)` pairs that
+    /// still could not be reached.
+    pub fn recover_all(&self) -> Vec<(usize, usize)> {
+        let mut unreachable = Vec::new();
+        for (j, set) in self.shards.iter().enumerate() {
+            for r in 0..set.num_replicas() {
+                if set.healthy_indices().contains(&r) {
+                    continue;
+                }
+                if self.recover(j, r).is_err() {
+                    unreachable.push((j, r));
+                }
+            }
+        }
+        unreachable
+    }
+
+    /// Published updates so far (the log length).
+    pub fn log_len(&self) -> usize {
+        self.log.lock().entries.len()
     }
 }
 
@@ -150,8 +311,9 @@ mod tests {
     use crate::{ShardRouter, ShardSet};
     use kosr_core::figure1::figure1;
     use kosr_core::{IndexedGraph, Query};
-    use kosr_graph::{PartitionConfig, Partitioner, VertexId};
+    use kosr_graph::{PartitionConfig, Partitioner};
     use kosr_service::ServiceConfig;
+    use kosr_transport::ReplicaHealth;
 
     fn setup() -> (ShardRouter, kosr_core::figure1::Figure1) {
         let fx = figure1();
@@ -197,6 +359,8 @@ mod tests {
         // Base applied on every replica + shadow on the owner.
         assert_eq!(receipt.replicas_touched, router.num_shards() + 1);
         assert!(receipt.invalidated > 0, "warm caches must be swept");
+        assert_eq!(receipt.deferred_replicas, 0);
+        assert_eq!(bus.log_len(), 1);
 
         // Every replica's base category and the owner's shadow shrank.
         for j in 0..router.num_shards() {
@@ -232,6 +396,7 @@ mod tests {
             .unwrap();
         assert!(!receipt.applied);
         assert_eq!(receipt.replicas_touched, 0);
+        assert_eq!(receipt.owner_shard, None);
     }
 
     #[test]
@@ -265,7 +430,9 @@ mod tests {
                 .witnesses
         );
 
-        // Weight increases reject before mutating any replica.
+        // Weight increases reject before mutating any replica (and leave
+        // no log entry behind).
+        let log_before = bus.log_len();
         assert!(bus
             .publish(&Update::InsertEdge {
                 from: fx.s,
@@ -273,6 +440,7 @@ mod tests {
                 weight: 99,
             })
             .is_err());
+        assert_eq!(bus.log_len(), log_before);
     }
 
     #[test]
@@ -284,7 +452,9 @@ mod tests {
                 vertex: VertexId(123),
                 category: fx.re,
             }),
-            Err(UpdateError::VertexOutOfRange(VertexId(123)))
+            Err(ShardError::Update(UpdateError::VertexOutOfRange(VertexId(
+                123
+            ))))
         );
         // A *base-range* check: shadow ids are internal and rejected.
         assert_eq!(
@@ -292,10 +462,165 @@ mod tests {
                 vertex: fx.s,
                 category: router.shadow(fx.re),
             }),
-            Err(UpdateError::UnknownCategory(router.shadow(fx.re)))
+            Err(ShardError::Update(UpdateError::UnknownCategory(
+                router.shadow(fx.re)
+            )))
         );
+        assert_eq!(bus.log_len(), 0);
         for j in 0..router.num_shards() {
             assert_eq!(router.shard_service(j).index_epoch(), 0, "untouched");
         }
+    }
+
+    #[test]
+    fn fanout_cache_reflects_updates_that_only_applied_at_replay() {
+        // The publish applies on *zero* replicas (whole fleet down), so
+        // only replay recovery ever lands it — the fan-out cache must not
+        // keep serving the pre-update member counts afterwards.
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let partition = Partitioner::new(PartitionConfig {
+            num_shards: 3,
+            ..Default::default()
+        })
+        .partition(&ig.graph);
+        let set = ShardSet::build(&ig, partition);
+        let mut switches = Vec::new();
+        let router = ShardRouter::with_replicas(
+            set,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            1,
+            |_, _, t| {
+                switches.push(t.kill_switch());
+                Arc::new(t)
+            },
+        );
+        let bus = router.update_bus();
+        // Warm the fan-out cache.
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        router.submit(q.clone()).unwrap().wait().unwrap();
+
+        // A (vertex, category) pair whose owner shard currently owns no
+        // member of that category: the insert must *add* a shard to the
+        // category's fan-out.
+        let (v, c) = fx
+            .graph
+            .vertices()
+            .find_map(|v| {
+                let owner = router.partition().owner(v);
+                [fx.ma, fx.re, fx.ci].into_iter().find_map(|c| {
+                    let cats = fx.graph.categories();
+                    (!cats.has_category(v, c)
+                        && router.partition().members_owned(cats, c, owner).is_empty())
+                    .then_some((v, c))
+                })
+            })
+            .expect("figure1 over 3 shards has a shard owning no member of some category");
+        let owner = router.partition().owner(v);
+
+        // Cut the whole fleet, so the publish defers everywhere.
+        for s in &switches {
+            s.kill();
+        }
+        for j in 0..router.num_shards() {
+            router.replica_set(j).mark_down(0);
+        }
+        let receipt = bus
+            .publish(&Update::InsertMembership {
+                vertex: v,
+                category: c,
+            })
+            .unwrap();
+        assert!(!receipt.applied, "nothing reachable applied it");
+        assert_eq!(receipt.deferred_replicas, router.num_shards());
+
+        for s in &switches {
+            s.revive();
+        }
+        assert!(bus.recover_all().is_empty());
+
+        // Planning must now see the replayed membership: the owner shard
+        // joined the category's fan-out…
+        let plan = router
+            .plan_fanout(&Query::new(fx.s, fx.t, vec![c], 1))
+            .unwrap();
+        assert!(
+            plan.contains(&owner),
+            "stale fan-out cache dropped shard {owner}: {plan:?}"
+        );
+        // …and answers match a fresh unsharded build of the world.
+        let mut g2 = fx.graph.clone();
+        g2.categories_mut().insert(v, c);
+        let fresh = IndexedGraph::build_default(g2);
+        let q2 = Query::new(fx.s, fx.t, vec![c], 2);
+        let resp = router.submit(q2.clone()).unwrap().wait().unwrap();
+        assert_eq!(
+            resp.outcome.witnesses,
+            fresh
+                .run_canonical(&q2, kosr_core::Method::Sk, u64::MAX)
+                .witnesses
+        );
+    }
+
+    #[test]
+    fn downed_replicas_miss_updates_and_recover_by_replay() {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let partition = Partitioner::new(PartitionConfig {
+            num_shards: 2,
+            ..Default::default()
+        })
+        .partition(&ig.graph);
+        let set = ShardSet::build(&ig, partition);
+        let mut switches = Vec::new();
+        let router = ShardRouter::with_replicas(
+            set,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            2,
+            |_, _, t| {
+                switches.push(t.kill_switch());
+                Arc::new(t)
+            },
+        );
+        let bus = router.update_bus();
+
+        // Cut shard 0's replica 1, then publish: the update defers there.
+        switches[1].kill();
+        router.replica_set(0).mark_down(1);
+        let gone = fx.graph.categories().vertices_of(fx.re)[0];
+        let receipt = bus
+            .publish(&Update::RemoveMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        assert_eq!(receipt.deferred_replicas, 1);
+        // The cut replica's service never saw the update.
+        assert_eq!(router.replica_service(0, 1).index_epoch(), 0);
+
+        // Restore the channel and replay: the replica converges and
+        // returns to service.
+        switches[1].revive();
+        let replayed = bus.recover(0, 1).unwrap();
+        assert_eq!(replayed, 1);
+        assert!(router.replica_service(0, 1).index_epoch() > 0);
+        assert!(!router
+            .replica_service(0, 1)
+            .indexed_graph()
+            .graph
+            .categories()
+            .has_category(gone, fx.re));
+        assert_eq!(
+            router.replica_set(0).health(),
+            vec![ReplicaHealth::Healthy, ReplicaHealth::Healthy]
+        );
+        assert!(bus.recover_all().is_empty());
     }
 }

@@ -1,0 +1,89 @@
+//! The sharded deployment's error surface: the service-layer rejections a
+//! single replica would give, plus the transport-layer failures that only
+//! exist once replicas live behind a wire.
+
+use kosr_service::{ServiceError, UpdateError};
+use kosr_transport::TransportError;
+
+/// Why a sharded operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// A deterministic service rejection — exactly what an unsharded
+    /// service would say, and displayed identically so rejection parity
+    /// with the unsharded oracle holds string-for-string.
+    Service(ServiceError),
+    /// A deterministic update rejection.
+    Update(UpdateError),
+    /// Transport trouble failover could not hide (e.g. every replica of a
+    /// shard is down).
+    Transport(TransportError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Deliberately transparent: parity with unsharded rejections.
+            ShardError::Service(e) => write!(f, "{e}"),
+            ShardError::Update(e) => write!(f, "{e}"),
+            ShardError::Transport(e) => write!(f, "shard transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Service(e) => Some(e),
+            ShardError::Update(e) => Some(e),
+            ShardError::Transport(e) => Some(e),
+        }
+    }
+}
+
+impl From<ServiceError> for ShardError {
+    fn from(e: ServiceError) -> ShardError {
+        ShardError::Service(e)
+    }
+}
+
+impl From<UpdateError> for ShardError {
+    fn from(e: UpdateError) -> ShardError {
+        ShardError::Update(e)
+    }
+}
+
+impl From<TransportError> for ShardError {
+    fn from(e: TransportError) -> ShardError {
+        match e {
+            // Unwrap deterministic rejections to their service-level shape
+            // so callers see the same errors sharded and unsharded.
+            TransportError::Service(e) => ShardError::Service(e),
+            TransportError::Update(e) => ShardError::Update(e),
+            other => ShardError::Transport(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_core::QueryError;
+
+    #[test]
+    fn service_rejections_display_identically_to_unsharded() {
+        let inner = ServiceError::InvalidQuery(QueryError::ZeroK);
+        assert_eq!(
+            ShardError::Service(inner.clone()).to_string(),
+            inner.to_string()
+        );
+    }
+
+    #[test]
+    fn transport_conversion_unwraps_deterministic_rejections() {
+        let e: ShardError = TransportError::Service(ServiceError::ShuttingDown).into();
+        assert_eq!(e, ShardError::Service(ServiceError::ShuttingDown));
+        let e: ShardError = TransportError::Connection("x".into()).into();
+        assert!(matches!(e, ShardError::Transport(_)));
+        assert!(e.to_string().contains("transport"));
+    }
+}

@@ -34,6 +34,19 @@
 //! (cost, then lexicographic witness) reproduces the unsharded canonical
 //! top-k **bit for bit** — the cross-shard property test enforces it.
 //!
+//! ## Transport, replication and failover
+//!
+//! Replicas live behind [`ShardTransport`]s (`kosr-transport`): the
+//! loopback [`InProcTransport`] or a [`TcpTransport`] client for replicas
+//! behind [`TcpServer`]s — both speak the same length-prefixed wire
+//! protocol. Each shard is a [`ReplicaSet`] of N replicas with health
+//! state: queries go to the lowest healthy replica and transparently fail
+//! over on connection faults, which preserves the bit-identical merge
+//! because every consistent replica answers with the same canonical
+//! stream. Fan-out planning reads per-shard member counts through the
+//! transport **once per membership epoch** (cached, invalidated by the
+//! bus).
+//!
 //! ## Live updates
 //!
 //! The [`LiveUpdateBus`] finishes the dynamic-update path: membership
@@ -41,7 +54,10 @@
 //! additionally to the owning shard's shadow; edge updates broadcast.
 //! Each application drives the owning replica's cache-invalidation hooks
 //! through `KosrService::apply_update`, so no replica ever serves a stale
-//! answer.
+//! answer. The bus also keeps an **update log**: a replica that misses an
+//! update (fault, kill, cold snapshot join via
+//! [`ShardRouter::snapshot_shard`]) is marked down and re-enters service
+//! only after [`LiveUpdateBus::recover`] replays the missed suffix.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -67,8 +83,10 @@
 
 mod build;
 mod bus;
+mod error;
 mod merge;
 mod router;
+mod state;
 
 /// The single definition of the shadow-category layout: shard replicas
 /// store `B` base categories at ids `0..B` and the per-shard owned slices
@@ -83,6 +101,7 @@ pub(crate) fn shadow_of(
 
 pub use build::ShardSet;
 pub use bus::{BusReceipt, LiveUpdateBus};
+pub use error::ShardError;
 pub use merge::merge_topk;
 pub use router::{ShardRouter, ShardTicket, ShardedResponse};
 
@@ -91,3 +110,7 @@ pub use router::{ShardRouter, ShardTicket, ShardedResponse};
 pub use kosr_core::{IndexedGraph, KosrOutcome, Query};
 pub use kosr_graph::{Partition, PartitionConfig, PartitionStats, Partitioner};
 pub use kosr_service::{ServiceConfig, ServiceError, Update, UpdateError};
+pub use kosr_transport::{
+    InProcTransport, KillSwitch, ReplicaHealth, ReplicaSet, ShardTransport, TcpServer,
+    TcpTransport, TransportError, TransportTicket,
+};

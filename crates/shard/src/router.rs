@@ -1,36 +1,54 @@
-//! The fan-out router: one `KosrService` replica per shard, query
-//! decomposition by first-stop ownership, and the bounded-heap merge.
+//! The fan-out router, now transport-native: one [`ReplicaSet`] per shard
+//! (N replicas behind [`ShardTransport`]s), query decomposition by
+//! first-stop ownership, epoch-cached fan-out planning, and the
+//! bounded-heap merge.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use kosr_core::{KosrOutcome, Query};
+use kosr_core::{KosrOutcome, Query, QueryError};
 use kosr_graph::{CategoryId, Partition, PartitionStats};
-use kosr_service::{KosrService, ServiceConfig, ServiceError, ServiceStats, Ticket};
+use kosr_service::{KosrService, ServiceConfig, ServiceError, ServiceStats};
+use kosr_transport::protocol::{MemberCounts, SnapshotBlob};
+use kosr_transport::{InProcTransport, ReplicaSet, ShardTransport, TransportTicket};
 
 use crate::build::ShardSet;
 use crate::bus::LiveUpdateBus;
+use crate::error::ShardError;
 use crate::merge::merge_topk;
+use crate::state::{FanoutCache, UpdateLog};
 
-/// Routes queries across the shard replicas and merges their answers.
+/// Routes queries across the shard replica fleets and merges their answers.
 ///
 /// Fan-out planning per query:
 ///
 /// * empty category sequence — the route space is the single witness
 ///   `⟨s, t⟩`; the query goes only to the **source's owner** shard;
 /// * otherwise — the query touches exactly the shards owning at least one
-///   member of its **first** category (read live from each replica's
-///   inverted index, so membership updates re-route automatically), with
-///   `C₁` rewritten to that shard's shadow category.
+///   member of its **first** category, with `C₁` rewritten to that shard's
+///   shadow category.
 ///
-/// Every touched shard runs the full `k`; [`ShardTicket::wait`] merges the
-/// canonical streams with [`merge_topk`], so the response is bit-identical
-/// to an unsharded `KosrService` run of the same query.
+/// Planning reads each shard's member counts through its transport **once
+/// per epoch**: reports are cached and invalidated by the update bus when
+/// a membership update lands, so steady-state queries plan without any
+/// control-plane round trips (the fan-out regression test counts reads).
+///
+/// Every touched shard runs the full `k` on one healthy replica (with
+/// transparent failover to the next on connection faults —
+/// [`ReplicaSet::query`]); [`ShardTicket::wait`] merges the canonical
+/// streams with [`merge_topk`], so the response is bit-identical to an
+/// unsharded `KosrService` run of the same query.
 pub struct ShardRouter {
-    services: Vec<Arc<KosrService>>,
+    shards: Vec<Arc<ReplicaSet>>,
+    /// In-process service handles, per shard per replica — populated by
+    /// the in-process constructors for introspection/tests, empty when the
+    /// router was assembled from remote transports.
+    services: Vec<Vec<Arc<KosrService>>>,
     partition: Arc<Partition>,
     base_categories: usize,
     partition_stats: PartitionStats,
+    fanout: Arc<FanoutCache>,
+    log: Arc<UpdateLog>,
 }
 
 /// A merged cross-shard response.
@@ -49,21 +67,22 @@ pub struct ShardedResponse {
 /// A pending cross-shard response: redeem with [`ShardTicket::wait`].
 #[must_use = "a shard ticket must be waited on to observe the merged result"]
 pub struct ShardTicket {
-    parts: Vec<(usize, Ticket)>,
+    parts: Vec<(usize, TransportTicket)>,
     k: usize,
     submitted: Instant,
 }
 
 impl ShardTicket {
     /// Blocks until every touched shard answers, then merges. The first
-    /// per-shard failure (deadline, budget, lost worker) fails the whole
-    /// query — partial top-k sets cannot be proven correct.
-    pub fn wait(self) -> Result<ShardedResponse, ServiceError> {
+    /// per-shard failure (rejection, or a shard with no replica left)
+    /// fails the whole query — partial top-k sets cannot be proven
+    /// correct.
+    pub fn wait(self) -> Result<ShardedResponse, ShardError> {
         let mut shards = Vec::with_capacity(self.parts.len());
         let mut streams = Vec::with_capacity(self.parts.len());
         let mut cached_shards = 0;
         for (shard, ticket) in self.parts {
-            let resp = ticket.wait()?;
+            let resp = ticket.wait().map_err(ShardError::from)?;
             shards.push(shard);
             cached_shards += resp.cached as usize;
             streams.push(resp.outcome);
@@ -79,15 +98,88 @@ impl ShardTicket {
 }
 
 impl ShardRouter {
-    /// Spawns one [`KosrService`] replica (with `config`) per shard of
-    /// `set`.
+    /// Spawns one in-process [`KosrService`] replica (with `config`) per
+    /// shard of `set`, each behind the loopback wire codec.
     pub fn new(set: ShardSet, config: ServiceConfig) -> ShardRouter {
-        let (shards, partition, base_categories, partition_stats) = set.into_parts();
-        let services = shards
+        Self::with_replicas(set, config, 1, |_, _, t| Arc::new(t))
+    }
+
+    /// Like [`ShardRouter::new`] but with `replicas` loopback replicas per
+    /// shard. `wrap` sees every replica's [`InProcTransport`] before it
+    /// joins the fleet — the hook fault-injection harnesses use to
+    /// interpose on frames (pass `|_, _, t| Arc::new(t)` for none).
+    ///
+    /// All replicas of a shard start from one shared `Arc` of its indexed
+    /// graph; live updates copy-on-write per replica service.
+    pub fn with_replicas(
+        set: ShardSet,
+        config: ServiceConfig,
+        replicas: usize,
+        mut wrap: impl FnMut(usize, usize, InProcTransport) -> Arc<dyn ShardTransport>,
+    ) -> ShardRouter {
+        assert!(replicas >= 1, "each shard needs at least one replica");
+        let (shard_graphs, partition, base_categories, partition_stats) = set.into_parts();
+        let mut shards = Vec::with_capacity(shard_graphs.len());
+        let mut services = Vec::with_capacity(shard_graphs.len());
+        for (j, ig) in shard_graphs.into_iter().enumerate() {
+            let ig = Arc::new(ig);
+            let mut transports: Vec<Arc<dyn ShardTransport>> = Vec::with_capacity(replicas);
+            let mut handles = Vec::with_capacity(replicas);
+            for r in 0..replicas {
+                let svc = Arc::new(KosrService::new(Arc::clone(&ig), config.clone()));
+                handles.push(Arc::clone(&svc));
+                transports.push(wrap(j, r, InProcTransport::new(svc)));
+            }
+            shards.push(Arc::new(ReplicaSet::new(transports)));
+            services.push(handles);
+        }
+        Self::assemble(
+            shards,
+            services,
+            partition,
+            base_categories,
+            partition_stats,
+        )
+    }
+
+    /// Assembles a router over already-running replicas reached through
+    /// arbitrary transports (e.g. [`kosr_transport::TcpTransport`] clients
+    /// for replicas behind [`kosr_transport::TcpServer`]s). `transports[j]`
+    /// holds shard `j`'s replicas; `partition`, `base_categories` and
+    /// `partition_stats` describe the [`ShardSet`] the replicas were built
+    /// from.
+    pub fn from_transports(
+        transports: Vec<Vec<Arc<dyn ShardTransport>>>,
+        partition: Partition,
+        base_categories: usize,
+        partition_stats: PartitionStats,
+    ) -> ShardRouter {
+        let shards: Vec<Arc<ReplicaSet>> = transports
             .into_iter()
-            .map(|ig| Arc::new(KosrService::new(Arc::new(ig), config.clone())))
+            .map(|ts| Arc::new(ReplicaSet::new(ts)))
             .collect();
+        let services = vec![Vec::new(); shards.len()];
+        Self::assemble(
+            shards,
+            services,
+            partition,
+            base_categories,
+            partition_stats,
+        )
+    }
+
+    fn assemble(
+        shards: Vec<Arc<ReplicaSet>>,
+        services: Vec<Vec<Arc<KosrService>>>,
+        partition: Partition,
+        base_categories: usize,
+        partition_stats: PartitionStats,
+    ) -> ShardRouter {
+        let replicas_per_shard: Vec<usize> = shards.iter().map(|s| s.num_replicas()).collect();
         ShardRouter {
+            fanout: Arc::new(FanoutCache::new(shards.len())),
+            log: Arc::new(UpdateLog::new(&replicas_per_shard)),
+            shards,
             services,
             partition: Arc::new(partition),
             base_categories,
@@ -95,9 +187,9 @@ impl ShardRouter {
         }
     }
 
-    /// Number of shard replicas.
+    /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.services.len()
+        self.shards.len()
     }
 
     /// The vertex-ownership assignment queries are routed by.
@@ -105,9 +197,27 @@ impl ShardRouter {
         &self.partition
     }
 
-    /// The replica serving shard `j` (for inspection and tests).
+    /// Shard `j`'s replica fleet (health, heartbeats, failover counters).
+    pub fn replica_set(&self, j: usize) -> &Arc<ReplicaSet> {
+        &self.shards[j]
+    }
+
+    /// The in-process service of shard `j`'s replica 0.
+    ///
+    /// # Panics
+    /// Panics when the router was assembled with
+    /// [`ShardRouter::from_transports`] — remote replicas have no local
+    /// service handle.
     pub fn shard_service(&self, j: usize) -> &KosrService {
-        &self.services[j]
+        self.replica_service(j, 0)
+    }
+
+    /// The in-process service of shard `j`'s replica `r` (see
+    /// [`ShardRouter::shard_service`]).
+    pub fn replica_service(&self, j: usize, r: usize) -> &KosrService {
+        self.services[j]
+            .get(r)
+            .expect("no local service handles: router was built from remote transports")
     }
 
     /// The shadow id of base category `c`.
@@ -115,59 +225,94 @@ impl ShardRouter {
         crate::shadow_of(self.base_categories, c)
     }
 
-    /// A bus that routes live updates to these replicas.
+    /// A bus that routes live updates to these replica fleets (and keeps
+    /// the update log this router's recovery paths replay from).
     pub fn update_bus(&self) -> LiveUpdateBus {
         LiveUpdateBus::new(
-            self.services.clone(),
+            self.shards.clone(),
             Arc::clone(&self.partition),
             self.base_categories,
+            Arc::clone(&self.fanout),
+            Arc::clone(&self.log),
         )
     }
 
-    /// The shards `query` must touch (see the type-level docs). Reads the
-    /// replicas' live inverted indexes, so the plan tracks updates.
-    pub fn plan_fanout(&self, query: &Query) -> Vec<usize> {
-        let Some(&c1) = query.categories.first() else {
-            return vec![self.partition.owner(query.source)];
-        };
-        let shadow = self.shadow(c1);
-        (0..self.services.len())
-            .filter(|&j| self.services[j].indexed_graph().inverted.members_of(shadow) > 0)
-            .collect()
+    /// Shard `j`'s current member-count report, via the per-epoch cache.
+    fn counts(&self, j: usize) -> Result<Arc<MemberCounts>, ShardError> {
+        self.fanout
+            .get(j, &self.shards[j])
+            .map_err(ShardError::from)
     }
 
-    /// Validates `query` once against the full (replicated) category data,
-    /// then submits the shadow-rewritten query to every planned shard.
-    ///
-    /// Admission is not atomic across shards: if a later shard refuses
-    /// (e.g. queue full), the earlier shards still compute and discard
-    /// their parts — the query as a whole is rejected.
-    pub fn submit(&self, query: Query) -> Result<ShardTicket, ServiceError> {
-        let submitted = Instant::now();
-        // Replica graphs know extra internal shadow categories; clients
-        // speak base ids only. Reject out-of-base ids *before* replica
-        // validation (which would accept a shadow id), matching what an
-        // unsharded service over the base graph would do.
-        for &c in &query.categories {
-            if c.index() >= self.base_categories {
-                return Err(ServiceError::InvalidQuery(
-                    kosr_core::QueryError::UnknownCategory(c),
-                ));
+    /// Transport reads fan-out planning has performed (cache misses). The
+    /// regression suite asserts this stays at one read per shard per
+    /// membership epoch, however many queries are planned.
+    pub fn fanout_reads(&self) -> u64 {
+        self.fanout.reads()
+    }
+
+    /// The shards `query` must touch (see the type-level docs). Served
+    /// from the epoch-scoped count cache; the transports are only read on
+    /// a cache miss.
+    pub fn plan_fanout(&self, query: &Query) -> Result<Vec<usize>, ShardError> {
+        let Some(&c1) = query.categories.first() else {
+            return Ok(vec![self.partition.owner(query.source)]);
+        };
+        let shadow = self.shadow(c1);
+        let mut targets = Vec::new();
+        for j in 0..self.shards.len() {
+            let mc = self.counts(j)?;
+            if mc.counts.get(shadow.index()).copied().unwrap_or(0) > 0 {
+                targets.push(j);
             }
         }
-        query
-            .validate(&self.services[0].indexed_graph().graph)
-            .map_err(ServiceError::InvalidQuery)?;
-        let targets = self.plan_fanout(&query);
+        Ok(targets)
+    }
+
+    /// Validates `query` against the replicated base category data (read
+    /// from the count cache, in the same order an unsharded service's
+    /// validation would report), then submits the shadow-rewritten query
+    /// to every planned shard.
+    pub fn submit(&self, query: Query) -> Result<ShardTicket, ShardError> {
+        let submitted = Instant::now();
+        // Replica graphs know extra internal shadow categories; clients
+        // speak base ids only. Reject out-of-base ids *before* anything
+        // else (replica-side validation would accept a shadow id),
+        // matching what an unsharded service over the base graph does.
+        for &c in &query.categories {
+            if c.index() >= self.base_categories {
+                return Err(ShardError::Service(ServiceError::InvalidQuery(
+                    QueryError::UnknownCategory(c),
+                )));
+            }
+        }
+        // Base categories are replicated, so shard 0's report validates
+        // for the whole fleet. Check order mirrors `Query::validate`.
+        let base = self.counts(0)?;
+        let invalid = |e: QueryError| ShardError::Service(ServiceError::InvalidQuery(e));
+        let n = base.num_vertices as usize;
+        if query.source.index() >= n {
+            return Err(invalid(QueryError::SourceOutOfRange(query.source)));
+        }
+        if query.target.index() >= n {
+            return Err(invalid(QueryError::TargetOutOfRange(query.target)));
+        }
+        if query.k == 0 {
+            return Err(invalid(QueryError::ZeroK));
+        }
+        for &c in &query.categories {
+            if base.counts.get(c.index()).copied().unwrap_or(0) == 0 {
+                return Err(invalid(QueryError::EmptyCategory(c)));
+            }
+        }
+        let targets = self.plan_fanout(&query)?;
         if targets.is_empty() {
             // Validation saw C1 non-empty, but a concurrent bus update
-            // emptied it before fan-out planning. Serialize the query
+            // emptied it between the cache reads. Serialize the query
             // after the update: the same rejection an unsharded service
             // would give for the post-update world.
             let c1 = query.categories[0];
-            return Err(ServiceError::InvalidQuery(
-                kosr_core::QueryError::EmptyCategory(c1),
-            ));
+            return Err(invalid(QueryError::EmptyCategory(c1)));
         }
         let k = query.k;
         let mut parts = Vec::with_capacity(targets.len());
@@ -176,7 +321,7 @@ impl ShardRouter {
             if let Some(c1) = q.categories.first_mut() {
                 *c1 = self.shadow(*c1);
             }
-            parts.push((j, self.services[j].submit(q)?));
+            parts.push((j, self.shards[j].query(q)));
         }
         Ok(ShardTicket {
             parts,
@@ -187,8 +332,8 @@ impl ShardRouter {
 
     /// Submits a whole batch and blocks until every query resolves;
     /// responses come back in input order, rejections reported in-place.
-    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<ShardedResponse, ServiceError>> {
-        let tickets: Vec<Result<ShardTicket, ServiceError>> =
+    pub fn run_batch(&self, queries: &[Query]) -> Vec<Result<ShardedResponse, ShardError>> {
+        let tickets: Vec<Result<ShardTicket, ShardError>> =
             queries.iter().map(|q| self.submit(q.clone())).collect();
         tickets
             .into_iter()
@@ -196,9 +341,51 @@ impl ShardRouter {
             .collect()
     }
 
-    /// Per-shard service health snapshots.
+    /// Pulls a snapshot of shard `j` from one of its healthy replicas,
+    /// together with an update-log cursor it is consistent with. Install
+    /// the blob with [`ShardRouter::install_replica`] and recover through
+    /// the bus to bring a cold replica into the fleet.
+    ///
+    /// The cursor is captured *before* the pull and the log is **not**
+    /// held across the (potentially slow, network-bound) transfer, so
+    /// publishes proceed concurrently. That is safe because the invariant
+    /// runs one way only: a healthy replica has applied at least the
+    /// captured prefix, so the blob's state can only be *ahead* of the
+    /// cursor — and [`LiveUpdateBus::recover`]'s replay is idempotent
+    /// against already-contained updates (set-operation memberships;
+    /// `WeightNotDecreased` edge inserts counted as applied), converging
+    /// in log order regardless.
+    pub fn snapshot_shard(&self, j: usize) -> Result<(usize, SnapshotBlob), ShardError> {
+        let cursor = self.log.lock().entries.len();
+        let blob = self.shards[j]
+            .call_with_failover(|t| t.snapshot())
+            .map_err(ShardError::from)?;
+        Ok((cursor, blob))
+    }
+
+    /// Installs `transport` as shard `j`'s replica `r` — a freshly started
+    /// replica whose state reflects the first `applied_through` log
+    /// entries (from [`ShardRouter::snapshot_shard`]). The slot stays
+    /// `Down` until [`LiveUpdateBus::recover`] replays the missing suffix
+    /// and marks it healthy.
+    pub fn install_replica(
+        &self,
+        j: usize,
+        r: usize,
+        transport: Arc<dyn ShardTransport>,
+        applied_through: usize,
+    ) {
+        let mut inner = self.log.lock();
+        self.shards[j].install(r, transport);
+        inner.cursors[j][r] = applied_through;
+    }
+
+    /// Per-shard service health snapshots (replica 0 of each shard; see
+    /// [`ShardRouter::shard_service`] for the in-process requirement).
     pub fn per_shard_stats(&self) -> Vec<ServiceStats> {
-        self.services.iter().map(|s| s.stats()).collect()
+        (0..self.num_shards())
+            .map(|j| self.shard_service(j).stats())
+            .collect()
     }
 
     /// Partition quality against the base graph, captured at build time
@@ -216,7 +403,7 @@ mod tests {
     use kosr_graph::{PartitionConfig, Partitioner};
     use kosr_service::QueryError;
 
-    fn router(shards: usize) -> (ShardRouter, kosr_core::figure1::Figure1) {
+    fn router_with(shards: usize, replicas: usize) -> (ShardRouter, kosr_core::figure1::Figure1) {
         let fx = figure1();
         let ig = IndexedGraph::build_default(fx.graph.clone());
         let partition = Partitioner::new(PartitionConfig {
@@ -226,15 +413,21 @@ mod tests {
         .partition(&ig.graph);
         let set = ShardSet::build(&ig, partition);
         (
-            ShardRouter::new(
+            ShardRouter::with_replicas(
                 set,
                 ServiceConfig {
                     workers: 2,
                     ..Default::default()
                 },
+                replicas,
+                |_, _, t| Arc::new(t),
             ),
             fx,
         )
+    }
+
+    fn router(shards: usize) -> (ShardRouter, kosr_core::figure1::Figure1) {
+        router_with(shards, 1)
     }
 
     #[test]
@@ -250,10 +443,21 @@ mod tests {
     }
 
     #[test]
+    fn figure1_answers_survive_replication() {
+        let (router, fx) = router_with(2, 3);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let resp = router.submit(q).unwrap().wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        for j in 0..router.num_shards() {
+            assert_eq!(router.replica_set(j).num_replicas(), 3);
+        }
+    }
+
+    #[test]
     fn fanout_skips_shards_without_first_category_members() {
         let (router, fx) = router(3);
         let q = Query::new(fx.s, fx.t, vec![fx.ma], 2);
-        let fanout = router.plan_fanout(&q);
+        let fanout = router.plan_fanout(&q).unwrap();
         // MA has two members; at most two shards can own one.
         assert!(!fanout.is_empty() && fanout.len() <= 2, "{fanout:?}");
         for &j in &fanout {
@@ -271,7 +475,10 @@ mod tests {
     fn empty_category_queries_route_to_source_owner_only() {
         let (router, fx) = router(3);
         let q = Query::new(fx.s, fx.t, vec![], 2);
-        assert_eq!(router.plan_fanout(&q), vec![router.partition().owner(fx.s)]);
+        assert_eq!(
+            router.plan_fanout(&q).unwrap(),
+            vec![router.partition().owner(fx.s)]
+        );
         let resp = router.submit(q).unwrap().wait().unwrap();
         // The only witness is ⟨s, t⟩.
         assert_eq!(resp.outcome.witnesses.len(), 1);
@@ -283,17 +490,23 @@ mod tests {
         let (router, fx) = router(2);
         assert!(matches!(
             router.submit(Query::new(fx.s, fx.t, vec![fx.ma], 0)),
-            Err(ServiceError::InvalidQuery(QueryError::ZeroK))
+            Err(ShardError::Service(ServiceError::InvalidQuery(
+                QueryError::ZeroK
+            )))
         ));
         assert!(matches!(
             router.submit(Query::new(fx.s, fx.t, vec![CategoryId(40)], 1)),
-            Err(ServiceError::InvalidQuery(QueryError::UnknownCategory(_)))
+            Err(ShardError::Service(ServiceError::InvalidQuery(
+                QueryError::UnknownCategory(_)
+            )))
         ));
         // Shadow ids are internal: a client naming one is rejected exactly
         // like any unknown category, even though replica graphs know it.
         assert!(matches!(
             router.submit(Query::new(fx.s, fx.t, vec![router.shadow(fx.ma)], 1)),
-            Err(ServiceError::InvalidQuery(QueryError::UnknownCategory(_)))
+            Err(ShardError::Service(ServiceError::InvalidQuery(
+                QueryError::UnknownCategory(_)
+            )))
         ));
         let stats = router.per_shard_stats();
         assert!(stats.iter().all(|s| s.submitted == 0));
@@ -311,5 +524,95 @@ mod tests {
         assert_eq!(first.outcome.witnesses, last.outcome.witnesses);
         // Repeats are served from the replica caches.
         assert_eq!(last.cached_shards, last.shards.len());
+    }
+
+    #[test]
+    fn fanout_planning_reads_counts_once_per_membership_epoch() {
+        let (router, fx) = router(3);
+        assert_eq!(router.fanout_reads(), 0);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 2);
+        for _ in 0..10 {
+            router.submit(q.clone()).unwrap().wait().unwrap();
+        }
+        // One report per shard, however many queries were planned.
+        let shards = router.num_shards() as u64;
+        assert_eq!(router.fanout_reads(), shards, "reads must be cached");
+
+        // A membership update invalidates: exactly one more read per shard.
+        let bus = router.update_bus();
+        let gone = fx.graph.categories().vertices_of(fx.re)[0];
+        bus.publish(&kosr_service::Update::RemoveMembership {
+            vertex: gone,
+            category: fx.re,
+        })
+        .unwrap();
+        for _ in 0..5 {
+            router.submit(q.clone()).unwrap().wait().unwrap();
+        }
+        assert_eq!(router.fanout_reads(), 2 * shards);
+
+        // Edge updates leave member counts untouched: no re-read.
+        let mall = fx.graph.categories().vertices_of(fx.ma)[0];
+        bus.publish(&kosr_service::Update::InsertEdge {
+            from: fx.s,
+            to: mall,
+            weight: 1,
+        })
+        .unwrap();
+        router.submit(q).unwrap().wait().unwrap();
+        assert_eq!(
+            router.fanout_reads(),
+            2 * shards,
+            "edge updates keep the cache"
+        );
+    }
+
+    #[test]
+    fn queries_survive_replica_kills_via_failover() {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let partition = Partitioner::new(PartitionConfig {
+            num_shards: 2,
+            ..Default::default()
+        })
+        .partition(&ig.graph);
+        let set = ShardSet::build(&ig, partition);
+        let mut switches = Vec::new();
+        let router = ShardRouter::with_replicas(
+            set,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            2,
+            |_, _, t| {
+                switches.push(t.kill_switch());
+                Arc::new(t)
+            },
+        );
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        assert_eq!(
+            router
+                .submit(q.clone())
+                .unwrap()
+                .wait()
+                .unwrap()
+                .outcome
+                .costs(),
+            vec![20, 21, 22]
+        );
+        // Kill replica 0 of every shard: failover hides it.
+        for s in switches.iter().step_by(2) {
+            s.kill();
+        }
+        let resp = router.submit(q.clone()).unwrap().wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        assert!(router.replica_set(0).failovers() + router.replica_set(1).failovers() > 0);
+        // Kill everything: typed transport failure.
+        for s in &switches {
+            s.kill();
+        }
+        let err = router.submit(q).unwrap().wait().unwrap_err();
+        assert!(matches!(err, ShardError::Transport(_)), "{err:?}");
     }
 }

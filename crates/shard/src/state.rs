@@ -1,0 +1,102 @@
+//! Shared router/bus state: the epoch-scoped fan-out cache and the update
+//! log that replica recovery replays from.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use kosr_service::Update;
+use kosr_transport::protocol::MemberCounts;
+use kosr_transport::{ReplicaSet, TransportError};
+
+/// Per-shard cache of the member-count reports fan-out planning consumes.
+///
+/// A report is valid for the index epoch it was read at; the update bus
+/// drops every entry when a membership update lands (edge updates leave
+/// counts untouched, so cached entries survive them). Between updates, any
+/// number of queries plan against the cached counts without touching a
+/// transport — the regression suite counts the reads.
+pub(crate) struct FanoutCache {
+    /// `Arc` so the hot path hands out a pointer clone, not a copy of the
+    /// whole per-category count vector.
+    entries: Vec<Mutex<Option<Arc<MemberCounts>>>>,
+    reads: AtomicU64,
+}
+
+impl FanoutCache {
+    pub(crate) fn new(num_shards: usize) -> FanoutCache {
+        FanoutCache {
+            entries: (0..num_shards).map(|_| Mutex::new(None)).collect(),
+            reads: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard `j`'s counts, from cache or (on miss) read through the
+    /// replica set with failover.
+    pub(crate) fn get(
+        &self,
+        j: usize,
+        set: &ReplicaSet,
+    ) -> Result<Arc<MemberCounts>, TransportError> {
+        let mut slot = self.entries[j].lock().unwrap();
+        if let Some(mc) = slot.as_ref() {
+            return Ok(Arc::clone(mc));
+        }
+        let mc = Arc::new(set.call_with_failover(|t| t.member_counts())?);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&mc));
+        Ok(mc)
+    }
+
+    /// Drops every cached report (membership counts changed somewhere).
+    pub(crate) fn invalidate_all(&self) {
+        for e in &self.entries {
+            *e.lock().unwrap() = None;
+        }
+    }
+
+    /// Transport reads performed so far (cache misses).
+    pub(crate) fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+}
+
+/// The bus's ordered update history plus, per replica, how much of it that
+/// replica has applied. A replica whose cursor is behind is inconsistent
+/// and must not serve; recovery replays the missing suffix.
+///
+/// One mutex guards the whole structure **across** the apply calls of a
+/// publish/recover/snapshot, so cursors, log order and shipped snapshots
+/// can never interleave inconsistently.
+///
+/// The log is append-only for now: compacting the prefix below the
+/// minimum cursor (long-downed replicas re-join via snapshot + their own
+/// cursor anyway) is deliberately left to the supervisor-loop follow-up
+/// in the ROADMAP — it needs cursor rebasing, which belongs with the
+/// component that decides when a replica is snapshot-refreshed instead
+/// of replayed.
+pub(crate) struct UpdateLog {
+    inner: Mutex<LogInner>,
+}
+
+pub(crate) struct LogInner {
+    /// Published updates (base form), in publish order. Validated no-ops
+    /// are logged too: replaying them is harmless and keeps cursors dense.
+    pub entries: Vec<Update>,
+    /// `cursors[shard][replica]`: applied prefix length of `entries`.
+    pub cursors: Vec<Vec<usize>>,
+}
+
+impl UpdateLog {
+    pub(crate) fn new(replicas_per_shard: &[usize]) -> UpdateLog {
+        UpdateLog {
+            inner: Mutex::new(LogInner {
+                entries: Vec::new(),
+                cursors: replicas_per_shard.iter().map(|&n| vec![0; n]).collect(),
+            }),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, LogInner> {
+        self.inner.lock().unwrap()
+    }
+}

@@ -3,16 +3,19 @@
 //! shards, the [`ShardRouter`]'s merged top-k output is **bit-identical**
 //! (witness tuples, costs and order) to an unsharded [`KosrService`] run
 //! of the same traffic — before and after a stream of live updates
-//! published through the [`LiveUpdateBus`].
+//! published through the [`LiveUpdateBus`]. With the transport rework the
+//! router speaks the wire codec even in-process, so every round here also
+//! exercises frame encode/decode end to end.
 
 use std::sync::Arc;
 
 use kosr_core::{IndexedGraph, Query};
-use kosr_graph::{Graph, PartitionConfig, Partitioner, VertexId};
-use kosr_service::{KosrService, ServiceConfig, ServiceError, Update};
-use kosr_shard::{ShardRouter, ShardSet};
+use kosr_graph::{Graph, PartitionConfig, Partitioner};
+use kosr_service::{KosrService, ServiceConfig, Update};
+use kosr_shard::{LiveUpdateBus, ShardError, ShardRouter, ShardSet};
 use kosr_workloads::{
-    assign_uniform, assign_zipf, gen_mixed_traffic, road_grid_directed, social_graph, TrafficMix,
+    assign_uniform, assign_zipf, gen_membership_flips, gen_mixed_traffic, road_grid_directed,
+    social_graph, MembershipFlip, TrafficMix,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -55,8 +58,8 @@ fn random_world(seed: u64) -> Graph {
 }
 
 fn assert_bit_identical(
-    sharded: &[Result<kosr_shard::ShardedResponse, ServiceError>],
-    unsharded: &[Result<kosr_service::QueryResponse, ServiceError>],
+    sharded: &[Result<kosr_shard::ShardedResponse, ShardError>],
+    unsharded: &[Result<kosr_service::QueryResponse, kosr_service::ServiceError>],
     label: &str,
 ) {
     assert_eq!(sharded.len(), unsharded.len());
@@ -76,6 +79,40 @@ fn assert_bit_identical(
             s.outcome.witnesses, u.outcome.witnesses,
             "{label}: witnesses diverged on query {i}"
         );
+    }
+}
+
+fn flip_to_update(f: &MembershipFlip) -> Update {
+    if f.insert {
+        Update::InsertMembership {
+            vertex: f.vertex,
+            category: f.category,
+        }
+    } else {
+        Update::RemoveMembership {
+            vertex: f.vertex,
+            category: f.category,
+        }
+    }
+}
+
+/// Publishes the same flip stream to the shard fleet (through the bus) and
+/// the unsharded service, asserting both agree on what applied.
+fn mirror_updates(
+    bus: &LiveUpdateBus,
+    unsharded: &KosrService,
+    flips: &[MembershipFlip],
+    label: &str,
+) {
+    for f in flips {
+        let update = flip_to_update(f);
+        let bus_receipt = bus.publish(&update).expect("valid update");
+        let svc_receipt = unsharded.apply_update(&update).expect("valid update");
+        assert_eq!(
+            bus_receipt.applied, svc_receipt.applied,
+            "{label}: deployments disagree on applying {update:?}"
+        );
+        assert_eq!(bus_receipt.deferred_replicas, 0, "{label}: healthy fleet");
     }
 }
 
@@ -114,31 +151,16 @@ fn round(seed: u64) {
     // Live updates: random membership flips, published to the shard fleet
     // through the bus and mirrored 1:1 onto the unsharded service.
     let bus = router.update_bus();
-    let nc = g.categories().num_categories() as u32;
-    for _ in 0..6 {
-        let v = VertexId(rng.gen_range(0..g.num_vertices() as u32));
-        let c = kosr_graph::CategoryId(rng.gen_range(0..nc));
-        let update = if g.categories().has_category(v, c) || rng.gen_bool(0.6) {
-            Update::InsertMembership {
-                vertex: v,
-                category: c,
-            }
-        } else {
-            Update::RemoveMembership {
-                vertex: v,
-                category: c,
-            }
-        };
-        let bus_receipt = bus.publish(&update).expect("valid update");
-        let svc_receipt = unsharded.apply_update(&update).expect("valid update");
-        assert_eq!(
-            bus_receipt.applied, svc_receipt.applied,
-            "seed {seed}: deployments disagree on applying {update:?}"
-        );
-    }
+    mirror_updates(
+        &bus,
+        &unsharded,
+        &gen_membership_flips(&g, 6, seed),
+        &format!("seed {seed}"),
+    );
 
     // Queries whose categories went empty are rejected identically by both
-    // (validation shares the base tables), so the comparison still holds.
+    // (validation shares the base member counts), so the comparison still
+    // holds.
     let queries = queries_for(&g, 40, seed ^ 0xAF7E);
     let sharded = router.run_batch(&queries);
     let plain = unsharded.run_batch(&queries);
@@ -197,6 +219,52 @@ fn single_shard_router_degenerates_to_plain_service() {
         "single shard",
     );
     for q in &queries {
-        assert_eq!(router.plan_fanout(q).len(), 1);
+        assert_eq!(router.plan_fanout(q).unwrap().len(), 1);
+    }
+}
+
+/// Replication must be invisible: a router with 3 replicas per shard gives
+/// the same bits as one replica per shard and as the unsharded service.
+#[test]
+fn replicated_router_is_bit_identical_to_unsharded() {
+    let g = random_world(7);
+    let ig = IndexedGraph::build_default(g.clone());
+    let partition = Partitioner::new(PartitionConfig {
+        num_shards: 3,
+        ..Default::default()
+    })
+    .partition(&ig.graph);
+    let config = ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    };
+    let unsharded = KosrService::new(Arc::new(ig.clone()), config.clone());
+    let router =
+        ShardRouter::with_replicas(ShardSet::build(&ig, partition), config, 3, |_, _, t| {
+            Arc::new(t)
+        });
+    let queries = queries_for(&g, 40, 21);
+    assert_bit_identical(
+        &router.run_batch(&queries),
+        &unsharded.run_batch(&queries),
+        "3 replicas",
+    );
+    // Updates through the bus reach all 3 replicas of every shard.
+    let bus = router.update_bus();
+    mirror_updates(
+        &bus,
+        &unsharded,
+        &gen_membership_flips(&g, 5, 77),
+        "3 replicas",
+    );
+    let queries = queries_for(&g, 25, 23);
+    let sharded = router.run_batch(&queries);
+    let plain = unsharded.run_batch(&queries);
+    for (s, u) in sharded.iter().zip(&plain) {
+        match (s, u) {
+            (Ok(s), Ok(u)) => assert_eq!(s.outcome.witnesses, u.outcome.witnesses),
+            (Err(se), Err(ue)) => assert_eq!(format!("{se}"), format!("{ue}")),
+            (s, u) => panic!("divergence: sharded {s:?} vs unsharded {u:?}"),
+        }
     }
 }

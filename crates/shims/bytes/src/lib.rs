@@ -49,6 +49,23 @@ pub trait Buf {
         self.advance(1);
         b
     }
+
+    /// Bounds-checked [`Buf::get_u8`]: `None` instead of a panic on short
+    /// input. The wire/snapshot decoders build their totality guarantee
+    /// (arbitrary bytes → typed error, never a panic) on these.
+    fn try_get_u8(&mut self) -> Option<u8> {
+        (self.remaining() >= 1).then(|| self.get_u8())
+    }
+
+    /// Bounds-checked [`Buf::get_u32_le`].
+    fn try_get_u32_le(&mut self) -> Option<u32> {
+        (self.remaining() >= 4).then(|| self.get_u32_le())
+    }
+
+    /// Bounds-checked [`Buf::get_u64_le`].
+    fn try_get_u64_le(&mut self) -> Option<u64> {
+        (self.remaining() >= 8).then(|| self.get_u64_le())
+    }
 }
 
 impl Buf for &[u8] {
@@ -113,5 +130,18 @@ mod tests {
         assert!(buf.has_remaining());
         assert_eq!(buf.get_u8(), 7);
         assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn try_reads_check_bounds_instead_of_panicking() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u32_le(5);
+        out.put_u8(9);
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.try_get_u64_le(), None, "5 bytes can't hold a u64");
+        assert_eq!(buf.try_get_u32_le(), Some(5));
+        assert_eq!(buf.try_get_u32_le(), None);
+        assert_eq!(buf.try_get_u8(), Some(9));
+        assert_eq!(buf.try_get_u8(), None);
     }
 }

@@ -1,0 +1,50 @@
+//! Server-side dispatch: one function mapping a decoded [`Request`] onto a
+//! [`KosrService`], shared by the TCP server and the in-process loopback so
+//! both speak byte-for-byte the same protocol.
+
+use std::sync::Arc;
+
+use kosr_service::KosrService;
+
+use crate::protocol::{Heartbeat, MemberCounts, RemoteResponse, Request, Response, SnapshotBlob};
+
+/// Answers one request against `service`. Query requests block until the
+/// service responds (the caller decides how to overlap requests — the TCP
+/// server runs one handler thread per connection, the in-process transport
+/// keeps the service's own ticket asynchrony).
+pub fn handle_request(service: &Arc<KosrService>, req: Request) -> Response {
+    match req {
+        Request::Query(q) => Response::Query(service.submit(q).and_then(|t| t.wait()).map(
+            |resp| RemoteResponse {
+                outcome: resp.outcome,
+                cached: resp.cached,
+            },
+        )),
+        Request::Update(u) => Response::Update(service.apply_update(&u)),
+        Request::Ping => Response::Pong(Heartbeat {
+            epoch: service.index_epoch(),
+        }),
+        Request::MemberCounts => Response::MemberCounts(member_counts(service)),
+        Request::Snapshot => {
+            let (epoch, ig) = service.epoch_and_index();
+            Response::Snapshot(SnapshotBlob {
+                epoch,
+                bytes: ig.encode_snapshot(),
+            })
+        }
+    }
+}
+
+/// The member-count report fan-out planning consumes: epoch-stamped member
+/// counts for every category the replica's inverted indexes know.
+pub fn member_counts(service: &Arc<KosrService>) -> MemberCounts {
+    let (epoch, ig) = service.epoch_and_index();
+    let counts = (0..ig.inverted.num_categories())
+        .map(|c| ig.inverted.members_of(kosr_graph::CategoryId(c as u32)) as u32)
+        .collect();
+    MemberCounts {
+        epoch,
+        num_vertices: ig.graph.num_vertices() as u32,
+        counts,
+    }
+}

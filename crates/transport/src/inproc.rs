@@ -1,0 +1,297 @@
+//! The loopback transport: a replica in the same process, reached through
+//! the **full** encode/decode path — every operation serializes its request
+//! frame, decodes it server-side, dispatches, serializes the response and
+//! decodes it client-side, so in-process deployments (and the fault-
+//! injection test suites built on them) exercise byte-for-byte the same
+//! protocol as TCP ones.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use kosr_core::Query;
+use kosr_service::{KosrService, Update, UpdateReceipt};
+
+use crate::host::handle_request;
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, Heartbeat, MemberCounts,
+    ProtocolError, RemoteResponse, Request, Response, SnapshotBlob,
+};
+use crate::{ShardTransport, TransportError, TransportTicket};
+
+/// Maps a decoded response onto the query call's result.
+pub(crate) fn expect_query(resp: Response) -> Result<RemoteResponse, TransportError> {
+    match resp {
+        Response::Query(Ok(rr)) => Ok(rr),
+        Response::Query(Err(e)) => Err(TransportError::Service(e)),
+        Response::Fault(e) => Err(TransportError::Protocol(e)),
+        _ => Err(unexpected()),
+    }
+}
+
+pub(crate) fn expect_update(resp: Response) -> Result<UpdateReceipt, TransportError> {
+    match resp {
+        Response::Update(Ok(receipt)) => Ok(receipt),
+        Response::Update(Err(e)) => Err(TransportError::Update(e)),
+        Response::Fault(e) => Err(TransportError::Protocol(e)),
+        _ => Err(unexpected()),
+    }
+}
+
+pub(crate) fn expect_pong(resp: Response) -> Result<Heartbeat, TransportError> {
+    match resp {
+        Response::Pong(hb) => Ok(hb),
+        Response::Fault(e) => Err(TransportError::Protocol(e)),
+        _ => Err(unexpected()),
+    }
+}
+
+pub(crate) fn expect_member_counts(resp: Response) -> Result<MemberCounts, TransportError> {
+    match resp {
+        Response::MemberCounts(mc) => Ok(mc),
+        Response::Fault(e) => Err(TransportError::Protocol(e)),
+        _ => Err(unexpected()),
+    }
+}
+
+pub(crate) fn expect_snapshot(resp: Response) -> Result<SnapshotBlob, TransportError> {
+    match resp {
+        Response::Snapshot(blob) => Ok(blob),
+        Response::Fault(e) => Err(TransportError::Protocol(e)),
+        _ => Err(unexpected()),
+    }
+}
+
+fn unexpected() -> TransportError {
+    TransportError::Protocol(ProtocolError::Corrupt("unexpected response kind"))
+}
+
+fn killed_error() -> TransportError {
+    TransportError::Connection("replica killed".into())
+}
+
+/// A handle that severs (and restores) an [`InProcTransport`]'s virtual
+/// connection — the test suites' replica kill/restart lever.
+#[derive(Clone, Debug)]
+pub struct KillSwitch {
+    flag: Arc<AtomicBool>,
+}
+
+impl KillSwitch {
+    /// Severs the connection: every in-flight and future operation on the
+    /// transport reports a connection fault.
+    pub fn kill(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Restores the connection. The replica's *service* kept running (only
+    /// the channel was cut), so its state is whatever updates reached it —
+    /// recovery replay is the caller's responsibility.
+    pub fn revive(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+
+    /// `true` while severed.
+    pub fn is_killed(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A replica in this process, behind the wire codec.
+pub struct InProcTransport {
+    service: Arc<KosrService>,
+    killed: Arc<AtomicBool>,
+}
+
+impl InProcTransport {
+    /// Wraps `service` as a loopback replica.
+    pub fn new(service: Arc<KosrService>) -> InProcTransport {
+        InProcTransport {
+            service,
+            killed: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The wrapped service (introspection and tests).
+    pub fn service(&self) -> &Arc<KosrService> {
+        &self.service
+    }
+
+    /// A handle that can sever/restore this transport's connection.
+    pub fn kill_switch(&self) -> KillSwitch {
+        KillSwitch {
+            flag: Arc::clone(&self.killed),
+        }
+    }
+
+    /// Encode → decode → dispatch → encode → decode, all in-process.
+    fn roundtrip(&self, req: Request) -> Result<Response, TransportError> {
+        if self.killed.load(Ordering::Acquire) {
+            return Err(killed_error());
+        }
+        let frame = encode_request(&req);
+        let req = decode_request(&frame)?;
+        let resp = handle_request(&self.service, req);
+        let frame = encode_response(&resp);
+        decode_response(&frame).map_err(Into::into)
+    }
+}
+
+impl ShardTransport for InProcTransport {
+    fn submit(&self, query: Query) -> TransportTicket {
+        if self.killed.load(Ordering::Acquire) {
+            return TransportTicket::ready(Err(killed_error()));
+        }
+        let frame = encode_request(&Request::Query(query));
+        let decoded = match decode_request(&frame) {
+            Ok(Request::Query(q)) => q,
+            Ok(_) => return TransportTicket::ready(Err(unexpected())),
+            Err(e) => return TransportTicket::ready(Err(e.into())),
+        };
+        // Keep the service's own asynchrony: enqueue now, block in wait().
+        let pending = self.service.submit(decoded);
+        let killed = Arc::clone(&self.killed);
+        TransportTicket::new(move || {
+            let result = pending.and_then(|t| t.wait()).map(|resp| RemoteResponse {
+                outcome: resp.outcome,
+                cached: resp.cached,
+            });
+            if killed.load(Ordering::Acquire) {
+                // The connection died before the response frame arrived.
+                return Err(killed_error());
+            }
+            let frame = encode_response(&Response::Query(result));
+            expect_query(decode_response(&frame)?)
+        })
+    }
+
+    fn apply_update(&self, update: &Update) -> Result<UpdateReceipt, TransportError> {
+        expect_update(self.roundtrip(Request::Update(*update))?)
+    }
+
+    fn ping(&self) -> Result<Heartbeat, TransportError> {
+        expect_pong(self.roundtrip(Request::Ping)?)
+    }
+
+    fn member_counts(&self) -> Result<MemberCounts, TransportError> {
+        expect_member_counts(self.roundtrip(Request::MemberCounts)?)
+    }
+
+    fn snapshot(&self) -> Result<SnapshotBlob, TransportError> {
+        expect_snapshot(self.roundtrip(Request::Snapshot)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_core::figure1::figure1;
+    use kosr_core::IndexedGraph;
+    use kosr_service::{ServiceConfig, ServiceError};
+
+    fn transport() -> (InProcTransport, kosr_core::figure1::Figure1) {
+        let fx = figure1();
+        let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+        let svc = Arc::new(KosrService::new(
+            ig,
+            ServiceConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        ));
+        (InProcTransport::new(svc), fx)
+    }
+
+    #[test]
+    fn queries_flow_through_the_codec() {
+        let (t, fx) = transport();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let resp = t.submit(q.clone()).wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        assert!(!resp.cached);
+        let again = t.submit(q).wait().unwrap();
+        assert!(again.cached, "cache flag survives the wire");
+    }
+
+    #[test]
+    fn rejections_come_back_typed() {
+        let (t, fx) = transport();
+        let err = t
+            .submit(Query::new(fx.s, fx.t, vec![fx.ma], 0))
+            .wait()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Service(ServiceError::InvalidQuery(kosr_core::QueryError::ZeroK))
+        );
+        assert!(
+            !err.is_fault(),
+            "deterministic rejections must not fail over"
+        );
+    }
+
+    #[test]
+    fn updates_heartbeats_counts_and_snapshots_work() {
+        let (t, fx) = transport();
+        assert_eq!(t.ping().unwrap().epoch, 0);
+        let mc = t.member_counts().unwrap();
+        assert_eq!(mc.num_vertices as usize, fx.graph.num_vertices());
+        assert_eq!(mc.counts.len(), 3);
+
+        let gone = fx.graph.categories().vertices_of(fx.re)[0];
+        let receipt = t
+            .apply_update(&Update::RemoveMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        assert_eq!(t.ping().unwrap().epoch, 1);
+        let mc2 = t.member_counts().unwrap();
+        assert_eq!(mc2.epoch, 1);
+        assert_eq!(mc2.counts[fx.re.index()], mc.counts[fx.re.index()] - 1);
+
+        let blob = t.snapshot().unwrap();
+        assert_eq!(blob.epoch, 1);
+        let replica = IndexedGraph::decode_snapshot(&blob.bytes).unwrap();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        assert_eq!(
+            replica
+                .run_canonical(&q, kosr_core::Method::Sk, u64::MAX)
+                .witnesses,
+            t.service()
+                .indexed_graph()
+                .run_canonical(&q, kosr_core::Method::Sk, u64::MAX)
+                .witnesses
+        );
+    }
+
+    #[test]
+    fn kill_switch_severs_and_restores() {
+        let (t, fx) = transport();
+        let switch = t.kill_switch();
+        switch.kill();
+        assert!(switch.is_killed());
+        let q = Query::new(fx.s, fx.t, vec![fx.ma], 1);
+        assert!(t.submit(q.clone()).wait().unwrap_err().is_fault());
+        assert!(t.ping().unwrap_err().is_fault());
+        assert!(t
+            .apply_update(&Update::InsertMembership {
+                vertex: fx.s,
+                category: fx.ma,
+            })
+            .unwrap_err()
+            .is_fault());
+        switch.revive();
+        assert!(t.submit(q).wait().is_ok());
+        assert_eq!(t.ping().unwrap().epoch, 0, "service state survived the cut");
+    }
+
+    #[test]
+    fn kill_mid_flight_faults_the_ticket() {
+        let (t, fx) = transport();
+        let switch = t.kill_switch();
+        let ticket = t.submit(Query::new(fx.s, fx.t, vec![fx.ma], 1));
+        switch.kill();
+        assert!(ticket.wait().unwrap_err().is_fault());
+    }
+}

@@ -1,0 +1,903 @@
+//! The length-prefixed binary wire protocol replicas speak.
+//!
+//! Every message is one **frame**: a little-endian `u32` byte length
+//! followed by the payload. A payload starts with a version byte and a
+//! kind byte, then the kind's body:
+//!
+//! ```text
+//! frame   := u32 len | payload            (len ≤ MAX_FRAME_LEN)
+//! payload := u8 version | u8 kind | body
+//! ```
+//!
+//! Request kinds carry queries, §IV-C update-publish frames, heartbeats,
+//! member-count probes and snapshot pulls; response kinds mirror them,
+//! including the remote's *typed* service/update rejections so a client
+//! can distinguish a deterministic "no" (don't fail over) from channel
+//! trouble (do fail over).
+//!
+//! Decoding is **total**: arbitrary bytes produce a typed
+//! [`ProtocolError`], never a panic, and a frame with an unknown version
+//! byte is reported as [`ProtocolError::VersionMismatch`] — the wire fuzz
+//! suite hammers both properties.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use bytes::{Buf, BufMut};
+use kosr_core::{GraphUpdateError, KosrOutcome, Query, QueryError, QueryStats, Witness};
+use kosr_graph::{CategoryId, VertexId};
+use kosr_service::{ServiceError, Update, UpdateError, UpdateReceipt};
+
+/// The wire version this build writes and understands.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload; larger length prefixes are refused
+/// before any allocation (snapshots of big shards dominate frame size).
+pub const MAX_FRAME_LEN: usize = 256 << 20;
+
+/// Why a frame could not be decoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The version byte names a protocol this build does not speak.
+    VersionMismatch {
+        /// The version byte found on the wire.
+        found: u8,
+    },
+    /// The kind byte is not a known message kind.
+    UnknownKind(u8),
+    /// The payload ended before its declared contents.
+    Truncated,
+    /// Bytes remained after the declared contents.
+    TrailingBytes(u32),
+    /// A length prefix exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The declared payload length.
+        len: u64,
+    },
+    /// The contents are internally inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::VersionMismatch { found } => {
+                write!(
+                    f,
+                    "protocol version mismatch: found {found}, speak {PROTOCOL_VERSION}"
+                )
+            }
+            ProtocolError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            ProtocolError::Truncated => write!(f, "frame truncated"),
+            ProtocolError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+            ProtocolError::FrameTooLarge { len } => write!(f, "frame of {len} bytes too large"),
+            ProtocolError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A replica's liveness report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The replica's index epoch (applied-update count).
+    pub epoch: u64,
+}
+
+/// A replica's category population report — what fan-out planning reads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberCounts {
+    /// The index epoch the counts belong to.
+    pub epoch: u64,
+    /// Vertex count of the replica's graph (for client-side validation).
+    pub num_vertices: u32,
+    /// Member count per category id (base categories then shadows).
+    pub counts: Vec<u32>,
+}
+
+/// A serialized index snapshot pulled from a replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotBlob {
+    /// The index epoch the snapshot was taken at.
+    pub epoch: u64,
+    /// The `kosr-index` snapshot codec blob.
+    pub bytes: Vec<u8>,
+}
+
+/// A remote replica's answer to one query.
+#[derive(Clone, Debug)]
+pub struct RemoteResponse {
+    /// The canonical top-k outcome.
+    pub outcome: KosrOutcome,
+    /// `true` when the remote served it from its result cache.
+    pub cached: bool,
+}
+
+/// Client → replica messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Answer this query.
+    Query(Query),
+    /// Apply this §IV-C update (the update-publish frame).
+    Update(Update),
+    /// Report liveness + epoch.
+    Ping,
+    /// Report per-category member counts.
+    MemberCounts,
+    /// Ship an index snapshot.
+    Snapshot,
+}
+
+/// Replica → client messages.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The query's outcome, or the service's typed rejection.
+    Query(Result<RemoteResponse, ServiceError>),
+    /// The update's receipt, or the service's typed rejection.
+    Update(Result<UpdateReceipt, UpdateError>),
+    /// Liveness.
+    Pong(Heartbeat),
+    /// Member counts.
+    MemberCounts(MemberCounts),
+    /// Index snapshot.
+    Snapshot(SnapshotBlob),
+    /// The replica could not decode the request frame.
+    Fault(ProtocolError),
+}
+
+// ---- framing ---------------------------------------------------------
+
+/// Writes one length-prefixed frame. Payloads over [`MAX_FRAME_LEN`] are
+/// refused *before* any bytes hit the wire: writing one would desync the
+/// stream (the `u32` prefix truncates past 4 GiB) and the peer would
+/// reject it as a connection-level fault anyway — better a local typed
+/// error than a remote one that downs the replica.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ProtocolError::FrameTooLarge {
+                len: payload.len() as u64,
+            },
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary; oversized length prefixes are refused before allocation.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ProtocolError::FrameTooLarge { len: len as u64 },
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---- bounds-checked reading ------------------------------------------
+
+/// Little-endian reader over the shim's checked `try_get_*` reads: every
+/// accessor reports [`ProtocolError::Truncated`] instead of panicking on
+/// short input.
+struct Rd<'a>(&'a [u8]);
+
+impl<'a> Rd<'a> {
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        self.0.try_get_u8().ok_or(ProtocolError::Truncated)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        self.0.try_get_u32_le().ok_or(ProtocolError::Truncated)
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        self.0.try_get_u64_le().ok_or(ProtocolError::Truncated)
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.0.remaining() < len {
+            return Err(ProtocolError::Truncated);
+        }
+        let (head, tail) = self.0.split_at(len);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    /// Declared element count, refused when the remaining bytes cannot
+    /// possibly hold it (caps adversarial pre-allocations).
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, ProtocolError> {
+        let n = self.u32()? as usize;
+        if self.0.remaining() < n.saturating_mul(elem_bytes) {
+            return Err(ProtocolError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.0.has_remaining() {
+            return Err(ProtocolError::TrailingBytes(self.0.remaining() as u32));
+        }
+        Ok(())
+    }
+}
+
+// ---- body codecs -----------------------------------------------------
+
+fn put_query(q: &Query, out: &mut Vec<u8>) {
+    out.put_u32_le(q.source.0);
+    out.put_u32_le(q.target.0);
+    out.put_u64_le(q.k as u64);
+    out.put_u32_le(q.categories.len() as u32);
+    for c in &q.categories {
+        out.put_u32_le(c.0);
+    }
+}
+
+fn get_query(r: &mut Rd) -> Result<Query, ProtocolError> {
+    let source = VertexId(r.u32()?);
+    let target = VertexId(r.u32()?);
+    let k = usize::try_from(r.u64()?).map_err(|_| ProtocolError::Corrupt("k overflows"))?;
+    let n = r.count(4)?;
+    let mut categories = Vec::with_capacity(n);
+    for _ in 0..n {
+        categories.push(CategoryId(r.u32()?));
+    }
+    Ok(Query {
+        source,
+        target,
+        categories,
+        k,
+    })
+}
+
+fn put_update(u: &Update, out: &mut Vec<u8>) {
+    match *u {
+        Update::InsertMembership { vertex, category } => {
+            out.put_u8(0);
+            out.put_u32_le(vertex.0);
+            out.put_u32_le(category.0);
+        }
+        Update::RemoveMembership { vertex, category } => {
+            out.put_u8(1);
+            out.put_u32_le(vertex.0);
+            out.put_u32_le(category.0);
+        }
+        Update::InsertEdge { from, to, weight } => {
+            out.put_u8(2);
+            out.put_u32_le(from.0);
+            out.put_u32_le(to.0);
+            out.put_u64_le(weight);
+        }
+    }
+}
+
+fn get_update(r: &mut Rd) -> Result<Update, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => Update::InsertMembership {
+            vertex: VertexId(r.u32()?),
+            category: CategoryId(r.u32()?),
+        },
+        1 => Update::RemoveMembership {
+            vertex: VertexId(r.u32()?),
+            category: CategoryId(r.u32()?),
+        },
+        2 => Update::InsertEdge {
+            from: VertexId(r.u32()?),
+            to: VertexId(r.u32()?),
+            weight: r.u64()?,
+        },
+        _ => return Err(ProtocolError::Corrupt("unknown update tag")),
+    })
+}
+
+fn put_duration(d: Duration, out: &mut Vec<u8>) {
+    out.put_u64_le(d.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+fn get_duration(r: &mut Rd) -> Result<Duration, ProtocolError> {
+    Ok(Duration::from_nanos(r.u64()?))
+}
+
+fn put_outcome(o: &KosrOutcome, out: &mut Vec<u8>) {
+    out.put_u32_le(o.witnesses.len() as u32);
+    for w in &o.witnesses {
+        out.put_u64_le(w.cost);
+        out.put_u32_le(w.vertices.len() as u32);
+        for v in &w.vertices {
+            out.put_u32_le(v.0);
+        }
+    }
+    let s = &o.stats;
+    out.put_u64_le(s.examined_routes);
+    out.put_u64_le(s.nn_queries);
+    out.put_u64_le(s.dominated_routes);
+    out.put_u64_le(s.reconsidered_routes);
+    out.put_u64_le(s.heap_peak as u64);
+    out.put_u8(s.truncated as u8);
+    out.put_u32_le(s.examined_per_level.len() as u32);
+    for &x in &s.examined_per_level {
+        out.put_u64_le(x);
+    }
+    put_duration(s.time.total, out);
+    put_duration(s.time.nn, out);
+    put_duration(s.time.queue, out);
+    put_duration(s.time.estimation, out);
+}
+
+fn get_outcome(r: &mut Rd) -> Result<KosrOutcome, ProtocolError> {
+    let nwit = r.count(12)?;
+    let mut witnesses = Vec::with_capacity(nwit);
+    for _ in 0..nwit {
+        let cost = r.u64()?;
+        let len = r.count(4)?;
+        let mut vertices = Vec::with_capacity(len);
+        for _ in 0..len {
+            vertices.push(VertexId(r.u32()?));
+        }
+        witnesses.push(Witness { vertices, cost });
+    }
+    let mut stats = QueryStats {
+        examined_routes: r.u64()?,
+        nn_queries: r.u64()?,
+        dominated_routes: r.u64()?,
+        reconsidered_routes: r.u64()?,
+        heap_peak: r.u64()? as usize,
+        truncated: r.u8()? != 0,
+        ..Default::default()
+    };
+    let levels = r.count(8)?;
+    stats.examined_per_level = (0..levels).map(|_| r.u64()).collect::<Result<_, _>>()?;
+    stats.time.total = get_duration(r)?;
+    stats.time.nn = get_duration(r)?;
+    stats.time.queue = get_duration(r)?;
+    stats.time.estimation = get_duration(r)?;
+    stats.time.finalize();
+    Ok(KosrOutcome { witnesses, stats })
+}
+
+fn put_query_error(e: &QueryError, out: &mut Vec<u8>) {
+    match *e {
+        QueryError::SourceOutOfRange(v) => {
+            out.put_u8(0);
+            out.put_u32_le(v.0);
+        }
+        QueryError::TargetOutOfRange(v) => {
+            out.put_u8(1);
+            out.put_u32_le(v.0);
+        }
+        QueryError::ZeroK => out.put_u8(2),
+        QueryError::UnknownCategory(c) => {
+            out.put_u8(3);
+            out.put_u32_le(c.0);
+        }
+        QueryError::EmptyCategory(c) => {
+            out.put_u8(4);
+            out.put_u32_le(c.0);
+        }
+    }
+}
+
+fn get_query_error(r: &mut Rd) -> Result<QueryError, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => QueryError::SourceOutOfRange(VertexId(r.u32()?)),
+        1 => QueryError::TargetOutOfRange(VertexId(r.u32()?)),
+        2 => QueryError::ZeroK,
+        3 => QueryError::UnknownCategory(CategoryId(r.u32()?)),
+        4 => QueryError::EmptyCategory(CategoryId(r.u32()?)),
+        _ => return Err(ProtocolError::Corrupt("unknown query-error tag")),
+    })
+}
+
+fn put_service_error(e: &ServiceError, out: &mut Vec<u8>) {
+    match e {
+        ServiceError::QueueFull { capacity } => {
+            out.put_u8(0);
+            out.put_u64_le(*capacity as u64);
+        }
+        ServiceError::DeadlineExceeded { deadline } => {
+            out.put_u8(1);
+            put_duration(*deadline, out);
+        }
+        ServiceError::BudgetExhausted { examined_budget } => {
+            out.put_u8(2);
+            out.put_u64_le(*examined_budget);
+        }
+        ServiceError::InvalidQuery(q) => {
+            out.put_u8(3);
+            put_query_error(q, out);
+        }
+        ServiceError::ShuttingDown => out.put_u8(4),
+        ServiceError::WorkerLost => out.put_u8(5),
+    }
+}
+
+fn get_service_error(r: &mut Rd) -> Result<ServiceError, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => ServiceError::QueueFull {
+            capacity: r.u64()? as usize,
+        },
+        1 => ServiceError::DeadlineExceeded {
+            deadline: get_duration(r)?,
+        },
+        2 => ServiceError::BudgetExhausted {
+            examined_budget: r.u64()?,
+        },
+        3 => ServiceError::InvalidQuery(get_query_error(r)?),
+        4 => ServiceError::ShuttingDown,
+        5 => ServiceError::WorkerLost,
+        _ => return Err(ProtocolError::Corrupt("unknown service-error tag")),
+    })
+}
+
+fn put_update_error(e: &UpdateError, out: &mut Vec<u8>) {
+    match *e {
+        UpdateError::VertexOutOfRange(v) => {
+            out.put_u8(0);
+            out.put_u32_le(v.0);
+        }
+        UpdateError::UnknownCategory(c) => {
+            out.put_u8(1);
+            out.put_u32_le(c.0);
+        }
+        UpdateError::Graph(g) => {
+            out.put_u8(2);
+            match g {
+                GraphUpdateError::VertexOutOfRange(v) => {
+                    out.put_u8(0);
+                    out.put_u32_le(v.0);
+                }
+                GraphUpdateError::SelfLoop => out.put_u8(1),
+                GraphUpdateError::WeightNotDecreased { current } => {
+                    out.put_u8(2);
+                    out.put_u64_le(current);
+                }
+            }
+        }
+    }
+}
+
+fn get_update_error(r: &mut Rd) -> Result<UpdateError, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => UpdateError::VertexOutOfRange(VertexId(r.u32()?)),
+        1 => UpdateError::UnknownCategory(CategoryId(r.u32()?)),
+        2 => UpdateError::Graph(match r.u8()? {
+            0 => GraphUpdateError::VertexOutOfRange(VertexId(r.u32()?)),
+            1 => GraphUpdateError::SelfLoop,
+            2 => GraphUpdateError::WeightNotDecreased { current: r.u64()? },
+            _ => return Err(ProtocolError::Corrupt("unknown graph-error tag")),
+        }),
+        _ => return Err(ProtocolError::Corrupt("unknown update-error tag")),
+    })
+}
+
+fn put_protocol_error(e: &ProtocolError, out: &mut Vec<u8>) {
+    match *e {
+        ProtocolError::VersionMismatch { found } => {
+            out.put_u8(0);
+            out.put_u8(found);
+        }
+        ProtocolError::UnknownKind(k) => {
+            out.put_u8(1);
+            out.put_u8(k);
+        }
+        ProtocolError::Truncated => out.put_u8(2),
+        ProtocolError::TrailingBytes(n) => {
+            out.put_u8(3);
+            out.put_u32_le(n);
+        }
+        ProtocolError::FrameTooLarge { len } => {
+            out.put_u8(4);
+            out.put_u64_le(len);
+        }
+        ProtocolError::Corrupt(_) => out.put_u8(5),
+    }
+}
+
+fn get_protocol_error(r: &mut Rd) -> Result<ProtocolError, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => ProtocolError::VersionMismatch { found: r.u8()? },
+        1 => ProtocolError::UnknownKind(r.u8()?),
+        2 => ProtocolError::Truncated,
+        3 => ProtocolError::TrailingBytes(r.u32()?),
+        4 => ProtocolError::FrameTooLarge { len: r.u64()? },
+        5 => ProtocolError::Corrupt("reported by peer"),
+        _ => return Err(ProtocolError::Corrupt("unknown protocol-error tag")),
+    })
+}
+
+// ---- payload codecs --------------------------------------------------
+
+const KIND_REQ_QUERY: u8 = 0;
+const KIND_REQ_UPDATE: u8 = 1;
+const KIND_REQ_PING: u8 = 2;
+const KIND_REQ_MEMBER_COUNTS: u8 = 3;
+const KIND_REQ_SNAPSHOT: u8 = 4;
+const KIND_RESP_QUERY_OK: u8 = 16;
+const KIND_RESP_QUERY_ERR: u8 = 17;
+const KIND_RESP_UPDATE_OK: u8 = 18;
+const KIND_RESP_UPDATE_ERR: u8 = 19;
+const KIND_RESP_PONG: u8 = 20;
+const KIND_RESP_MEMBER_COUNTS: u8 = 21;
+const KIND_RESP_SNAPSHOT: u8 = 22;
+const KIND_RESP_FAULT: u8 = 23;
+
+fn header(kind: u8) -> Vec<u8> {
+    vec![PROTOCOL_VERSION, kind]
+}
+
+fn open(payload: &[u8]) -> Result<(u8, Rd<'_>), ProtocolError> {
+    let mut r = Rd(payload);
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(ProtocolError::VersionMismatch { found: version });
+    }
+    Ok((r.u8()?, r))
+}
+
+/// Serializes a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Query(q) => {
+            let mut out = header(KIND_REQ_QUERY);
+            put_query(q, &mut out);
+            out
+        }
+        Request::Update(u) => {
+            let mut out = header(KIND_REQ_UPDATE);
+            put_update(u, &mut out);
+            out
+        }
+        Request::Ping => header(KIND_REQ_PING),
+        Request::MemberCounts => header(KIND_REQ_MEMBER_COUNTS),
+        Request::Snapshot => header(KIND_REQ_SNAPSHOT),
+    }
+}
+
+/// Decodes a frame payload into a request. Total: never panics.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let (kind, mut r) = open(payload)?;
+    let req = match kind {
+        KIND_REQ_QUERY => Request::Query(get_query(&mut r)?),
+        KIND_REQ_UPDATE => Request::Update(get_update(&mut r)?),
+        KIND_REQ_PING => Request::Ping,
+        KIND_REQ_MEMBER_COUNTS => Request::MemberCounts,
+        KIND_REQ_SNAPSHOT => Request::Snapshot,
+        other => return Err(ProtocolError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Serializes a response into a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Query(Ok(rr)) => {
+            let mut out = header(KIND_RESP_QUERY_OK);
+            out.put_u8(rr.cached as u8);
+            put_outcome(&rr.outcome, &mut out);
+            out
+        }
+        Response::Query(Err(e)) => {
+            let mut out = header(KIND_RESP_QUERY_ERR);
+            put_service_error(e, &mut out);
+            out
+        }
+        Response::Update(Ok(receipt)) => {
+            let mut out = header(KIND_RESP_UPDATE_OK);
+            out.put_u8(receipt.applied as u8);
+            out.put_u64_le(receipt.label_entries_added as u64);
+            out.put_u64_le(receipt.invalidated as u64);
+            out
+        }
+        Response::Update(Err(e)) => {
+            let mut out = header(KIND_RESP_UPDATE_ERR);
+            put_update_error(e, &mut out);
+            out
+        }
+        Response::Pong(hb) => {
+            let mut out = header(KIND_RESP_PONG);
+            out.put_u64_le(hb.epoch);
+            out
+        }
+        Response::MemberCounts(mc) => {
+            let mut out = header(KIND_RESP_MEMBER_COUNTS);
+            out.put_u64_le(mc.epoch);
+            out.put_u32_le(mc.num_vertices);
+            out.put_u32_le(mc.counts.len() as u32);
+            for &c in &mc.counts {
+                out.put_u32_le(c);
+            }
+            out
+        }
+        Response::Snapshot(blob) => {
+            let mut out = header(KIND_RESP_SNAPSHOT);
+            out.put_u64_le(blob.epoch);
+            out.put_u64_le(blob.bytes.len() as u64);
+            out.extend_from_slice(&blob.bytes);
+            out
+        }
+        Response::Fault(e) => {
+            let mut out = header(KIND_RESP_FAULT);
+            put_protocol_error(e, &mut out);
+            out
+        }
+    }
+}
+
+/// Decodes a frame payload into a response. Total: never panics.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let (kind, mut r) = open(payload)?;
+    let resp = match kind {
+        KIND_RESP_QUERY_OK => {
+            let cached = r.u8()? != 0;
+            let outcome = get_outcome(&mut r)?;
+            Response::Query(Ok(RemoteResponse { outcome, cached }))
+        }
+        KIND_RESP_QUERY_ERR => Response::Query(Err(get_service_error(&mut r)?)),
+        KIND_RESP_UPDATE_OK => Response::Update(Ok(UpdateReceipt {
+            applied: r.u8()? != 0,
+            label_entries_added: r.u64()? as usize,
+            invalidated: r.u64()? as usize,
+        })),
+        KIND_RESP_UPDATE_ERR => Response::Update(Err(get_update_error(&mut r)?)),
+        KIND_RESP_PONG => Response::Pong(Heartbeat { epoch: r.u64()? }),
+        KIND_RESP_MEMBER_COUNTS => {
+            let epoch = r.u64()?;
+            let num_vertices = r.u32()?;
+            let n = r.count(4)?;
+            let counts = (0..n).map(|_| r.u32()).collect::<Result<_, _>>()?;
+            Response::MemberCounts(MemberCounts {
+                epoch,
+                num_vertices,
+                counts,
+            })
+        }
+        KIND_RESP_SNAPSHOT => {
+            let epoch = r.u64()?;
+            let len = r.u64()?;
+            let len =
+                usize::try_from(len).map_err(|_| ProtocolError::Corrupt("snapshot length"))?;
+            let bytes = r.bytes(len)?.to_vec();
+            Response::Snapshot(SnapshotBlob { epoch, bytes })
+        }
+        KIND_RESP_FAULT => Response::Fault(get_protocol_error(&mut r)?),
+        other => return Err(ProtocolError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn sample_outcome() -> KosrOutcome {
+        KosrOutcome {
+            witnesses: vec![
+                Witness {
+                    vertices: vec![v(0), v(3), v(7)],
+                    cost: 20,
+                },
+                Witness {
+                    vertices: vec![v(0), v(4), v(7)],
+                    cost: 21,
+                },
+            ],
+            stats: QueryStats {
+                examined_routes: 17,
+                nn_queries: 9,
+                examined_per_level: vec![3, 8, 6],
+                heap_peak: 12,
+                dominated_routes: 2,
+                reconsidered_routes: 1,
+                truncated: false,
+                time: Default::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let reqs = vec![
+            Request::Query(Query::new(
+                v(1),
+                v(2),
+                vec![CategoryId(0), CategoryId(2)],
+                3,
+            )),
+            Request::Update(Update::InsertMembership {
+                vertex: v(4),
+                category: CategoryId(1),
+            }),
+            Request::Update(Update::RemoveMembership {
+                vertex: v(5),
+                category: CategoryId(0),
+            }),
+            Request::Update(Update::InsertEdge {
+                from: v(1),
+                to: v(2),
+                weight: 77,
+            }),
+            Request::Ping,
+            Request::MemberCounts,
+            Request::Snapshot,
+        ];
+        for req in reqs {
+            let payload = encode_request(&req);
+            assert_eq!(decode_request(&payload).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn query_response_roundtrips_bit_identically() {
+        let resp = Response::Query(Ok(RemoteResponse {
+            outcome: sample_outcome(),
+            cached: true,
+        }));
+        let payload = encode_response(&resp);
+        match decode_response(&payload).unwrap() {
+            Response::Query(Ok(rr)) => {
+                assert!(rr.cached);
+                assert_eq!(rr.outcome.witnesses, sample_outcome().witnesses);
+                assert_eq!(rr.outcome.stats.examined_routes, 17);
+                assert_eq!(rr.outcome.stats.examined_per_level, vec![3, 8, 6]);
+                assert_eq!(rr.outcome.stats.heap_peak, 12);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_responses_roundtrip() {
+        let cases: Vec<Response> = vec![
+            Response::Query(Err(ServiceError::QueueFull { capacity: 64 })),
+            Response::Query(Err(ServiceError::DeadlineExceeded {
+                deadline: Duration::from_millis(250),
+            })),
+            Response::Query(Err(ServiceError::BudgetExhausted {
+                examined_budget: 10_000,
+            })),
+            Response::Query(Err(ServiceError::InvalidQuery(QueryError::EmptyCategory(
+                CategoryId(3),
+            )))),
+            Response::Query(Err(ServiceError::ShuttingDown)),
+            Response::Query(Err(ServiceError::WorkerLost)),
+            Response::Update(Err(UpdateError::VertexOutOfRange(v(99)))),
+            Response::Update(Err(UpdateError::UnknownCategory(CategoryId(7)))),
+            Response::Update(Err(UpdateError::Graph(
+                GraphUpdateError::WeightNotDecreased { current: 5 },
+            ))),
+            Response::Update(Err(UpdateError::Graph(GraphUpdateError::SelfLoop))),
+            Response::Fault(ProtocolError::VersionMismatch { found: 9 }),
+            Response::Fault(ProtocolError::UnknownKind(200)),
+        ];
+        for case in cases {
+            let payload = encode_response(&case);
+            let back = decode_response(&payload).unwrap();
+            match (&case, &back) {
+                (Response::Query(Err(a)), Response::Query(Err(b))) => assert_eq!(a, b),
+                (Response::Update(Err(a)), Response::Update(Err(b))) => assert_eq!(a, b),
+                (Response::Fault(a), Response::Fault(b)) => assert_eq!(a, b),
+                _ => panic!("decode changed shape: {case:?} → {back:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_responses_roundtrip() {
+        let payload = encode_response(&Response::Pong(Heartbeat { epoch: 42 }));
+        assert!(matches!(decode_response(&payload), Ok(Response::Pong(hb)) if hb.epoch == 42));
+        let mc = MemberCounts {
+            epoch: 7,
+            num_vertices: 100,
+            counts: vec![3, 0, 9, 1],
+        };
+        let payload = encode_response(&Response::MemberCounts(mc.clone()));
+        assert!(matches!(decode_response(&payload), Ok(Response::MemberCounts(got)) if got == mc));
+        let blob = SnapshotBlob {
+            epoch: 3,
+            bytes: vec![1, 2, 3, 4, 5],
+        };
+        let payload = encode_response(&Response::Snapshot(blob.clone()));
+        assert!(matches!(decode_response(&payload), Ok(Response::Snapshot(got)) if got == blob));
+        let payload = encode_response(&Response::Update(Ok(UpdateReceipt {
+            applied: true,
+            label_entries_added: 4,
+            invalidated: 2,
+        })));
+        assert!(matches!(
+            decode_response(&payload),
+            Ok(Response::Update(Ok(r))) if r.applied && r.label_entries_added == 4 && r.invalidated == 2
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut payload = encode_request(&Request::Ping);
+        payload[0] = 2;
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtocolError::VersionMismatch { found: 2 })
+        );
+        assert!(matches!(
+            decode_response(&payload),
+            Err(ProtocolError::VersionMismatch { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_truncation_and_trailing_are_typed() {
+        assert_eq!(
+            decode_request(&[PROTOCOL_VERSION, 99]),
+            Err(ProtocolError::UnknownKind(99))
+        );
+        assert_eq!(decode_request(&[]), Err(ProtocolError::Truncated));
+        assert_eq!(
+            decode_request(&[PROTOCOL_VERSION]),
+            Err(ProtocolError::Truncated)
+        );
+        let mut payload = encode_request(&Request::Ping);
+        payload.push(0);
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtocolError::TrailingBytes(1))
+        );
+        let query = encode_request(&Request::Query(Query::new(v(0), v(1), vec![], 1)));
+        for cut in 2..query.len() {
+            assert_eq!(
+                decode_request(&query[..cut]),
+                Err(ProtocolError::Truncated),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn framing_roundtrips_and_rejects_oversize() {
+        let payload = encode_request(&Request::Ping);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut cursor = &wire[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        let mut cursor = &huge[..];
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            ProtocolError::VersionMismatch { found: 3 },
+            ProtocolError::UnknownKind(9),
+            ProtocolError::Truncated,
+            ProtocolError::TrailingBytes(4),
+            ProtocolError::FrameTooLarge { len: 1 << 40 },
+            ProtocolError::Corrupt("x"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

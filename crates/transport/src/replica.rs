@@ -1,0 +1,301 @@
+//! Replica fleets: N transports serving the same shard, with health state,
+//! heartbeats, and retry-on-next-replica failover.
+//!
+//! ## The health/consistency contract
+//!
+//! * Queries go only to [`ReplicaHealth::Healthy`] replicas; a fault marks
+//!   the replica `Down` and the query retries on the next healthy one.
+//!   Because every consistent replica of a shard answers with the same
+//!   canonical top-k stream, failover preserves merge semantics exactly.
+//! * Deterministic service rejections ([`TransportError::is_fault`] =
+//!   `false`) are **not** retried — every consistent replica would repeat
+//!   them, and retrying would double-count admission.
+//! * A `Down` replica never serves again until something that knows the
+//!   update history (the shard layer's update bus) replays what it missed
+//!   and calls [`ReplicaSet::mark_healthy`] — a replica that silently
+//!   missed an update must not contaminate merged answers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use kosr_core::Query;
+
+use crate::protocol::Heartbeat;
+use crate::{ShardTransport, TransportError, TransportTicket};
+
+/// A replica's serving eligibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Reachable and caught up on updates: eligible to serve queries.
+    Healthy,
+    /// Faulted (or installed cold): excluded from serving until recovered.
+    Down,
+}
+
+/// The replicas of one shard.
+pub struct ReplicaSet {
+    transports: RwLock<Vec<Arc<dyn ShardTransport>>>,
+    health: Mutex<Vec<ReplicaHealth>>,
+    failovers: AtomicU64,
+}
+
+impl ReplicaSet {
+    /// A fleet over `transports`, all initially healthy.
+    ///
+    /// # Panics
+    /// Panics if `transports` is empty.
+    pub fn new(transports: Vec<Arc<dyn ShardTransport>>) -> ReplicaSet {
+        assert!(!transports.is_empty(), "a shard needs at least one replica");
+        let health = vec![ReplicaHealth::Healthy; transports.len()];
+        ReplicaSet {
+            transports: RwLock::new(transports),
+            health: Mutex::new(health),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of replicas (healthy or not).
+    pub fn num_replicas(&self) -> usize {
+        self.transports.read().unwrap().len()
+    }
+
+    /// Current per-replica health.
+    pub fn health(&self) -> Vec<ReplicaHealth> {
+        self.health.lock().unwrap().clone()
+    }
+
+    /// Indices of replicas currently eligible to serve, ascending — the
+    /// deterministic failover order.
+    pub fn healthy_indices(&self) -> Vec<usize> {
+        self.health
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| **h == ReplicaHealth::Healthy)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The transport of replica `i`.
+    pub fn transport(&self, i: usize) -> Arc<dyn ShardTransport> {
+        Arc::clone(&self.transports.read().unwrap()[i])
+    }
+
+    /// Marks replica `i` down (fault observed / update missed).
+    pub fn mark_down(&self, i: usize) {
+        self.health.lock().unwrap()[i] = ReplicaHealth::Down;
+    }
+
+    /// Marks replica `i` healthy again — only call once it is provably
+    /// caught up (the update bus's recovery path does this).
+    pub fn mark_healthy(&self, i: usize) {
+        self.health.lock().unwrap()[i] = ReplicaHealth::Healthy;
+    }
+
+    /// Replaces replica `i`'s transport (a freshly started process joining
+    /// from a snapshot). The slot stays `Down` until recovery replay
+    /// completes and marks it healthy.
+    pub fn install(&self, i: usize, transport: Arc<dyn ShardTransport>) {
+        self.transports.write().unwrap()[i] = transport;
+        self.mark_down(i);
+    }
+
+    /// How many query-time failovers this fleet has absorbed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Pings every replica. A faulting *healthy* replica is marked down;
+    /// a responsive `Down` replica stays down (it may have missed updates
+    /// while unreachable — only recovery replay may revive it).
+    pub fn heartbeat(&self) -> Vec<Result<Heartbeat, TransportError>> {
+        (0..self.num_replicas())
+            .map(|i| {
+                let result = self.transport(i).ping();
+                if result.as_ref().err().is_some_and(TransportError::is_fault) {
+                    self.mark_down(i);
+                }
+                result
+            })
+            .collect()
+    }
+
+    /// Runs `op` against healthy replicas in failover order: the first
+    /// non-fault result wins; faults mark the replica down and move on.
+    pub fn call_with_failover<T>(
+        &self,
+        mut op: impl FnMut(&dyn ShardTransport) -> Result<T, TransportError>,
+    ) -> Result<T, TransportError> {
+        for i in self.healthy_indices() {
+            match op(self.transport(i).as_ref()) {
+                Err(e) if e.is_fault() => {
+                    self.mark_down(i);
+                    self.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                other => return other,
+            }
+        }
+        Err(TransportError::AllReplicasDown {
+            replicas: self.num_replicas(),
+        })
+    }
+
+    /// Submits `query` to the primary (lowest healthy) replica; the ticket
+    /// transparently fails over to the next healthy replica when the wait
+    /// faults, so a replica dying mid-query costs latency, not the answer.
+    pub fn query(self: &Arc<Self>, query: Query) -> TransportTicket {
+        let Some(&first) = self.healthy_indices().first() else {
+            return TransportTicket::ready(Err(TransportError::AllReplicasDown {
+                replicas: self.num_replicas(),
+            }));
+        };
+        let ticket = self.transport(first).submit(query.clone());
+        let set = Arc::clone(self);
+        TransportTicket::new(move || {
+            let mut current = first;
+            let mut ticket = ticket;
+            let mut tried = vec![first];
+            loop {
+                match ticket.wait() {
+                    Err(e) if e.is_fault() => {
+                        set.mark_down(current);
+                        set.failovers.fetch_add(1, Ordering::Relaxed);
+                        let next = set
+                            .healthy_indices()
+                            .into_iter()
+                            .find(|i| !tried.contains(i));
+                        match next {
+                            Some(i) => {
+                                tried.push(i);
+                                current = i;
+                                ticket = set.transport(i).submit(query.clone());
+                            }
+                            None => {
+                                return Err(TransportError::AllReplicasDown {
+                                    replicas: set.num_replicas(),
+                                })
+                            }
+                        }
+                    }
+                    other => return other,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InProcTransport;
+    use kosr_core::figure1::figure1;
+    use kosr_core::IndexedGraph;
+    use kosr_service::{KosrService, ServiceConfig, ServiceError};
+
+    fn fleet(
+        n: usize,
+    ) -> (
+        Arc<ReplicaSet>,
+        Vec<crate::KillSwitch>,
+        kosr_core::figure1::Figure1,
+    ) {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let mut transports: Vec<Arc<dyn ShardTransport>> = Vec::new();
+        let mut switches = Vec::new();
+        for _ in 0..n {
+            let svc = Arc::new(KosrService::new(
+                Arc::new(ig.clone()),
+                ServiceConfig {
+                    workers: 1,
+                    ..Default::default()
+                },
+            ));
+            let t = InProcTransport::new(svc);
+            switches.push(t.kill_switch());
+            transports.push(Arc::new(t));
+        }
+        (Arc::new(ReplicaSet::new(transports)), switches, fx)
+    }
+
+    #[test]
+    fn queries_fail_over_and_mark_down() {
+        let (set, switches, fx) = fleet(3);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        assert_eq!(
+            set.query(q.clone()).wait().unwrap().outcome.costs(),
+            vec![20, 21, 22]
+        );
+
+        switches[0].kill();
+        let resp = set.query(q.clone()).wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        assert_eq!(set.health()[0], ReplicaHealth::Down);
+        assert_eq!(set.failovers(), 1);
+
+        switches[1].kill();
+        assert_eq!(
+            set.query(q.clone()).wait().unwrap().outcome.costs(),
+            vec![20, 21, 22]
+        );
+        switches[2].kill();
+        assert_eq!(
+            set.query(q).wait().unwrap_err(),
+            TransportError::AllReplicasDown { replicas: 3 }
+        );
+    }
+
+    #[test]
+    fn rejections_do_not_fail_over() {
+        let (set, _switches, fx) = fleet(2);
+        let err = set
+            .query(Query::new(fx.s, fx.t, vec![fx.ma], 0))
+            .wait()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::Service(ServiceError::InvalidQuery(kosr_core::QueryError::ZeroK))
+        );
+        assert_eq!(set.failovers(), 0);
+        assert_eq!(set.healthy_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn heartbeat_marks_faulting_replicas_but_never_revives() {
+        let (set, switches, _fx) = fleet(2);
+        assert!(set.heartbeat().iter().all(Result::is_ok));
+        switches[1].kill();
+        let beats = set.heartbeat();
+        assert!(beats[0].is_ok() && beats[1].is_err());
+        assert_eq!(
+            set.health(),
+            vec![ReplicaHealth::Healthy, ReplicaHealth::Down]
+        );
+        switches[1].revive();
+        let beats = set.heartbeat();
+        assert!(beats[1].is_ok(), "reachable again");
+        assert_eq!(
+            set.health()[1],
+            ReplicaHealth::Down,
+            "revival requires recovery replay, not just reachability"
+        );
+        set.mark_healthy(1);
+        assert_eq!(set.healthy_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn call_with_failover_walks_the_fleet() {
+        let (set, switches, _fx) = fleet(3);
+        switches[0].kill();
+        let mc = set.call_with_failover(|t| t.member_counts()).unwrap();
+        assert_eq!(mc.counts.len(), 3);
+        assert_eq!(set.health()[0], ReplicaHealth::Down);
+        switches[1].kill();
+        switches[2].kill();
+        assert_eq!(
+            set.call_with_failover(|t| t.member_counts()).unwrap_err(),
+            TransportError::AllReplicasDown { replicas: 3 }
+        );
+    }
+}

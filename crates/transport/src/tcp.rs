@@ -1,0 +1,357 @@
+//! The socket transport: each shard replica runs behind a [`TcpServer`]
+//! that wraps its `KosrService` submit/wait + `apply_update` surface, and
+//! routers reach it through a pooled blocking [`TcpTransport`] client.
+//!
+//! The server is deliberately simple — an accept loop plus one handler
+//! thread per connection reading length-prefixed frames — because the
+//! protocol is strictly request/response per connection; concurrency comes
+//! from the client opening one (pooled) connection per in-flight request.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use kosr_core::Query;
+use kosr_service::{KosrService, Update, UpdateReceipt};
+
+use crate::host::handle_request;
+use crate::inproc::{
+    expect_member_counts, expect_pong, expect_query, expect_snapshot, expect_update,
+};
+use crate::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Heartbeat, MemberCounts, Request, Response, SnapshotBlob,
+};
+use crate::{ShardTransport, TransportError, TransportTicket};
+
+/// How often blocked server reads wake up to check for shutdown.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Client-side socket deadline: generous enough for the heaviest query a
+/// planner admits, small enough that a wedged replica becomes a fault
+/// (and a failover) instead of a hang.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Reads exactly `buf.len()` bytes, riding out read timeouts (checking the
+/// shutdown flag between chunks) without ever losing partially read bytes.
+/// `Ok(false)` on clean EOF before the first byte.
+fn read_exact_polled(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(false)
+                } else {
+                    Err(std::io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "server shutting down",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn serve_connection(mut stream: TcpStream, service: Arc<KosrService>, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    while !shutdown.load(Ordering::Acquire) {
+        let mut len = [0u8; 4];
+        match read_exact_polled(&mut stream, &mut len, &shutdown) {
+            Ok(true) => {}
+            _ => return, // clean EOF, peer reset, or shutdown
+        }
+        let len = u32::from_le_bytes(len) as usize;
+        if len > crate::protocol::MAX_FRAME_LEN {
+            return; // refuse oversized frames by dropping the connection
+        }
+        let mut payload = vec![0u8; len];
+        if !matches!(
+            read_exact_polled(&mut stream, &mut payload, &shutdown),
+            Ok(true)
+        ) {
+            return;
+        }
+        // Undecodable requests get a typed fault response (so a client
+        // speaking a newer protocol version learns why), then the
+        // connection closes — its framing can no longer be trusted.
+        let (resp, close) = match decode_request(&payload) {
+            Ok(req) => (handle_request(&service, req), false),
+            Err(e) => (Response::Fault(e), true),
+        };
+        if write_frame(&mut stream, &encode_response(&resp)).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// One shard replica served over a loopback TCP socket.
+///
+/// Dropping the server shuts it down: the accept loop stops, handler
+/// threads drain, and every client sees its connection close.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `127.0.0.1:0` (an OS-assigned port) and starts serving
+    /// `service`.
+    pub fn spawn(service: Arc<KosrService>) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_handle = thread::Builder::new()
+            .name(format!("kosr-tcp-{}", addr.port()))
+            .spawn(move || {
+                let mut handlers = Vec::new();
+                while !flag.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Reap finished handlers so connection churn
+                            // doesn't grow the handle list unboundedly.
+                            handlers.retain(|h: &thread::JoinHandle<()>| !h.is_finished());
+                            let service = Arc::clone(&service);
+                            let flag = Arc::clone(&flag);
+                            handlers.push(thread::spawn(move || {
+                                serve_connection(stream, service, flag)
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn accept loop");
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server: new connections are refused, existing handler
+    /// threads exit at their next poll, clients see connection faults —
+    /// the "replica killed" event of the failover model.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A pooled blocking client for one replica's [`TcpServer`].
+///
+/// Connections are created on demand, one per in-flight request, and
+/// returned to the pool after a successful round trip; a failed round trip
+/// discards its connection, so a restarted server is reached by a fresh
+/// dial on the next request.
+pub struct TcpTransport {
+    addr: SocketAddr,
+    pool: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+fn conn_err(e: std::io::Error) -> TransportError {
+    TransportError::Connection(e.to_string())
+}
+
+impl TcpTransport {
+    /// A client for the replica at `addr`. Lazy: the first request dials.
+    pub fn connect(addr: SocketAddr) -> TcpTransport {
+        TcpTransport {
+            addr,
+            pool: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    fn roundtrip_on(
+        addr: SocketAddr,
+        pool: &Mutex<Vec<TcpStream>>,
+        req: &Request,
+    ) -> Result<Response, TransportError> {
+        let mut stream = match pool.lock().unwrap().pop() {
+            Some(s) => s,
+            None => TcpStream::connect(addr).map_err(conn_err)?,
+        };
+        let _ = stream.set_nodelay(true);
+        // A replica that accepts but never answers (stuck worker) must
+        // surface as a *fault* so failover can route around it, not hang
+        // the caller — and through it the router's planning/update planes.
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        write_frame(&mut stream, &encode_request(req)).map_err(conn_err)?;
+        let frame = read_frame(&mut stream)
+            .map_err(conn_err)?
+            .ok_or_else(|| TransportError::Connection("server closed the connection".into()))?;
+        let resp = decode_response(&frame)?;
+        // After answering a fault the server closes the connection (its
+        // framing is untrusted); pooling it would poison a later request.
+        if !matches!(resp, Response::Fault(_)) {
+            pool.lock().unwrap().push(stream);
+        }
+        Ok(resp)
+    }
+
+    fn roundtrip(&self, req: &Request) -> Result<Response, TransportError> {
+        Self::roundtrip_on(self.addr, &self.pool, req)
+    }
+}
+
+impl ShardTransport for TcpTransport {
+    fn submit(&self, query: Query) -> TransportTicket {
+        // One thread per in-flight request keeps fan-out parallel while the
+        // protocol stays strictly request/response per connection.
+        let addr = self.addr;
+        let pool = Arc::clone(&self.pool);
+        let (tx, rx) = std::sync::mpsc::channel();
+        thread::spawn(move || {
+            let result =
+                Self::roundtrip_on(addr, &pool, &Request::Query(query)).and_then(expect_query);
+            let _ = tx.send(result);
+        });
+        TransportTicket::new(move || {
+            rx.recv()
+                .unwrap_or_else(|_| Err(TransportError::Connection("request thread lost".into())))
+        })
+    }
+
+    fn apply_update(&self, update: &Update) -> Result<UpdateReceipt, TransportError> {
+        expect_update(self.roundtrip(&Request::Update(*update))?)
+    }
+
+    fn ping(&self) -> Result<Heartbeat, TransportError> {
+        expect_pong(self.roundtrip(&Request::Ping)?)
+    }
+
+    fn member_counts(&self) -> Result<MemberCounts, TransportError> {
+        expect_member_counts(self.roundtrip(&Request::MemberCounts)?)
+    }
+
+    fn snapshot(&self) -> Result<SnapshotBlob, TransportError> {
+        expect_snapshot(self.roundtrip(&Request::Snapshot)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_core::figure1::figure1;
+    use kosr_core::IndexedGraph;
+    use kosr_service::ServiceConfig;
+
+    fn serve() -> (TcpServer, TcpTransport, kosr_core::figure1::Figure1) {
+        let fx = figure1();
+        let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+        let svc = Arc::new(KosrService::new(
+            ig,
+            ServiceConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        ));
+        let server = TcpServer::spawn(svc).unwrap();
+        let client = TcpTransport::connect(server.addr());
+        (server, client, fx)
+    }
+
+    #[test]
+    fn queries_and_updates_over_a_real_socket() {
+        let (_server, client, fx) = serve();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let resp = client.submit(q.clone()).wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        assert!(client.submit(q.clone()).wait().unwrap().cached);
+
+        let gone = resp.outcome.witnesses[0].vertices[2];
+        let receipt = client
+            .apply_update(&Update::RemoveMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        assert_eq!(client.ping().unwrap().epoch, 1);
+        let after = client.submit(q).wait().unwrap();
+        assert!(!after.cached);
+        assert_ne!(after.outcome.costs(), vec![20, 21, 22]);
+    }
+
+    #[test]
+    fn parallel_submissions_share_the_pool() {
+        let (_server, client, fx) = serve();
+        let tickets: Vec<TransportTicket> = (1..=4)
+            .map(|k| client.submit(Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], k)))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap().outcome.witnesses.len(), i + 1);
+        }
+        assert!(
+            !client.pool.lock().unwrap().is_empty(),
+            "round trips return their connections"
+        );
+    }
+
+    #[test]
+    fn snapshots_ship_over_the_wire() {
+        let (_server, client, fx) = serve();
+        let blob = client.snapshot().unwrap();
+        let replica = IndexedGraph::decode_snapshot(&blob.bytes).unwrap();
+        assert_eq!(replica.num_vertices(), fx.graph.num_vertices());
+        let mc = client.member_counts().unwrap();
+        assert_eq!(mc.counts.len(), 3);
+    }
+
+    #[test]
+    fn server_shutdown_faults_clients() {
+        let (mut server, client, fx) = serve();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma], 1);
+        assert!(client.submit(q.clone()).wait().is_ok());
+        server.shutdown();
+        let err = client.submit(q).wait().unwrap_err();
+        assert!(err.is_fault(), "{err:?}");
+        assert!(client.ping().unwrap_err().is_fault());
+    }
+}

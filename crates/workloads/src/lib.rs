@@ -19,4 +19,7 @@ pub use categories::{assign_clustered, assign_uniform, assign_zipf, category_ids
 pub use graphs::{road_grid_directed, road_grid_undirected, social_graph};
 pub use queries::{gen_queries, is_feasible, QuerySpec};
 pub use scenarios::{ParameterGrid, Scenario, ScenarioName};
-pub use traffic::{gen_mixed_traffic, gen_region_traffic, RegionTraffic, TrafficMix};
+pub use traffic::{
+    gen_membership_flips, gen_mixed_traffic, gen_region_traffic, MembershipFlip, RegionTraffic,
+    TrafficMix,
+};

@@ -242,6 +242,46 @@ pub fn gen_region_traffic(
     out
 }
 
+/// One membership change of a §IV-C update stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MembershipFlip {
+    /// The vertex whose membership changes.
+    pub vertex: VertexId,
+    /// The category gaining or losing the vertex.
+    pub category: CategoryId,
+    /// `true` to insert the membership, `false` to remove it.
+    pub insert: bool,
+}
+
+/// A seeded stream of membership updates against `g`'s category layout:
+/// random vertex/category pairs where existing memberships mostly get
+/// **removed** (with some duplicate-insert no-ops) and absent ones mostly
+/// get **inserted** (with some no-op removals) — so a stream of any
+/// length exercises real removals, real inserts *and* both no-op shapes.
+/// Deterministic per seed — the update-driven equivalence suites replay
+/// the same stream against both deployments under test.
+pub fn gen_membership_flips(g: &Graph, count: usize, seed: u64) -> Vec<MembershipFlip> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF11B);
+    let nc = g.categories().num_categories() as u32;
+    assert!(nc > 0, "graph has no categories to flip");
+    (0..count)
+        .map(|_| {
+            let vertex = VertexId(rng.gen_range(0..g.num_vertices() as u32));
+            let category = CategoryId(rng.gen_range(0..nc));
+            let insert = if g.categories().has_category(vertex, category) {
+                rng.gen_bool(0.35) // mostly real removals, some dup inserts
+            } else {
+                rng.gen_bool(0.6) // mostly real inserts, some no-op removals
+            };
+            MembershipFlip {
+                vertex,
+                category,
+                insert,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,5 +474,31 @@ mod tests {
         // All pairs were *drawn* in-region; resampling for reachability can
         // keep a few cross-region draws, but the mass stays local.
         assert!(in_region * 10 >= 400 * 9, "{in_region}/400 local");
+    }
+
+    #[test]
+    fn membership_flips_are_deterministic_and_in_range() {
+        let g = setup();
+        let a = gen_membership_flips(&g, 50, 42);
+        let b = gen_membership_flips(&g, 50, 42);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, gen_membership_flips(&g, 50, 43));
+        let nc = g.categories().num_categories() as u32;
+        for f in &a {
+            assert!(f.vertex.index() < g.num_vertices());
+            assert!(f.category.0 < nc);
+        }
+        assert!(a.iter().any(|f| f.insert) && a.iter().any(|f| !f.insert));
+        // Real removals (of initially-present memberships) must occur —
+        // the fault suites rely on the stream exercising the remove path.
+        assert!(
+            a.iter()
+                .any(|f| !f.insert && g.categories().has_category(f.vertex, f.category)),
+            "no effective removal in 50 flips"
+        );
+        // And real inserts of absent memberships.
+        assert!(a
+            .iter()
+            .any(|f| f.insert && !g.categories().has_category(f.vertex, f.category)));
     }
 }

@@ -68,7 +68,10 @@ fn main() {
         .iter()
         .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
         .collect();
-    let fanout: usize = queries.iter().map(|q| router.plan_fanout(q).len()).sum();
+    let fanout: usize = queries
+        .iter()
+        .map(|q| router.plan_fanout(q).unwrap().len())
+        .sum();
     println!(
         "serving {} queries, mean fan-out {:.2} of {} shards ...",
         queries.len(),

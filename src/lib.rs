@@ -32,6 +32,7 @@
 //! | [`workloads`] | synthetic graphs, categories, query + traffic generators |
 //! | [`service`] | concurrent serving: planner, result cache, batch executor, live updates |
 //! | [`shard`] | partitioned multi-replica serving: fan-out routing, top-k merge, update bus |
+//! | [`transport`] | wire-protocol shard transport: frames, TCP/in-proc replicas, health/failover, snapshots |
 
 #![forbid(unsafe_code)]
 
@@ -43,4 +44,5 @@ pub use kosr_index as index;
 pub use kosr_pathfinding as pathfinding;
 pub use kosr_service as service;
 pub use kosr_shard as shard;
+pub use kosr_transport as transport;
 pub use kosr_workloads as workloads;
