@@ -4,8 +4,13 @@
 //! * `direct` — `KosrService::run_batch`, no transport (the floor).
 //! * `inproc` — the loopback `InProcTransport`: full frame encode/decode
 //!   per request/response, no sockets (pure codec overhead).
-//! * `tcp` — replicas behind loopback `TcpServer`s via pooled
-//!   `TcpTransport` clients (codec + sockets + per-request threads).
+//! * `tcp_mux` — all 300 queries **in flight at once on one multiplexed
+//!   connection** (frame-id demux; no per-request threads, no pool).
+//! * `tcp_serial` — one request/response at a time on the same connection:
+//!   the old blocking-RPC latency model, as a floor for the mux win.
+//! * `tcp_pooled_8` — the pre-mux concurrency model reconstructed: 8
+//!   parallel connections, each a blocking serial stream, so the mux win
+//!   over pooled blocking connections is *measured*, not asserted.
 //! * `codec` — raw encode→decode round trips of a representative response
 //!   frame (the serialization hot path in isolation).
 
@@ -18,6 +23,8 @@ use kosr_service::{KosrService, ServiceConfig};
 use kosr_transport::protocol::{decode_response, encode_response, RemoteResponse, Response};
 use kosr_transport::{InProcTransport, ShardTransport, TcpServer, TcpTransport, TransportTicket};
 use kosr_workloads::{assign_uniform, gen_mixed_traffic, road_grid_directed, TrafficMix};
+
+const POOL: usize = 8;
 
 fn world() -> (Arc<IndexedGraph>, Vec<Query>) {
     let mut g = road_grid_directed(16, 16, 13);
@@ -67,11 +74,50 @@ fn transport_roundtrip(c: &mut Criterion) {
         b.iter(|| drain_transport(&transport, &queries));
     });
 
-    group.bench_function("tcp", |b| {
+    group.bench_function("tcp_mux", |b| {
         let service = Arc::new(KosrService::new(Arc::clone(&ig), config()));
         let server = TcpServer::spawn(service).expect("bind loopback");
         let transport = TcpTransport::connect(server.addr());
+        // drain_transport submits every ticket before waiting on any:
+        // with the mux, that is 300 interleaved in-flight requests on one
+        // connection.
         b.iter(|| drain_transport(&transport, &queries));
+    });
+
+    group.bench_function("tcp_serial", |b| {
+        let service = Arc::new(KosrService::new(Arc::clone(&ig), config()));
+        let server = TcpServer::spawn(service).expect("bind loopback");
+        let transport = TcpTransport::connect(server.addr());
+        b.iter(|| {
+            for q in &queries {
+                criterion::black_box(transport.submit(q.clone()).wait().expect("bench query"));
+            }
+        });
+    });
+
+    group.bench_function("tcp_pooled_8", |b| {
+        let service = Arc::new(KosrService::new(Arc::clone(&ig), config()));
+        let server = TcpServer::spawn(service).expect("bind loopback");
+        // One connection per pool slot, each driven as a blocking serial
+        // stream from its own thread — the pre-mux model.
+        let pool: Vec<Arc<TcpTransport>> = (0..POOL)
+            .map(|_| Arc::new(TcpTransport::connect(server.addr())))
+            .collect();
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for (slot, transport) in pool.iter().enumerate() {
+                    let chunk: Vec<&Query> = queries.iter().skip(slot).step_by(POOL).collect();
+                    let transport = Arc::clone(transport);
+                    s.spawn(move || {
+                        for q in chunk {
+                            criterion::black_box(
+                                transport.submit(q.clone()).wait().expect("bench query"),
+                            );
+                        }
+                    });
+                }
+            });
+        });
     });
 
     group.bench_function("codec", |b| {
@@ -87,8 +133,8 @@ fn transport_roundtrip(c: &mut Criterion) {
             cached: false,
         }));
         b.iter(|| {
-            for _ in 0..300 {
-                let frame = encode_response(criterion::black_box(&resp));
+            for id in 0..300u64 {
+                let frame = encode_response(id, criterion::black_box(&resp));
                 criterion::black_box(decode_response(&frame).unwrap());
             }
         });

@@ -34,7 +34,7 @@ use kosr_graph::{CategoryId, VertexId, Weight};
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::error::{ServiceError, UpdateError};
 use crate::planner::{QueryPlan, QueryPlanner};
-use crate::stats::{LatencyHistogram, MethodStats, ServiceStats};
+use crate::stats::{method_slot, LatencyHistogram, MethodStats, ServiceStats};
 
 /// Service tunables.
 #[derive(Clone, Debug)]
@@ -170,17 +170,6 @@ struct MethodCounter {
     latency: LatencyHistogram,
 }
 
-fn method_slot(m: Method) -> usize {
-    match m {
-        Method::Kpne => 0,
-        Method::KpneDij => 1,
-        Method::Pk => 2,
-        Method::PkDij => 3,
-        Method::Sk => 4,
-        Method::SkDij => 5,
-    }
-}
-
 struct Shared {
     /// The served index. Reads take a brief shared lock to clone the
     /// `Arc`; updates mutate copy-on-write behind the exclusive lock.
@@ -199,6 +188,10 @@ struct Shared {
     /// when caching is disabled.
     cache_enabled: bool,
     cache: Mutex<ResultCache>,
+    /// The oldest upstream update-log sequence still replayable, as told
+    /// by `Compact` notices. Monotone; the transport host refuses notices
+    /// that would move it backwards (a stale controller's view).
+    log_head: AtomicU64,
     latency: LatencyHistogram,
     methods: [MethodCounter; 6],
     /// Total worker compute time (µs) spent executing uncached queries —
@@ -231,6 +224,10 @@ impl Shared {
                     let m = &self.methods[method_slot(resp.plan.method)];
                     m.completed.fetch_add(1, Ordering::Relaxed);
                     m.latency.record(resp.latency);
+                    // Close the calibration loop: observed per-method
+                    // latency feeds the planner's threshold EWMAs (a
+                    // no-op unless `calibrate` is on).
+                    self.planner.observe(resp.plan.method, resp.latency);
                 }
                 self.latency.record(resp.latency);
             }
@@ -364,6 +361,7 @@ impl KosrService {
             queue_capacity: config.queue_capacity.max(1),
             cache_enabled: config.cache_capacity > 0,
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            log_head: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             methods: Default::default(),
             busy_micros: AtomicU64::new(0),
@@ -574,6 +572,51 @@ impl KosrService {
             label_entries_added,
             invalidated,
         })
+    }
+
+    /// Replaces the served index wholesale with `ig` — the snapshot-push
+    /// recovery path: a supervisor ships a fresher replica's snapshot into
+    /// this one when the update-log suffix it missed has been compacted
+    /// away. The swap bumps the index epoch (so in-flight queries computed
+    /// against the old index are barred from the cache) and flushes every
+    /// cached answer.
+    pub fn install_index(&self, ig: Arc<IndexedGraph>) {
+        {
+            let mut guard = self.shared.index.write().unwrap();
+            *guard = ig;
+            // Bump under the write lock: workers read (epoch, index) under
+            // the read lock, so the pair stays atomic.
+            self.shared.epoch.fetch_add(1, Ordering::Release);
+        }
+        self.invalidate_all();
+    }
+
+    /// Records an upstream update-log compaction notice: entries below
+    /// `through` are gone. The head is monotone — `Ok(head)` with the new
+    /// (possibly unchanged) head, or `Err(current)` when `through` is
+    /// *behind* the recorded head, which marks the notice's sender stale.
+    pub fn advance_log_head(&self, through: u64) -> Result<u64, u64> {
+        let mut current = self.shared.log_head.load(Ordering::Acquire);
+        loop {
+            if through < current {
+                return Err(current);
+            }
+            match self.shared.log_head.compare_exchange_weak(
+                current,
+                through,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(through),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The recorded upstream update-log head (see
+    /// [`KosrService::advance_log_head`]).
+    pub fn log_head(&self) -> u64 {
+        self.shared.log_head.load(Ordering::Acquire)
     }
 
     /// Per-method execution counters with at least one completion, in
@@ -1062,6 +1105,46 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.per_method.len(), per_method.len());
         assert!(stats.to_string().contains("method"));
+    }
+
+    #[test]
+    fn install_index_swaps_state_and_flushes_the_cache() {
+        let (svc, fx) = service(2, 64, 64);
+        let q = fig1_query(&fx, 3);
+        let before = svc.submit(q.clone()).unwrap().wait().unwrap();
+        assert_eq!(before.outcome.costs(), vec![20, 21, 22]);
+        assert!(svc.submit(q.clone()).unwrap().wait().unwrap().cached);
+
+        // An index where the best route's restaurant is gone.
+        let gone = before.outcome.witnesses[0].vertices[2];
+        let mut g2 = fx.graph.clone();
+        g2.categories_mut().remove(gone, fx.re);
+        let fresh = IndexedGraph::build_default(g2);
+        svc.install_index(Arc::new(fresh.clone()));
+        assert_eq!(svc.index_epoch(), 1, "install bumps the epoch");
+        assert_eq!(svc.cache_stats().entries, 0, "install flushes the cache");
+
+        let after = svc.submit(q.clone()).unwrap().wait().unwrap();
+        assert!(!after.cached);
+        let plan = svc.plan(&q);
+        assert_eq!(
+            after.outcome.witnesses,
+            fresh
+                .run_canonical(&q, plan.method, plan.examined_budget)
+                .witnesses,
+            "answers come from the installed index"
+        );
+    }
+
+    #[test]
+    fn log_head_is_monotone_with_typed_stale_rejection() {
+        let (svc, _fx) = service(1, 8, 8);
+        assert_eq!(svc.log_head(), 0);
+        assert_eq!(svc.advance_log_head(5), Ok(5));
+        assert_eq!(svc.advance_log_head(5), Ok(5), "idempotent");
+        assert_eq!(svc.advance_log_head(9), Ok(9));
+        assert_eq!(svc.advance_log_head(3), Err(9), "stale notices refused");
+        assert_eq!(svc.log_head(), 9);
     }
 
     #[test]

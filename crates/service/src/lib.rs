@@ -51,7 +51,7 @@ pub use error::{ServiceError, UpdateError};
 pub use executor::{
     run_sequential, KosrService, QueryResponse, ServiceConfig, Ticket, Update, UpdateReceipt,
 };
-pub use planner::{PlannerConfig, QueryPlan, QueryPlanner};
+pub use planner::{PlannerConfig, QueryPlan, QueryPlanner, CALIBRATION_CLAMP};
 pub use stats::{LatencyHistogram, MethodStats, ServiceStats};
 
 // Re-exported so service users don't need a direct kosr-core dependency

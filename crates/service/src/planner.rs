@@ -14,9 +14,22 @@
 //! * **KPNE** is only competitive when the whole candidate space is tiny
 //!   (the product of the queried category sizes fits in a few dozen
 //!   routes); then its lack of dominance bookkeeping makes it cheapest.
+//!
+//! With [`PlannerConfig::calibrate`] on, the paper-informed thresholds
+//! stop being static: per-method latency EWMAs (fed by the executor's
+//! [`MethodStats`](crate::MethodStats) pipeline, or seeded from an
+//! external stats snapshot via [`QueryPlanner::calibrate_from`]) scale
+//! `kpne_cutoff` and `dense_selectivity` toward whichever method the
+//! *observed* workload shows to be cheaper — the ROADMAP's "planner
+//! calibration" loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use kosr_core::{IndexedGraph, Method, Query};
-use std::time::Duration;
+
+use crate::stats::{method_slot, MethodStats};
 
 /// Tunables for [`QueryPlanner`]. The defaults encode the paper-derived
 /// policy above; services can override any threshold.
@@ -38,6 +51,12 @@ pub struct PlannerConfig {
     /// Default wall-clock deadline stamped on plans (queue wait included);
     /// `None` admits queries with no deadline.
     pub deadline: Option<Duration>,
+    /// Opt-in latency feedback: when `true`, observed per-method latency
+    /// EWMAs scale `kpne_cutoff` and `dense_selectivity` (within
+    /// [`CALIBRATION_CLAMP`]) toward the methods the live workload shows
+    /// to be cheaper. Off by default — thresholds stay the paper-informed
+    /// constants.
+    pub calibrate: bool,
 }
 
 impl Default for PlannerConfig {
@@ -52,6 +71,67 @@ impl Default for PlannerConfig {
             expansion_per_level: 1_000_000,
             max_examined: u64::MAX,
             deadline: None,
+            calibrate: false,
+        }
+    }
+}
+
+/// How far calibration may scale a threshold away from its configured
+/// value, in either direction. Bounding the swing keeps a burst of skewed
+/// observations from driving the planner into a corner it cannot observe
+/// its way back out of.
+pub const CALIBRATION_CLAMP: f64 = 4.0;
+
+/// EWMA smoothing: `ewma ← (7·ewma + sample) / 8`.
+const EWMA_WEIGHT: u64 = 8;
+
+/// Per-method latency EWMAs (µs; 0 = no samples yet), shared by every
+/// clone of a planner so executor feedback and planning read one state.
+#[derive(Debug, Default)]
+struct CalibrationState {
+    ewma_micros: [AtomicU64; 6],
+}
+
+impl CalibrationState {
+    fn observe(&self, m: Method, latency: Duration) {
+        // Clamp into [1, u64::MAX] so a recorded sample is never mistaken
+        // for the "no samples" sentinel.
+        let sample = (latency.as_micros().min(u64::MAX as u128) as u64).max(1);
+        let slot = &self.ewma_micros[method_slot(m)];
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            let next = if current == 0 {
+                sample
+            } else {
+                ((EWMA_WEIGHT - 1) * current + sample) / EWMA_WEIGHT
+            };
+            match slot.compare_exchange_weak(
+                current,
+                next.max(1),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    fn ewma(&self, m: Method) -> Option<u64> {
+        match self.ewma_micros[method_slot(m)].load(Ordering::Relaxed) {
+            0 => None,
+            micros => Some(micros),
+        }
+    }
+
+    /// `observed(a) / observed(b)` clamped into the calibration swing;
+    /// `1.0` until both methods have samples.
+    fn ratio(&self, a: Method, b: Method) -> f64 {
+        match (self.ewma(a), self.ewma(b)) {
+            (Some(a), Some(b)) => {
+                (a as f64 / b as f64).clamp(1.0 / CALIBRATION_CLAMP, CALIBRATION_CLAMP)
+            }
+            _ => 1.0,
         }
     }
 }
@@ -71,12 +151,18 @@ pub struct QueryPlan {
 #[derive(Clone, Debug, Default)]
 pub struct QueryPlanner {
     config: PlannerConfig,
+    /// Shared across clones: the executor's feedback and every planning
+    /// thread read/write one EWMA table.
+    calibration: Arc<CalibrationState>,
 }
 
 impl QueryPlanner {
     /// A planner with the given tunables.
     pub fn new(config: PlannerConfig) -> QueryPlanner {
-        QueryPlanner { config }
+        QueryPlanner {
+            config,
+            calibration: Arc::new(CalibrationState::default()),
+        }
     }
 
     /// The active tunables.
@@ -84,9 +170,55 @@ impl QueryPlanner {
         &self.config
     }
 
+    /// Records one uncached completion's `(method, latency)` into the
+    /// calibration EWMAs. No-op unless [`PlannerConfig::calibrate`] is on.
+    pub fn observe(&self, method: Method, latency: Duration) {
+        if self.config.calibrate {
+            self.calibration.observe(method, latency);
+        }
+    }
+
+    /// Seeds the calibration EWMAs from an existing [`MethodStats`]
+    /// snapshot (e.g. another replica's counters), so a fresh planner
+    /// starts from fleet-observed latencies instead of cold. No-op unless
+    /// [`PlannerConfig::calibrate`] is on.
+    pub fn calibrate_from(&self, stats: &[MethodStats]) {
+        if !self.config.calibrate {
+            return;
+        }
+        for m in stats {
+            if m.completed > 0 {
+                self.calibration.observe(m.method, m.latency_mean);
+            }
+        }
+    }
+
+    /// The calibrated-or-configured `(kpne_cutoff, dense_selectivity)`
+    /// pair planning uses right now — exposed so tests and operators can
+    /// see where the feedback loop has moved the thresholds.
+    pub fn effective_thresholds(&self) -> (u64, f64) {
+        let cfg = &self.config;
+        if !cfg.calibrate {
+            return (cfg.kpne_cutoff, cfg.dense_selectivity);
+        }
+        // KPNE cheaper than SK in practice → admit larger candidate
+        // spaces to KPNE (scale the cutoff up by SK/KPNE), and vice versa.
+        let kpne_cutoff = ((cfg.kpne_cutoff as f64)
+            * self.calibration.ratio(Method::Sk, Method::Kpne))
+        .round()
+        .max(1.0) as u64;
+        // PK cheaper than SK → lower the density bar so more dense
+        // queries take PK (divide by SK/PK), and vice versa.
+        let dense_selectivity = (cfg.dense_selectivity
+            / self.calibration.ratio(Method::Sk, Method::Pk))
+        .clamp(0.01, 1.0);
+        (kpne_cutoff, dense_selectivity)
+    }
+
     /// Plans `query` against `ig`. The query is assumed validated.
     pub fn plan(&self, ig: &IndexedGraph, query: &Query) -> QueryPlan {
         let cfg = &self.config;
+        let (kpne_cutoff, dense_selectivity) = self.effective_thresholds();
 
         // Candidate-space size: Π |Ci| (saturating) times k. Member counts
         // and selectivity come from the inverted label index — the
@@ -100,9 +232,9 @@ impl QueryPlanner {
         }
         let space = product.saturating_mul(query.k as u64);
 
-        let method = if !query.categories.is_empty() && space <= cfg.kpne_cutoff {
+        let method = if !query.categories.is_empty() && space <= kpne_cutoff {
             Method::Kpne
-        } else if max_selectivity >= cfg.dense_selectivity && query.k >= cfg.dense_k {
+        } else if max_selectivity >= dense_selectivity && query.k >= cfg.dense_k {
             Method::Pk
         } else {
             Method::Sk
@@ -196,6 +328,104 @@ mod tests {
 
         let big = Query::new(fx.s, fx.t, vec![fx.ma, fx.re], 1000);
         assert_eq!(planner.plan(&ig, &big).examined_budget, 1000, "ceiling");
+    }
+
+    #[test]
+    fn skewed_latencies_shift_method_choice_only_when_calibrating() {
+        // Dense-ish world: 2 categories at ~16% selectivity — under the
+        // default 25% bar, so large-k queries default to SK.
+        let mut g = road_grid_directed(16, 16, 3);
+        assign_uniform(&mut g, 2, 40, 7);
+        let ig = IndexedGraph::build_default(g);
+        let dense = Query::new(
+            VertexId(0),
+            VertexId(255),
+            vec![CategoryId(0), CategoryId(1)],
+            16,
+        );
+
+        let calibrating = QueryPlanner::new(PlannerConfig {
+            calibrate: true,
+            ..Default::default()
+        });
+        assert_eq!(calibrating.plan(&ig, &dense).method, Method::Sk);
+
+        // The live workload shows PK an order of magnitude cheaper: the
+        // density bar drops (clamped) and the same query flips to PK.
+        for _ in 0..16 {
+            calibrating.observe(Method::Sk, Duration::from_millis(10));
+            calibrating.observe(Method::Pk, Duration::from_millis(1));
+        }
+        let (_, dense_bar) = calibrating.effective_thresholds();
+        assert!(dense_bar < 0.25 / (CALIBRATION_CLAMP - 0.5), "{dense_bar}");
+        assert_eq!(calibrating.plan(&ig, &dense).method, Method::Pk);
+
+        // The same evidence with the flag off must not move the plan.
+        let frozen = QueryPlanner::default();
+        for _ in 0..16 {
+            frozen.observe(Method::Sk, Duration::from_millis(10));
+            frozen.observe(Method::Pk, Duration::from_millis(1));
+        }
+        assert_eq!(frozen.plan(&ig, &dense).method, Method::Sk);
+        assert_eq!(frozen.effective_thresholds(), (64, 0.25));
+    }
+
+    #[test]
+    fn kpne_cutoff_scales_with_observed_kpne_advantage() {
+        // Figure 1 at a k that puts the candidate space just above the
+        // default cutoff of 64, so the planner starts on SK.
+        let fx = figure1();
+        let ig = fig1_ig();
+        let space_per_k: u64 = [fx.ma, fx.re, fx.ci]
+            .iter()
+            .map(|&c| ig.inverted.members_of(c) as u64)
+            .product();
+        let k = (64 / space_per_k + 1) as usize;
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], k);
+        let planner = QueryPlanner::new(PlannerConfig {
+            calibrate: true,
+            // Keep the dense/PK branch out of the way: this test isolates
+            // the KPNE-cutoff half of the feedback loop.
+            dense_k: usize::MAX,
+            ..Default::default()
+        });
+        assert_eq!(planner.plan(&ig, &q).method, Method::Sk);
+        for _ in 0..16 {
+            planner.observe(Method::Kpne, Duration::from_micros(100));
+            planner.observe(Method::Sk, Duration::from_millis(2));
+        }
+        let (cutoff, _) = planner.effective_thresholds();
+        assert!(cutoff >= space_per_k * k as u64, "cutoff grew to {cutoff}");
+        assert_eq!(planner.plan(&ig, &q).method, Method::Kpne);
+    }
+
+    #[test]
+    fn calibrate_from_seeds_the_ewmas_from_a_stats_snapshot() {
+        let mut g = road_grid_directed(16, 16, 3);
+        assign_uniform(&mut g, 2, 40, 7);
+        let ig = IndexedGraph::build_default(g);
+        let dense = Query::new(
+            VertexId(0),
+            VertexId(255),
+            vec![CategoryId(0), CategoryId(1)],
+            16,
+        );
+        let planner = QueryPlanner::new(PlannerConfig {
+            calibrate: true,
+            ..Default::default()
+        });
+        let snap = |m: Method, mean: Duration| crate::MethodStats {
+            method: m,
+            completed: 50,
+            latency_mean: mean,
+            latency_p50: mean,
+            latency_p99: mean,
+        };
+        planner.calibrate_from(&[
+            snap(Method::Sk, Duration::from_millis(20)),
+            snap(Method::Pk, Duration::from_millis(1)),
+        ]);
+        assert_eq!(planner.plan(&ig, &dense).method, Method::Pk);
     }
 
     #[test]

@@ -119,6 +119,20 @@ impl LatencyHistogram {
     }
 }
 
+/// The dense counter-slot index of a method — shared by the executor's
+/// per-method histograms and the planner's calibration EWMAs so the two
+/// tables can never disagree on which slot a method owns.
+pub(crate) fn method_slot(m: Method) -> usize {
+    match m {
+        Method::Kpne => 0,
+        Method::KpneDij => 1,
+        Method::Pk => 2,
+        Method::PkDij => 3,
+        Method::Sk => 4,
+        Method::SkDij => 5,
+    }
+}
+
 /// Execution counters of one planner method (`Kpne`/`Pk`/`Sk`) — the
 /// feedback signal planner calibration consumes: observed per-method
 /// latency against the planner's selectivity-based choices. Cache hits are

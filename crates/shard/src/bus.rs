@@ -164,8 +164,7 @@ impl LiveUpdateBus {
         let shadow = self.shadow_update(update);
         let mut receipt = BusReceipt::default();
         let mut log = self.log.lock();
-        log.entries.push(*update);
-        let seq = log.entries.len();
+        let seq = log.push(*update);
         let mut applied_any = false;
         for (j, set) in self.shards.iter().enumerate() {
             let healthy = set.healthy_indices();
@@ -197,7 +196,7 @@ impl LiveUpdateBus {
                             // Deterministic rejection on the first replica:
                             // every consistent replica would repeat it, so
                             // nothing mutated anywhere — unlog and refuse.
-                            log.entries.pop();
+                            log.pop_newest();
                             return Err(ShardError::Update(e));
                         }
                         // A rejection after some replica accepted means
@@ -229,6 +228,10 @@ impl LiveUpdateBus {
     /// Replays the log suffix replica `r` of shard `j` missed, then marks
     /// it healthy. Returns the number of log entries replayed.
     ///
+    /// A cursor that predates the compacted log head cannot be replayed:
+    /// the typed [`ShardError::CursorTooOld`] tells the caller (the
+    /// supervisor) to take the [`LiveUpdateBus::refresh`] path instead.
+    ///
     /// Safe against double application: membership updates are set
     /// operations, and an [`Update::InsertEdge`] the replica's state
     /// already contains answers `WeightNotDecreased`, which replay counts
@@ -238,9 +241,15 @@ impl LiveUpdateBus {
         let set = &self.shards[j];
         let mut log = self.log.lock();
         let start = log.cursors[j][r];
+        if start < log.head() {
+            return Err(ShardError::CursorTooOld {
+                cursor: start,
+                head: log.head(),
+            });
+        }
         let mut replayed = 0;
-        for seq in start..log.entries.len() {
-            let update = log.entries[seq];
+        for seq in start..log.tail() {
+            let update = log.get(seq).expect("cursor ≥ head ⇒ suffix is live");
             let shadow = self.shadow_update(&update);
             match self.apply_to_replica(j, set.transport(r).as_ref(), &update, &shadow) {
                 Ok(_) => {}
@@ -256,12 +265,13 @@ impl LiveUpdateBus {
             }
             replayed += 1;
         }
-        log.cursors[j][r] = log.entries.len();
+        log.cursors[j][r] = log.tail();
         set.mark_healthy(r);
         // Replayed membership updates change member counts after the
         // publish-time invalidation already happened: drop the fan-out
         // cache again so planning re-reads the converged fleet.
-        if log.entries[start..]
+        if log
+            .suffix(start)
             .iter()
             .any(|u| u.touched_category().is_some())
         {
@@ -270,9 +280,50 @@ impl LiveUpdateBus {
         Ok(replayed)
     }
 
+    /// Refreshes replica `r` of shard `j` **by snapshot**: pulls a blob
+    /// from a healthy sibling, pushes it into the replica over its
+    /// transport (`InstallSnapshot`), rebases the replica's cursor to the
+    /// log tail captured *before* the pull, then replays whatever was
+    /// published during the transfer. This is how a replica whose missed
+    /// suffix was compacted away (or is longer than the supervisor's
+    /// replay limit) returns to service without an unbounded replay.
+    ///
+    /// The cursor-before-pull capture is safe for the same one-way reason
+    /// as `ShardRouter::snapshot_shard`: the blob can only be *ahead* of
+    /// the captured cursor, and replay is idempotent against
+    /// already-contained updates.
+    pub fn refresh(&self, j: usize, r: usize) -> Result<usize, ShardError> {
+        let set = &self.shards[j];
+        let cursor = self.log.lock().tail();
+        let blob = match set.call_with_failover(|t| t.snapshot()) {
+            Ok(blob) => blob,
+            Err(e) => {
+                // No healthy sibling to pull a snapshot from. That is
+                // exactly the case where compaction pinned the log at this
+                // shard's own minimum cursor — so if the replica's suffix
+                // is still live, fall back to plain replay (however long)
+                // rather than wedging on an impossible refresh.
+                let (cursor, head) = {
+                    let log = self.log.lock();
+                    (log.cursors[j][r], log.head())
+                };
+                if cursor >= head {
+                    return self.recover(j, r);
+                }
+                return Err(ShardError::from(e));
+            }
+        };
+        set.transport(r)
+            .install_snapshot(&blob)
+            .map_err(ShardError::from)?;
+        self.log.lock().cursors[j][r] = cursor;
+        self.recover(j, r)
+    }
+
     /// Recovers every `Down` replica of every shard (see
     /// [`LiveUpdateBus::recover`]); returns `(shard, replica)` pairs that
-    /// still could not be reached.
+    /// still could not be reached. Replicas whose cursor was compacted
+    /// away are refreshed by snapshot.
     pub fn recover_all(&self) -> Vec<(usize, usize)> {
         let mut unreachable = Vec::new();
         for (j, set) in self.shards.iter().enumerate() {
@@ -280,7 +331,11 @@ impl LiveUpdateBus {
                 if set.healthy_indices().contains(&r) {
                     continue;
                 }
-                if self.recover(j, r).is_err() {
+                let result = match self.recover(j, r) {
+                    Err(ShardError::CursorTooOld { .. }) => self.refresh(j, r),
+                    other => other,
+                };
+                if result.is_err() {
                     unreachable.push((j, r));
                 }
             }
@@ -288,9 +343,69 @@ impl LiveUpdateBus {
         unreachable
     }
 
-    /// Published updates so far (the log length).
+    /// Compacts the log so its live portion shrinks back toward
+    /// `watermark`, without ever dropping an entry some replica may still
+    /// need *and can still be given*:
+    ///
+    /// * per shard, the floor is the minimum cursor of its **healthy**
+    ///   replicas — a down replica with a healthy sibling can always be
+    ///   snapshot-refreshed from that sibling, so its stale cursor may be
+    ///   stranded;
+    /// * a shard with **no** healthy replica pins the log at its own
+    ///   minimum cursor: compacting past it would leave nothing to replay
+    ///   *and* no sibling to pull a snapshot from.
+    ///
+    /// When the live log already fits the fleet-wide minimum cursor, that
+    /// tighter bound is used so short-downed replicas keep their cheap
+    /// replay path. Returns the number of entries dropped.
+    pub fn compact(&self, watermark: usize) -> usize {
+        let mut log = self.log.lock();
+        if log.live_len() <= watermark {
+            return 0;
+        }
+        let mut min_all = log.tail();
+        let mut target = log.tail();
+        for (j, set) in self.shards.iter().enumerate() {
+            let healthy = set.healthy_indices();
+            let shard_floor = (0..set.num_replicas())
+                .filter(|r| healthy.contains(r) || healthy.is_empty())
+                .map(|r| log.cursors[j][r])
+                .min()
+                .unwrap_or_else(|| log.tail());
+            target = target.min(shard_floor);
+            if let Some(m) = log.cursors[j].iter().min() {
+                min_all = min_all.min(*m);
+            }
+        }
+        // Prefer the gentle bound when it already satisfies the watermark.
+        if log.tail() - min_all <= watermark {
+            target = min_all;
+        }
+        log.compact_to(target)
+    }
+
+    /// `(cursor, head, tail)` of replica `r` of shard `j` — what the
+    /// supervisor reads to choose between replay and snapshot refresh.
+    pub fn cursor_state(&self, j: usize, r: usize) -> (usize, usize, usize) {
+        let log = self.log.lock();
+        (log.cursors[j][r], log.head(), log.tail())
+    }
+
+    /// Published updates so far (the absolute log tail; monotone across
+    /// compactions).
     pub fn log_len(&self) -> usize {
-        self.log.lock().entries.len()
+        self.log.lock().tail()
+    }
+
+    /// The oldest absolute sequence still replayable.
+    pub fn log_head(&self) -> usize {
+        self.log.lock().head()
+    }
+
+    /// Entries currently held live (bounded by the supervisor's
+    /// compaction watermark plus the in-flight window).
+    pub fn log_live_len(&self) -> usize {
+        self.log.lock().live_len()
     }
 }
 

@@ -17,6 +17,15 @@ pub enum ShardError {
     /// Transport trouble failover could not hide (e.g. every replica of a
     /// shard is down).
     Transport(TransportError),
+    /// A replica's update-log cursor predates the compacted log head:
+    /// replay is impossible, the replica must be refreshed by snapshot
+    /// (the supervisor's `CursorTooOld → snapshot refresh` path).
+    CursorTooOld {
+        /// The replica's applied cursor.
+        cursor: usize,
+        /// The log head: the oldest sequence still replayable.
+        head: usize,
+    },
 }
 
 impl std::fmt::Display for ShardError {
@@ -26,6 +35,12 @@ impl std::fmt::Display for ShardError {
             ShardError::Service(e) => write!(f, "{e}"),
             ShardError::Update(e) => write!(f, "{e}"),
             ShardError::Transport(e) => write!(f, "shard transport: {e}"),
+            ShardError::CursorTooOld { cursor, head } => {
+                write!(
+                    f,
+                    "replica cursor {cursor} predates compacted log head {head}: snapshot refresh required"
+                )
+            }
         }
     }
 }
@@ -36,6 +51,7 @@ impl std::error::Error for ShardError {
             ShardError::Service(e) => Some(e),
             ShardError::Update(e) => Some(e),
             ShardError::Transport(e) => Some(e),
+            ShardError::CursorTooOld { .. } => None,
         }
     }
 }
@@ -59,6 +75,12 @@ impl From<TransportError> for ShardError {
             // so callers see the same errors sharded and unsharded.
             TransportError::Service(e) => ShardError::Service(e),
             TransportError::Update(e) => ShardError::Update(e),
+            // A remote replica refusing a stale compaction notice is the
+            // same condition as a local cursor-vs-head mismatch.
+            TransportError::CursorTooOld { cursor, head } => ShardError::CursorTooOld {
+                cursor: cursor as usize,
+                head: head as usize,
+            },
             other => ShardError::Transport(other),
         }
     }

@@ -87,6 +87,7 @@ mod error;
 mod merge;
 mod router;
 mod state;
+mod supervisor;
 
 /// The single definition of the shadow-category layout: shard replicas
 /// store `B` base categories at ids `0..B` and the per-shard owned slices
@@ -104,6 +105,7 @@ pub use bus::{BusReceipt, LiveUpdateBus};
 pub use error::ShardError;
 pub use merge::merge_topk;
 pub use router::{ShardRouter, ShardTicket, ShardedResponse};
+pub use supervisor::{FleetSupervisor, SupervisorConfig, SupervisorHandle, SupervisorReport};
 
 // Re-exported so shard users don't need direct sibling dependencies for
 // the common types.

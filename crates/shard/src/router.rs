@@ -237,6 +237,15 @@ impl ShardRouter {
         )
     }
 
+    /// A supervisor over this router's replica fleets: heartbeats, drives
+    /// recovery (replay or snapshot refresh) for quarantined replicas, and
+    /// compacts the update log. Run it on its own clock with
+    /// [`crate::FleetSupervisor::start`], or step it deterministically
+    /// with [`crate::FleetSupervisor::tick`].
+    pub fn supervisor(&self, config: crate::SupervisorConfig) -> crate::FleetSupervisor {
+        crate::FleetSupervisor::new(self.shards.clone(), self.update_bus(), config)
+    }
+
     /// Shard `j`'s current member-count report, via the per-epoch cache.
     fn counts(&self, j: usize) -> Result<Arc<MemberCounts>, ShardError> {
         self.fanout
@@ -356,7 +365,7 @@ impl ShardRouter {
     /// `WeightNotDecreased` edge inserts counted as applied), converging
     /// in log order regardless.
     pub fn snapshot_shard(&self, j: usize) -> Result<(usize, SnapshotBlob), ShardError> {
-        let cursor = self.log.lock().entries.len();
+        let cursor = self.log.lock().tail();
         let blob = self.shards[j]
             .call_with_failover(|t| t.snapshot())
             .map_err(ShardError::from)?;

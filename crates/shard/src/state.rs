@@ -68,28 +68,91 @@ impl FanoutCache {
 /// publish/recover/snapshot, so cursors, log order and shipped snapshots
 /// can never interleave inconsistently.
 ///
-/// The log is append-only for now: compacting the prefix below the
-/// minimum cursor (long-downed replicas re-join via snapshot + their own
-/// cursor anyway) is deliberately left to the supervisor-loop follow-up
-/// in the ROADMAP — it needs cursor rebasing, which belongs with the
-/// component that decides when a replica is snapshot-refreshed instead
-/// of replayed.
+/// The log is **compacting**: sequence numbers are absolute (the `seq`th
+/// publish keeps seq number `seq` forever), but the supervisor drops the
+/// prefix below the fleet's minimum replayable cursor once the live
+/// portion exceeds its watermark. A replica whose cursor predates the
+/// head can no longer be replayed — recovery reports the typed
+/// `CursorTooOld` and the supervisor refreshes it by snapshot instead.
+/// The invariant every path preserves: **head ≤ min cursor of every
+/// replica that will ever be replayed** (stranded cursors are allowed,
+/// but only for replicas the refresh path can still reach through a
+/// healthy sibling).
 pub(crate) struct UpdateLog {
     inner: Mutex<LogInner>,
 }
 
 pub(crate) struct LogInner {
-    /// Published updates (base form), in publish order. Validated no-ops
-    /// are logged too: replaying them is harmless and keeps cursors dense.
-    pub entries: Vec<Update>,
-    /// `cursors[shard][replica]`: applied prefix length of `entries`.
+    /// Absolute sequence number of `entries[0]`: everything below it has
+    /// been compacted away.
+    head: usize,
+    /// The live suffix of the published updates (base form), in publish
+    /// order. Validated no-ops are logged too: replaying them is harmless
+    /// and keeps cursors dense.
+    entries: Vec<Update>,
+    /// `cursors[shard][replica]`: absolute applied prefix length.
     pub cursors: Vec<Vec<usize>>,
+}
+
+impl LogInner {
+    /// The absolute sequence number one past the newest entry.
+    pub(crate) fn tail(&self) -> usize {
+        self.head + self.entries.len()
+    }
+
+    /// The oldest absolute sequence still replayable.
+    pub(crate) fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Entries currently held live (tail − head).
+    pub(crate) fn live_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends an update; returns the tail after the append (the cursor a
+    /// replica holds once it has applied this entry).
+    pub(crate) fn push(&mut self, update: Update) -> usize {
+        self.entries.push(update);
+        self.tail()
+    }
+
+    /// Drops the newest entry — the unlog path for a publish every
+    /// consistent replica deterministically refused.
+    pub(crate) fn pop_newest(&mut self) {
+        self.entries.pop();
+    }
+
+    /// The entry at absolute sequence `seq`, if it is still live.
+    pub(crate) fn get(&self, seq: usize) -> Option<Update> {
+        seq.checked_sub(self.head)
+            .and_then(|i| self.entries.get(i))
+            .copied()
+    }
+
+    /// The live entries from absolute sequence `from` (clamped to head).
+    pub(crate) fn suffix(&self, from: usize) -> &[Update] {
+        &self.entries[from.saturating_sub(self.head).min(self.entries.len())..]
+    }
+
+    /// Advances the head to `target` (absolute), dropping everything
+    /// below; returns how many entries were dropped. A target at or below
+    /// the current head is a no-op.
+    pub(crate) fn compact_to(&mut self, target: usize) -> usize {
+        let drop = target.saturating_sub(self.head).min(self.entries.len());
+        if drop > 0 {
+            self.entries.drain(..drop);
+            self.head += drop;
+        }
+        drop
+    }
 }
 
 impl UpdateLog {
     pub(crate) fn new(replicas_per_shard: &[usize]) -> UpdateLog {
         UpdateLog {
             inner: Mutex::new(LogInner {
+                head: 0,
                 entries: Vec::new(),
                 cursors: replicas_per_shard.iter().map(|&n| vec![0; n]).collect(),
             }),

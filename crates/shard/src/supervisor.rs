@@ -1,0 +1,569 @@
+//! The fleet supervisor: the background loop that turns the recovery
+//! machinery from a test-harness chore into a property of the running
+//! system. Each **tick** it
+//!
+//! 1. **heartbeats** every replica fleet (a faulting healthy replica is
+//!    quarantined on the spot);
+//! 2. **recovers** every `Down` replica that is reachable again —
+//!    replaying the missed update-log suffix when the gap is short, or
+//!    refreshing by snapshot (`snapshot → InstallSnapshot → replay the
+//!    transfer window`) when the gap exceeds the replay limit or the
+//!    suffix was compacted away (typed [`ShardError::CursorTooOld`]);
+//! 3. **compacts** the update log below the minimum replayable cursor
+//!    once its live portion exceeds the watermark, then broadcasts the
+//!    new head to healthy replicas (`Compact` frames), so the log stays
+//!    bounded however long the system runs.
+//!
+//! The tick is a plain synchronous function: the property suites step it
+//! deterministically (no timers in the loop body), and
+//! [`FleetSupervisor::start`] runs the same tick on a wall-clock interval
+//! for production deployments.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use kosr_transport::ReplicaSet;
+
+use crate::bus::LiveUpdateBus;
+use crate::error::ShardError;
+
+/// Supervisor tunables.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Wall-clock pause between ticks in [`FleetSupervisor::start`] mode.
+    pub tick_every: Duration,
+    /// Live-log length above which a tick compacts. The bound the soak
+    /// suite proves: live length never exceeds `compact_watermark` plus
+    /// the updates published since the last tick (the in-flight window).
+    pub compact_watermark: usize,
+    /// Largest missed suffix recovered by replay; longer gaps (and
+    /// compacted-away cursors) take the snapshot-refresh path instead, so
+    /// a long-downed replica never triggers an unbounded replay.
+    pub replay_limit: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            tick_every: Duration::from_millis(100),
+            compact_watermark: 1024,
+            replay_limit: 256,
+        }
+    }
+}
+
+/// Monotone counters describing what the supervisor has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Replicas restored by replaying a short log suffix.
+    pub replays: u64,
+    /// Replicas restored by snapshot refresh.
+    pub snapshot_refreshes: u64,
+    /// Recoveries that took the refresh path because the replica's cursor
+    /// predated the compacted head (the typed `CursorTooOld` signal).
+    pub cursor_too_old: u64,
+    /// Ticks that compacted the log.
+    pub compactions: u64,
+    /// Log entries dropped by compaction in total.
+    pub entries_compacted: u64,
+    /// Recovery attempts that failed (replica still unreachable or no
+    /// healthy snapshot source); retried next tick.
+    pub recovery_failures: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    ticks: AtomicU64,
+    replays: AtomicU64,
+    snapshot_refreshes: AtomicU64,
+    cursor_too_old: AtomicU64,
+    compactions: AtomicU64,
+    entries_compacted: AtomicU64,
+    recovery_failures: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> SupervisorReport {
+        SupervisorReport {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
+            snapshot_refreshes: self.snapshot_refreshes.load(Ordering::Relaxed),
+            cursor_too_old: self.cursor_too_old.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            entries_compacted: self.entries_compacted.load(Ordering::Relaxed),
+            recovery_failures: self.recovery_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn fleet_healthy(shards: &[Arc<ReplicaSet>]) -> bool {
+    shards
+        .iter()
+        .all(|set| set.healthy_indices().len() == set.num_replicas())
+}
+
+/// The self-healing loop over a router's replica fleets.
+pub struct FleetSupervisor {
+    shards: Vec<Arc<ReplicaSet>>,
+    bus: LiveUpdateBus,
+    config: SupervisorConfig,
+    counters: Arc<Counters>,
+}
+
+impl FleetSupervisor {
+    pub(crate) fn new(
+        shards: Vec<Arc<ReplicaSet>>,
+        bus: LiveUpdateBus,
+        config: SupervisorConfig,
+    ) -> FleetSupervisor {
+        FleetSupervisor {
+            shards,
+            bus,
+            config,
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The active tunables.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// A snapshot of the supervisor's counters.
+    pub fn report(&self) -> SupervisorReport {
+        self.counters.snapshot()
+    }
+
+    /// `true` when every replica of every shard is serving.
+    pub fn all_healthy(&self) -> bool {
+        fleet_healthy(&self.shards)
+    }
+
+    /// One supervision pass: heartbeat → recover → compact → broadcast.
+    /// Synchronous and idempotent — the deterministic suites step it like
+    /// a clock; [`FleetSupervisor::start`] calls it on a timer.
+    ///
+    /// The heartbeat/recovery pass runs **per shard in parallel**, and
+    /// recovery reuses the heartbeat's ping instead of pinging again — so
+    /// one wedged replica costs a tick at most one request deadline, and
+    /// only for its own shard's lane.
+    pub fn tick(&self) {
+        self.counters.ticks.fetch_add(1, Ordering::Relaxed);
+        std::thread::scope(|scope| {
+            for (j, set) in self.shards.iter().enumerate() {
+                let counters = &self.counters;
+                let bus = &self.bus;
+                let config = &self.config;
+                scope.spawn(move || {
+                    // 1. Heartbeats quarantine faulting replicas (and
+                    // surface a dead one before a query has to pay the
+                    // failover latency). The per-replica results double
+                    // as this tick's reachability probe.
+                    let beats = set.heartbeat();
+                    // 2. Recovery: every quarantined-but-reachable
+                    // replica is driven back to a serving state.
+                    for (r, beat) in beats.iter().enumerate() {
+                        if set.healthy_indices().contains(&r) {
+                            continue;
+                        }
+                        // Unreachable this tick; the next one retries.
+                        if beat.is_err() {
+                            continue;
+                        }
+                        let (cursor, head, tail) = bus.cursor_state(j, r);
+                        let gap = tail.saturating_sub(cursor);
+                        if cursor < head {
+                            counters.cursor_too_old.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let want_refresh = cursor < head || gap > config.replay_limit;
+                        let result = if want_refresh {
+                            bus.refresh(j, r)
+                        } else {
+                            match bus.recover(j, r) {
+                                // The head can race past the cursor
+                                // between the read above and the replay:
+                                // fall through to the refresh path, same
+                                // as if we had seen it.
+                                Err(ShardError::CursorTooOld { .. }) => {
+                                    counters.cursor_too_old.fetch_add(1, Ordering::Relaxed);
+                                    bus.refresh(j, r)
+                                }
+                                other => other,
+                            }
+                        };
+                        match result {
+                            Ok(_) if want_refresh => {
+                                counters.snapshot_refreshes.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(_) => {
+                                counters.replays.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                counters.recovery_failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // 3. Compaction keeps the log bounded; the new head is broadcast
+        // so replicas can refuse replays from controllers staler than the
+        // log itself.
+        let dropped = self.bus.compact(self.config.compact_watermark);
+        if dropped > 0 {
+            self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .entries_compacted
+                .fetch_add(dropped as u64, Ordering::Relaxed);
+            let head = self.bus.log_head() as u64;
+            for set in &self.shards {
+                for r in set.healthy_indices() {
+                    // A faulting notice is harmless — the next heartbeat
+                    // quarantines the replica and recovery re-syncs it.
+                    let _ = set.transport(r).compact(head);
+                }
+            }
+        }
+    }
+
+    /// Moves the supervisor onto its own thread, ticking every
+    /// [`SupervisorConfig::tick_every`] until the handle is dropped (or
+    /// [`SupervisorHandle::stop`] is called). The handle keeps counter and
+    /// health visibility while the loop runs.
+    pub fn start(self) -> SupervisorHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::clone(&self.counters);
+        let flag = Arc::clone(&stop);
+        let every = self.config.tick_every;
+        let shards = self.shards.clone();
+        let handle = thread::Builder::new()
+            .name("kosr-supervisor".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    self.tick();
+                    // Sleep in short slices so stop() is prompt even with
+                    // a long tick interval.
+                    let mut remaining = every;
+                    while !remaining.is_zero() && !flag.load(Ordering::Acquire) {
+                        let nap = remaining.min(Duration::from_millis(10));
+                        thread::sleep(nap);
+                        remaining = remaining.saturating_sub(nap);
+                    }
+                }
+            })
+            .expect("spawn supervisor loop");
+        SupervisorHandle {
+            stop,
+            counters,
+            shards,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// A running supervisor loop (see [`FleetSupervisor::start`]). Dropping
+/// the handle stops the loop.
+pub struct SupervisorHandle {
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    shards: Vec<Arc<ReplicaSet>>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl SupervisorHandle {
+    /// Counter snapshot of the running loop.
+    pub fn report(&self) -> SupervisorReport {
+        self.counters.snapshot()
+    }
+
+    /// `true` when every replica of every shard is serving.
+    pub fn all_healthy(&self) -> bool {
+        fleet_healthy(&self.shards)
+    }
+
+    /// Blocks (polling) until the fleet is fully healthy or `timeout`
+    /// passes; returns whether health was reached. What examples and
+    /// integration tests use instead of hand-driving recovery.
+    pub fn await_healthy(&self, timeout: Duration) -> bool {
+        let started = std::time::Instant::now();
+        while started.elapsed() < timeout {
+            if self.all_healthy() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        self.all_healthy()
+    }
+
+    /// Stops the loop and joins its thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SupervisorHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ShardRouter, ShardSet};
+    use kosr_core::figure1::figure1;
+    use kosr_core::{IndexedGraph, Query};
+    use kosr_graph::{PartitionConfig, Partitioner};
+    use kosr_service::{ServiceConfig, Update};
+    use kosr_transport::KillSwitch;
+
+    fn fleet(
+        shards: usize,
+        replicas: usize,
+    ) -> (ShardRouter, Vec<KillSwitch>, kosr_core::figure1::Figure1) {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let partition = Partitioner::new(PartitionConfig {
+            num_shards: shards,
+            ..Default::default()
+        })
+        .partition(&ig.graph);
+        let set = ShardSet::build(&ig, partition);
+        let mut switches = Vec::new();
+        let router = ShardRouter::with_replicas(
+            set,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            replicas,
+            |_, _, t| {
+                switches.push(t.kill_switch());
+                Arc::new(t)
+            },
+        );
+        (router, switches, fx)
+    }
+
+    fn removals(fx: &kosr_core::figure1::Figure1, n: usize) -> Vec<Update> {
+        // Alternate remove/insert of the same membership: n distinct
+        // publishes that always validate (never a no-op rejection race).
+        let v = fx.graph.categories().vertices_of(fx.re)[0];
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Update::RemoveMembership {
+                        vertex: v,
+                        category: fx.re,
+                    }
+                } else {
+                    Update::InsertMembership {
+                        vertex: v,
+                        category: fx.re,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tick_restores_a_killed_replica_by_replay() {
+        let (router, switches, fx) = fleet(2, 2);
+        let bus = router.update_bus();
+        let sup = router.supervisor(SupervisorConfig::default());
+
+        // Kill shard 0 replica 1's channel; the next tick quarantines it
+        // via heartbeat, no manual mark_down needed.
+        switches[1].kill();
+        sup.tick();
+        assert!(!sup.all_healthy());
+        for u in removals(&fx, 3) {
+            bus.publish(&u).unwrap();
+        }
+        assert_eq!(router.replica_service(0, 1).index_epoch(), 0);
+
+        // Channel restored: one tick replays the short gap and reinstates.
+        switches[1].revive();
+        sup.tick();
+        assert!(sup.all_healthy());
+        let report = sup.report();
+        assert!(report.replays >= 1, "{report:?}");
+        assert_eq!(report.snapshot_refreshes, 0);
+        assert!(router.replica_service(0, 1).index_epoch() > 0);
+        let (cursor, _, tail) = bus.cursor_state(0, 1);
+        assert_eq!(cursor, tail);
+    }
+
+    #[test]
+    fn tick_refreshes_long_gaps_by_snapshot_not_replay() {
+        let (router, switches, fx) = fleet(2, 2);
+        let bus = router.update_bus();
+        let sup = router.supervisor(SupervisorConfig {
+            replay_limit: 2,
+            ..Default::default()
+        });
+        switches[1].kill();
+        sup.tick();
+        for u in removals(&fx, 6) {
+            bus.publish(&u).unwrap();
+        }
+        switches[1].revive();
+        sup.tick();
+        assert!(sup.all_healthy());
+        let report = sup.report();
+        assert!(report.snapshot_refreshes >= 1, "{report:?}");
+        // The refreshed replica answers like everyone else.
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let resp = router.submit(q).unwrap().wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+    }
+
+    #[test]
+    fn compaction_bounds_the_log_and_strands_long_downed_cursors() {
+        let (router, switches, fx) = fleet(2, 2);
+        let bus = router.update_bus();
+        let sup = router.supervisor(SupervisorConfig {
+            compact_watermark: 4,
+            replay_limit: 100, // isolate the CursorTooOld path
+            ..Default::default()
+        });
+        switches[1].kill();
+        sup.tick();
+        for u in removals(&fx, 12) {
+            bus.publish(&u).unwrap();
+        }
+        assert_eq!(bus.log_live_len(), 12);
+        sup.tick();
+        // Healthy cursors sit at the tail, so compaction trims to it —
+        // stranding the downed replica's cursor below the head.
+        assert!(bus.log_live_len() <= 4, "live {}", bus.log_live_len());
+        let report = sup.report();
+        assert!(report.compactions >= 1, "{report:?}");
+        let (cursor, head, _) = bus.cursor_state(0, 1);
+        assert!(cursor < head, "cursor {cursor} vs head {head}");
+        // Healthy replicas heard the broadcast head.
+        assert_eq!(router.replica_service(0, 0).log_head(), head as u64);
+
+        // Revival goes through the typed CursorTooOld → snapshot refresh.
+        switches[1].revive();
+        sup.tick();
+        assert!(sup.all_healthy());
+        let report = sup.report();
+        assert!(report.cursor_too_old >= 1, "{report:?}");
+        assert!(report.snapshot_refreshes >= 1, "{report:?}");
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        assert_eq!(
+            router.submit(q).unwrap().wait().unwrap().outcome.costs(),
+            vec![20, 21, 22]
+        );
+    }
+
+    #[test]
+    fn a_fully_down_shard_pins_the_log() {
+        let (router, switches, fx) = fleet(2, 1);
+        let bus = router.update_bus();
+        let sup = router.supervisor(SupervisorConfig {
+            compact_watermark: 2,
+            ..Default::default()
+        });
+        // Shard 1's only replica is down: no healthy sibling to refresh
+        // from, so its cursor must pin the log however big it grows.
+        // (Shard 0 stays healthy — the bus validates publishes against
+        // shard 0's replicated base counts.)
+        let down_shard = 1;
+        let victim = &switches[down_shard];
+        victim.kill();
+        sup.tick();
+        for u in removals(&fx, 8) {
+            bus.publish(&u).unwrap();
+        }
+        sup.tick();
+        let (cursor, head, _) = bus.cursor_state(down_shard, 0);
+        assert_eq!(head, cursor, "head never passes the pinned cursor");
+        assert!(bus.log_live_len() >= 8, "nothing replayable was dropped");
+
+        // Once the shard is reachable again, replay catches it up and the
+        // next tick is free to compact.
+        victim.revive();
+        sup.tick();
+        assert!(sup.all_healthy());
+        sup.tick();
+        assert!(bus.log_live_len() <= 2);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        assert_eq!(
+            router.submit(q).unwrap().wait().unwrap().outcome.costs(),
+            vec![20, 21, 22]
+        );
+    }
+
+    #[test]
+    fn sole_replica_with_long_gap_recovers_by_replay_fallback() {
+        // A fully-down shard has no healthy sibling to snapshot from, so
+        // even a gap past replay_limit must fall back to replay — the
+        // pinned log guarantees the suffix is live. Without the fallback
+        // this wedges forever (refresh → AllReplicasDown → retry).
+        let (router, switches, fx) = fleet(2, 1);
+        let bus = router.update_bus();
+        let sup = router.supervisor(SupervisorConfig {
+            replay_limit: 2,
+            compact_watermark: 2,
+            ..Default::default()
+        });
+        switches[1].kill();
+        sup.tick();
+        for u in removals(&fx, 8) {
+            bus.publish(&u).unwrap();
+        }
+        let (cursor, head, tail) = bus.cursor_state(1, 0);
+        assert_eq!(head, cursor, "the fully-down shard pinned the log");
+        assert!(tail - cursor > 2, "gap exceeds the replay limit");
+
+        switches[1].revive();
+        sup.tick();
+        assert!(sup.all_healthy(), "{:?}", sup.report());
+        let (cursor, _, tail) = bus.cursor_state(1, 0);
+        assert_eq!(cursor, tail);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        assert_eq!(
+            router.submit(q).unwrap().wait().unwrap().outcome.costs(),
+            vec![20, 21, 22]
+        );
+    }
+
+    #[test]
+    fn background_loop_heals_without_any_manual_calls() {
+        let (router, switches, fx) = fleet(2, 2);
+        let bus = router.update_bus();
+        let sup = router
+            .supervisor(SupervisorConfig {
+                tick_every: Duration::from_millis(5),
+                ..Default::default()
+            })
+            .start();
+        switches[1].kill();
+        // Even count: the remove/insert pairs cancel, so the post-recovery
+        // answer is the original one.
+        for u in removals(&fx, 4) {
+            bus.publish(&u).unwrap();
+        }
+        switches[1].revive();
+        assert!(
+            sup.await_healthy(Duration::from_secs(10)),
+            "supervisor loop reinstated the replica: {:?}",
+            sup.report()
+        );
+        assert!(router.replica_service(0, 1).index_epoch() > 0);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        assert_eq!(
+            router.submit(q).unwrap().wait().unwrap().outcome.costs(),
+            vec![20, 21, 22]
+        );
+    }
+}

@@ -271,6 +271,82 @@ impl ShardTransport for FaultyTransport {
     fn snapshot(&self) -> Result<SnapshotBlob, TransportError> {
         self.inner.snapshot()
     }
+
+    fn install_snapshot(&self, blob: &SnapshotBlob) -> Result<Heartbeat, TransportError> {
+        self.inner.install_snapshot(blob)
+    }
+
+    fn compact(&self, through: u64) -> Result<u64, TransportError> {
+        self.inner.compact(through)
+    }
+}
+
+/// One frame-delivery event in a [`MuxFaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MuxEvent {
+    /// Deliver the response for request `index` (of the plan's request
+    /// set).
+    Deliver(usize),
+    /// Deliver a *duplicate* response for request `index` (it may or may
+    /// not have been delivered already).
+    Duplicate(usize),
+    /// Deliver a response carrying a frame id that belongs to no request.
+    Stray(u64),
+}
+
+/// A seed-deterministic delivery schedule for `n` multiplexed in-flight
+/// requests: every request's response is delivered exactly once, but in a
+/// random **permuted order**, interleaved with duplicates and stray
+/// frames — the adversarial reader-side traffic a demultiplexer must
+/// never misroute. The supervisor/mux property suites replay plans from
+/// their seed, which keeps failures debuggable.
+#[derive(Clone, Debug)]
+pub struct MuxFaultPlan {
+    events: Vec<MuxEvent>,
+}
+
+impl MuxFaultPlan {
+    /// A plan over `n` requests drawn from `seed`, with roughly
+    /// `dup_per_mille`/`stray_per_mille` extra duplicate/stray events
+    /// (each clamped to 999‰ so a run of extras always terminates).
+    pub fn generate(seed: u64, n: usize, dup_per_mille: u32, stray_per_mille: u32) -> MuxFaultPlan {
+        let dup_per_mille = dup_per_mille.min(999);
+        let stray_per_mille = stray_per_mille.min(999);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DE3);
+        // A random permutation of the mandatory deliveries…
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        // …interleaved with duplicates and strays.
+        let mut events = Vec::with_capacity(n + n / 2);
+        for idx in order {
+            while rng.gen_range(0..1000u32) < dup_per_mille {
+                events.push(MuxEvent::Duplicate(rng.gen_range(0..n as u64) as usize));
+            }
+            while rng.gen_range(0..1000u32) < stray_per_mille {
+                // Ids far outside the request set: provably stray.
+                events.push(MuxEvent::Stray(u64::MAX - rng.gen_range(0..1000u64)));
+            }
+            events.push(MuxEvent::Deliver(idx));
+        }
+        MuxFaultPlan { events }
+    }
+
+    /// The delivery events, in schedule order.
+    pub fn events(&self) -> &[MuxEvent] {
+        &self.events
+    }
+
+    /// How many events the plan holds (≥ the request count).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the plan has no events (only for `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -1,17 +1,24 @@
-//! The transport PR's load-bearing guarantee: on random worlds, a
-//! replicated `ShardRouter` whose every replica sits behind a seeded
-//! fault-injecting transport (frame drops, response drops, delays,
-//! duplicates, replica kills, snapshot cold-joins) still answers
-//! **bit-identically** to an unsharded canonical oracle — before and
-//! after live updates, including updates replayed into a replica that
-//! joined from a shipped snapshot after failover.
+//! The transport PR's load-bearing guarantee, now supervisor-driven: on
+//! random worlds, a replicated `ShardRouter` whose every replica sits
+//! behind a seeded fault-injecting transport (frame drops, response
+//! drops, delays, duplicates, replica kills, snapshot cold-joins) still
+//! answers **bit-identically** to an unsharded canonical oracle — before
+//! and after live updates, including updates recovered into a replica
+//! that joined from a shipped snapshot after failover.
+//!
+//! The suite makes **zero manual `recover`/`heartbeat` calls**: every
+//! quarantined or cold-joined replica is restored exclusively by stepping
+//! the [`FleetSupervisor`]'s clock (`tick`), the same pass a production
+//! deployment runs on a timer.
 
 use std::sync::Arc;
 
 use kosr_core::{IndexedGraph, Query};
 use kosr_graph::{Graph, PartitionConfig, Partitioner};
 use kosr_service::{KosrService, ServiceConfig, ServiceError, Update};
-use kosr_shard::{LiveUpdateBus, ShardError, ShardRouter, ShardSet, ShardedResponse};
+use kosr_shard::{
+    FleetSupervisor, ShardError, ShardRouter, ShardSet, ShardedResponse, SupervisorConfig,
+};
 use kosr_testkit::{FaultConfig, FaultSchedule, FaultyTransport};
 use kosr_transport::{InProcTransport, KillSwitch};
 use kosr_workloads::{
@@ -69,23 +76,21 @@ fn flip_to_update(f: &MembershipFlip) -> Update {
     }
 }
 
-/// Asks the faulted router, recovering downed replicas and retrying on
+/// Asks the faulted router, stepping the supervisor's clock on
 /// transport-level failures (a fault schedule can take a whole shard down
-/// between recoveries). Deterministic rejections return immediately.
+/// between ticks). Deterministic rejections return immediately.
 fn ask(
     router: &ShardRouter,
-    bus: &LiveUpdateBus,
+    sup: &FleetSupervisor,
     q: &Query,
 ) -> Result<ShardedResponse, ShardError> {
     for _ in 0..32 {
         match router.submit(q.clone()).and_then(|t| t.wait()) {
-            Err(ShardError::Transport(_)) => {
-                bus.recover_all();
-            }
+            Err(ShardError::Transport(_)) => sup.tick(),
             other => return other,
         }
     }
-    panic!("query kept failing after 32 recovery rounds: {q:?}");
+    panic!("query kept failing after 32 supervisor ticks: {q:?}");
 }
 
 /// The faulted deployment must agree with the oracle bit-for-bit — on
@@ -93,13 +98,13 @@ fn ask(
 /// service errors on both sides).
 fn assert_matches_oracle(
     router: &ShardRouter,
-    bus: &LiveUpdateBus,
+    sup: &FleetSupervisor,
     oracle: &KosrService,
     queries: &[Query],
     label: &str,
 ) {
     for (i, q) in queries.iter().enumerate() {
-        let sharded = ask(router, bus, q);
+        let sharded = ask(router, sup, q);
         let plain = oracle.submit(q.clone()).and_then(|t| t.wait());
         match (sharded, plain) {
             (Ok(s), Ok(u)) => {
@@ -121,9 +126,14 @@ fn assert_matches_oracle(
     }
 }
 
-/// Publishes one update through the faulted bus, retrying transport-level
-/// failures after recovery, and mirrors it onto the oracle.
-fn publish_mirrored(router: &ShardRouter, bus: &LiveUpdateBus, oracle: &KosrService, u: &Update) {
+/// Publishes one update through the faulted bus, stepping the supervisor
+/// on transport-level failures, and mirrors it onto the oracle.
+fn publish_mirrored(
+    bus: &kosr_shard::LiveUpdateBus,
+    sup: &FleetSupervisor,
+    oracle: &KosrService,
+    u: &Update,
+) {
     let mut published = false;
     for _ in 0..32 {
         match bus.publish(u) {
@@ -131,17 +141,25 @@ fn publish_mirrored(router: &ShardRouter, bus: &LiveUpdateBus, oracle: &KosrServ
                 published = true;
                 break;
             }
-            Err(ShardError::Transport(_)) => {
-                bus.recover_all();
-            }
+            Err(ShardError::Transport(_)) => sup.tick(),
             Err(e) => panic!("unexpected rejection of {u:?}: {e}"),
         }
     }
     assert!(published, "update kept failing: {u:?}");
-    let _ = router; // receipts under faults aren't comparable; state is (below)
     oracle
         .apply_update(u)
         .expect("oracle accepts what the bus accepted");
+}
+
+/// Ticks the supervisor until the whole fleet serves (bounded).
+fn converge(sup: &FleetSupervisor, label: &str) {
+    for _ in 0..32 {
+        if sup.all_healthy() {
+            return;
+        }
+        sup.tick();
+    }
+    assert!(sup.all_healthy(), "{label}: fleet failed to converge");
 }
 
 /// One full fault-schedule round.
@@ -181,13 +199,15 @@ fn round(seed: u64) {
         },
     );
     let bus = router.update_bus();
+    let sup = router.supervisor(SupervisorConfig::default());
     let label = format!("seed {seed}, {num_shards} shards × {replicas} replicas");
 
     // Phase 1 — frame faults only: equivalence holds through drop/delay/
-    // duplicate schedules, with failover + recovery absorbing the damage.
+    // duplicate schedules, with failover + supervised recovery absorbing
+    // the damage.
     assert_matches_oracle(
         &router,
-        &bus,
+        &sup,
         &oracle,
         &queries_for(&g, 20, seed ^ 0x1111),
         &format!("{label}, phase 1"),
@@ -201,7 +221,7 @@ fn round(seed: u64) {
     }
     assert_matches_oracle(
         &router,
-        &bus,
+        &sup,
         &oracle,
         &queries_for(&g, 12, seed ^ 0x2222),
         &format!("{label}, phase 2 (primaries killed)"),
@@ -212,50 +232,45 @@ fn round(seed: u64) {
     let (cursor, blob) = loop {
         match router.snapshot_shard(0) {
             Ok(got) => break got,
-            Err(ShardError::Transport(_)) => {
-                bus.recover_all();
-            }
+            Err(ShardError::Transport(_)) => sup.tick(),
             Err(e) => panic!("snapshot failed: {e}"),
         }
     };
     for f in &gen_membership_flips(&g, 8, seed ^ 0x3333) {
-        publish_mirrored(&router, &bus, &oracle, &flip_to_update(f));
+        publish_mirrored(&bus, &sup, &oracle, &flip_to_update(f));
     }
 
-    // Phase 4 — revive the killed channels; recovery replays what each
-    // replica missed before it serves again.
+    // Phase 4 — revive the killed channels; the supervisor's clock alone
+    // replays what each replica missed before it serves again.
     for (_, s) in &switches {
         s.revive();
     }
-    // Replay itself rides the faulted transports, so a recovery pass can
-    // fault; a supervisor retries until the fleet converges.
-    let mut unreachable = bus.recover_all();
-    for _ in 0..32 {
-        if unreachable.is_empty() {
-            break;
-        }
-        unreachable = bus.recover_all();
-    }
-    assert!(unreachable.is_empty(), "{label}: {unreachable:?}");
+    converge(&sup, &format!("{label}, phase 4"));
+    assert!(
+        sup.report().replays + sup.report().snapshot_refreshes > 0,
+        "{label}: the supervisor must have restored the killed primaries"
+    );
     assert_matches_oracle(
         &router,
-        &bus,
+        &sup,
         &oracle,
         &queries_for(&g, 15, seed ^ 0x4444),
         &format!("{label}, phase 4 (post-update, post-replay)"),
     );
 
     // Phase 5 — cold join: replica 1 of shard 0 is replaced by a fresh
-    // service decoded from the pre-update snapshot; recovery replays the
-    // phase-3 updates into it; then every *other* replica of shard 0 is
-    // killed, so the snapshot-joined replica alone answers for the shard.
+    // service decoded from the pre-update snapshot; the supervisor alone
+    // notices the installed-but-behind replica and recovers it; then
+    // every *other* replica of shard 0 is killed, so the snapshot-joined
+    // replica answers for the shard by itself.
     let joined = IndexedGraph::decode_snapshot(&blob.bytes).expect("shipped snapshot decodes");
     let joined_svc = Arc::new(KosrService::new(Arc::new(joined), config));
     router.install_replica(0, 1, Arc::new(InProcTransport::new(joined_svc)), cursor);
-    let replayed = bus.recover(0, 1).expect("replay into snapshot join");
-    assert!(
-        replayed > 0,
-        "{label}: phase-3 updates must be replayed into the joined replica"
+    converge(&sup, &format!("{label}, phase 5 cold join"));
+    let (joined_cursor, _, tail) = bus.cursor_state(0, 1);
+    assert_eq!(
+        joined_cursor, tail,
+        "{label}: phase-3 updates must have been recovered into the joined replica"
     );
     for ((j, r), s) in &switches {
         if *j == 0 && *r != 1 {
@@ -264,7 +279,7 @@ fn round(seed: u64) {
     }
     assert_matches_oracle(
         &router,
-        &bus,
+        &sup,
         &oracle,
         &queries_for(&g, 15, seed ^ 0x5555),
         &format!("{label}, phase 5 (snapshot-joined replica serving alone)"),
@@ -307,8 +322,8 @@ fn quiet_schedules_inject_nothing() {
             schedules.push(Arc::clone(&s));
             Arc::new(FaultyTransport::new(Arc::new(t), s))
         });
-    let bus = router.update_bus();
-    assert_matches_oracle(&router, &bus, &oracle, &queries_for(&g, 15, 3), "quiet");
+    let sup = router.supervisor(SupervisorConfig::default());
+    assert_matches_oracle(&router, &sup, &oracle, &queries_for(&g, 15, 3), "quiet");
     assert!(schedules.iter().all(|s| s.total_injected() == 0));
     for j in 0..router.num_shards() {
         assert_eq!(router.replica_set(j).failovers(), 0);
@@ -339,14 +354,14 @@ fn rejections_pass_through_fault_layer() {
             ));
             Arc::new(FaultyTransport::new(Arc::new(t), s))
         });
-    let bus = router.update_bus();
+    let sup = router.supervisor(SupervisorConfig::default());
     let bad = Query::new(
         kosr_graph::VertexId(0),
         kosr_graph::VertexId(1),
         vec![kosr_graph::CategoryId(0)],
         0,
     );
-    let sharded = ask(&router, &bus, &bad).unwrap_err();
+    let sharded = ask(&router, &sup, &bad).unwrap_err();
     let plain = oracle.submit(bad).unwrap_err();
     assert_eq!(sharded.to_string(), plain.to_string());
     assert!(matches!(

@@ -1,15 +1,18 @@
-//! The acceptance criterion's TCP half: a `ShardRouter` whose replicas
-//! run behind real loopback sockets (`TcpServer` + `TcpTransport`)
-//! answers bit-identically to the unsharded oracle — through a server
-//! kill (failover), live updates published over the wire, and a replica
-//! restarted from a shipped snapshot + update replay.
+//! The acceptance criterion's TCP half, supervisor-driven: a
+//! `ShardRouter` whose replicas run behind real loopback sockets
+//! (`TcpServer` + multiplexed `TcpTransport`) answers bit-identically to
+//! the unsharded oracle — through a server kill (failover), live updates
+//! published over the wire, and a replica restarted from a shipped
+//! snapshot whose missed updates are recovered **by the supervisor's
+//! clock alone**, with zero manual `recover`/`heartbeat` calls.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use kosr_core::{IndexedGraph, Query};
 use kosr_graph::{PartitionConfig, Partitioner};
 use kosr_service::{KosrService, ServiceConfig, Update};
-use kosr_shard::{ReplicaHealth, ShardRouter, ShardSet, ShardTransport};
+use kosr_shard::{ReplicaHealth, ShardRouter, ShardSet, ShardTransport, SupervisorConfig};
 use kosr_transport::{TcpServer, TcpTransport};
 use kosr_workloads::{
     assign_clustered, gen_membership_flips, gen_mixed_traffic, road_grid_directed, MembershipFlip,
@@ -71,7 +74,10 @@ fn tcp_sharded_topk_matches_oracle_through_kill_and_snapshot_restart() {
     };
     let oracle = KosrService::new(Arc::new(ig.clone()), config.clone());
 
-    // Each replica: its shard's indexed graph behind a real socket.
+    // Each replica: its shard's indexed graph behind a real socket. Short
+    // request deadlines keep a killed server's in-flight requests from
+    // holding the test for the default 30s.
+    let deadline = Duration::from_secs(5);
     let mut servers: Vec<Vec<Option<TcpServer>>> = Vec::new();
     let mut transports: Vec<Vec<Arc<dyn ShardTransport>>> = Vec::new();
     for j in 0..SHARDS {
@@ -81,7 +87,10 @@ fn tcp_sharded_topk_matches_oracle_through_kill_and_snapshot_restart() {
         for _ in 0..REPLICAS {
             let svc = Arc::new(KosrService::new(Arc::clone(&shard_ig), config.clone()));
             let server = TcpServer::spawn(svc).unwrap();
-            ts.push(Arc::new(TcpTransport::connect(server.addr())));
+            ts.push(Arc::new(TcpTransport::with_deadline(
+                server.addr(),
+                deadline,
+            )));
             row.push(Some(server));
         }
         servers.push(row);
@@ -94,6 +103,7 @@ fn tcp_sharded_topk_matches_oracle_through_kill_and_snapshot_restart() {
         set.partition_stats().clone(),
     );
     let bus = router.update_bus();
+    let sup = router.supervisor(SupervisorConfig::default());
 
     let queries: Vec<Query> = gen_mixed_traffic(
         &g,
@@ -109,11 +119,12 @@ fn tcp_sharded_topk_matches_oracle_through_kill_and_snapshot_restart() {
     .collect();
     compare(&router, &oracle, &queries, "tcp pre-kill");
 
-    // Kill shard 0's primary server: failover must hide it.
+    // Kill shard 0's primary server: the supervisor's heartbeat pass
+    // quarantines it (no query has to pay the failover latency first).
     servers[0][0].take();
-    compare(&router, &oracle, &queries, "tcp post-kill");
+    sup.tick();
     assert_eq!(router.replica_set(0).health()[0], ReplicaHealth::Down);
-    assert!(router.replica_set(0).failovers() > 0);
+    compare(&router, &oracle, &queries, "tcp post-kill");
 
     // Snapshot shard 0 before the updates; then publish updates over the
     // wire, mirrored onto the oracle (the dead replica defers them).
@@ -132,20 +143,32 @@ fn tcp_sharded_topk_matches_oracle_through_kill_and_snapshot_restart() {
     compare(&router, &oracle, &fresh, "tcp post-update");
 
     // Restart replica (0,0) as a new process: decode the shipped
-    // snapshot, serve it on a new socket, install, replay, serve.
+    // snapshot, serve it on a new socket, install the transport — and let
+    // the supervisor's clock replay the missed updates. No manual
+    // recover call.
     let joined = IndexedGraph::decode_snapshot(&blob.bytes).unwrap();
     let joined_svc = Arc::new(KosrService::new(Arc::new(joined), config));
     let new_server = TcpServer::spawn(joined_svc).unwrap();
-    let new_transport = Arc::new(TcpTransport::connect(new_server.addr()));
+    let new_transport = Arc::new(TcpTransport::with_deadline(new_server.addr(), deadline));
     router.install_replica(0, 0, new_transport, cursor);
-    let replayed = bus.recover(0, 0).unwrap();
-    assert_eq!(replayed, 6, "all post-snapshot updates replayed");
+    assert_eq!(router.replica_set(0).health()[0], ReplicaHealth::Down);
+    for _ in 0..8 {
+        if sup.all_healthy() {
+            break;
+        }
+        sup.tick();
+    }
     servers[0][0] = Some(new_server);
     assert_eq!(router.replica_set(0).health()[0], ReplicaHealth::Healthy);
+    let (joined_cursor, _, tail) = bus.cursor_state(0, 0);
+    assert_eq!(joined_cursor, tail, "all post-snapshot updates recovered");
+    assert!(sup.report().replays >= 1, "{:?}", sup.report());
 
     // Kill the *other* replica: the restarted one now answers alone for
-    // shard 0, from snapshot + replay — and must still match the oracle.
+    // shard 0, from snapshot + supervised replay — and must still match
+    // the oracle.
     servers[0][1].take();
+    sup.tick();
     compare(
         &router,
         &oracle,

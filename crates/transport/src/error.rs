@@ -27,6 +27,16 @@ pub enum TransportError {
     Update(UpdateError),
     /// The remote snapshot blob failed to decode.
     Snapshot(kosr_index::snapshot::SnapshotError),
+    /// A compaction notice named a log head behind what the replica has
+    /// already recorded — the sender's view of the update log is stale.
+    /// Deterministic: retrying on another replica would not help the
+    /// sender's log view.
+    CursorTooOld {
+        /// The stale head the sender proposed.
+        cursor: u64,
+        /// The head the replica has recorded.
+        head: u64,
+    },
 }
 
 impl TransportError {
@@ -54,6 +64,9 @@ impl std::fmt::Display for TransportError {
             TransportError::Service(e) => write!(f, "remote service rejection: {e}"),
             TransportError::Update(e) => write!(f, "remote update rejection: {e}"),
             TransportError::Snapshot(e) => write!(f, "snapshot decode failed: {e}"),
+            TransportError::CursorTooOld { cursor, head } => {
+                write!(f, "cursor {cursor} predates compacted log head {head}")
+            }
         }
     }
 }
@@ -92,6 +105,7 @@ mod tests {
             !TransportError::Update(UpdateError::UnknownCategory(kosr_graph::CategoryId(3)))
                 .is_fault()
         );
+        assert!(!TransportError::CursorTooOld { cursor: 1, head: 4 }.is_fault());
     }
 
     #[test]
@@ -102,6 +116,7 @@ mod tests {
             TransportError::AllReplicasDown { replicas: 3 },
             TransportError::Service(ServiceError::ShuttingDown),
             TransportError::Update(UpdateError::VertexOutOfRange(kosr_graph::VertexId(1))),
+            TransportError::CursorTooOld { cursor: 1, head: 4 },
         ] {
             assert!(!e.to_string().is_empty());
         }

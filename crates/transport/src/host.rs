@@ -4,14 +4,15 @@
 
 use std::sync::Arc;
 
+use kosr_core::IndexedGraph;
 use kosr_service::KosrService;
 
 use crate::protocol::{Heartbeat, MemberCounts, RemoteResponse, Request, Response, SnapshotBlob};
 
 /// Answers one request against `service`. Query requests block until the
 /// service responds (the caller decides how to overlap requests — the TCP
-/// server runs one handler thread per connection, the in-process transport
-/// keeps the service's own ticket asynchrony).
+/// server runs one handler thread per in-flight request, the in-process
+/// transport keeps the service's own ticket asynchrony).
 pub fn handle_request(service: &Arc<KosrService>, req: Request) -> Response {
     match req {
         Request::Query(q) => Response::Query(service.submit(q).and_then(|t| t.wait()).map(
@@ -32,6 +33,25 @@ pub fn handle_request(service: &Arc<KosrService>, req: Request) -> Response {
                 bytes: ig.encode_snapshot(),
             })
         }
+        Request::Compact { through } => match service.advance_log_head(through) {
+            Ok(head) => Response::Compacted { head },
+            Err(head) => Response::CursorTooOld {
+                cursor: through,
+                head,
+            },
+        },
+        Request::InstallSnapshot(blob) => match IndexedGraph::decode_snapshot(&blob.bytes) {
+            Ok(ig) => {
+                service.install_index(Arc::new(ig));
+                Response::Install(Ok(Heartbeat {
+                    epoch: service.index_epoch(),
+                }))
+            }
+            // A refused blob leaves the replica serving its old index; the
+            // typed rejection travels back so the supervisor can tell a
+            // codec mismatch from channel trouble.
+            Err(e) => Response::Install(Err(e)),
+        },
     }
 }
 

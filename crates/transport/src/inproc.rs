@@ -1,11 +1,12 @@
 //! The loopback transport: a replica in the same process, reached through
 //! the **full** encode/decode path — every operation serializes its request
-//! frame, decodes it server-side, dispatches, serializes the response and
-//! decodes it client-side, so in-process deployments (and the fault-
-//! injection test suites built on them) exercise byte-for-byte the same
-//! protocol as TCP ones.
+//! frame (stamped with a fresh frame id, mirroring the TCP mux), decodes
+//! it server-side, dispatches, serializes the response and decodes it
+//! client-side verifying the echoed id, so in-process deployments (and the
+//! fault-injection test suites built on them) exercise byte-for-byte the
+//! same protocol as TCP ones.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use kosr_core::Query;
@@ -61,6 +62,26 @@ pub(crate) fn expect_snapshot(resp: Response) -> Result<SnapshotBlob, TransportE
     }
 }
 
+pub(crate) fn expect_install(resp: Response) -> Result<Heartbeat, TransportError> {
+    match resp {
+        Response::Install(Ok(hb)) => Ok(hb),
+        Response::Install(Err(e)) => Err(TransportError::Snapshot(e)),
+        Response::Fault(e) => Err(TransportError::Protocol(e)),
+        _ => Err(unexpected()),
+    }
+}
+
+pub(crate) fn expect_compacted(resp: Response) -> Result<u64, TransportError> {
+    match resp {
+        Response::Compacted { head } => Ok(head),
+        Response::CursorTooOld { cursor, head } => {
+            Err(TransportError::CursorTooOld { cursor, head })
+        }
+        Response::Fault(e) => Err(TransportError::Protocol(e)),
+        _ => Err(unexpected()),
+    }
+}
+
 fn unexpected() -> TransportError {
     TransportError::Protocol(ProtocolError::Corrupt("unexpected response kind"))
 }
@@ -100,6 +121,7 @@ impl KillSwitch {
 pub struct InProcTransport {
     service: Arc<KosrService>,
     killed: Arc<AtomicBool>,
+    next_id: AtomicU64,
 }
 
 impl InProcTransport {
@@ -108,6 +130,7 @@ impl InProcTransport {
         InProcTransport {
             service,
             killed: Arc::new(AtomicBool::new(false)),
+            next_id: AtomicU64::new(1),
         }
     }
 
@@ -123,16 +146,29 @@ impl InProcTransport {
         }
     }
 
-    /// Encode → decode → dispatch → encode → decode, all in-process.
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Encode → decode → dispatch → encode → decode, all in-process. The
+    /// frame id must survive the full loop — the same invariant the TCP
+    /// demux relies on to route responses.
     fn roundtrip(&self, req: Request) -> Result<Response, TransportError> {
         if self.killed.load(Ordering::Acquire) {
             return Err(killed_error());
         }
-        let frame = encode_request(&req);
-        let req = decode_request(&frame)?;
+        let id = self.fresh_id();
+        let frame = encode_request(id, &req);
+        let (decoded_id, req) = decode_request(&frame)?;
         let resp = handle_request(&self.service, req);
-        let frame = encode_response(&resp);
-        decode_response(&frame).map_err(Into::into)
+        let frame = encode_response(decoded_id, &resp);
+        let (echoed_id, resp) = decode_response(&frame)?;
+        if echoed_id != id {
+            return Err(TransportError::Protocol(ProtocolError::Corrupt(
+                "response frame id does not match the request",
+            )));
+        }
+        Ok(resp)
     }
 }
 
@@ -141,9 +177,10 @@ impl ShardTransport for InProcTransport {
         if self.killed.load(Ordering::Acquire) {
             return TransportTicket::ready(Err(killed_error()));
         }
-        let frame = encode_request(&Request::Query(query));
+        let id = self.fresh_id();
+        let frame = encode_request(id, &Request::Query(query));
         let decoded = match decode_request(&frame) {
-            Ok(Request::Query(q)) => q,
+            Ok((_, Request::Query(q))) => q,
             Ok(_) => return TransportTicket::ready(Err(unexpected())),
             Err(e) => return TransportTicket::ready(Err(e.into())),
         };
@@ -159,8 +196,14 @@ impl ShardTransport for InProcTransport {
                 // The connection died before the response frame arrived.
                 return Err(killed_error());
             }
-            let frame = encode_response(&Response::Query(result));
-            expect_query(decode_response(&frame)?)
+            let frame = encode_response(id, &Response::Query(result));
+            let (echoed_id, resp) = decode_response(&frame)?;
+            if echoed_id != id {
+                return Err(TransportError::Protocol(ProtocolError::Corrupt(
+                    "response frame id does not match the request",
+                )));
+            }
+            expect_query(resp)
         })
     }
 
@@ -178,6 +221,14 @@ impl ShardTransport for InProcTransport {
 
     fn snapshot(&self) -> Result<SnapshotBlob, TransportError> {
         expect_snapshot(self.roundtrip(Request::Snapshot)?)
+    }
+
+    fn install_snapshot(&self, blob: &SnapshotBlob) -> Result<Heartbeat, TransportError> {
+        expect_install(self.roundtrip(Request::InstallSnapshot(blob.clone()))?)
+    }
+
+    fn compact(&self, through: u64) -> Result<u64, TransportError> {
+        expect_compacted(self.roundtrip(Request::Compact { through })?)
     }
 }
 

@@ -29,6 +29,7 @@
 mod error;
 mod host;
 mod inproc;
+pub mod mux;
 pub mod protocol;
 mod replica;
 mod tcp;
@@ -98,4 +99,16 @@ pub trait ShardTransport: Send + Sync {
 
     /// Pulls an index snapshot (cold-replica join).
     fn snapshot(&self) -> Result<SnapshotBlob, TransportError>;
+
+    /// Pushes a snapshot *into* the replica, replacing its served index —
+    /// the supervisor's refresh path for replicas too far behind the
+    /// update log to replay. A refused blob is a typed
+    /// [`TransportError::Snapshot`] and leaves the old index serving.
+    fn install_snapshot(&self, blob: &SnapshotBlob) -> Result<Heartbeat, TransportError>;
+
+    /// Tells the replica the upstream update log was compacted below
+    /// `through`; returns the replica's recorded (monotone) head. A
+    /// `through` behind the recorded head is the typed
+    /// [`TransportError::CursorTooOld`].
+    fn compact(&self, through: u64) -> Result<u64, TransportError>;
 }

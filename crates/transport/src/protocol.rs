@@ -1,19 +1,26 @@
 //! The length-prefixed binary wire protocol replicas speak.
 //!
 //! Every message is one **frame**: a little-endian `u32` byte length
-//! followed by the payload. A payload starts with a version byte and a
-//! kind byte, then the kind's body:
+//! followed by the payload. A payload starts with a version byte, a kind
+//! byte and a **frame id**, then the kind's body:
 //!
 //! ```text
 //! frame   := u32 len | payload            (len ≤ MAX_FRAME_LEN)
-//! payload := u8 version | u8 kind | body
+//! payload := u8 version | u8 kind | u64 frame_id | body
 //! ```
 //!
+//! The frame id is what makes one connection **multiplexable**: a client
+//! stamps every request with a monotonically increasing id, the replica
+//! echoes the id on the response, and a demultiplexing reader routes each
+//! response to its request's completion slot — so responses may come back
+//! in any order, interleaved, duplicated or delayed without ever being
+//! delivered to the wrong caller (the mux property suite hammers this).
+//!
 //! Request kinds carry queries, §IV-C update-publish frames, heartbeats,
-//! member-count probes and snapshot pulls; response kinds mirror them,
-//! including the remote's *typed* service/update rejections so a client
-//! can distinguish a deterministic "no" (don't fail over) from channel
-//! trouble (do fail over).
+//! member-count probes, snapshot pulls/pushes and update-log compaction
+//! notices; response kinds mirror them, including the remote's *typed*
+//! service/update rejections so a client can distinguish a deterministic
+//! "no" (don't fail over) from channel trouble (do fail over).
 //!
 //! Decoding is **total**: arbitrary bytes produce a typed
 //! [`ProtocolError`], never a panic, and a frame with an unknown version
@@ -26,10 +33,13 @@ use std::time::Duration;
 use bytes::{Buf, BufMut};
 use kosr_core::{GraphUpdateError, KosrOutcome, Query, QueryError, QueryStats, Witness};
 use kosr_graph::{CategoryId, VertexId};
+use kosr_index::snapshot::SnapshotError;
 use kosr_service::{ServiceError, Update, UpdateError, UpdateReceipt};
 
-/// The wire version this build writes and understands.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The wire version this build writes and understands. Version 2 added
+/// the frame id (multiplexing) and the `Compact`/`InstallSnapshot`
+/// surface.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on one frame's payload; larger length prefixes are refused
 /// before any allocation (snapshots of big shards dominate frame size).
@@ -127,6 +137,19 @@ pub enum Request {
     MemberCounts,
     /// Ship an index snapshot.
     Snapshot,
+    /// The upstream update log was compacted: entries below `through` are
+    /// gone. The replica records the watermark (its own floor for replay
+    /// expectations) and acknowledges with [`Response::Compacted`]; a
+    /// `through` *behind* the replica's recorded head is answered with
+    /// [`Response::CursorTooOld`] — the guard against a stale controller
+    /// replaying an old compaction.
+    Compact {
+        /// The new log head: the oldest sequence still replayable.
+        through: u64,
+    },
+    /// Push an index snapshot *into* the replica (supervisor-driven
+    /// refresh of a replica too far behind the update log to replay).
+    InstallSnapshot(SnapshotBlob),
 }
 
 /// Replica → client messages.
@@ -142,6 +165,23 @@ pub enum Response {
     MemberCounts(MemberCounts),
     /// Index snapshot.
     Snapshot(SnapshotBlob),
+    /// The compaction notice was recorded; `head` is the replica's
+    /// (monotone) recorded log head.
+    Compacted {
+        /// The replica's recorded log head after the notice.
+        head: u64,
+    },
+    /// A [`Request::Compact`] named a head *behind* what the replica
+    /// already recorded — the sender's view of the log is stale.
+    CursorTooOld {
+        /// The stale head the sender proposed.
+        cursor: u64,
+        /// The head the replica has recorded.
+        head: u64,
+    },
+    /// The pushed snapshot was installed (epoch after install), or the
+    /// typed reason the blob was refused.
+    Install(Result<Heartbeat, SnapshotError>),
     /// The replica could not decode the request frame.
     Fault(ProtocolError),
 }
@@ -519,6 +559,34 @@ fn get_protocol_error(r: &mut Rd) -> Result<ProtocolError, ProtocolError> {
     })
 }
 
+/// Snapshot rejections travel the wire shape-preserving; the `Corrupt` and
+/// `Labels` payloads are peer-local (`&'static str` / codec internals), so
+/// like [`ProtocolError::Corrupt`] they decode to a "reported by peer"
+/// stand-in of the same variant family.
+fn put_snapshot_error(e: &SnapshotError, out: &mut Vec<u8>) {
+    match *e {
+        SnapshotError::BadMagic => out.put_u8(0),
+        SnapshotError::UnsupportedVersion { found } => {
+            out.put_u8(1);
+            out.put_u8(found);
+        }
+        SnapshotError::Truncated => out.put_u8(2),
+        SnapshotError::Corrupt(_) => out.put_u8(3),
+        SnapshotError::Labels(_) => out.put_u8(4),
+    }
+}
+
+fn get_snapshot_error(r: &mut Rd) -> Result<SnapshotError, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => SnapshotError::BadMagic,
+        1 => SnapshotError::UnsupportedVersion { found: r.u8()? },
+        2 => SnapshotError::Truncated,
+        3 => SnapshotError::Corrupt("reported by peer"),
+        4 => SnapshotError::Corrupt("label blob rejected by peer"),
+        _ => return Err(ProtocolError::Corrupt("unknown snapshot-error tag")),
+    })
+}
+
 // ---- payload codecs --------------------------------------------------
 
 const KIND_REQ_QUERY: u8 = 0;
@@ -526,6 +594,8 @@ const KIND_REQ_UPDATE: u8 = 1;
 const KIND_REQ_PING: u8 = 2;
 const KIND_REQ_MEMBER_COUNTS: u8 = 3;
 const KIND_REQ_SNAPSHOT: u8 = 4;
+const KIND_REQ_COMPACT: u8 = 5;
+const KIND_REQ_INSTALL: u8 = 6;
 const KIND_RESP_QUERY_OK: u8 = 16;
 const KIND_RESP_QUERY_ERR: u8 = 17;
 const KIND_RESP_UPDATE_OK: u8 = 18;
@@ -534,87 +604,129 @@ const KIND_RESP_PONG: u8 = 20;
 const KIND_RESP_MEMBER_COUNTS: u8 = 21;
 const KIND_RESP_SNAPSHOT: u8 = 22;
 const KIND_RESP_FAULT: u8 = 23;
+const KIND_RESP_COMPACTED: u8 = 24;
+const KIND_RESP_CURSOR_TOO_OLD: u8 = 25;
+const KIND_RESP_INSTALL_OK: u8 = 26;
+const KIND_RESP_INSTALL_ERR: u8 = 27;
 
-fn header(kind: u8) -> Vec<u8> {
-    vec![PROTOCOL_VERSION, kind]
+fn header(kind: u8, frame_id: u64) -> Vec<u8> {
+    let mut out = vec![PROTOCOL_VERSION, kind];
+    out.put_u64_le(frame_id);
+    out
 }
 
-fn open(payload: &[u8]) -> Result<(u8, Rd<'_>), ProtocolError> {
+fn open(payload: &[u8]) -> Result<(u8, u64, Rd<'_>), ProtocolError> {
     let mut r = Rd(payload);
     let version = r.u8()?;
     if version != PROTOCOL_VERSION {
         return Err(ProtocolError::VersionMismatch { found: version });
     }
-    Ok((r.u8()?, r))
+    let kind = r.u8()?;
+    let frame_id = r.u64()?;
+    Ok((kind, frame_id, r))
 }
 
-/// Serializes a request into a frame payload.
-pub fn encode_request(req: &Request) -> Vec<u8> {
+/// Best-effort frame-id extraction from a payload that may not decode
+/// fully — what a server uses to address the typed [`Response::Fault`]
+/// for an undecodable request. `None` when even the header is unreadable
+/// (wrong version or truncated before the id).
+pub fn peek_frame_id(payload: &[u8]) -> Option<u64> {
+    match open(payload) {
+        Ok((_, id, _)) => Some(id),
+        Err(_) => None,
+    }
+}
+
+/// Serializes a request into a frame payload stamped with `frame_id`.
+pub fn encode_request(frame_id: u64, req: &Request) -> Vec<u8> {
     match req {
         Request::Query(q) => {
-            let mut out = header(KIND_REQ_QUERY);
+            let mut out = header(KIND_REQ_QUERY, frame_id);
             put_query(q, &mut out);
             out
         }
         Request::Update(u) => {
-            let mut out = header(KIND_REQ_UPDATE);
+            let mut out = header(KIND_REQ_UPDATE, frame_id);
             put_update(u, &mut out);
             out
         }
-        Request::Ping => header(KIND_REQ_PING),
-        Request::MemberCounts => header(KIND_REQ_MEMBER_COUNTS),
-        Request::Snapshot => header(KIND_REQ_SNAPSHOT),
+        Request::Ping => header(KIND_REQ_PING, frame_id),
+        Request::MemberCounts => header(KIND_REQ_MEMBER_COUNTS, frame_id),
+        Request::Snapshot => header(KIND_REQ_SNAPSHOT, frame_id),
+        Request::Compact { through } => {
+            let mut out = header(KIND_REQ_COMPACT, frame_id);
+            out.put_u64_le(*through);
+            out
+        }
+        Request::InstallSnapshot(blob) => {
+            let mut out = header(KIND_REQ_INSTALL, frame_id);
+            out.put_u64_le(blob.epoch);
+            out.put_u64_le(blob.bytes.len() as u64);
+            out.extend_from_slice(&blob.bytes);
+            out
+        }
     }
 }
 
-/// Decodes a frame payload into a request. Total: never panics.
-pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
-    let (kind, mut r) = open(payload)?;
+/// Decodes a frame payload into `(frame_id, request)`. Total: never
+/// panics.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
+    let (kind, frame_id, mut r) = open(payload)?;
     let req = match kind {
         KIND_REQ_QUERY => Request::Query(get_query(&mut r)?),
         KIND_REQ_UPDATE => Request::Update(get_update(&mut r)?),
         KIND_REQ_PING => Request::Ping,
         KIND_REQ_MEMBER_COUNTS => Request::MemberCounts,
         KIND_REQ_SNAPSHOT => Request::Snapshot,
+        KIND_REQ_COMPACT => Request::Compact { through: r.u64()? },
+        KIND_REQ_INSTALL => {
+            let epoch = r.u64()?;
+            let len = r.u64()?;
+            let len =
+                usize::try_from(len).map_err(|_| ProtocolError::Corrupt("snapshot length"))?;
+            let bytes = r.bytes(len)?.to_vec();
+            Request::InstallSnapshot(SnapshotBlob { epoch, bytes })
+        }
         other => return Err(ProtocolError::UnknownKind(other)),
     };
     r.finish()?;
-    Ok(req)
+    Ok((frame_id, req))
 }
 
-/// Serializes a response into a frame payload.
-pub fn encode_response(resp: &Response) -> Vec<u8> {
+/// Serializes a response into a frame payload stamped with `frame_id`
+/// (the id of the request it answers).
+pub fn encode_response(frame_id: u64, resp: &Response) -> Vec<u8> {
     match resp {
         Response::Query(Ok(rr)) => {
-            let mut out = header(KIND_RESP_QUERY_OK);
+            let mut out = header(KIND_RESP_QUERY_OK, frame_id);
             out.put_u8(rr.cached as u8);
             put_outcome(&rr.outcome, &mut out);
             out
         }
         Response::Query(Err(e)) => {
-            let mut out = header(KIND_RESP_QUERY_ERR);
+            let mut out = header(KIND_RESP_QUERY_ERR, frame_id);
             put_service_error(e, &mut out);
             out
         }
         Response::Update(Ok(receipt)) => {
-            let mut out = header(KIND_RESP_UPDATE_OK);
+            let mut out = header(KIND_RESP_UPDATE_OK, frame_id);
             out.put_u8(receipt.applied as u8);
             out.put_u64_le(receipt.label_entries_added as u64);
             out.put_u64_le(receipt.invalidated as u64);
             out
         }
         Response::Update(Err(e)) => {
-            let mut out = header(KIND_RESP_UPDATE_ERR);
+            let mut out = header(KIND_RESP_UPDATE_ERR, frame_id);
             put_update_error(e, &mut out);
             out
         }
         Response::Pong(hb) => {
-            let mut out = header(KIND_RESP_PONG);
+            let mut out = header(KIND_RESP_PONG, frame_id);
             out.put_u64_le(hb.epoch);
             out
         }
         Response::MemberCounts(mc) => {
-            let mut out = header(KIND_RESP_MEMBER_COUNTS);
+            let mut out = header(KIND_RESP_MEMBER_COUNTS, frame_id);
             out.put_u64_le(mc.epoch);
             out.put_u32_le(mc.num_vertices);
             out.put_u32_le(mc.counts.len() as u32);
@@ -624,23 +736,45 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out
         }
         Response::Snapshot(blob) => {
-            let mut out = header(KIND_RESP_SNAPSHOT);
+            let mut out = header(KIND_RESP_SNAPSHOT, frame_id);
             out.put_u64_le(blob.epoch);
             out.put_u64_le(blob.bytes.len() as u64);
             out.extend_from_slice(&blob.bytes);
             out
         }
+        Response::Compacted { head } => {
+            let mut out = header(KIND_RESP_COMPACTED, frame_id);
+            out.put_u64_le(*head);
+            out
+        }
+        Response::CursorTooOld { cursor, head } => {
+            let mut out = header(KIND_RESP_CURSOR_TOO_OLD, frame_id);
+            out.put_u64_le(*cursor);
+            out.put_u64_le(*head);
+            out
+        }
+        Response::Install(Ok(hb)) => {
+            let mut out = header(KIND_RESP_INSTALL_OK, frame_id);
+            out.put_u64_le(hb.epoch);
+            out
+        }
+        Response::Install(Err(e)) => {
+            let mut out = header(KIND_RESP_INSTALL_ERR, frame_id);
+            put_snapshot_error(e, &mut out);
+            out
+        }
         Response::Fault(e) => {
-            let mut out = header(KIND_RESP_FAULT);
+            let mut out = header(KIND_RESP_FAULT, frame_id);
             put_protocol_error(e, &mut out);
             out
         }
     }
 }
 
-/// Decodes a frame payload into a response. Total: never panics.
-pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
-    let (kind, mut r) = open(payload)?;
+/// Decodes a frame payload into `(frame_id, response)`. Total: never
+/// panics.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError> {
+    let (kind, frame_id, mut r) = open(payload)?;
     let resp = match kind {
         KIND_RESP_QUERY_OK => {
             let cached = r.u8()? != 0;
@@ -674,11 +808,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             let bytes = r.bytes(len)?.to_vec();
             Response::Snapshot(SnapshotBlob { epoch, bytes })
         }
+        KIND_RESP_COMPACTED => Response::Compacted { head: r.u64()? },
+        KIND_RESP_CURSOR_TOO_OLD => Response::CursorTooOld {
+            cursor: r.u64()?,
+            head: r.u64()?,
+        },
+        KIND_RESP_INSTALL_OK => Response::Install(Ok(Heartbeat { epoch: r.u64()? })),
+        KIND_RESP_INSTALL_ERR => Response::Install(Err(get_snapshot_error(&mut r)?)),
         KIND_RESP_FAULT => Response::Fault(get_protocol_error(&mut r)?),
         other => return Err(ProtocolError::UnknownKind(other)),
     };
     r.finish()?;
-    Ok(resp)
+    Ok((frame_id, resp))
 }
 
 #[cfg(test)]
@@ -739,11 +880,42 @@ mod tests {
             Request::Ping,
             Request::MemberCounts,
             Request::Snapshot,
+            Request::Compact { through: 42 },
+            Request::InstallSnapshot(SnapshotBlob {
+                epoch: 9,
+                bytes: vec![1, 2, 3],
+            }),
         ];
-        for req in reqs {
-            let payload = encode_request(&req);
-            assert_eq!(decode_request(&payload).unwrap(), req, "{req:?}");
+        for (i, req) in reqs.into_iter().enumerate() {
+            let id = 1000 + i as u64;
+            let payload = encode_request(id, &req);
+            assert_eq!(decode_request(&payload).unwrap(), (id, req));
         }
+    }
+
+    #[test]
+    fn frame_ids_roundtrip_and_peek() {
+        for id in [0u64, 1, 77, u64::MAX] {
+            let payload = encode_request(id, &Request::Ping);
+            assert_eq!(decode_request(&payload).unwrap().0, id);
+            assert_eq!(peek_frame_id(&payload), Some(id));
+            let payload = encode_response(id, &Response::Pong(Heartbeat { epoch: 3 }));
+            assert_eq!(decode_response(&payload).unwrap().0, id);
+        }
+        // An unknown kind still yields its frame id to peek (the server
+        // can address its Fault response), while decode rejects it typed.
+        let mut payload = encode_request(7, &Request::Ping);
+        payload[1] = 99;
+        assert_eq!(peek_frame_id(&payload), Some(7));
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtocolError::UnknownKind(99))
+        );
+        // Wrong version or a header truncated before the id peeks None.
+        let mut bad = encode_request(7, &Request::Ping);
+        bad[0] = 9;
+        assert_eq!(peek_frame_id(&bad), None);
+        assert_eq!(peek_frame_id(&[PROTOCOL_VERSION, 0, 1]), None);
     }
 
     #[test]
@@ -752,8 +924,8 @@ mod tests {
             outcome: sample_outcome(),
             cached: true,
         }));
-        let payload = encode_response(&resp);
-        match decode_response(&payload).unwrap() {
+        let payload = encode_response(5, &resp);
+        match decode_response(&payload).unwrap().1 {
             Response::Query(Ok(rr)) => {
                 assert!(rr.cached);
                 assert_eq!(rr.outcome.witnesses, sample_outcome().witnesses);
@@ -788,14 +960,19 @@ mod tests {
             Response::Update(Err(UpdateError::Graph(GraphUpdateError::SelfLoop))),
             Response::Fault(ProtocolError::VersionMismatch { found: 9 }),
             Response::Fault(ProtocolError::UnknownKind(200)),
+            Response::Install(Err(SnapshotError::BadMagic)),
+            Response::Install(Err(SnapshotError::UnsupportedVersion { found: 7 })),
+            Response::Install(Err(SnapshotError::Truncated)),
         ];
         for case in cases {
-            let payload = encode_response(&case);
-            let back = decode_response(&payload).unwrap();
+            let payload = encode_response(3, &case);
+            let (id, back) = decode_response(&payload).unwrap();
+            assert_eq!(id, 3);
             match (&case, &back) {
                 (Response::Query(Err(a)), Response::Query(Err(b))) => assert_eq!(a, b),
                 (Response::Update(Err(a)), Response::Update(Err(b))) => assert_eq!(a, b),
                 (Response::Fault(a), Response::Fault(b)) => assert_eq!(a, b),
+                (Response::Install(Err(a)), Response::Install(Err(b))) => assert_eq!(a, b),
                 _ => panic!("decode changed shape: {case:?} → {back:?}"),
             }
         }
@@ -803,50 +980,74 @@ mod tests {
 
     #[test]
     fn control_responses_roundtrip() {
-        let payload = encode_response(&Response::Pong(Heartbeat { epoch: 42 }));
-        assert!(matches!(decode_response(&payload), Ok(Response::Pong(hb)) if hb.epoch == 42));
+        let payload = encode_response(1, &Response::Pong(Heartbeat { epoch: 42 }));
+        assert!(matches!(decode_response(&payload), Ok((1, Response::Pong(hb))) if hb.epoch == 42));
         let mc = MemberCounts {
             epoch: 7,
             num_vertices: 100,
             counts: vec![3, 0, 9, 1],
         };
-        let payload = encode_response(&Response::MemberCounts(mc.clone()));
-        assert!(matches!(decode_response(&payload), Ok(Response::MemberCounts(got)) if got == mc));
+        let payload = encode_response(2, &Response::MemberCounts(mc.clone()));
+        assert!(
+            matches!(decode_response(&payload), Ok((2, Response::MemberCounts(got))) if got == mc)
+        );
         let blob = SnapshotBlob {
             epoch: 3,
             bytes: vec![1, 2, 3, 4, 5],
         };
-        let payload = encode_response(&Response::Snapshot(blob.clone()));
-        assert!(matches!(decode_response(&payload), Ok(Response::Snapshot(got)) if got == blob));
-        let payload = encode_response(&Response::Update(Ok(UpdateReceipt {
-            applied: true,
-            label_entries_added: 4,
-            invalidated: 2,
-        })));
+        let payload = encode_response(3, &Response::Snapshot(blob.clone()));
+        assert!(
+            matches!(decode_response(&payload), Ok((3, Response::Snapshot(got))) if got == blob)
+        );
+        let payload = encode_response(
+            4,
+            &Response::Update(Ok(UpdateReceipt {
+                applied: true,
+                label_entries_added: 4,
+                invalidated: 2,
+            })),
+        );
         assert!(matches!(
             decode_response(&payload),
-            Ok(Response::Update(Ok(r))) if r.applied && r.label_entries_added == 4 && r.invalidated == 2
+            Ok((4, Response::Update(Ok(r)))) if r.applied && r.label_entries_added == 4 && r.invalidated == 2
+        ));
+        let payload = encode_response(5, &Response::Compacted { head: 17 });
+        assert!(matches!(
+            decode_response(&payload),
+            Ok((5, Response::Compacted { head: 17 }))
+        ));
+        let payload = encode_response(6, &Response::CursorTooOld { cursor: 3, head: 9 });
+        assert!(matches!(
+            decode_response(&payload),
+            Ok((6, Response::CursorTooOld { cursor: 3, head: 9 }))
+        ));
+        let payload = encode_response(7, &Response::Install(Ok(Heartbeat { epoch: 11 })));
+        assert!(matches!(
+            decode_response(&payload),
+            Ok((7, Response::Install(Ok(hb)))) if hb.epoch == 11
         ));
     }
 
     #[test]
     fn version_mismatch_is_typed() {
-        let mut payload = encode_request(&Request::Ping);
-        payload[0] = 2;
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[0] = 9;
         assert_eq!(
             decode_request(&payload),
-            Err(ProtocolError::VersionMismatch { found: 2 })
+            Err(ProtocolError::VersionMismatch { found: 9 })
         );
         assert!(matches!(
             decode_response(&payload),
-            Err(ProtocolError::VersionMismatch { found: 2 })
+            Err(ProtocolError::VersionMismatch { found: 9 })
         ));
     }
 
     #[test]
     fn unknown_kind_truncation_and_trailing_are_typed() {
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[1] = 99;
         assert_eq!(
-            decode_request(&[PROTOCOL_VERSION, 99]),
+            decode_request(&payload),
             Err(ProtocolError::UnknownKind(99))
         );
         assert_eq!(decode_request(&[]), Err(ProtocolError::Truncated));
@@ -854,13 +1055,18 @@ mod tests {
             decode_request(&[PROTOCOL_VERSION]),
             Err(ProtocolError::Truncated)
         );
-        let mut payload = encode_request(&Request::Ping);
+        // A header cut before the full frame id is truncation, not a kind.
+        assert_eq!(
+            decode_request(&[PROTOCOL_VERSION, 99, 0, 0]),
+            Err(ProtocolError::Truncated)
+        );
+        let mut payload = encode_request(1, &Request::Ping);
         payload.push(0);
         assert_eq!(
             decode_request(&payload),
             Err(ProtocolError::TrailingBytes(1))
         );
-        let query = encode_request(&Request::Query(Query::new(v(0), v(1), vec![], 1)));
+        let query = encode_request(1, &Request::Query(Query::new(v(0), v(1), vec![], 1)));
         for cut in 2..query.len() {
             assert_eq!(
                 decode_request(&query[..cut]),
@@ -872,7 +1078,7 @@ mod tests {
 
     #[test]
     fn framing_roundtrips_and_rejects_oversize() {
-        let payload = encode_request(&Request::Ping);
+        let payload = encode_request(1, &Request::Ping);
         let mut wire = Vec::new();
         write_frame(&mut wire, &payload).unwrap();
         write_frame(&mut wire, &payload).unwrap();

@@ -1,16 +1,24 @@
-//! The socket transport: each shard replica runs behind a [`TcpServer`]
-//! that wraps its `KosrService` submit/wait + `apply_update` surface, and
-//! routers reach it through a pooled blocking [`TcpTransport`] client.
+//! The socket transport, **multiplexed**: one connection carries any
+//! number of in-flight requests, each stamped with a monotone frame id.
 //!
-//! The server is deliberately simple — an accept loop plus one handler
-//! thread per connection reading length-prefixed frames — because the
-//! protocol is strictly request/response per connection; concurrency comes
-//! from the client opening one (pooled) connection per in-flight request.
+//! Client side, a [`TcpTransport`] owns (at most) one live connection: a
+//! **writer thread** drains a frame queue onto the socket and a **reader
+//! thread** demultiplexes response frames into per-request completion
+//! slots ([`crate::mux::DemuxTable`]). Every request carries a deadline,
+//! so a wedged replica turns into a per-request connection *fault* (and a
+//! failover upstream) without stalling unrelated in-flight queries on the
+//! same connection. A dead connection fails every pending slot; the next
+//! request re-dials.
+//!
+//! Server side, a [`TcpServer`] reads frames per connection and answers
+//! each request on its own handler thread behind a shared writer lock, so
+//! responses interleave in completion order — a slow query does not block
+//! a heartbeat that arrived after it.
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -19,21 +27,23 @@ use kosr_service::{KosrService, Update, UpdateReceipt};
 
 use crate::host::handle_request;
 use crate::inproc::{
-    expect_member_counts, expect_pong, expect_query, expect_snapshot, expect_update,
+    expect_compacted, expect_install, expect_member_counts, expect_pong, expect_query,
+    expect_snapshot, expect_update,
 };
+use crate::mux::DemuxTable;
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Heartbeat, MemberCounts, Request, Response, SnapshotBlob,
+    decode_request, decode_response, encode_request, encode_response, peek_frame_id, read_frame,
+    write_frame, Heartbeat, MemberCounts, Request, Response, SnapshotBlob,
 };
 use crate::{ShardTransport, TransportError, TransportTicket};
 
 /// How often blocked server reads wake up to check for shutdown.
 const POLL: Duration = Duration::from_millis(25);
 
-/// Client-side socket deadline: generous enough for the heaviest query a
+/// Default per-request deadline: generous enough for the heaviest query a
 /// planner admits, small enough that a wedged replica becomes a fault
 /// (and a failover) instead of a hang.
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Reads exactly `buf.len()` bytes, riding out read timeouts (checking the
 /// shutdown flag between chunks) without ever losing partially read bytes.
@@ -78,33 +88,62 @@ fn read_exact_polled(
 fn serve_connection(mut stream: TcpStream, service: Arc<KosrService>, shutdown: Arc<AtomicBool>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
+    // Responses are written by per-request handler threads in completion
+    // order; the mutex keeps frames whole, the frame ids keep them
+    // routable.
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::Acquire) {
         let mut len = [0u8; 4];
         match read_exact_polled(&mut stream, &mut len, &shutdown) {
             Ok(true) => {}
-            _ => return, // clean EOF, peer reset, or shutdown
+            _ => break, // clean EOF, peer reset, or shutdown
         }
         let len = u32::from_le_bytes(len) as usize;
         if len > crate::protocol::MAX_FRAME_LEN {
-            return; // refuse oversized frames by dropping the connection
+            break; // length framing desynced: the connection is untrusted
         }
         let mut payload = vec![0u8; len];
         if !matches!(
             read_exact_polled(&mut stream, &mut payload, &shutdown),
             Ok(true)
         ) {
-            return;
+            break;
         }
-        // Undecodable requests get a typed fault response (so a client
-        // speaking a newer protocol version learns why), then the
-        // connection closes — its framing can no longer be trusted.
-        let (resp, close) = match decode_request(&payload) {
-            Ok(req) => (handle_request(&service, req), false),
-            Err(e) => (Response::Fault(e), true),
-        };
-        if write_frame(&mut stream, &encode_response(&resp)).is_err() || close {
-            return;
+        match decode_request(&payload) {
+            Ok((id, req)) => {
+                // One handler thread per in-flight request: responses
+                // overtake each other freely, so a slow query never
+                // convoys a heartbeat behind it.
+                handlers.retain(|h| !h.is_finished());
+                let service = Arc::clone(&service);
+                let writer = Arc::clone(&writer);
+                handlers.push(thread::spawn(move || {
+                    let resp = handle_request(&service, req);
+                    let frame = encode_response(id, &resp);
+                    // A write failure means the peer is gone; the reader
+                    // loop will notice on its next read.
+                    let _ = write_frame(&mut *writer.lock().unwrap(), &frame);
+                }));
+            }
+            Err(e) => {
+                // The length framing is still intact (the payload was a
+                // whole frame), so a typed fault keeps the connection —
+                // and every unrelated in-flight request — alive. Address
+                // it with the frame id when the header yielded one.
+                let id = peek_frame_id(&payload).unwrap_or(0);
+                let frame = encode_response(id, &Response::Fault(e));
+                if write_frame(&mut *writer.lock().unwrap(), &frame).is_err() {
+                    break;
+                }
+            }
         }
+    }
+    for h in handlers {
+        let _ = h.join();
     }
 }
 
@@ -183,15 +222,109 @@ impl Drop for TcpServer {
     }
 }
 
-/// A pooled blocking client for one replica's [`TcpServer`].
+/// One live multiplexed connection: writer thread + demux reader thread.
+struct MuxConn {
+    frames: mpsc::Sender<Vec<u8>>,
+    table: Arc<DemuxTable>,
+    next_id: AtomicU64,
+}
+
+impl MuxConn {
+    fn dial(addr: SocketAddr, deadline: Duration) -> std::io::Result<Arc<MuxConn>> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        // A peer that stops *reading* (stalled process, full receive
+        // buffer) must not park the writer thread forever while the frame
+        // queue grows: a timed-out write is a connection fault that tears
+        // the mux down, and the next request re-dials.
+        let _ = stream.set_write_timeout(Some(deadline.max(Duration::from_millis(1))));
+        let mut read_half = stream.try_clone()?;
+        let table = Arc::new(DemuxTable::new());
+        let (tx, rx) = mpsc::channel::<Vec<u8>>();
+
+        let write_table = Arc::clone(&table);
+        thread::Builder::new()
+            .name("kosr-mux-writer".into())
+            .spawn(move || {
+                let mut stream = stream;
+                while let Ok(frame) = rx.recv() {
+                    if let Err(e) = write_frame(&mut stream, &frame) {
+                        write_table.fail_all(conn_err(e));
+                        return;
+                    }
+                }
+                // The owning transport dropped the sender: close the write
+                // half so the server sees a clean EOF.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            })
+            .expect("spawn mux writer");
+
+        let read_table = Arc::clone(&table);
+        thread::Builder::new()
+            .name("kosr-mux-reader".into())
+            .spawn(move || loop {
+                match read_frame(&mut read_half) {
+                    Ok(Some(payload)) => match decode_response(&payload) {
+                        Ok((id, resp)) => {
+                            // Unknown ids (stray/duplicate/abandoned) are
+                            // discarded by the table, never misdelivered.
+                            let _ = read_table.complete(id, Ok(resp));
+                        }
+                        Err(e) => {
+                            // A whole frame that doesn't decode: we can't
+                            // tell whose it was, so the stream can no
+                            // longer be trusted to route responses.
+                            read_table.fail_all(TransportError::Protocol(e));
+                            return;
+                        }
+                    },
+                    Ok(None) => {
+                        read_table.fail_all(TransportError::Connection(
+                            "server closed the connection".into(),
+                        ));
+                        return;
+                    }
+                    Err(e) => {
+                        read_table.fail_all(conn_err(e));
+                        return;
+                    }
+                }
+            })
+            .expect("spawn mux reader");
+
+        Ok(Arc::new(MuxConn {
+            frames: tx,
+            table,
+            next_id: AtomicU64::new(1),
+        }))
+    }
+
+    fn alive(&self) -> bool {
+        !self.table.is_dead()
+    }
+
+    /// Registers a slot, enqueues the request frame, returns the
+    /// completion. Never blocks on the socket.
+    fn send(&self, req: &Request) -> crate::mux::Completion {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let completion = self.table.register(id);
+        // A send failure means the writer died; fail_all has run (or is
+        // about to), which resolves this completion through its slot.
+        let _ = self.frames.send(encode_request(id, req));
+        completion
+    }
+}
+
+/// A multiplexed client for one replica's [`TcpServer`].
 ///
-/// Connections are created on demand, one per in-flight request, and
-/// returned to the pool after a successful round trip; a failed round trip
-/// discards its connection, so a restarted server is reached by a fresh
-/// dial on the next request.
+/// All requests share one connection; submissions return immediately and
+/// any number may be in flight, interleaved by frame id. A failed
+/// connection is torn down (failing its in-flight requests) and the next
+/// request dials fresh, so a restarted server is reached transparently.
 pub struct TcpTransport {
     addr: SocketAddr,
-    pool: Arc<Mutex<Vec<TcpStream>>>,
+    deadline: Duration,
+    conn: Mutex<Option<Arc<MuxConn>>>,
 }
 
 fn conn_err(e: std::io::Error) -> TransportError {
@@ -201,61 +334,52 @@ fn conn_err(e: std::io::Error) -> TransportError {
 impl TcpTransport {
     /// A client for the replica at `addr`. Lazy: the first request dials.
     pub fn connect(addr: SocketAddr) -> TcpTransport {
+        TcpTransport::with_deadline(addr, REQUEST_DEADLINE)
+    }
+
+    /// Like [`TcpTransport::connect`] with a custom per-request deadline
+    /// (submission → response frame). On expiry the request reports a
+    /// connection fault and its slot is abandoned; other in-flight
+    /// requests on the connection are untouched.
+    pub fn with_deadline(addr: SocketAddr, deadline: Duration) -> TcpTransport {
         TcpTransport {
             addr,
-            pool: Arc::new(Mutex::new(Vec::new())),
+            deadline,
+            conn: Mutex::new(None),
         }
     }
 
-    fn roundtrip_on(
-        addr: SocketAddr,
-        pool: &Mutex<Vec<TcpStream>>,
-        req: &Request,
-    ) -> Result<Response, TransportError> {
-        let mut stream = match pool.lock().unwrap().pop() {
-            Some(s) => s,
-            None => TcpStream::connect(addr).map_err(conn_err)?,
-        };
-        let _ = stream.set_nodelay(true);
-        // A replica that accepts but never answers (stuck worker) must
-        // surface as a *fault* so failover can route around it, not hang
-        // the caller — and through it the router's planning/update planes.
-        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-        write_frame(&mut stream, &encode_request(req)).map_err(conn_err)?;
-        let frame = read_frame(&mut stream)
-            .map_err(conn_err)?
-            .ok_or_else(|| TransportError::Connection("server closed the connection".into()))?;
-        let resp = decode_response(&frame)?;
-        // After answering a fault the server closes the connection (its
-        // framing is untrusted); pooling it would poison a later request.
-        if !matches!(resp, Response::Fault(_)) {
-            pool.lock().unwrap().push(stream);
+    /// The live connection, dialing (or re-dialing after a death) on
+    /// demand.
+    fn mux(&self) -> Result<Arc<MuxConn>, TransportError> {
+        let mut guard = self.conn.lock().unwrap();
+        if let Some(conn) = guard.as_ref() {
+            if conn.alive() {
+                return Ok(Arc::clone(conn));
+            }
         }
-        Ok(resp)
+        let conn = MuxConn::dial(self.addr, self.deadline).map_err(conn_err)?;
+        *guard = Some(Arc::clone(&conn));
+        Ok(conn)
     }
 
     fn roundtrip(&self, req: &Request) -> Result<Response, TransportError> {
-        Self::roundtrip_on(self.addr, &self.pool, req)
+        self.mux()?.send(req).wait(self.deadline)
     }
 }
 
 impl ShardTransport for TcpTransport {
     fn submit(&self, query: Query) -> TransportTicket {
-        // One thread per in-flight request keeps fan-out parallel while the
-        // protocol stays strictly request/response per connection.
-        let addr = self.addr;
-        let pool = Arc::clone(&self.pool);
-        let (tx, rx) = std::sync::mpsc::channel();
-        thread::spawn(move || {
-            let result =
-                Self::roundtrip_on(addr, &pool, &Request::Query(query)).and_then(expect_query);
-            let _ = tx.send(result);
-        });
-        TransportTicket::new(move || {
-            rx.recv()
-                .unwrap_or_else(|_| Err(TransportError::Connection("request thread lost".into())))
-        })
+        // No thread per request: the completion slot is the in-flight
+        // state, and the ticket just waits on it.
+        let deadline = self.deadline;
+        match self.mux() {
+            Ok(conn) => {
+                let completion = conn.send(&Request::Query(query));
+                TransportTicket::new(move || completion.wait(deadline).and_then(expect_query))
+            }
+            Err(e) => TransportTicket::ready(Err(e)),
+        }
     }
 
     fn apply_update(&self, update: &Update) -> Result<UpdateReceipt, TransportError> {
@@ -272,6 +396,14 @@ impl ShardTransport for TcpTransport {
 
     fn snapshot(&self) -> Result<SnapshotBlob, TransportError> {
         expect_snapshot(self.roundtrip(&Request::Snapshot)?)
+    }
+
+    fn install_snapshot(&self, blob: &SnapshotBlob) -> Result<Heartbeat, TransportError> {
+        expect_install(self.roundtrip(&Request::InstallSnapshot(blob.clone()))?)
+    }
+
+    fn compact(&self, through: u64) -> Result<u64, TransportError> {
+        expect_compacted(self.roundtrip(&Request::Compact { through })?)
     }
 }
 
@@ -320,37 +452,65 @@ mod tests {
     }
 
     #[test]
-    fn parallel_submissions_share_the_pool() {
+    fn concurrent_submissions_multiplex_one_connection() {
         let (_server, client, fx) = serve();
+        // All in flight at once, all on the same connection.
         let tickets: Vec<TransportTicket> = (1..=4)
             .map(|k| client.submit(Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], k)))
             .collect();
         for (i, t) in tickets.into_iter().enumerate() {
             assert_eq!(t.wait().unwrap().outcome.witnesses.len(), i + 1);
         }
+        let conn = client.conn.lock().unwrap();
+        let conn = conn.as_ref().expect("connection established");
+        assert!(conn.alive());
         assert!(
-            !client.pool.lock().unwrap().is_empty(),
-            "round trips return their connections"
+            conn.next_id.load(Ordering::Relaxed) > 4,
+            "all requests shared the one mux connection"
         );
+        assert_eq!(conn.table.pending(), 0, "every slot completed");
     }
 
     #[test]
-    fn snapshots_ship_over_the_wire() {
+    fn snapshots_ship_and_install_over_the_wire() {
         let (_server, client, fx) = serve();
         let blob = client.snapshot().unwrap();
         let replica = IndexedGraph::decode_snapshot(&blob.bytes).unwrap();
         assert_eq!(replica.num_vertices(), fx.graph.num_vertices());
         let mc = client.member_counts().unwrap();
         assert_eq!(mc.counts.len(), 3);
+        // Push the snapshot back: install bumps the epoch.
+        let hb = client.install_snapshot(&blob).unwrap();
+        assert_eq!(hb.epoch, 1);
+        // A corrupt blob is a typed deterministic rejection, not a fault.
+        let err = client
+            .install_snapshot(&SnapshotBlob {
+                epoch: 0,
+                bytes: vec![0xde, 0xad],
+            })
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Snapshot(_)), "{err:?}");
+        assert!(!err.is_fault());
     }
 
     #[test]
-    fn server_shutdown_faults_clients() {
+    fn compaction_notices_are_monotone_over_the_wire() {
+        let (_server, client, _fx) = serve();
+        assert_eq!(client.compact(5).unwrap(), 5);
+        assert_eq!(client.compact(9).unwrap(), 9);
+        // A stale controller proposing an older head gets the typed no.
+        let err = client.compact(3).unwrap_err();
+        assert_eq!(err, TransportError::CursorTooOld { cursor: 3, head: 9 });
+        assert!(!err.is_fault());
+    }
+
+    #[test]
+    fn server_shutdown_faults_clients_and_redial_recovers() {
         let (mut server, client, fx) = serve();
         let q = Query::new(fx.s, fx.t, vec![fx.ma], 1);
         assert!(client.submit(q.clone()).wait().is_ok());
         server.shutdown();
-        let err = client.submit(q).wait().unwrap_err();
+        let err = client.submit(q.clone()).wait().unwrap_err();
         assert!(err.is_fault(), "{err:?}");
         assert!(client.ping().unwrap_err().is_fault());
     }

@@ -1,22 +1,26 @@
-//! The shard transport end to end, over real sockets: a 24×24 road world
-//! is partitioned into 3 region shards, each served by **2 replicas
-//! behind loopback TCP servers**; a `ShardRouter` reaches them through
-//! pooled `TcpTransport` clients. The run streams queries (checked
-//! bit-for-bit against an unsharded reference), kills a replica's server
-//! mid-stream to show health/failover, publishes live updates over the
-//! wire, and finally restarts the dead replica from a shipped snapshot +
-//! update replay.
+//! The self-healing transport fleet, end to end over real sockets: a
+//! 24×24 road world partitioned into 3 region shards, each served by **2
+//! replicas behind loopback TCP servers**, reached through multiplexed
+//! `TcpTransport` clients (any number of in-flight queries share one
+//! connection per replica). A **`FleetSupervisor`** runs on its own
+//! clock: it heartbeats the fleet, quarantines a killed replica, compacts
+//! the update log, and — when the dead replica comes back as a freshly
+//! restarted process with stale state — refreshes it **automatically**
+//! over the wire (snapshot push + replay), with no manual `recover` or
+//! `heartbeat` call anywhere in this file.
 //!
 //! ```text
 //! cargo run --release --example transport
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use kosr::core::{IndexedGraph, Query};
 use kosr::service::{KosrService, ServiceConfig, Update};
 use kosr::shard::{
     PartitionConfig, Partitioner, ReplicaHealth, ShardRouter, ShardSet, ShardTransport,
+    SupervisorConfig,
 };
 use kosr::transport::{TcpServer, TcpTransport};
 use kosr::workloads::{
@@ -67,7 +71,10 @@ fn main() {
             let svc = Arc::new(KosrService::new(Arc::clone(&shard_ig), config.clone()));
             let server = TcpServer::spawn(svc).expect("bind loopback");
             println!("  shard {j} replica {r} listening on {}", server.addr());
-            ts.push(Arc::new(TcpTransport::connect(server.addr())));
+            ts.push(Arc::new(TcpTransport::with_deadline(
+                server.addr(),
+                Duration::from_secs(5),
+            )));
             row.push(Some(server));
         }
         servers.push(row);
@@ -80,13 +87,23 @@ fn main() {
         set.partition_stats().clone(),
     );
     let bus = router.update_bus();
+    // The supervisor on its own clock: tight watermark and replay limit so
+    // this short run visibly compacts and snapshot-refreshes.
+    let sup = router
+        .supervisor(SupervisorConfig {
+            tick_every: Duration::from_millis(20),
+            compact_watermark: 8,
+            replay_limit: 4,
+        })
+        .start();
     println!(
-        "transport fleet up: {:.2?} for {} replicas\n",
+        "transport fleet up: {:.2?} for {} replicas, supervisor ticking every 20ms\n",
         t0.elapsed(),
         SHARDS * REPLICAS
     );
 
-    // Act 1 — a 600-query stream over the wire, checked bit-for-bit.
+    // Act 1 — a 600-query stream, all multiplexed over one connection per
+    // replica, checked bit-for-bit.
     let queries: Vec<Query> = gen_mixed_traffic(
         &g,
         600,
@@ -114,7 +131,7 @@ fn main() {
         answered += 1;
     }
     println!(
-        "act 1: {answered} queries over TCP in {wall:.2?} ({:.0} q/s), all bit-identical to unsharded",
+        "act 1: {answered} queries multiplexed over TCP in {wall:.2?} ({:.0} q/s), all bit-identical to unsharded",
         answered as f64 / wall.as_secs_f64()
     );
     println!(
@@ -123,9 +140,25 @@ fn main() {
         SHARDS
     );
 
-    // Act 2 — kill shard 0's primary server mid-flight: failover hides it.
+    // Act 2 — kill shard 0's primary server mid-stream: the supervisor's
+    // heartbeat quarantines it; failover hides it from queries.
     servers[0][0].take();
-    println!("\nact 2: shard 0 replica 0 server killed");
+    let quarantined = {
+        let started = std::time::Instant::now();
+        loop {
+            if router.replica_set(0).health()[0] == ReplicaHealth::Down {
+                break started.elapsed();
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "supervisor failed to notice the kill"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+    println!(
+        "\nact 2: shard 0 replica 0 server killed — supervisor quarantined it in {quarantined:.2?}"
+    );
     let again = router.run_batch(&queries[..200]);
     for (s, u) in again.iter().zip(&plain[..200]) {
         assert_eq!(
@@ -140,11 +173,11 @@ fn main() {
         router.replica_set(0).failovers()
     );
 
-    // Act 3 — snapshot, then live updates over the wire (the dead replica
-    // defers them; everyone else converges).
-    let (cursor, blob) = router.snapshot_shard(0).expect("snapshot from survivor");
-    let flips = gen_membership_flips(&g, 10, 23);
-    let mut deferred = 0;
+    // Act 3 — live updates over the wire. The dead replica misses all of
+    // them, and the supervisor compacts the log underneath it: its cursor
+    // is stranded below the head, so replay becomes impossible *by
+    // design* — exactly what the snapshot-refresh path is for.
+    let flips = gen_membership_flips(&g, 12, 23);
     for f in &flips {
         let u = if f.insert {
             Update::InsertMembership {
@@ -157,10 +190,18 @@ fn main() {
                 category: f.category,
             }
         };
-        let receipt = bus.publish(&u).expect("publish over TCP");
-        deferred += receipt.deferred_replicas;
+        bus.publish(&u).expect("publish over TCP");
         reference.apply_update(&u).expect("mirror onto reference");
     }
+    // Give the supervisor a few ticks to compact.
+    std::thread::sleep(Duration::from_millis(100));
+    println!(
+        "\nact 3: {} live updates published over the wire; log: {} published, head {}, {} live entries (watermark 8)",
+        flips.len(),
+        bus.log_len(),
+        bus.log_head(),
+        bus.log_live_len()
+    );
     let post: Vec<Query> = gen_mixed_traffic(&g, 200, &TrafficMix::default(), 31)
         .iter()
         .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
@@ -174,41 +215,48 @@ fn main() {
             (s, u) => panic!("post-update divergence: {s:?} vs {u:?}"),
         }
     }
-    println!(
-        "\nact 3: {} live updates published over the wire ({} deferred on the dead replica); \
-         200 post-update queries bit-identical",
-        flips.len(),
-        deferred
-    );
+    println!("       200 post-update queries bit-identical");
 
-    // Act 4 — restart the dead replica from the shipped snapshot: decode,
-    // serve on a fresh socket, install, replay the missed updates.
-    let joined = IndexedGraph::decode_snapshot(&blob.bytes).expect("snapshot decodes");
-    let joined_svc = Arc::new(KosrService::new(Arc::new(joined), config));
-    let server = TcpServer::spawn(joined_svc).expect("bind restart socket");
+    // Act 4 — restart the dead replica as a fresh process with *stale*
+    // state (the pre-update shard build) on a new socket, plug its
+    // transport in… and just watch: the supervisor notices the
+    // behind-the-log replica, pushes a snapshot into it over the wire,
+    // replays the tail, and reinstates it. No recover call.
+    let stale_svc = Arc::new(KosrService::new(
+        Arc::new(set.shard(0).clone()),
+        config.clone(),
+    ));
+    let server = TcpServer::spawn(stale_svc).expect("bind restart socket");
     let addr = server.addr();
-    router.install_replica(0, 0, Arc::new(TcpTransport::connect(addr)), cursor);
-    let replayed = bus.recover(0, 0).expect("replay missed updates");
+    router.install_replica(
+        0,
+        0,
+        Arc::new(TcpTransport::with_deadline(addr, Duration::from_secs(5))),
+        0, // a fresh build has applied none of the published log
+    );
     servers[0][0] = Some(server);
+    let healed = sup.await_healthy(Duration::from_secs(30));
+    let report = sup.report();
+    assert!(healed, "supervisor failed to heal the fleet: {report:?}");
     println!(
-        "\nact 4: replica restarted on {addr} from a {} KiB snapshot, {replayed} updates replayed, health {:?}",
-        blob.bytes.len() / 1024,
-        router.replica_set(0).health()
+        "\nact 4: replica restarted stale on {addr} — supervisor auto-refreshed it \
+         ({} snapshot refreshes, {} cursor-too-old signals, {} compactions, {} replays)",
+        report.snapshot_refreshes, report.cursor_too_old, report.compactions, report.replays
     );
     assert_eq!(router.replica_set(0).health()[0], ReplicaHealth::Healthy);
 
-    // The restarted replica serves alone for its shard — still exact.
+    // The refreshed replica serves alone for its shard — still exact.
     servers[0][1].take();
     let solo = router.run_batch(&post[..100]);
     for (s, u) in solo.iter().zip(&plain_post[..100]) {
         match (s, u) {
             (Ok(s), Ok(u)) => assert_eq!(
                 s.outcome.witnesses, u.outcome.witnesses,
-                "snapshot-joined replica diverged"
+                "auto-refreshed replica diverged"
             ),
             (Err(se), Err(ue)) => assert_eq!(se.to_string(), ue.to_string()),
             (s, u) => panic!("solo divergence: {s:?} vs {u:?}"),
         }
     }
-    println!("       snapshot-joined replica served 100 queries alone, bit-identical — ok");
+    println!("       auto-refreshed replica served 100 queries alone, bit-identical — ok");
 }
