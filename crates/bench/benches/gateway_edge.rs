@@ -1,0 +1,101 @@
+//! What the HTTP edge costs: codec microbenches (HTTP head parse, JSON
+//! body decode, route-response encode) and the served path measured
+//! end-to-end over a live gateway on loopback sockets, against the same
+//! router driven directly — so the per-request HTTP/JSON overhead is a
+//! number, not a guess.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kosr_core::{IndexedGraph, Query};
+use kosr_gateway::http::{read_request, HttpLimits};
+use kosr_gateway::{client, json, Gateway, GatewayConfig};
+use kosr_graph::{PartitionConfig, Partitioner};
+use kosr_service::ServiceConfig;
+use kosr_shard::{ShardRouter, ShardSet};
+use kosr_workloads::{
+    assign_uniform, gen_mixed_traffic, road_grid_directed, route_body, QuerySpec, TrafficMix,
+};
+
+fn world() -> (Arc<ShardRouter>, Vec<QuerySpec>) {
+    let mut g = road_grid_directed(16, 16, 13);
+    assign_uniform(&mut g, 6, 20, 5);
+    let ig = IndexedGraph::build_default(g.clone());
+    let partition = Partitioner::new(PartitionConfig {
+        num_shards: 2,
+        ..Default::default()
+    })
+    .partition(&ig.graph);
+    let router = ShardRouter::new(
+        ShardSet::build(&ig, partition),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            cache_capacity: 0, // cold path: measure execution + edge
+            ..Default::default()
+        },
+    );
+    let specs = gen_mixed_traffic(&g, 200, &TrafficMix::default(), 29);
+    (Arc::new(router), specs)
+}
+
+fn gateway_edge(c: &mut Criterion) {
+    let (router, specs) = world();
+    let mut group = c.benchmark_group("gateway_edge");
+    group.sample_size(10);
+
+    // Codec microbenches: the hand-rolled parsers on a representative
+    // request, no sockets.
+    let body = route_body(&specs[0], Some(2000));
+    let raw = format!(
+        "POST /v1/route HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes();
+    group.bench_function("http_parse", |b| {
+        let limits = HttpLimits::default();
+        b.iter(|| {
+            let req = read_request(&mut &raw[..], &limits).expect("valid");
+            criterion::black_box(req);
+        })
+    });
+    group.bench_function("json_decode", |b| {
+        b.iter(|| criterion::black_box(json::parse(body.as_bytes()).expect("valid")))
+    });
+
+    // The router driven directly: the floor the edge is measured against.
+    let queries: Vec<Query> = specs
+        .iter()
+        .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
+        .collect();
+    group.bench_function("router_direct", |b| {
+        b.iter(|| {
+            for r in router.run_batch(&queries) {
+                criterion::black_box(r.expect("completes"));
+            }
+        })
+    });
+
+    // The full edge: HTTP parse + JSON decode + routing + JSON encode +
+    // HTTP write, one keep-alive-free call per query over loopback.
+    group.bench_function("http_served", |b| {
+        let gateway =
+            Gateway::spawn(Arc::clone(&router), None, GatewayConfig::default()).expect("bind");
+        let bodies: Vec<String> = specs.iter().map(|s| route_body(s, None)).collect();
+        b.iter(|| {
+            for body in &bodies {
+                let resp =
+                    client::call(gateway.addr(), "POST", "/v1/route", Some(body)).expect("served");
+                assert_eq!(resp.status, 200);
+                criterion::black_box(resp);
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, gateway_edge);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! A minimal blocking HTTP/1.1 client — one connection per call,
+//! `Connection: close` — for the gateway's tests, examples and ops
+//! tooling. It decodes both fixed-length and chunked responses, so it can
+//! read every page the server writes. Not a general-purpose client.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{self, Json, JsonError};
+
+/// A decoded HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (chunked transfer already reassembled).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first value of header `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<Json, JsonError> {
+        json::parse(&self.body)
+    }
+}
+
+/// Issues one request and reads the full response. `body` implies a
+/// `Content-Type: application/json` payload.
+pub fn call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let payload = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: kosr\r\nConnection: close\r\n"
+    )?;
+    if body.is_some() {
+        write!(
+            stream,
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            payload.len()
+        )?;
+    }
+    stream.write_all(b"\r\n")?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads and decodes one response from `r`.
+pub fn read_response(r: &mut impl Read) -> io::Result<HttpResponse> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    // Head until CRLFCRLF.
+    while !buf.ends_with(b"\r\n\r\n") {
+        match r.read(&mut byte)? {
+            0 => return Err(bad("eof in response head")),
+            _ => buf.push(byte[0]),
+        }
+        if buf.len() > (64 << 10) {
+            return Err(bad("response head too large"));
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.to_ascii_lowercase(), v.trim().to_string()));
+        }
+    }
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    let body = if find("transfer-encoding").is_some_and(|te| te.contains("chunked")) {
+        read_chunked(r)?
+    } else if let Some(cl) = find("content-length") {
+        let len: usize = cl.parse().map_err(|_| bad("bad content-length"))?;
+        if len > (64 << 20) {
+            return Err(bad("response body too large"));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        body
+    } else {
+        // Connection: close delimited.
+        let mut body = Vec::new();
+        r.read_to_end(&mut body)?;
+        body
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_line(r: &mut impl Read) -> io::Result<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while !line.ends_with(b"\r\n") {
+        match r.read(&mut byte)? {
+            0 => return Err(bad("eof in chunk header")),
+            _ => line.push(byte[0]),
+        }
+        if line.len() > 64 {
+            return Err(bad("chunk header too long"));
+        }
+    }
+    line.truncate(line.len() - 2);
+    Ok(String::from_utf8_lossy(&line).into_owned())
+}
+
+fn read_chunked(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let size_line = read_line(r)?;
+        let size =
+            usize::from_str_radix(size_line.trim(), 16).map_err(|_| bad("bad chunk size"))?;
+        if size > (64 << 20) {
+            return Err(bad("chunk too large"));
+        }
+        if size == 0 {
+            // Trailer-free end: consume the final CRLF.
+            let _ = read_line(r)?;
+            return Ok(out);
+        }
+        let at = out.len();
+        out.resize(at + size, 0);
+        r.read_exact(&mut out[at..])?;
+        let mut crlf = [0u8; 2];
+        r.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("chunk not CRLF-terminated"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_fixed_and_chunked_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"k\":1}";
+        let resp = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.json().unwrap().get("k").unwrap().as_u64(), Some(1));
+
+        let mut raw = Vec::new();
+        crate::http::write_response_chunked(&mut raw, 503, "text/plain", b"0123456789", 3, false)
+            .unwrap();
+        let resp = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.body, b"0123456789");
+    }
+
+    #[test]
+    fn malformed_responses_are_io_errors() {
+        assert!(read_response(&mut &b""[..]).is_err());
+        assert!(read_response(&mut &b"HTTP/1.1\r\n\r\n"[..]).is_err());
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+        assert!(read_response(&mut &raw[..]).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! A hand-rolled HTTP/1.1 server codec in the same no-dependency,
+//! shim-only spirit as the binary wire protocol: a **total** request
+//! parser (arbitrary bytes produce a typed [`HttpError`], never a panic;
+//! oversized heads and bodies are refused *before* the corresponding
+//! allocation) and fixed-length / chunked response writers.
+//!
+//! Scope is deliberately the subset an API edge needs: `GET`/`POST`,
+//! `Content-Length` bodies, keep-alive. `Transfer-Encoding` request
+//! bodies and HTTP/2 upgrades are refused typed.
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Parser limits, enforced before allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Largest accepted request head (request line + headers) in bytes.
+    pub max_head_bytes: usize,
+    /// Largest accepted request body in bytes — a larger declared
+    /// `Content-Length` is refused without reading or allocating it.
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for reading one request, measured from its first
+    /// byte. Socket read timeouts *within* the budget are retried (a slow
+    /// client is not a protocol error); past it the request fails typed.
+    pub read_deadline: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> HttpLimits {
+        HttpLimits {
+            max_head_bytes: 8 << 10,
+            max_body_bytes: 1 << 20,
+            read_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The request method, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path + optional query string), as sent.
+    pub target: String,
+    /// Header `(name, value)` pairs in wire order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub keep_alive: bool,
+    /// `true` for HTTP/1.1 requests — responses to HTTP/1.0 clients must
+    /// not use framing (chunked transfer) their protocol lacks.
+    pub http11: bool,
+}
+
+impl HttpRequest {
+    /// The first value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path part of the target (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// Why a request could not be read. The parser is total — any byte input
+/// yields a request or one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before sending a request —
+    /// the quiet end of a keep-alive session, not an error to report.
+    ConnectionClosed,
+    /// The socket timed out before the *first* byte of a request — an
+    /// idle keep-alive connection; callers poll their shutdown flag and
+    /// try again.
+    Idle,
+    /// An I/O failure mid-request.
+    Io(String),
+    /// The request head exceeded [`HttpLimits::max_head_bytes`].
+    HeadTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    MalformedRequestLine,
+    /// A header line has no `:` separator or a malformed name.
+    MalformedHeader,
+    /// The request speaks a protocol other than HTTP/1.0 or HTTP/1.1.
+    UnsupportedVersion,
+    /// `Content-Length` is not a decimal integer (or conflicts).
+    BadContentLength,
+    /// The declared body exceeds [`HttpLimits::max_body_bytes`] — refused
+    /// before any body byte is read or buffered.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: u64,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A request body arrived with `Transfer-Encoding` instead of
+    /// `Content-Length`; this edge does not accept chunked uploads.
+    UnsupportedTransferEncoding,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::Idle => write!(f, "idle connection"),
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::MalformedRequestLine => write!(f, "malformed request line"),
+            HttpError::MalformedHeader => write!(f, "malformed header"),
+            HttpError::UnsupportedVersion => write!(f, "unsupported HTTP version"),
+            HttpError::BadContentLength => write!(f, "bad content-length"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds {limit}")
+            }
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding request bodies not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The status code a request-parse failure maps to (`None` when nothing
+/// should be written — the peer is gone or merely idle).
+pub fn status_of_parse_error(e: &HttpError) -> Option<u16> {
+    match e {
+        HttpError::ConnectionClosed | HttpError::Idle | HttpError::Io(_) => None,
+        HttpError::HeadTooLarge { .. } => Some(431),
+        HttpError::MalformedRequestLine
+        | HttpError::MalformedHeader
+        | HttpError::BadContentLength => Some(400),
+        HttpError::UnsupportedVersion => Some(505),
+        HttpError::BodyTooLarge { .. } => Some(413),
+        HttpError::UnsupportedTransferEncoding => Some(411),
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `r`. Blocking; a read timeout before the first
+/// byte is the typed [`HttpError::Idle`] so keep-alive handlers can poll
+/// their shutdown flag. Head and body caps are enforced before the
+/// corresponding allocation grows past them.
+pub fn read_request(r: &mut impl Read, limits: &HttpLimits) -> Result<HttpRequest, HttpError> {
+    // --- head: byte-at-a-time until CRLFCRLF (or LFLF), capped ---
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    // Started at the first byte: socket read timeouts inside the budget
+    // are retried (a slow client mid-request is not a protocol error);
+    // only the overall deadline fails the request.
+    let mut started: Option<Instant> = None;
+    let check_deadline = |started: &Option<Instant>| match started {
+        Some(t0) if t0.elapsed() > limits.read_deadline => {
+            Err(HttpError::Io("request read deadline exceeded".into()))
+        }
+        _ => Ok(()),
+    };
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    HttpError::ConnectionClosed
+                } else {
+                    HttpError::Io("eof mid-request".into())
+                })
+            }
+            Ok(_) => {
+                started.get_or_insert_with(Instant::now);
+                head.push(byte[0]);
+                if head.len() > limits.max_head_bytes {
+                    return Err(HttpError::HeadTooLarge {
+                        limit: limits.max_head_bytes,
+                    });
+                }
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) if is_timeout(&e) && head.is_empty() => return Err(HttpError::Idle),
+            Err(e) if is_timeout(&e) => check_deadline(&started)?,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+
+    let head_text = String::from_utf8_lossy(&head);
+    let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::MalformedRequestLine),
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::UnsupportedVersion),
+    };
+    // HTTP/1.1 defaults to keep-alive, 1.0 to close.
+    let keep_alive_default = http11;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::MalformedHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::MalformedHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => keep_alive_default,
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+
+    // --- body: length checked against the cap BEFORE allocation ---
+    let mut body = Vec::new();
+    let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+    if let Some((_, cl)) = lengths.next() {
+        // Duplicate Content-Length headers that disagree are the classic
+        // request-smuggling desync primitive: refuse them outright
+        // (RFC 7230 §3.3.2). Duplicates that agree are tolerated.
+        if lengths.any(|(_, other)| other.trim() != cl.trim()) {
+            return Err(HttpError::BadContentLength);
+        }
+        let declared: u64 = cl.trim().parse().map_err(|_| HttpError::BadContentLength)?;
+        if declared > limits.max_body_bytes as u64 {
+            return Err(HttpError::BodyTooLarge {
+                declared,
+                limit: limits.max_body_bytes,
+            });
+        }
+        body = vec![0u8; declared as usize];
+        let mut filled = 0;
+        while filled < body.len() {
+            match r.read(&mut body[filled..]) {
+                Ok(0) => return Err(HttpError::Io("eof mid-body".into())),
+                Ok(n) => filled += n,
+                Err(e) if is_timeout(&e) => check_deadline(&started)?,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(HttpError::Io(e.to_string())),
+            }
+        }
+    }
+
+    Ok(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+        keep_alive,
+        http11,
+    })
+}
+
+/// The canonical reason phrase of the status codes this edge emits.
+pub fn status_reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length (`Content-Length`) response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes a `Transfer-Encoding: chunked` response, `chunk`-byte chunks at
+/// a time — what the `/metrics` page uses so its (unbounded-over-time)
+/// exposition never needs a pre-computed length.
+pub fn write_response_chunked(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    chunk: usize,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        status,
+        status_reason(status),
+        content_type,
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    for piece in body.chunks(chunk.max(1)) {
+        write!(w, "{:x}\r\n", piece.len())?;
+        w.write_all(piece)?;
+        w.write_all(b"\r\n")?;
+    }
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<HttpRequest, HttpError> {
+        read_request(&mut &bytes[..], &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert!(req.keep_alive);
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+
+        let req = parse(
+            b"POST /v1/route HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 7\r\n\r\n{\"k\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.body, b"{\"k\":1}");
+        assert_eq!(req.path(), "/v1/route");
+
+        let req = parse(b"GET /metrics?x=1 HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "1.0 defaults to close");
+        assert!(!req.http11);
+        assert_eq!(req.path(), "/metrics");
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_refused() {
+        // Disagreeing duplicates are the request-smuggling desync
+        // primitive: refused outright, the body never read.
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 100\r\n\r\nhello"),
+            Err(HttpError::BadContentLength)
+        );
+        // Agreeing duplicates are tolerated.
+        let req = parse(b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn connection_header_overrides_default() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_requests() {
+        assert_eq!(parse(b""), Err(HttpError::ConnectionClosed));
+        assert!(
+            matches!(parse(b"GET"), Err(HttpError::Io(_))),
+            "eof mid-head"
+        );
+        assert_eq!(parse(b"\r\n\r\n"), Err(HttpError::MalformedRequestLine));
+        assert_eq!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(HttpError::MalformedHeader)
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        );
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_refused_before_allocation() {
+        let limits = HttpLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 128,
+            ..Default::default()
+        };
+        let mut big_head = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        big_head.extend(vec![b'a'; 200]);
+        big_head.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(
+            read_request(&mut &big_head[..], &limits),
+            Err(HttpError::HeadTooLarge { limit: 64 })
+        );
+
+        // A u64::MAX declared body must be refused without allocating it —
+        // if the parser tried, this test would OOM rather than pass.
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", u64::MAX);
+        assert_eq!(
+            read_request(&mut huge.as_bytes(), &limits),
+            Err(HttpError::BodyTooLarge {
+                declared: u64::MAX,
+                limit: 128
+            })
+        );
+    }
+
+    #[test]
+    fn response_writers_emit_wellformed_http() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response_chunked(&mut out, 200, "text/plain", b"abcdefg", 4, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("4\r\nabcd\r\n3\r\nefg\r\n0\r\n\r\n"));
+        assert!(text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn parser_accepts_bare_lf_line_endings() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path(), "/healthz");
+    }
+}

@@ -1,0 +1,598 @@
+//! A dependency-free JSON codec for the gateway's request/response
+//! bodies: a **total, panic-free** recursive-descent parser (explicit
+//! depth limit, input size checked *before* any allocation — fuzz-tested
+//! like the wire decoder) and an escaping serializer.
+//!
+//! Numbers are `f64`, which is exact for every id, count and route cost
+//! this API carries (all well under 2⁵³); [`Json::as_u64`] refuses
+//! non-integral or out-of-range values rather than truncating.
+
+use std::fmt;
+
+/// Parser limits. Both bounds are enforced *before* the corresponding
+/// allocation: an oversized input is refused by length, a deep nesting by
+/// the depth counter (no parser recursion ever exceeds it).
+#[derive(Clone, Copy, Debug)]
+pub struct JsonLimits {
+    /// Largest accepted input in bytes.
+    pub max_bytes: usize,
+    /// Deepest accepted array/object nesting.
+    pub max_depth: usize,
+}
+
+impl Default for JsonLimits {
+    fn default() -> JsonLimits {
+        JsonLimits {
+            max_bytes: 1 << 20,
+            max_depth: 32,
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys are kept as sent;
+    /// [`Json::get`] returns the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member `key` of an object (first occurrence), else `None`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer: a number that is non-negative,
+    /// integral, and exactly representable (`≤ 2⁵³`).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64).then_some(n as u64)
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+fn escape_into(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    /// Serializes to compact JSON. `parse(x.to_string()) == x` for every
+    /// value this module produces (NaN/infinite numbers, which JSON cannot
+    /// carry, render as `null`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) if n.is_finite() => write!(f, "{n}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => escape_into(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Why an input was refused. The parser is total: every byte sequence
+/// yields `Ok` or one of these, never a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// Input longer than [`JsonLimits::max_bytes`] — refused before any
+    /// parsing allocation.
+    TooLarge {
+        /// Input length.
+        len: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Nesting deeper than [`JsonLimits::max_depth`].
+    TooDeep {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// An unexpected byte at `at`.
+    Unexpected {
+        /// Byte offset of the offense.
+        at: usize,
+        /// The byte found.
+        byte: u8,
+    },
+    /// Input ended mid-value.
+    UnexpectedEnd,
+    /// A malformed number starting at `at`.
+    BadNumber {
+        /// Byte offset of the number.
+        at: usize,
+    },
+    /// A malformed escape sequence at `at`.
+    BadEscape {
+        /// Byte offset of the escape.
+        at: usize,
+    },
+    /// Invalid UTF-8 inside a string at `at`.
+    BadUtf8 {
+        /// Byte offset of the offense.
+        at: usize,
+    },
+    /// Bytes left over after one complete value.
+    Trailing {
+        /// Byte offset of the first trailing byte.
+        at: usize,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::TooLarge { len, limit } => {
+                write!(f, "body of {len} bytes exceeds the {limit}-byte limit")
+            }
+            JsonError::TooDeep { limit } => write!(f, "nesting deeper than {limit}"),
+            JsonError::Unexpected { at, byte } => {
+                write!(f, "unexpected byte 0x{byte:02x} at offset {at}")
+            }
+            JsonError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            JsonError::BadNumber { at } => write!(f, "malformed number at offset {at}"),
+            JsonError::BadEscape { at } => write!(f, "malformed escape at offset {at}"),
+            JsonError::BadUtf8 { at } => write!(f, "invalid utf-8 at offset {at}"),
+            JsonError::Trailing { at } => write!(f, "trailing bytes at offset {at}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON value under the default [`JsonLimits`].
+pub fn parse(bytes: &[u8]) -> Result<Json, JsonError> {
+    parse_with(bytes, &JsonLimits::default())
+}
+
+/// Parses one JSON value under explicit limits. Total and panic-free; see
+/// [`JsonError`].
+pub fn parse_with(bytes: &[u8], limits: &JsonLimits) -> Result<Json, JsonError> {
+    if bytes.len() > limits.max_bytes {
+        return Err(JsonError::TooLarge {
+            len: bytes.len(),
+            limit: limits.max_bytes,
+        });
+    }
+    let mut p = Parser {
+        bytes,
+        at: 0,
+        max_depth: limits.max_depth,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.at < p.bytes.len() {
+        return Err(JsonError::Trailing { at: p.at });
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    max_depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &[u8], value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.at..].starts_with(lit) {
+            self.at += lit.len();
+            Ok(value)
+        } else if self.bytes.len() - self.at < lit.len() && lit.starts_with(&self.bytes[self.at..])
+        {
+            Err(JsonError::UnexpectedEnd)
+        } else {
+            Err(JsonError::Unexpected {
+                at: self.at,
+                byte: self.bytes[self.at],
+            })
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > self.max_depth {
+            return Err(JsonError::TooDeep {
+                limit: self.max_depth,
+            });
+        }
+        match self.peek() {
+            None => Err(JsonError::UnexpectedEnd),
+            Some(b'n') => self.expect_literal(b"null", Json::Null),
+            Some(b't') => self.expect_literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal(b"false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(byte) => Err(JsonError::Unexpected { at: self.at, byte }),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.at;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.at += 1;
+        }
+        // The byte set above cannot spell `inf`/`NaN`, so a successful
+        // float parse is a genuine JSON number — modulo JSON's stricter
+        // grammar corners (leading `+`, bare `.`), which float parsing
+        // refuses anyway or which we accept as harmless supersets.
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| JsonError::BadNumber { at: start })?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(JsonError::BadNumber { at: start }),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let at = self.at;
+        let slice = self
+            .bytes
+            .get(self.at..self.at + 4)
+            .ok_or(JsonError::UnexpectedEnd)?;
+        let text = std::str::from_utf8(slice).map_err(|_| JsonError::BadEscape { at })?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| JsonError::BadEscape { at })?;
+        self.at += 4;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.at += 1;
+        let mut out = String::new();
+        let mut run_start = self.at;
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::UnexpectedEnd),
+                Some(b'"') => {
+                    self.flush_run(run_start, &mut out)?;
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.flush_run(run_start, &mut out)?;
+                    self.at += 1;
+                    let esc_at = self.at;
+                    match self.peek() {
+                        None => return Err(JsonError::UnexpectedEnd),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.at += 1;
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // A high surrogate: consume the paired
+                                // `\uXXXX` low half when present; a lone
+                                // surrogate decodes to U+FFFD (total, no
+                                // crash on any input) — and a following
+                                // escape that is *not* a low half is put
+                                // back, never swallowed.
+                                let before_pair = self.at;
+                                if self.bytes[self.at..].starts_with(b"\\u") {
+                                    self.at += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                    } else {
+                                        self.at = before_pair;
+                                        0xFFFD
+                                    }
+                                } else {
+                                    0xFFFD
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            run_start = self.at;
+                            continue;
+                        }
+                        Some(_) => return Err(JsonError::BadEscape { at: esc_at }),
+                    }
+                    self.at += 1;
+                    run_start = self.at;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::Unexpected {
+                        at: self.at,
+                        byte: b,
+                    })
+                }
+                Some(_) => self.at += 1,
+            }
+        }
+    }
+
+    fn flush_run(&mut self, run_start: usize, out: &mut String) -> Result<(), JsonError> {
+        if run_start < self.at {
+            let run = std::str::from_utf8(&self.bytes[run_start..self.at])
+                .map_err(|_| JsonError::BadUtf8 { at: run_start })?;
+            out.push_str(run);
+        }
+        Ok(())
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.at += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                Some(byte) => return Err(JsonError::Unexpected { at: self.at, byte }),
+                None => return Err(JsonError::UnexpectedEnd),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.at += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return match self.peek() {
+                    Some(byte) => Err(JsonError::Unexpected { at: self.at, byte }),
+                    None => Err(JsonError::UnexpectedEnd),
+                };
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b':') => self.at += 1,
+                Some(byte) => return Err(JsonError::Unexpected { at: self.at, byte }),
+                None => return Err(JsonError::UnexpectedEnd),
+            }
+            self.skip_ws();
+            members.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                Some(byte) => return Err(JsonError::Unexpected { at: self.at, byte }),
+                None => return Err(JsonError::UnexpectedEnd),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_api_shapes() {
+        let v =
+            parse(br#"{"source": 3, "categories": [0, 1, 2], "k": 5, "note": "a\nb"}"#).unwrap();
+        assert_eq!(v.get("source").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("note").unwrap().as_str(), Some("a\nb"));
+        let cats: Vec<u64> = v
+            .get("categories")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect();
+        assert_eq!(cats, vec![0, 1, 2]);
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        for text in [
+            r#"null"#,
+            r#"true"#,
+            r#"[1,2.5,-3,"x",[],{}]"#,
+            r#"{"a":"quote \" backslash \\ tab \t","b":[null,false]}"#,
+        ] {
+            let v = parse(text.as_bytes()).unwrap();
+            let again = parse(v.to_string().as_bytes()).unwrap();
+            assert_eq!(v, again, "{text}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode_with_surrogate_pairs() {
+        let v = parse(r#""Aé😀""#.as_bytes()).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+        // Lone surrogates decode to the replacement character, totally.
+        let v = parse(br#""\ud800x""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{FFFD}x"));
+        // A following `\uXXXX` escape that is not a low half is put back
+        // and decoded on its own, not swallowed with the lone surrogate…
+        let v = parse(br#""\ud800\u0041x""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{FFFD}Ax"));
+        // …even when the put-back escape is itself a high surrogate that
+        // then pairs with the escape after it.
+        let v = parse(br#""\ud800\ud801\udc01""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{FFFD}\u{10401}"));
+    }
+
+    #[test]
+    fn as_u64_refuses_lossy_values() {
+        assert_eq!(Json::Num(3.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(9.1e18).as_u64(), None);
+        assert_eq!(Json::Num((1u64 << 53) as f64).as_u64(), Some(1 << 53));
+        assert_eq!(Json::Str("3".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn typed_errors_not_panics() {
+        assert!(matches!(parse(b""), Err(JsonError::UnexpectedEnd)));
+        assert!(matches!(parse(b"{"), Err(JsonError::UnexpectedEnd)));
+        assert!(matches!(parse(b"tru"), Err(JsonError::UnexpectedEnd)));
+        assert!(matches!(parse(b"01x"), Err(JsonError::Trailing { .. })));
+        assert!(matches!(parse(b"1 2"), Err(JsonError::Trailing { .. })));
+        assert!(matches!(parse(b"+1"), Err(JsonError::Unexpected { .. })));
+        assert!(matches!(parse(b"1e999"), Err(JsonError::BadNumber { .. })));
+        assert!(matches!(parse(b"\"\xff\""), Err(JsonError::BadUtf8 { .. })));
+        assert!(matches!(
+            parse(b"{1: 2}"),
+            Err(JsonError::Unexpected { .. })
+        ));
+        assert!(matches!(
+            parse(br#""\q""#),
+            Err(JsonError::BadEscape { .. })
+        ));
+    }
+
+    #[test]
+    fn size_rejected_before_parsing_depth_before_overflow() {
+        let limits = JsonLimits {
+            max_bytes: 10,
+            max_depth: 8,
+        };
+        assert_eq!(
+            parse_with(b"[1,2,3,4,5,6]", &limits),
+            Err(JsonError::TooLarge { len: 13, limit: 10 })
+        );
+        // Deep nesting is a typed error, not a stack overflow — even at
+        // depths that would blow the stack without the limit.
+        let deep = vec![b'['; 100_000];
+        assert_eq!(
+            parse(&deep),
+            Err(JsonError::TooDeep {
+                limit: JsonLimits::default().max_depth
+            })
+        );
+    }
+}

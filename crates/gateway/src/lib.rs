@@ -1,0 +1,76 @@
+//! # kosr-gateway
+//!
+//! The HTTP edge of the KOSR fleet: the first surface anything *outside*
+//! the workspace can reach. A dependency-free threaded HTTP/1.1 server
+//! (hand-rolled request parser and fixed-length/chunked response writers,
+//! in the same no-network, shim-only spirit as the binary wire protocol)
+//! fronting a [`ShardRouter`](kosr_shard::ShardRouter) and, optionally, a
+//! running [`SupervisorHandle`](kosr_shard::SupervisorHandle).
+//!
+//! | endpoint | method | does |
+//! |---|---|---|
+//! | `/v1/route` | POST | JSON `{source, target, categories, k, deadline_ms?}` → merged top-k routes with per-route cost + stop breakdown |
+//! | `/v1/update` | POST | JSON `{op, …}` membership/edge update published through the live update bus |
+//! | `/healthz` | GET | per-shard replica health; `200` healthy / `503` degraded |
+//! | `/metrics` | GET | Prometheus text: gateway QPS/latency/cache hit rate + per-shard health and service stats + supervisor counters |
+//!
+//! ## Error taxonomy → status codes
+//!
+//! The existing typed rejections map onto HTTP statuses without losing
+//! their identity (the JSON error body carries a stable `kind`):
+//! deterministic rejections — invalid JSON/request shape, invalid query,
+//! invalid update — are `400`; capacity/availability conditions — queue
+//! full, deadline exceeded, budget exhausted, transport failure, shutdown
+//! — are `503`; an oversized body is `413` *before* the body is read.
+//!
+//! ## Admission control
+//!
+//! The edge sheds load at the front door: a bounded connection pool
+//! (`503` past the cap, typed), head/body size caps enforced before
+//! allocation, and per-request deadlines (`deadline_ms`, or the
+//! configured default) checked at admission and after the shard merge —
+//! while each replica's planner keeps enforcing its own
+//! `PlannerConfig::deadline` on queue wait.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use kosr_core::IndexedGraph;
+//! use kosr_gateway::{client, Gateway, GatewayConfig};
+//! use kosr_graph::{PartitionConfig, Partitioner};
+//! use kosr_service::ServiceConfig;
+//! use kosr_shard::{ShardRouter, ShardSet};
+//!
+//! let fx = kosr_core::figure1::figure1();
+//! let ig = IndexedGraph::build_default(fx.graph.clone());
+//! let partition = Partitioner::new(PartitionConfig { num_shards: 2, ..Default::default() })
+//!     .partition(&ig.graph);
+//! let router = Arc::new(ShardRouter::new(
+//!     ShardSet::build(&ig, partition),
+//!     ServiceConfig::default(),
+//! ));
+//! let gateway = Gateway::spawn(router, None, GatewayConfig::default()).unwrap();
+//! let resp = client::call(
+//!     gateway.addr(),
+//!     "POST",
+//!     "/v1/route",
+//!     Some(r#"{"source": 0, "target": 7, "categories": [0, 1, 2], "k": 3}"#),
+//! ).unwrap();
+//! assert_eq!(resp.status, 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+mod server;
+mod stats;
+
+pub use server::{api_error_of, ApiError, Gateway, GatewayConfig};
+pub use stats::{Endpoint, GatewayStats};
+
+// Re-exported so gateway users don't need direct sibling dependencies for
+// the common types.
+pub use kosr_service::{validate_prometheus_text, MetricsRegistry, MetricsSource};
+pub use kosr_shard::{ShardError, ShardRouter, SupervisorHandle};

@@ -1,0 +1,1130 @@
+//! The threaded HTTP edge: a bounded-connection accept loop fronting a
+//! [`ShardRouter`] (+ optional [`SupervisorHandle`]), with the JSON query
+//! API, the update surface, `/healthz` and the fleet-wide `/metrics`
+//! page. See the crate docs for the endpoint table.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use kosr_core::Query;
+use kosr_graph::{CategoryId, VertexId};
+use kosr_service::{MetricsRegistry, ServiceError};
+use kosr_shard::{
+    LiveUpdateBus, ShardError, ShardRouter, ShardedResponse, SupervisorHandle, Update,
+};
+
+use crate::http::{
+    read_request, status_of_parse_error, write_response, write_response_chunked, HttpError,
+    HttpLimits, HttpRequest,
+};
+use crate::json::{self, Json, JsonLimits};
+use crate::stats::{Endpoint, GatewayStats};
+
+const JSON_TYPE: &str = "application/json";
+const METRICS_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Gateway tunables.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Concurrent connections admitted; the one past the cap is answered
+    /// `503` and closed at the accept gate (admission control, edge-side).
+    pub max_connections: usize,
+    /// Largest accepted request body — a larger declared `Content-Length`
+    /// is refused `413` before any body byte is read or buffered.
+    pub max_body_bytes: usize,
+    /// Largest accepted request head.
+    pub max_head_bytes: usize,
+    /// Deadline applied to `/v1/route` requests that carry no
+    /// `deadline_ms` of their own; `None` admits them without one.
+    pub default_deadline: Option<Duration>,
+    /// Largest accepted `k` — the runners pre-size result buffers by `k`,
+    /// so an unbounded value would let one request demand an absurd
+    /// allocation; past the cap is a typed `400` at admission.
+    pub max_k: usize,
+    /// JSON nesting bound for request bodies.
+    pub json_depth: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            max_connections: 64,
+            max_body_bytes: 1 << 20,
+            max_head_bytes: 8 << 10,
+            default_deadline: None,
+            max_k: 1024,
+            json_depth: 32,
+        }
+    }
+}
+
+/// A typed API failure: the status code plus the machine-readable error
+/// kind and human-readable message the JSON error body carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApiError {
+    /// The HTTP status code.
+    pub status: u16,
+    /// A stable machine-readable error kind (`"invalid_query"`,
+    /// `"queue_full"`, …).
+    pub kind: &'static str,
+    /// The human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, kind: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn body(&self) -> Json {
+        Json::Obj(vec![(
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::from(self.kind)),
+                ("status".into(), Json::from(self.status as u64)),
+                ("message".into(), Json::Str(self.message.clone())),
+            ]),
+        )])
+    }
+}
+
+/// Maps the shard/service error taxonomy onto the HTTP status surface:
+/// deterministic rejections (invalid query/update) are `4xx`; capacity
+/// and availability conditions (queue full, deadline, budget, transport,
+/// shutdown) are `503`; a lost worker is the only `502`.
+pub fn api_error_of(e: &ShardError) -> ApiError {
+    match e {
+        ShardError::Service(ServiceError::InvalidQuery(q)) => {
+            ApiError::new(400, "invalid_query", format!("invalid query: {q}"))
+        }
+        ShardError::Service(ServiceError::QueueFull { .. }) => {
+            ApiError::new(503, "queue_full", e.to_string())
+        }
+        ShardError::Service(ServiceError::DeadlineExceeded { .. }) => {
+            ApiError::new(503, "deadline_exceeded", e.to_string())
+        }
+        ShardError::Service(ServiceError::BudgetExhausted { .. }) => {
+            ApiError::new(503, "budget_exhausted", e.to_string())
+        }
+        ShardError::Service(ServiceError::ShuttingDown) => {
+            ApiError::new(503, "shutting_down", e.to_string())
+        }
+        ShardError::Service(ServiceError::WorkerLost) => {
+            ApiError::new(502, "worker_lost", e.to_string())
+        }
+        ShardError::Update(u) => ApiError::new(400, "invalid_update", u.to_string()),
+        ShardError::Transport(_) | ShardError::CursorTooOld { .. } => {
+            ApiError::new(503, "unavailable", e.to_string())
+        }
+    }
+}
+
+enum Reply {
+    Fixed(u16, &'static str, Vec<u8>),
+    Chunked(u16, &'static str, Vec<u8>),
+}
+
+impl Reply {
+    fn status(&self) -> u16 {
+        match self {
+            Reply::Fixed(s, ..) | Reply::Chunked(s, ..) => *s,
+        }
+    }
+
+    fn error(e: ApiError) -> Reply {
+        Reply::Fixed(e.status, JSON_TYPE, e.body().to_string().into_bytes())
+    }
+
+    fn json(status: u16, value: &Json) -> Reply {
+        Reply::Fixed(status, JSON_TYPE, value.to_string().into_bytes())
+    }
+}
+
+/// What the edge fronts — shared by every connection handler.
+struct EdgeState {
+    router: Arc<ShardRouter>,
+    bus: LiveUpdateBus,
+    supervisor: Option<Arc<SupervisorHandle>>,
+    stats: Arc<GatewayStats>,
+    config: GatewayConfig,
+    json_limits: JsonLimits,
+    slots: AtomicUsize,
+}
+
+impl EdgeState {
+    fn try_acquire_slot(&self) -> bool {
+        self.slots
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                (used < self.config.max_connections).then_some(used + 1)
+            })
+            .is_ok()
+    }
+
+    fn release_slot(&self) {
+        self.slots.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Returns a connection slot on drop — including when the handler
+/// unwinds from a panic, so a crashed handler can never permanently
+/// shrink the admission pool.
+struct SlotGuard(Arc<EdgeState>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.release_slot();
+    }
+}
+
+fn field<'v>(v: &'v Json, key: &str) -> Result<&'v Json, ApiError> {
+    v.get(key)
+        .ok_or_else(|| ApiError::new(400, "invalid_request", format!("missing field {key:?}")))
+}
+
+fn field_u32(v: &Json, key: &str) -> Result<u32, ApiError> {
+    field(v, key)?
+        .as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| {
+            ApiError::new(
+                400,
+                "invalid_request",
+                format!("field {key:?} must be an unsigned 32-bit integer"),
+            )
+        })
+}
+
+fn parse_body(edge: &EdgeState, body: &[u8]) -> Result<Json, ApiError> {
+    json::parse_with(body, &edge.json_limits)
+        .map_err(|e| ApiError::new(400, "invalid_json", e.to_string()))
+}
+
+/// `POST /v1/route`: `{"source", "target", "categories", "k",
+/// "deadline_ms"?}` → the merged top-k with per-route cost and stop
+/// breakdown.
+fn handle_route(edge: &EdgeState, body: &[u8], received: Instant) -> Reply {
+    let parsed = (|| {
+        let v = parse_body(edge, body)?;
+        let source = VertexId(field_u32(&v, "source")?);
+        let target = VertexId(field_u32(&v, "target")?);
+        // The runners pre-size result buffers by `k`; cap it at admission
+        // so one request cannot demand an absurd allocation downstream.
+        let k = field(&v, "k")?
+            .as_u64()
+            .and_then(|n| (n <= edge.config.max_k as u64).then_some(n as usize))
+            .ok_or_else(|| {
+                ApiError::new(
+                    400,
+                    "invalid_request",
+                    format!(
+                        "field \"k\" must be an integer in 1..={}",
+                        edge.config.max_k
+                    ),
+                )
+            })?;
+        let categories = field(&v, "categories")?
+            .as_array()
+            .ok_or_else(|| {
+                ApiError::new(
+                    400,
+                    "invalid_request",
+                    "field \"categories\" must be an array",
+                )
+            })?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .map(CategoryId)
+                    .ok_or_else(|| {
+                        ApiError::new(
+                            400,
+                            "invalid_request",
+                            "categories must be unsigned 32-bit integers",
+                        )
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let deadline = match v.get("deadline_ms") {
+            None | Some(Json::Null) => edge.config.default_deadline,
+            Some(d) => Some(Duration::from_millis(d.as_u64().ok_or_else(|| {
+                ApiError::new(400, "invalid_request", "deadline_ms must be milliseconds")
+            })?)),
+        };
+        Ok((Query::new(source, target, categories, k), deadline))
+    })();
+    let (query, deadline) = match parsed {
+        Ok(p) => p,
+        Err(e) => return Reply::error(e),
+    };
+
+    // Deadline propagation, edge-side: the budget covers parse + routing
+    // + shard execution; replicas additionally enforce their planner's
+    // own `PlannerConfig::deadline` on queue wait.
+    let expired = |d: Duration| received.elapsed() > d;
+    if let Some(d) = deadline {
+        if expired(d) {
+            return Reply::error(api_error_of(&ShardError::Service(
+                ServiceError::DeadlineExceeded { deadline: d },
+            )));
+        }
+    }
+    let outcome = edge
+        .router
+        .submit(query.clone())
+        .and_then(|ticket| ticket.wait());
+    match outcome {
+        Ok(resp) => {
+            if let Some(d) = deadline {
+                if expired(d) {
+                    return Reply::error(api_error_of(&ShardError::Service(
+                        ServiceError::DeadlineExceeded { deadline: d },
+                    )));
+                }
+            }
+            edge.stats
+                .record_shard_answers(resp.shards.len() as u64, resp.cached_shards as u64);
+            Reply::json(200, &route_body(&query, &resp))
+        }
+        Err(e) => Reply::error(api_error_of(&e)),
+    }
+}
+
+fn route_body(query: &Query, resp: &ShardedResponse) -> Json {
+    let routes: Vec<Json> = resp
+        .outcome
+        .witnesses
+        .iter()
+        .map(|w| {
+            // A witness is ⟨s, c1…cj, t⟩: the interior stops line up with
+            // the query's category sequence — the per-route breakdown.
+            let stops: Vec<Json> = w
+                .vertices
+                .iter()
+                .skip(1)
+                .take(query.categories.len())
+                .zip(&query.categories)
+                .map(|(v, c)| {
+                    Json::Obj(vec![
+                        ("vertex".into(), Json::from(v.0 as u64)),
+                        ("category".into(), Json::from(c.0 as u64)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("cost".into(), Json::from(w.cost)),
+                (
+                    "vertices".into(),
+                    Json::Arr(w.vertices.iter().map(|v| Json::from(v.0 as u64)).collect()),
+                ),
+                ("stops".into(), Json::Arr(stops)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("k".into(), Json::from(query.k as u64)),
+        ("routes".into(), Json::Arr(routes)),
+        (
+            "shards".into(),
+            Json::Arr(resp.shards.iter().map(|&j| Json::from(j as u64)).collect()),
+        ),
+        (
+            "cached_shards".into(),
+            Json::from(resp.cached_shards as u64),
+        ),
+        (
+            "latency_us".into(),
+            Json::from(resp.latency.as_micros().min(u64::MAX as u128) as u64),
+        ),
+    ])
+}
+
+/// `POST /v1/update`: `{"op": "insert_membership" | "remove_membership" |
+/// "insert_edge", ...}` published through the live update bus.
+fn handle_update(edge: &EdgeState, body: &[u8]) -> Reply {
+    let parsed = (|| {
+        let v = parse_body(edge, body)?;
+        let op = field(&v, "op")?.as_str().ok_or_else(|| {
+            ApiError::new(400, "invalid_request", "field \"op\" must be a string")
+        })?;
+        match op {
+            "insert_membership" => Ok(Update::InsertMembership {
+                vertex: VertexId(field_u32(&v, "vertex")?),
+                category: CategoryId(field_u32(&v, "category")?),
+            }),
+            "remove_membership" => Ok(Update::RemoveMembership {
+                vertex: VertexId(field_u32(&v, "vertex")?),
+                category: CategoryId(field_u32(&v, "category")?),
+            }),
+            "insert_edge" => Ok(Update::InsertEdge {
+                from: VertexId(field_u32(&v, "from")?),
+                to: VertexId(field_u32(&v, "to")?),
+                weight: field(&v, "weight")?.as_u64().ok_or_else(|| {
+                    ApiError::new(400, "invalid_request", "weight must be an unsigned integer")
+                })?,
+            }),
+            other => Err(ApiError::new(
+                400,
+                "invalid_request",
+                format!("unknown op {other:?}"),
+            )),
+        }
+    })();
+    let update = match parsed {
+        Ok(u) => u,
+        Err(e) => return Reply::error(e),
+    };
+    match edge.bus.publish(&update) {
+        Ok(receipt) => Reply::json(
+            200,
+            &Json::Obj(vec![
+                ("applied".into(), Json::from(receipt.applied)),
+                (
+                    "replicas_touched".into(),
+                    Json::from(receipt.replicas_touched as u64),
+                ),
+                ("invalidated".into(), Json::from(receipt.invalidated as u64)),
+                (
+                    "label_entries_added".into(),
+                    Json::from(receipt.label_entries_added as u64),
+                ),
+                (
+                    "deferred_replicas".into(),
+                    Json::from(receipt.deferred_replicas as u64),
+                ),
+                (
+                    "owner_shard".into(),
+                    receipt
+                        .owner_shard
+                        .map(|j| Json::from(j as u64))
+                        .unwrap_or(Json::Null),
+                ),
+                ("log_len".into(), Json::from(edge.bus.log_len() as u64)),
+            ]),
+        ),
+        Err(e) => Reply::error(api_error_of(&e)),
+    }
+}
+
+/// `GET /healthz`: `200` when every replica of every shard is serving,
+/// `503` with the same body when degraded.
+fn handle_healthz(edge: &EdgeState) -> Reply {
+    let mut all_healthy = true;
+    let shards: Vec<Json> = (0..edge.router.num_shards())
+        .map(|j| {
+            let snap = edge.router.replica_set(j).health_snapshot();
+            all_healthy &= snap.all_healthy();
+            Json::Obj(vec![
+                ("shard".into(), Json::from(j as u64)),
+                (
+                    "replicas".into(),
+                    Json::Arr(
+                        snap.health
+                            .iter()
+                            .map(|h| {
+                                Json::from(match h {
+                                    kosr_transport::ReplicaHealth::Healthy => "healthy",
+                                    kosr_transport::ReplicaHealth::Down => "down",
+                                })
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("healthy".into(), Json::from(snap.healthy as u64)),
+                ("failovers".into(), Json::from(snap.failovers)),
+            ])
+        })
+        .collect();
+    let mut body = vec![
+        ("healthy".into(), Json::from(all_healthy)),
+        ("shards".into(), Json::Arr(shards)),
+    ];
+    if let Some(sup) = &edge.supervisor {
+        let r = sup.report();
+        body.push((
+            "supervisor".into(),
+            Json::Obj(vec![
+                ("ticks".into(), Json::from(r.ticks)),
+                ("replays".into(), Json::from(r.replays)),
+                (
+                    "snapshot_refreshes".into(),
+                    Json::from(r.snapshot_refreshes),
+                ),
+                ("compactions".into(), Json::from(r.compactions)),
+                ("recovery_failures".into(), Json::from(r.recovery_failures)),
+            ]),
+        ));
+    }
+    Reply::json(if all_healthy { 200 } else { 503 }, &Json::Obj(body))
+}
+
+/// `GET /metrics`: the Prometheus exposition aggregating the gateway's
+/// own counters, per-shard health and service stats, and the supervisor
+/// report — streamed chunked.
+fn handle_metrics(edge: &EdgeState) -> Reply {
+    let mut registry = MetricsRegistry::new();
+    registry.collect(edge.stats.as_ref());
+    registry.collect(edge.router.as_ref());
+    if let Some(sup) = &edge.supervisor {
+        registry.collect(sup.as_ref());
+    }
+    Reply::Chunked(200, METRICS_TYPE, registry.render().into_bytes())
+}
+
+fn dispatch(edge: &EdgeState, req: &HttpRequest, received: Instant) -> (Endpoint, Reply) {
+    match (req.method.as_str(), req.path()) {
+        ("POST", "/v1/route") => (Endpoint::Route, handle_route(edge, &req.body, received)),
+        ("POST", "/v1/update") => (Endpoint::Update, handle_update(edge, &req.body)),
+        ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(edge)),
+        ("GET", "/metrics") => (Endpoint::Metrics, handle_metrics(edge)),
+        (_, "/v1/route" | "/v1/update" | "/healthz" | "/metrics") => (
+            Endpoint::Other,
+            Reply::error(ApiError::new(
+                405,
+                "method_not_allowed",
+                format!("{} not allowed here", req.method),
+            )),
+        ),
+        (_, path) => (
+            Endpoint::Other,
+            Reply::error(ApiError::new(
+                404,
+                "not_found",
+                format!("no such endpoint {path:?}"),
+            )),
+        ),
+    }
+}
+
+fn serve_connection(stream: TcpStream, edge: Arc<EdgeState>, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout: idle keep-alive connections wake periodically
+    // to observe shutdown instead of pinning their handler forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let limits = HttpLimits {
+        max_head_bytes: edge.config.max_head_bytes,
+        max_body_bytes: edge.config.max_body_bytes,
+        ..HttpLimits::default()
+    };
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    while !shutdown.load(Ordering::Acquire) {
+        let req = match read_request(&mut reader, &limits) {
+            Ok(req) => req,
+            Err(HttpError::Idle) => continue,
+            Err(HttpError::ConnectionClosed) => break,
+            Err(e) => {
+                // Only protocol offenses count as malformed; clients that
+                // hang up or stall mid-request (`None` statuses) are
+                // ordinary churn, not abuse.
+                if let Some(status) = status_of_parse_error(&e) {
+                    edge.stats.malformed();
+                    let reply = ApiError::new(status, "malformed_request", e.to_string());
+                    let body = reply.body().to_string();
+                    let _ = write_response(&mut writer, status, JSON_TYPE, body.as_bytes(), false);
+                    edge.stats.record(Endpoint::Other, status, Duration::ZERO);
+                }
+                break;
+            }
+        };
+        let received = Instant::now();
+        let keep_alive = req.keep_alive;
+        let (endpoint, reply) = dispatch(&edge, &req, received);
+        let status = reply.status();
+        let written = match reply {
+            Reply::Fixed(status, content_type, body) => {
+                write_response(&mut writer, status, content_type, &body, keep_alive)
+            }
+            // Chunked framing only exists in HTTP/1.1; a 1.0 client gets
+            // the same body with a Content-Length instead.
+            Reply::Chunked(status, content_type, body) if req.http11 => {
+                write_response_chunked(&mut writer, status, content_type, &body, 1024, keep_alive)
+            }
+            Reply::Chunked(status, content_type, body) => {
+                write_response(&mut writer, status, content_type, &body, keep_alive)
+            }
+        };
+        edge.stats.record(endpoint, status, received.elapsed());
+        if written.is_err() || !keep_alive {
+            break;
+        }
+    }
+}
+
+/// The running HTTP edge. Dropping it shuts the listener down and joins
+/// every connection handler.
+pub struct Gateway {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    stats: Arc<GatewayStats>,
+}
+
+impl Gateway {
+    /// Binds `127.0.0.1:0` and serves `router` (and `supervisor`'s
+    /// counters, when given) until dropped. The update bus the `/v1/update`
+    /// surface publishes through is created from the router.
+    pub fn spawn(
+        router: Arc<ShardRouter>,
+        supervisor: Option<Arc<SupervisorHandle>>,
+        config: GatewayConfig,
+    ) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(GatewayStats::default());
+        let edge = Arc::new(EdgeState {
+            bus: router.update_bus(),
+            json_limits: JsonLimits {
+                max_bytes: config.max_body_bytes,
+                max_depth: config.json_depth,
+            },
+            router,
+            supervisor,
+            stats: Arc::clone(&stats),
+            config,
+            slots: AtomicUsize::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_handle = thread::Builder::new()
+            .name(format!("kosr-gateway-{}", addr.port()))
+            .spawn(move || {
+                let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+                while !flag.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            handlers.retain(|h| !h.is_finished());
+                            if !edge.try_acquire_slot() {
+                                // Admission control at the front door: the
+                                // connection past the cap gets a typed 503
+                                // and the socket back, not a hang. The
+                                // write happens off the accept thread so a
+                                // flood of never-reading clients can't
+                                // stall accepts for admitted traffic.
+                                edge.stats.connection_rejected();
+                                let max = edge.config.max_connections;
+                                handlers.push(thread::spawn(move || {
+                                    let mut stream = stream;
+                                    let _ =
+                                        stream.set_write_timeout(Some(Duration::from_millis(200)));
+                                    let body = ApiError::new(
+                                        503,
+                                        "connection_limit",
+                                        format!("connection pool of {max} is full"),
+                                    )
+                                    .body()
+                                    .to_string();
+                                    let _ = write_response(
+                                        &mut stream,
+                                        503,
+                                        JSON_TYPE,
+                                        body.as_bytes(),
+                                        false,
+                                    );
+                                }));
+                                continue;
+                            }
+                            edge.stats.connection_accepted();
+                            let edge = Arc::clone(&edge);
+                            let flag = Arc::clone(&flag);
+                            handlers.push(thread::spawn(move || {
+                                // Held for the whole connection: released
+                                // on return *and* on panic.
+                                let _slot = SlotGuard(Arc::clone(&edge));
+                                serve_connection(stream, edge, flag);
+                            }));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for h in handlers {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn gateway accept loop");
+        Ok(Gateway {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            stats,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The edge's live counters (shared with the running handlers).
+    pub fn stats(&self) -> &Arc<GatewayStats> {
+        &self.stats
+    }
+
+    /// Stops accepting, wakes idle keep-alive handlers, joins everything.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use kosr_core::figure1::figure1;
+    use kosr_core::IndexedGraph;
+    use kosr_graph::{PartitionConfig, Partitioner};
+    use kosr_service::{validate_prometheus_text, ServiceConfig};
+    use kosr_shard::ShardSet;
+    use std::io::Write;
+
+    fn fleet(
+        shards: usize,
+        replicas: usize,
+    ) -> (
+        Arc<ShardRouter>,
+        Vec<kosr_transport::KillSwitch>,
+        kosr_core::figure1::Figure1,
+    ) {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let partition = Partitioner::new(PartitionConfig {
+            num_shards: shards,
+            ..Default::default()
+        })
+        .partition(&ig.graph);
+        let set = ShardSet::build(&ig, partition);
+        let mut switches = Vec::new();
+        let router = ShardRouter::with_replicas(
+            set,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            replicas,
+            |_, _, t| {
+                switches.push(t.kill_switch());
+                Arc::new(t)
+            },
+        );
+        (Arc::new(router), switches, fx)
+    }
+
+    fn spawn_gateway(router: &Arc<ShardRouter>) -> Gateway {
+        Gateway::spawn(Arc::clone(router), None, GatewayConfig::default()).unwrap()
+    }
+
+    fn route_body(fx: &kosr_core::figure1::Figure1, k: usize) -> String {
+        format!(
+            r#"{{"source": {}, "target": {}, "categories": [{}, {}, {}], "k": {k}}}"#,
+            fx.s.0, fx.t.0, fx.ma.0, fx.re.0, fx.ci.0
+        )
+    }
+
+    #[test]
+    fn routes_figure1_over_http_bit_identically() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let resp = client::call(gw.addr(), "POST", "/v1/route", Some(&route_body(&fx, 3))).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        let routes = v.get("routes").unwrap().as_array().unwrap();
+        let costs: Vec<u64> = routes
+            .iter()
+            .map(|r| r.get("cost").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(costs, vec![20, 21, 22], "Example 1 over HTTP");
+
+        // Bit-identical to the direct router answer: same vertex tuples.
+        let direct = router
+            .submit(Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3))
+            .unwrap()
+            .wait()
+            .unwrap();
+        for (route, w) in routes.iter().zip(&direct.outcome.witnesses) {
+            let vertices: Vec<u64> = route
+                .get("vertices")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_u64().unwrap())
+                .collect();
+            let want: Vec<u64> = w.vertices.iter().map(|v| v.0 as u64).collect();
+            assert_eq!(vertices, want);
+            // The stop breakdown pairs interior vertices with the query's
+            // category sequence.
+            let stops = route.get("stops").unwrap().as_array().unwrap();
+            assert_eq!(stops.len(), 3);
+            assert_eq!(
+                stops[0].get("category").unwrap().as_u64().unwrap(),
+                fx.ma.0 as u64
+            );
+            assert_eq!(
+                stops[0].get("vertex").unwrap().as_u64().unwrap(),
+                w.vertices[1].0 as u64
+            );
+        }
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
+        assert!(v.get("latency_us").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn typed_4xx_for_invalid_queries_and_bodies() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+        let kind_of = |resp: &client::HttpResponse| {
+            resp.json()
+                .unwrap()
+                .get("error")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+
+        // Malformed JSON.
+        let resp = client::call(addr, "POST", "/v1/route", Some("{nope")).unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(kind_of(&resp), "invalid_json");
+
+        // Missing field.
+        let resp = client::call(addr, "POST", "/v1/route", Some(r#"{"source": 1}"#)).unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(kind_of(&resp), "invalid_request");
+
+        // Unknown category: the shard layer's typed rejection surfaces as
+        // invalid_query.
+        let body = format!(
+            r#"{{"source": {}, "target": {}, "categories": [40], "k": 1}}"#,
+            fx.s.0, fx.t.0
+        );
+        let resp = client::call(addr, "POST", "/v1/route", Some(&body)).unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(kind_of(&resp), "invalid_query");
+        assert!(resp.text().contains("category"), "{}", resp.text());
+
+        // k = 0.
+        let body = format!(
+            r#"{{"source": {}, "target": {}, "categories": [{}], "k": 0}}"#,
+            fx.s.0, fx.t.0, fx.ma.0
+        );
+        let resp = client::call(addr, "POST", "/v1/route", Some(&body)).unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(kind_of(&resp), "invalid_query");
+
+        // k past the admission cap is refused before any runner pre-sizes
+        // a result buffer by it.
+        let body = format!(
+            r#"{{"source": {}, "target": {}, "categories": [{}], "k": 4294967295}}"#,
+            fx.s.0, fx.t.0, fx.ma.0
+        );
+        let resp = client::call(addr, "POST", "/v1/route", Some(&body)).unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(kind_of(&resp), "invalid_request");
+        assert!(resp.text().contains("1..=1024"), "{}", resp.text());
+
+        // Invalid update op.
+        let resp = client::call(addr, "POST", "/v1/update", Some(r#"{"op": "destroy"}"#)).unwrap();
+        assert_eq!(resp.status, 400);
+        // Out-of-range update vertex: the bus's typed rejection.
+        let resp = client::call(
+            addr,
+            "POST",
+            "/v1/update",
+            Some(r#"{"op": "insert_membership", "vertex": 999, "category": 0}"#),
+        )
+        .unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(kind_of(&resp), "invalid_update");
+
+        // Unknown path / wrong method.
+        assert_eq!(
+            client::call(addr, "GET", "/nope", None).unwrap().status,
+            404
+        );
+        assert_eq!(
+            client::call(addr, "GET", "/v1/route", None).unwrap().status,
+            405
+        );
+        let (ok, client_err, _) = gw.stats().responses_by_class();
+        assert!(client_err >= 7, "4xx counted: {client_err}");
+        assert_eq!(ok, 0);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_503_and_larger_ones_pass() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let body = format!(
+            r#"{{"source": {}, "target": {}, "categories": [{}], "k": 1, "deadline_ms": 0}}"#,
+            fx.s.0, fx.t.0, fx.ma.0
+        );
+        let resp = client::call(gw.addr(), "POST", "/v1/route", Some(&body)).unwrap();
+        assert_eq!(resp.status, 503, "{}", resp.text());
+        assert!(resp.text().contains("deadline_exceeded"));
+
+        let body = body.replace("\"deadline_ms\": 0", "\"deadline_ms\": 30000");
+        let resp = client::call(gw.addr(), "POST", "/v1/route", Some(&body)).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn oversized_bodies_are_413_before_allocation() {
+        let (router, _switches, _fx) = fleet(2, 1);
+        let mut gw = Gateway::spawn(
+            Arc::clone(&router),
+            None,
+            GatewayConfig {
+                max_body_bytes: 256,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // A raw request declaring an absurd Content-Length: if the server
+        // tried to allocate it, this test would OOM instead of passing.
+        let mut stream = TcpStream::connect(gw.addr()).unwrap();
+        write!(
+            stream,
+            "POST /v1/route HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            u64::MAX
+        )
+        .unwrap();
+        let resp = client::read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 413);
+        assert!(resp.text().contains("malformed_request"));
+        gw.shutdown();
+    }
+
+    #[test]
+    fn updates_publish_through_the_bus_and_change_answers() {
+        let (router, _switches, fx) = fleet(3, 1);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+        let before = client::call(addr, "POST", "/v1/route", Some(&route_body(&fx, 1)))
+            .unwrap()
+            .json()
+            .unwrap();
+        let best = before.get("routes").unwrap().as_array().unwrap()[0].clone();
+        assert_eq!(best.get("cost").unwrap().as_u64(), Some(20));
+        // Close the best route's restaurant (stop index 1 = RE).
+        let gone = best.get("stops").unwrap().as_array().unwrap()[1]
+            .get("vertex")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+
+        let update = format!(
+            r#"{{"op": "remove_membership", "vertex": {gone}, "category": {}}}"#,
+            fx.re.0
+        );
+        let resp = client::call(addr, "POST", "/v1/update", Some(&update)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let receipt = resp.json().unwrap();
+        assert_eq!(receipt.get("applied").unwrap().as_bool(), Some(true));
+        assert!(receipt.get("replicas_touched").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(receipt.get("log_len").unwrap().as_u64(), Some(1));
+
+        let after = client::call(addr, "POST", "/v1/route", Some(&route_body(&fx, 1)))
+            .unwrap()
+            .json()
+            .unwrap();
+        let cost = after.get("routes").unwrap().as_array().unwrap()[0]
+            .get("cost")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(cost > 20, "closing the best RE must raise the best cost");
+    }
+
+    #[test]
+    fn healthz_flips_on_replica_kill() {
+        let (router, switches, fx) = fleet(2, 2);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+        let resp = client::call(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.json().unwrap().get("healthy").unwrap().as_bool(),
+            Some(true)
+        );
+
+        // Kill shard 0 replica 0; a routed query observes the fault and
+        // fails over, flipping the health page.
+        switches[0].kill();
+        let routed = client::call(addr, "POST", "/v1/route", Some(&route_body(&fx, 3))).unwrap();
+        assert_eq!(routed.status, 200, "failover hides the kill");
+        let resp = client::call(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(resp.status, 503, "degraded fleet");
+        let v = resp.json().unwrap();
+        assert_eq!(v.get("healthy").unwrap().as_bool(), Some(false));
+        let shard0 = &v.get("shards").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            shard0.get("replicas").unwrap().as_array().unwrap()[0].as_str(),
+            Some("down")
+        );
+    }
+
+    #[test]
+    fn metrics_page_is_valid_prometheus_with_fleet_counters() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+        for _ in 0..3 {
+            client::call(addr, "POST", "/v1/route", Some(&route_body(&fx, 3))).unwrap();
+        }
+        let resp = client::call(addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")));
+        let text = resp.text();
+        validate_prometheus_text(&text).expect(&text);
+        for needle in [
+            "kosr_gateway_qps",
+            "kosr_gateway_latency_seconds{quantile=\"0.5\"}",
+            "kosr_gateway_latency_seconds{quantile=\"0.99\"}",
+            "kosr_gateway_shard_cache_hit_rate",
+            "kosr_shard_replicas_healthy{shard=\"0\"}",
+            "kosr_shard_failovers_total",
+            "kosr_service_qps{shard=\"0\",replica=\"0\"}",
+            "kosr_service_cache_hit_rate{shard=",
+            "kosr_gateway_requests_total{endpoint=\"route\"} 3",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Repeat queries hit the replica caches; the edge sees it.
+        assert!(gw.stats().shard_cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn metrics_over_http10_uses_content_length_not_chunked() {
+        let (router, _switches, _fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let mut stream = TcpStream::connect(gw.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let resp = client::read_response(&mut stream).unwrap();
+        assert_eq!(resp.status, 200);
+        // HTTP/1.0 has no chunked framing: the same body arrives with a
+        // Content-Length instead.
+        assert!(resp.header("transfer-encoding").is_none());
+        assert!(resp.header("content-length").is_some());
+        validate_prometheus_text(&resp.text()).unwrap();
+    }
+
+    #[test]
+    fn connection_pool_admission_rejects_the_overflow_with_503() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let mut gw = Gateway::spawn(
+            Arc::clone(&router),
+            None,
+            GatewayConfig {
+                max_connections: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The first connection provably holds the only slot: it completes
+        // a keep-alive request/response round trip before anyone else
+        // connects.
+        let mut holder = TcpStream::connect(gw.addr()).unwrap();
+        holder
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let body = route_body(&fx, 1);
+        write!(
+            holder,
+            "POST /v1/route HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        assert_eq!(client::read_response(&mut holder).unwrap().status, 200);
+
+        // The overflow connection is refused at the gate, deterministically.
+        let mut stream = TcpStream::connect(gw.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let overflow = client::read_response(&mut stream).unwrap();
+        assert_eq!(overflow.status, 503);
+        assert!(overflow.text().contains("connection_limit"));
+        assert!(gw.stats().connections_rejected() >= 1);
+
+        // Freeing the slot readmits new connections.
+        drop(holder);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match client::call(gw.addr(), "POST", "/v1/route", Some(&route_body(&fx, 1))) {
+                Ok(resp) if resp.status == 200 => break,
+                _ if Instant::now() < deadline => thread::sleep(Duration::from_millis(10)),
+                other => panic!("slot never freed: {other:?}"),
+            }
+        }
+        gw.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let mut stream = TcpStream::connect(gw.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for k in 1..=3 {
+            let body = route_body(&fx, k);
+            write!(
+                stream,
+                "POST /v1/route HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .unwrap();
+            let resp = read_keep_alive_response(&mut stream);
+            assert_eq!(resp.status, 200);
+            let v = resp.json().unwrap();
+            assert_eq!(
+                v.get("routes").unwrap().as_array().unwrap().len(),
+                k,
+                "k={k} on one connection"
+            );
+        }
+    }
+
+    /// Reads one fixed-length response without consuming past it (the
+    /// shared client assumes Connection: close).
+    fn read_keep_alive_response(stream: &mut TcpStream) -> client::HttpResponse {
+        client::read_response(stream).unwrap()
+    }
+}

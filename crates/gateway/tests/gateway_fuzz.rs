@@ -1,0 +1,132 @@
+//! Gateway edge fuzz suite, mirroring `wire_fuzz`: the HTTP request
+//! parser and the JSON decoder are **total** — arbitrary bytes produce a
+//! typed error, never a panic — mutated/truncated valid requests stay
+//! panic-free, declared-oversized bodies are refused *before* any body
+//! allocation, and pathological nesting is a typed error rather than a
+//! stack overflow.
+
+use kosr_gateway::http::{read_request, HttpError, HttpLimits};
+use kosr_gateway::json::{self, Json, JsonError, JsonLimits};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw fuzz: any byte vector through both decoders — Ok or typed
+    /// error, no panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(proptest::bits::u8::ANY, 0..300),
+    ) {
+        let _ = json::parse(&bytes);
+        let _ = read_request(&mut &bytes[..], &HttpLimits::default());
+        // Tiny limits exercise the cap paths on the same input.
+        let tight = HttpLimits { max_head_bytes: 16, max_body_bytes: 8, ..Default::default() };
+        let _ = read_request(&mut &bytes[..], &tight);
+        let _ = json::parse_with(&bytes, &JsonLimits { max_bytes: 16, max_depth: 2 });
+    }
+
+    /// Structured fuzz: a valid route request with every prefix truncated
+    /// and a byte flipped still decodes without panicking.
+    #[test]
+    fn mutated_valid_requests_never_panic(
+        (source, target, k) in (0u32..500, 0u32..500, 1u64..8),
+        cats in proptest::collection::vec(0u32..12, 0..5),
+        cut in proptest::bits::u8::ANY,
+        flip_pos in 0usize..512,
+        flip_bits in proptest::bits::u8::ANY,
+    ) {
+        let cats: Vec<String> = cats.iter().map(u32::to_string).collect();
+        let body = format!(
+            "{{\"source\": {source}, \"target\": {target}, \"categories\": [{}], \"k\": {k}}}",
+            cats.join(","),
+        );
+        let request = format!(
+            "POST /v1/route HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        );
+        let frame = request.into_bytes();
+
+        // The pristine request parses, and its body is valid JSON.
+        let parsed = read_request(&mut &frame[..], &HttpLimits::default()).expect("valid");
+        prop_assert!(json::parse(&parsed.body).is_ok());
+
+        // Truncations and bit flips are typed errors or valid requests —
+        // never panics.
+        let cut = (cut as usize) % (frame.len() + 1);
+        let _ = read_request(&mut &frame[..cut], &HttpLimits::default());
+        let mut mutated = frame.clone();
+        let pos = flip_pos % mutated.len();
+        mutated[pos] ^= flip_bits;
+        if let Ok(req) = read_request(&mut &mutated[..], &HttpLimits::default()) {
+            let _ = json::parse(&req.body);
+        }
+    }
+
+    /// A declared `Content-Length` past the cap is refused typed, before
+    /// the body is read or allocated — for *any* oversized declaration up
+    /// to `u64::MAX`.
+    #[test]
+    fn oversized_declared_bodies_always_refused(extra in 1u64..u64::MAX - 128) {
+        let limit = 128usize;
+        let declared = limit as u64 + extra;
+        let head = format!("POST /v1/route HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let result = read_request(
+            &mut head.as_bytes(),
+            &HttpLimits { max_head_bytes: 8192, max_body_bytes: limit, ..Default::default() },
+        );
+        prop_assert_eq!(result, Err(HttpError::BodyTooLarge { declared, limit }));
+    }
+
+    /// JSON string and integer values round-trip through the serializer
+    /// and parser bit-for-bit.
+    #[test]
+    fn json_values_roundtrip(
+        bytes in proptest::collection::vec(proptest::bits::u8::ANY, 0..64),
+        n in 0u64..(1 << 53),
+    ) {
+        let s = Json::Str(String::from_utf8_lossy(&bytes).into_owned());
+        prop_assert_eq!(json::parse(s.to_string().as_bytes()).unwrap(), s);
+        let num = Json::Num(n as f64);
+        prop_assert_eq!(json::parse(num.to_string().as_bytes()).unwrap(), num);
+    }
+
+    /// Nesting past the depth limit is a typed error at every depth — the
+    /// parser's recursion is bounded by the limit, not the input.
+    #[test]
+    fn deep_nesting_is_typed_not_a_stack_overflow(depth in 33usize..5000) {
+        let mut bytes = vec![b'['; depth];
+        bytes.extend(vec![b']'; depth]);
+        prop_assert_eq!(
+            json::parse(&bytes),
+            Err(JsonError::TooDeep { limit: JsonLimits::default().max_depth })
+        );
+    }
+}
+
+/// Deterministic spot checks complementing the sweeps.
+#[test]
+fn http_error_statuses_are_stable() {
+    use kosr_gateway::http::status_of_parse_error;
+    assert_eq!(status_of_parse_error(&HttpError::ConnectionClosed), None);
+    assert_eq!(status_of_parse_error(&HttpError::Idle), None);
+    assert_eq!(
+        status_of_parse_error(&HttpError::BodyTooLarge {
+            declared: 10,
+            limit: 1
+        }),
+        Some(413)
+    );
+    assert_eq!(
+        status_of_parse_error(&HttpError::HeadTooLarge { limit: 1 }),
+        Some(431)
+    );
+    assert_eq!(
+        status_of_parse_error(&HttpError::MalformedRequestLine),
+        Some(400)
+    );
+    assert_eq!(
+        status_of_parse_error(&HttpError::UnsupportedVersion),
+        Some(505)
+    );
+}

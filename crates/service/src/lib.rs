@@ -15,6 +15,7 @@
 //! | [`Update`] / [`KosrService::apply_update`] | live §IV-C updates: index mutation + epoch bump + cache invalidation |
 //! | [`ServiceStats`] / [`LatencyHistogram`] / [`MethodStats`] | QPS, p50/p99 end-to-end latency, cache hit rate, per-method latency |
 //! | [`ServiceError`] / [`UpdateError`] | typed rejections: queue-full, deadline, invalid query/update |
+//! | [`MetricsRegistry`] / [`MetricsSource`] | the one export trait + Prometheus text renderer every layer (service, shard, supervisor, gateway) surfaces counters through |
 //!
 //! All answers use **canonical top-k semantics**
 //! ([`IndexedGraph::run_canonical`]): nondecreasing cost with
@@ -43,6 +44,7 @@
 mod cache;
 mod error;
 mod executor;
+mod metrics;
 mod planner;
 mod stats;
 
@@ -51,7 +53,10 @@ pub use error::{ServiceError, UpdateError};
 pub use executor::{
     run_sequential, KosrService, QueryResponse, ServiceConfig, Ticket, Update, UpdateReceipt,
 };
-pub use planner::{PlannerConfig, QueryPlan, QueryPlanner, CALIBRATION_CLAMP};
+pub use metrics::{validate_prometheus_text, MetricKind, MetricsRegistry, MetricsSource};
+pub use planner::{
+    CalibrationBlobError, PlannerConfig, QueryPlan, QueryPlanner, CALIBRATION_CLAMP,
+};
 pub use stats::{LatencyHistogram, MethodStats, ServiceStats};
 
 // Re-exported so service users don't need a direct kosr-core dependency

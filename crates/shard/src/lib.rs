@@ -85,6 +85,7 @@ mod build;
 mod bus;
 mod error;
 mod merge;
+mod metrics;
 mod router;
 mod state;
 mod supervisor;
@@ -111,8 +112,10 @@ pub use supervisor::{FleetSupervisor, SupervisorConfig, SupervisorHandle, Superv
 // the common types.
 pub use kosr_core::{IndexedGraph, KosrOutcome, Query};
 pub use kosr_graph::{Partition, PartitionConfig, PartitionStats, Partitioner};
-pub use kosr_service::{ServiceConfig, ServiceError, Update, UpdateError};
+pub use kosr_service::{
+    MetricsRegistry, MetricsSource, ServiceConfig, ServiceError, Update, UpdateError,
+};
 pub use kosr_transport::{
-    InProcTransport, KillSwitch, ReplicaHealth, ReplicaSet, ShardTransport, TcpServer,
-    TcpTransport, TransportError, TransportTicket,
+    InProcTransport, KillSwitch, ReplicaHealth, ReplicaSet, ReplicaSetSnapshot, ShardTransport,
+    TcpServer, TcpTransport, TransportError, TransportTicket,
 };

@@ -220,6 +220,20 @@ impl ShardRouter {
             .expect("no local service handles: router was built from remote transports")
     }
 
+    /// The in-process service of shard `j`'s replica 0, or `None` when the
+    /// router was assembled from remote transports — the non-panicking
+    /// sibling of [`ShardRouter::shard_service`].
+    pub fn local_shard_service(&self, j: usize) -> Option<&KosrService> {
+        self.services[j].first().map(Arc::as_ref)
+    }
+
+    /// The in-process services of all of shard `j`'s replicas (empty when
+    /// the router was assembled from remote transports) — what metrics
+    /// exporters walk for per-replica stats.
+    pub fn local_replica_services(&self, j: usize) -> &[Arc<KosrService>] {
+        &self.services[j]
+    }
+
     /// The shadow id of base category `c`.
     pub fn shadow(&self, c: CategoryId) -> CategoryId {
         crate::shadow_of(self.base_categories, c)

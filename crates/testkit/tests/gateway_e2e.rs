@@ -1,0 +1,287 @@
+//! End-to-end gateway suite over **real sockets**: a supervised 2-shard ×
+//! 2-replica fleet behind the HTTP edge, driven with JSON traffic through
+//! TCP connections, checked **bit-identically** (cost + full route vertex
+//! sequence) against the unsharded oracle — before and after live
+//! updates, and across a replica kill/recover cycle healed by the
+//! supervisor alone. The `/metrics` page is validated as Prometheus text
+//! carrying the acceptance set: QPS, p50/p99 latency, cache hit rate,
+//! per-shard health, and supervisor failover/recovery counters.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use kosr_core::{IndexedGraph, Query};
+use kosr_gateway::{client, Gateway, GatewayConfig};
+use kosr_graph::{PartitionConfig, Partitioner};
+use kosr_service::{validate_prometheus_text, KosrService, ServiceConfig, Update};
+use kosr_shard::{ShardRouter, ShardSet, SupervisorConfig};
+use kosr_workloads::{
+    assign_clustered, gen_membership_flips, gen_mixed_traffic, road_grid_directed, route_body,
+    QuerySpec, TrafficMix,
+};
+
+struct Fleet {
+    gateway: Gateway,
+    reference: KosrService,
+    switches: Vec<kosr_transport::KillSwitch>,
+    supervisor: Arc<kosr_shard::SupervisorHandle>,
+    world: kosr_graph::Graph,
+}
+
+fn fleet() -> Fleet {
+    let mut g = road_grid_directed(16, 16, 42);
+    assign_clustered(&mut g, 6, 25, 0.06, 7);
+    let ig = IndexedGraph::build_default(g.clone());
+    let partition = Partitioner::new(PartitionConfig {
+        num_shards: 2,
+        ..Default::default()
+    })
+    .partition(&ig.graph);
+    let set = ShardSet::build(&ig, partition);
+    let config = ServiceConfig {
+        workers: 2,
+        queue_capacity: 1024,
+        cache_capacity: 256,
+        ..Default::default()
+    };
+    let reference = KosrService::new(Arc::new(ig), config.clone());
+    let mut switches = Vec::new();
+    let router = Arc::new(ShardRouter::with_replicas(set, config, 2, |_, _, t| {
+        switches.push(t.kill_switch());
+        Arc::new(t)
+    }));
+    let supervisor = Arc::new(
+        router
+            .supervisor(SupervisorConfig {
+                tick_every: Duration::from_millis(5),
+                compact_watermark: 8,
+                replay_limit: 4,
+            })
+            .start(),
+    );
+    let gateway = Gateway::spawn(
+        Arc::clone(&router),
+        Some(Arc::clone(&supervisor)),
+        GatewayConfig::default(),
+    )
+    .unwrap();
+    drop(router);
+    Fleet {
+        gateway,
+        reference,
+        switches,
+        supervisor,
+        world: g,
+    }
+}
+
+/// Issues `spec` over a real socket and asserts the JSON answer is
+/// bit-identical (cost + vertex sequence per route) to the oracle's.
+fn assert_route_matches_oracle(addr: SocketAddr, reference: &KosrService, spec: &QuerySpec) {
+    let resp = client::call(addr, "POST", "/v1/route", Some(&route_body(spec, None))).unwrap();
+    let query = Query::new(spec.source, spec.target, spec.categories.clone(), spec.k);
+    let want = reference.submit(query).unwrap().wait().unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = resp.json().unwrap();
+    let routes = v.get("routes").unwrap().as_array().unwrap();
+    assert_eq!(routes.len(), want.outcome.witnesses.len(), "route count");
+    for (route, w) in routes.iter().zip(&want.outcome.witnesses) {
+        assert_eq!(
+            route.get("cost").unwrap().as_u64().unwrap(),
+            w.cost,
+            "cost diverged from the unsharded oracle"
+        );
+        let vertices: Vec<u64> = route
+            .get("vertices")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        let oracle: Vec<u64> = w.vertices.iter().map(|v| v.0 as u64).collect();
+        assert_eq!(vertices, oracle, "route sequence diverged");
+    }
+}
+
+fn metric_value(text: &str, prefix: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn gateway_serves_bit_identical_answers_across_updates_and_recovery() {
+    let f = fleet();
+    let addr = f.gateway.addr();
+    let specs = gen_mixed_traffic(
+        &f.world,
+        120,
+        &TrafficMix {
+            hot_fraction: 0.4,
+            ..Default::default()
+        },
+        9,
+    );
+
+    // Act 1 — baseline: every JSON answer over the socket matches the
+    // unsharded oracle bit for bit.
+    for spec in &specs {
+        assert_route_matches_oracle(addr, &f.reference, spec);
+    }
+
+    // Act 2 — live updates through the HTTP surface, mirrored onto the
+    // oracle; answers stay identical afterwards.
+    for flip in gen_membership_flips(&f.world, 10, 23) {
+        let (op, update) = if flip.insert {
+            (
+                "insert_membership",
+                Update::InsertMembership {
+                    vertex: flip.vertex,
+                    category: flip.category,
+                },
+            )
+        } else {
+            (
+                "remove_membership",
+                Update::RemoveMembership {
+                    vertex: flip.vertex,
+                    category: flip.category,
+                },
+            )
+        };
+        let body = format!(
+            "{{\"op\": \"{op}\", \"vertex\": {}, \"category\": {}}}",
+            flip.vertex.0, flip.category.0
+        );
+        let resp = client::call(addr, "POST", "/v1/update", Some(&body)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        f.reference.apply_update(&update).unwrap();
+    }
+    for spec in &specs[..60] {
+        assert_route_matches_oracle(addr, &f.reference, spec);
+    }
+
+    // Act 3 — kill shard 0's primary replica. The supervisor quarantines
+    // it; served answers never waver.
+    f.switches[0].kill();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while f.supervisor.all_healthy() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor never noticed the kill"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let health = client::call(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 503, "degraded fleet must flip /healthz");
+    for spec in &specs[..40] {
+        assert_route_matches_oracle(addr, &f.reference, spec);
+    }
+
+    // More updates while the replica is down: its cursor falls behind, so
+    // recovery must actually replay (or refresh), not just flip a bit.
+    for flip in gen_membership_flips(&f.world, 6, 31) {
+        let (op, update) = if flip.insert {
+            (
+                "insert_membership",
+                Update::InsertMembership {
+                    vertex: flip.vertex,
+                    category: flip.category,
+                },
+            )
+        } else {
+            (
+                "remove_membership",
+                Update::RemoveMembership {
+                    vertex: flip.vertex,
+                    category: flip.category,
+                },
+            )
+        };
+        let body = format!(
+            "{{\"op\": \"{op}\", \"vertex\": {}, \"category\": {}}}",
+            flip.vertex.0, flip.category.0
+        );
+        assert_eq!(
+            client::call(addr, "POST", "/v1/update", Some(&body))
+                .unwrap()
+                .status,
+            200
+        );
+        f.reference.apply_update(&update).unwrap();
+    }
+
+    // Act 4 — revive: the supervisor heals the fleet on its own clock;
+    // /healthz flips back and answers are still bit-identical.
+    f.switches[0].revive();
+    assert!(
+        f.supervisor.await_healthy(Duration::from_secs(30)),
+        "supervisor failed to heal: {:?}",
+        f.supervisor.report()
+    );
+    let health = client::call(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200, "{}", health.text());
+    for spec in &specs[..60] {
+        assert_route_matches_oracle(addr, &f.reference, spec);
+    }
+    let report = f.supervisor.report();
+    assert!(
+        report.replays + report.snapshot_refreshes >= 1,
+        "recovery must have run: {report:?}"
+    );
+
+    // Act 5 — /metrics: valid Prometheus text carrying the acceptance
+    // set, with the recovery visible in the counters.
+    let metrics = client::call(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    validate_prometheus_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    for needle in [
+        "kosr_gateway_qps",
+        "kosr_gateway_latency_seconds{quantile=\"0.5\"}",
+        "kosr_gateway_latency_seconds{quantile=\"0.99\"}",
+        "kosr_gateway_shard_cache_hit_rate",
+        "kosr_service_cache_hit_rate{shard=\"0\",replica=\"0\"}",
+        "kosr_service_cache_hit_rate{shard=\"0\",replica=\"1\"}",
+        "kosr_shard_replicas_healthy{shard=\"0\"} 2",
+        "kosr_shard_replicas_healthy{shard=\"1\"} 2",
+        "kosr_shard_failovers_total",
+        "kosr_supervisor_replays_total",
+        "kosr_supervisor_snapshot_refreshes_total",
+        "kosr_supervisor_recovery_failures_total",
+        "kosr_fleet_healthy 1",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+    let recoveries = metric_value(&text, "kosr_supervisor_replays_total").unwrap_or(0.0)
+        + metric_value(&text, "kosr_supervisor_snapshot_refreshes_total").unwrap_or(0.0);
+    assert!(recoveries >= 1.0, "recovery counters advance on /metrics");
+    let qps = metric_value(&text, "kosr_gateway_qps").unwrap();
+    assert!(qps > 0.0, "edge QPS is live");
+    // The hot set repeats: the fleet cache hit rate is visible end-to-end.
+    let hit_rate = metric_value(&text, "kosr_gateway_shard_cache_hit_rate").unwrap();
+    assert!(hit_rate > 0.0, "hot-set repeats must hit replica caches");
+}
+
+#[test]
+fn gateway_maps_admission_pressure_to_typed_statuses() {
+    let f = fleet();
+    let addr = f.gateway.addr();
+    // A deadline of zero is admission-rejected 503 with the typed kind —
+    // the deadline path end-to-end over a socket.
+    let spec = &gen_mixed_traffic(&f.world, 1, &TrafficMix::default(), 3)[0];
+    let resp = client::call(addr, "POST", "/v1/route", Some(&route_body(spec, Some(0)))).unwrap();
+    assert_eq!(resp.status, 503);
+    assert!(resp.text().contains("deadline_exceeded"), "{}", resp.text());
+    // And an unknown category is the typed 400 from the shard taxonomy.
+    let bad = format!(
+        "{{\"source\": {}, \"target\": {}, \"categories\": [99], \"k\": 1}}",
+        spec.source.0, spec.target.0
+    );
+    let resp = client::call(addr, "POST", "/v1/route", Some(&bad)).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("invalid_query"));
+}

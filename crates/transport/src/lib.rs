@@ -38,7 +38,7 @@ use crate::protocol::{Heartbeat, MemberCounts, RemoteResponse, SnapshotBlob};
 pub use error::TransportError;
 pub use host::{handle_request, member_counts};
 pub use inproc::{InProcTransport, KillSwitch};
-pub use replica::{ReplicaHealth, ReplicaSet};
+pub use replica::{ReplicaHealth, ReplicaSet, ReplicaSetSnapshot};
 pub use tcp::{TcpServer, TcpTransport};
 
 // Re-exported so transport users don't need direct sibling dependencies

@@ -32,6 +32,31 @@ pub enum ReplicaHealth {
     Down,
 }
 
+/// A point-in-time health snapshot of one replica fleet — the shape
+/// health endpoints and metrics exporters consume without re-deriving it
+/// from the raw health vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaSetSnapshot {
+    /// Per-replica health, in failover order.
+    pub health: Vec<ReplicaHealth>,
+    /// Replicas currently eligible to serve.
+    pub healthy: usize,
+    /// Query-time failovers absorbed so far.
+    pub failovers: u64,
+}
+
+impl ReplicaSetSnapshot {
+    /// Replicas in the fleet (healthy or not).
+    pub fn total(&self) -> usize {
+        self.health.len()
+    }
+
+    /// `true` when every replica is serving.
+    pub fn all_healthy(&self) -> bool {
+        self.healthy == self.health.len()
+    }
+}
+
 /// The replicas of one shard.
 pub struct ReplicaSet {
     transports: RwLock<Vec<Arc<dyn ShardTransport>>>,
@@ -104,6 +129,22 @@ impl ReplicaSet {
     /// How many query-time failovers this fleet has absorbed.
     pub fn failovers(&self) -> u64 {
         self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// One consistent health snapshot (health vector read under a single
+    /// lock acquisition) — what `/healthz` endpoints and metrics
+    /// exporters serve.
+    pub fn health_snapshot(&self) -> ReplicaSetSnapshot {
+        let health = self.health.lock().unwrap().clone();
+        let healthy = health
+            .iter()
+            .filter(|h| **h == ReplicaHealth::Healthy)
+            .count();
+        ReplicaSetSnapshot {
+            health,
+            healthy,
+            failovers: self.failovers(),
+        }
     }
 
     /// Pings every replica. A faulting *healthy* replica is marked down;
@@ -282,6 +323,24 @@ mod tests {
         );
         set.mark_healthy(1);
         assert_eq!(set.healthy_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn health_snapshot_reflects_failover_state() {
+        let (set, switches, fx) = fleet(3);
+        let snap = set.health_snapshot();
+        assert_eq!(snap.total(), 3);
+        assert!(snap.all_healthy());
+        assert_eq!(snap.failovers, 0);
+
+        switches[0].kill();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 1);
+        set.query(q).wait().unwrap();
+        let snap = set.health_snapshot();
+        assert_eq!(snap.healthy, 2);
+        assert!(!snap.all_healthy());
+        assert_eq!(snap.health[0], ReplicaHealth::Down);
+        assert_eq!(snap.failovers, 1);
     }
 
     #[test]

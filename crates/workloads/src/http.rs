@@ -1,0 +1,258 @@
+//! HTTP traffic generation for the gateway edge: renders the mixed query
+//! streams of [`crate::traffic`] as `/v1/route` JSON bodies and
+//! interleaves live updates, health probes and deliberately invalid
+//! requests — the full status-code surface a real edge sees, not just the
+//! happy path.
+//!
+//! Bodies are plain strings (this crate stays JSON-library-free); the
+//! gateway's parser is the component under test, so the *generator* not
+//! sharing its codec is a feature.
+
+use kosr_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traffic::{gen_membership_flips, gen_mixed_traffic, TrafficMix};
+use crate::QuerySpec;
+
+/// One HTTP call of a generated gateway stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpCall {
+    /// The request method (`GET` / `POST`).
+    pub method: &'static str,
+    /// The request path.
+    pub path: &'static str,
+    /// The JSON body, if any.
+    pub body: Option<String>,
+    /// What the generator intended — lets harnesses assert per-class
+    /// behavior (e.g. invalid calls must 4xx) without re-parsing bodies.
+    pub kind: HttpCallKind,
+}
+
+/// The intent class of a generated call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HttpCallKind {
+    /// A well-formed `/v1/route` query.
+    Route,
+    /// A well-formed `/v1/update` publish.
+    Update,
+    /// A `GET /healthz` probe.
+    Healthz,
+    /// A `GET /metrics` scrape.
+    Metrics,
+    /// A deliberately invalid request (malformed JSON, missing fields, or
+    /// an unknown category) that a correct edge answers with a `4xx`.
+    Invalid,
+}
+
+/// Parameters of a mixed HTTP stream.
+#[derive(Clone, Debug)]
+pub struct HttpTrafficMix {
+    /// Shape of the underlying query stream.
+    pub queries: TrafficMix,
+    /// Fraction of slots carrying a `/v1/update` publish.
+    pub update_fraction: f64,
+    /// Fraction of slots carrying a deliberately invalid request.
+    pub invalid_fraction: f64,
+    /// Fraction of slots probing `/healthz` or scraping `/metrics`.
+    pub probe_fraction: f64,
+    /// `deadline_ms` stamped on route bodies (`None` omits the field).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for HttpTrafficMix {
+    fn default() -> HttpTrafficMix {
+        HttpTrafficMix {
+            queries: TrafficMix::default(),
+            update_fraction: 0.05,
+            invalid_fraction: 0.05,
+            probe_fraction: 0.05,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Renders one query as a `/v1/route` JSON body.
+pub fn route_body(q: &QuerySpec, deadline_ms: Option<u64>) -> String {
+    let categories: Vec<String> = q.categories.iter().map(|c| c.0.to_string()).collect();
+    let deadline = deadline_ms
+        .map(|d| format!(", \"deadline_ms\": {d}"))
+        .unwrap_or_default();
+    format!(
+        "{{\"source\": {}, \"target\": {}, \"categories\": [{}], \"k\": {}{}}}",
+        q.source.0,
+        q.target.0,
+        categories.join(", "),
+        q.k,
+        deadline
+    )
+}
+
+/// Generates a `count`-call mixed HTTP stream over `g`: route queries from
+/// [`gen_mixed_traffic`] (hot-set skew included), membership updates from
+/// [`gen_membership_flips`], health/metrics probes, and invalid requests.
+/// Deterministic per `(g, mix, seed)`.
+///
+/// # Panics
+/// Propagates the panics of the underlying generators (empty classes,
+/// categoryless graphs).
+pub fn gen_http_traffic(g: &Graph, count: usize, mix: &HttpTrafficMix, seed: u64) -> Vec<HttpCall> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6A7E_3A7E);
+    let queries = gen_mixed_traffic(g, count, &mix.queries, seed);
+    let flips = gen_membership_flips(g, count.max(1), seed.wrapping_add(1));
+    let num_categories = g.categories().num_categories() as u32;
+
+    let invalid_variants = |rng: &mut StdRng, q: &QuerySpec| -> String {
+        match rng.gen_range(0..3u32) {
+            // Malformed JSON.
+            0 => "{\"source\": 1, ".to_string(),
+            // Missing fields.
+            1 => format!("{{\"source\": {}}}", q.source.0),
+            // Unknown category id.
+            _ => format!(
+                "{{\"source\": {}, \"target\": {}, \"categories\": [{}], \"k\": 1}}",
+                q.source.0,
+                q.target.0,
+                num_categories + 7
+            ),
+        }
+    };
+
+    let mut out = Vec::with_capacity(count);
+    for (i, q) in queries.iter().enumerate() {
+        let draw = rng.gen_range(0.0..1.0f64);
+        let call = if draw < mix.invalid_fraction {
+            HttpCall {
+                method: "POST",
+                path: "/v1/route",
+                body: Some(invalid_variants(&mut rng, q)),
+                kind: HttpCallKind::Invalid,
+            }
+        } else if draw < mix.invalid_fraction + mix.update_fraction {
+            let f = &flips[i % flips.len()];
+            let op = if f.insert {
+                "insert_membership"
+            } else {
+                "remove_membership"
+            };
+            HttpCall {
+                method: "POST",
+                path: "/v1/update",
+                body: Some(format!(
+                    "{{\"op\": \"{op}\", \"vertex\": {}, \"category\": {}}}",
+                    f.vertex.0, f.category.0
+                )),
+                kind: HttpCallKind::Update,
+            }
+        } else if draw < mix.invalid_fraction + mix.update_fraction + mix.probe_fraction {
+            if rng.gen_bool(0.5) {
+                HttpCall {
+                    method: "GET",
+                    path: "/healthz",
+                    body: None,
+                    kind: HttpCallKind::Healthz,
+                }
+            } else {
+                HttpCall {
+                    method: "GET",
+                    path: "/metrics",
+                    body: None,
+                    kind: HttpCallKind::Metrics,
+                }
+            }
+        } else {
+            HttpCall {
+                method: "POST",
+                path: "/v1/route",
+                body: Some(route_body(q, mix.deadline_ms)),
+                kind: HttpCallKind::Route,
+            }
+        };
+        out.push(call);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categories::assign_uniform;
+    use crate::graphs::road_grid_directed;
+
+    fn setup() -> Graph {
+        let mut g = road_grid_directed(12, 12, 5);
+        assign_uniform(&mut g, 8, 20, 9);
+        g
+    }
+
+    #[test]
+    fn stream_mixes_all_call_kinds_deterministically() {
+        let g = setup();
+        let mix = HttpTrafficMix {
+            update_fraction: 0.2,
+            invalid_fraction: 0.2,
+            probe_fraction: 0.2,
+            ..Default::default()
+        };
+        let stream = gen_http_traffic(&g, 600, &mix, 7);
+        assert_eq!(stream.len(), 600);
+        for kind in [
+            HttpCallKind::Route,
+            HttpCallKind::Update,
+            HttpCallKind::Healthz,
+            HttpCallKind::Metrics,
+            HttpCallKind::Invalid,
+        ] {
+            assert!(
+                stream.iter().any(|c| c.kind == kind),
+                "missing kind {kind:?}"
+            );
+        }
+        let routes = stream
+            .iter()
+            .filter(|c| c.kind == HttpCallKind::Route)
+            .count();
+        assert!(routes > 600 / 3, "routes dominate: {routes}");
+        assert_eq!(stream, gen_http_traffic(&g, 600, &mix, 7), "same seed");
+        assert_ne!(stream, gen_http_traffic(&g, 600, &mix, 8), "fresh seed");
+    }
+
+    #[test]
+    fn bodies_carry_the_api_shape() {
+        let g = setup();
+        let mix = HttpTrafficMix {
+            deadline_ms: Some(2000),
+            ..Default::default()
+        };
+        let stream = gen_http_traffic(&g, 200, &mix, 3);
+        for call in &stream {
+            match call.kind {
+                HttpCallKind::Route => {
+                    let body = call.body.as_ref().unwrap();
+                    assert!(body.contains("\"source\""), "{body}");
+                    assert!(body.contains("\"categories\""), "{body}");
+                    assert!(body.contains("\"deadline_ms\": 2000"), "{body}");
+                    assert_eq!(call.method, "POST");
+                }
+                HttpCallKind::Update => {
+                    assert!(call.body.as_ref().unwrap().contains("\"op\""));
+                }
+                HttpCallKind::Healthz | HttpCallKind::Metrics => {
+                    assert_eq!(call.method, "GET");
+                    assert!(call.body.is_none());
+                }
+                HttpCallKind::Invalid => {}
+            }
+        }
+    }
+
+    #[test]
+    fn route_body_renders_compact_json() {
+        let g = setup();
+        let q = &gen_mixed_traffic(&g, 1, &TrafficMix::default(), 5)[0];
+        let body = route_body(q, None);
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        assert!(!body.contains("deadline_ms"));
+        assert!(route_body(q, Some(50)).contains("\"deadline_ms\": 50"));
+    }
+}

@@ -11,12 +11,14 @@
 
 pub mod categories;
 pub mod graphs;
+pub mod http;
 pub mod queries;
 pub mod scenarios;
 pub mod traffic;
 
 pub use categories::{assign_clustered, assign_uniform, assign_zipf, category_ids, zipf_sizes};
 pub use graphs::{road_grid_directed, road_grid_undirected, social_graph};
+pub use http::{gen_http_traffic, route_body, HttpCall, HttpCallKind, HttpTrafficMix};
 pub use queries::{gen_queries, is_feasible, QuerySpec};
 pub use scenarios::{ParameterGrid, Scenario, ScenarioName};
 pub use traffic::{

@@ -1,0 +1,295 @@
+//! The HTTP edge end to end: a 20×20 road world partitioned into **2
+//! region shards × 2 replicas**, a `FleetSupervisor` on its own clock,
+//! and a `Gateway` in front — driven entirely through **JSON over real
+//! sockets**. Mixed traffic (queries, live updates, health probes, and
+//! deliberately invalid requests) hits the edge; route answers are
+//! checked bit-for-bit against an unsharded oracle; then a replica is
+//! killed mid-run to show `/healthz` flip to 503, the shard failover
+//! counter advance on `/metrics`, and the supervisor heal the fleet with
+//! no manual call anywhere in this file.
+//!
+//! ```text
+//! cargo run --release --example gateway
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kosr::core::{IndexedGraph, Query};
+use kosr::gateway::{client, Gateway, GatewayConfig};
+use kosr::service::{KosrService, ServiceConfig};
+use kosr::shard::{
+    PartitionConfig, Partitioner, ReplicaHealth, ShardRouter, ShardSet, SupervisorConfig,
+};
+use kosr::workloads::{
+    assign_clustered, gen_http_traffic, road_grid_directed, route_body, HttpCallKind,
+    HttpTrafficMix, TrafficMix,
+};
+
+const SHARDS: usize = 2;
+const REPLICAS: usize = 2;
+
+fn metric_value(text: &str, prefix: &str) -> f64 {
+    text.lines()
+        .filter(|l| l.starts_with(prefix))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum()
+}
+
+fn main() {
+    let mut g = road_grid_directed(20, 20, 42);
+    assign_clustered(&mut g, 6, 30, 0.06, 7);
+    println!(
+        "world: {} vertices, {} edges, {} clustered categories",
+        g.num_vertices(),
+        g.num_edges(),
+        g.categories().num_categories()
+    );
+    let ig = IndexedGraph::build_default(g.clone());
+
+    let partition = Partitioner::new(PartitionConfig {
+        num_shards: SHARDS,
+        ..Default::default()
+    })
+    .partition(&ig.graph);
+    let set = ShardSet::build(&ig, partition);
+    let config = ServiceConfig {
+        workers: 2,
+        queue_capacity: 2048,
+        cache_capacity: 512,
+        ..Default::default()
+    };
+    let reference = KosrService::new(Arc::new(ig.clone()), config.clone());
+
+    let mut switches = Vec::new();
+    let router = Arc::new(ShardRouter::with_replicas(
+        set,
+        config,
+        REPLICAS,
+        |_, _, t| {
+            switches.push(t.kill_switch());
+            Arc::new(t)
+        },
+    ));
+    // A deliberately lazy heartbeat (200ms): after the kill below, live
+    // queries reach the dead replica *before* the supervisor does, so the
+    // query-time failover counter visibly advances on /metrics.
+    let supervisor = Arc::new(
+        router
+            .supervisor(SupervisorConfig {
+                tick_every: Duration::from_millis(200),
+                ..Default::default()
+            })
+            .start(),
+    );
+    let gateway = Gateway::spawn(
+        Arc::clone(&router),
+        Some(Arc::clone(&supervisor)),
+        GatewayConfig::default(),
+    )
+    .expect("bind gateway");
+    let addr = gateway.addr();
+    println!("gateway up on http://{addr} fronting {SHARDS} shards x {REPLICAS} replicas\n");
+
+    // Act 1 — mixed JSON traffic over real sockets: route queries checked
+    // bit-for-bit against the unsharded oracle, invalid requests answered
+    // with typed 4xx, probes with 200/valid Prometheus text.
+    let calls = gen_http_traffic(
+        &g,
+        400,
+        &HttpTrafficMix {
+            queries: TrafficMix {
+                hot_fraction: 0.4,
+                ..Default::default()
+            },
+            update_fraction: 0.0, // updates get their own act below
+            invalid_fraction: 0.08,
+            probe_fraction: 0.05,
+            deadline_ms: Some(30_000),
+        },
+        9,
+    );
+    let specs = kosr::workloads::gen_mixed_traffic(
+        &g,
+        400,
+        &TrafficMix {
+            hot_fraction: 0.4,
+            ..Default::default()
+        },
+        9,
+    );
+    let t0 = std::time::Instant::now();
+    let (mut routed, mut rejected, mut probed) = (0usize, 0usize, 0usize);
+    for (call, spec) in calls.iter().zip(&specs) {
+        let resp = client::call(addr, call.method, call.path, call.body.as_deref())
+            .expect("edge reachable");
+        match call.kind {
+            HttpCallKind::Route => {
+                assert_eq!(resp.status, 200, "{}", resp.text());
+                let v = resp.json().expect("json body");
+                let routes = v.get("routes").unwrap().as_array().unwrap();
+                let q = Query::new(spec.source, spec.target, spec.categories.clone(), spec.k);
+                let want = reference.submit(q).unwrap().wait().unwrap();
+                assert_eq!(routes.len(), want.outcome.witnesses.len());
+                for (route, w) in routes.iter().zip(&want.outcome.witnesses) {
+                    assert_eq!(route.get("cost").unwrap().as_u64().unwrap(), w.cost);
+                }
+                routed += 1;
+            }
+            HttpCallKind::Invalid => {
+                assert!(
+                    (400..500).contains(&resp.status),
+                    "invalid traffic must 4xx, got {}: {}",
+                    resp.status,
+                    resp.text()
+                );
+                rejected += 1;
+            }
+            HttpCallKind::Healthz | HttpCallKind::Metrics => {
+                assert_eq!(resp.status, 200);
+                probed += 1;
+            }
+            HttpCallKind::Update => unreachable!("update_fraction is 0"),
+        }
+    }
+    let stats = gateway.stats();
+    println!(
+        "act 1: {} calls over sockets in {:.2?} — {routed} routes bit-identical to the oracle, \
+         {rejected} invalid requests typed 4xx, {probed} probes",
+        calls.len(),
+        t0.elapsed(),
+    );
+    println!(
+        "       edge: {:.0} req/s, p50 {:?}, p99 {:?}, shard-cache hit rate {:.0}%\n",
+        stats.qps(),
+        stats.latency_quantile(0.5),
+        stats.latency_quantile(0.99),
+        100.0 * stats.shard_cache_hit_rate(),
+    );
+
+    // Act 2 — a live update through POST /v1/update, mirrored on the
+    // oracle; answers stay bit-identical.
+    let sample = &specs[0];
+    let best = client::call(addr, "POST", "/v1/route", Some(&route_body(sample, None)))
+        .unwrap()
+        .json()
+        .unwrap();
+    let first_cat = sample.categories[0];
+    let stop = best.get("routes").unwrap().as_array().unwrap()[0]
+        .get("stops")
+        .unwrap()
+        .as_array()
+        .unwrap()[0]
+        .get("vertex")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let update = format!(
+        "{{\"op\": \"remove_membership\", \"vertex\": {stop}, \"category\": {}}}",
+        first_cat.0
+    );
+    let receipt = client::call(addr, "POST", "/v1/update", Some(&update)).unwrap();
+    assert_eq!(receipt.status, 200, "{}", receipt.text());
+    reference
+        .apply_update(&kosr::service::Update::RemoveMembership {
+            vertex: kosr::graph::VertexId(stop as u32),
+            category: first_cat,
+        })
+        .unwrap();
+    let after = client::call(addr, "POST", "/v1/route", Some(&route_body(sample, None)))
+        .unwrap()
+        .json()
+        .unwrap();
+    let q = Query::new(
+        sample.source,
+        sample.target,
+        sample.categories.clone(),
+        sample.k,
+    );
+    let want = reference.submit(q).unwrap().wait().unwrap();
+    assert_eq!(
+        after.get("routes").unwrap().as_array().unwrap()[0]
+            .get("cost")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        want.outcome.witnesses[0].cost,
+        "post-update answers still match the oracle"
+    );
+    println!(
+        "act 2: removed the best route's first stop (vertex {stop}) over the wire — receipt {}",
+        receipt.text()
+    );
+
+    // Act 3 — kill shard 0's primary replica. Queries keep answering
+    // through failover; /healthz flips; the failover counter advances.
+    let metrics_before = client::call(addr, "GET", "/metrics", None).unwrap().text();
+    let failovers_before = metric_value(&metrics_before, "kosr_shard_failovers_total");
+    switches[0].kill();
+    for spec in &specs[..60] {
+        let resp = client::call(addr, "POST", "/v1/route", Some(&route_body(spec, None))).unwrap();
+        assert_eq!(resp.status, 200, "failover hides the kill");
+    }
+    let flipped = {
+        let started = std::time::Instant::now();
+        loop {
+            let health = client::call(addr, "GET", "/healthz", None).unwrap();
+            if health.status == 503 {
+                break started.elapsed();
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "healthz never flipped"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    let metrics_after = client::call(addr, "GET", "/metrics", None).unwrap().text();
+    let failovers_after = metric_value(&metrics_after, "kosr_shard_failovers_total");
+    assert!(
+        failovers_after > failovers_before,
+        "failover counter must advance: {failovers_before} -> {failovers_after}"
+    );
+    println!(
+        "\nact 3: killed shard 0 replica 0 — 60 queries served through failover, \
+         /healthz flipped to 503 in {flipped:.2?}, \
+         kosr_shard_failovers_total {failovers_before} -> {failovers_after}"
+    );
+
+    // Act 4 — revive: the supervisor reinstates the replica on its own
+    // clock; /healthz recovers and the recovery counters land on /metrics.
+    switches[0].revive();
+    assert!(
+        supervisor.await_healthy(Duration::from_secs(30)),
+        "supervisor failed to heal: {:?}",
+        supervisor.report()
+    );
+    let health = client::call(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        router.replica_set(0).health()[0],
+        ReplicaHealth::Healthy,
+        "replica reinstated"
+    );
+    let metrics = client::call(addr, "GET", "/metrics", None).unwrap().text();
+    kosr::gateway::validate_prometheus_text(&metrics).expect("valid Prometheus text");
+    println!(
+        "\nact 4: replica revived — supervisor healed the fleet ({} replays, {} snapshot \
+         refreshes), /healthz back to 200",
+        metric_value(&metrics, "kosr_supervisor_replays_total"),
+        metric_value(&metrics, "kosr_supervisor_snapshot_refreshes_total"),
+    );
+    println!("\nfleet metrics excerpt:");
+    for line in metrics.lines().filter(|l| {
+        !l.starts_with('#')
+            && (l.starts_with("kosr_gateway_qps")
+                || l.starts_with("kosr_gateway_latency_seconds")
+                || l.starts_with("kosr_gateway_shard_cache_hit_rate")
+                || l.starts_with("kosr_shard_replicas_healthy")
+                || l.starts_with("kosr_supervisor_replays_total")
+                || l.starts_with("kosr_supervisor_snapshot_refreshes_total")
+                || l.starts_with("kosr_fleet_healthy"))
+    }) {
+        println!("  {line}");
+    }
+}

@@ -33,11 +33,13 @@
 //! | [`service`] | concurrent serving: planner, result cache, batch executor, live updates |
 //! | [`shard`] | partitioned multi-replica serving: fan-out routing, top-k merge, update bus |
 //! | [`transport`] | wire-protocol shard transport: frames, TCP/in-proc replicas, health/failover, snapshots |
+//! | [`gateway`] | HTTP edge: JSON query API, admission control, fleet-wide Prometheus `/metrics` |
 
 #![forbid(unsafe_code)]
 
 pub use kosr_ch as ch;
 pub use kosr_core as core;
+pub use kosr_gateway as gateway;
 pub use kosr_graph as graph;
 pub use kosr_hoplabel as hoplabel;
 pub use kosr_index as index;
