@@ -131,6 +131,7 @@ fn transport_roundtrip(c: &mut Criterion) {
         let resp = Response::Query(Ok(RemoteResponse {
             outcome: sample.outcome,
             cached: false,
+            spans: Vec::new(),
         }));
         b.iter(|| {
             for id in 0..300u64 {

@@ -312,15 +312,33 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with_headers(w, status, content_type, &[], body, keep_alive)
+}
+
+/// Writes a fixed-length response carrying extra `(name, value)` headers
+/// — what `/v1/route` uses to attach `X-Kosr-Trace-Id`. Header values
+/// must be line-safe (no CR/LF); the trace ids this edge emits are hex.
+pub fn write_response_with_headers(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         status_reason(status),
         content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -466,6 +484,20 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            200,
+            "application/json",
+            &[("X-Kosr-Trace-Id", "abc123".to_string())],
+            b"{}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Kosr-Trace-Id: abc123\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
 
         let mut out = Vec::new();

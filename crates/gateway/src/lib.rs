@@ -12,7 +12,16 @@
 //! | `/v1/route` | POST | JSON `{source, target, categories, k, deadline_ms?}` → merged top-k routes with per-route cost + stop breakdown |
 //! | `/v1/update` | POST | JSON `{op, …}` membership/edge update published through the live update bus |
 //! | `/healthz` | GET | per-shard replica health; `200` healthy / `503` degraded |
-//! | `/metrics` | GET | Prometheus text: gateway QPS/latency/cache hit rate + per-shard health and service stats + supervisor counters |
+//! | `/metrics` | GET | Prometheus text: gateway QPS/latency/cache hit rate + latency histograms + trace counters + per-shard health and service stats + supervisor counters |
+//! | `/v1/traces/recent` | GET | summaries of recently retained traces and the slow-query log |
+//! | `/v1/traces/{id}` | GET | the full span tree of one trace (id from `X-Kosr-Trace-Id`) |
+//!
+//! Every `/v1/route` request is traced: the response carries an
+//! `X-Kosr-Trace-Id` header whenever its trace was retained (sampled, or
+//! unsampled-but-slow), and the id fetches the gateway → router → shard →
+//! replica span tree — with the paper's pruning counters (PNE expansions,
+//! dominated candidates, expansion budget) as tags on the replica's
+//! `execute` span — from `/v1/traces/{id}`.
 //!
 //! ## Error taxonomy → status codes
 //!
@@ -72,5 +81,8 @@ pub use stats::{Endpoint, GatewayStats};
 
 // Re-exported so gateway users don't need direct sibling dependencies for
 // the common types.
-pub use kosr_service::{validate_prometheus_text, MetricsRegistry, MetricsSource};
+pub use kosr_service::{
+    validate_prometheus_text, MetricsRegistry, MetricsSource, Span, SpanId, Trace, TraceContext,
+    TraceId, TraceStore,
+};
 pub use kosr_shard::{ShardError, ShardRouter, SupervisorHandle};

@@ -12,14 +12,17 @@ use std::time::{Duration, Instant};
 
 use kosr_core::Query;
 use kosr_graph::{CategoryId, VertexId};
-use kosr_service::{MetricsRegistry, ServiceError};
+use kosr_service::{
+    sample_decision, span_id_for, MetricsRegistry, ServiceError, Span, TagValue, Trace,
+    TraceContext, TraceId, TraceStore,
+};
 use kosr_shard::{
     LiveUpdateBus, ShardError, ShardRouter, ShardedResponse, SupervisorHandle, Update,
 };
 
 use crate::http::{
-    read_request, status_of_parse_error, write_response, write_response_chunked, HttpError,
-    HttpLimits, HttpRequest,
+    read_request, status_of_parse_error, write_response, write_response_chunked,
+    write_response_with_headers, HttpError, HttpLimits, HttpRequest,
 };
 use crate::json::{self, Json, JsonLimits};
 use crate::stats::{Endpoint, GatewayStats};
@@ -47,6 +50,15 @@ pub struct GatewayConfig {
     pub max_k: usize,
     /// JSON nesting bound for request bodies.
     pub json_depth: usize,
+    /// Fraction of `/v1/route` requests traced end to end, decided
+    /// deterministically per trace id ([`sample_decision`]). Unsampled
+    /// requests still get an edge-only trace that competes for the
+    /// slow-query log — the always-capture-the-tail path.
+    pub trace_sample_ratio: f64,
+    /// Traces retained in the recent ring (`GET /v1/traces/recent`).
+    pub trace_recent: usize,
+    /// Worst-N traces by wall time retained in the slow-query log.
+    pub trace_slow: usize,
 }
 
 impl Default for GatewayConfig {
@@ -58,6 +70,9 @@ impl Default for GatewayConfig {
             default_deadline: None,
             max_k: 1024,
             json_depth: 32,
+            trace_sample_ratio: 1.0,
+            trace_recent: 64,
+            trace_slow: 16,
         }
     }
 }
@@ -129,13 +144,14 @@ pub fn api_error_of(e: &ShardError) -> ApiError {
 
 enum Reply {
     Fixed(u16, &'static str, Vec<u8>),
+    WithHeaders(u16, &'static str, Vec<(&'static str, String)>, Vec<u8>),
     Chunked(u16, &'static str, Vec<u8>),
 }
 
 impl Reply {
     fn status(&self) -> u16 {
         match self {
-            Reply::Fixed(s, ..) | Reply::Chunked(s, ..) => *s,
+            Reply::Fixed(s, ..) | Reply::WithHeaders(s, ..) | Reply::Chunked(s, ..) => *s,
         }
     }
 
@@ -146,6 +162,19 @@ impl Reply {
     fn json(status: u16, value: &Json) -> Reply {
         Reply::Fixed(status, JSON_TYPE, value.to_string().into_bytes())
     }
+
+    fn with_header(self, name: &'static str, value: String) -> Reply {
+        match self {
+            Reply::Fixed(s, ct, body) => Reply::WithHeaders(s, ct, vec![(name, value)], body),
+            Reply::WithHeaders(s, ct, mut headers, body) => {
+                headers.push((name, value));
+                Reply::WithHeaders(s, ct, headers, body)
+            }
+            // Chunked replies (the /metrics page) never carry trace
+            // headers; leave them untouched.
+            chunked => chunked,
+        }
+    }
 }
 
 /// What the edge fronts — shared by every connection handler.
@@ -154,6 +183,7 @@ struct EdgeState {
     bus: LiveUpdateBus,
     supervisor: Option<Arc<SupervisorHandle>>,
     stats: Arc<GatewayStats>,
+    traces: Arc<TraceStore>,
     config: GatewayConfig,
     json_limits: JsonLimits,
     slots: AtomicUsize,
@@ -207,10 +237,59 @@ fn parse_body(edge: &EdgeState, body: &[u8]) -> Result<Json, ApiError> {
         .map_err(|e| ApiError::new(400, "invalid_json", e.to_string()))
 }
 
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Assembles and retains the request's trace, then attaches the
+/// `X-Kosr-Trace-Id` header iff the trace is actually retrievable:
+/// sampled traces always are; an unsampled request's edge-only trace only
+/// when the slow-query log admitted it (the tail-capture path). The
+/// reply's status class is counted exactly once, upstream in
+/// [`serve_connection`], after this function has fixed the final status.
+fn finish_route(
+    edge: &EdgeState,
+    ctx: TraceContext,
+    received: Instant,
+    mut spans: Vec<Span>,
+    reply: Reply,
+) -> Reply {
+    let root = Span::new(ctx.parent_span, None, "gateway", 0, elapsed_us(received))
+        .tag("status", TagValue::U64(reply.status() as u64))
+        .tag("sampled", TagValue::Bool(ctx.sampled));
+    spans.insert(0, root);
+    let trace = Trace {
+        trace_id: ctx.trace_id,
+        // Measured after the root span's duration, so the root always
+        // fits inside the trace wall time.
+        wall_us: elapsed_us(received),
+        sampled: ctx.sampled,
+        spans,
+    };
+    let retained = if ctx.sampled {
+        edge.traces.record(trace);
+        true
+    } else {
+        edge.traces.record_slow_only(trace)
+    };
+    if retained {
+        reply.with_header("X-Kosr-Trace-Id", ctx.trace_id.to_hex())
+    } else {
+        reply
+    }
+}
+
 /// `POST /v1/route`: `{"source", "target", "categories", "k",
 /// "deadline_ms"?}` → the merged top-k with per-route cost and stop
-/// breakdown.
+/// breakdown. Every request is traced: a fresh [`TraceId`] is minted, the
+/// sampling decision made deterministically from it, and — when sampled —
+/// the context propagated through the router fan-out so replica spans
+/// come back with the response.
 fn handle_route(edge: &EdgeState, body: &[u8], received: Instant) -> Reply {
+    let trace_id = TraceId::mint();
+    let sampled = sample_decision(trace_id, edge.config.trace_sample_ratio);
+    let ctx = TraceContext::root(trace_id, sampled);
+    let mut spans: Vec<Span> = Vec::new();
     let parsed = (|| {
         let v = parse_body(edge, body)?;
         let source = VertexId(field_u32(&v, "source")?);
@@ -261,40 +340,90 @@ fn handle_route(edge: &EdgeState, body: &[u8], received: Instant) -> Reply {
         };
         Ok((Query::new(source, target, categories, k), deadline))
     })();
+    // The parse span covers JSON decode + field validation, which began
+    // when the request arrived.
+    spans.push(Span::new(
+        span_id_for(trace_id, ctx.parent_span, 0),
+        Some(ctx.parent_span),
+        "parse",
+        0,
+        elapsed_us(received),
+    ));
     let (query, deadline) = match parsed {
         Ok(p) => p,
-        Err(e) => return Reply::error(e),
+        Err(e) => return finish_route(edge, ctx, received, spans, Reply::error(e)),
     };
 
     // Deadline propagation, edge-side: the budget covers parse + routing
     // + shard execution; replicas additionally enforce their planner's
     // own `PlannerConfig::deadline` on queue wait.
     let expired = |d: Duration| received.elapsed() > d;
+    let deadline_error = |d: Duration| {
+        Reply::error(api_error_of(&ShardError::Service(
+            ServiceError::DeadlineExceeded { deadline: d },
+        )))
+    };
     if let Some(d) = deadline {
         if expired(d) {
-            return Reply::error(api_error_of(&ShardError::Service(
-                ServiceError::DeadlineExceeded { deadline: d },
-            )));
+            return finish_route(edge, ctx, received, spans, deadline_error(d));
         }
     }
+    // The router span parents the whole fan-out: shard spans (and the
+    // replica trees under them) come back inside the response.
+    let router_span = span_id_for(trace_id, ctx.parent_span, 1);
+    let router_ctx = sampled.then_some(TraceContext {
+        trace_id,
+        parent_span: router_span,
+        sampled: true,
+    });
+    let router_started = Instant::now();
+    let router_start_us = elapsed_us(received);
     let outcome = edge
         .router
-        .submit(query.clone())
+        .submit_traced(query.clone(), router_ctx)
         .and_then(|ticket| ticket.wait());
+    let router = Span::new(
+        router_span,
+        Some(ctx.parent_span),
+        "router",
+        router_start_us,
+        elapsed_us(router_started),
+    );
     match outcome {
         Ok(resp) => {
+            spans.push(
+                router
+                    .tag("shards", TagValue::U64(resp.shards.len() as u64))
+                    .tag("cached_shards", TagValue::U64(resp.cached_shards as u64)),
+            );
+            spans.extend(resp.spans.iter().cloned());
             if let Some(d) = deadline {
                 if expired(d) {
-                    return Reply::error(api_error_of(&ShardError::Service(
-                        ServiceError::DeadlineExceeded { deadline: d },
-                    )));
+                    // The 503 rewrite happens *before* any accounting:
+                    // the status class is counted once, on the final
+                    // reply, and the shard-answer counters skip requests
+                    // the client never got an answer for.
+                    return finish_route(edge, ctx, received, spans, deadline_error(d));
                 }
             }
             edge.stats
                 .record_shard_answers(resp.shards.len() as u64, resp.cached_shards as u64);
-            Reply::json(200, &route_body(&query, &resp))
+            let serialize_started = Instant::now();
+            let serialize_start_us = elapsed_us(received);
+            let reply = Reply::json(200, &route_body(&query, &resp));
+            spans.push(Span::new(
+                span_id_for(trace_id, ctx.parent_span, 2),
+                Some(ctx.parent_span),
+                "serialize",
+                serialize_start_us,
+                elapsed_us(serialize_started),
+            ));
+            finish_route(edge, ctx, received, spans, reply)
         }
-        Err(e) => Reply::error(api_error_of(&e)),
+        Err(e) => {
+            spans.push(router);
+            finish_route(edge, ctx, received, spans, Reply::error(api_error_of(&e)))
+        }
     }
 }
 
@@ -345,6 +474,104 @@ fn route_body(query: &Query, resp: &ShardedResponse) -> Json {
             Json::from(resp.latency.as_micros().min(u64::MAX as u128) as u64),
         ),
     ])
+}
+
+fn tag_json(v: &TagValue) -> Json {
+    match v {
+        TagValue::U64(n) => Json::from(*n),
+        TagValue::Str(s) => Json::Str(s.clone()),
+        TagValue::Bool(b) => Json::from(*b),
+    }
+}
+
+/// One span rendered as a JSON subtree: its own fields, tags, and its
+/// children nested inside. Depth-capped defensively — the trees this edge
+/// assembles are ~4 levels deep, and a cap means even a malformed trace
+/// cannot recurse unboundedly.
+fn span_tree_json(trace: &Trace, span: &Span, depth: usize) -> Json {
+    let tags: Vec<(String, Json)> = span
+        .tags
+        .iter()
+        .map(|(k, v)| (k.clone(), tag_json(v)))
+        .collect();
+    let children: Vec<Json> = if depth < 16 {
+        trace
+            .children_of(span.id)
+            .into_iter()
+            .map(|c| span_tree_json(trace, c, depth + 1))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Json::Obj(vec![
+        ("span_id".into(), Json::Str(format!("{:016x}", span.id.0))),
+        ("name".into(), Json::from(span.name.as_str())),
+        ("start_us".into(), Json::from(span.start_us)),
+        ("duration_us".into(), Json::from(span.duration_us)),
+        ("tags".into(), Json::Obj(tags)),
+        ("children".into(), Json::Arr(children)),
+    ])
+}
+
+fn trace_json(t: &Trace) -> Json {
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(t.trace_id.to_hex())),
+        ("wall_us".into(), Json::from(t.wall_us)),
+        ("sampled".into(), Json::from(t.sampled)),
+        ("span_count".into(), Json::from(t.spans.len() as u64)),
+        (
+            "root".into(),
+            t.root().map_or(Json::Null, |r| span_tree_json(t, r, 0)),
+        ),
+    ])
+}
+
+fn trace_summary_json(t: &Trace) -> Json {
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(t.trace_id.to_hex())),
+        ("wall_us".into(), Json::from(t.wall_us)),
+        ("sampled".into(), Json::from(t.sampled)),
+        ("spans".into(), Json::from(t.spans.len() as u64)),
+    ])
+}
+
+/// `GET /v1/traces/recent`: summaries of the recent ring (oldest first)
+/// and the slow-query log (slowest first) — ids here feed
+/// `GET /v1/traces/{id}`.
+fn handle_traces_recent(edge: &EdgeState) -> Reply {
+    let recent: Vec<Json> = edge
+        .traces
+        .recent()
+        .iter()
+        .map(trace_summary_json)
+        .collect();
+    let slow: Vec<Json> = edge.traces.slow().iter().map(trace_summary_json).collect();
+    Reply::json(
+        200,
+        &Json::Obj(vec![
+            ("recent".into(), Json::Arr(recent)),
+            ("slow".into(), Json::Arr(slow)),
+        ]),
+    )
+}
+
+/// `GET /v1/traces/{id}`: the full span tree of one retained trace.
+fn handle_trace_get(edge: &EdgeState, id: &str) -> Reply {
+    let Some(id) = TraceId::parse_hex(id) else {
+        return Reply::error(ApiError::new(
+            400,
+            "invalid_trace_id",
+            "trace ids are 32 lowercase hex digits",
+        ));
+    };
+    match edge.traces.get(id) {
+        Some(t) => Reply::json(200, &trace_json(&t)),
+        None => Reply::error(ApiError::new(
+            404,
+            "trace_not_found",
+            format!("no retained trace {}", id.to_hex()),
+        )),
+    }
 }
 
 /// `POST /v1/update`: `{"op": "insert_membership" | "remove_membership" |
@@ -472,6 +699,7 @@ fn handle_healthz(edge: &EdgeState) -> Reply {
 fn handle_metrics(edge: &EdgeState) -> Reply {
     let mut registry = MetricsRegistry::new();
     registry.collect(edge.stats.as_ref());
+    registry.collect(edge.traces.as_ref());
     registry.collect(edge.router.as_ref());
     if let Some(sup) = &edge.supervisor {
         registry.collect(sup.as_ref());
@@ -485,14 +713,24 @@ fn dispatch(edge: &EdgeState, req: &HttpRequest, received: Instant) -> (Endpoint
         ("POST", "/v1/update") => (Endpoint::Update, handle_update(edge, &req.body)),
         ("GET", "/healthz") => (Endpoint::Healthz, handle_healthz(edge)),
         ("GET", "/metrics") => (Endpoint::Metrics, handle_metrics(edge)),
-        (_, "/v1/route" | "/v1/update" | "/healthz" | "/metrics") => (
-            Endpoint::Other,
-            Reply::error(ApiError::new(
-                405,
-                "method_not_allowed",
-                format!("{} not allowed here", req.method),
-            )),
+        ("GET", "/v1/traces/recent") => (Endpoint::Traces, handle_traces_recent(edge)),
+        ("GET", path) if path.starts_with("/v1/traces/") => (
+            Endpoint::Traces,
+            handle_trace_get(edge, path.trim_start_matches("/v1/traces/")),
         ),
+        (_, path)
+            if matches!(path, "/v1/route" | "/v1/update" | "/healthz" | "/metrics")
+                || path.starts_with("/v1/traces/") =>
+        {
+            (
+                Endpoint::Other,
+                Reply::error(ApiError::new(
+                    405,
+                    "method_not_allowed",
+                    format!("{} not allowed here", req.method),
+                )),
+            )
+        }
         (_, path) => (
             Endpoint::Other,
             Reply::error(ApiError::new(
@@ -546,6 +784,14 @@ fn serve_connection(stream: TcpStream, edge: Arc<EdgeState>, shutdown: Arc<Atomi
             Reply::Fixed(status, content_type, body) => {
                 write_response(&mut writer, status, content_type, &body, keep_alive)
             }
+            Reply::WithHeaders(status, content_type, headers, body) => write_response_with_headers(
+                &mut writer,
+                status,
+                content_type,
+                &headers,
+                &body,
+                keep_alive,
+            ),
             // Chunked framing only exists in HTTP/1.1; a 1.0 client gets
             // the same body with a Content-Length instead.
             Reply::Chunked(status, content_type, body) if req.http11 => {
@@ -569,6 +815,7 @@ pub struct Gateway {
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<thread::JoinHandle<()>>,
     stats: Arc<GatewayStats>,
+    traces: Arc<TraceStore>,
 }
 
 impl Gateway {
@@ -584,6 +831,7 @@ impl Gateway {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(GatewayStats::default());
+        let traces = Arc::new(TraceStore::new(config.trace_recent, config.trace_slow));
         let edge = Arc::new(EdgeState {
             bus: router.update_bus(),
             json_limits: JsonLimits {
@@ -593,6 +841,7 @@ impl Gateway {
             router,
             supervisor,
             stats: Arc::clone(&stats),
+            traces: Arc::clone(&traces),
             config,
             slots: AtomicUsize::new(0),
         });
@@ -662,6 +911,7 @@ impl Gateway {
             shutdown,
             accept_handle: Some(accept_handle),
             stats,
+            traces,
         })
     }
 
@@ -673,6 +923,12 @@ impl Gateway {
     /// The edge's live counters (shared with the running handlers).
     pub fn stats(&self) -> &Arc<GatewayStats> {
         &self.stats
+    }
+
+    /// The edge's trace retention: the recent ring, the slow-query log,
+    /// and the sampling counters — what `/v1/traces/*` serves from.
+    pub fn traces(&self) -> &Arc<TraceStore> {
+        &self.traces
     }
 
     /// Stops accepting, wakes idle keep-alive handlers, joins everything.
@@ -790,6 +1046,196 @@ mod tests {
         }
         assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
         assert!(v.get("latency_us").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn traced_route_returns_header_and_full_span_tree() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let resp = client::call(gw.addr(), "POST", "/v1/route", Some(&route_body(&fx, 3))).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let id = resp
+            .header("x-kosr-trace-id")
+            .expect("sampled route responses carry X-Kosr-Trace-Id")
+            .to_string();
+
+        // The retained trace is structurally valid…
+        let trace = gw
+            .traces()
+            .get(kosr_service::TraceId::parse_hex(&id).unwrap())
+            .expect("trace retrievable by its advertised id");
+        trace.validate().expect("assembled trace validates");
+        assert!(trace.sampled);
+
+        // …and the HTTP surface serves its span tree: gateway → router →
+        // shard → replica → execute, with the paper's counters as tags.
+        let fetched = client::call(gw.addr(), "GET", &format!("/v1/traces/{id}"), None).unwrap();
+        assert_eq!(fetched.status, 200, "{}", fetched.text());
+        let v = fetched.json().unwrap();
+        assert_eq!(v.get("trace_id").unwrap().as_str(), Some(id.as_str()));
+        let root = v.get("root").unwrap();
+        assert_eq!(root.get("name").unwrap().as_str(), Some("gateway"));
+        let children = root.get("children").unwrap().as_array().unwrap();
+        let names: Vec<&str> = children
+            .iter()
+            .map(|c| c.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for stage in ["parse", "router", "serialize"] {
+            assert!(names.contains(&stage), "missing {stage} in {names:?}");
+        }
+        let router_node = children
+            .iter()
+            .find(|c| c.get("name").unwrap().as_str() == Some("router"))
+            .unwrap();
+        let shard_nodes: Vec<_> = router_node
+            .get("children")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|c| c.get("name").unwrap().as_str() == Some("shard"))
+            .collect();
+        assert_eq!(shard_nodes.len(), 2, "one shard span per fanned shard");
+        let replica = shard_nodes[0].get("children").unwrap().as_array().unwrap()[0].clone();
+        assert_eq!(replica.get("name").unwrap().as_str(), Some("replica"));
+        let execute = replica
+            .get("children")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c.get("name").unwrap().as_str() == Some("execute"))
+            .cloned()
+            .expect("replica execute span");
+        let tags = execute.get("tags").unwrap();
+        assert!(tags.get("method").unwrap().as_str().is_some());
+        assert!(tags.get("pne_expansions").unwrap().as_u64().is_some());
+        let cache = replica
+            .get("children")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c.get("name").unwrap().as_str() == Some("cache"))
+            .cloned()
+            .expect("replica cache span");
+        assert!(cache
+            .get("tags")
+            .unwrap()
+            .get("hit")
+            .unwrap()
+            .as_bool()
+            .is_some());
+    }
+
+    #[test]
+    fn traces_recent_lists_and_bad_ids_are_typed() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+        for _ in 0..2 {
+            client::call(addr, "POST", "/v1/route", Some(&route_body(&fx, 1))).unwrap();
+        }
+        let resp = client::call(addr, "GET", "/v1/traces/recent", None).unwrap();
+        assert_eq!(resp.status, 200);
+        let v = resp.json().unwrap();
+        assert_eq!(v.get("recent").unwrap().as_array().unwrap().len(), 2);
+        assert!(!v.get("slow").unwrap().as_array().unwrap().is_empty());
+
+        // Malformed id → 400, unknown id → 404, wrong method → 405.
+        let resp = client::call(addr, "GET", "/v1/traces/nope", None).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("invalid_trace_id"));
+        let resp =
+            client::call(addr, "GET", &format!("/v1/traces/{}", "0".repeat(32)), None).unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(resp.text().contains("trace_not_found"));
+        let resp = client::call(addr, "POST", "/v1/traces/recent", Some("{}")).unwrap();
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn unsampled_requests_still_capture_the_slow_tail() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = Gateway::spawn(
+            Arc::clone(&router),
+            None,
+            GatewayConfig {
+                trace_sample_ratio: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // With sampling off, the edge-only trace still competes for the
+        // slow log — and an empty log admits the first comer.
+        let resp = client::call(gw.addr(), "POST", "/v1/route", Some(&route_body(&fx, 1))).unwrap();
+        assert_eq!(resp.status, 200);
+        let id = resp
+            .header("x-kosr-trace-id")
+            .expect("slow-tail capture still advertises the trace id")
+            .to_string();
+        let fetched = client::call(gw.addr(), "GET", &format!("/v1/traces/{id}"), None).unwrap();
+        assert_eq!(fetched.status, 200);
+        let v = fetched.json().unwrap();
+        assert_eq!(v.get("sampled").unwrap().as_bool(), Some(false));
+        // Edge-only: gateway-tier spans, no propagated shard/replica tree.
+        let root = v.get("root").unwrap();
+        let names: Vec<String> = root
+            .get("children")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"router".to_string()));
+        let router_node = root
+            .get("children")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c.get("name").unwrap().as_str() == Some("router"))
+            .cloned()
+            .unwrap();
+        assert!(
+            router_node
+                .get("children")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty(),
+            "unsampled contexts never reach the shards"
+        );
+        assert_eq!(gw.traces().sampled_total(), 0);
+        assert!(gw.traces().slow_only_total() >= 1);
+    }
+
+    #[test]
+    fn status_class_is_counted_once_after_deadline_rewrites() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = Gateway::spawn(
+            Arc::clone(&router),
+            None,
+            GatewayConfig {
+                default_deadline: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let resp = client::call(gw.addr(), "POST", "/v1/route", Some(&route_body(&fx, 1))).unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(resp.text().contains("deadline_exceeded"));
+        // The handler records stats after writing the response; wait for
+        // the count to land before asserting on it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while gw.stats().requests() < 1 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Exactly one response counted, in the *final* (rewritten) class:
+        // a request the deadline turned into a 503 must not also leave a
+        // 2xx behind.
+        assert_eq!(gw.stats().responses_by_class(), (0, 0, 1));
     }
 
     #[test]
@@ -1017,6 +1463,11 @@ mod tests {
             "kosr_service_qps{shard=\"0\",replica=\"0\"}",
             "kosr_service_cache_hit_rate{shard=",
             "kosr_gateway_requests_total{endpoint=\"route\"} 3",
+            "kosr_trace_sampled_total 3",
+            "kosr_trace_slow_retained",
+            "# TYPE kosr_gateway_latency_histogram_seconds histogram",
+            "kosr_gateway_latency_histogram_seconds_bucket",
+            "kosr_service_latency_histogram_seconds_bucket{shard=\"0\"",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

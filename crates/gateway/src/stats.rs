@@ -20,16 +20,19 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /v1/traces/recent` and `GET /v1/traces/{id}`.
+    Traces,
     /// Anything else (404/405/parse failures).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 5] = [
+    const ALL: [Endpoint; 6] = [
         Endpoint::Route,
         Endpoint::Update,
         Endpoint::Healthz,
         Endpoint::Metrics,
+        Endpoint::Traces,
         Endpoint::Other,
     ];
 
@@ -39,7 +42,8 @@ impl Endpoint {
             Endpoint::Update => 1,
             Endpoint::Healthz => 2,
             Endpoint::Metrics => 3,
-            Endpoint::Other => 4,
+            Endpoint::Traces => 4,
+            Endpoint::Other => 5,
         }
     }
 
@@ -49,6 +53,7 @@ impl Endpoint {
             Endpoint::Update => "update",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Traces => "traces",
             Endpoint::Other => "other",
         }
     }
@@ -62,7 +67,7 @@ pub struct GatewayStats {
     connections_accepted: AtomicU64,
     /// Connections refused at the admission gate (pool full → 503).
     connections_rejected: AtomicU64,
-    requests: [AtomicU64; 5],
+    requests: [AtomicU64; 6],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
@@ -238,6 +243,14 @@ impl MetricsSource for GatewayStats {
                 v.as_secs_f64(),
             );
         }
+        registry.histogram(
+            "kosr_gateway_latency_histogram_seconds",
+            "End-to-end request latency distribution (cumulative log buckets)",
+            &[],
+            &self.latency.cumulative_octaves(),
+            self.latency.sum().as_secs_f64(),
+            self.latency.count(),
+        );
     }
 }
 
@@ -254,13 +267,15 @@ mod tests {
         stats.record(Endpoint::Route, 400, Duration::from_millis(1));
         stats.record(Endpoint::Metrics, 200, Duration::from_micros(300));
         stats.record(Endpoint::Other, 503, Duration::from_micros(50));
+        stats.record(Endpoint::Traces, 200, Duration::from_micros(80));
         stats.record_shard_answers(4, 3);
         stats.connection_rejected();
         stats.malformed();
 
-        assert_eq!(stats.requests(), 4);
+        assert_eq!(stats.requests(), 5);
         assert_eq!(stats.requests_on(Endpoint::Route), 2);
-        assert_eq!(stats.responses_by_class(), (2, 1, 1));
+        assert_eq!(stats.requests_on(Endpoint::Traces), 1);
+        assert_eq!(stats.responses_by_class(), (3, 1, 1));
         assert!((stats.shard_cache_hit_rate() - 0.75).abs() < 1e-9);
         assert!(stats.qps() > 0.0);
         assert!(stats.latency_quantile(0.99) >= stats.latency_quantile(0.5));
@@ -273,5 +288,9 @@ mod tests {
         assert!(text.contains("kosr_gateway_responses_total{class=\"5xx\"} 1"));
         assert!(text.contains("kosr_gateway_shard_cache_hit_rate 0.75"));
         assert!(text.contains("kosr_gateway_connections_rejected_total 1"));
+        assert!(text.contains("kosr_gateway_requests_total{endpoint=\"traces\"} 1"));
+        assert!(text.contains("# TYPE kosr_gateway_latency_histogram_seconds histogram"));
+        assert!(text.contains("kosr_gateway_latency_histogram_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("kosr_gateway_latency_histogram_seconds_count 5"));
     }
 }

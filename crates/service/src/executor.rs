@@ -35,6 +35,7 @@ use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::error::{ServiceError, UpdateError};
 use crate::planner::{QueryPlan, QueryPlanner};
 use crate::stats::{method_slot, LatencyHistogram, MethodStats, ServiceStats};
+use crate::trace::{span_id_for, Span, SpanRing, TagValue, TraceContext};
 
 /// Service tunables.
 #[derive(Clone, Debug)]
@@ -72,6 +73,9 @@ pub struct QueryResponse {
     pub cached: bool,
     /// End-to-end latency: submission to response, queue wait included.
     pub latency: Duration,
+    /// Replica-side spans, populated only for sampled traced submissions
+    /// (see [`KosrService::submit_traced`]); empty otherwise.
+    pub spans: Vec<Span>,
 }
 
 /// A pending response: redeem with [`Ticket::wait`].
@@ -154,7 +158,99 @@ struct Job {
     key: CacheKey,
     plan: QueryPlan,
     submitted: Instant,
+    /// Set only for sampled traced submissions: the propagated context
+    /// plus how long admission (validate + plan + cache probe) took, so
+    /// the worker can attribute the queue wait separately.
+    trace: Option<JobTrace>,
     tx: mpsc::Sender<Result<QueryResponse, ServiceError>>,
+}
+
+struct JobTrace {
+    ctx: TraceContext,
+    admission_us: u64,
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// The per-stage measurements one traced query accumulates replica-side.
+struct StageProfile {
+    admission_us: u64,
+    queue_us: u64,
+    cache_us: u64,
+    cache_hit: bool,
+    /// `(execution wall, outcome profile)` for uncached completions.
+    exec: Option<(u64, ExecProfile)>,
+}
+
+/// Algorithm-level counters lifted off a [`KosrOutcome`] — the paper's
+/// pruning-effectiveness evidence, per query.
+struct ExecProfile {
+    epoch: u64,
+    pne_expansions: u64,
+    dominated: u64,
+    nn_queries: u64,
+    heap_peak: u64,
+}
+
+/// Builds the replica-side span tree: a `replica` root parented under the
+/// propagated context, with sequential `admission`/`queue`/`cache`(/
+/// `execute`) stage children whose durations sum to at most the root's.
+fn build_replica_spans(
+    ctx: &TraceContext,
+    plan: &QueryPlan,
+    total_us: u64,
+    stages: &StageProfile,
+) -> Vec<Span> {
+    let t = ctx.trace_id;
+    let root_id = span_id_for(t, ctx.parent_span, 0);
+    let root = Span::new(root_id, Some(ctx.parent_span), "replica", 0, total_us);
+    let admission = Span::new(
+        span_id_for(t, root_id, 0),
+        Some(root_id),
+        "admission",
+        0,
+        stages.admission_us.min(total_us),
+    )
+    .tag("method", TagValue::Str(format!("{:?}", plan.method)))
+    .tag("budget", TagValue::U64(plan.examined_budget));
+    let queue = Span::new(
+        span_id_for(t, root_id, 1),
+        Some(root_id),
+        "queue",
+        admission.duration_us,
+        stages.queue_us.min(total_us),
+    );
+    let cache = Span::new(
+        span_id_for(t, root_id, 2),
+        Some(root_id),
+        "cache",
+        admission.duration_us + queue.duration_us,
+        stages.cache_us.min(total_us),
+    )
+    .tag("hit", TagValue::Bool(stages.cache_hit));
+    let mut spans = vec![root, admission, queue, cache];
+    if let Some((exec_us, profile)) = &stages.exec {
+        let start = spans[1].duration_us + spans[2].duration_us + spans[3].duration_us;
+        spans.push(
+            Span::new(
+                span_id_for(t, root_id, 3),
+                Some(root_id),
+                "execute",
+                start,
+                (*exec_us).min(total_us),
+            )
+            .tag("method", TagValue::Str(format!("{:?}", plan.method)))
+            .tag("pne_expansions", TagValue::U64(profile.pne_expansions))
+            .tag("dominated", TagValue::U64(profile.dominated))
+            .tag("nn_queries", TagValue::U64(profile.nn_queries))
+            .tag("heap_peak", TagValue::U64(profile.heap_peak))
+            .tag("budget", TagValue::U64(plan.examined_budget))
+            .tag("epoch", TagValue::U64(profile.epoch)),
+        );
+    }
+    spans
 }
 
 #[derive(Default)]
@@ -193,6 +289,9 @@ struct Shared {
     /// that would move it backwards (a stale controller's view).
     log_head: AtomicU64,
     latency: LatencyHistogram,
+    /// The replica tier's recent-span ring: every span produced for a
+    /// sampled trace also lands here for local diagnostics.
+    spans: SpanRing,
     methods: [MethodCounter; 6],
     /// Total worker compute time (µs) spent executing uncached queries —
     /// the capacity signal: `busy / (window · workers)` is pool
@@ -253,7 +352,28 @@ impl Shared {
         (self.epoch.load(Ordering::Acquire), Arc::clone(&guard))
     }
 
+    /// Builds, records (in the replica span ring) and returns the span
+    /// tree of one traced job.
+    fn trace_spans(
+        &self,
+        trace: &JobTrace,
+        plan: &QueryPlan,
+        total_us: u64,
+        stages: StageProfile,
+    ) -> Vec<Span> {
+        let spans = build_replica_spans(&trace.ctx, plan, total_us, &stages);
+        for s in &spans {
+            self.spans.record(s.clone());
+        }
+        spans
+    }
+
     fn execute(&self, job: Job) {
+        let queue_us = job
+            .trace
+            .as_ref()
+            .map(|t| elapsed_us(job.submitted).saturating_sub(t.admission_us))
+            .unwrap_or(0);
         if let Some(deadline) = job.plan.deadline {
             if job.submitted.elapsed() > deadline {
                 self.respond(&job.tx, Err(ServiceError::DeadlineExceeded { deadline }));
@@ -261,8 +381,27 @@ impl Shared {
             }
         }
 
+        let mut cache_us = 0;
         if self.cache_enabled {
-            if let Some((outcome, _)) = self.cache.lock().unwrap().get_prefix(&job.key) {
+            let probe_started = Instant::now();
+            let hit = self.cache.lock().unwrap().get_prefix(&job.key);
+            cache_us = elapsed_us(probe_started);
+            if let Some((outcome, _)) = hit {
+                let spans = match &job.trace {
+                    Some(t) => self.trace_spans(
+                        t,
+                        &job.plan,
+                        elapsed_us(job.submitted),
+                        StageProfile {
+                            admission_us: t.admission_us,
+                            queue_us,
+                            cache_us,
+                            cache_hit: true,
+                            exec: None,
+                        },
+                    ),
+                    None => Vec::new(),
+                };
                 self.respond(
                     &job.tx,
                     Ok(QueryResponse {
@@ -270,6 +409,7 @@ impl Shared {
                         plan: job.plan,
                         cached: true,
                         latency: job.submitted.elapsed(),
+                        spans,
                     }),
                 );
                 return;
@@ -279,10 +419,8 @@ impl Shared {
         let (epoch, ig) = self.index_snapshot();
         let exec_started = Instant::now();
         let outcome = ig.run_canonical(&job.query, job.plan.method, job.plan.examined_budget);
-        self.busy_micros.fetch_add(
-            exec_started.elapsed().as_micros().min(u64::MAX as u128) as u64,
-            Ordering::Relaxed,
-        );
+        let exec_us = elapsed_us(exec_started);
+        self.busy_micros.fetch_add(exec_us, Ordering::Relaxed);
 
         if outcome.stats.truncated {
             // The budget ran out before all k routes were found: surface a
@@ -309,6 +447,30 @@ impl Shared {
                 cache.insert(job.key, outcome.clone());
             }
         }
+        let spans = match &job.trace {
+            Some(t) => self.trace_spans(
+                t,
+                &job.plan,
+                elapsed_us(job.submitted),
+                StageProfile {
+                    admission_us: t.admission_us,
+                    queue_us,
+                    cache_us,
+                    cache_hit: false,
+                    exec: Some((
+                        exec_us,
+                        ExecProfile {
+                            epoch,
+                            pne_expansions: outcome.stats.examined_routes,
+                            dominated: outcome.stats.dominated_routes,
+                            nn_queries: outcome.stats.nn_queries,
+                            heap_peak: outcome.stats.heap_peak as u64,
+                        },
+                    )),
+                },
+            ),
+            None => Vec::new(),
+        };
         self.respond(
             &job.tx,
             Ok(QueryResponse {
@@ -316,6 +478,7 @@ impl Shared {
                 plan: job.plan,
                 cached: false,
                 latency: job.submitted.elapsed(),
+                spans,
             }),
         );
     }
@@ -369,6 +532,7 @@ impl KosrService {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             log_head: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            spans: SpanRing::new(256),
             methods: Default::default(),
             busy_micros: AtomicU64::new(0),
             started: Instant::now(),
@@ -430,6 +594,21 @@ impl KosrService {
     /// Admission control + enqueue. Returns a [`Ticket`] redeemable for the
     /// response, or a typed rejection without consuming worker time.
     pub fn submit(&self, query: Query) -> Result<Ticket, ServiceError> {
+        self.submit_traced(query, None)
+    }
+
+    /// [`KosrService::submit`] with a propagated [`TraceContext`]: when the
+    /// context is present and sampled, the response carries the replica's
+    /// span tree (admission / queue / cache / execute with the paper's
+    /// pruning counters). With `None` — the plain `submit` path — tracing
+    /// costs one branch.
+    pub fn submit_traced(
+        &self,
+        query: Query,
+        ctx: Option<TraceContext>,
+    ) -> Result<Ticket, ServiceError> {
+        let submitted = Instant::now();
+        let trace = ctx.filter(|c| c.sampled);
         let ig = self.indexed_graph();
         if let Err(e) = query.validate(&ig.graph) {
             self.shared.rejected_invalid.fetch_add(1, Ordering::Relaxed);
@@ -437,7 +616,7 @@ impl KosrService {
         }
         let plan = self.shared.planner.plan(&ig, &query);
         let key = CacheKey::canonical(&query);
-        let submitted = Instant::now();
+        let admission_us = elapsed_us(submitted);
 
         // Fast path: answer cache hits inline — no queue round-trip for hot
         // repeated queries. `try_lock` keeps submitters from serialising on
@@ -447,17 +626,38 @@ impl KosrService {
             // `probe_prefix` (not `get_prefix`) so a cold query missed here
             // and again by the worker is charged exactly one miss in the
             // counters.
+            let probe_started = Instant::now();
             let cached = match self.shared.cache.try_lock() {
                 Ok(mut cache) => cache.probe_prefix(&key).map(|(outcome, _)| outcome),
                 Err(_) => None,
             };
+            let cache_us = elapsed_us(probe_started);
             if let Some(outcome) = cached {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                let spans = match &trace {
+                    Some(c) => self.shared.trace_spans(
+                        &JobTrace {
+                            ctx: *c,
+                            admission_us,
+                        },
+                        &plan,
+                        elapsed_us(submitted),
+                        StageProfile {
+                            admission_us,
+                            queue_us: 0,
+                            cache_us,
+                            cache_hit: true,
+                            exec: None,
+                        },
+                    ),
+                    None => Vec::new(),
+                };
                 let resp = QueryResponse {
                     outcome,
                     plan,
                     cached: true,
                     latency: submitted.elapsed(),
+                    spans,
                 };
                 self.shared.completed.fetch_add(1, Ordering::Relaxed);
                 self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -485,12 +685,20 @@ impl KosrService {
                 key,
                 plan,
                 submitted,
+                trace: trace.map(|ctx| JobTrace { ctx, admission_us }),
                 tx,
             });
         }
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.wake.notify_one();
         Ok(Ticket { rx })
+    }
+
+    /// The replica tier's recent-span ring (sampled traces only), oldest
+    /// first — local diagnostics even when the edge assembling full traces
+    /// is elsewhere.
+    pub fn recent_spans(&self) -> Vec<Span> {
+        self.shared.spans.recent()
     }
 
     /// Submits a whole batch and blocks until every query resolves;
@@ -707,6 +915,8 @@ impl KosrService {
             latency_p50: s.latency.quantile(0.5),
             latency_p99: s.latency.quantile(0.99),
             latency_max: s.latency.max(),
+            latency_sum: s.latency.sum(),
+            latency_buckets: s.latency.cumulative_octaves(),
             busy: Duration::from_micros(s.busy_micros.load(Ordering::Relaxed)),
             cache: s.cache.lock().unwrap().stats(),
             per_method: self.method_stats(),

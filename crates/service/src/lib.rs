@@ -47,6 +47,7 @@ mod executor;
 mod metrics;
 mod planner;
 mod stats;
+mod trace;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use error::{ServiceError, UpdateError};
@@ -58,6 +59,10 @@ pub use planner::{
     CalibrationBlobError, PlannerConfig, QueryPlan, QueryPlanner, CALIBRATION_CLAMP,
 };
 pub use stats::{LatencyHistogram, MethodStats, ServiceStats};
+pub use trace::{
+    sample_decision, span_id_for, splitmix64, SlowQueryLog, Span, SpanId, SpanRing, TagValue,
+    Trace, TraceContext, TraceId, TraceStore,
+};
 
 // Re-exported so service users don't need a direct kosr-core dependency
 // for the common request/response types.

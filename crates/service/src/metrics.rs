@@ -30,6 +30,10 @@ pub enum MetricKind {
     Counter,
     /// A value that can go up and down.
     Gauge,
+    /// A cumulative distribution: `name_bucket{le="…"}` samples plus
+    /// `name_sum` / `name_count`, emitted via
+    /// [`MetricsRegistry::histogram`].
+    Histogram,
 }
 
 impl MetricKind {
@@ -37,12 +41,16 @@ impl MetricKind {
         match self {
             MetricKind::Counter => "counter",
             MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
         }
     }
 }
 
 #[derive(Debug)]
 struct Sample {
+    /// Appended to the family name on the sample line — `"_bucket"`,
+    /// `"_sum"`, `"_count"` for histogram series, empty otherwise.
+    suffix: &'static str,
     labels: Vec<(String, String)>,
     value: f64,
 }
@@ -149,11 +157,76 @@ impl MetricsRegistry {
             }
         };
         family.samples.push(Sample {
+            suffix: "",
             labels: labels
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.to_string()))
                 .collect(),
             value,
+        });
+    }
+
+    /// Records a full histogram family: one `name_bucket{le="…"}` sample
+    /// per `(upper_bound, cumulative_count)` pair in `buckets`, a closing
+    /// `le="+Inf"` bucket at `count`, and the `name_sum` / `name_count`
+    /// series — the real Prometheus histogram shape, not quantile gauges.
+    /// `buckets` must be cumulative and sorted by upper bound (as
+    /// [`crate::LatencyHistogram::cumulative_octaves`] returns them).
+    ///
+    /// # Panics
+    /// Panics on invalid metric/label names, like
+    /// [`MetricsRegistry::sample`].
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(f64, u64)],
+        sum: f64,
+        count: u64,
+    ) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?}");
+        }
+        let family = match self.families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                self.families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind: MetricKind::Histogram,
+                    samples: Vec::new(),
+                });
+                self.families.last_mut().unwrap()
+            }
+        };
+        let base: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut bucket = |le: String, value: f64| {
+            let mut labels = base.clone();
+            labels.push(("le".to_string(), le));
+            family.samples.push(Sample {
+                suffix: "_bucket",
+                labels,
+                value,
+            });
+        };
+        for &(le, cumulative) in buckets {
+            bucket(format!("{le}"), cumulative as f64);
+        }
+        bucket("+Inf".to_string(), count as f64);
+        family.samples.push(Sample {
+            suffix: "_sum",
+            labels: base.clone(),
+            value: sum,
+        });
+        family.samples.push(Sample {
+            suffix: "_count",
+            labels: base,
+            value: count as f64,
         });
     }
 
@@ -192,6 +265,7 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.as_str());
             for s in &f.samples {
                 out.push_str(&f.name);
+                out.push_str(s.suffix);
                 if !s.labels.is_empty() {
                     out.push('{');
                     for (i, (k, v)) in s.labels.iter().enumerate() {
@@ -322,6 +396,18 @@ impl ServiceStats {
             registry.gauge("kosr_service_latency_seconds", LAT_HELP, &l, secs(v));
             l.pop();
         }
+        // The real histogram family next to the quantile gauges: snapshots
+        // built by hand (no bucket data) simply omit it.
+        if let Some(&(_, total)) = self.latency_buckets.last() {
+            registry.histogram(
+                "kosr_service_latency_histogram_seconds",
+                "End-to-end query latency distribution (cumulative log buckets)",
+                labels,
+                &self.latency_buckets,
+                secs(self.latency_sum),
+                total,
+            );
+        }
         for m in &self.per_method {
             l.push(("method", m.method.name()));
             registry.counter(
@@ -375,6 +461,7 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
         return Err("exposition must end with a newline".into());
     }
     let mut typed: Vec<String> = Vec::new();
+    let mut histograms: Vec<String> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let n = i + 1;
         if line.is_empty() {
@@ -405,6 +492,9 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
                         return Err(format!("line {n}: unknown metric type {kind:?}"));
                     }
                     typed.push(name.to_string());
+                    if kind == "histogram" {
+                        histograms.push(name.to_string());
+                    }
                 }
                 other => return Err(format!("line {n}: unknown comment keyword {other:?}")),
             }
@@ -419,7 +509,20 @@ pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
             return Err(format!("line {n}: invalid sample name {name:?}"));
         }
         if !typed.iter().any(|t| t == name) {
-            return Err(format!("line {n}: sample {name:?} has no preceding TYPE"));
+            // Histogram families declare the *base* name; their series
+            // carry the `_bucket`/`_sum`/`_count` suffixes.
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"));
+            match base {
+                Some(b) if histograms.iter().any(|h| h == b) => {
+                    if name.ends_with("_bucket") && !line.contains("le=\"") {
+                        return Err(format!("line {n}: histogram bucket without an le label"));
+                    }
+                }
+                _ => return Err(format!("line {n}: sample {name:?} has no preceding TYPE")),
+            }
         }
         let mut rest = &line[name_end..];
         if let Some(inner) = rest.strip_prefix('{') {
@@ -527,6 +630,52 @@ mod tests {
     }
 
     #[test]
+    fn histograms_render_bucket_sum_count_series() {
+        let h = crate::LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(5));
+        let mut reg = MetricsRegistry::new();
+        reg.histogram(
+            "demo_seconds",
+            "a demo histogram",
+            &[("shard", "0")],
+            &h.cumulative_octaves(),
+            h.sum().as_secs_f64(),
+            h.count(),
+        );
+        let text = reg.render();
+        validate_prometheus_text(&text).expect(&text);
+        assert!(text.contains("# TYPE demo_seconds histogram"));
+        assert!(text.contains("demo_seconds_bucket{shard=\"0\",le=\"0.000002\"} 0"));
+        assert!(text.contains("demo_seconds_bucket{shard=\"0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("demo_seconds_sum{shard=\"0\"} 0.005003"));
+        assert!(text.contains("demo_seconds_count{shard=\"0\"} 2"));
+        // Cumulative bucket values never decrease down the exposition.
+        let mut last = 0.0;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("demo_seconds_bucket"))
+        {
+            let v: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "monotone buckets: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn validator_understands_histogram_suffixes() {
+        let ok = "# TYPE demo histogram\ndemo_bucket{le=\"+Inf\"} 2\ndemo_sum 0.1\ndemo_count 2\n";
+        validate_prometheus_text(ok).unwrap();
+        // A bucket without an le label is malformed…
+        assert!(validate_prometheus_text("# TYPE demo histogram\ndemo_bucket 2\n").is_err());
+        // …and the suffixes only attach to a declared histogram family.
+        assert!(
+            validate_prometheus_text("# TYPE demo counter\ndemo_bucket{le=\"1\"} 2\n").is_err()
+        );
+        assert!(validate_prometheus_text("# TYPE other histogram\ndemo_sum 1\n").is_err());
+    }
+
+    #[test]
     fn special_values_render_and_validate() {
         let mut reg = MetricsRegistry::new();
         reg.gauge("weird", "special floats", &[("v", "nan")], f64::NAN);
@@ -587,6 +736,9 @@ mod tests {
         assert!(text.contains("kosr_service_cache_hits_total 1"));
         assert!(text.contains("kosr_service_cache_hit_rate 0.5"));
         assert!(text.contains("kosr_service_latency_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("# TYPE kosr_service_latency_histogram_seconds histogram"));
+        assert!(text.contains("kosr_service_latency_histogram_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("kosr_service_latency_histogram_seconds_count 2"));
         assert!(text.contains("kosr_service_method_completed_total{method="));
         assert!(text.contains("kosr_service_qps"));
     }

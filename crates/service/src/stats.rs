@@ -108,6 +108,32 @@ impl LatencyHistogram {
         self.max()
     }
 
+    /// Total recorded latency (the Prometheus `_sum` of the histogram).
+    pub fn sum(&self) -> Duration {
+        Duration::from_micros(self.sum_micros.load(Ordering::Relaxed))
+    }
+
+    /// The cumulative distribution at octave boundaries, as Prometheus
+    /// histogram buckets: one `(le_seconds, cumulative_count)` pair per
+    /// power-of-two boundary `2^(o+1) µs` (so `2 µs, 4 µs, … ≈ 1.2 h`),
+    /// counting every observation that landed strictly below the
+    /// boundary. Counts are monotone nondecreasing and the final pair
+    /// covers every bucket, so appending a `+Inf` bucket with
+    /// [`LatencyHistogram::count`] yields a well-formed exposition.
+    pub fn cumulative_octaves(&self) -> Vec<(f64, u64)> {
+        let octaves = BUCKETS / SUB as usize;
+        let mut out = Vec::with_capacity(octaves);
+        let mut cumulative = 0u64;
+        for o in 0..octaves {
+            for i in (o * SUB as usize)..((o + 1) * SUB as usize) {
+                cumulative += self.buckets[i].load(Ordering::Relaxed);
+            }
+            let le_us = (1u64 << (o + 1)) as f64;
+            out.push((le_us * 1e-6, cumulative));
+        }
+        out
+    }
+
     /// Resets every counter to zero.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -181,6 +207,14 @@ pub struct ServiceStats {
     pub latency_p99: Duration,
     /// Largest observed end-to-end latency.
     pub latency_max: Duration,
+    /// Total end-to-end latency across completed queries (the histogram's
+    /// `_sum`).
+    pub latency_sum: Duration,
+    /// The cumulative latency distribution at octave boundaries —
+    /// `(le_seconds, cumulative_count)` pairs straight from
+    /// [`LatencyHistogram::cumulative_octaves`], what the Prometheus
+    /// `*_bucket` export renders.
+    pub latency_buckets: Vec<(f64, u64)>,
     /// Total worker compute time spent executing (uncached) queries —
     /// `busy / (window · workers)` is pool utilization, and the largest
     /// per-shard `busy` is a sharded deployment's capacity critical path.
@@ -290,6 +324,29 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn cumulative_octaves_form_a_monotone_cdf() {
+        let h = LatencyHistogram::new();
+        for micros in [1u64, 3, 100, 1000, 1000, 5_000_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let buckets = h.cumulative_octaves();
+        assert_eq!(buckets.len(), BUCKETS / SUB as usize);
+        let mut last = 0;
+        for (le, cum) in &buckets {
+            assert!(*le > 0.0);
+            assert!(*cum >= last, "cumulative counts never decrease");
+            last = *cum;
+        }
+        assert_eq!(last, h.count(), "the widest bucket covers everything");
+        // The 1 µs observation sits below the first (2 µs) boundary; the
+        // two 1 ms observations are inside the ≤ ~2 ms boundary.
+        assert_eq!(buckets[0].1, 1);
+        let two_ms = buckets.iter().find(|(le, _)| *le >= 2e-3).unwrap();
+        assert_eq!(two_ms.1, 5, "everything but the 5 s outlier");
+        assert_eq!(h.sum(), Duration::from_micros(5_002_104));
     }
 
     #[test]

@@ -8,7 +8,9 @@ use std::time::{Duration, Instant};
 
 use kosr_core::{KosrOutcome, Query, QueryError};
 use kosr_graph::{CategoryId, Partition, PartitionStats};
-use kosr_service::{KosrService, ServiceConfig, ServiceError, ServiceStats};
+use kosr_service::{
+    span_id_for, KosrService, ServiceConfig, ServiceError, ServiceStats, Span, TraceContext,
+};
 use kosr_transport::protocol::{MemberCounts, SnapshotBlob};
 use kosr_transport::{InProcTransport, ReplicaSet, ShardTransport, TransportTicket};
 
@@ -62,6 +64,11 @@ pub struct ShardedResponse {
     pub cached_shards: usize,
     /// Submit → merged-response wall clock (slowest shard + merge).
     pub latency: Duration,
+    /// The span forest for sampled traced submissions: one `shard` span
+    /// per fanned-out shard (replica spans nested beneath) plus the
+    /// `merge` span, all parented under the submitted context's span.
+    /// Empty for untraced submissions.
+    pub spans: Vec<Span>,
 }
 
 /// A pending cross-shard response: redeem with [`ShardTicket::wait`].
@@ -70,6 +77,7 @@ pub struct ShardTicket {
     parts: Vec<(usize, TransportTicket)>,
     k: usize,
     submitted: Instant,
+    trace: Option<TraceContext>,
 }
 
 impl ShardTicket {
@@ -81,20 +89,65 @@ impl ShardTicket {
         let mut shards = Vec::with_capacity(self.parts.len());
         let mut streams = Vec::with_capacity(self.parts.len());
         let mut cached_shards = 0;
+        let mut spans = Vec::new();
         for (shard, ticket) in self.parts {
             let resp = ticket.wait().map_err(ShardError::from)?;
+            if let Some(ctx) = &self.trace {
+                // The shard span: fan-out until *this* shard's answer was
+                // observed. The replica's own spans hang beneath it (the
+                // child context derived in submit uses the same id).
+                spans.push(Span {
+                    id: shard_span_id(ctx, shard),
+                    parent: Some(ctx.parent_span),
+                    name: "shard".into(),
+                    start_us: 0,
+                    duration_us: elapsed_us(self.submitted),
+                    tags: vec![
+                        ("shard".into(), kosr_service::TagValue::U64(shard as u64)),
+                        ("cached".into(), kosr_service::TagValue::Bool(resp.cached)),
+                    ],
+                });
+                spans.extend(resp.spans);
+            }
             shards.push(shard);
             cached_shards += resp.cached as usize;
             streams.push(resp.outcome);
         }
+        let merge_started = Instant::now();
+        let merge_start_us = elapsed_us(self.submitted);
         let outcome = merge_topk(streams, self.k);
+        if let Some(ctx) = &self.trace {
+            spans.push(Span {
+                id: span_id_for(ctx.trace_id, ctx.parent_span, 0),
+                parent: Some(ctx.parent_span),
+                name: "merge".into(),
+                start_us: merge_start_us,
+                duration_us: elapsed_us(merge_started),
+                tags: vec![(
+                    "witnesses".into(),
+                    kosr_service::TagValue::U64(outcome.witnesses.len() as u64),
+                )],
+            });
+        }
         Ok(ShardedResponse {
             outcome,
             shards,
             cached_shards,
             latency: self.submitted.elapsed(),
+            spans,
         })
     }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// The deterministic id of shard `j`'s span under `ctx` — child index
+/// `j + 1` (index 0 is the merge span), recomputable by submit and wait
+/// without shared state.
+fn shard_span_id(ctx: &TraceContext, j: usize) -> kosr_service::SpanId {
+    span_id_for(ctx.trace_id, ctx.parent_span, j as u64 + 1)
 }
 
 impl ShardRouter {
@@ -297,6 +350,19 @@ impl ShardRouter {
     /// validation would report), then submits the shadow-rewritten query
     /// to every planned shard.
     pub fn submit(&self, query: Query) -> Result<ShardTicket, ShardError> {
+        self.submit_traced(query, None)
+    }
+
+    /// [`ShardRouter::submit`] carrying a trace context: each shard's
+    /// replica receives a child context parented under that shard's span,
+    /// and [`ShardTicket::wait`] returns the assembled span forest on the
+    /// response. An unsampled (or absent) context is the plain path.
+    pub fn submit_traced(
+        &self,
+        query: Query,
+        ctx: Option<TraceContext>,
+    ) -> Result<ShardTicket, ShardError> {
+        let ctx = ctx.filter(|c| c.sampled);
         let submitted = Instant::now();
         // Replica graphs know extra internal shadow categories; clients
         // speak base ids only. Reject out-of-base ids *before* anything
@@ -344,12 +410,20 @@ impl ShardRouter {
             if let Some(c1) = q.categories.first_mut() {
                 *c1 = self.shadow(*c1);
             }
-            parts.push((j, self.shards[j].query(q)));
+            // The replica's spans parent under this shard's span, whose id
+            // is derived (not stored): wait() recomputes it.
+            let child = ctx.map(|c| TraceContext {
+                trace_id: c.trace_id,
+                parent_span: shard_span_id(&c, j),
+                sampled: true,
+            });
+            parts.push((j, self.shards[j].query_traced(q, child)));
         }
         Ok(ShardTicket {
             parts,
             k,
             submitted,
+            trace: ctx,
         })
     }
 
@@ -588,6 +662,53 @@ mod tests {
             2 * shards,
             "edge updates keep the cache"
         );
+    }
+
+    #[test]
+    fn traced_submissions_return_a_complete_span_forest() {
+        let (router, fx) = router(3);
+        let trace_id = kosr_service::TraceId(0x1234);
+        let ctx = TraceContext::root(trace_id, true);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let resp = router
+            .submit_traced(q.clone(), Some(ctx))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+
+        let shard_spans: Vec<&Span> = resp.spans.iter().filter(|s| s.name == "shard").collect();
+        assert_eq!(shard_spans.len(), resp.shards.len());
+        for s in &shard_spans {
+            assert_eq!(s.parent, Some(ctx.parent_span));
+        }
+        assert!(resp.spans.iter().any(|s| s.name == "merge"));
+        // Every replica root hangs under its shard span.
+        let replica_roots: Vec<&Span> = resp.spans.iter().filter(|s| s.name == "replica").collect();
+        assert_eq!(replica_roots.len(), resp.shards.len());
+        for root in replica_roots {
+            assert!(
+                shard_spans.iter().any(|s| Some(s.id) == root.parent),
+                "orphan replica root: {root:?}"
+            );
+        }
+        // Execute spans carry the paper's pruning counters.
+        assert!(resp
+            .spans
+            .iter()
+            .filter(|s| s.name == "execute")
+            .all(|s| s.tag_value("pne_expansions").is_some()));
+
+        // Untraced (or unsampled) submissions carry no spans at all.
+        let plain = router.submit(q.clone()).unwrap().wait().unwrap();
+        assert!(plain.spans.is_empty());
+        let unsampled = TraceContext::root(trace_id, false);
+        let resp = router
+            .submit_traced(q, Some(unsampled))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(resp.spans.is_empty());
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! `KOSR_BENCH_SAMPLES` (default 10) so CI can dial effort down, and
 //! supports the `--bench <filter>` / bare-filter CLI arguments cargo
 //! passes through.
+//!
+//! When `KOSR_BENCH_JSON` names a file, every finished benchmark also
+//! upserts its median into that file as a single JSON document (see
+//! [`record_json_at`]), so consecutive `cargo bench` invocations — one
+//! process per bench target — accumulate into one machine-readable
+//! baseline (the repo's `BENCH_*.json` trajectory).
 
 #![forbid(unsafe_code)]
 
@@ -73,6 +79,65 @@ fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
         "bench: {name:<48} median {median:>12.3?}  ({} samples, {total:.3?} total)",
         b.times.len()
     );
+    if let Ok(path) = std::env::var("KOSR_BENCH_JSON") {
+        if !path.is_empty() {
+            record_json_at(&path, name, median, b.times.len());
+        }
+    }
+}
+
+/// Upserts one `(bench, median, samples)` measurement into the JSON
+/// baseline at `path`, rewriting the whole document each time. The format
+/// is flat and regular — one `"name": {"median_ns": …, "samples": …}`
+/// entry per line under `"benches"` — so the reader below can reparse our
+/// own output without a JSON dependency. Existing entries for other
+/// benches (including ones written by other bench binaries) survive.
+pub fn record_json_at(path: &str, name: &str, median: Duration, samples: usize) {
+    let mut entries = read_json_entries(path);
+    let median_ns = median.as_nanos() as u64;
+    match entries.iter_mut().find(|(n, ..)| n == name) {
+        Some(e) => {
+            e.1 = median_ns;
+            e.2 = samples;
+        }
+        None => entries.push((name.to_string(), median_ns, samples)),
+    }
+    let mut out = String::from("{\n  \"schema\": \"kosr-bench-medians/v1\",\n  \"benches\": {\n");
+    for (i, (n, m, s)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{n}\": {{\"median_ns\": {m}, \"samples\": {s}}}{comma}\n"
+        ));
+    }
+    out.push_str("  }\n}\n");
+    let _ = std::fs::write(path, out);
+}
+
+/// Parses the entries back out of a baseline written by
+/// [`record_json_at`]. Lines that don't match the flat entry shape are
+/// ignored, so a hand-edited or foreign file degrades to "start fresh"
+/// rather than an error.
+pub fn read_json_entries(path: &str) -> Vec<(String, u64, usize)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once("\": {\"median_ns\": ") else {
+            continue;
+        };
+        let Some((median, rest)) = rest.split_once(", \"samples\": ") else {
+            continue;
+        };
+        let samples = rest.trim_end_matches([',', '}', ' ']);
+        if let (Ok(m), Ok(s)) = (median.parse(), samples.parse()) {
+            entries.push((name.to_string(), m, s));
+        }
+    }
+    entries
 }
 
 fn default_samples() -> usize {
@@ -248,5 +313,33 @@ mod tests {
         });
         assert!(!ran);
         assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+    }
+
+    #[test]
+    fn json_baseline_accumulates_and_upserts() {
+        let path =
+            std::env::temp_dir().join(format!("kosr_bench_json_test_{}.json", std::process::id()));
+        let path = path.to_str().expect("utf8 temp path");
+        let _ = std::fs::remove_file(path);
+
+        record_json_at(path, "grp/one", Duration::from_micros(1500), 4);
+        record_json_at(path, "grp/two", Duration::from_nanos(42), 2);
+        // Re-recording the same bench overwrites, not duplicates.
+        record_json_at(path, "grp/one", Duration::from_micros(1200), 6);
+
+        let entries = read_json_entries(path);
+        assert_eq!(
+            entries,
+            vec![
+                ("grp/one".to_string(), 1_200_000, 6),
+                ("grp/two".to_string(), 42, 2),
+            ]
+        );
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("{\n"));
+        assert!(text.ends_with("}\n"));
+        assert!(text.contains("\"schema\": \"kosr-bench-medians/v1\""));
+        assert!(text.contains("\"grp/two\": {\"median_ns\": 42, \"samples\": 2}\n"));
+        std::fs::remove_file(path).unwrap();
     }
 }

@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use kosr_core::Query;
-use kosr_service::{Update, UpdateReceipt};
+use kosr_service::{TraceContext, Update, UpdateReceipt};
 use kosr_transport::protocol::{Heartbeat, MemberCounts, SnapshotBlob};
 use kosr_transport::{ShardTransport, TransportError, TransportTicket};
 use rand::rngs::StdRng;
@@ -231,6 +231,37 @@ impl ShardTransport for FaultyTransport {
                 first
             }
             Fault::None => self.inner.submit(query),
+        }
+    }
+
+    fn submit_traced(&self, query: Query, ctx: Option<TraceContext>) -> TransportTicket {
+        // Same fault machinery as `submit` — one decision per data-plane
+        // frame, so traced and untraced runs of the same schedule stay
+        // aligned — but the trace context rides through to the inner
+        // transport instead of being dropped by the trait default.
+        match self.schedule.next_fault() {
+            Fault::Drop => TransportTicket::ready(Err(dropped("query frame dropped"))),
+            Fault::DropResponse => {
+                let ticket = self.inner.submit_traced(query, ctx);
+                TransportTicket::new(move || {
+                    let _ = ticket.wait();
+                    Err(dropped("query response dropped"))
+                })
+            }
+            Fault::Delay => {
+                let delay = self.schedule.delay();
+                let ticket = self.inner.submit_traced(query, ctx);
+                TransportTicket::new(move || {
+                    std::thread::sleep(delay);
+                    ticket.wait()
+                })
+            }
+            Fault::Duplicate => {
+                let first = self.inner.submit_traced(query.clone(), ctx);
+                let _duplicate = self.inner.submit_traced(query, ctx);
+                first
+            }
+            Fault::None => self.inner.submit_traced(query, ctx),
         }
     }
 

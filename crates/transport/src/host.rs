@@ -7,7 +7,9 @@ use std::sync::Arc;
 use kosr_core::IndexedGraph;
 use kosr_service::KosrService;
 
-use crate::protocol::{Heartbeat, MemberCounts, RemoteResponse, Request, Response, SnapshotBlob};
+use crate::protocol::{
+    Heartbeat, MemberCounts, RemoteResponse, Request, Response, SnapshotBlob, PROTOCOL_VERSION,
+};
 
 /// Answers one request against `service`. Query requests block until the
 /// service responds (the caller decides how to overlap requests — the TCP
@@ -19,8 +21,22 @@ pub fn handle_request(service: &Arc<KosrService>, req: Request) -> Response {
             |resp| RemoteResponse {
                 outcome: resp.outcome,
                 cached: resp.cached,
+                spans: Vec::new(),
             },
         )),
+        Request::QueryTraced(q, ctx) => Response::Query(
+            service
+                .submit_traced(q, Some(ctx))
+                .and_then(|t| t.wait())
+                .map(|resp| RemoteResponse {
+                    outcome: resp.outcome,
+                    cached: resp.cached,
+                    spans: resp.spans,
+                }),
+        ),
+        Request::Hello { max_version: _ } => Response::Hello {
+            max_version: PROTOCOL_VERSION,
+        },
         Request::Update(u) => Response::Update(service.apply_update(&u)),
         Request::Ping => Response::Pong(Heartbeat {
             epoch: service.index_epoch(),

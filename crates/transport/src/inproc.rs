@@ -6,16 +6,17 @@
 //! fault-injection test suites built on them) exercise byte-for-byte the
 //! same protocol as TCP ones.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use kosr_core::Query;
-use kosr_service::{KosrService, Update, UpdateReceipt};
+use kosr_service::{KosrService, TraceContext, Update, UpdateReceipt};
 
 use crate::host::handle_request;
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, Heartbeat, MemberCounts,
-    ProtocolError, RemoteResponse, Request, Response, SnapshotBlob,
+    decode_request_limited, decode_response, encode_request, encode_response, Heartbeat,
+    MemberCounts, ProtocolError, RemoteResponse, Request, Response, SnapshotBlob,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::{ShardTransport, TransportError, TransportTicket};
 
@@ -122,6 +123,14 @@ pub struct InProcTransport {
     service: Arc<KosrService>,
     killed: Arc<AtomicBool>,
     next_id: AtomicU64,
+    /// The protocol version the simulated replica *speaks* — capping it at
+    /// 2 makes this loopback behave exactly like a v2-era binary (traced
+    /// frames fault typed, Hello is an unknown kind), which is what the
+    /// mixed-fleet interop suites run against.
+    peer_version: u8,
+    /// The peer version learned through [`Request::Hello`]; 0 until the
+    /// first traced submission negotiates.
+    negotiated: AtomicU8,
 }
 
 impl InProcTransport {
@@ -131,7 +140,43 @@ impl InProcTransport {
             service,
             killed: Arc::new(AtomicBool::new(false)),
             next_id: AtomicU64::new(1),
+            peer_version: PROTOCOL_VERSION,
+            negotiated: AtomicU8::new(0),
         }
+    }
+
+    /// Wraps `service` as a loopback replica that speaks at most
+    /// `version` — the v2-peer simulation lever for interop tests.
+    pub fn with_max_version(service: Arc<KosrService>, version: u8) -> InProcTransport {
+        let mut t = InProcTransport::new(service);
+        t.peer_version = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+        t
+    }
+
+    /// Learns the peer's protocol version (cached after the first probe):
+    /// a Hello roundtrip that a v3 peer answers with its version and a v2
+    /// peer faults with `UnknownKind` — the negotiation the doc block of
+    /// [`crate::protocol`] describes.
+    fn peer_protocol_version(&self) -> u8 {
+        let cached = self.negotiated.load(Ordering::Acquire);
+        if cached != 0 {
+            return cached;
+        }
+        let learned = match self.roundtrip(Request::Hello {
+            max_version: PROTOCOL_VERSION,
+        }) {
+            Ok(Response::Hello { max_version }) => {
+                max_version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION)
+            }
+            // A typed fault (UnknownKind from a v2 peer): the peer
+            // answered, and its answer says v2. Cacheable.
+            Ok(_) => MIN_PROTOCOL_VERSION,
+            // Channel trouble — no answer at all. Fall back to v2 for
+            // this submission but do NOT cache: the peer may be v3.
+            Err(_) => return MIN_PROTOCOL_VERSION,
+        };
+        self.negotiated.store(learned, Ordering::Release);
+        learned
     }
 
     /// The wrapped service (introspection and tests).
@@ -159,9 +204,14 @@ impl InProcTransport {
         }
         let id = self.fresh_id();
         let frame = encode_request(id, &req);
-        let (decoded_id, req) = decode_request(&frame)?;
-        let resp = handle_request(&self.service, req);
-        let frame = encode_response(decoded_id, &resp);
+        // Server side, decoding as the (possibly version-capped) peer
+        // would: an undecodable frame is answered with a typed Fault —
+        // the same contract the TCP server keeps.
+        let resp = match decode_request_limited(&frame, self.peer_version) {
+            Ok((_, req)) => handle_request(&self.service, req),
+            Err(e) => Response::Fault(e),
+        };
+        let frame = encode_response(id, &resp);
         let (echoed_id, resp) = decode_response(&frame)?;
         if echoed_id != id {
             return Err(TransportError::Protocol(ProtocolError::Corrupt(
@@ -170,27 +220,34 @@ impl InProcTransport {
         }
         Ok(resp)
     }
-}
 
-impl ShardTransport for InProcTransport {
-    fn submit(&self, query: Query) -> TransportTicket {
+    /// The shared submit path. With a (sampled) context the request goes
+    /// out as a traced v3 frame and the response carries replica spans;
+    /// without one it is byte-for-byte the v2 exchange.
+    fn submit_inner(&self, query: Query, ctx: Option<TraceContext>) -> TransportTicket {
         if self.killed.load(Ordering::Acquire) {
             return TransportTicket::ready(Err(killed_error()));
         }
         let id = self.fresh_id();
-        let frame = encode_request(id, &Request::Query(query));
-        let decoded = match decode_request(&frame) {
-            Ok((_, Request::Query(q))) => q,
+        let req = match ctx {
+            Some(c) => Request::QueryTraced(query, c),
+            None => Request::Query(query),
+        };
+        let frame = encode_request(id, &req);
+        let (decoded, ctx) = match decode_request_limited(&frame, self.peer_version) {
+            Ok((_, Request::Query(q))) => (q, None),
+            Ok((_, Request::QueryTraced(q, c))) => (q, Some(c)),
             Ok(_) => return TransportTicket::ready(Err(unexpected())),
             Err(e) => return TransportTicket::ready(Err(e.into())),
         };
         // Keep the service's own asynchrony: enqueue now, block in wait().
-        let pending = self.service.submit(decoded);
+        let pending = self.service.submit_traced(decoded, ctx);
         let killed = Arc::clone(&self.killed);
         TransportTicket::new(move || {
             let result = pending.and_then(|t| t.wait()).map(|resp| RemoteResponse {
                 outcome: resp.outcome,
                 cached: resp.cached,
+                spans: resp.spans,
             });
             if killed.load(Ordering::Acquire) {
                 // The connection died before the response frame arrived.
@@ -205,6 +262,22 @@ impl ShardTransport for InProcTransport {
             }
             expect_query(resp)
         })
+    }
+}
+
+impl ShardTransport for InProcTransport {
+    fn submit(&self, query: Query) -> TransportTicket {
+        self.submit_inner(query, None)
+    }
+
+    fn submit_traced(&self, query: Query, ctx: Option<TraceContext>) -> TransportTicket {
+        // Only sampled contexts are worth a traced frame; and only peers
+        // that negotiated v3 can decode one.
+        let ctx = ctx.filter(|c| c.sampled);
+        if ctx.is_some() && self.peer_protocol_version() < 3 {
+            return self.submit_inner(query, None);
+        }
+        self.submit_inner(query, ctx)
     }
 
     fn apply_update(&self, update: &Update) -> Result<UpdateReceipt, TransportError> {
@@ -335,6 +408,48 @@ mod tests {
         switch.revive();
         assert!(t.submit(q).wait().is_ok());
         assert_eq!(t.ping().unwrap().epoch, 0, "service state survived the cut");
+    }
+
+    #[test]
+    fn traced_submission_returns_replica_spans() {
+        let (t, fx) = transport();
+        let ctx = TraceContext::root(kosr_service::TraceId(7), true);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let resp = t.submit_traced(q.clone(), Some(ctx)).wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        let root = resp
+            .spans
+            .iter()
+            .find(|s| s.name == "replica")
+            .expect("replica root span");
+        assert_eq!(root.parent, Some(ctx.parent_span));
+        assert!(resp.spans.iter().any(|s| s.name == "execute"));
+        // Unsampled contexts cost nothing: the plain v2 exchange.
+        let unsampled = TraceContext::root(kosr_service::TraceId(8), false);
+        let resp = t.submit_traced(q, Some(unsampled)).wait().unwrap();
+        assert!(resp.spans.is_empty());
+    }
+
+    #[test]
+    fn v2_peer_negotiates_down_and_still_answers() {
+        let fx = figure1();
+        let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+        let svc = Arc::new(KosrService::new(
+            ig,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        ));
+        let t = InProcTransport::with_max_version(svc, 2);
+        let ctx = TraceContext::root(kosr_service::TraceId(9), true);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        // The Hello probe faults typed, the transport falls back to the
+        // untraced frame, and the answer is still the canonical one.
+        let resp = t.submit_traced(q, Some(ctx)).wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        assert!(resp.spans.is_empty(), "a v2 peer cannot produce spans");
+        assert_eq!(t.negotiated.load(Ordering::Acquire), 2, "cached as v2");
     }
 
     #[test]

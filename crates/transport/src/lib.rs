@@ -44,7 +44,7 @@ pub use tcp::{TcpServer, TcpTransport};
 // Re-exported so transport users don't need direct sibling dependencies
 // for the common types.
 pub use kosr_core::Query;
-pub use kosr_service::{ServiceError, Update, UpdateError, UpdateReceipt};
+pub use kosr_service::{ServiceError, TraceContext, Update, UpdateError, UpdateReceipt};
 
 /// A pending remote response: redeem with [`TransportTicket::wait`].
 ///
@@ -87,6 +87,17 @@ impl std::fmt::Debug for TransportTicket {
 pub trait ShardTransport: Send + Sync {
     /// Sends a query frame; the ticket blocks for the response frame.
     fn submit(&self, query: Query) -> TransportTicket;
+
+    /// Sends a query with a trace context attached. Implementations that
+    /// speak protocol v3 send the traced frame (after negotiating the
+    /// peer's version) and return replica-side spans on the response;
+    /// the default drops the context and behaves exactly like
+    /// [`ShardTransport::submit`] — the correct degradation for v2-era
+    /// peers and transports that predate tracing.
+    fn submit_traced(&self, query: Query, ctx: Option<TraceContext>) -> TransportTicket {
+        let _ = ctx;
+        self.submit(query)
+    }
 
     /// Sends an update-publish frame and waits for the receipt.
     fn apply_update(&self, update: &Update) -> Result<UpdateReceipt, TransportError>;

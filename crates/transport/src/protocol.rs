@@ -26,6 +26,21 @@
 //! [`ProtocolError`], never a panic, and a frame with an unknown version
 //! byte is reported as [`ProtocolError::VersionMismatch`] — the wire fuzz
 //! suite hammers both properties.
+//!
+//! ## Version negotiation (v2 ↔ v3)
+//!
+//! Version 3 adds an optional **trace header** on Query frames
+//! ([`Request::QueryTraced`]) and a span list on their responses. Every
+//! frame's version byte names the *lowest* revision able to decode it:
+//! the pre-existing kinds still travel stamped `2`, so a v2 peer keeps
+//! decoding everything it ever could, and only the new traced kinds are
+//! stamped `3`. Clients discover a peer's revision with
+//! [`Request::Hello`] (itself a v2-decodable frame): a v3 peer answers
+//! [`Response::Hello`], a v2 peer answers a typed
+//! `Fault(UnknownKind)` — either way the connection survives and the
+//! client knows whether traced frames may be sent. A client that skips
+//! negotiation simply sends untraced Query frames and loses nothing but
+//! replica-side spans.
 
 use std::io::{Read, Write};
 use std::time::Duration;
@@ -34,12 +49,19 @@ use bytes::{Buf, BufMut};
 use kosr_core::{GraphUpdateError, KosrOutcome, Query, QueryError, QueryStats, Witness};
 use kosr_graph::{CategoryId, VertexId};
 use kosr_index::snapshot::SnapshotError;
-use kosr_service::{ServiceError, Update, UpdateError, UpdateReceipt};
+use kosr_service::{
+    ServiceError, Span, SpanId, TagValue, TraceContext, TraceId, Update, UpdateError, UpdateReceipt,
+};
 
 /// The wire version this build writes and understands. Version 2 added
 /// the frame id (multiplexing) and the `Compact`/`InstallSnapshot`
-/// surface.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// surface; version 3 adds the negotiated trace header on Query frames.
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// The oldest wire version this build still accepts. Frames carry the
+/// lowest version able to decode them, so a v2-era peer interoperates
+/// with a v3 fleet for everything but the traced Query kinds.
+pub const MIN_PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on one frame's payload; larger length prefixes are refused
 /// before any allocation (snapshots of big shards dominate frame size).
@@ -74,7 +96,8 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::VersionMismatch { found } => {
                 write!(
                     f,
-                    "protocol version mismatch: found {found}, speak {PROTOCOL_VERSION}"
+                    "protocol version mismatch: found {found}, speak \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
                 )
             }
             ProtocolError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
@@ -122,6 +145,10 @@ pub struct RemoteResponse {
     pub outcome: KosrOutcome,
     /// `true` when the remote served it from its result cache.
     pub cached: bool,
+    /// Replica-side spans for sampled traced queries; empty otherwise
+    /// (and always empty from v2 peers). An empty list keeps the
+    /// response on the v2 wire encoding, bit for bit.
+    pub spans: Vec<Span>,
 }
 
 /// Client → replica messages.
@@ -150,6 +177,18 @@ pub enum Request {
     /// Push an index snapshot *into* the replica (supervisor-driven
     /// refresh of a replica too far behind the update log to replay).
     InstallSnapshot(SnapshotBlob),
+    /// Answer this query and return replica-side spans for the carried
+    /// trace context — the protocol-v3 traced Query frame. Send only to
+    /// peers that answered [`Request::Hello`] with version ≥ 3.
+    QueryTraced(Query, TraceContext),
+    /// Version negotiation probe: carries the sender's highest spoken
+    /// version. Stamped v2 on the wire so *any* peer can decode the
+    /// header — a v2 peer answers `Fault(UnknownKind)`, typed, and the
+    /// connection survives.
+    Hello {
+        /// The sender's [`PROTOCOL_VERSION`].
+        max_version: u8,
+    },
 }
 
 /// Replica → client messages.
@@ -184,6 +223,11 @@ pub enum Response {
     Install(Result<Heartbeat, SnapshotError>),
     /// The replica could not decode the request frame.
     Fault(ProtocolError),
+    /// Version negotiation answer: the replica's highest spoken version.
+    Hello {
+        /// The replica's [`PROTOCOL_VERSION`].
+        max_version: u8,
+    },
 }
 
 // ---- framing ---------------------------------------------------------
@@ -587,6 +631,122 @@ fn get_snapshot_error(r: &mut Rd) -> Result<SnapshotError, ProtocolError> {
     })
 }
 
+// ---- trace codecs (v3) -----------------------------------------------
+
+fn put_trace_ctx(ctx: &TraceContext, out: &mut Vec<u8>) {
+    out.put_u64_le(ctx.trace_id.hi());
+    out.put_u64_le(ctx.trace_id.lo());
+    out.put_u64_le(ctx.parent_span.0);
+    out.put_u8(ctx.sampled as u8);
+}
+
+fn get_trace_ctx(r: &mut Rd) -> Result<TraceContext, ProtocolError> {
+    let hi = r.u64()?;
+    let lo = r.u64()?;
+    let parent_span = SpanId(r.u64()?);
+    let sampled = r.u8()? != 0;
+    Ok(TraceContext {
+        trace_id: TraceId::from_parts(hi, lo),
+        parent_span,
+        sampled,
+    })
+}
+
+fn put_str(s: &str, out: &mut Vec<u8>) {
+    out.put_u32_le(s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut Rd) -> Result<String, ProtocolError> {
+    let len = r.u32()? as usize;
+    let bytes = r.bytes(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Corrupt("non-utf8 string"))
+}
+
+fn put_tag_value(v: &TagValue, out: &mut Vec<u8>) {
+    match v {
+        TagValue::U64(x) => {
+            out.put_u8(0);
+            out.put_u64_le(*x);
+        }
+        TagValue::Str(s) => {
+            out.put_u8(1);
+            put_str(s, out);
+        }
+        TagValue::Bool(b) => {
+            out.put_u8(2);
+            out.put_u8(*b as u8);
+        }
+    }
+}
+
+fn get_tag_value(r: &mut Rd) -> Result<TagValue, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => TagValue::U64(r.u64()?),
+        1 => TagValue::Str(get_str(r)?),
+        2 => TagValue::Bool(r.u8()? != 0),
+        _ => return Err(ProtocolError::Corrupt("unknown tag-value kind")),
+    })
+}
+
+fn put_span(s: &Span, out: &mut Vec<u8>) {
+    out.put_u64_le(s.id.0);
+    match s.parent {
+        Some(p) => {
+            out.put_u8(1);
+            out.put_u64_le(p.0);
+        }
+        None => out.put_u8(0),
+    }
+    put_str(&s.name, out);
+    out.put_u64_le(s.start_us);
+    out.put_u64_le(s.duration_us);
+    out.put_u32_le(s.tags.len() as u32);
+    for (k, v) in &s.tags {
+        put_str(k, out);
+        put_tag_value(v, out);
+    }
+}
+
+fn get_span(r: &mut Rd) -> Result<Span, ProtocolError> {
+    let id = SpanId(r.u64()?);
+    let parent = match r.u8()? {
+        0 => None,
+        1 => Some(SpanId(r.u64()?)),
+        _ => return Err(ProtocolError::Corrupt("bad parent flag")),
+    };
+    let name = get_str(r)?;
+    let start_us = r.u64()?;
+    let duration_us = r.u64()?;
+    let ntags = r.count(5)?;
+    let mut tags = Vec::with_capacity(ntags);
+    for _ in 0..ntags {
+        let k = get_str(r)?;
+        let v = get_tag_value(r)?;
+        tags.push((k, v));
+    }
+    Ok(Span {
+        id,
+        parent,
+        name,
+        start_us,
+        duration_us,
+        tags,
+    })
+}
+
+fn put_spans(spans: &[Span], out: &mut Vec<u8>) {
+    out.put_u32_le(spans.len() as u32);
+    for s in spans {
+        put_span(s, out);
+    }
+}
+
+fn get_spans(r: &mut Rd) -> Result<Vec<Span>, ProtocolError> {
+    let n = r.count(33)?; // minimum encoded span: id+flag+name len+times+ntags
+    (0..n).map(|_| get_span(r)).collect()
+}
+
 // ---- payload codecs --------------------------------------------------
 
 const KIND_REQ_QUERY: u8 = 0;
@@ -608,17 +768,31 @@ const KIND_RESP_COMPACTED: u8 = 24;
 const KIND_RESP_CURSOR_TOO_OLD: u8 = 25;
 const KIND_RESP_INSTALL_OK: u8 = 26;
 const KIND_RESP_INSTALL_ERR: u8 = 27;
+// v3 kinds. The requests continue the request range, the responses the
+// response range; `Hello` frames are stamped v2 (any peer can decode the
+// header and fault typed), the traced pair is stamped v3.
+const KIND_REQ_QUERY_TRACED: u8 = 7;
+const KIND_REQ_HELLO: u8 = 8;
+const KIND_RESP_QUERY_OK_TRACED: u8 = 28;
+const KIND_RESP_HELLO: u8 = 29;
 
-fn header(kind: u8, frame_id: u64) -> Vec<u8> {
-    let mut out = vec![PROTOCOL_VERSION, kind];
+fn header(version: u8, kind: u8, frame_id: u64) -> Vec<u8> {
+    let mut out = vec![version, kind];
     out.put_u64_le(frame_id);
     out
 }
 
 fn open(payload: &[u8]) -> Result<(u8, u64, Rd<'_>), ProtocolError> {
+    open_at(payload, PROTOCOL_VERSION)
+}
+
+/// Opens a payload as a peer capped at `max_version` would: frames
+/// stamped above the cap are a typed [`ProtocolError::VersionMismatch`]
+/// even when this build could decode them.
+fn open_at(payload: &[u8], max_version: u8) -> Result<(u8, u64, Rd<'_>), ProtocolError> {
     let mut r = Rd(payload);
     let version = r.u8()?;
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=max_version).contains(&version) {
         return Err(ProtocolError::VersionMismatch { found: version });
     }
     let kind = r.u8()?;
@@ -641,28 +815,41 @@ pub fn peek_frame_id(payload: &[u8]) -> Option<u64> {
 pub fn encode_request(frame_id: u64, req: &Request) -> Vec<u8> {
     match req {
         Request::Query(q) => {
-            let mut out = header(KIND_REQ_QUERY, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_REQ_QUERY, frame_id);
             put_query(q, &mut out);
             out
         }
         Request::Update(u) => {
-            let mut out = header(KIND_REQ_UPDATE, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_REQ_UPDATE, frame_id);
             put_update(u, &mut out);
             out
         }
-        Request::Ping => header(KIND_REQ_PING, frame_id),
-        Request::MemberCounts => header(KIND_REQ_MEMBER_COUNTS, frame_id),
-        Request::Snapshot => header(KIND_REQ_SNAPSHOT, frame_id),
+        Request::Ping => header(MIN_PROTOCOL_VERSION, KIND_REQ_PING, frame_id),
+        Request::MemberCounts => header(MIN_PROTOCOL_VERSION, KIND_REQ_MEMBER_COUNTS, frame_id),
+        Request::Snapshot => header(MIN_PROTOCOL_VERSION, KIND_REQ_SNAPSHOT, frame_id),
         Request::Compact { through } => {
-            let mut out = header(KIND_REQ_COMPACT, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_REQ_COMPACT, frame_id);
             out.put_u64_le(*through);
             out
         }
         Request::InstallSnapshot(blob) => {
-            let mut out = header(KIND_REQ_INSTALL, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_REQ_INSTALL, frame_id);
             out.put_u64_le(blob.epoch);
             out.put_u64_le(blob.bytes.len() as u64);
             out.extend_from_slice(&blob.bytes);
+            out
+        }
+        Request::QueryTraced(q, ctx) => {
+            let mut out = header(PROTOCOL_VERSION, KIND_REQ_QUERY_TRACED, frame_id);
+            put_query(q, &mut out);
+            put_trace_ctx(ctx, &mut out);
+            out
+        }
+        Request::Hello { max_version } => {
+            // Stamped v2 so a v2 peer decodes the header and answers a
+            // typed Fault(UnknownKind) instead of dropping the link.
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_REQ_HELLO, frame_id);
+            out.put_u8(*max_version);
             out
         }
     }
@@ -671,7 +858,19 @@ pub fn encode_request(frame_id: u64, req: &Request) -> Vec<u8> {
 /// Decodes a frame payload into `(frame_id, request)`. Total: never
 /// panics.
 pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
-    let (kind, frame_id, mut r) = open(payload)?;
+    decode_request_limited(payload, PROTOCOL_VERSION)
+}
+
+/// [`decode_request`] as a peer capped at `max_version` would perform it:
+/// frames stamped above the cap are [`ProtocolError::VersionMismatch`],
+/// and kinds introduced after the cap are [`ProtocolError::UnknownKind`]
+/// even though this build knows them — exactly a v2 binary's answers.
+/// The testkit's mixed-fleet simulation is built on this.
+pub fn decode_request_limited(
+    payload: &[u8],
+    max_version: u8,
+) -> Result<(u64, Request), ProtocolError> {
+    let (kind, frame_id, mut r) = open_at(payload, max_version)?;
     let req = match kind {
         KIND_REQ_QUERY => Request::Query(get_query(&mut r)?),
         KIND_REQ_UPDATE => Request::Update(get_update(&mut r)?),
@@ -687,6 +886,14 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
             let bytes = r.bytes(len)?.to_vec();
             Request::InstallSnapshot(SnapshotBlob { epoch, bytes })
         }
+        KIND_REQ_QUERY_TRACED if max_version >= 3 => {
+            let q = get_query(&mut r)?;
+            let ctx = get_trace_ctx(&mut r)?;
+            Request::QueryTraced(q, ctx)
+        }
+        KIND_REQ_HELLO if max_version >= 3 => Request::Hello {
+            max_version: r.u8()?,
+        },
         other => return Err(ProtocolError::UnknownKind(other)),
     };
     r.finish()?;
@@ -697,36 +904,44 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
 /// (the id of the request it answers).
 pub fn encode_response(frame_id: u64, resp: &Response) -> Vec<u8> {
     match resp {
-        Response::Query(Ok(rr)) => {
-            let mut out = header(KIND_RESP_QUERY_OK, frame_id);
+        Response::Query(Ok(rr)) if rr.spans.is_empty() => {
+            // No spans → the v2 encoding, bit for bit.
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_QUERY_OK, frame_id);
             out.put_u8(rr.cached as u8);
             put_outcome(&rr.outcome, &mut out);
             out
         }
+        Response::Query(Ok(rr)) => {
+            let mut out = header(PROTOCOL_VERSION, KIND_RESP_QUERY_OK_TRACED, frame_id);
+            out.put_u8(rr.cached as u8);
+            put_outcome(&rr.outcome, &mut out);
+            put_spans(&rr.spans, &mut out);
+            out
+        }
         Response::Query(Err(e)) => {
-            let mut out = header(KIND_RESP_QUERY_ERR, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_QUERY_ERR, frame_id);
             put_service_error(e, &mut out);
             out
         }
         Response::Update(Ok(receipt)) => {
-            let mut out = header(KIND_RESP_UPDATE_OK, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_UPDATE_OK, frame_id);
             out.put_u8(receipt.applied as u8);
             out.put_u64_le(receipt.label_entries_added as u64);
             out.put_u64_le(receipt.invalidated as u64);
             out
         }
         Response::Update(Err(e)) => {
-            let mut out = header(KIND_RESP_UPDATE_ERR, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_UPDATE_ERR, frame_id);
             put_update_error(e, &mut out);
             out
         }
         Response::Pong(hb) => {
-            let mut out = header(KIND_RESP_PONG, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_PONG, frame_id);
             out.put_u64_le(hb.epoch);
             out
         }
         Response::MemberCounts(mc) => {
-            let mut out = header(KIND_RESP_MEMBER_COUNTS, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_MEMBER_COUNTS, frame_id);
             out.put_u64_le(mc.epoch);
             out.put_u32_le(mc.num_vertices);
             out.put_u32_le(mc.counts.len() as u32);
@@ -736,36 +951,41 @@ pub fn encode_response(frame_id: u64, resp: &Response) -> Vec<u8> {
             out
         }
         Response::Snapshot(blob) => {
-            let mut out = header(KIND_RESP_SNAPSHOT, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_SNAPSHOT, frame_id);
             out.put_u64_le(blob.epoch);
             out.put_u64_le(blob.bytes.len() as u64);
             out.extend_from_slice(&blob.bytes);
             out
         }
         Response::Compacted { head } => {
-            let mut out = header(KIND_RESP_COMPACTED, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_COMPACTED, frame_id);
             out.put_u64_le(*head);
             out
         }
         Response::CursorTooOld { cursor, head } => {
-            let mut out = header(KIND_RESP_CURSOR_TOO_OLD, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_CURSOR_TOO_OLD, frame_id);
             out.put_u64_le(*cursor);
             out.put_u64_le(*head);
             out
         }
         Response::Install(Ok(hb)) => {
-            let mut out = header(KIND_RESP_INSTALL_OK, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_INSTALL_OK, frame_id);
             out.put_u64_le(hb.epoch);
             out
         }
         Response::Install(Err(e)) => {
-            let mut out = header(KIND_RESP_INSTALL_ERR, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_INSTALL_ERR, frame_id);
             put_snapshot_error(e, &mut out);
             out
         }
         Response::Fault(e) => {
-            let mut out = header(KIND_RESP_FAULT, frame_id);
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_FAULT, frame_id);
             put_protocol_error(e, &mut out);
+            out
+        }
+        Response::Hello { max_version } => {
+            let mut out = header(MIN_PROTOCOL_VERSION, KIND_RESP_HELLO, frame_id);
+            out.put_u8(*max_version);
             out
         }
     }
@@ -774,13 +994,39 @@ pub fn encode_response(frame_id: u64, resp: &Response) -> Vec<u8> {
 /// Decodes a frame payload into `(frame_id, response)`. Total: never
 /// panics.
 pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtocolError> {
-    let (kind, frame_id, mut r) = open(payload)?;
+    decode_response_limited(payload, PROTOCOL_VERSION)
+}
+
+/// [`decode_response`] as a peer capped at `max_version` would perform
+/// it — the client-side mirror of [`decode_request_limited`].
+pub fn decode_response_limited(
+    payload: &[u8],
+    max_version: u8,
+) -> Result<(u64, Response), ProtocolError> {
+    let (kind, frame_id, mut r) = open_at(payload, max_version)?;
     let resp = match kind {
         KIND_RESP_QUERY_OK => {
             let cached = r.u8()? != 0;
             let outcome = get_outcome(&mut r)?;
-            Response::Query(Ok(RemoteResponse { outcome, cached }))
+            Response::Query(Ok(RemoteResponse {
+                outcome,
+                cached,
+                spans: Vec::new(),
+            }))
         }
+        KIND_RESP_QUERY_OK_TRACED if max_version >= 3 => {
+            let cached = r.u8()? != 0;
+            let outcome = get_outcome(&mut r)?;
+            let spans = get_spans(&mut r)?;
+            Response::Query(Ok(RemoteResponse {
+                outcome,
+                cached,
+                spans,
+            }))
+        }
+        KIND_RESP_HELLO if max_version >= 3 => Response::Hello {
+            max_version: r.u8()?,
+        },
         KIND_RESP_QUERY_ERR => Response::Query(Err(get_service_error(&mut r)?)),
         KIND_RESP_UPDATE_OK => Response::Update(Ok(UpdateReceipt {
             applied: r.u8()? != 0,
@@ -923,11 +1169,15 @@ mod tests {
         let resp = Response::Query(Ok(RemoteResponse {
             outcome: sample_outcome(),
             cached: true,
+            spans: Vec::new(),
         }));
         let payload = encode_response(5, &resp);
+        // Spanless responses stay on the v2 encoding.
+        assert_eq!(payload[0], MIN_PROTOCOL_VERSION);
         match decode_response(&payload).unwrap().1 {
             Response::Query(Ok(rr)) => {
                 assert!(rr.cached);
+                assert!(rr.spans.is_empty());
                 assert_eq!(rr.outcome.witnesses, sample_outcome().witnesses);
                 assert_eq!(rr.outcome.stats.examined_routes, 17);
                 assert_eq!(rr.outcome.stats.examined_per_level, vec![3, 8, 6]);
@@ -935,6 +1185,129 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
+    }
+
+    fn sample_ctx() -> TraceContext {
+        TraceContext {
+            trace_id: TraceId::from_parts(0xDEAD_BEEF, 0xCAFE_F00D),
+            parent_span: SpanId(42),
+            sampled: true,
+        }
+    }
+
+    fn sample_spans() -> Vec<Span> {
+        vec![
+            Span {
+                id: SpanId(7),
+                parent: None,
+                name: "replica".into(),
+                start_us: 0,
+                duration_us: 120,
+                tags: vec![("method".into(), TagValue::Str("Kpne".into()))],
+            },
+            Span {
+                id: SpanId(8),
+                parent: Some(SpanId(7)),
+                name: "execute".into(),
+                start_us: 10,
+                duration_us: 100,
+                tags: vec![
+                    ("pne_expansions".into(), TagValue::U64(17)),
+                    ("hit".into(), TagValue::Bool(false)),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn traced_request_and_response_roundtrip() {
+        let req = Request::QueryTraced(
+            Query::new(v(1), v(2), vec![CategoryId(0), CategoryId(2)], 3),
+            sample_ctx(),
+        );
+        let payload = encode_request(11, &req);
+        assert_eq!(payload[0], PROTOCOL_VERSION, "traced frames are stamped 3");
+        assert_eq!(decode_request(&payload).unwrap(), (11, req));
+
+        let resp = Response::Query(Ok(RemoteResponse {
+            outcome: sample_outcome(),
+            cached: false,
+            spans: sample_spans(),
+        }));
+        let payload = encode_response(11, &resp);
+        assert_eq!(payload[0], PROTOCOL_VERSION);
+        match decode_response(&payload).unwrap().1 {
+            Response::Query(Ok(rr)) => {
+                assert!(!rr.cached);
+                assert_eq!(rr.spans, sample_spans());
+                assert_eq!(rr.outcome.witnesses, sample_outcome().witnesses);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_negotiation_roundtrips_and_reaches_v2_peers() {
+        let payload = encode_request(9, &Request::Hello { max_version: 3 });
+        // The probe itself must be decodable by a v2 peer's header check…
+        assert_eq!(payload[0], MIN_PROTOCOL_VERSION);
+        assert_eq!(
+            decode_request(&payload).unwrap(),
+            (9, Request::Hello { max_version: 3 })
+        );
+        // …and a v2 peer answers it typed: UnknownKind, id preserved.
+        assert_eq!(
+            decode_request_limited(&payload, 2),
+            Err(ProtocolError::UnknownKind(KIND_REQ_HELLO))
+        );
+        assert_eq!(peek_frame_id(&payload), Some(9));
+
+        let payload = encode_response(9, &Response::Hello { max_version: 3 });
+        assert!(matches!(
+            decode_response(&payload),
+            Ok((9, Response::Hello { max_version: 3 }))
+        ));
+    }
+
+    #[test]
+    fn v2_peer_rejects_traced_frames_typed() {
+        let req = Request::QueryTraced(Query::new(v(0), v(1), vec![], 1), sample_ctx());
+        let payload = encode_request(4, &req);
+        // A genuine v2 binary rejects on the version byte — it has never
+        // seen a 3 — and the connection survives as a typed Fault.
+        assert_eq!(
+            decode_request_limited(&payload, 2),
+            Err(ProtocolError::VersionMismatch { found: 3 })
+        );
+        // Legacy kinds still travel stamped 2 and decode under the cap.
+        let legacy = encode_request(5, &Request::Query(Query::new(v(0), v(1), vec![], 1)));
+        assert_eq!(legacy[0], MIN_PROTOCOL_VERSION);
+        assert!(decode_request_limited(&legacy, 2).is_ok());
+    }
+
+    #[test]
+    fn traced_frames_reject_truncation_and_trailing() {
+        let req =
+            Request::QueryTraced(Query::new(v(1), v(2), vec![CategoryId(0)], 2), sample_ctx());
+        let payload = encode_request(1, &req);
+        for cut in 2..payload.len() {
+            assert_eq!(
+                decode_request(&payload[..cut]),
+                Err(ProtocolError::Truncated),
+                "cut={cut}"
+            );
+        }
+        let resp = Response::Query(Ok(RemoteResponse {
+            outcome: sample_outcome(),
+            cached: false,
+            spans: sample_spans(),
+        }));
+        let mut payload = encode_response(1, &resp);
+        payload.push(0);
+        assert!(matches!(
+            decode_response(&payload),
+            Err(ProtocolError::TrailingBytes(1))
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use kosr_core::Query;
+use kosr_service::TraceContext;
 
 use crate::protocol::Heartbeat;
 use crate::{ShardTransport, TransportError, TransportTicket};
@@ -186,12 +187,24 @@ impl ReplicaSet {
     /// transparently fails over to the next healthy replica when the wait
     /// faults, so a replica dying mid-query costs latency, not the answer.
     pub fn query(self: &Arc<Self>, query: Query) -> TransportTicket {
+        self.query_traced(query, None)
+    }
+
+    /// [`ReplicaSet::query`] with a trace context: each attempt (including
+    /// failover retries) re-sends the same context, so the spans of the
+    /// replica that *answered* are the ones that come back — a failed
+    /// attempt contributes nothing but a failover count.
+    pub fn query_traced(
+        self: &Arc<Self>,
+        query: Query,
+        ctx: Option<TraceContext>,
+    ) -> TransportTicket {
         let Some(&first) = self.healthy_indices().first() else {
             return TransportTicket::ready(Err(TransportError::AllReplicasDown {
                 replicas: self.num_replicas(),
             }));
         };
-        let ticket = self.transport(first).submit(query.clone());
+        let ticket = self.transport(first).submit_traced(query.clone(), ctx);
         let set = Arc::clone(self);
         TransportTicket::new(move || {
             let mut current = first;
@@ -210,7 +223,7 @@ impl ReplicaSet {
                             Some(i) => {
                                 tried.push(i);
                                 current = i;
-                                ticket = set.transport(i).submit(query.clone());
+                                ticket = set.transport(i).submit_traced(query.clone(), ctx);
                             }
                             None => {
                                 return Err(TransportError::AllReplicasDown {

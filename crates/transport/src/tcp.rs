@@ -22,8 +22,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use std::sync::atomic::AtomicU8;
+
 use kosr_core::Query;
-use kosr_service::{KosrService, Update, UpdateReceipt};
+use kosr_service::{KosrService, TraceContext, Update, UpdateReceipt};
 
 use crate::host::handle_request;
 use crate::inproc::{
@@ -33,7 +35,8 @@ use crate::inproc::{
 use crate::mux::DemuxTable;
 use crate::protocol::{
     decode_request, decode_response, encode_request, encode_response, peek_frame_id, read_frame,
-    write_frame, Heartbeat, MemberCounts, Request, Response, SnapshotBlob,
+    write_frame, Heartbeat, MemberCounts, Request, Response, SnapshotBlob, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::{ShardTransport, TransportError, TransportTicket};
 
@@ -325,6 +328,10 @@ pub struct TcpTransport {
     addr: SocketAddr,
     deadline: Duration,
     conn: Mutex<Option<Arc<MuxConn>>>,
+    /// Peer version learned by [`Request::Hello`]; 0 until negotiated.
+    /// Cached per transport — replicas in one fleet run one build, and a
+    /// wrong cache is only a lost trace, never a wrong answer.
+    negotiated: AtomicU8,
 }
 
 fn conn_err(e: std::io::Error) -> TransportError {
@@ -346,7 +353,30 @@ impl TcpTransport {
             addr,
             deadline,
             conn: Mutex::new(None),
+            negotiated: AtomicU8::new(0),
         }
+    }
+
+    /// Learns (and caches) the peer's protocol version through a Hello
+    /// roundtrip. A v3 server answers [`Response::Hello`]; a v2 server
+    /// answers a typed `Fault(UnknownKind)` — both definitive. Channel
+    /// trouble returns the v2 floor without caching.
+    fn peer_protocol_version(&self) -> u8 {
+        let cached = self.negotiated.load(Ordering::Acquire);
+        if cached != 0 {
+            return cached;
+        }
+        let learned = match self.roundtrip(&Request::Hello {
+            max_version: PROTOCOL_VERSION,
+        }) {
+            Ok(Response::Hello { max_version }) => {
+                max_version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION)
+            }
+            Ok(_) => MIN_PROTOCOL_VERSION,
+            Err(_) => return MIN_PROTOCOL_VERSION,
+        };
+        self.negotiated.store(learned, Ordering::Release);
+        learned
     }
 
     /// The live connection, dialing (or re-dialing after a death) on
@@ -376,6 +406,21 @@ impl ShardTransport for TcpTransport {
         match self.mux() {
             Ok(conn) => {
                 let completion = conn.send(&Request::Query(query));
+                TransportTicket::new(move || completion.wait(deadline).and_then(expect_query))
+            }
+            Err(e) => TransportTicket::ready(Err(e)),
+        }
+    }
+
+    fn submit_traced(&self, query: Query, ctx: Option<TraceContext>) -> TransportTicket {
+        let req = match ctx.filter(|c| c.sampled) {
+            Some(c) if self.peer_protocol_version() >= 3 => Request::QueryTraced(query, c),
+            _ => Request::Query(query),
+        };
+        let deadline = self.deadline;
+        match self.mux() {
+            Ok(conn) => {
+                let completion = conn.send(&req);
                 TransportTicket::new(move || completion.wait(deadline).and_then(expect_query))
             }
             Err(e) => TransportTicket::ready(Err(e)),
@@ -502,6 +547,25 @@ mod tests {
         let err = client.compact(3).unwrap_err();
         assert_eq!(err, TransportError::CursorTooOld { cursor: 3, head: 9 });
         assert!(!err.is_fault());
+    }
+
+    #[test]
+    fn traced_queries_negotiate_and_return_spans_over_the_wire() {
+        let (_server, client, fx) = serve();
+        let ctx = kosr_service::TraceContext::root(kosr_service::TraceId(5), true);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let resp = client.submit_traced(q, Some(ctx)).wait().unwrap();
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        assert!(
+            resp.spans.iter().any(|s| s.name == "replica"),
+            "replica spans crossed the socket: {:?}",
+            resp.spans
+        );
+        assert_eq!(
+            client.negotiated.load(Ordering::Acquire),
+            PROTOCOL_VERSION,
+            "hello negotiation cached the peer version"
+        );
     }
 
     #[test]

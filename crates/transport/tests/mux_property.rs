@@ -106,6 +106,7 @@ fn wedged_request_faults_alone_and_late_frames_are_discarded() {
         let answer = Response::Query(Ok(RemoteResponse {
             outcome: empty,
             cached: false,
+            spans: Vec::new(),
         }));
         // Read the two query frames; answer only the second.
         let first = read_frame(&mut stream).unwrap().unwrap();

@@ -6,7 +6,11 @@
 //! checked bit-for-bit against an unsharded oracle; then a replica is
 //! killed mid-run to show `/healthz` flip to 503, the shard failover
 //! counter advance on `/metrics`, and the supervisor heal the fleet with
-//! no manual call anywhere in this file.
+//! no manual call anywhere in this file. The finale is tracing end to
+//! end: a route answer's `X-Kosr-Trace-Id` fetches its full
+//! gateway→shard→replica span tree (planner method and PNE expansion
+//! counters included), and the slow-query log proves the worst of the
+//! stream was captured and is retrievable.
 //!
 //! ```text
 //! cargo run --release --example gateway
@@ -292,4 +296,88 @@ fn main() {
     }) {
         println!("  {line}");
     }
+
+    // Act 5 — tracing end to end. Every route answer names its trace; the
+    // id fetches the full span tree across tiers, pruning counters and
+    // all; and the slow-query log retained the worst of the whole stream.
+    // A `k` one past anything the stream asked before: prefix-truncation
+    // reuse can't serve it, so the replica demonstrably *executes* and
+    // the trace carries the paper's pruning counters.
+    let mut traced_spec = specs[1].clone();
+    traced_spec.k += 1;
+    let resp = client::call(
+        addr,
+        "POST",
+        "/v1/route",
+        Some(&route_body(&traced_spec, None)),
+    )
+    .expect("edge reachable");
+    assert_eq!(resp.status, 200);
+    let trace_id = resp
+        .header("x-kosr-trace-id")
+        .expect("sampled responses carry their trace id")
+        .to_string();
+    let fetched = client::call(addr, "GET", &format!("/v1/traces/{trace_id}"), None).unwrap();
+    assert_eq!(fetched.status, 200, "{}", fetched.text());
+    let tree = fetched.json().expect("span tree json");
+    let root = tree.get("root").expect("assembled root span");
+    assert_eq!(root.get("name").unwrap().as_str(), Some("gateway"));
+    let replica = descendant(root, "replica")
+        .expect("the span tree reaches the replica tier (gateway → shard → replica)");
+    let admission = descendant(replica, "admission").expect("admission span");
+    let method = admission
+        .get("tags")
+        .and_then(|t| t.get("method"))
+        .and_then(|m| m.as_str())
+        .expect("planner method tagged on the trace")
+        .to_string();
+    let expansions = descendant(replica, "execute")
+        .and_then(|e| e.get("tags")?.get("pne_expansions")?.as_u64())
+        .expect("an uncached traced query profiles its PNE expansions");
+
+    // The slow-query log: summaries list the worst traces, and the
+    // slowest one is itself retrievable by id — the e2e slow-path story.
+    let recent = client::call(addr, "GET", "/v1/traces/recent", None).unwrap();
+    assert_eq!(recent.status, 200);
+    let page = recent.json().unwrap();
+    let slow = page.get("slow").unwrap().as_array().unwrap();
+    assert!(
+        !slow.is_empty(),
+        "400 traced calls must populate the slow log"
+    );
+    let slowest_id = slow[0].get("trace_id").unwrap().as_str().unwrap();
+    let slowest_wall = slow[0].get("wall_us").unwrap().as_u64().unwrap();
+    let slowest = client::call(addr, "GET", &format!("/v1/traces/{slowest_id}"), None).unwrap();
+    assert_eq!(slowest.status, 200, "slow-query traces are retrievable");
+    assert_eq!(
+        slowest.json().unwrap().get("wall_us").unwrap().as_u64(),
+        Some(slowest_wall)
+    );
+    let final_metrics = client::call(addr, "GET", "/metrics", None).unwrap().text();
+    println!(
+        "\nact 5: trace {trace_id} spans gateway → shard → replica (method {method}, \
+         pne_expansions {expansions}); slow log holds {} traces, worst {slowest_wall}µs \
+         (trace {slowest_id}, fetched by id)",
+        slow.len(),
+    );
+    for line in final_metrics
+        .lines()
+        .filter(|l| !l.starts_with('#') && l.starts_with("kosr_trace"))
+    {
+        println!("  {line}");
+    }
+}
+
+/// Depth-first search for a span named `name` in a `/v1/traces/{id}` tree.
+fn descendant<'a>(
+    node: &'a kosr::gateway::json::Json,
+    name: &str,
+) -> Option<&'a kosr::gateway::json::Json> {
+    if node.get("name")?.as_str() == Some(name) {
+        return Some(node);
+    }
+    node.get("children")?
+        .as_array()?
+        .iter()
+        .find_map(|c| descendant(c, name))
 }
