@@ -1,0 +1,88 @@
+//! What the fleet event journal costs on the serving path. The query hot
+//! path never touches the journal — instrumentation only fires on
+//! lifecycle edges — so an instrumented replica set must answer the same
+//! batch within a whisker (acceptance: 2%) of a bare one. Measured as a
+//! true A/B: two [`ReplicaSet`]s over the **same** service, one with
+//! `attach_events`, one without, plus the raw `emit` and `events_since`
+//! microbenches that bound the cost of the edges themselves.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kosr_core::{IndexedGraph, Query};
+use kosr_service::{EventJournal, EventKind, KosrService, ServiceConfig, Source, TagValue};
+use kosr_transport::{InProcTransport, ReplicaSet, ShardTransport};
+use kosr_workloads::{assign_uniform, gen_mixed_traffic, road_grid_directed, TrafficMix};
+
+fn world() -> (Arc<KosrService>, Vec<Query>) {
+    let mut g = road_grid_directed(12, 12, 11);
+    assign_uniform(&mut g, 5, 16, 3);
+    let ig = IndexedGraph::build_default(g.clone());
+    let service = Arc::new(KosrService::new(
+        Arc::new(ig),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            cache_capacity: 0, // cold path: measure execution, not memoization
+            ..Default::default()
+        },
+    ));
+    let queries = gen_mixed_traffic(&g, 40, &TrafficMix::default(), 7)
+        .iter()
+        .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
+        .collect();
+    (service, queries)
+}
+
+fn replica_set(service: &Arc<KosrService>) -> Arc<ReplicaSet> {
+    let transport: Arc<dyn ShardTransport> = Arc::new(InProcTransport::new(Arc::clone(service)));
+    Arc::new(ReplicaSet::new(vec![transport]))
+}
+
+fn run_batch(set: &Arc<ReplicaSet>, queries: &[Query]) {
+    for q in queries {
+        let resp = set.query(q.clone()).wait().expect("answers");
+        criterion::black_box(resp);
+    }
+}
+
+fn events_overhead(c: &mut Criterion) {
+    let (service, queries) = world();
+    let mut group = c.benchmark_group("events_overhead");
+    group.sample_size(10);
+
+    // The bare baseline: no journal attached anywhere.
+    let bare = replica_set(&service);
+    group.bench_function("queries_bare", |b| b.iter(|| run_batch(&bare, &queries)));
+
+    // The instrumented set: journal attached, cursors armed — the exact
+    // configuration the router assembles. Same service, same batch.
+    let instrumented = replica_set(&service);
+    instrumented.attach_events(Arc::new(EventJournal::new(512)), 0);
+    group.bench_function("queries_instrumented", |b| {
+        b.iter(|| run_batch(&instrumented, &queries))
+    });
+
+    // The lifecycle edges themselves: one emit (seq issue + ring push +
+    // counter), and the /v1/events read path over a full journal.
+    let journal = EventJournal::new(512);
+    group.bench_function("journal_emit", |b| {
+        b.iter(|| {
+            criterion::black_box(journal.emit(
+                Source::Supervisor,
+                EventKind::LogCompacted,
+                None,
+                vec![("dropped".to_string(), TagValue::U64(8))],
+            ))
+        })
+    });
+    group.bench_function("events_since", |b| {
+        b.iter(|| criterion::black_box(journal.events_since(0, None, None)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, events_overhead);
+criterion_main!(benches);

@@ -13,8 +13,8 @@ use std::time::{Duration, Instant};
 use kosr_core::Query;
 use kosr_graph::{CategoryId, VertexId};
 use kosr_service::{
-    sample_decision, span_id_for, MetricsRegistry, ServiceError, Span, TagValue, Trace,
-    TraceContext, TraceId, TraceStore,
+    sample_decision, span_id_for, Alert, Event, EventKind, MetricsRegistry, ServiceError, Severity,
+    Source, Span, TagValue, Trace, TraceContext, TraceId, TraceStore,
 };
 use kosr_shard::{
     LiveUpdateBus, ShardError, ShardRouter, ShardedResponse, SupervisorHandle, Update,
@@ -266,7 +266,11 @@ fn finish_route(
         sampled: ctx.sampled,
         spans,
     };
-    let retained = if ctx.sampled {
+    let retained = if ctx.sampled || reply.status() >= 500 {
+        // Server-error responses are always correlatable: even an
+        // unsampled request's trace is retained on a 5xx, so the
+        // advertised id resolves via `GET /v1/traces/{id}` while the
+        // incident is being investigated.
         edge.traces.record(trace);
         true
     } else {
@@ -574,6 +578,129 @@ fn handle_trace_get(edge: &EdgeState, id: &str) -> Reply {
     }
 }
 
+fn event_json(e: &Event) -> Json {
+    let mut obj = vec![
+        ("seq".into(), Json::from(e.seq)),
+        ("wall_ms".into(), Json::from(e.wall_ms)),
+        ("severity".into(), Json::from(e.severity.name())),
+        ("source".into(), Json::from(e.source.label())),
+    ];
+    match e.source {
+        Source::Shard(j) => obj.push(("shard".into(), Json::from(j as u64))),
+        Source::Replica { shard, replica } => {
+            obj.push(("shard".into(), Json::from(shard as u64)));
+            obj.push(("replica".into(), Json::from(replica as u64)));
+        }
+        Source::Service | Source::Supervisor | Source::Gateway => {}
+    }
+    obj.push(("kind".into(), Json::from(e.kind.name())));
+    obj.push((
+        "trace_id".into(),
+        e.trace_id.map_or(Json::Null, |id| Json::Str(id.to_hex())),
+    ));
+    obj.push((
+        "tags".into(),
+        Json::Obj(
+            e.tags
+                .iter()
+                .map(|(k, v)| (k.clone(), tag_json(v)))
+                .collect(),
+        ),
+    ));
+    Json::Obj(obj)
+}
+
+/// `GET /v1/events?severity=&source=&since_seq=`: the retained slice of
+/// the fleet event journal, ascending by sequence number. `next_seq` in
+/// the response is the cursor to poll from for only-new events.
+fn handle_events(edge: &EdgeState, req: &HttpRequest) -> Reply {
+    let query = req.target.split_once('?').map_or("", |(_, q)| q);
+    let mut severity: Option<Severity> = None;
+    let mut source: Option<String> = None;
+    let mut since_seq: u64 = 0;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "severity" => match Severity::parse(value) {
+                Some(s) => severity = Some(s),
+                None => {
+                    return Reply::error(ApiError::new(
+                        400,
+                        "invalid_request",
+                        format!("severity must be info|warn|critical, got {value:?}"),
+                    ))
+                }
+            },
+            "source" => {
+                if !["service", "shard", "replica", "supervisor", "gateway"].contains(&value) {
+                    return Reply::error(ApiError::new(
+                        400,
+                        "invalid_request",
+                        format!("unknown source tier {value:?}"),
+                    ));
+                }
+                source = Some(value.to_string());
+            }
+            "since_seq" => match value.parse::<u64>() {
+                Ok(n) => since_seq = n,
+                Err(_) => {
+                    return Reply::error(ApiError::new(
+                        400,
+                        "invalid_request",
+                        "since_seq must be an unsigned integer",
+                    ))
+                }
+            },
+            other => {
+                return Reply::error(ApiError::new(
+                    400,
+                    "invalid_request",
+                    format!("unknown query parameter {other:?}"),
+                ))
+            }
+        }
+    }
+    let journal = edge.router.events();
+    let events: Vec<Json> = journal
+        .events_since(since_seq, severity, source.as_deref())
+        .iter()
+        .map(event_json)
+        .collect();
+    Reply::json(
+        200,
+        &Json::Obj(vec![
+            ("next_seq".into(), Json::from(journal.next_seq())),
+            ("events".into(), Json::Arr(events)),
+        ]),
+    )
+}
+
+fn alert_json(a: &Alert) -> Json {
+    Json::Obj(vec![
+        ("slo".into(), Json::Str(a.slo.clone())),
+        ("state".into(), Json::from(a.state.name())),
+        ("seq".into(), Json::from(a.seq)),
+        ("wall_ms".into(), Json::from(a.wall_ms)),
+        ("burn_rate".into(), Json::Num(a.burn_rate)),
+    ])
+}
+
+/// `GET /v1/alerts`: currently firing alerts plus the bounded
+/// recently-resolved history, each anchored to its journal transition
+/// sequence (correlate via `GET /v1/events?since_seq=`).
+fn handle_alerts(edge: &EdgeState) -> Reply {
+    let slo = edge.router.slo();
+    let firing: Vec<Json> = slo.firing().iter().map(alert_json).collect();
+    let resolved: Vec<Json> = slo.recently_resolved().iter().map(alert_json).collect();
+    Reply::json(
+        200,
+        &Json::Obj(vec![
+            ("firing".into(), Json::Arr(firing)),
+            ("recently_resolved".into(), Json::Arr(resolved)),
+        ]),
+    )
+}
+
 /// `POST /v1/update`: `{"op": "insert_membership" | "remove_membership" |
 /// "insert_edge", ...}` published through the live update bus.
 fn handle_update(edge: &EdgeState, body: &[u8]) -> Reply {
@@ -701,6 +828,8 @@ fn handle_metrics(edge: &EdgeState) -> Reply {
     registry.collect(edge.stats.as_ref());
     registry.collect(edge.traces.as_ref());
     registry.collect(edge.router.as_ref());
+    registry.collect(edge.router.events().as_ref());
+    registry.collect(edge.router.slo().as_ref());
     if let Some(sup) = &edge.supervisor {
         registry.collect(sup.as_ref());
     }
@@ -718,9 +847,13 @@ fn dispatch(edge: &EdgeState, req: &HttpRequest, received: Instant) -> (Endpoint
             Endpoint::Traces,
             handle_trace_get(edge, path.trim_start_matches("/v1/traces/")),
         ),
+        ("GET", "/v1/events") => (Endpoint::Events, handle_events(edge, req)),
+        ("GET", "/v1/alerts") => (Endpoint::Alerts, handle_alerts(edge)),
         (_, path)
-            if matches!(path, "/v1/route" | "/v1/update" | "/healthz" | "/metrics")
-                || path.starts_with("/v1/traces/") =>
+            if matches!(
+                path,
+                "/v1/route" | "/v1/update" | "/healthz" | "/metrics" | "/v1/events" | "/v1/alerts"
+            ) || path.starts_with("/v1/traces/") =>
         {
             (
                 Endpoint::Other,
@@ -864,6 +997,33 @@ impl Gateway {
                                 // stall accepts for admitted traffic.
                                 edge.stats.connection_rejected();
                                 let max = edge.config.max_connections;
+                                // The rejection is journaled with a minted
+                                // trace id, and a stub trace retained, so
+                                // the 503's X-Kosr-Trace-Id resolves via
+                                // /v1/traces/{id} like any other error.
+                                let trace_id = TraceId::mint();
+                                let ctx = TraceContext::root(trace_id, false);
+                                let seq = edge.router.events().emit(
+                                    Source::Gateway,
+                                    EventKind::AdmissionRejected,
+                                    Some(trace_id),
+                                    vec![
+                                        (
+                                            "reason".to_string(),
+                                            TagValue::Str("connection_limit".to_string()),
+                                        ),
+                                        ("max_connections".to_string(), TagValue::U64(max as u64)),
+                                    ],
+                                );
+                                edge.traces.record(Trace {
+                                    trace_id,
+                                    wall_us: 0,
+                                    sampled: false,
+                                    spans: vec![Span::new(ctx.parent_span, None, "gateway", 0, 0)
+                                        .tag("status", TagValue::U64(503))
+                                        .tag("rejected", TagValue::Bool(true))
+                                        .tag("event_seq", TagValue::U64(seq))],
+                                });
                                 handlers.push(thread::spawn(move || {
                                     let mut stream = stream;
                                     let _ =
@@ -875,10 +1035,12 @@ impl Gateway {
                                     )
                                     .body()
                                     .to_string();
-                                    let _ = write_response(
+                                    let headers = [("X-Kosr-Trace-Id", trace_id.to_hex())];
+                                    let _ = write_response_with_headers(
                                         &mut stream,
                                         503,
                                         JSON_TYPE,
+                                        &headers,
                                         body.as_bytes(),
                                         false,
                                     );
@@ -1577,5 +1739,207 @@ mod tests {
     /// shared client assumes Connection: close).
     fn read_keep_alive_response(stream: &mut TcpStream) -> client::HttpResponse {
         client::read_response(stream).unwrap()
+    }
+
+    #[test]
+    fn events_endpoint_serves_the_journal_with_filters() {
+        let (router, switches, fx) = fleet(2, 2);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+
+        // A published update journals UpdatePublished at the fleet tier.
+        let update = format!(
+            r#"{{"op": "insert_edge", "from": {}, "to": {}, "weight": 9}}"#,
+            fx.s.0, fx.t.0
+        );
+        assert_eq!(
+            client::call(addr, "POST", "/v1/update", Some(&update))
+                .unwrap()
+                .status,
+            200
+        );
+        // A killed replica observed by a live query journals a Critical
+        // failover.
+        switches[0].kill();
+        let routed = client::call(addr, "POST", "/v1/route", Some(&route_body(&fx, 3))).unwrap();
+        assert_eq!(routed.status, 200, "failover hides the kill");
+
+        let resp = client::call(addr, "GET", "/v1/events", None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        let next_seq = v.get("next_seq").unwrap().as_u64().unwrap();
+        assert!(next_seq >= 2, "at least publish + failover journaled");
+        let events = v.get("events").unwrap().as_array().unwrap();
+        let kinds: Vec<String> = events
+            .iter()
+            .map(|e| e.get("kind").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(kinds.contains(&"update_published".to_string()), "{kinds:?}");
+        assert!(kinds.contains(&"failover".to_string()), "{kinds:?}");
+        // Ascending, gap-free-observable seqs.
+        let seqs: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("seq").unwrap().as_u64().unwrap())
+            .collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+
+        // severity filter narrows to the Critical ring.
+        let resp = client::call(addr, "GET", "/v1/events?severity=critical", None).unwrap();
+        assert_eq!(resp.status, 200);
+        let v = resp.json().unwrap();
+        for e in v.get("events").unwrap().as_array().unwrap() {
+            assert_eq!(e.get("severity").unwrap().as_str(), Some("critical"));
+        }
+        // since_seq returns only the tail; polling from next_seq is empty.
+        let resp = client::call(
+            addr,
+            "GET",
+            &format!("/v1/events?since_seq={next_seq}"),
+            None,
+        )
+        .unwrap();
+        let v = resp.json().unwrap();
+        assert!(v.get("events").unwrap().as_array().unwrap().is_empty());
+
+        // Typed 400s for malformed filters; 405 for wrong method.
+        for bad in [
+            "/v1/events?severity=loud",
+            "/v1/events?since_seq=soon",
+            "/v1/events?source=mars",
+            "/v1/events?color=red",
+        ] {
+            let resp = client::call(addr, "GET", bad, None).unwrap();
+            assert_eq!(resp.status, 400, "{bad}");
+            assert!(resp.text().contains("invalid_request"), "{bad}");
+        }
+        assert_eq!(
+            client::call(addr, "POST", "/v1/events", Some("{}"))
+                .unwrap()
+                .status,
+            405
+        );
+        assert!(gw.stats().requests_on(Endpoint::Events) >= 3);
+    }
+
+    #[test]
+    fn alerts_endpoint_and_event_metrics_are_exposed() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+        let resp = client::call(addr, "GET", "/v1/alerts", None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        assert!(v.get("firing").unwrap().as_array().unwrap().is_empty());
+        assert!(v
+            .get("recently_resolved")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+
+        // Journal some activity, then check the /metrics families.
+        let update = format!(
+            r#"{{"op": "insert_edge", "from": {}, "to": {}, "weight": 9}}"#,
+            fx.s.0, fx.t.0
+        );
+        client::call(addr, "POST", "/v1/update", Some(&update)).unwrap();
+        let text = client::call(addr, "GET", "/metrics", None).unwrap().text();
+        validate_prometheus_text(&text).expect(&text);
+        for needle in [
+            "kosr_events_emitted_total",
+            "kosr_events_total{severity=\"info\",kind=\"update_published\"}",
+            "kosr_alert_active{slo=\"availability\"} 0",
+            "kosr_alert_active{slo=\"latency_p99\"} 0",
+            "kosr_alert_transitions_total{slo=\"availability\",state=\"firing\"} 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert!(gw.stats().requests_on(Endpoint::Alerts) >= 1);
+    }
+
+    #[test]
+    fn server_errors_always_carry_a_resolvable_trace_id() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = Gateway::spawn(
+            Arc::clone(&router),
+            None,
+            GatewayConfig {
+                // Sampling off *and* an instantly expired deadline: the
+                // 503 must still advertise a retrievable trace.
+                trace_sample_ratio: 0.0,
+                default_deadline: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let resp = client::call(gw.addr(), "POST", "/v1/route", Some(&route_body(&fx, 1))).unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(resp.text().contains("deadline_exceeded"));
+        let id = resp
+            .header("x-kosr-trace-id")
+            .expect("5xx responses are always trace-correlatable")
+            .to_string();
+        let fetched = client::call(gw.addr(), "GET", &format!("/v1/traces/{id}"), None).unwrap();
+        assert_eq!(fetched.status, 200, "{}", fetched.text());
+    }
+
+    #[test]
+    fn rejected_connections_journal_an_admission_event_with_trace() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let mut gw = Gateway::spawn(
+            Arc::clone(&router),
+            None,
+            GatewayConfig {
+                max_connections: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut holder = TcpStream::connect(gw.addr()).unwrap();
+        holder
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let body = route_body(&fx, 1);
+        write!(
+            holder,
+            "POST /v1/route HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .unwrap();
+        assert_eq!(client::read_response(&mut holder).unwrap().status, 200);
+
+        let mut stream = TcpStream::connect(gw.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let overflow = client::read_response(&mut stream).unwrap();
+        assert_eq!(overflow.status, 503);
+        let id = overflow
+            .header("x-kosr-trace-id")
+            .expect("rejections advertise a trace id")
+            .to_string();
+
+        // The event landed in the fleet journal, Warn-tier, gateway-side,
+        // carrying the same trace id the client saw…
+        let events = router.events().events_since(0, None, Some("gateway"));
+        let ev = events
+            .iter()
+            .find(|e| e.kind == kosr_service::EventKind::AdmissionRejected)
+            .expect("admission rejection journaled");
+        assert_eq!(
+            ev.trace_id.map(|t| t.to_hex()),
+            Some(id.clone()),
+            "event ↔ response trace correlation"
+        );
+        // …and the stub trace resolves while the holder still owns the
+        // only slot (the trace/events endpoints need a free slot, so
+        // check the store directly).
+        assert!(gw
+            .traces()
+            .get(kosr_service::TraceId::parse_hex(&id).unwrap())
+            .is_some());
+        drop(holder);
+        gw.shutdown();
     }
 }

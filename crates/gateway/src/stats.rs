@@ -22,17 +22,23 @@ pub enum Endpoint {
     Metrics,
     /// `GET /v1/traces/recent` and `GET /v1/traces/{id}`.
     Traces,
+    /// `GET /v1/events`.
+    Events,
+    /// `GET /v1/alerts`.
+    Alerts,
     /// Anything else (404/405/parse failures).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Route,
         Endpoint::Update,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Traces,
+        Endpoint::Events,
+        Endpoint::Alerts,
         Endpoint::Other,
     ];
 
@@ -43,7 +49,9 @@ impl Endpoint {
             Endpoint::Healthz => 2,
             Endpoint::Metrics => 3,
             Endpoint::Traces => 4,
-            Endpoint::Other => 5,
+            Endpoint::Events => 5,
+            Endpoint::Alerts => 6,
+            Endpoint::Other => 7,
         }
     }
 
@@ -54,6 +62,8 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Traces => "traces",
+            Endpoint::Events => "events",
+            Endpoint::Alerts => "alerts",
             Endpoint::Other => "other",
         }
     }
@@ -67,7 +77,7 @@ pub struct GatewayStats {
     connections_accepted: AtomicU64,
     /// Connections refused at the admission gate (pool full → 503).
     connections_rejected: AtomicU64,
-    requests: [AtomicU64; 6],
+    requests: [AtomicU64; 8],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,

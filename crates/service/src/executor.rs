@@ -33,6 +33,7 @@ use kosr_graph::{CategoryId, VertexId, Weight};
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::error::{ServiceError, UpdateError};
+use crate::events::{EventJournal, EventKind, Source};
 use crate::planner::{QueryPlan, QueryPlanner};
 use crate::stats::{method_slot, LatencyHistogram, MethodStats, ServiceStats};
 use crate::trace::{span_id_for, Span, SpanRing, TagValue, TraceContext};
@@ -289,6 +290,10 @@ struct Shared {
     /// that would move it backwards (a stale controller's view).
     log_head: AtomicU64,
     latency: LatencyHistogram,
+    /// The replica-local lifecycle journal: epoch swaps and calibration
+    /// adjustments land here (never the query hot path), and transport
+    /// hosts forward it fleet-ward piggybacked on heartbeat responses.
+    events: Arc<EventJournal>,
     /// The replica tier's recent-span ring: every span produced for a
     /// sampled trace also lands here for local diagnostics.
     spans: SpanRing,
@@ -532,6 +537,7 @@ impl KosrService {
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
             log_head: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            events: Arc::new(EventJournal::new(128)),
             spans: SpanRing::new(256),
             methods: Default::default(),
             busy_micros: AtomicU64::new(0),
@@ -701,6 +707,13 @@ impl KosrService {
         self.shared.spans.recent()
     }
 
+    /// The replica-local lifecycle journal (epoch swaps, calibration
+    /// adjustments). Transport hosts drain it over the wire so the fleet
+    /// journal sees remote replicas' lifecycle too.
+    pub fn events(&self) -> Arc<EventJournal> {
+        Arc::clone(&self.shared.events)
+    }
+
     /// Submits a whole batch and blocks until every query resolves;
     /// responses come back in input order. Queries the queue cannot admit
     /// are reported as their rejection error in-place.
@@ -774,10 +787,21 @@ impl KosrService {
         drop(guard);
 
         let invalidated = if applied {
-            match update.touched_category() {
+            let dropped = match update.touched_category() {
                 Some(c) => self.invalidate_category(c),
                 None => self.invalidate_all(),
-            }
+            };
+            self.shared.events.emit(
+                Source::Service,
+                EventKind::EpochSwap,
+                None,
+                vec![
+                    ("epoch".to_string(), TagValue::U64(self.index_epoch())),
+                    ("reason".to_string(), TagValue::Str("update".to_string())),
+                    ("invalidated".to_string(), TagValue::U64(dropped as u64)),
+                ],
+            );
+            dropped
         } else {
             0
         };
@@ -802,7 +826,20 @@ impl KosrService {
             // the read lock, so the pair stays atomic.
             self.shared.epoch.fetch_add(1, Ordering::Release);
         }
-        self.invalidate_all();
+        let dropped = self.invalidate_all();
+        self.shared.events.emit(
+            Source::Service,
+            EventKind::EpochSwap,
+            None,
+            vec![
+                ("epoch".to_string(), TagValue::U64(self.index_epoch())),
+                (
+                    "reason".to_string(),
+                    TagValue::Str("snapshot_install".to_string()),
+                ),
+                ("invalidated".to_string(), TagValue::U64(dropped as u64)),
+            ],
+        );
     }
 
     /// Records an upstream update-log compaction notice: entries below
@@ -838,6 +875,18 @@ impl KosrService {
     /// [`crate::QueryPlanner::calibrate_from`].
     pub fn calibrate_from(&self, stats: &[MethodStats]) {
         self.shared.planner.calibrate_from(stats);
+        self.shared.events.emit(
+            Source::Service,
+            EventKind::CalibrationAdjusted,
+            None,
+            vec![
+                (
+                    "reason".to_string(),
+                    TagValue::Str("peer_stats".to_string()),
+                ),
+                ("methods".to_string(), TagValue::U64(stats.len() as u64)),
+            ],
+        );
     }
 
     /// Serializes the planner's learned calibration state so a restarted
@@ -854,7 +903,17 @@ impl KosrService {
         &self,
         blob: &[u8],
     ) -> Result<(), crate::planner::CalibrationBlobError> {
-        self.shared.planner.decode_calibration(blob)
+        self.shared.planner.decode_calibration(blob)?;
+        self.shared.events.emit(
+            Source::Service,
+            EventKind::CalibrationAdjusted,
+            None,
+            vec![(
+                "reason".to_string(),
+                TagValue::Str("blob_restore".to_string()),
+            )],
+        );
+        Ok(())
     }
 
     /// Per-method execution counters with at least one completion, in

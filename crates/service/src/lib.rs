@@ -43,6 +43,7 @@
 
 mod cache;
 mod error;
+mod events;
 mod executor;
 mod metrics;
 mod planner;
@@ -51,6 +52,10 @@ mod trace;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use error::{ServiceError, UpdateError};
+pub use events::{
+    Alert, AlertState, Event, EventJournal, EventKind, Severity, SloEngine, SloObjective, SloSpec,
+    Source,
+};
 pub use executor::{
     run_sequential, KosrService, QueryResponse, ServiceConfig, Ticket, Update, UpdateReceipt,
 };

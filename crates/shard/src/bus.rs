@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use kosr_graph::{CategoryId, Partition, VertexId};
-use kosr_service::{Update, UpdateError, UpdateReceipt};
+use kosr_service::{EventJournal, EventKind, Source, TagValue, Update, UpdateError, UpdateReceipt};
 use kosr_transport::{ReplicaSet, ShardTransport, TransportError};
 
 use crate::error::ShardError;
@@ -50,6 +50,7 @@ pub struct LiveUpdateBus {
     base_categories: usize,
     fanout: Arc<FanoutCache>,
     log: Arc<UpdateLog>,
+    events: Arc<EventJournal>,
 }
 
 /// What publishing one update did across the fleet.
@@ -79,6 +80,7 @@ impl LiveUpdateBus {
         base_categories: usize,
         fanout: Arc<FanoutCache>,
         log: Arc<UpdateLog>,
+        events: Arc<EventJournal>,
     ) -> LiveUpdateBus {
         LiveUpdateBus {
             shards,
@@ -86,6 +88,7 @@ impl LiveUpdateBus {
             base_categories,
             fanout,
             log,
+            events,
         }
     }
 
@@ -188,7 +191,7 @@ impl LiveUpdateBus {
                         log.cursors[j][r] = seq;
                     }
                     Err(e) if e.is_fault() => {
-                        set.mark_down(r);
+                        set.note_down(r, EventKind::ReplicaDown, None);
                         receipt.deferred_replicas += 1;
                     }
                     Err(TransportError::Update(e)) => {
@@ -201,7 +204,7 @@ impl LiveUpdateBus {
                         }
                         // A rejection after some replica accepted means
                         // this replica diverged: quarantine it for replay.
-                        set.mark_down(r);
+                        set.note_down(r, EventKind::ReplicaQuarantined, None);
                         receipt.deferred_replicas += 1;
                     }
                     Err(e) => return Err(ShardError::from(e)),
@@ -222,6 +225,19 @@ impl LiveUpdateBus {
         if !receipt.applied {
             receipt.owner_shard = None;
         }
+        self.events.emit(
+            Source::Service,
+            EventKind::UpdatePublished,
+            None,
+            vec![
+                ("seq".to_string(), TagValue::U64(seq as u64)),
+                ("applied".to_string(), TagValue::Bool(receipt.applied)),
+                (
+                    "deferred".to_string(),
+                    TagValue::U64(receipt.deferred_replicas as u64),
+                ),
+            ],
+        );
         Ok(receipt)
     }
 
@@ -257,7 +273,7 @@ impl LiveUpdateBus {
                     kosr_core::GraphUpdateError::WeightNotDecreased { .. },
                 ))) => {} // already in the snapshot the replica joined from
                 Err(e) if e.is_fault() => {
-                    set.mark_down(r);
+                    set.note_down(r, EventKind::ReplicaDown, None);
                     log.cursors[j][r] = start + replayed;
                     return Err(ShardError::from(e));
                 }

@@ -9,7 +9,8 @@ use std::time::{Duration, Instant};
 use kosr_core::{KosrOutcome, Query, QueryError};
 use kosr_graph::{CategoryId, Partition, PartitionStats};
 use kosr_service::{
-    span_id_for, KosrService, ServiceConfig, ServiceError, ServiceStats, Span, TraceContext,
+    span_id_for, EventJournal, KosrService, ServiceConfig, ServiceError, ServiceStats, SloEngine,
+    SloSpec, Span, TraceContext,
 };
 use kosr_transport::protocol::{MemberCounts, SnapshotBlob};
 use kosr_transport::{InProcTransport, ReplicaSet, ShardTransport, TransportTicket};
@@ -51,6 +52,8 @@ pub struct ShardRouter {
     partition_stats: PartitionStats,
     fanout: Arc<FanoutCache>,
     log: Arc<UpdateLog>,
+    events: Arc<EventJournal>,
+    slo: Arc<SloEngine>,
 }
 
 /// A merged cross-shard response.
@@ -229,6 +232,14 @@ impl ShardRouter {
         partition_stats: PartitionStats,
     ) -> ShardRouter {
         let replicas_per_shard: Vec<usize> = shards.iter().map(|s| s.num_replicas()).collect();
+        // The fleet journal: every replica set journals its health
+        // transitions here, the heartbeat forwards replica-local events
+        // into it, and the SLO engine journals alert transitions.
+        let events = Arc::new(EventJournal::new(512));
+        for (j, set) in shards.iter().enumerate() {
+            set.attach_events(Arc::clone(&events), j as u32);
+        }
+        let slo = Arc::new(SloEngine::new(Arc::clone(&events), SloSpec::default_set()));
         ShardRouter {
             fanout: Arc::new(FanoutCache::new(shards.len())),
             log: Arc::new(UpdateLog::new(&replicas_per_shard)),
@@ -237,6 +248,8 @@ impl ShardRouter {
             partition: Arc::new(partition),
             base_categories,
             partition_stats,
+            events,
+            slo,
         }
     }
 
@@ -253,6 +266,20 @@ impl ShardRouter {
     /// Shard `j`'s replica fleet (health, heartbeats, failover counters).
     pub fn replica_set(&self, j: usize) -> &Arc<ReplicaSet> {
         &self.shards[j]
+    }
+
+    /// The fleet event journal: replica health transitions, supervisor
+    /// recovery decisions, bus publishes, SLO alert transitions, plus
+    /// replica-local events forwarded on heartbeats — what `/v1/events`
+    /// serves and `kosr_events_total` counts.
+    pub fn events(&self) -> &Arc<EventJournal> {
+        &self.events
+    }
+
+    /// The SLO burn-rate alert engine, observed once per supervisor tick
+    /// — what `/v1/alerts` serves and `kosr_alert_active` exports.
+    pub fn slo(&self) -> &Arc<SloEngine> {
+        &self.slo
     }
 
     /// The in-process service of shard `j`'s replica 0.
@@ -301,6 +328,7 @@ impl ShardRouter {
             self.base_categories,
             Arc::clone(&self.fanout),
             Arc::clone(&self.log),
+            Arc::clone(&self.events),
         )
     }
 
@@ -310,7 +338,25 @@ impl ShardRouter {
     /// [`crate::FleetSupervisor::start`], or step it deterministically
     /// with [`crate::FleetSupervisor::tick`].
     pub fn supervisor(&self, config: crate::SupervisorConfig) -> crate::FleetSupervisor {
-        crate::FleetSupervisor::new(self.shards.clone(), self.update_bus(), config)
+        // The p99 probe feeds the latency SLO from the local replica
+        // services' histograms; a router assembled from remote transports
+        // has none, and the probe degrades to zero (never breaching).
+        let services: Vec<Arc<KosrService>> = self.services.iter().flatten().cloned().collect();
+        let probe = move || {
+            services
+                .iter()
+                .map(|s| s.stats().latency_p99)
+                .max()
+                .unwrap_or(Duration::ZERO)
+        };
+        crate::FleetSupervisor::new(
+            self.shards.clone(),
+            self.update_bus(),
+            config,
+            Arc::clone(&self.events),
+            Arc::clone(&self.slo),
+            Box::new(probe),
+        )
     }
 
     /// Shard `j`'s current member-count report, via the per-epoch cache.

@@ -24,10 +24,16 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use kosr_service::{EventJournal, EventKind, SloEngine, Source, TagValue};
 use kosr_transport::ReplicaSet;
 
 use crate::bus::LiveUpdateBus;
 use crate::error::ShardError;
+
+/// Measures the fleet's current p99 query latency for the SLO engine's
+/// latency objective (zero when the router has no local replica services
+/// to read histograms from).
+type LatencyProbe = Box<dyn Fn() -> Duration + Send + Sync>;
 
 /// Supervisor tunables.
 #[derive(Clone, Debug)]
@@ -112,6 +118,9 @@ pub struct FleetSupervisor {
     bus: LiveUpdateBus,
     config: SupervisorConfig,
     counters: Arc<Counters>,
+    events: Arc<EventJournal>,
+    slo: Arc<SloEngine>,
+    latency_probe: LatencyProbe,
 }
 
 impl FleetSupervisor {
@@ -119,12 +128,18 @@ impl FleetSupervisor {
         shards: Vec<Arc<ReplicaSet>>,
         bus: LiveUpdateBus,
         config: SupervisorConfig,
+        events: Arc<EventJournal>,
+        slo: Arc<SloEngine>,
+        latency_probe: LatencyProbe,
     ) -> FleetSupervisor {
         FleetSupervisor {
             shards,
             bus,
             config,
             counters: Arc::new(Counters::default()),
+            events,
+            slo,
+            latency_probe,
         }
     }
 
@@ -158,7 +173,22 @@ impl FleetSupervisor {
                 let counters = &self.counters;
                 let bus = &self.bus;
                 let config = &self.config;
+                let events = &self.events;
                 scope.spawn(move || {
+                    // Journals one recovery decision, citing the event
+                    // that quarantined the replica as its trigger. Every
+                    // emission sits next to exactly one counter increment,
+                    // so the report and the journal reconcile 1:1.
+                    let journal_recovery = |r: usize, kind: EventKind| {
+                        let mut tags = vec![
+                            ("shard".to_string(), TagValue::U64(j as u64)),
+                            ("replica".to_string(), TagValue::U64(r as u64)),
+                        ];
+                        if let Some(trigger) = set.last_down_seq(r) {
+                            tags.push(("trigger".to_string(), TagValue::U64(trigger)));
+                        }
+                        events.emit(Source::Supervisor, kind, None, tags);
+                    };
                     // 1. Heartbeats quarantine faulting replicas (and
                     // surface a dead one before a query has to pay the
                     // failover latency). The per-replica results double
@@ -178,6 +208,7 @@ impl FleetSupervisor {
                         let gap = tail.saturating_sub(cursor);
                         if cursor < head {
                             counters.cursor_too_old.fetch_add(1, Ordering::Relaxed);
+                            journal_recovery(r, EventKind::CursorTooOld);
                         }
                         let want_refresh = cursor < head || gap > config.replay_limit;
                         let result = if want_refresh {
@@ -190,6 +221,7 @@ impl FleetSupervisor {
                                 // as if we had seen it.
                                 Err(ShardError::CursorTooOld { .. }) => {
                                     counters.cursor_too_old.fetch_add(1, Ordering::Relaxed);
+                                    journal_recovery(r, EventKind::CursorTooOld);
                                     bus.refresh(j, r)
                                 }
                                 other => other,
@@ -198,12 +230,15 @@ impl FleetSupervisor {
                         match result {
                             Ok(_) if want_refresh => {
                                 counters.snapshot_refreshes.fetch_add(1, Ordering::Relaxed);
+                                journal_recovery(r, EventKind::SnapshotRefreshed);
                             }
                             Ok(_) => {
                                 counters.replays.fetch_add(1, Ordering::Relaxed);
+                                journal_recovery(r, EventKind::ReplayRecovered);
                             }
                             Err(_) => {
                                 counters.recovery_failures.fetch_add(1, Ordering::Relaxed);
+                                journal_recovery(r, EventKind::RecoveryFailed);
                             }
                         }
                     }
@@ -220,6 +255,15 @@ impl FleetSupervisor {
                 .entries_compacted
                 .fetch_add(dropped as u64, Ordering::Relaxed);
             let head = self.bus.log_head() as u64;
+            self.events.emit(
+                Source::Supervisor,
+                EventKind::LogCompacted,
+                None,
+                vec![
+                    ("dropped".to_string(), TagValue::U64(dropped as u64)),
+                    ("head".to_string(), TagValue::U64(head)),
+                ],
+            );
             for set in &self.shards {
                 for r in set.healthy_indices() {
                     // A faulting notice is harmless — the next heartbeat
@@ -228,6 +272,18 @@ impl FleetSupervisor {
                 }
             }
         }
+        // 4. One SLO observation per tick: the post-recovery healthy
+        // fraction (a replica the tick just restored counts as serving)
+        // and the probed fleet p99.
+        let (healthy, total) = self.shards.iter().fold((0usize, 0usize), |(h, t), set| {
+            (h + set.healthy_indices().len(), t + set.num_replicas())
+        });
+        let availability = if total == 0 {
+            1.0
+        } else {
+            healthy as f64 / total as f64
+        };
+        self.slo.observe(availability, (self.latency_probe)());
     }
 
     /// Moves the supervisor onto its own thread, ticking every

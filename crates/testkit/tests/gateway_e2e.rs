@@ -266,6 +266,180 @@ fn gateway_serves_bit_identical_answers_across_updates_and_recovery() {
     assert!(hit_rate > 0.0, "hot-set repeats must hit replica caches");
 }
 
+/// The observability acceptance cycle, end-to-end over real sockets:
+/// killing a replica surfaces a **Critical** event on `/v1/events` and a
+/// **Firing** availability alert on `/v1/alerts` within the supervisor's
+/// clock; the event's trace id resolves via `/v1/traces/{id}`; after the
+/// supervisor heals the fleet the alert transitions to **Resolved**; and
+/// `/metrics` carries `kosr_events_total` + `kosr_alert_active` all along.
+#[test]
+fn replica_kill_fires_an_alert_and_healing_resolves_it() {
+    let f = fleet();
+    let addr = f.gateway.addr();
+    let specs = gen_mixed_traffic(&f.world, 8, &TrafficMix::default(), 17);
+
+    // Warm the SLO windows with healthy ticks + live traffic.
+    for spec in &specs {
+        assert_route_matches_oracle(addr, &f.reference, spec);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let resp = client::call(addr, "GET", "/v1/alerts", None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.json()
+            .unwrap()
+            .get("firing")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty(),
+        "healthy fleet must not fire"
+    );
+
+    // Kill a replica; a routed query observes the fault mid-flight.
+    f.switches[0].kill();
+    for spec in &specs[..4] {
+        assert_route_matches_oracle(addr, &f.reference, spec);
+    }
+
+    // Within the supervisor's clock: a Critical event on /v1/events…
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let failover = loop {
+        let resp = client::call(addr, "GET", "/v1/events?severity=critical", None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        let hit = v
+            .get("events")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| {
+                matches!(
+                    e.get("kind").unwrap().as_str().unwrap(),
+                    "failover" | "replica_down"
+                )
+            })
+            .cloned();
+        if let Some(e) = hit {
+            break e;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no Critical failover event appeared: {}",
+            resp.text()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(failover.get("severity").unwrap().as_str(), Some("critical"));
+
+    // …whose trace id (a live query observed the fault) resolves.
+    let resp = client::call(addr, "GET", "/v1/events?severity=critical", None).unwrap();
+    let traced = resp
+        .json()
+        .unwrap()
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .find_map(|e| e.get("trace_id").and_then(|t| t.as_str().map(String::from)));
+    if let Some(id) = traced {
+        let fetched = client::call(addr, "GET", &format!("/v1/traces/{id}"), None).unwrap();
+        assert_eq!(fetched.status, 200, "event trace id must resolve");
+    }
+
+    // …and a Firing availability alert on /v1/alerts.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = client::call(addr, "GET", "/v1/alerts", None).unwrap();
+        let v = resp.json().unwrap();
+        let firing = v.get("firing").unwrap().as_array().unwrap();
+        if firing
+            .iter()
+            .any(|a| a.get("slo").unwrap().as_str() == Some("availability"))
+        {
+            let alert = firing
+                .iter()
+                .find(|a| a.get("slo").unwrap().as_str() == Some("availability"))
+                .unwrap();
+            assert_eq!(alert.get("state").unwrap().as_str(), Some("firing"));
+            assert!(alert.get("seq").unwrap().as_u64().is_some());
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "availability alert never fired: {}",
+            resp.text()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The firing state is visible on /metrics.
+    let text = client::call(addr, "GET", "/metrics", None).unwrap().text();
+    validate_prometheus_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert!(
+        text.contains("kosr_alert_active{slo=\"availability\"} 1"),
+        "gauge must be 1 while firing:\n{text}"
+    );
+    assert!(text.contains("kosr_events_total{severity=\"critical\""));
+
+    // Heal: the supervisor recovers the replica, the alert resolves.
+    f.switches[0].revive();
+    assert!(
+        f.supervisor.await_healthy(Duration::from_secs(30)),
+        "supervisor failed to heal: {:?}",
+        f.supervisor.report()
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = client::call(addr, "GET", "/v1/alerts", None).unwrap();
+        let v = resp.json().unwrap();
+        let firing_clear = !v
+            .get("firing")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|a| a.get("slo").unwrap().as_str() == Some("availability"));
+        let resolved = v
+            .get("recently_resolved")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|a| a.get("slo").unwrap().as_str() == Some("availability"));
+        if firing_clear && resolved {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "alert never resolved: {}",
+            resp.text()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let text = client::call(addr, "GET", "/metrics", None).unwrap().text();
+    assert!(
+        text.contains("kosr_alert_active{slo=\"availability\"} 0"),
+        "gauge must drop after resolution:\n{text}"
+    );
+    assert!(text.contains("kosr_alert_transitions_total{slo=\"availability\",state=\"resolved\"}"));
+
+    // The alert_firing → alert_resolved pair is journaled and queryable.
+    let resp = client::call(addr, "GET", "/v1/events?source=supervisor", None).unwrap();
+    let v = resp.json().unwrap();
+    let kinds: Vec<String> = v
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| e.get("kind").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert!(kinds.contains(&"alert_firing".to_string()), "{kinds:?}");
+    assert!(kinds.contains(&"alert_resolved".to_string()), "{kinds:?}");
+}
+
 #[test]
 fn gateway_maps_admission_pressure_to_typed_statuses() {
     let f = fleet();

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use kosr_core::{IndexedGraph, Query};
 use kosr_graph::{PartitionConfig, Partitioner};
-use kosr_service::{KosrService, ServiceConfig, Update};
+use kosr_service::{EventKind, KosrService, ServiceConfig, Update};
 use kosr_shard::{ShardError, ShardRouter, ShardSet, SupervisorConfig};
 use kosr_testkit::{FaultConfig, FaultSchedule, FaultyTransport};
 use kosr_transport::KillSwitch;
@@ -176,5 +176,24 @@ fn log_stays_bounded_and_long_downed_replica_refreshes_by_snapshot() {
             (Err(se), Err(ue)) => assert_eq!(se.to_string(), ue.to_string(), "query {i}"),
             (s, u) => panic!("query {i} split: {s:?} vs {u:?}"),
         }
+    }
+
+    // Every recovery decision the supervisor counted was journaled exactly
+    // once, and nothing else emits these kinds: the report and the fleet
+    // event journal must reconcile 1:1, even after a full soak.
+    let report = sup.report();
+    let journal = router.events();
+    for (kind, counted) in [
+        (EventKind::ReplayRecovered, report.replays),
+        (EventKind::SnapshotRefreshed, report.snapshot_refreshes),
+        (EventKind::CursorTooOld, report.cursor_too_old),
+        (EventKind::LogCompacted, report.compactions),
+        (EventKind::RecoveryFailed, report.recovery_failures),
+    ] {
+        assert_eq!(
+            journal.kind_total(kind),
+            counted,
+            "{kind:?} journal total must equal the supervisor report"
+        );
     }
 }

@@ -49,6 +49,16 @@ pub fn handle_request(service: &Arc<KosrService>, req: Request) -> Response {
                 bytes: ig.encode_snapshot(),
             })
         }
+        Request::PingEvents { since_seq } => {
+            let journal = service.events();
+            Response::PongEvents {
+                heartbeat: Heartbeat {
+                    epoch: service.index_epoch(),
+                },
+                next_seq: journal.next_seq(),
+                events: journal.events_since(since_seq, None, None),
+            }
+        }
         Request::Compact { through } => match service.advance_log_head(through) {
             Ok(head) => Response::Compacted { head },
             Err(head) => Response::CursorTooOld {

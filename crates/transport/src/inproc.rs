@@ -47,6 +47,20 @@ pub(crate) fn expect_pong(resp: Response) -> Result<Heartbeat, TransportError> {
     }
 }
 
+pub(crate) fn expect_pong_events(
+    resp: Response,
+) -> Result<(Heartbeat, u64, Vec<kosr_service::Event>), TransportError> {
+    match resp {
+        Response::PongEvents {
+            heartbeat,
+            next_seq,
+            events,
+        } => Ok((heartbeat, next_seq, events)),
+        Response::Fault(e) => Err(TransportError::Protocol(e)),
+        _ => Err(unexpected()),
+    }
+}
+
 pub(crate) fn expect_member_counts(resp: Response) -> Result<MemberCounts, TransportError> {
     match resp {
         Response::MemberCounts(mc) => Ok(mc),
@@ -303,6 +317,18 @@ impl ShardTransport for InProcTransport {
     fn compact(&self, through: u64) -> Result<u64, TransportError> {
         expect_compacted(self.roundtrip(Request::Compact { through })?)
     }
+
+    fn ping_events(
+        &self,
+        since_seq: u64,
+    ) -> Result<(Heartbeat, u64, Vec<kosr_service::Event>), TransportError> {
+        // Only peers that negotiated v4 can decode the event-forwarding
+        // probe; older ones get the plain heartbeat with an empty drain.
+        if self.peer_protocol_version() < 4 {
+            return self.ping().map(|hb| (hb, 0, Vec::new()));
+        }
+        expect_pong_events(self.roundtrip(Request::PingEvents { since_seq })?)
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +476,38 @@ mod tests {
         assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
         assert!(resp.spans.is_empty(), "a v2 peer cannot produce spans");
         assert_eq!(t.negotiated.load(Ordering::Acquire), 2, "cached as v2");
+    }
+
+    #[test]
+    fn ping_events_drains_the_replica_journal_with_a_cursor() {
+        let (t, fx) = transport();
+        let (hb, next, events) = t.ping_events(0).unwrap();
+        assert_eq!(hb.epoch, 0);
+        assert_eq!(next, 0);
+        assert!(events.is_empty(), "nothing journaled yet");
+
+        // An applied update journals an epoch swap replica-side.
+        let gone = fx.graph.categories().vertices_of(fx.re)[0];
+        t.apply_update(&Update::RemoveMembership {
+            vertex: gone,
+            category: fx.re,
+        })
+        .unwrap();
+        let (hb, next, events) = t.ping_events(0).unwrap();
+        assert_eq!(hb.epoch, 1);
+        assert_eq!(next, 1);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, kosr_service::EventKind::EpochSwap);
+        // The cursor advances: a second probe from `next` drains nothing.
+        let (_, _, rest) = t.ping_events(next).unwrap();
+        assert!(rest.is_empty(), "cursor excludes already-forwarded events");
+
+        // A v2 peer degrades to the plain heartbeat with an empty drain.
+        let v2 = InProcTransport::with_max_version(Arc::clone(t.service()), 2);
+        let (hb, next, events) = v2.ping_events(0).unwrap();
+        assert_eq!(hb.epoch, 1);
+        assert_eq!(next, 0);
+        assert!(events.is_empty());
     }
 
     #[test]

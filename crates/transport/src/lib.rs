@@ -122,4 +122,18 @@ pub trait ShardTransport: Send + Sync {
     /// `through` behind the recorded head is the typed
     /// [`TransportError::CursorTooOld`].
     fn compact(&self, through: u64) -> Result<u64, TransportError>;
+
+    /// Heartbeat that also drains the replica's local lifecycle journal
+    /// from `since_seq` (the protocol-v4 event-forwarding probe): returns
+    /// the liveness report, the journal's next sequence (the cursor for
+    /// the following probe) and the drained events. The default degrades
+    /// to a plain [`ShardTransport::ping`] with an empty drain — correct
+    /// for pre-v4 peers and transports that predate the journal.
+    fn ping_events(
+        &self,
+        since_seq: u64,
+    ) -> Result<(Heartbeat, u64, Vec<kosr_service::Event>), TransportError> {
+        let _ = since_seq;
+        self.ping().map(|hb| (hb, 0, Vec::new()))
+    }
 }

@@ -27,7 +27,7 @@
 //! byte is reported as [`ProtocolError::VersionMismatch`] — the wire fuzz
 //! suite hammers both properties.
 //!
-//! ## Version negotiation (v2 ↔ v3)
+//! ## Version negotiation (v2 ↔ v3 ↔ v4)
 //!
 //! Version 3 adds an optional **trace header** on Query frames
 //! ([`Request::QueryTraced`]) and a span list on their responses. Every
@@ -41,6 +41,16 @@
 //! client knows whether traced frames may be sent. A client that skips
 //! negotiation simply sends untraced Query frames and loses nothing but
 //! replica-side spans.
+//!
+//! Version 4 adds the **event-forwarding heartbeat**
+//! ([`Request::PingEvents`] / [`Response::PongEvents`]): a liveness probe
+//! that also drains the replica's local lifecycle journal (epoch swaps,
+//! calibration adjustments) from a client-held cursor, so fleet event
+//! collection piggybacks on the heartbeats the supervisor already sends —
+//! no extra round trips. Only the new kind pair is stamped `4`; the
+//! traced kinds stay stamped `3` and everything older stays `2`, so
+//! mixed v2/v3/v4 fleets keep interoperating and a client talking to an
+//! older peer falls back to the plain [`Request::Ping`].
 
 use std::io::{Read, Write};
 use std::time::Duration;
@@ -50,18 +60,29 @@ use kosr_core::{GraphUpdateError, KosrOutcome, Query, QueryError, QueryStats, Wi
 use kosr_graph::{CategoryId, VertexId};
 use kosr_index::snapshot::SnapshotError;
 use kosr_service::{
-    ServiceError, Span, SpanId, TagValue, TraceContext, TraceId, Update, UpdateError, UpdateReceipt,
+    Event, EventKind, ServiceError, Severity, Source, Span, SpanId, TagValue, TraceContext,
+    TraceId, Update, UpdateError, UpdateReceipt,
 };
 
 /// The wire version this build writes and understands. Version 2 added
 /// the frame id (multiplexing) and the `Compact`/`InstallSnapshot`
-/// surface; version 3 adds the negotiated trace header on Query frames.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// surface; version 3 added the negotiated trace header on Query frames;
+/// version 4 adds the event-forwarding heartbeat.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// The oldest wire version this build still accepts. Frames carry the
 /// lowest version able to decode them, so a v2-era peer interoperates
-/// with a v3 fleet for everything but the traced Query kinds.
+/// with a v4 fleet for everything but the traced and event-forwarding
+/// kinds.
 pub const MIN_PROTOCOL_VERSION: u8 = 2;
+
+/// The revision that introduced the traced Query kinds — their frames
+/// stay stamped `3` even as [`PROTOCOL_VERSION`] advances, so genuine v3
+/// peers keep decoding them.
+const TRACED_VERSION: u8 = 3;
+
+/// The revision that introduced the event-forwarding heartbeat kinds.
+const EVENTS_VERSION: u8 = 4;
 
 /// Upper bound on one frame's payload; larger length prefixes are refused
 /// before any allocation (snapshots of big shards dominate frame size).
@@ -189,6 +210,16 @@ pub enum Request {
         /// The sender's [`PROTOCOL_VERSION`].
         max_version: u8,
     },
+    /// The protocol-v4 event-forwarding heartbeat: report liveness +
+    /// epoch *and* ship the replica's local lifecycle events with
+    /// sequence ≥ `since_seq` — fleet event collection piggybacked on
+    /// the heartbeat the supervisor already sends. Send only to peers
+    /// that answered [`Request::Hello`] with version ≥ 4.
+    PingEvents {
+        /// The client's journal cursor: events below it were already
+        /// forwarded.
+        since_seq: u64,
+    },
 }
 
 /// Replica → client messages.
@@ -227,6 +258,18 @@ pub enum Response {
     Hello {
         /// The replica's [`PROTOCOL_VERSION`].
         max_version: u8,
+    },
+    /// Answer to [`Request::PingEvents`]: liveness plus the replica's
+    /// journal drain from the requested cursor.
+    PongEvents {
+        /// The liveness report a plain `Pong` would carry.
+        heartbeat: Heartbeat,
+        /// The replica journal's next sequence — the cursor to send on
+        /// the following probe (events may have been ring-evicted, so it
+        /// can exceed the last forwarded seq + 1).
+        next_seq: u64,
+        /// Retained events with sequence ≥ the requested cursor.
+        events: Vec<Event>,
     },
 }
 
@@ -747,6 +790,157 @@ fn get_spans(r: &mut Rd) -> Result<Vec<Span>, ProtocolError> {
     (0..n).map(|_| get_span(r)).collect()
 }
 
+// ---- event codecs (v4) -----------------------------------------------
+
+fn put_severity(s: Severity, out: &mut Vec<u8>) {
+    out.put_u8(match s {
+        Severity::Info => 0,
+        Severity::Warn => 1,
+        Severity::Critical => 2,
+    });
+}
+
+fn get_severity(r: &mut Rd) -> Result<Severity, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => Severity::Info,
+        1 => Severity::Warn,
+        2 => Severity::Critical,
+        _ => return Err(ProtocolError::Corrupt("unknown severity tag")),
+    })
+}
+
+fn put_event_kind(k: EventKind, out: &mut Vec<u8>) {
+    out.put_u8(match k {
+        EventKind::ReplicaDown => 0,
+        EventKind::Failover => 1,
+        EventKind::ReplicaQuarantined => 2,
+        EventKind::ReplayRecovered => 3,
+        EventKind::SnapshotRefreshed => 4,
+        EventKind::CursorTooOld => 5,
+        EventKind::RecoveryFailed => 6,
+        EventKind::LogCompacted => 7,
+        EventKind::UpdatePublished => 8,
+        EventKind::EpochSwap => 9,
+        EventKind::CalibrationAdjusted => 10,
+        EventKind::AdmissionRejected => 11,
+        EventKind::AlertFiring => 12,
+        EventKind::AlertResolved => 13,
+    });
+}
+
+fn get_event_kind(r: &mut Rd) -> Result<EventKind, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => EventKind::ReplicaDown,
+        1 => EventKind::Failover,
+        2 => EventKind::ReplicaQuarantined,
+        3 => EventKind::ReplayRecovered,
+        4 => EventKind::SnapshotRefreshed,
+        5 => EventKind::CursorTooOld,
+        6 => EventKind::RecoveryFailed,
+        7 => EventKind::LogCompacted,
+        8 => EventKind::UpdatePublished,
+        9 => EventKind::EpochSwap,
+        10 => EventKind::CalibrationAdjusted,
+        11 => EventKind::AdmissionRejected,
+        12 => EventKind::AlertFiring,
+        13 => EventKind::AlertResolved,
+        _ => return Err(ProtocolError::Corrupt("unknown event-kind tag")),
+    })
+}
+
+fn put_event_source(s: Source, out: &mut Vec<u8>) {
+    match s {
+        Source::Service => out.put_u8(0),
+        Source::Shard(shard) => {
+            out.put_u8(1);
+            out.put_u32_le(shard);
+        }
+        Source::Replica { shard, replica } => {
+            out.put_u8(2);
+            out.put_u32_le(shard);
+            out.put_u32_le(replica);
+        }
+        Source::Supervisor => out.put_u8(3),
+        Source::Gateway => out.put_u8(4),
+    }
+}
+
+fn get_event_source(r: &mut Rd) -> Result<Source, ProtocolError> {
+    Ok(match r.u8()? {
+        0 => Source::Service,
+        1 => Source::Shard(r.u32()?),
+        2 => Source::Replica {
+            shard: r.u32()?,
+            replica: r.u32()?,
+        },
+        3 => Source::Supervisor,
+        4 => Source::Gateway,
+        _ => return Err(ProtocolError::Corrupt("unknown event-source tag")),
+    })
+}
+
+fn put_event(e: &Event, out: &mut Vec<u8>) {
+    out.put_u64_le(e.seq);
+    out.put_u64_le(e.wall_ms);
+    put_severity(e.severity, out);
+    put_event_kind(e.kind, out);
+    put_event_source(e.source, out);
+    match e.trace_id {
+        Some(t) => {
+            out.put_u8(1);
+            out.put_u64_le(t.hi());
+            out.put_u64_le(t.lo());
+        }
+        None => out.put_u8(0),
+    }
+    out.put_u32_le(e.tags.len() as u32);
+    for (k, v) in &e.tags {
+        put_str(k, out);
+        put_tag_value(v, out);
+    }
+}
+
+fn get_event(r: &mut Rd) -> Result<Event, ProtocolError> {
+    let seq = r.u64()?;
+    let wall_ms = r.u64()?;
+    let severity = get_severity(r)?;
+    let kind = get_event_kind(r)?;
+    let source = get_event_source(r)?;
+    let trace_id = match r.u8()? {
+        0 => None,
+        1 => Some(TraceId::from_parts(r.u64()?, r.u64()?)),
+        _ => return Err(ProtocolError::Corrupt("bad trace flag")),
+    };
+    let ntags = r.count(5)?;
+    let mut tags = Vec::with_capacity(ntags);
+    for _ in 0..ntags {
+        let k = get_str(r)?;
+        let v = get_tag_value(r)?;
+        tags.push((k, v));
+    }
+    Ok(Event {
+        seq,
+        wall_ms,
+        severity,
+        source,
+        kind,
+        trace_id,
+        tags,
+    })
+}
+
+fn put_events(events: &[Event], out: &mut Vec<u8>) {
+    out.put_u32_le(events.len() as u32);
+    for e in events {
+        put_event(e, out);
+    }
+}
+
+fn get_events(r: &mut Rd) -> Result<Vec<Event>, ProtocolError> {
+    let n = r.count(24)?; // minimum encoded event: seq+wall+sev+kind+source+flag+ntags
+    (0..n).map(|_| get_event(r)).collect()
+}
+
 // ---- payload codecs --------------------------------------------------
 
 const KIND_REQ_QUERY: u8 = 0;
@@ -775,6 +969,9 @@ const KIND_REQ_QUERY_TRACED: u8 = 7;
 const KIND_REQ_HELLO: u8 = 8;
 const KIND_RESP_QUERY_OK_TRACED: u8 = 28;
 const KIND_RESP_HELLO: u8 = 29;
+// v4 kinds: the event-forwarding heartbeat pair, stamped v4.
+const KIND_REQ_PING_EVENTS: u8 = 9;
+const KIND_RESP_PONG_EVENTS: u8 = 30;
 
 fn header(version: u8, kind: u8, frame_id: u64) -> Vec<u8> {
     let mut out = vec![version, kind];
@@ -840,7 +1037,7 @@ pub fn encode_request(frame_id: u64, req: &Request) -> Vec<u8> {
             out
         }
         Request::QueryTraced(q, ctx) => {
-            let mut out = header(PROTOCOL_VERSION, KIND_REQ_QUERY_TRACED, frame_id);
+            let mut out = header(TRACED_VERSION, KIND_REQ_QUERY_TRACED, frame_id);
             put_query(q, &mut out);
             put_trace_ctx(ctx, &mut out);
             out
@@ -850,6 +1047,11 @@ pub fn encode_request(frame_id: u64, req: &Request) -> Vec<u8> {
             // typed Fault(UnknownKind) instead of dropping the link.
             let mut out = header(MIN_PROTOCOL_VERSION, KIND_REQ_HELLO, frame_id);
             out.put_u8(*max_version);
+            out
+        }
+        Request::PingEvents { since_seq } => {
+            let mut out = header(EVENTS_VERSION, KIND_REQ_PING_EVENTS, frame_id);
+            out.put_u64_le(*since_seq);
             out
         }
     }
@@ -886,13 +1088,16 @@ pub fn decode_request_limited(
             let bytes = r.bytes(len)?.to_vec();
             Request::InstallSnapshot(SnapshotBlob { epoch, bytes })
         }
-        KIND_REQ_QUERY_TRACED if max_version >= 3 => {
+        KIND_REQ_QUERY_TRACED if max_version >= TRACED_VERSION => {
             let q = get_query(&mut r)?;
             let ctx = get_trace_ctx(&mut r)?;
             Request::QueryTraced(q, ctx)
         }
-        KIND_REQ_HELLO if max_version >= 3 => Request::Hello {
+        KIND_REQ_HELLO if max_version >= TRACED_VERSION => Request::Hello {
             max_version: r.u8()?,
+        },
+        KIND_REQ_PING_EVENTS if max_version >= EVENTS_VERSION => Request::PingEvents {
+            since_seq: r.u64()?,
         },
         other => return Err(ProtocolError::UnknownKind(other)),
     };
@@ -912,7 +1117,7 @@ pub fn encode_response(frame_id: u64, resp: &Response) -> Vec<u8> {
             out
         }
         Response::Query(Ok(rr)) => {
-            let mut out = header(PROTOCOL_VERSION, KIND_RESP_QUERY_OK_TRACED, frame_id);
+            let mut out = header(TRACED_VERSION, KIND_RESP_QUERY_OK_TRACED, frame_id);
             out.put_u8(rr.cached as u8);
             put_outcome(&rr.outcome, &mut out);
             put_spans(&rr.spans, &mut out);
@@ -988,6 +1193,17 @@ pub fn encode_response(frame_id: u64, resp: &Response) -> Vec<u8> {
             out.put_u8(*max_version);
             out
         }
+        Response::PongEvents {
+            heartbeat,
+            next_seq,
+            events,
+        } => {
+            let mut out = header(EVENTS_VERSION, KIND_RESP_PONG_EVENTS, frame_id);
+            out.put_u64_le(heartbeat.epoch);
+            out.put_u64_le(*next_seq);
+            put_events(events, &mut out);
+            out
+        }
     }
 }
 
@@ -1014,7 +1230,7 @@ pub fn decode_response_limited(
                 spans: Vec::new(),
             }))
         }
-        KIND_RESP_QUERY_OK_TRACED if max_version >= 3 => {
+        KIND_RESP_QUERY_OK_TRACED if max_version >= TRACED_VERSION => {
             let cached = r.u8()? != 0;
             let outcome = get_outcome(&mut r)?;
             let spans = get_spans(&mut r)?;
@@ -1024,8 +1240,13 @@ pub fn decode_response_limited(
                 spans,
             }))
         }
-        KIND_RESP_HELLO if max_version >= 3 => Response::Hello {
+        KIND_RESP_HELLO if max_version >= TRACED_VERSION => Response::Hello {
             max_version: r.u8()?,
+        },
+        KIND_RESP_PONG_EVENTS if max_version >= EVENTS_VERSION => Response::PongEvents {
+            heartbeat: Heartbeat { epoch: r.u64()? },
+            next_seq: r.u64()?,
+            events: get_events(&mut r)?,
         },
         KIND_RESP_QUERY_ERR => Response::Query(Err(get_service_error(&mut r)?)),
         KIND_RESP_UPDATE_OK => Response::Update(Ok(UpdateReceipt {
@@ -1226,7 +1447,7 @@ mod tests {
             sample_ctx(),
         );
         let payload = encode_request(11, &req);
-        assert_eq!(payload[0], PROTOCOL_VERSION, "traced frames are stamped 3");
+        assert_eq!(payload[0], TRACED_VERSION, "traced frames are stamped 3");
         assert_eq!(decode_request(&payload).unwrap(), (11, req));
 
         let resp = Response::Query(Ok(RemoteResponse {
@@ -1235,7 +1456,7 @@ mod tests {
             spans: sample_spans(),
         }));
         let payload = encode_response(11, &resp);
-        assert_eq!(payload[0], PROTOCOL_VERSION);
+        assert_eq!(payload[0], TRACED_VERSION);
         match decode_response(&payload).unwrap().1 {
             Response::Query(Ok(rr)) => {
                 assert!(!rr.cached);
@@ -1244,6 +1465,103 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                seq: 3,
+                wall_ms: 1_700_000_000_123,
+                severity: Severity::Info,
+                source: Source::Service,
+                kind: EventKind::EpochSwap,
+                trace_id: None,
+                tags: vec![
+                    ("epoch".into(), TagValue::U64(4)),
+                    ("reason".into(), TagValue::Str("update".into())),
+                ],
+            },
+            Event {
+                seq: 4,
+                wall_ms: 1_700_000_000_456,
+                severity: Severity::Critical,
+                source: Source::Replica {
+                    shard: 1,
+                    replica: 2,
+                },
+                kind: EventKind::Failover,
+                trace_id: Some(TraceId::from_parts(0xAB, 0xCD)),
+                tags: vec![("flap".into(), TagValue::Bool(true))],
+            },
+        ]
+    }
+
+    #[test]
+    fn ping_events_roundtrips_and_older_peers_reject_typed() {
+        let req = Request::PingEvents { since_seq: 17 };
+        let payload = encode_request(21, &req);
+        assert_eq!(payload[0], EVENTS_VERSION, "the v4 pair is stamped 4");
+        assert_eq!(decode_request(&payload).unwrap(), (21, req));
+        // Genuine v3 and v2 binaries reject on the version byte, typed —
+        // the connection survives and the client falls back to Ping.
+        for cap in [2, 3] {
+            assert_eq!(
+                decode_request_limited(&payload, cap),
+                Err(ProtocolError::VersionMismatch { found: 4 }),
+                "cap={cap}"
+            );
+        }
+
+        let resp = Response::PongEvents {
+            heartbeat: Heartbeat { epoch: 9 },
+            next_seq: 5,
+            events: sample_events(),
+        };
+        let payload = encode_response(21, &resp);
+        assert_eq!(payload[0], EVENTS_VERSION);
+        match decode_response(&payload).unwrap() {
+            (
+                21,
+                Response::PongEvents {
+                    heartbeat,
+                    next_seq,
+                    events,
+                },
+            ) => {
+                assert_eq!(heartbeat.epoch, 9);
+                assert_eq!(next_seq, 5);
+                assert_eq!(events, sample_events());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        assert!(matches!(
+            decode_response_limited(&payload, 3),
+            Err(ProtocolError::VersionMismatch { found: 4 })
+        ));
+
+        // Totality: every truncation of the event batch is typed.
+        for cut in 2..payload.len() {
+            assert!(
+                matches!(
+                    decode_response(&payload[..cut]),
+                    Err(ProtocolError::Truncated)
+                ),
+                "cut={cut}"
+            );
+        }
+        // An empty drain also roundtrips.
+        let payload = encode_response(
+            22,
+            &Response::PongEvents {
+                heartbeat: Heartbeat { epoch: 0 },
+                next_seq: 0,
+                events: Vec::new(),
+            },
+        );
+        assert!(matches!(
+            decode_response(&payload),
+            Ok((22, Response::PongEvents { next_seq: 0, events, .. })) if events.is_empty()
+        ));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use kosr_core::Query;
-use kosr_service::TraceContext;
+use kosr_service::{EventJournal, EventKind, Source, TraceContext, TraceId};
 
 use crate::protocol::Heartbeat;
 use crate::{ShardTransport, TransportError, TransportTicket};
@@ -58,11 +58,26 @@ impl ReplicaSetSnapshot {
     }
 }
 
+/// The fleet journal attachment of one replica set: where health
+/// transitions are recorded as events, plus the per-replica drain cursors
+/// the event-forwarding heartbeat advances.
+struct EventsHook {
+    journal: Arc<EventJournal>,
+    shard: u32,
+    /// Per-replica journal cursor: the `since_seq` of the next
+    /// [`ShardTransport::ping_events`] probe.
+    cursors: Vec<u64>,
+    /// The fleet-journal seq of each replica's most recent down/failover
+    /// event — the "triggering event" recovery decisions annotate.
+    last_down: Vec<Option<u64>>,
+}
+
 /// The replicas of one shard.
 pub struct ReplicaSet {
     transports: RwLock<Vec<Arc<dyn ShardTransport>>>,
     health: Mutex<Vec<ReplicaHealth>>,
     failovers: AtomicU64,
+    events: Mutex<Option<EventsHook>>,
 }
 
 impl ReplicaSet {
@@ -77,7 +92,74 @@ impl ReplicaSet {
             transports: RwLock::new(transports),
             health: Mutex::new(health),
             failovers: AtomicU64::new(0),
+            events: Mutex::new(None),
         }
+    }
+
+    /// Attaches the fleet event journal: from here on, health transitions
+    /// and failovers are journaled as [`Source::Replica`] events for
+    /// `shard`, and [`ReplicaSet::heartbeat`] upgrades to the
+    /// event-forwarding probe that drains each replica's local journal.
+    pub fn attach_events(&self, journal: Arc<EventJournal>, shard: u32) {
+        let n = self.num_replicas();
+        *self.events.lock().unwrap() = Some(EventsHook {
+            journal,
+            shard,
+            cursors: vec![0; n],
+            last_down: vec![None; n],
+        });
+    }
+
+    /// Journals `kind` for replica `i` when a journal is attached,
+    /// remembering the seq as the replica's last down event for
+    /// down-flavoured kinds. Returns the seq of the emitted event.
+    fn journal_replica_event(
+        &self,
+        i: usize,
+        kind: EventKind,
+        trace: Option<TraceId>,
+    ) -> Option<u64> {
+        let mut guard = self.events.lock().unwrap();
+        let hook = guard.as_mut()?;
+        let seq = hook.journal.emit(
+            Source::Replica {
+                shard: hook.shard,
+                replica: i as u32,
+            },
+            kind,
+            trace,
+            Vec::new(),
+        );
+        if matches!(
+            kind,
+            EventKind::ReplicaDown | EventKind::Failover | EventKind::ReplicaQuarantined
+        ) {
+            hook.last_down[i] = Some(seq);
+        }
+        Some(seq)
+    }
+
+    /// Marks replica `i` down **and** journals `kind` (with the trace in
+    /// scope, if any) when the call is an actual `Healthy → Down`
+    /// transition and a journal is attached. Returns the journaled seq —
+    /// the trigger recovery decisions reference. Re-downing an already
+    /// down replica journals nothing: one outage, one event.
+    pub fn note_down(&self, i: usize, kind: EventKind, trace: Option<TraceId>) -> Option<u64> {
+        if !self.mark_down(i) {
+            return None;
+        }
+        self.journal_replica_event(i, kind, trace)
+    }
+
+    /// The fleet-journal seq of replica `i`'s most recent down/failover
+    /// event, if any was journaled — what supervisor recovery events cite
+    /// as their trigger.
+    pub fn last_down_seq(&self, i: usize) -> Option<u64> {
+        self.events
+            .lock()
+            .unwrap()
+            .as_ref()
+            .and_then(|hook| hook.last_down[i])
     }
 
     /// Number of replicas (healthy or not).
@@ -108,22 +190,36 @@ impl ReplicaSet {
         Arc::clone(&self.transports.read().unwrap()[i])
     }
 
-    /// Marks replica `i` down (fault observed / update missed).
-    pub fn mark_down(&self, i: usize) {
-        self.health.lock().unwrap()[i] = ReplicaHealth::Down;
+    /// Marks replica `i` down (fault observed / update missed). Returns
+    /// `true` when this was an actual `Healthy → Down` transition —
+    /// event emission keys off the transition so one outage journals one
+    /// event no matter how many callers observe it.
+    pub fn mark_down(&self, i: usize) -> bool {
+        let mut health = self.health.lock().unwrap();
+        let transitioned = health[i] == ReplicaHealth::Healthy;
+        health[i] = ReplicaHealth::Down;
+        transitioned
     }
 
     /// Marks replica `i` healthy again — only call once it is provably
-    /// caught up (the update bus's recovery path does this).
-    pub fn mark_healthy(&self, i: usize) {
-        self.health.lock().unwrap()[i] = ReplicaHealth::Healthy;
+    /// caught up (the update bus's recovery path does this). Returns
+    /// `true` when this was an actual `Down → Healthy` transition.
+    pub fn mark_healthy(&self, i: usize) -> bool {
+        let mut health = self.health.lock().unwrap();
+        let transitioned = health[i] == ReplicaHealth::Down;
+        health[i] = ReplicaHealth::Healthy;
+        transitioned
     }
 
     /// Replaces replica `i`'s transport (a freshly started process joining
     /// from a snapshot). The slot stays `Down` until recovery replay
-    /// completes and marks it healthy.
+    /// completes and marks it healthy; the event drain cursor restarts at
+    /// zero because the fresh process carries a fresh journal.
     pub fn install(&self, i: usize, transport: Arc<dyn ShardTransport>) {
         self.transports.write().unwrap()[i] = transport;
+        if let Some(hook) = self.events.lock().unwrap().as_mut() {
+            hook.cursors[i] = 0;
+        }
         self.mark_down(i);
     }
 
@@ -148,15 +244,47 @@ impl ReplicaSet {
         }
     }
 
-    /// Pings every replica. A faulting *healthy* replica is marked down;
-    /// a responsive `Down` replica stays down (it may have missed updates
+    /// Pings every replica. A faulting *healthy* replica is marked down
+    /// (and the outage journaled, when a journal is attached); a
+    /// responsive `Down` replica stays down (it may have missed updates
     /// while unreachable — only recovery replay may revive it).
+    ///
+    /// With a journal attached the probe is [`ShardTransport::ping_events`]:
+    /// each replica's local lifecycle events ride back on the heartbeat
+    /// response and are resequenced into the fleet journal, so one probe
+    /// per tick carries both liveness *and* observability.
     pub fn heartbeat(&self) -> Vec<Result<Heartbeat, TransportError>> {
         (0..self.num_replicas())
             .map(|i| {
-                let result = self.transport(i).ping();
+                let cursor = self
+                    .events
+                    .lock()
+                    .unwrap()
+                    .as_ref()
+                    .map(|hook| hook.cursors[i]);
+                let result = match cursor {
+                    Some(cursor) => {
+                        self.transport(i)
+                            .ping_events(cursor)
+                            .map(|(hb, next, events)| {
+                                let mut guard = self.events.lock().unwrap();
+                                if let Some(hook) = guard.as_mut() {
+                                    for ev in &events {
+                                        hook.journal.append_forwarded(ev, hook.shard, i as u32);
+                                    }
+                                    // A degraded (pre-v4) probe reports 0;
+                                    // never regress a real cursor.
+                                    if next > hook.cursors[i] {
+                                        hook.cursors[i] = next;
+                                    }
+                                }
+                                hb
+                            })
+                    }
+                    None => self.transport(i).ping(),
+                };
                 if result.as_ref().err().is_some_and(TransportError::is_fault) {
-                    self.mark_down(i);
+                    self.note_down(i, EventKind::ReplicaDown, None);
                 }
                 result
             })
@@ -172,7 +300,7 @@ impl ReplicaSet {
         for i in self.healthy_indices() {
             match op(self.transport(i).as_ref()) {
                 Err(e) if e.is_fault() => {
-                    self.mark_down(i);
+                    self.note_down(i, EventKind::Failover, None);
                     self.failovers.fetch_add(1, Ordering::Relaxed);
                 }
                 other => return other,
@@ -213,7 +341,7 @@ impl ReplicaSet {
             loop {
                 match ticket.wait() {
                     Err(e) if e.is_fault() => {
-                        set.mark_down(current);
+                        set.note_down(current, EventKind::Failover, ctx.map(|c| c.trace_id));
                         set.failovers.fetch_add(1, Ordering::Relaxed);
                         let next = set
                             .healthy_indices()
@@ -242,7 +370,7 @@ impl ReplicaSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::InProcTransport;
+    use crate::{InProcTransport, Update};
     use kosr_core::figure1::figure1;
     use kosr_core::IndexedGraph;
     use kosr_service::{KosrService, ServiceConfig, ServiceError};
@@ -354,6 +482,70 @@ mod tests {
         assert!(!snap.all_healthy());
         assert_eq!(snap.health[0], ReplicaHealth::Down);
         assert_eq!(snap.failovers, 1);
+    }
+
+    #[test]
+    fn attached_journal_records_failovers_and_forwards_replica_events() {
+        let (set, switches, fx) = fleet(2);
+        let journal = Arc::new(EventJournal::new(64));
+        set.attach_events(Arc::clone(&journal), 7);
+
+        // A traced query failover journals a Critical, trace-correlated
+        // Failover event exactly once for the one transition.
+        switches[0].kill();
+        let ctx = TraceContext::root(TraceId::from_parts(0, 0x51), true);
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 1);
+        set.query_traced(q, Some(ctx)).wait().unwrap();
+        let downs = journal.events_since(0, None, None);
+        assert_eq!(downs.len(), 1);
+        assert_eq!(downs[0].kind, EventKind::Failover);
+        assert_eq!(downs[0].trace_id, Some(TraceId::from_parts(0, 0x51)));
+        assert_eq!(
+            downs[0].source,
+            Source::Replica {
+                shard: 7,
+                replica: 0
+            }
+        );
+        assert_eq!(set.last_down_seq(0), Some(downs[0].seq));
+        assert_eq!(set.last_down_seq(1), None);
+
+        // Re-downing the same replica journals nothing: one outage, one
+        // event.
+        assert!(set.note_down(0, EventKind::ReplicaDown, None).is_none());
+        assert_eq!(journal.next_seq(), downs[0].seq + 1);
+
+        // The heartbeat drains the healthy replica's local journal into
+        // the fleet journal, resequenced and origin-tagged.
+        let replica1 = set.transport(1);
+        let gone = {
+            let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 1);
+            replica1.submit(q).wait().unwrap().outcome.witnesses[0].vertices[2]
+        };
+        replica1
+            .apply_update(&Update::RemoveMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        set.heartbeat();
+        let swaps: Vec<_> = journal
+            .events_since(0, None, None)
+            .into_iter()
+            .filter(|e| e.kind == EventKind::EpochSwap)
+            .collect();
+        assert_eq!(swaps.len(), 1, "the replica's epoch swap was forwarded");
+        assert_eq!(
+            swaps[0].source,
+            Source::Replica {
+                shard: 7,
+                replica: 1
+            }
+        );
+        // The cursor advanced: another heartbeat forwards nothing new.
+        let before = journal.next_seq();
+        set.heartbeat();
+        assert_eq!(journal.next_seq(), before, "no re-delivery");
     }
 
     #[test]

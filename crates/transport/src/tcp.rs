@@ -29,8 +29,8 @@ use kosr_service::{KosrService, TraceContext, Update, UpdateReceipt};
 
 use crate::host::handle_request;
 use crate::inproc::{
-    expect_compacted, expect_install, expect_member_counts, expect_pong, expect_query,
-    expect_snapshot, expect_update,
+    expect_compacted, expect_install, expect_member_counts, expect_pong, expect_pong_events,
+    expect_query, expect_snapshot, expect_update,
 };
 use crate::mux::DemuxTable;
 use crate::protocol::{
@@ -450,6 +450,16 @@ impl ShardTransport for TcpTransport {
     fn compact(&self, through: u64) -> Result<u64, TransportError> {
         expect_compacted(self.roundtrip(&Request::Compact { through })?)
     }
+
+    fn ping_events(
+        &self,
+        since_seq: u64,
+    ) -> Result<(Heartbeat, u64, Vec<kosr_service::Event>), TransportError> {
+        if self.peer_protocol_version() < 4 {
+            return self.ping().map(|hb| (hb, 0, Vec::new()));
+        }
+        expect_pong_events(self.roundtrip(&Request::PingEvents { since_seq })?)
+    }
 }
 
 #[cfg(test)]
@@ -566,6 +576,33 @@ mod tests {
             PROTOCOL_VERSION,
             "hello negotiation cached the peer version"
         );
+    }
+
+    #[test]
+    fn ping_events_drains_the_remote_journal_over_the_wire() {
+        let (_server, client, fx) = serve();
+        let (hb, next, events) = client.ping_events(0).unwrap();
+        assert_eq!(hb.epoch, 0);
+        assert_eq!(next, 0);
+        assert!(events.is_empty());
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 1);
+        let resp = client.submit(q).wait().unwrap();
+        let gone = resp.outcome.witnesses[0].vertices[2];
+        let receipt = client
+            .apply_update(&Update::RemoveMembership {
+                vertex: gone,
+                category: fx.re,
+            })
+            .unwrap();
+        assert!(receipt.applied);
+        let (hb, next, events) = client.ping_events(next).unwrap();
+        assert_eq!(hb.epoch, 1);
+        assert_eq!(next, 1);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, kosr_service::EventKind::EpochSwap);
+        // The cursor advances past the drain: nothing is re-delivered.
+        let (_, _, again) = client.ping_events(next).unwrap();
+        assert!(again.is_empty());
     }
 
     #[test]

@@ -366,6 +366,93 @@ fn main() {
     {
         println!("  {line}");
     }
+
+    // Act 6 — the fleet event journal and SLO alerts, over the wire. The
+    // kill in act 3 journaled a Critical event and fired the availability
+    // burn-rate alert; the heal in act 4 resolves it. The supervisor's
+    // recovery decision is annotated with the seq of the event that
+    // triggered it — the journal is self-correlating.
+    let events = client::call(addr, "GET", "/v1/events?severity=critical", None).unwrap();
+    assert_eq!(events.status, 200, "{}", events.text());
+    let page = events.json().unwrap();
+    let critical = page.get("events").unwrap().as_array().unwrap();
+    assert!(
+        critical.iter().any(|e| matches!(
+            e.get("kind").unwrap().as_str().unwrap(),
+            "failover" | "replica_down"
+        )),
+        "the kill must have journaled a Critical event"
+    );
+    let recoveries = client::call(addr, "GET", "/v1/events?source=supervisor", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let annotated = recoveries
+        .get("events")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|e| {
+            matches!(
+                e.get("kind").unwrap().as_str().unwrap(),
+                "replay_recovered" | "snapshot_refreshed"
+            ) && e.get("tags").unwrap().get("trigger").is_some()
+        })
+        .expect("a recovery event annotated with its triggering down-event seq");
+    let trigger = annotated
+        .get("tags")
+        .unwrap()
+        .get("trigger")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+
+    // The alert lifecycle: fired on the kill, resolved after the heal
+    // (flap damping wants a couple of clean ticks — poll briefly).
+    let resolved_alert = {
+        let started = std::time::Instant::now();
+        loop {
+            let alerts = client::call(addr, "GET", "/v1/alerts", None)
+                .unwrap()
+                .json()
+                .unwrap();
+            let firing = alerts.get("firing").unwrap().as_array().unwrap().is_empty();
+            let resolved = alerts
+                .get("recently_resolved")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .find(|a| a.get("slo").unwrap().as_str() == Some("availability"))
+                .cloned();
+            if firing {
+                if let Some(a) = resolved {
+                    break a;
+                }
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(15),
+                "availability alert never completed its firing → resolved cycle"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+    let event_metrics = client::call(addr, "GET", "/metrics", None).unwrap().text();
+    let events_total = metric_value(&event_metrics, "kosr_events_emitted_total");
+    println!(
+        "\nact 6: event journal holds {} Critical records (recovery trigger seq {trigger}); \
+         availability alert fired on the kill and resolved at seq {} after the heal; \
+         {events_total:.0} events journaled fleet-wide",
+        critical.len(),
+        resolved_alert.get("seq").unwrap().as_u64().unwrap(),
+    );
+    for line in event_metrics.lines().filter(|l| {
+        !l.starts_with('#')
+            && (l.starts_with("kosr_events_total") || l.starts_with("kosr_alert_active"))
+    }) {
+        println!("  {line}");
+    }
 }
 
 /// Depth-first search for a span named `name` in a `/v1/traces/{id}` tree.
