@@ -33,6 +33,42 @@ impl CategoryTable {
         }
     }
 
+    /// Assembles a table from prebuilt per-category member lists — the
+    /// bulk-construction path snapshot installs use instead of per-pair
+    /// [`CategoryTable::insert`] calls. Member lists must be strictly
+    /// increasing and in range; the per-vertex view is derived in one
+    /// linear pass (ascending category ids keep each vertex's list sorted
+    /// for free).
+    pub fn from_parts(
+        num_vertices: usize,
+        names: Vec<String>,
+        per_category: Vec<Vec<VertexId>>,
+    ) -> Result<CategoryTable, &'static str> {
+        if names.len() != per_category.len() {
+            return Err("category names and member lists differ in length");
+        }
+        let mut per_vertex: Vec<Vec<CategoryId>> = vec![Vec::new(); num_vertices];
+        for (ci, members) in per_category.iter().enumerate() {
+            let c = CategoryId(ci as u32);
+            let mut prev: Option<VertexId> = None;
+            for &m in members {
+                if m.index() >= num_vertices {
+                    return Err("category member out of range");
+                }
+                if prev.is_some_and(|p| p >= m) {
+                    return Err("category members not strictly increasing");
+                }
+                prev = Some(m);
+                per_vertex[m.index()].push(c);
+            }
+        }
+        Ok(CategoryTable {
+            per_vertex,
+            per_category,
+            names,
+        })
+    }
+
     /// Number of vertices the table covers.
     pub fn num_vertices(&self) -> usize {
         self.per_vertex.len()
@@ -229,6 +265,42 @@ mod tests {
         assert_eq!(t.name(CategoryId(2)), "C2");
         t.ensure_categories(2); // shrink request is a no-op
         assert_eq!(t.num_categories(), 3);
+    }
+
+    #[test]
+    fn from_parts_matches_incremental_inserts() {
+        let mut t = CategoryTable::new(4);
+        let a = t.add_category("A");
+        let b = t.add_category("B");
+        t.insert(v(0), a);
+        t.insert(v(2), a);
+        t.insert(v(2), b);
+        t.insert(v(3), b);
+        let bulk = CategoryTable::from_parts(
+            4,
+            vec!["A".into(), "B".into()],
+            vec![vec![v(0), v(2)], vec![v(2), v(3)]],
+        )
+        .unwrap();
+        assert_eq!(bulk.num_categories(), 2);
+        for c in [a, b] {
+            assert_eq!(bulk.vertices_of(c), t.vertices_of(c));
+            assert_eq!(bulk.name(c), t.name(c));
+        }
+        for i in 0..4u32 {
+            assert_eq!(bulk.categories_of(v(i)), t.categories_of(v(i)));
+        }
+    }
+
+    #[test]
+    fn from_parts_refuses_bad_member_lists() {
+        // Out of range.
+        assert!(CategoryTable::from_parts(2, vec!["A".into()], vec![vec![v(5)]]).is_err());
+        // Duplicate / unsorted.
+        assert!(CategoryTable::from_parts(3, vec!["A".into()], vec![vec![v(1), v(1)]]).is_err());
+        assert!(CategoryTable::from_parts(3, vec!["A".into()], vec![vec![v(2), v(1)]]).is_err());
+        // Mismatched name count.
+        assert!(CategoryTable::from_parts(3, vec![], vec![vec![v(1)]]).is_err());
     }
 
     #[test]

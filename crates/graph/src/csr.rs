@@ -23,6 +23,92 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Reconstructs a graph straight from a forward-CSR triplet — the
+    /// snapshot install path, which validates offset-addressed arenas and
+    /// reinterprets them instead of re-sorting an edge list through
+    /// [`GraphBuilder`]. The builder's invariants are *checked*, not
+    /// re-established: offsets must be a monotone prefix-sum array ending
+    /// at the edge count, every adjacency row must hold strictly
+    /// increasing in-range targets, and self-loops are refused. The
+    /// backward CSR is derived in one counting-sort pass (linear in
+    /// `n + m`), and `categories` must cover exactly `n` vertices.
+    pub fn try_from_csr(
+        num_vertices: usize,
+        out_offsets: Vec<u32>,
+        out_targets: Vec<VertexId>,
+        out_weights: Vec<Weight>,
+        categories: CategoryTable,
+    ) -> Result<Graph, &'static str> {
+        let n = num_vertices;
+        let m = out_targets.len();
+        if n > u32::MAX as usize {
+            return Err("vertex ids are u32");
+        }
+        if out_offsets.len() != n + 1 {
+            return Err("offset array must have n + 1 entries");
+        }
+        if out_weights.len() != m || m > u32::MAX as usize {
+            return Err("target and weight arrays must cover every edge");
+        }
+        if out_offsets[0] != 0 || out_offsets[n] as usize != m {
+            return Err("offsets must run from 0 to the edge count");
+        }
+        if categories.num_vertices() != n {
+            return Err("category table must cover every vertex");
+        }
+        for u in 0..n {
+            let (lo, hi) = (out_offsets[u] as usize, out_offsets[u + 1] as usize);
+            if hi < lo || hi > m {
+                return Err("offsets must be monotone");
+            }
+            let mut prev: Option<VertexId> = None;
+            for &t in &out_targets[lo..hi] {
+                if t.index() >= n {
+                    return Err("edge target out of range");
+                }
+                if t.index() == u {
+                    return Err("self-loops are not stored");
+                }
+                if prev.is_some_and(|p| p >= t) {
+                    return Err("adjacency row not strictly increasing");
+                }
+                prev = Some(t);
+            }
+        }
+
+        // Backward CSR by counting sort; iterating sources in order keeps
+        // each backward row sorted by source, same as the builder.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &t in &out_targets {
+            in_offsets[t.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        let mut in_sources = vec![VertexId(0); m];
+        let mut in_weights = vec![0 as Weight; m];
+        for u in 0..n {
+            let (lo, hi) = (out_offsets[u] as usize, out_offsets[u + 1] as usize);
+            for e in lo..hi {
+                let t = out_targets[e];
+                let slot = cursor[t.index()] as usize;
+                cursor[t.index()] += 1;
+                in_sources[slot] = VertexId(u as u32);
+                in_weights[slot] = out_weights[e];
+            }
+        }
+        Ok(Graph {
+            out_offsets: out_offsets.into_boxed_slice(),
+            out_targets: out_targets.into_boxed_slice(),
+            out_weights: out_weights.into_boxed_slice(),
+            in_offsets: in_offsets.into_boxed_slice(),
+            in_sources: in_sources.into_boxed_slice(),
+            in_weights: in_weights.into_boxed_slice(),
+            categories,
+        })
+    }
+
     /// Number of vertices `|V|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -433,6 +519,73 @@ mod tests {
     #[test]
     fn total_weight_fingerprint() {
         assert_eq!(diamond().total_weight(), 10);
+    }
+
+    #[test]
+    fn try_from_csr_matches_builder_output() {
+        let g = diamond();
+        let offsets: Vec<u32> = (0..=g.num_vertices())
+            .scan(0u32, |acc, u| {
+                let cur = *acc;
+                if u < g.num_vertices() {
+                    *acc += g.out_degree(v(u as u32)) as u32;
+                }
+                Some(cur)
+            })
+            .collect();
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        for u in g.vertices() {
+            for (t, w) in g.out_edges(u) {
+                targets.push(t);
+                weights.push(w);
+            }
+        }
+        let g2 = Graph::try_from_csr(
+            g.num_vertices(),
+            offsets,
+            targets,
+            weights,
+            g.categories().clone(),
+        )
+        .unwrap();
+        for u in g.vertices() {
+            assert_eq!(
+                g2.out_edges(u).collect::<Vec<_>>(),
+                g.out_edges(u).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                g2.in_edges(u).collect::<Vec<_>>(),
+                g.in_edges(u).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn try_from_csr_refuses_broken_invariants() {
+        let cats = CategoryTable::new(2);
+        // Non-monotone offsets.
+        assert!(Graph::try_from_csr(2, vec![0, 2, 1], vec![v(1)], vec![1], cats.clone()).is_err());
+        // Self loop.
+        assert!(Graph::try_from_csr(2, vec![0, 1, 1], vec![v(0)], vec![1], cats.clone()).is_err());
+        // Target out of range.
+        assert!(Graph::try_from_csr(2, vec![0, 1, 1], vec![v(9)], vec![1], cats.clone()).is_err());
+        // Unsorted row.
+        assert!(Graph::try_from_csr(
+            3,
+            vec![0, 2, 2, 2],
+            vec![v(2), v(1)],
+            vec![1, 1],
+            CategoryTable::new(3)
+        )
+        .is_err());
+        // Category table covering the wrong vertex count.
+        assert!(
+            Graph::try_from_csr(2, vec![0, 1, 1], vec![v(1)], vec![1], CategoryTable::new(1))
+                .is_err()
+        );
+        // A valid one still works.
+        assert!(Graph::try_from_csr(2, vec![0, 1, 1], vec![v(1)], vec![1], cats).is_ok());
     }
 
     #[test]

@@ -105,9 +105,37 @@ impl HopLabels {
         }
     }
 
+    /// Assembles an index from prebuilt per-vertex set families — the
+    /// zero-copy snapshot install path, which slices whole label arenas
+    /// into sets ([`crate::flat`]) instead of inserting entry by entry.
+    ///
+    /// # Panics
+    /// Panics if the families differ in length.
+    pub fn from_parts(lin: Vec<LabelSet>, lout: Vec<LabelSet>) -> Self {
+        assert_eq!(
+            lin.len(),
+            lout.len(),
+            "Lin/Lout must cover the same vertices"
+        );
+        HopLabels { lin, lout }
+    }
+
     /// Number of vertices covered.
     pub fn num_vertices(&self) -> usize {
         self.lin.len()
+    }
+
+    /// The whole `Lin` family, indexed by vertex — what the slab codec
+    /// ([`crate::flat`]) serializes in one pass.
+    #[inline]
+    pub fn lin_sets(&self) -> &[LabelSet] {
+        &self.lin
+    }
+
+    /// The whole `Lout` family, indexed by vertex.
+    #[inline]
+    pub fn lout_sets(&self) -> &[LabelSet] {
+        &self.lout
     }
 
     /// `Lin(v)`.

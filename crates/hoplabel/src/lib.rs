@@ -14,6 +14,9 @@
 //! * [`TargetDistancer`] — fixed-target oracle used by StarKOSR's heuristic.
 //! * [`codec`] — versioned binary persistence (also the building block of
 //!   the SK-DB disk layout).
+//! * [`flat`] — CSR-slab codec for label-set families: offset-addressed
+//!   arenas whose decode is a bounds-checked reinterpretation (the v2
+//!   snapshot's label sections).
 //! * [`shortest_path`] — actual-route reconstruction from label queries.
 //! * [`IncrementalUpdater`] — §IV-C graph-structure updates: incremental
 //!   label maintenance under edge insertions / weight decreases.
@@ -23,6 +26,7 @@
 
 mod builder;
 pub mod codec;
+pub mod flat;
 mod label;
 mod order;
 mod pathrec;

@@ -55,6 +55,7 @@ struct VertexSlot {
 }
 
 /// A read-only handle to an on-disk index with seek/byte accounting.
+#[derive(Debug)]
 pub struct DiskIndex {
     file: Mutex<File>,
     vertex_dir: Vec<VertexSlot>,
@@ -151,7 +152,19 @@ impl DiskIndex {
         let mut cursor = &head[8..];
         let n = cursor.get_u32_le() as usize;
         let nc = cursor.get_u32_le() as usize;
-        let mut dir_bytes = vec![0u8; n * 24 + nc * 12];
+        // The directory size is attacker-controlled (a crafted 16-byte file
+        // can claim `u32::MAX` vertices ≈ a 100 GB directory), so check it
+        // against the actual file length — in u64, so `n * 24` cannot wrap
+        // usize on 32-bit hosts — before allocating a single byte.
+        let dir_len = (n as u64) * 24 + (nc as u64) * 12;
+        let file_len = f.metadata()?.len();
+        if dir_len > file_len.saturating_sub(16) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "directory exceeds file length",
+            ));
+        }
+        let mut dir_bytes = vec![0u8; dir_len as usize];
         f.read_exact(&mut dir_bytes)?;
         let mut buf = &dir_bytes[..];
         let mut vertex_dir = Vec::with_capacity(n);
@@ -196,9 +209,17 @@ impl DiskIndex {
         Ok(buf)
     }
 
-    /// Loads `Lout(v)` (one seek).
+    fn vertex_slot(&self, v: VertexId) -> io::Result<VertexSlot> {
+        self.vertex_dir.get(v.index()).copied().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "vertex beyond the directory")
+        })
+    }
+
+    /// Loads `Lout(v)` (one seek). A vertex beyond the on-disk directory is
+    /// a typed [`io::ErrorKind::InvalidData`] error, not a panic — the id
+    /// may come from a query against a newer in-memory graph.
     pub fn load_lout(&self, v: VertexId) -> io::Result<LabelSet> {
-        let slot = self.vertex_dir[v.index()];
+        let slot = self.vertex_slot(v)?;
         let buf = self.read_at(slot.lout_off, slot.lout_len)?;
         decode_label_set(&mut buf.as_slice())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
@@ -206,7 +227,7 @@ impl DiskIndex {
 
     /// Loads `Lin(v)` (one seek).
     pub fn load_lin(&self, v: VertexId) -> io::Result<LabelSet> {
-        let slot = self.vertex_dir[v.index()];
+        let slot = self.vertex_slot(v)?;
         let buf = self.read_at(slot.lin_off, slot.lin_len)?;
         decode_label_set(&mut buf.as_slice())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
@@ -214,7 +235,9 @@ impl DiskIndex {
 
     /// Loads a whole category segment (one seek + one sequential read).
     pub fn load_category(&self, c: CategoryId) -> io::Result<CategorySegment> {
-        let (off, len) = self.category_dir[c.index()];
+        let &(off, len) = self.category_dir.get(c.index()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "category beyond the directory")
+        })?;
         let raw = self.read_at(off, len)?;
         let mut buf = raw.as_slice();
         let truncated = || io::Error::new(io::ErrorKind::InvalidData, "truncated segment");
@@ -229,7 +252,9 @@ impl DiskIndex {
             }
             let hub = VertexId(buf.get_u32_le());
             let len = buf.get_u32_le() as usize;
-            if buf.remaining() < len * 12 {
+            // `len * 12` wraps 32-bit usize for crafted lengths; saturate so
+            // the lying length is caught here instead of over-allocating.
+            if buf.remaining() < len.saturating_mul(12) {
                 return Err(truncated());
             }
             let mut list = Vec::with_capacity(len);
@@ -367,6 +392,50 @@ mod tests {
         disk.reset_io_counters();
         assert_eq!(disk.seek_count(), 0);
         assert_eq!(disk.bytes_read(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lying_vertex_count_refused_before_allocating() {
+        // A crafted 16-byte file claiming u32::MAX vertices must be a typed
+        // error, not a ~100 GB directory allocation.
+        let (_, _, path) = setup("lying_vertex_count_refused_before_allocating");
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.put_u32_le(u32::MAX);
+        data.put_u32_le(u32::MAX);
+        std::fs::write(&path, &data).unwrap();
+        let err = DiskIndex::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_directory_refused() {
+        let (g, labels, path) = setup("truncated_directory_refused");
+        create(&path, &labels, g.categories()).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        // Keep the header but cut the file inside the directory region.
+        std::fs::write(&path, &data[..40]).unwrap();
+        let err = DiskIndex::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_ids_are_typed_errors() {
+        let (g, labels, path) = setup("out_of_range_ids_are_typed_errors");
+        create(&path, &labels, g.categories()).unwrap();
+        let disk = DiskIndex::open(&path).unwrap();
+        for err in [
+            disk.load_lout(v(25)).unwrap_err(),
+            disk.load_lin(v(9999)).unwrap_err(),
+            disk.load_category(CategoryId(2)).unwrap_err(),
+        ] {
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+        // In-range loads still work on the same handle.
+        assert_eq!(&disk.load_lout(v(0)).unwrap(), labels.lout(v(0)));
         std::fs::remove_file(&path).ok();
     }
 

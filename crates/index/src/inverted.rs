@@ -115,6 +115,20 @@ impl InvertedLabelIndex {
         self.lists.iter().map(|(&h, l)| (h, l.as_slice()))
     }
 
+    /// Like [`InvertedLabelIndex::from_lists`] but trusts that every list
+    /// already satisfies the `(cost, member)` ordering — the zero-copy
+    /// snapshot install path, whose byte-level validation has enforced the
+    /// invariant before any list was materialised. No sorting pass runs.
+    pub fn from_sorted_lists(
+        lists: FxHashMap<VertexId, Vec<(VertexId, Weight)>>,
+        num_members: usize,
+    ) -> Self {
+        debug_assert!(lists
+            .values()
+            .all(|l| l.windows(2).all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0))));
+        InvertedLabelIndex { lists, num_members }
+    }
+
     /// Builds directly from raw hub lists (deserialization support). Lists
     /// are re-sorted to enforce the invariant.
     pub fn from_lists(

@@ -15,12 +15,16 @@
 //!   [`DijkstraTarget`]) behind the A* estimation.
 //! * [`disk`] — the SK-DB on-disk layout (per-category segments + offset
 //!   directory standing in for the paper's B+-tree).
-//! * [`snapshot`] — the shard snapshot codec: graph + labels as one blob,
-//!   shipped to cold replicas by the transport layer.
+//! * [`snapshot`] — the v1 shard snapshot codec: graph + labels as one
+//!   blob, shipped to cold replicas by the transport layer.
+//! * [`arena`] — the v2 **flat-arena** snapshot: offset-addressed slabs
+//!   (including the inverted indexes) whose install is O(bytes) of
+//!   bounds-checked reinterpretation instead of a rebuild.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod disk;
 mod inverted;
 mod nen;

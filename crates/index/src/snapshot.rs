@@ -29,9 +29,12 @@ use kosr_graph::{Graph, GraphBuilder, VertexId};
 use kosr_hoplabel::codec::{self, CodecError};
 use kosr_hoplabel::HopLabels;
 
-const MAGIC: &[u8; 8] = b"KOSRSNP\0";
+pub(crate) const MAGIC: &[u8; 8] = b"KOSRSNP\0";
 
-/// The snapshot format version this build writes and understands.
+/// The original (v1) snapshot format version. This build *writes* the
+/// flat-arena v2 format by default ([`crate::arena`]) and keeps the v1
+/// codec for peers that never learned v2; both decode here via
+/// [`crate::arena::blob_version`] dispatch.
 pub const SNAPSHOT_VERSION: u8 = 1;
 
 /// Why a snapshot blob could not be decoded.
@@ -51,6 +54,10 @@ pub enum SnapshotError {
     Corrupt(&'static str),
     /// The embedded label blob failed to decode.
     Labels(CodecError),
+    /// The world does not fit the requested format (v1 counts are `u32`;
+    /// a graph of `2^32` or more edges must ship as v2). Encoding-side
+    /// only — the alternative was silent `as u32` truncation.
+    TooLarge,
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -66,6 +73,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
             SnapshotError::Labels(e) => write!(f, "corrupt label blob: {e}"),
+            SnapshotError::TooLarge => {
+                write!(f, "snapshot too large for format v1 (2^32 or more edges)")
+            }
         }
     }
 }
@@ -117,8 +127,16 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Serializes `graph` + `labels` into one snapshot blob.
-pub fn encode_snapshot(graph: &Graph, labels: &HopLabels) -> Vec<u8> {
+/// Serializes `graph` + `labels` into one **v1** snapshot blob.
+///
+/// Refuses (typed, [`SnapshotError::TooLarge`]) any world whose edge
+/// count does not fit the format's `u32` counters instead of silently
+/// truncating it; such worlds ship as v2 ([`crate::arena`]), whose counts
+/// are `u64` throughout.
+pub fn encode_snapshot(graph: &Graph, labels: &HopLabels) -> Result<Vec<u8>, SnapshotError> {
+    if graph.num_edges() > u32::MAX as usize || graph.num_vertices() > u32::MAX as usize {
+        return Err(SnapshotError::TooLarge);
+    }
     let mut out = Vec::with_capacity(64 + graph.num_edges() * 16 + labels.size_bytes());
     out.put_slice(MAGIC);
     out.put_u8(SNAPSHOT_VERSION);
@@ -147,7 +165,7 @@ pub fn encode_snapshot(graph: &Graph, labels: &HopLabels) -> Vec<u8> {
     let label_blob = codec::encode(labels);
     out.put_u64_le(label_blob.len() as u64);
     out.extend_from_slice(&label_blob);
-    out
+    Ok(out)
 }
 
 /// Decodes a snapshot blob back into its graph and labels.
@@ -251,7 +269,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_graph_and_labels() {
         let (g, labels) = world(7);
-        let blob = encode_snapshot(&g, &labels);
+        let blob = encode_snapshot(&g, &labels).unwrap();
         let (g2, labels2) = decode_snapshot(&blob).unwrap();
         assert_eq!(g2.num_vertices(), g.num_vertices());
         assert_eq!(g2.num_edges(), g.num_edges());
@@ -275,13 +293,13 @@ mod tests {
         }
         assert_eq!(labels2, labels);
         // Deterministic bytes: re-encoding the decoded world is identical.
-        assert_eq!(encode_snapshot(&g2, &labels2), blob);
+        assert_eq!(encode_snapshot(&g2, &labels2).unwrap(), blob);
     }
 
     #[test]
     fn truncation_yields_typed_errors_at_every_cut() {
         let (g, labels) = world(11);
-        let blob = encode_snapshot(&g, &labels);
+        let blob = encode_snapshot(&g, &labels).unwrap();
         for cut in 0..blob.len() {
             let err = decode_snapshot(&blob[..cut]).unwrap_err();
             assert!(
@@ -300,7 +318,7 @@ mod tests {
     #[test]
     fn version_and_magic_mismatches_are_typed() {
         let (g, labels) = world(3);
-        let mut blob = encode_snapshot(&g, &labels);
+        let mut blob = encode_snapshot(&g, &labels).unwrap();
         blob[0] ^= 0xFF;
         assert_eq!(decode_snapshot(&blob).unwrap_err(), SnapshotError::BadMagic);
         blob[0] ^= 0xFF;
@@ -314,7 +332,7 @@ mod tests {
     #[test]
     fn corrupt_ids_and_trailing_bytes_are_typed() {
         let (g, labels) = world(5);
-        let mut blob = encode_snapshot(&g, &labels);
+        let mut blob = encode_snapshot(&g, &labels).unwrap();
         blob.push(0);
         assert!(matches!(
             decode_snapshot(&blob),

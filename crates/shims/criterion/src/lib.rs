@@ -60,6 +60,20 @@ impl Bencher {
             self.times.push(t0.elapsed());
         }
     }
+
+    /// Times the routine but drops its output *outside* the measured
+    /// window — upstream Criterion's API for benchmarks whose return
+    /// value is expensive to tear down (e.g. a freshly decoded index)
+    /// and whose drop is not part of the cost under study.
+    pub fn iter_with_large_drop<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            let out = black_box(routine());
+            self.times.push(t0.elapsed());
+            drop(out);
+        }
+    }
 }
 
 fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {

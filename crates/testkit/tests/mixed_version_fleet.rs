@@ -1,0 +1,146 @@
+//! Mixed-version fleet interop: one replica runs behind a transport capped
+//! at protocol 4 — exactly how a binary from before the v2 arena snapshot
+//! behaves on the wire (it answers Hello with 4 and only knows the legacy
+//! v1 snapshot pull). The suite drives the fleet through a compaction
+//! storm that forces the old peer to **cold-join by snapshot**: the
+//! supervisor pulls a v2 blob from a sibling and the push path transcodes
+//! it to v1 for the old binary — which must end up answering bit-identical
+//! to the unsharded oracle.
+
+use std::sync::Arc;
+
+use kosr_core::{IndexedGraph, Query};
+use kosr_graph::{PartitionConfig, Partitioner};
+use kosr_service::{KosrService, ServiceConfig, Update};
+use kosr_shard::{ShardError, ShardRouter, ShardSet, SupervisorConfig};
+use kosr_transport::{InProcTransport, ShardTransport};
+use kosr_workloads::{
+    assign_uniform, gen_membership_flips, gen_mixed_traffic, road_grid_directed, MembershipFlip,
+    TrafficMix,
+};
+
+const WATERMARK: usize = 8;
+const UPDATES: usize = 5 * WATERMARK;
+
+fn flip_to_update(f: &MembershipFlip) -> Update {
+    if f.insert {
+        Update::InsertMembership {
+            vertex: f.vertex,
+            category: f.category,
+        }
+    } else {
+        Update::RemoveMembership {
+            vertex: f.vertex,
+            category: f.category,
+        }
+    }
+}
+
+#[test]
+fn v1_only_peer_cold_joins_through_negotiated_fallback() {
+    let mut g = road_grid_directed(6, 6, 33);
+    assign_uniform(&mut g, 3, 10, 5);
+    let ig = IndexedGraph::build_default(g.clone());
+    let partition = Partitioner::new(PartitionConfig {
+        num_shards: 2,
+        ..Default::default()
+    })
+    .partition(&ig.graph);
+    let config = ServiceConfig {
+        workers: 1,
+        ..Default::default()
+    };
+    let oracle = KosrService::new(Arc::new(ig.clone()), config.clone());
+
+    // Shard 0 replica 1 joins the fleet as an "old binary": same service,
+    // but its transport speaks at most protocol 4 — Hello negotiates down,
+    // snapshot pulls use the legacy request, and pushes transcode to v1.
+    let mut old_peer: Option<Arc<InProcTransport>> = None;
+    let mut new_peer: Option<Arc<InProcTransport>> = None;
+    let router =
+        ShardRouter::with_replicas(ShardSet::build(&ig, partition), config, 2, |j, r, t| {
+            if (j, r) == (0, 1) {
+                let capped = Arc::new(InProcTransport::with_max_version(
+                    Arc::clone(t.service()),
+                    4,
+                ));
+                old_peer = Some(Arc::clone(&capped));
+                capped
+            } else {
+                let t = Arc::new(t);
+                if (j, r) == (0, 0) {
+                    new_peer = Some(Arc::clone(&t));
+                }
+                t
+            }
+        });
+    let old_peer = old_peer.expect("replica (0,1) was wrapped");
+    let new_peer = new_peer.expect("replica (0,0) was wrapped");
+
+    // Negotiation picks the format per peer: the v5 sibling hands out the
+    // v2 arena blob, the capped peer is pulled via the legacy v1 request.
+    assert_eq!(new_peer.snapshot().unwrap().bytes[8], 2);
+    assert_eq!(old_peer.snapshot().unwrap().bytes[8], 1);
+
+    let bus = router.update_bus();
+    let sup = router.supervisor(SupervisorConfig {
+        compact_watermark: WATERMARK,
+        replay_limit: 4,
+        ..Default::default()
+    });
+
+    // Cut the old peer for a whole compaction storm: its missed suffix is
+    // trimmed away, so the only road back is the snapshot cold-join.
+    let switch = old_peer.kill_switch();
+    switch.kill();
+    sup.tick();
+    for (i, f) in gen_membership_flips(&g, UPDATES, 0x33).iter().enumerate() {
+        let u = flip_to_update(f);
+        let mut published = false;
+        for _ in 0..16 {
+            match bus.publish(&u) {
+                Ok(_) => {
+                    published = true;
+                    break;
+                }
+                Err(ShardError::Transport(_)) => sup.tick(),
+                Err(e) => panic!("unexpected rejection of {u:?}: {e}"),
+            }
+        }
+        assert!(published, "update {i} kept failing");
+        oracle.apply_update(&u).expect("oracle mirrors the bus");
+        if i % 4 == 3 {
+            sup.tick();
+        }
+    }
+
+    switch.revive();
+    for _ in 0..64 {
+        if sup.all_healthy() {
+            break;
+        }
+        sup.tick();
+    }
+    assert!(sup.all_healthy(), "{:?}", sup.report());
+    assert!(
+        sup.report().snapshot_refreshes >= 1,
+        "the old peer must have come back by snapshot, not replay: {:?}",
+        sup.report()
+    );
+
+    // The cold-joined old peer serves the same state: every answer is
+    // bit-identical to the unsharded oracle, across both replicas.
+    let queries: Vec<Query> = gen_mixed_traffic(&g, 20, &TrafficMix::default(), 44)
+        .iter()
+        .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
+        .collect();
+    for (i, q) in queries.iter().enumerate() {
+        let sharded = router.submit(q.clone()).and_then(|t| t.wait());
+        let plain = oracle.submit(q.clone()).and_then(|t| t.wait());
+        match (sharded, plain) {
+            (Ok(s), Ok(u)) => assert_eq!(s.outcome.witnesses, u.outcome.witnesses, "query {i}"),
+            (Err(se), Err(ue)) => assert_eq!(se.to_string(), ue.to_string(), "query {i}"),
+            (s, u) => panic!("query {i} split: {s:?} vs {u:?}"),
+        }
+    }
+}

@@ -59,6 +59,7 @@ fn log_stays_bounded_and_long_downed_replica_refreshes_by_snapshot() {
     let oracle = KosrService::new(Arc::new(ig.clone()), config.clone());
 
     let mut switches: Vec<((usize, usize), KillSwitch)> = Vec::new();
+    let mut probe: Option<Arc<dyn kosr_transport::ShardTransport>> = None;
     let router =
         ShardRouter::with_replicas(ShardSet::build(&ig, partition), config, 2, |j, r, t| {
             switches.push(((j, r), t.kill_switch()));
@@ -74,8 +75,14 @@ fn log_stays_bounded_and_long_downed_replica_refreshes_by_snapshot() {
                     max_delay: Duration::from_micros(200),
                 },
             );
-            Arc::new(FaultyTransport::new(Arc::new(t), Arc::new(schedule)))
+            let t: Arc<dyn kosr_transport::ShardTransport> =
+                Arc::new(FaultyTransport::new(Arc::new(t), Arc::new(schedule)));
+            if (j, r) == (0, 0) {
+                probe = Some(Arc::clone(&t));
+            }
+            t
         });
+    let probe = probe.expect("replica (0,0) was wrapped");
     let bus = router.update_bus();
     let sup = router.supervisor(SupervisorConfig {
         compact_watermark: WATERMARK,
@@ -151,6 +158,13 @@ fn log_stays_bounded_and_long_downed_replica_refreshes_by_snapshot() {
     assert!(report.snapshot_refreshes >= 1, "{report:?}");
     let (cursor, _, tail) = bus.cursor_state(0, 1);
     assert_eq!(cursor, tail, "refreshed replica is caught up");
+    // Same-version fleet, so the refresh that just ran pulled the v2
+    // arena blob — byte 8 of the snapshot layout names the codec version.
+    assert_eq!(
+        probe.snapshot().unwrap().bytes[8],
+        2,
+        "a v5 fleet must snapshot-refresh with the v2 arena format"
+    );
 
     // And the converged fleet answers bit-identically to the oracle.
     let queries: Vec<Query> = gen_mixed_traffic(&g, 25, &TrafficMix::default(), 77)

@@ -43,6 +43,17 @@ pub fn handle_request(service: &Arc<KosrService>, req: Request) -> Response {
         }),
         Request::MemberCounts => Response::MemberCounts(member_counts(service)),
         Request::Snapshot => {
+            // The legacy pull promises a v1 blob; a world too large for
+            // v1's u32 counts is a typed refusal, never a truncated blob.
+            let (epoch, ig) = service.epoch_and_index();
+            match ig.encode_snapshot_v1() {
+                Ok(bytes) => Response::Snapshot(SnapshotBlob { epoch, bytes }),
+                Err(_) => Response::Fault(crate::protocol::ProtocolError::Corrupt(
+                    "snapshot exceeds the v1 format; pull with SnapshotV2",
+                )),
+            }
+        }
+        Request::SnapshotV2 => {
             let (epoch, ig) = service.epoch_and_index();
             Response::Snapshot(SnapshotBlob {
                 epoch,

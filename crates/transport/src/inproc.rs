@@ -14,9 +14,9 @@ use kosr_service::{KosrService, TraceContext, Update, UpdateReceipt};
 
 use crate::host::handle_request;
 use crate::protocol::{
-    decode_request_limited, decode_response, encode_request, encode_response, Heartbeat,
-    MemberCounts, ProtocolError, RemoteResponse, Request, Response, SnapshotBlob,
-    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    adapt_blob_for_peer, decode_request_limited, decode_response, encode_request, encode_response,
+    Heartbeat, MemberCounts, ProtocolError, RemoteResponse, Request, Response, SnapshotBlob,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, SNAPSHOT_V2_VERSION,
 };
 use crate::{ShardTransport, TransportError, TransportTicket};
 
@@ -225,6 +225,14 @@ impl InProcTransport {
             Ok((_, req)) => handle_request(&self.service, req),
             Err(e) => Response::Fault(e),
         };
+        // A version-capped simulation must *answer Hello* as the old
+        // binary would — with its own (capped) version, not this build's.
+        let resp = match resp {
+            Response::Hello { max_version } => Response::Hello {
+                max_version: max_version.min(self.peer_version),
+            },
+            other => other,
+        };
         let frame = encode_response(id, &resp);
         let (echoed_id, resp) = decode_response(&frame)?;
         if echoed_id != id {
@@ -307,11 +315,22 @@ impl ShardTransport for InProcTransport {
     }
 
     fn snapshot(&self) -> Result<SnapshotBlob, TransportError> {
-        expect_snapshot(self.roundtrip(Request::Snapshot)?)
+        // Peers that negotiated v5 serve the flat-arena blob (O(bytes)
+        // install); older ones only know the legacy v1 pull.
+        let req = if self.peer_protocol_version() >= SNAPSHOT_V2_VERSION {
+            Request::SnapshotV2
+        } else {
+            Request::Snapshot
+        };
+        expect_snapshot(self.roundtrip(req)?)
     }
 
     fn install_snapshot(&self, blob: &SnapshotBlob) -> Result<Heartbeat, TransportError> {
-        expect_install(self.roundtrip(Request::InstallSnapshot(blob.clone()))?)
+        // Pushing a v2 blob at a pre-v5 peer: transcode down client-side
+        // so the old binary installs it natively.
+        let blob = adapt_blob_for_peer(blob, self.peer_protocol_version())
+            .map_err(TransportError::Snapshot)?;
+        expect_install(self.roundtrip(Request::InstallSnapshot(blob))?)
     }
 
     fn compact(&self, through: u64) -> Result<u64, TransportError> {

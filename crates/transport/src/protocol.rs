@@ -51,6 +51,15 @@
 //! traced kinds stay stamped `3` and everything older stays `2`, so
 //! mixed v2/v3/v4 fleets keep interoperating and a client talking to an
 //! older peer falls back to the plain [`Request::Ping`].
+//!
+//! Version 5 adds the **flat-arena snapshot pull** ([`Request::SnapshotV2`]):
+//! a snapshot request whose response blob is the v2 zero-copy format of
+//! `kosr_index::arena` (the response reuses the existing Snapshot kind —
+//! the blob's own version byte names its format). Clients only send the
+//! new kind to peers that negotiated ≥ 5; to older peers they fall back
+//! to [`Request::Snapshot`] (a v1 blob), and when *pushing* a v2 blob at
+//! an older peer they transcode it down first. Either way every fleet
+//! member keeps installing byte-identical indexes.
 
 use std::io::{Read, Write};
 use std::time::Duration;
@@ -67,8 +76,9 @@ use kosr_service::{
 /// The wire version this build writes and understands. Version 2 added
 /// the frame id (multiplexing) and the `Compact`/`InstallSnapshot`
 /// surface; version 3 added the negotiated trace header on Query frames;
-/// version 4 adds the event-forwarding heartbeat.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// version 4 added the event-forwarding heartbeat; version 5 adds the
+/// flat-arena (v2-format) snapshot pull.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// The oldest wire version this build still accepts. Frames carry the
 /// lowest version able to decode them, so a v2-era peer interoperates
@@ -83,6 +93,9 @@ const TRACED_VERSION: u8 = 3;
 
 /// The revision that introduced the event-forwarding heartbeat kinds.
 const EVENTS_VERSION: u8 = 4;
+
+/// The revision that introduced the flat-arena snapshot pull kind.
+pub(crate) const SNAPSHOT_V2_VERSION: u8 = 5;
 
 /// Upper bound on one frame's payload; larger length prefixes are refused
 /// before any allocation (snapshots of big shards dominate frame size).
@@ -220,6 +233,13 @@ pub enum Request {
         /// forwarded.
         since_seq: u64,
     },
+    /// Ship an index snapshot in the **v2 flat-arena format**
+    /// (`kosr_index::arena`) — the protocol-v5 pull whose blob installs
+    /// as a bounds-checked reinterpretation instead of a rebuild. The
+    /// answer is the same [`Response::Snapshot`] kind (the blob's own
+    /// version byte names its format). Send only to peers that answered
+    /// [`Request::Hello`] with version ≥ 5.
+    SnapshotV2,
 }
 
 /// Replica → client messages.
@@ -660,6 +680,7 @@ fn put_snapshot_error(e: &SnapshotError, out: &mut Vec<u8>) {
         SnapshotError::Truncated => out.put_u8(2),
         SnapshotError::Corrupt(_) => out.put_u8(3),
         SnapshotError::Labels(_) => out.put_u8(4),
+        SnapshotError::TooLarge => out.put_u8(5),
     }
 }
 
@@ -670,8 +691,31 @@ fn get_snapshot_error(r: &mut Rd) -> Result<SnapshotError, ProtocolError> {
         2 => SnapshotError::Truncated,
         3 => SnapshotError::Corrupt("reported by peer"),
         4 => SnapshotError::Corrupt("label blob rejected by peer"),
+        5 => SnapshotError::TooLarge,
         _ => return Err(ProtocolError::Corrupt("unknown snapshot-error tag")),
     })
+}
+
+/// Prepares a snapshot blob for a peer that negotiated `peer_version`:
+/// a v2 (flat-arena) blob headed at a pre-v5 peer is transcoded down to
+/// the v1 format client-side, so the old binary installs it natively —
+/// the push mirror of the pull-side [`Request::Snapshot`] fallback.
+/// Anything else passes through untouched. A v2 world too large for v1
+/// surfaces the encoder's typed [`SnapshotError::TooLarge`].
+pub(crate) fn adapt_blob_for_peer(
+    blob: &SnapshotBlob,
+    peer_version: u8,
+) -> Result<SnapshotBlob, SnapshotError> {
+    if peer_version < SNAPSHOT_V2_VERSION
+        && kosr_index::arena::blob_version(&blob.bytes)
+            == Some(kosr_index::arena::FLAT_SNAPSHOT_VERSION)
+    {
+        return Ok(SnapshotBlob {
+            epoch: blob.epoch,
+            bytes: kosr_index::arena::downgrade(&blob.bytes)?,
+        });
+    }
+    Ok(blob.clone())
 }
 
 // ---- trace codecs (v3) -----------------------------------------------
@@ -972,6 +1016,9 @@ const KIND_RESP_HELLO: u8 = 29;
 // v4 kinds: the event-forwarding heartbeat pair, stamped v4.
 const KIND_REQ_PING_EVENTS: u8 = 9;
 const KIND_RESP_PONG_EVENTS: u8 = 30;
+// v5 kind: the flat-arena snapshot pull, stamped v5. The response reuses
+// KIND_RESP_SNAPSHOT — a blob is a blob; its own header names the format.
+const KIND_REQ_SNAPSHOT_V2: u8 = 10;
 
 fn header(version: u8, kind: u8, frame_id: u64) -> Vec<u8> {
     let mut out = vec![version, kind];
@@ -1054,6 +1101,7 @@ pub fn encode_request(frame_id: u64, req: &Request) -> Vec<u8> {
             out.put_u64_le(*since_seq);
             out
         }
+        Request::SnapshotV2 => header(SNAPSHOT_V2_VERSION, KIND_REQ_SNAPSHOT_V2, frame_id),
     }
 }
 
@@ -1099,6 +1147,7 @@ pub fn decode_request_limited(
         KIND_REQ_PING_EVENTS if max_version >= EVENTS_VERSION => Request::PingEvents {
             since_seq: r.u64()?,
         },
+        KIND_REQ_SNAPSHOT_V2 if max_version >= SNAPSHOT_V2_VERSION => Request::SnapshotV2,
         other => return Err(ProtocolError::UnknownKind(other)),
     };
     r.finish()?;

@@ -34,9 +34,9 @@ use crate::inproc::{
 };
 use crate::mux::DemuxTable;
 use crate::protocol::{
-    decode_request, decode_response, encode_request, encode_response, peek_frame_id, read_frame,
-    write_frame, Heartbeat, MemberCounts, Request, Response, SnapshotBlob, MIN_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    adapt_blob_for_peer, decode_request, decode_response, encode_request, encode_response,
+    peek_frame_id, read_frame, write_frame, Heartbeat, MemberCounts, Request, Response,
+    SnapshotBlob, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION, SNAPSHOT_V2_VERSION,
 };
 use crate::{ShardTransport, TransportError, TransportTicket};
 
@@ -440,11 +440,22 @@ impl ShardTransport for TcpTransport {
     }
 
     fn snapshot(&self) -> Result<SnapshotBlob, TransportError> {
-        expect_snapshot(self.roundtrip(&Request::Snapshot)?)
+        // Peers that negotiated v5 serve the flat-arena blob; older ones
+        // only know the legacy v1 pull.
+        let req = if self.peer_protocol_version() >= SNAPSHOT_V2_VERSION {
+            Request::SnapshotV2
+        } else {
+            Request::Snapshot
+        };
+        expect_snapshot(self.roundtrip(&req)?)
     }
 
     fn install_snapshot(&self, blob: &SnapshotBlob) -> Result<Heartbeat, TransportError> {
-        expect_install(self.roundtrip(&Request::InstallSnapshot(blob.clone()))?)
+        // Pushing a v2 blob at a pre-v5 peer: transcode down client-side
+        // so the old binary installs it natively.
+        let blob = adapt_blob_for_peer(blob, self.peer_protocol_version())
+            .map_err(TransportError::Snapshot)?;
+        expect_install(self.roundtrip(&Request::InstallSnapshot(blob))?)
     }
 
     fn compact(&self, through: u64) -> Result<u64, TransportError> {
