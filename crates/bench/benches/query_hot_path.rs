@@ -1,0 +1,73 @@
+//! The bound-pruned query hot path: each search method with and without
+//! the inter-category lower-bound tables, at two world sizes, over a
+//! mixed-traffic batch (hot pairs + uniform tails, mixed `k` and `|C|`).
+//!
+//! * `kpne_*` / `pruning_*` — the bound-ordered queue (`cost +
+//!   rem[level]`) focuses expansion toward completable sequences; the
+//!   table lookup happens once per query (`seq_bounds`), inside the
+//!   measured window, so the speedup shown is net of that cost.
+//! * `star_*` — StarKOSR keeps its estimate-ordered queue (the sibling
+//!   chain requires it; see `kosr-core::star`) and uses the table only as
+//!   a whole-query feasibility gate, so parity here is the expected
+//!   result, not a regression.
+//!
+//! Worlds: `1x` is the repo's standard 16×16 grid bench world; `10x` is a
+//! 50×51 grid (~10× the vertices) to show the gap scaling with size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kosr_core::{IndexedGraph, Method, Query};
+use kosr_workloads::{assign_uniform, gen_mixed_traffic, road_grid_directed, TrafficMix};
+
+fn world(w: u32, h: u32, seed: u64) -> IndexedGraph {
+    let mut g = road_grid_directed(w, h, seed);
+    assign_uniform(&mut g, 6, 20, 5);
+    IndexedGraph::build_default(g)
+}
+
+fn query_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_hot_path");
+    group.sample_size(12);
+
+    for (label, w, h, batch) in [("1x", 16u32, 16u32, 48usize), ("10x", 50, 51, 16)] {
+        let ig = world(w, h, 13);
+        let queries: Vec<Query> = gen_mixed_traffic(&ig.graph, batch, &TrafficMix::default(), 29)
+            .iter()
+            .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
+            .collect();
+
+        for (mname, method) in [
+            ("kpne", Method::Kpne),
+            ("pruning", Method::Pk),
+            ("star", Method::Sk),
+        ] {
+            group.bench_function(format!("{mname}_plain/{label}"), |b| {
+                b.iter(|| {
+                    let mut examined = 0u64;
+                    for q in &queries {
+                        examined += ig.run_canonical(q, method, u64::MAX).stats.examined_routes;
+                    }
+                    criterion::black_box(examined)
+                });
+            });
+            group.bench_function(format!("{mname}_bounds/{label}"), |b| {
+                b.iter(|| {
+                    let mut examined = 0u64;
+                    for q in &queries {
+                        let sb = ig.seq_bounds(q);
+                        examined += ig
+                            .run_canonical_opt(q, method, u64::MAX, Some(&sb))
+                            .stats
+                            .examined_routes;
+                    }
+                    criterion::black_box(examined)
+                });
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, query_hot_path);
+criterion_main!(benches);

@@ -18,17 +18,29 @@
 use std::cmp::Reverse;
 use std::time::Instant;
 
-use kosr_graph::Weight;
-use kosr_index::{NearestNeighbors, TargetDistance};
+use kosr_graph::{inf_add, is_finite, Weight};
+use kosr_index::{NearestNeighbors, SeqBounds, TargetDistance};
 
 use crate::arena::{NodeId, RouteArena};
 use crate::engine::{neighbor, TimedHeap, TimedNn, TimedTarget};
 use crate::types::{KosrOutcome, Query, QueryStats, Witness};
 
-/// Queue entry: `(cost, node, level, x, last_leg)`, min-ordered by
-/// `(cost, node)` for determinism. `level` is the number of categories
-/// visited (0 = source only); `x` records which NN index produced the tail.
-type Entry = Reverse<(Weight, NodeId, u16, u32, Weight)>;
+/// Queue entry: `(key, node, level, x, cost, last_leg)`, min-ordered by
+/// `(key, node)` for determinism. Without sequence bounds `key == cost`;
+/// with bounds it is `cost + rem[level]` — an admissible, *consistent*
+/// estimate, so complete routes still pop in true cost order. `level` is
+/// the number of categories visited (0 = source only); `x` records which
+/// NN index produced the tail.
+type Entry = Reverse<(Weight, NodeId, u16, u32, Weight, Weight)>;
+
+/// Entry key: real cost, tightened by the remaining-sequence lower bound
+/// when one is supplied.
+fn key_of(bounds: Option<&SeqBounds>, cost: Weight, level: u16) -> Weight {
+    match bounds {
+        Some(b) => inf_add(cost, b.remaining(level)),
+        None => cost,
+    }
+}
 
 /// Answers `query` with the KPNE baseline over the given providers.
 pub fn kpne<N, T>(query: &Query, nn: N, target: T) -> KosrOutcome
@@ -47,6 +59,25 @@ where
     N: NearestNeighbors,
     T: TargetDistance,
 {
+    kpne_opt(query, nn, target, limit, None)
+}
+
+/// [`kpne_bounded`] with optional remaining-sequence lower bounds: entries
+/// are ordered by `cost + rem[level]` instead of bare cost (fewer pops reach
+/// the k-th emission) and candidates whose bound proves them uncompletable
+/// are dropped at push time (counted in `stats.bound_pruned`). `bounds:
+/// None` reproduces the unpruned search exactly.
+pub fn kpne_opt<N, T>(
+    query: &Query,
+    nn: N,
+    target: T,
+    limit: u64,
+    bounds: Option<&SeqBounds>,
+) -> KosrOutcome
+where
+    N: NearestNeighbors,
+    T: TargetDistance,
+{
     debug_assert_eq!(target.target(), query.target);
     let t0 = Instant::now();
     let mut nn = TimedNn::new(nn);
@@ -61,11 +92,23 @@ where
     };
     let final_level = (query.categories.len() + 1) as u16;
 
+    if bounds.is_some_and(|b| b.infeasible()) {
+        // The whole-query lower bound is infinite: no feasible route exists,
+        // skip the search entirely.
+        stats.bound_pruned = 1;
+        stats.time.total = t0.elapsed();
+        stats.time.finalize();
+        return KosrOutcome {
+            witnesses: Vec::new(),
+            stats,
+        };
+    }
+
     let root = arena.root(query.source);
-    heap.push(Reverse((0, root, 0, 1, 0)));
+    heap.push(Reverse((key_of(bounds, 0, 0), root, 0, 1, 0, 0)));
 
     let mut witnesses: Vec<Witness> = Vec::with_capacity(query.k);
-    while let Some(Reverse((cost, node, level, x, last_leg))) = heap.pop() {
+    while let Some(Reverse((_key, node, level, x, cost, last_leg))) = heap.pop() {
         stats.examined_routes += 1;
         stats.examined_per_level[level as usize] += 1;
         if stats.examined_routes > limit {
@@ -87,8 +130,13 @@ where
         // Extend through the nearest neighbor of the next category.
         let tail = arena.vertex(node);
         if let Some((u, d)) = neighbor(&mut nn, &mut target, query, tail, level as usize + 1, 1) {
-            let child = arena.extend(node, u);
-            heap.push(Reverse((cost + d, child, level + 1, 1, d)));
+            let key = key_of(bounds, cost + d, level + 1);
+            if bounds.is_some() && !is_finite(key) {
+                stats.bound_pruned += 1;
+            } else {
+                let child = arena.extend(node, u);
+                heap.push(Reverse((key, child, level + 1, 1, cost + d, d)));
+            }
         }
 
         // Sibling: parent's (x+1)-th nearest neighbor in this category.
@@ -104,8 +152,13 @@ where
                 x as usize + 1,
             ) {
                 let parent_cost = cost - last_leg;
-                let child = arena.extend(parent, u);
-                heap.push(Reverse((parent_cost + d, child, level, x + 1, d)));
+                let key = key_of(bounds, parent_cost + d, level);
+                if bounds.is_some() && !is_finite(key) {
+                    stats.bound_pruned += 1;
+                } else {
+                    let child = arena.extend(parent, u);
+                    heap.push(Reverse((key, child, level, x + 1, parent_cost + d, d)));
+                }
             }
         }
     }

@@ -20,8 +20,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use kosr_graph::{FxHashMap, VertexId, Weight};
-use kosr_index::{NearestNeighbors, TargetDistance};
+use kosr_graph::{inf_add, is_finite, FxHashMap, VertexId, Weight};
+use kosr_index::{NearestNeighbors, SeqBounds, TargetDistance};
 
 use crate::arena::{NodeId, RouteArena};
 use crate::engine::{neighbor, TimedHeap, TimedNn, TimedTarget};
@@ -30,9 +30,21 @@ use crate::types::{KosrOutcome, Query, QueryStats, Witness};
 /// `x = 0` encodes the paper's `'-'` (no sibling generation on this entry).
 const NO_X: u32 = 0;
 
-/// Queue entry: `(cost, node, level, x, last_leg)`, min-ordered by
-/// `(cost, node)`.
-type Entry = Reverse<(Weight, NodeId, u16, u32, Weight)>;
+/// Queue entry: `(key, node, level, x, cost, last_leg)`, min-ordered by
+/// `(key, node)`. Without sequence bounds `key == cost`; with bounds it is
+/// `cost + rem[level]`. Within a dominance slot all entries share a level,
+/// so the bound shifts every key by the same constant and "first arrival is
+/// cheapest" keeps holding under the tightened order.
+type Entry = Reverse<(Weight, NodeId, u16, u32, Weight, Weight)>;
+
+/// Entry key: real cost, tightened by the remaining-sequence lower bound
+/// when one is supplied.
+fn key_of(bounds: Option<&SeqBounds>, cost: Weight, level: u16) -> Weight {
+    match bounds {
+        Some(b) => inf_add(cost, b.remaining(level)),
+        None => cost,
+    }
+}
 
 /// A dominance slot: `(tail vertex, witness length)` — the paper's per-vertex
 /// hash-table key `|p|`.
@@ -49,6 +61,24 @@ where
 
 /// [`pruning_kosr`] with an examined-routes budget (see `kpne_bounded`).
 pub fn pruning_kosr_bounded<N, T>(query: &Query, nn: N, target: T, limit: u64) -> KosrOutcome
+where
+    N: NearestNeighbors,
+    T: TargetDistance,
+{
+    pruning_kosr_opt(query, nn, target, limit, None)
+}
+
+/// [`pruning_kosr_bounded`] with optional remaining-sequence lower bounds
+/// (see `kpne_opt`): bound-ordered queue, push-time pruning of provably
+/// uncompletable candidates, `bounds: None` reproduces the unpruned search
+/// exactly.
+pub fn pruning_kosr_opt<N, T>(
+    query: &Query,
+    nn: N,
+    target: T,
+    limit: u64,
+    bounds: Option<&SeqBounds>,
+) -> KosrOutcome
 where
     N: NearestNeighbors,
     T: TargetDistance,
@@ -72,11 +102,21 @@ where
     // HT≻: parked dominated routes per slot, cheapest first.
     let mut ht_sub: FxHashMap<Slot, BinaryHeap<Reverse<(Weight, NodeId)>>> = FxHashMap::default();
 
+    if bounds.is_some_and(|b| b.infeasible()) {
+        stats.bound_pruned = 1;
+        stats.time.total = t0.elapsed();
+        stats.time.finalize();
+        return KosrOutcome {
+            witnesses: Vec::new(),
+            stats,
+        };
+    }
+
     let root = arena.root(query.source);
-    heap.push(Reverse((0, root, 0, 1, 0)));
+    heap.push(Reverse((key_of(bounds, 0, 0), root, 0, 1, 0, 0)));
 
     let mut witnesses: Vec<Witness> = Vec::with_capacity(query.k);
-    while let Some(Reverse((cost, node, level, x, last_leg))) = heap.pop() {
+    while let Some(Reverse((_key, node, level, x, cost, last_leg))) = heap.pop() {
         stats.examined_routes += 1;
         stats.examined_per_level[level as usize] += 1;
         if stats.examined_routes > limit {
@@ -99,7 +139,8 @@ where
                 if ht_dom.get(&slot) == Some(&anc) {
                     if let Some(parked) = ht_sub.get_mut(&slot) {
                         if let Some(Reverse((pcost, pnode))) = parked.pop() {
-                            heap.push(Reverse((pcost, pnode, len - 1, NO_X, 0)));
+                            let key = key_of(bounds, pcost, len - 1);
+                            heap.push(Reverse((key, pnode, len - 1, NO_X, pcost, 0)));
                             stats.reconsidered_routes += 1;
                         }
                     }
@@ -119,8 +160,13 @@ where
                 if let Some((u, d)) =
                     neighbor(&mut nn, &mut target, query, tail, level as usize + 1, 1)
                 {
-                    let child = arena.extend(node, u);
-                    heap.push(Reverse((cost + d, child, level + 1, 1, d)));
+                    let key = key_of(bounds, cost + d, level + 1);
+                    if bounds.is_some() && !is_finite(key) {
+                        stats.bound_pruned += 1;
+                    } else {
+                        let child = arena.extend(node, u);
+                        heap.push(Reverse((key, child, level + 1, 1, cost + d, d)));
+                    }
                 }
             }
             std::collections::hash_map::Entry::Occupied(_) => {
@@ -142,8 +188,13 @@ where
                 x as usize + 1,
             ) {
                 let parent_cost = cost - last_leg;
-                let child = arena.extend(parent, u);
-                heap.push(Reverse((parent_cost + d, child, level, x + 1, d)));
+                let key = key_of(bounds, parent_cost + d, level);
+                if bounds.is_some() && !is_finite(key) {
+                    stats.bound_pruned += 1;
+                } else {
+                    let child = arena.extend(parent, u);
+                    heap.push(Reverse((key, child, level, x + 1, parent_cost + d, d)));
+                }
             }
         }
     }

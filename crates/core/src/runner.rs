@@ -8,7 +8,8 @@ use kosr_graph::{CategoryId, Graph, VertexId, Weight};
 use kosr_hoplabel::{BuildStats, HopLabels, HubOrder, IncrementalUpdater, LabelSet};
 use kosr_index::disk::DiskIndex;
 use kosr_index::{
-    CategoryIndexSet, DijkstraNn, DijkstraTarget, InvertedStats, LabelNn, LabelTarget,
+    CategoryBounds, CategoryIndexSet, DijkstraNn, DijkstraTarget, InvertedStats, LabelNn,
+    LabelTarget, SeqBounds,
 };
 
 use crate::star::star_kosr;
@@ -74,6 +75,9 @@ pub struct IndexedGraph {
     pub labels: HopLabels,
     /// Per-category inverted label indexes.
     pub inverted: CategoryIndexSet,
+    /// Offline inter-category lower-bound tables (exact min member-pair
+    /// distances), maintained through every live update.
+    pub bounds: CategoryBounds,
     /// Label preprocessing statistics (Table IX, top half).
     pub label_stats: BuildStats,
     /// Inverted-index preprocessing statistics (Table IX, bottom half).
@@ -86,10 +90,12 @@ impl IndexedGraph {
         let (labels, label_stats) = kosr_hoplabel::build_with_stats(&graph, order);
         let (inverted, inverted_stats) =
             CategoryIndexSet::build_with_stats(&labels, graph.categories());
+        let bounds = CategoryBounds::build(&labels, graph.categories());
         IndexedGraph {
             graph,
             labels,
             inverted,
+            bounds,
             label_stats,
             inverted_stats,
         }
@@ -123,45 +129,77 @@ impl IndexedGraph {
     /// This is the admission-control knob serving layers use to keep one
     /// pathological query from monopolising a worker.
     pub fn run_bounded(&self, query: &Query, method: Method, limit: u64) -> KosrOutcome {
-        use crate::kpne::kpne_bounded;
-        use crate::pruning::pruning_kosr_bounded;
-        use crate::star::star_kosr_bounded;
+        self.run_bounded_opt(query, method, limit, None)
+    }
+
+    /// Assembles the remaining-sequence lower bounds for `query` from the
+    /// offline category-pair table: `rem[l]` bounds the cost still to pay
+    /// by any partial route that has covered `l` categories. Pass the
+    /// result to [`Self::run_bounded_opt`] / [`Self::run_canonical_opt`];
+    /// the bounds are `k`-independent, so one assembly serves the canonical
+    /// wrapper's whole refetch loop (and, upstream, the witness cache).
+    pub fn seq_bounds(&self, query: &Query) -> SeqBounds {
+        self.bounds
+            .seq_bounds(&self.labels, query.source, query.target, &query.categories)
+    }
+
+    /// [`Self::run_bounded`] with optional precomputed sequence bounds:
+    /// the search orders its queue by `cost + rem[level]` and drops
+    /// provably uncompletable candidates (`stats.bound_pruned`). Results
+    /// are bit-identical under canonical semantics — the bounds are
+    /// admissible and consistent — only the work to reach them shrinks.
+    pub fn run_bounded_opt(
+        &self,
+        query: &Query,
+        method: Method,
+        limit: u64,
+        bounds: Option<&SeqBounds>,
+    ) -> KosrOutcome {
+        use crate::kpne::kpne_opt;
+        use crate::pruning::pruning_kosr_opt;
+        use crate::star::star_kosr_opt;
         match method {
-            Method::Kpne => kpne_bounded(
+            Method::Kpne => kpne_opt(
                 query,
                 LabelNn::new(&self.labels, &self.inverted),
                 LabelTarget::new(&self.labels, query.target),
                 limit,
+                bounds,
             ),
-            Method::Pk => pruning_kosr_bounded(
+            Method::Pk => pruning_kosr_opt(
                 query,
                 LabelNn::new(&self.labels, &self.inverted),
                 LabelTarget::new(&self.labels, query.target),
                 limit,
+                bounds,
             ),
-            Method::Sk => star_kosr_bounded(
+            Method::Sk => star_kosr_opt(
                 query,
                 LabelNn::new(&self.labels, &self.inverted),
                 LabelTarget::new(&self.labels, query.target),
                 limit,
+                bounds,
             ),
-            Method::KpneDij => kpne_bounded(
+            Method::KpneDij => kpne_opt(
                 query,
                 DijkstraNn::new(&self.graph),
                 DijkstraTarget::new(&self.graph, query.target),
                 limit,
+                bounds,
             ),
-            Method::PkDij => pruning_kosr_bounded(
+            Method::PkDij => pruning_kosr_opt(
                 query,
                 DijkstraNn::new(&self.graph),
                 DijkstraTarget::new(&self.graph, query.target),
                 limit,
+                bounds,
             ),
-            Method::SkDij => star_kosr_bounded(
+            Method::SkDij => star_kosr_opt(
                 query,
                 DijkstraNn::new(&self.graph),
                 DijkstraTarget::new(&self.graph, query.target),
                 limit,
+                bounds,
             ),
         }
     }
@@ -194,6 +232,20 @@ impl IndexedGraph {
     /// outcome is returned as-is for the caller's admission control to
     /// surface.
     pub fn run_canonical(&self, query: &Query, method: Method, limit: u64) -> KosrOutcome {
+        self.run_canonical_opt(query, method, limit, None)
+    }
+
+    /// [`Self::run_canonical`] with optional precomputed sequence bounds
+    /// (see [`Self::run_bounded_opt`]). Because the bounds are admissible
+    /// and consistent, the canonical output is bit-identical with or
+    /// without them.
+    pub fn run_canonical_opt(
+        &self,
+        query: &Query,
+        method: Method,
+        limit: u64,
+        bounds: Option<&SeqBounds>,
+    ) -> KosrOutcome {
         if query.k == 0 {
             // Nothing requested; `run_bounded` would also return nothing,
             // and the tie-group check below indexes witnesses[k - 1].
@@ -203,7 +255,7 @@ impl IndexedGraph {
         loop {
             let mut probe = query.clone();
             probe.k = fetch;
-            let mut out = self.run_bounded(&probe, method, limit);
+            let mut out = self.run_bounded_opt(&probe, method, limit, bounds);
             if out.stats.truncated {
                 out.witnesses.truncate(query.k);
                 return out;
@@ -228,8 +280,15 @@ impl IndexedGraph {
     /// Panics if `v` or `c` is out of range — callers (the service's
     /// `apply_update`) validate first.
     pub fn insert_membership(&mut self, v: VertexId, c: CategoryId) -> bool {
-        self.inverted
-            .insert_membership(&self.labels, self.graph.categories_mut(), v, c)
+        let changed =
+            self.inverted
+                .insert_membership(&self.labels, self.graph.categories_mut(), v, c);
+        if changed {
+            // Inserts only lower true inter-category distances: relax the
+            // bound table in place (row/column `c` recomputed exactly).
+            self.bounds.insert_member(&self.labels, v, c);
+        }
+        changed
     }
 
     /// Removes `v` from category `c` (the paper's dynamic *category
@@ -238,8 +297,17 @@ impl IndexedGraph {
     /// # Panics
     /// Panics if `v` or `c` is out of range.
     pub fn remove_membership(&mut self, v: VertexId, c: CategoryId) -> bool {
-        self.inverted
-            .remove_membership(&self.labels, self.graph.categories_mut(), v, c)
+        let changed =
+            self.inverted
+                .remove_membership(&self.labels, self.graph.categories_mut(), v, c);
+        if changed {
+            // Removal can *raise* true minima, which a stored minimum
+            // cannot track entry-wise — rebuild the affected row/column
+            // from the surviving members to stay exact (and admissible).
+            self.bounds
+                .remove_member(&self.labels, self.graph.categories(), c);
+        }
+        changed
     }
 
     /// Inserts edge `(a, b, w)` — or decreases an existing edge's weight
@@ -285,8 +353,11 @@ impl IndexedGraph {
         let added = updater.insert_edge(&self.graph, &mut self.labels, a, b, w);
         if added > 0 {
             // Inverted lists mirror members' Lin labels; repair by rebuild
-            // (grouping existing label entries — no graph searches).
+            // (grouping existing label entries — no graph searches). The
+            // bound tables are derived from the same labels, so rebuild
+            // them from the repaired labels in the same stroke.
             self.inverted = CategoryIndexSet::build(&self.labels, self.graph.categories());
+            self.bounds = CategoryBounds::build(&self.labels, self.graph.categories());
         }
         Ok(added)
     }
@@ -302,7 +373,12 @@ impl IndexedGraph {
     /// indexes too, so installing it is a bounds-checked reinterpretation
     /// with no rebuild of any kind.
     pub fn encode_snapshot(&self) -> Vec<u8> {
-        kosr_index::arena::encode_snapshot_v2(&self.graph, &self.labels, &self.inverted)
+        kosr_index::arena::encode_snapshot_v2_with_bounds(
+            &self.graph,
+            &self.labels,
+            &self.inverted,
+            &self.bounds,
+        )
     }
 
     /// Serializes the graph + 2-hop labels into the legacy **v1** snapshot
@@ -333,35 +409,41 @@ impl IndexedGraph {
     pub fn decode_snapshot(
         bytes: &[u8],
     ) -> Result<IndexedGraph, kosr_index::snapshot::SnapshotError> {
-        let (graph, labels, inverted, inverted_stats) = if kosr_index::arena::blob_version(bytes)
-            == Some(kosr_index::arena::FLAT_SNAPSHOT_VERSION)
-        {
-            let start = std::time::Instant::now();
-            let (graph, labels, inverted) = kosr_index::arena::decode_snapshot_v2(bytes)?;
-            // The accepted header already carries the fleet-wide list
-            // and entry totals; reading them back beats re-walking the
-            // per-category hash maps the decode just built.
-            let (total_lists, total_entries) =
-                kosr_index::arena::blob_inverted_counts(bytes).unwrap_or((0, 0));
-            let nc = inverted.num_categories().max(1);
-            let stats = kosr_index::InvertedStats {
-                build_time: start.elapsed(),
-                avg_entries_per_category: total_entries as f64 / nc as f64,
-                avg_list_len: if total_lists == 0 {
-                    0.0
-                } else {
-                    total_entries as f64 / total_lists as f64
-                },
-                size_bytes: total_entries as usize
-                    * (std::mem::size_of::<kosr_graph::VertexId>()
-                        + std::mem::size_of::<kosr_graph::Weight>()),
+        let (graph, labels, inverted, bounds, inverted_stats) =
+            if kosr_index::arena::blob_version(bytes)
+                == Some(kosr_index::arena::FLAT_SNAPSHOT_VERSION)
+            {
+                let start = std::time::Instant::now();
+                let (graph, labels, inverted, bounds) =
+                    kosr_index::arena::decode_snapshot_v2_full(bytes)?;
+                // The accepted header already carries the fleet-wide list
+                // and entry totals; reading them back beats re-walking the
+                // per-category hash maps the decode just built.
+                let (total_lists, total_entries) =
+                    kosr_index::arena::blob_inverted_counts(bytes).unwrap_or((0, 0));
+                let nc = inverted.num_categories().max(1);
+                let stats = kosr_index::InvertedStats {
+                    build_time: start.elapsed(),
+                    avg_entries_per_category: total_entries as f64 / nc as f64,
+                    avg_list_len: if total_lists == 0 {
+                        0.0
+                    } else {
+                        total_entries as f64 / total_lists as f64
+                    },
+                    size_bytes: total_entries as usize
+                        * (std::mem::size_of::<kosr_graph::VertexId>()
+                            + std::mem::size_of::<kosr_graph::Weight>()),
+                };
+                (graph, labels, inverted, bounds, stats)
+            } else {
+                let (graph, labels) = kosr_index::snapshot::decode_snapshot(bytes)?;
+                let (inverted, stats) =
+                    CategoryIndexSet::build_with_stats(&labels, graph.categories());
+                (graph, labels, inverted, None, stats)
             };
-            (graph, labels, inverted, stats)
-        } else {
-            let (graph, labels) = kosr_index::snapshot::decode_snapshot(bytes)?;
-            let (inverted, stats) = CategoryIndexSet::build_with_stats(&labels, graph.categories());
-            (graph, labels, inverted, stats)
-        };
+        // Blobs that predate the bounds section (or v1 blobs) rebuild the
+        // tables from the decoded labels on install.
+        let bounds = bounds.unwrap_or_else(|| CategoryBounds::build(&labels, graph.categories()));
         let label_stats = BuildStats {
             labels_added: labels.num_entries(),
             ..Default::default()
@@ -370,6 +452,7 @@ impl IndexedGraph {
             graph,
             labels,
             inverted,
+            bounds,
             label_stats,
             inverted_stats,
         })
@@ -550,6 +633,50 @@ mod tests {
             let small = ig.run_canonical(&qs, Method::Sk, u64::MAX);
             assert_eq!(small.witnesses[..], reference.witnesses[..k]);
         }
+    }
+
+    #[test]
+    fn bound_pruned_runs_match_unpruned_canonical() {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        let sb = ig.seq_bounds(&q);
+        assert!(!sb.infeasible());
+        for m in Method::ALL {
+            let base = ig.run_canonical(&q, m, u64::MAX);
+            let opt = ig.run_canonical_opt(&q, m, u64::MAX, Some(&sb));
+            assert_eq!(opt.witnesses, base.witnesses, "method {}", m.name());
+            assert!(
+                opt.stats.examined_routes <= base.stats.examined_routes,
+                "bounds must never increase work ({})",
+                m.name()
+            );
+        }
+        // Same through the tie world, where ordering mistakes would show.
+        let (ig, base_q) = tie_world(4);
+        let mut q = base_q;
+        q.k = 6;
+        let sb = ig.seq_bounds(&q);
+        for m in Method::ALL {
+            assert_eq!(
+                ig.run_canonical_opt(&q, m, u64::MAX, Some(&sb)).witnesses,
+                ig.run_canonical(&q, m, u64::MAX).witnesses,
+                "method {} diverged under bounds",
+                m.name()
+            );
+        }
+        // An infeasible chain is refused at the root without expanding.
+        let rev = Query::new(q.target, q.source, q.categories.clone(), 2);
+        let sb = ig.seq_bounds(&rev);
+        assert!(sb.infeasible());
+        let out = ig.run_bounded_opt(&rev, Method::Kpne, u64::MAX, Some(&sb));
+        assert!(out.witnesses.is_empty());
+        assert_eq!(out.stats.examined_routes, 0);
+        assert_eq!(out.stats.bound_pruned, 1);
+        assert_eq!(
+            ig.run_canonical(&rev, Method::Kpne, u64::MAX).witnesses,
+            out.witnesses
+        );
     }
 
     #[test]

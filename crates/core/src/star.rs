@@ -18,7 +18,7 @@ use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use kosr_graph::{is_finite, FxHashMap, VertexId, Weight};
-use kosr_index::{EstimatedNeighbor, NearestNeighbors, NenFinder, TargetDistance};
+use kosr_index::{EstimatedNeighbor, NearestNeighbors, NenFinder, SeqBounds, TargetDistance};
 
 use crate::arena::{NodeId, RouteArena};
 use crate::engine::{TimedHeap, TimedNn, TimedTarget};
@@ -76,6 +76,31 @@ where
     N: NearestNeighbors,
     T: TargetDistance,
 {
+    star_kosr_opt(query, nn, target, limit, None)
+}
+
+/// [`star_kosr_bounded`] with optional remaining-sequence lower bounds (see
+/// `kpne_opt`). For StarKOSR the bounds act **only** as the whole-query
+/// feasibility gate (`rem[0] = ∞` → return empty without expanding):
+/// unlike KPNE/PruningKOSR, the queue key here cannot be tightened with
+/// `cost + rem[level]`, because FindNEN's lazy sibling chain is ordered by
+/// the *estimate* `dis(v, u) + dis(u, t)` — popping the x-th entry is what
+/// generates the (x+1)-th. A key mixing in `cost + rem` is not monotone
+/// along that chain (the `dis(v, u)` component can shrink as the estimate
+/// grows), so a sibling cheaper than the k-th answer could hide behind a
+/// never-popped predecessor and be lost. `bounds: None` and a feasible
+/// `bounds` both reproduce the plain StarKOSR search exactly.
+pub fn star_kosr_opt<N, T>(
+    query: &Query,
+    nn: N,
+    target: T,
+    limit: u64,
+    bounds: Option<&SeqBounds>,
+) -> KosrOutcome
+where
+    N: NearestNeighbors,
+    T: TargetDistance,
+{
     debug_assert_eq!(target.target(), query.target);
     let t0 = Instant::now();
     let mut nn = TimedNn::new(nn);
@@ -96,9 +121,19 @@ where
     let mut ht_sub: FxHashMap<Slot, ParkedQueue> = FxHashMap::default();
 
     let root = arena.root(query.source);
-    // The root's estimate is dis(s, t); if t is unreachable the query has no
-    // feasible route at all.
+    // The root's estimate is dis(s, t); if t is unreachable — or the
+    // category-chain bound already proves no feasible completion — the
+    // query has no feasible route at all.
     let root_est = target.to_target(query.source);
+    if bounds.is_some_and(|b| b.infeasible()) {
+        stats.bound_pruned = 1;
+        stats.time.total = t0.elapsed();
+        stats.time.finalize();
+        return KosrOutcome {
+            witnesses: Vec::new(),
+            stats,
+        };
+    }
     if !is_finite(root_est) {
         stats.time.total = t0.elapsed();
         stats.time.finalize();

@@ -186,6 +186,9 @@ pub struct QueryStats {
     pub dominated_routes: u64,
     /// Dominated routes later reconsidered.
     pub reconsidered_routes: u64,
+    /// Candidate expansions dropped because the remaining-sequence lower
+    /// bound proved no feasible completion exists (bounds-enabled runs only).
+    pub bound_pruned: u64,
     /// `true` if the search hit its examined-routes budget before finding
     /// all k routes (the reproduction harness's analogue of the paper's
     /// 3,600-second "INF" cutoff).

@@ -54,6 +54,21 @@ pub struct Partition {
 }
 
 impl Partition {
+    /// A partition from an explicit per-vertex assignment — for
+    /// deterministic deployments and tests that need full control over
+    /// shard layout (the [`Partitioner`] is the tuned path).
+    ///
+    /// # Panics
+    /// Panics when `num_shards == 0` or any owner is out of range.
+    pub fn from_owner(owner: Vec<u32>, num_shards: usize) -> Partition {
+        assert!(num_shards >= 1, "a partition needs at least one shard");
+        assert!(
+            owner.iter().all(|&o| (o as usize) < num_shards),
+            "owner out of range"
+        );
+        Partition { owner, num_shards }
+    }
+
     /// The owning shard of `v`.
     #[inline]
     pub fn owner(&self, v: VertexId) -> usize {

@@ -41,11 +41,15 @@ use bytes::BufMut;
 use kosr_graph::{CategoryId, CategoryTable, FxHashMap, Graph, VertexId, Weight};
 use kosr_hoplabel::{flat, flat::FlatError, HopLabels};
 
+use crate::bounds::CategoryBounds;
 use crate::inverted::{CategoryIndexSet, InvertedLabelIndex};
 use crate::snapshot::{SnapshotError, MAGIC};
 
 /// The flat-arena snapshot format version byte.
 pub const FLAT_SNAPSHOT_VERSION: u8 = 2;
+
+/// Magic opening the optional trailing category-bounds section.
+const BOUNDS_MAGIC: &[u8; 4] = b"LBND";
 
 /// Bytes before the first section: magic + version + 9 × u64 counts.
 const HEADER_LEN: usize = 8 + 1 + 9 * 8;
@@ -749,13 +753,172 @@ pub fn decode_snapshot_v2(
     })
 }
 
+/// Byte length of the 14 **core** sections of a v2 blob (header included),
+/// recomputed from the header counts with checked arithmetic. Anything
+/// beyond this offset is the optional trailing bounds section.
+fn core_len(bytes: &[u8]) -> Result<usize, SnapshotError> {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[8] != FLAT_SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: bytes[8] });
+    }
+    let c = &bytes[9..HEADER_LEN];
+    let counts = Counts {
+        n: read_u64(c, 0),
+        m: read_u64(c, 1),
+        ncats: read_u64(c, 2),
+        lin_tot: read_u64(c, 3),
+        lout_tot: read_u64(c, 4),
+        name_tot: read_u64(c, 5),
+        memb_tot: read_u64(c, 6),
+        hub_tot: read_u64(c, 7),
+        inv_tot: read_u64(c, 8),
+    };
+    counts.expected_len().ok_or(SnapshotError::Truncated)
+}
+
+/// Serializes a full index **plus its category-pair lower-bound tables**
+/// into one v2 blob: the 14 core sections of [`encode_snapshot_v2`]
+/// followed by a self-describing trailing section
+///
+/// ```text
+/// bounds magic : 4 bytes = b"LBND"
+/// ncats_b      : u64   must equal the header's ncats
+/// linmin_tot   : u64   entries across the per-category virtual Lin sets
+/// loutmin_tot  : u64   entries across the per-category virtual Lout sets
+/// lin_min slab : flat slab over ncats sets                       [`flat`]
+/// lout_min slab: flat slab over ncats sets
+/// table        : ncats² × u64, row-major
+/// ```
+///
+/// Core-only decoders ([`decode_snapshot_v2`]) keep refusing the longer
+/// blob as trailing garbage; bounds-aware installs use
+/// [`decode_snapshot_v2_full`].
+pub fn encode_snapshot_v2_with_bounds(
+    graph: &Graph,
+    labels: &HopLabels,
+    inverted: &CategoryIndexSet,
+    bounds: &CategoryBounds,
+) -> Vec<u8> {
+    let mut out = encode_snapshot_v2(graph, labels, inverted);
+    out.put_slice(BOUNDS_MAGIC);
+    out.put_u64_le(bounds.num_categories() as u64);
+    out.put_u64_le(flat::entry_count(bounds.lin_min_sets()));
+    out.put_u64_le(flat::entry_count(bounds.lout_min_sets()));
+    flat::encode_sets(bounds.lin_min_sets(), &mut out);
+    flat::encode_sets(bounds.lout_min_sets(), &mut out);
+    for &w in bounds.table_slice() {
+        out.put_u64_le(w);
+    }
+    out
+}
+
+/// Decodes the trailing bounds section. `ncats` and `n` come from the
+/// already-validated core (the category table and vertex count the section
+/// must agree with); any disagreement is a typed [`SnapshotError`], never
+/// a panic.
+fn decode_bounds_section(
+    region: &[u8],
+    ncats: usize,
+    n: usize,
+) -> Result<CategoryBounds, SnapshotError> {
+    const BOUNDS_HEADER: usize = 4 + 3 * 8;
+    if region.len() < BOUNDS_HEADER {
+        return Err(SnapshotError::Truncated);
+    }
+    if &region[..4] != BOUNDS_MAGIC {
+        return Err(SnapshotError::Corrupt("bounds section magic mismatch"));
+    }
+    let c = &region[4..BOUNDS_HEADER];
+    let ncats_b = read_u64(c, 0);
+    if ncats_b != ncats as u64 {
+        return Err(SnapshotError::Corrupt(
+            "bounds section category count disagrees with category table",
+        ));
+    }
+    let lin_tot = read_u64(c, 1);
+    let lout_tot = read_u64(c, 2);
+    // Whole-section length from the declared counts, checked arithmetic
+    // first — a lying header cannot drive an allocation.
+    let lin_len = flat::slab_len(ncats, lin_tot).ok_or(SnapshotError::Truncated)?;
+    let lout_len = flat::slab_len(ncats, lout_tot).ok_or(SnapshotError::Truncated)?;
+    let table_len = ncats
+        .checked_mul(ncats)
+        .and_then(|cells| cells.checked_mul(8))
+        .ok_or(SnapshotError::Truncated)?;
+    let expect = [lin_len, lout_len, table_len]
+        .iter()
+        .try_fold(BOUNDS_HEADER, |acc, &s| acc.checked_add(s))
+        .ok_or(SnapshotError::Truncated)?;
+    if region.len() < expect {
+        return Err(SnapshotError::Truncated);
+    }
+    if region.len() > expect {
+        return Err(SnapshotError::Corrupt(
+            "trailing bytes after bounds section",
+        ));
+    }
+    let lin_region = &region[BOUNDS_HEADER..BOUNDS_HEADER + lin_len];
+    let lout_region = &region[BOUNDS_HEADER + lin_len..BOUNDS_HEADER + lin_len + lout_len];
+    let lin_min = flat::decode_sets_checked(ncats, lin_tot, n as u32, lin_region)?;
+    let lout_min = flat::decode_sets_checked(ncats, lout_tot, n as u32, lout_region)?;
+    let table_region = &region[expect - table_len..];
+    let table: Vec<Weight> = (0..ncats * ncats)
+        .map(|i| read_u64(table_region, i))
+        .collect();
+    CategoryBounds::from_parts(lin_min, lout_min, table)
+        .ok_or(SnapshotError::Corrupt("bounds section shape mismatch"))
+}
+
+/// [`decode_snapshot_v2`] extended with the optional trailing bounds
+/// section: `Ok(..., Some(bounds))` when the blob carries one (validated
+/// against the decoded category table), `Ok(..., None)` for a plain core
+/// blob (the installer rebuilds bounds from the labels).
+#[allow(clippy::type_complexity)]
+pub fn decode_snapshot_v2_full(
+    bytes: &[u8],
+) -> Result<(Graph, HopLabels, CategoryIndexSet, Option<CategoryBounds>), SnapshotError> {
+    let core = core_len(bytes)?;
+    if bytes.len() < core {
+        return Err(SnapshotError::Truncated);
+    }
+    let (graph, labels, inverted) = decode_snapshot_v2(&bytes[..core])?;
+    let bounds = if bytes.len() > core {
+        Some(decode_bounds_section(
+            &bytes[core..],
+            graph.categories().num_categories(),
+            graph.num_vertices(),
+        )?)
+    } else {
+        None
+    };
+    Ok((graph, labels, inverted, bounds))
+}
+
 /// Transcodes a v2 blob down to the v1 wire format — the negotiated
 /// fallback the transports use when a fleet peer predates v2. The inverted
 /// arenas are dropped (v1 never carried them; the old peer rebuilds its
 /// own), so only the graph and labels are materialised here.
 pub fn downgrade(bytes: &[u8]) -> Result<Vec<u8>, SnapshotError> {
-    let view = FlatSnapshot::validate(bytes)?;
+    // A trailing bounds section (v1 never carried bounds either) is
+    // validated and then dropped along with the inverted arenas.
+    let core = core_len(bytes)?;
+    if bytes.len() < core {
+        return Err(SnapshotError::Truncated);
+    }
+    let view = FlatSnapshot::validate(&bytes[..core])?;
     let graph = view.graph()?;
+    if bytes.len() > core {
+        decode_bounds_section(
+            &bytes[core..],
+            graph.categories().num_categories(),
+            graph.num_vertices(),
+        )?;
+    }
     let labels = view.labels()?;
     crate::snapshot::encode_snapshot(&graph, &labels)
 }
@@ -928,6 +1091,79 @@ mod tests {
         bad[target_base..target_base + 4].copy_from_slice(&0u32.to_le_bytes());
         assert!(matches!(
             FlatSnapshot::validate(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bounds_section_roundtrips_and_core_decoders_stay_strict() {
+        let (g, labels, inverted) = world();
+        let bounds = CategoryBounds::build(&labels, g.categories());
+        let blob = encode_snapshot_v2_with_bounds(&g, &labels, &inverted, &bounds);
+        let (g2, labels2, _, back) = decode_snapshot_v2_full(&blob).unwrap();
+        assert_eq!(back.as_ref(), Some(&bounds));
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(labels2.num_entries(), labels.num_entries());
+        // A core-only blob reports no bounds instead of failing.
+        let core = encode_snapshot_v2(&g, &labels, &inverted);
+        let (_, _, _, none) = decode_snapshot_v2_full(&core).unwrap();
+        assert!(none.is_none());
+        // The strict core decoder keeps refusing the longer blob.
+        assert!(matches!(
+            decode_snapshot_v2(&blob),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Downgrade drops the section but still validates it.
+        assert_eq!(downgrade(&blob).unwrap(), downgrade(&core).unwrap());
+    }
+
+    #[test]
+    fn bounds_section_count_mismatch_is_typed() {
+        let (g, labels, inverted) = world();
+        let bounds = CategoryBounds::build(&labels, g.categories());
+        let core = encode_snapshot_v2(&g, &labels, &inverted);
+        let blob = encode_snapshot_v2_with_bounds(&g, &labels, &inverted, &bounds);
+        // Lie about the category count inside the bounds section.
+        let mut bad = blob.clone();
+        let pos = core.len() + 4;
+        bad[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        match decode_snapshot_v2_full(&bad) {
+            Err(SnapshotError::Corrupt(msg)) => {
+                assert!(msg.contains("disagrees with category table"), "{msg}")
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Same lie through the downgrade path.
+        assert!(downgrade(&bad).is_err());
+        // A lying entry total is refused by the length check, not an
+        // allocation attempt.
+        let mut bad = blob.clone();
+        let pos = core.len() + 12;
+        bad[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_snapshot_v2_full(&bad),
+            Err(SnapshotError::Truncated)
+        ));
+        // Wrong section magic.
+        let mut bad = blob.clone();
+        bad[core.len()] ^= 0xFF;
+        assert!(matches!(
+            decode_snapshot_v2_full(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Truncation anywhere inside the section is typed, never a panic
+        // (a cut at exactly the core length is a valid bounds-less blob).
+        for cut in core.len() + 1..blob.len() {
+            match decode_snapshot_v2_full(&blob[..cut]) {
+                Err(SnapshotError::Truncated | SnapshotError::Corrupt(_)) => {}
+                other => panic!("cut={cut}: unexpected {other:?}"),
+            }
+        }
+        // Trailing garbage after a complete section is corrupt.
+        let mut bad = blob.clone();
+        bad.push(0);
+        assert!(matches!(
+            decode_snapshot_v2_full(&bad),
             Err(SnapshotError::Corrupt(_))
         ));
     }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod bounds;
 pub mod disk;
 mod inverted;
 mod nen;
@@ -32,6 +33,7 @@ mod nn;
 pub mod snapshot;
 mod target;
 
+pub use bounds::{CategoryBounds, SeqBounds};
 pub use inverted::{CategoryIndexSet, InvertedLabelIndex, InvertedStats};
 pub use nen::{EstimatedNeighbor, NenFinder};
 pub use nn::{DijkstraNn, LabelNn, NearestNeighbors};

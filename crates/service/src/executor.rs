@@ -37,6 +37,7 @@ use crate::events::{EventJournal, EventKind, Source};
 use crate::planner::{QueryPlan, QueryPlanner};
 use crate::stats::{method_slot, LatencyHistogram, MethodStats, ServiceStats};
 use crate::trace::{span_id_for, Span, SpanRing, TagValue, TraceContext};
+use crate::witness::WitnessCache;
 
 /// Service tunables.
 #[derive(Clone, Debug)]
@@ -193,6 +194,8 @@ struct ExecProfile {
     dominated: u64,
     nn_queries: u64,
     heap_peak: u64,
+    bound_pruned: u64,
+    table_hits: u64,
 }
 
 /// Builds the replica-side span tree: a `replica` root parented under the
@@ -247,6 +250,8 @@ fn build_replica_spans(
             .tag("dominated", TagValue::U64(profile.dominated))
             .tag("nn_queries", TagValue::U64(profile.nn_queries))
             .tag("heap_peak", TagValue::U64(profile.heap_peak))
+            .tag("bound_prunes", TagValue::U64(profile.bound_pruned))
+            .tag("table_hits", TagValue::U64(profile.table_hits))
             .tag("budget", TagValue::U64(plan.examined_budget))
             .tag("epoch", TagValue::U64(profile.epoch)),
         );
@@ -285,6 +290,10 @@ struct Shared {
     /// when caching is disabled.
     cache_enabled: bool,
     cache: Mutex<ResultCache>,
+    /// Cross-query witness reuse: cached `SeqBounds` fragments keyed by
+    /// `(source, C₁)` and `(categories, target)`. Epoch-guarded
+    /// internally — a fragment never outlives the index it was exact for.
+    witness: Mutex<WitnessCache>,
     /// The oldest upstream update-log sequence still replayable, as told
     /// by `Compact` notices. Monotone; the transport host refuses notices
     /// that would move it backwards (a stale controller's view).
@@ -311,6 +320,12 @@ struct Shared {
     budget_exhausted: AtomicU64,
     rejected_invalid: AtomicU64,
     cache_hits: AtomicU64,
+    /// Queue pushes dropped because the remaining-sequence bound proved
+    /// them uncompletable, summed over every executed query.
+    bound_prunes: AtomicU64,
+    /// `SeqBounds` fragments served from the witness cache (0–2 per
+    /// executed query: head and/or tail).
+    witness_reuses: AtomicU64,
 }
 
 impl Shared {
@@ -423,9 +438,35 @@ impl Shared {
 
         let (epoch, ig) = self.index_snapshot();
         let exec_started = Instant::now();
-        let outcome = ig.run_canonical(&job.query, job.plan.method, job.plan.examined_budget);
+        // Assemble the query's remaining-sequence bounds through the
+        // witness cache (reusing fragments from earlier queries that share
+        // a head or tail), then run the bound-pruned search. Identical
+        // routes either way — the bounds only change how fast we get them.
+        let (bounds, table_hits) = if job.plan.use_bounds {
+            let (sb, hits) = self
+                .witness
+                .lock()
+                .unwrap()
+                .seq_bounds(epoch, &ig, &job.query);
+            (Some(sb), hits)
+        } else {
+            (None, 0)
+        };
+        if table_hits > 0 {
+            self.witness_reuses.fetch_add(table_hits, Ordering::Relaxed);
+        }
+        let outcome = ig.run_canonical_opt(
+            &job.query,
+            job.plan.method,
+            job.plan.examined_budget,
+            bounds.as_ref(),
+        );
         let exec_us = elapsed_us(exec_started);
         self.busy_micros.fetch_add(exec_us, Ordering::Relaxed);
+        if outcome.stats.bound_pruned > 0 {
+            self.bound_prunes
+                .fetch_add(outcome.stats.bound_pruned, Ordering::Relaxed);
+        }
 
         if outcome.stats.truncated {
             // The budget ran out before all k routes were found: surface a
@@ -470,6 +511,8 @@ impl Shared {
                             dominated: outcome.stats.dominated_routes,
                             nn_queries: outcome.stats.nn_queries,
                             heap_peak: outcome.stats.heap_peak as u64,
+                            bound_pruned: outcome.stats.bound_pruned,
+                            table_hits,
                         },
                     )),
                 },
@@ -535,6 +578,7 @@ impl KosrService {
             queue_capacity: config.queue_capacity.max(1),
             cache_enabled: config.cache_capacity > 0,
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            witness: Mutex::new(WitnessCache::default()),
             log_head: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
             events: Arc::new(EventJournal::new(128)),
@@ -549,6 +593,8 @@ impl KosrService {
             budget_exhausted: AtomicU64::new(0),
             rejected_invalid: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            bound_prunes: AtomicU64::new(0),
+            witness_reuses: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -570,6 +616,13 @@ impl KosrService {
     /// (and goes stale) rather than changing underfoot.
     pub fn indexed_graph(&self) -> Arc<IndexedGraph> {
         self.shared.index_snapshot().1
+    }
+
+    /// The planner configuration this service was built with — what the
+    /// shard router reads to honor per-fleet toggles (e.g. `use_bounds`)
+    /// in its own pre-submission gates.
+    pub fn planner_config(&self) -> &crate::planner::PlannerConfig {
+        self.shared.planner.config()
     }
 
     /// The index epoch: bumped by every applied [`Update`]. Snapshot +
@@ -964,6 +1017,8 @@ impl KosrService {
             budget_exhausted: s.budget_exhausted.load(Ordering::Relaxed),
             rejected_invalid: s.rejected_invalid.load(Ordering::Relaxed),
             cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            bound_prunes: s.bound_prunes.load(Ordering::Relaxed),
+            witness_reuses: s.witness_reuses.load(Ordering::Relaxed),
             window,
             qps: if window.as_secs_f64() > 0.0 {
                 completed as f64 / window.as_secs_f64()
@@ -1006,7 +1061,12 @@ pub fn run_sequential(
         .iter()
         .map(|q| {
             let plan = planner.plan(ig, q);
-            ig.run_canonical(q, plan.method, plan.examined_budget)
+            if plan.use_bounds {
+                let sb = ig.seq_bounds(q);
+                ig.run_canonical_opt(q, plan.method, plan.examined_budget, Some(&sb))
+            } else {
+                ig.run_canonical(q, plan.method, plan.examined_budget)
+            }
         })
         .collect()
 }
@@ -1501,6 +1561,103 @@ mod tests {
         // Garbage blobs are typed rejections, not panics.
         assert!(restarted.decode_calibration(b"garbage").is_err());
         assert_eq!(restarted.plan(&dense_small).method, Method::Pk, "kept");
+    }
+
+    #[test]
+    fn bound_pruning_and_witness_reuse_are_counted_and_traced() {
+        use crate::trace::TraceId;
+
+        // Cache off so every submission actually executes.
+        let (svc, fx) = service(1, 64, 0);
+        let q = fig1_query(&fx, 3);
+        let ctx = TraceContext::root(TraceId(7), true);
+        let tag = |spans: &[Span], name: &str| -> TagValue {
+            spans
+                .iter()
+                .find(|s| s.name == "execute")
+                .expect("uncached completions carry an execute span")
+                .tags
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| panic!("missing tag {name}"))
+                .1
+                .clone()
+        };
+
+        let first = svc
+            .submit_traced(q.clone(), Some(ctx))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(first.plan.use_bounds, "bounds are on by default");
+        assert_eq!(first.outcome.costs(), vec![20, 21, 22]);
+        assert_eq!(tag(&first.spans, "table_hits"), TagValue::U64(0), "cold");
+        assert_eq!(
+            tag(&first.spans, "bound_prunes"),
+            TagValue::U64(first.outcome.stats.bound_pruned)
+        );
+
+        // A repeat query reuses both witness fragments (head + tail) and
+        // still answers bit-identically.
+        let second = svc
+            .submit_traced(q.clone(), Some(ctx))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(second.outcome.witnesses, first.outcome.witnesses);
+        assert_eq!(tag(&second.spans, "table_hits"), TagValue::U64(2));
+
+        let stats = svc.stats();
+        assert_eq!(stats.witness_reuses, 2);
+        assert_eq!(
+            stats.bound_prunes,
+            first.outcome.stats.bound_pruned + second.outcome.stats.bound_pruned
+        );
+        assert!(stats.to_string().contains("witness-fragment"));
+
+        // An applied update bumps the epoch: no stale fragment is reused.
+        let gone = first.outcome.witnesses[0].vertices[2];
+        svc.apply_update(&Update::RemoveMembership {
+            vertex: gone,
+            category: fx.re,
+        })
+        .unwrap();
+        let third = svc
+            .submit_traced(q.clone(), Some(ctx))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(tag(&third.spans, "table_hits"), TagValue::U64(0));
+        assert_eq!(
+            svc.stats().witness_reuses,
+            2,
+            "epoch guard cleared the cache"
+        );
+        assert_ne!(third.outcome.witnesses, first.outcome.witnesses);
+    }
+
+    #[test]
+    fn disabling_bounds_answers_identically() {
+        let fx = figure1();
+        let ig = Arc::new(IndexedGraph::build_default(fx.graph.clone()));
+        let svc = KosrService::new(
+            ig,
+            ServiceConfig {
+                workers: 1,
+                cache_capacity: 0,
+                planner: crate::planner::PlannerConfig {
+                    use_bounds: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let resp = svc.submit(fig1_query(&fx, 3)).unwrap().wait().unwrap();
+        assert!(!resp.plan.use_bounds);
+        assert_eq!(resp.outcome.costs(), vec![20, 21, 22]);
+        assert_eq!(resp.outcome.stats.bound_pruned, 0);
+        let stats = svc.stats();
+        assert_eq!((stats.bound_prunes, stats.witness_reuses), (0, 0));
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod metrics;
 mod planner;
 mod stats;
 mod trace;
+mod witness;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use error::{ServiceError, UpdateError};
@@ -68,6 +69,7 @@ pub use trace::{
     sample_decision, span_id_for, splitmix64, SlowQueryLog, Span, SpanId, SpanRing, TagValue,
     Trace, TraceContext, TraceId, TraceStore,
 };
+pub use witness::WitnessCache;
 
 // Re-exported so service users don't need a direct kosr-core dependency
 // for the common request/response types.

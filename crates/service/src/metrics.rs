@@ -356,6 +356,18 @@ impl ServiceStats {
             &l,
             self.cache_hits as f64,
         );
+        registry.counter(
+            "kosr_prune_bound_total",
+            "Queue pushes dropped by the remaining-sequence lower bound",
+            &l,
+            self.bound_prunes as f64,
+        );
+        registry.counter(
+            "kosr_witness_reuse_total",
+            "SeqBounds fragments served from the cross-query witness cache",
+            &l,
+            self.witness_reuses as f64,
+        );
         registry.gauge(
             "kosr_service_qps",
             "Completed queries per second over the stats window",
@@ -741,6 +753,10 @@ mod tests {
         assert!(text.contains("kosr_service_latency_histogram_seconds_count 2"));
         assert!(text.contains("kosr_service_method_completed_total{method="));
         assert!(text.contains("kosr_service_qps"));
+        assert!(text.contains("kosr_prune_bound_total"));
+        // The repeat submission was a result-cache hit — it never executed,
+        // so no witness fragment was consulted.
+        assert!(text.contains("kosr_witness_reuse_total 0"));
     }
 
     #[test]

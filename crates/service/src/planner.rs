@@ -57,6 +57,13 @@ pub struct PlannerConfig {
     /// to be cheaper. Off by default — thresholds stay the paper-informed
     /// constants.
     pub calibrate: bool,
+    /// When `true` (the default), executions run with the index's
+    /// inter-category lower-bound tables: the search queue is ordered by
+    /// `cost + remaining-sequence bound` and provably uncompletable
+    /// candidates are pruned at push time. Results are bit-identical
+    /// either way (the bounds are admissible and consistent); the toggle
+    /// exists for A/B measurement and as an escape hatch.
+    pub use_bounds: bool,
 }
 
 impl Default for PlannerConfig {
@@ -72,6 +79,7 @@ impl Default for PlannerConfig {
             max_examined: u64::MAX,
             deadline: None,
             calibrate: false,
+            use_bounds: true,
         }
     }
 }
@@ -240,6 +248,9 @@ pub struct QueryPlan {
     pub examined_budget: u64,
     /// Wall-clock deadline for the query (submit → response), if any.
     pub deadline: Option<Duration>,
+    /// Run with remaining-sequence lower bounds (bound-ordered queue +
+    /// push-time pruning). See [`PlannerConfig::use_bounds`].
+    pub use_bounds: bool,
 }
 
 /// Chooses per-query plans against one shared [`IndexedGraph`].
@@ -448,6 +459,7 @@ impl QueryPlanner {
             method,
             examined_budget,
             deadline: cfg.deadline,
+            use_bounds: cfg.use_bounds,
         }
     }
 }
@@ -781,6 +793,22 @@ mod tests {
         );
         // A refused blob must not have disturbed the learned state.
         assert_eq!(planner.encode_calibration(), good);
+    }
+
+    #[test]
+    fn bounds_toggle_propagates_to_plans() {
+        let ig = fig1_ig();
+        let fx = figure1();
+        let q = Query::new(fx.s, fx.t, vec![fx.ma], 1);
+        assert!(
+            QueryPlanner::default().plan(&ig, &q).use_bounds,
+            "default on"
+        );
+        let off = QueryPlanner::new(PlannerConfig {
+            use_bounds: false,
+            ..Default::default()
+        });
+        assert!(!off.plan(&ig, &q).use_bounds);
     }
 
     #[test]

@@ -195,6 +195,12 @@ pub struct ServiceStats {
     pub rejected_invalid: u64,
     /// Completions served from the result cache.
     pub cache_hits: u64,
+    /// Queue pushes dropped across all executed queries because the
+    /// remaining-sequence lower bound proved them uncompletable.
+    pub bound_prunes: u64,
+    /// `SeqBounds` fragments served from the cross-query witness cache
+    /// (up to two per executed query: head and tail).
+    pub witness_reuses: u64,
     /// Wall-clock window the stats cover (since start or last reset).
     pub window: Duration,
     /// Completed queries per second over `window`.
@@ -257,6 +263,11 @@ impl std::fmt::Display for ServiceStats {
             self.cache.misses,
             self.cache.evictions,
             self.cache.entries
+        )?;
+        writeln!(
+            f,
+            "bounds: {} pruned pushes, {} witness-fragment reuses",
+            self.bound_prunes, self.witness_reuses
         )?;
         for m in &self.per_method {
             writeln!(

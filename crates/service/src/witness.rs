@@ -1,0 +1,226 @@
+//! Cross-query witness reuse: a cache of remaining-sequence bound
+//! fragments shared by queries that agree on part of their shape.
+//!
+//! A query's [`SeqBounds`] suffix array factors into two independent
+//! pieces (see `kosr_index::bounds`):
+//!
+//! * the **head** `dis(s, C₁)` — depends only on `(source, first
+//!   category)`;
+//! * the **tail** `rem[1..]` — the category-chain suffix, which depends
+//!   only on `(categories, target)` and not on the source at all.
+//!
+//! Real workloads repeat both: commuters share destinations and errand
+//! sequences, venues share first stops. Caching the two fragments under
+//! their own keys lets a query whose exact `(s, t, C, k)` tuple was never
+//! seen before still skip the label merge-joins — the expensive part of
+//! bound assembly — whenever *either* fragment was computed for any
+//! earlier query.
+//!
+//! Entries are exact distances over the current index, so they are
+//! **epoch-guarded**: the cache remembers the index epoch it was filled
+//! against and self-clears when handed a newer one (the same linearization
+//! point the result cache uses). Capacity is bounded by clear-on-full —
+//! fragments are a few machine words each and recomputing one is cheap, so
+//! eviction bookkeeping would cost more than it saves.
+
+use std::sync::Arc;
+
+use kosr_core::{IndexedGraph, Query};
+use kosr_graph::{CategoryId, FxHashMap, VertexId, Weight};
+use kosr_index::SeqBounds;
+
+/// Default fragment capacity per map (heads and tails each).
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// Key for a cached tail fragment: the category suffix and the target.
+type TailKey = (Box<[CategoryId]>, VertexId);
+
+/// An epoch-guarded cache of [`SeqBounds`] fragments (see the module
+/// docs). Not internally synchronized — the service keeps it behind a
+/// mutex next to the result cache.
+#[derive(Debug)]
+pub struct WitnessCache {
+    /// The index epoch the cached fragments were computed against.
+    epoch: u64,
+    /// `(source, first category) → dis(source, C₁)`.
+    heads: FxHashMap<(VertexId, CategoryId), Weight>,
+    /// `(categories, target) → rem[1..]` suffix chain.
+    tails: FxHashMap<TailKey, Arc<Vec<Weight>>>,
+    capacity: usize,
+}
+
+impl Default for WitnessCache {
+    fn default() -> WitnessCache {
+        WitnessCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl WitnessCache {
+    /// A cache holding at most `capacity` head and `capacity` tail
+    /// fragments (`0` keeps nothing — every call recomputes).
+    pub fn new(capacity: usize) -> WitnessCache {
+        WitnessCache {
+            epoch: 0,
+            heads: FxHashMap::default(),
+            tails: FxHashMap::default(),
+            capacity,
+        }
+    }
+
+    /// Fragments currently held, `(heads, tails)`.
+    pub fn entries(&self) -> (usize, usize) {
+        (self.heads.len(), self.tails.len())
+    }
+
+    /// Drops every fragment (epoch bumps call this internally).
+    pub fn clear(&mut self) {
+        self.heads.clear();
+        self.tails.clear();
+    }
+
+    /// Assembles `query`'s [`SeqBounds`] against `ig` (which must be the
+    /// index of `epoch`), reusing cached fragments where possible.
+    /// Returns the bounds plus how many fragments were served from cache
+    /// (0–2: head and/or tail).
+    pub fn seq_bounds(&mut self, epoch: u64, ig: &IndexedGraph, query: &Query) -> (SeqBounds, u64) {
+        if epoch != self.epoch {
+            // Fragments are exact distances over a superseded index:
+            // worthless, possibly inadmissible. Start over.
+            self.clear();
+            self.epoch = epoch;
+        }
+        if query.categories.is_empty() {
+            // rem = [dis(s,t), 0]: two label lookups, nothing worth caching.
+            return (ig.seq_bounds(query), 0);
+        }
+        let mut hits = 0u64;
+
+        let head_key = (query.source, query.categories[0]);
+        let to_first = match self.heads.get(&head_key) {
+            Some(&d) => {
+                hits += 1;
+                d
+            }
+            None => {
+                let d = ig
+                    .bounds
+                    .to_category(&ig.labels, query.source, query.categories[0]);
+                if self.capacity > 0 {
+                    if self.heads.len() >= self.capacity {
+                        self.heads.clear();
+                    }
+                    self.heads.insert(head_key, d);
+                }
+                d
+            }
+        };
+
+        let tail_key = (query.categories.clone().into_boxed_slice(), query.target);
+        let suffix = match self.tails.get(&tail_key) {
+            Some(s) => {
+                hits += 1;
+                Arc::clone(s)
+            }
+            None => {
+                let s = Arc::new(ig.bounds.suffix_chain(
+                    &ig.labels,
+                    query.target,
+                    &query.categories,
+                ));
+                if self.capacity > 0 {
+                    if self.tails.len() >= self.capacity {
+                        self.tails.clear();
+                    }
+                    self.tails.insert(tail_key, Arc::clone(&s));
+                }
+                s
+            }
+        };
+
+        (
+            SeqBounds::from_parts(to_first, suffix.as_ref().clone()),
+            hits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_core::figure1::figure1;
+
+    fn fixture() -> (IndexedGraph, Query, kosr_core::figure1::Figure1) {
+        let fx = figure1();
+        let ig = IndexedGraph::build_default(fx.graph.clone());
+        let q = Query::new(fx.s, fx.t, vec![fx.ma, fx.re, fx.ci], 3);
+        (ig, q, fx)
+    }
+
+    #[test]
+    fn fragments_are_reused_and_recombine_exactly() {
+        let (ig, q, fx) = fixture();
+        let mut cache = WitnessCache::default();
+
+        let (cold, hits) = cache.seq_bounds(0, &ig, &q);
+        assert_eq!(hits, 0, "cold cache");
+        assert_eq!(cold, ig.seq_bounds(&q));
+        assert_eq!(cache.entries(), (1, 1));
+
+        let (warm, hits) = cache.seq_bounds(0, &ig, &q);
+        assert_eq!(hits, 2, "head and tail both reused");
+        assert_eq!(warm, cold);
+
+        // A different source shares the tail but not the head.
+        let moved = Query::new(fx.t, fx.t, q.categories.clone(), 3);
+        let (sb, hits) = cache.seq_bounds(0, &ig, &moved);
+        assert_eq!(hits, 1, "tail only");
+        assert_eq!(sb, ig.seq_bounds(&moved));
+
+        // Same source + first category but a different sequence shares
+        // the head but not the tail.
+        let shorter = Query::new(fx.s, fx.t, vec![fx.ma, fx.ci], 3);
+        let (sb, hits) = cache.seq_bounds(0, &ig, &shorter);
+        assert_eq!(hits, 1, "head only");
+        assert_eq!(sb, ig.seq_bounds(&shorter));
+    }
+
+    #[test]
+    fn epoch_bump_clears_and_category_free_queries_bypass() {
+        let (ig, q, fx) = fixture();
+        let mut cache = WitnessCache::default();
+        let _ = cache.seq_bounds(0, &ig, &q);
+        assert_eq!(cache.entries(), (1, 1));
+
+        let (sb, hits) = cache.seq_bounds(1, &ig, &q);
+        assert_eq!(hits, 0, "new epoch starts cold");
+        assert_eq!(sb, ig.seq_bounds(&q));
+        assert_eq!(cache.entries(), (1, 1));
+
+        let empty = Query::new(fx.s, fx.t, vec![], 1);
+        let (sb, hits) = cache.seq_bounds(1, &ig, &empty);
+        assert_eq!(hits, 0);
+        assert_eq!(sb, ig.seq_bounds(&empty));
+        assert_eq!(cache.entries(), (1, 1), "category-free queries not cached");
+    }
+
+    #[test]
+    fn capacity_is_clear_on_full_and_zero_disables() {
+        let (ig, q, fx) = fixture();
+        let mut cache = WitnessCache::new(1);
+        let _ = cache.seq_bounds(0, &ig, &q);
+        assert_eq!(cache.entries(), (1, 1));
+        // A second distinct head/tail pair trips clear-on-full, then lands.
+        let other = Query::new(fx.t, fx.s, vec![fx.re], 1);
+        let _ = cache.seq_bounds(0, &ig, &other);
+        assert_eq!(cache.entries(), (1, 1));
+        let (_, hits) = cache.seq_bounds(0, &ig, &other);
+        assert_eq!(hits, 2, "the survivor is the newest pair");
+
+        let mut disabled = WitnessCache::new(0);
+        let (sb, hits) = disabled.seq_bounds(0, &ig, &q);
+        assert_eq!((hits, disabled.entries()), (0, (0, 0)));
+        assert_eq!(sb, ig.seq_bounds(&q));
+        let (_, hits) = disabled.seq_bounds(0, &ig, &q);
+        assert_eq!(hits, 0, "nothing retained, nothing reused");
+    }
+}

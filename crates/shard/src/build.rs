@@ -2,7 +2,7 @@
 
 use kosr_core::IndexedGraph;
 use kosr_graph::{CategoryId, Partition, PartitionStats, VertexId};
-use kosr_index::{CategoryIndexSet, InvertedLabelIndex};
+use kosr_index::{CategoryBounds, CategoryIndexSet, InvertedLabelIndex};
 
 /// One [`IndexedGraph`] replica per shard, each carrying the replicated
 /// routing skeleton plus its own slice of the category data as *shadow
@@ -57,10 +57,15 @@ impl ShardSet {
                             .map(|m| InvertedLabelIndex::build_from_members(&ig.labels, m)),
                     )
                     .collect();
+                // The chain tables cover the shadow categories too, so
+                // the router can bound shadow-rewritten queries against
+                // this shard's owned first stops.
+                let bounds = CategoryBounds::build(&ig.labels, graph.categories());
                 IndexedGraph {
                     graph,
                     labels: ig.labels.clone(),
                     inverted: CategoryIndexSet::from_indexes(indexes),
+                    bounds,
                     label_stats: ig.label_stats,
                     inverted_stats: ig.inverted_stats,
                 }

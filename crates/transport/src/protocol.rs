@@ -1365,6 +1365,7 @@ mod tests {
                 heap_peak: 12,
                 dominated_routes: 2,
                 reconsidered_routes: 1,
+                bound_pruned: 0,
                 truncated: false,
                 time: Default::default(),
             },
