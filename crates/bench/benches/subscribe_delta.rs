@@ -1,0 +1,137 @@
+//! Standing-query maintenance: epoch-diff delta push vs naive re-query.
+//!
+//! Both benches publish the same closed update pair (insert a vertex into
+//! a category, then remove it — the world is back at baseline after every
+//! iteration) against a sharded fleet carrying a batch of standing
+//! mixed-traffic queries:
+//!
+//! * `delta_push` — the queries are subscriptions on a registered
+//!   [`SubscriptionHub`]: each publish runs the invalidation filter
+//!   (inverted category index + witness/bound stages), recomputes only the
+//!   woken sessions, and queues positional deltas; the iteration then
+//!   drains every session's queue.
+//! * `naive_requery` — no hub: each publish is followed by re-running
+//!   every standing query through the router, the only way a hubless edge
+//!   can keep its clients' top-k fresh.
+//!
+//! The gap is the subscription layer's whole value proposition: skips are
+//! counter-proven O(signature) set intersections, and only the sessions an
+//! update can actually affect pay for a recompute.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kosr_core::{IndexedGraph, Query};
+use kosr_graph::{CategoryId, PartitionConfig, Partitioner, VertexId};
+use kosr_service::{ServiceConfig, Update};
+use kosr_shard::{ShardRouter, ShardSet};
+use kosr_subscribe::{HubConfig, PollResponse, SubscriptionHub};
+use kosr_workloads::{assign_uniform, gen_mixed_traffic, road_grid_directed, TrafficMix};
+
+const SUBSCRIPTIONS: usize = 24;
+
+fn world() -> IndexedGraph {
+    let mut g = road_grid_directed(16, 16, 13);
+    assign_uniform(&mut g, 6, 20, 5);
+    IndexedGraph::build_default(g)
+}
+
+fn router(ig: &IndexedGraph) -> Arc<ShardRouter> {
+    let partition = Partitioner::new(PartitionConfig {
+        num_shards: 2,
+        ..Default::default()
+    })
+    .partition(&ig.graph);
+    Arc::new(ShardRouter::new(
+        ShardSet::build(ig, partition),
+        ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    ))
+}
+
+fn standing_queries(ig: &IndexedGraph) -> Vec<Query> {
+    gen_mixed_traffic(&ig.graph, SUBSCRIPTIONS, &TrafficMix::default(), 29)
+        .iter()
+        .map(|s| Query::new(s.source, s.target, s.categories.clone(), s.k))
+        .collect()
+}
+
+/// A closed membership flip: insert a non-member vertex into `C0`, then
+/// remove it. Publishing the pair leaves the world at baseline, so every
+/// iteration measures the same work.
+fn flip_pair(ig: &IndexedGraph) -> (Update, Update) {
+    let c = CategoryId(0);
+    let v = (0..ig.graph.num_vertices() as u32)
+        .map(VertexId)
+        .find(|&v| !ig.graph.categories().categories_of(v).contains(&c))
+        .expect("a vertex outside C0");
+    (
+        Update::InsertMembership {
+            vertex: v,
+            category: c,
+        },
+        Update::RemoveMembership {
+            vertex: v,
+            category: c,
+        },
+    )
+}
+
+fn subscribe_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subscribe_delta");
+    group.sample_size(12);
+
+    let ig = world();
+    let queries = standing_queries(&ig);
+    let (insert, remove) = flip_pair(&ig);
+
+    {
+        let router = router(&ig);
+        let hub = Arc::new(SubscriptionHub::new(&router, HubConfig::default()));
+        router.register_update_observer(Arc::clone(&hub) as _);
+        let sessions: Vec<_> = queries
+            .iter()
+            .filter_map(|q| hub.subscribe(q.clone()).ok().map(|r| r.id))
+            .collect();
+        assert_eq!(sessions.len(), SUBSCRIPTIONS);
+        let bus = router.update_bus();
+        group.bench_function("delta_push", |b| {
+            b.iter(|| {
+                bus.publish(&insert).unwrap();
+                bus.publish(&remove).unwrap();
+                let mut drained = 0usize;
+                for &id in &sessions {
+                    if let PollResponse::Deltas { deltas, .. } = hub.poll(id, Duration::ZERO) {
+                        drained += deltas.len();
+                    }
+                }
+                criterion::black_box(drained)
+            });
+        });
+    }
+
+    {
+        let router = router(&ig);
+        let bus = router.update_bus();
+        group.bench_function("naive_requery", |b| {
+            b.iter(|| {
+                bus.publish(&insert).unwrap();
+                bus.publish(&remove).unwrap();
+                let mut routes = 0usize;
+                for res in router.run_batch(&queries) {
+                    routes += res.unwrap().outcome.witnesses.len();
+                }
+                criterion::black_box(routes)
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, subscribe_delta);
+criterion_main!(benches);

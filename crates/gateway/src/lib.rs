@@ -15,6 +15,9 @@
 //! | `/metrics` | GET | Prometheus text: gateway QPS/latency/cache hit rate + latency histograms + trace counters + per-shard health and service stats + supervisor counters |
 //! | `/v1/traces/recent` | GET | summaries of recently retained traces and the slow-query log |
 //! | `/v1/traces/{id}` | GET | the full span tree of one trace (id from `X-Kosr-Trace-Id`) |
+//! | `/v1/subscribe` | POST | register a standing top-k query: JSON `{source, target, categories, k}` → session id + initial full top-k + epoch |
+//! | `/v1/subscribe/{id}/poll` | GET | long-poll (`?wait_ms=`) draining the session's queued epoch-diff deltas; answers a typed full resync after queue overflow |
+//! | `/v1/subscribe/{id}` | DELETE | end the standing query |
 //!
 //! Every `/v1/route` request is traced: the response carries an
 //! `X-Kosr-Trace-Id` header whenever its trace was retained (sampled, or

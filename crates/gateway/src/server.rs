@@ -19,6 +19,7 @@ use kosr_service::{
 use kosr_shard::{
     LiveUpdateBus, ShardError, ShardRouter, ShardedResponse, SupervisorHandle, Update,
 };
+use kosr_subscribe::{Delta, HubConfig, PollResponse, SessionId, SubscriptionHub};
 
 use crate::http::{
     read_request, status_of_parse_error, write_response, write_response_chunked,
@@ -59,6 +60,12 @@ pub struct GatewayConfig {
     pub trace_recent: usize,
     /// Worst-N traces by wall time retained in the slow-query log.
     pub trace_slow: usize,
+    /// Longest a `GET /v1/subscribe/{id}/poll` long-poll may park waiting
+    /// for a delta; a request's `wait_ms` is clamped to this.
+    pub max_poll_wait: Duration,
+    /// Undrained deltas a subscription may queue before the hub discards
+    /// them and forces a typed resync (see [`kosr_subscribe::HubConfig`]).
+    pub subscribe_queue: usize,
 }
 
 impl Default for GatewayConfig {
@@ -73,6 +80,8 @@ impl Default for GatewayConfig {
             trace_sample_ratio: 1.0,
             trace_recent: 64,
             trace_slow: 16,
+            max_poll_wait: Duration::from_secs(10),
+            subscribe_queue: 8,
         }
     }
 }
@@ -181,6 +190,7 @@ impl Reply {
 struct EdgeState {
     router: Arc<ShardRouter>,
     bus: LiveUpdateBus,
+    subs: Arc<SubscriptionHub>,
     supervisor: Option<Arc<SupervisorHandle>>,
     stats: Arc<GatewayStats>,
     traces: Arc<TraceStore>,
@@ -241,6 +251,52 @@ fn elapsed_us(since: Instant) -> u64 {
     since.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
+/// Parses the shared query shape — `{"source", "target", "categories",
+/// "k"}` — used by both `/v1/route` and `/v1/subscribe`.
+fn parse_query_fields(edge: &EdgeState, v: &Json) -> Result<Query, ApiError> {
+    let source = VertexId(field_u32(v, "source")?);
+    let target = VertexId(field_u32(v, "target")?);
+    // The runners pre-size result buffers by `k`; cap it at admission
+    // so one request cannot demand an absurd allocation downstream.
+    let k = field(v, "k")?
+        .as_u64()
+        .and_then(|n| (n <= edge.config.max_k as u64).then_some(n as usize))
+        .ok_or_else(|| {
+            ApiError::new(
+                400,
+                "invalid_request",
+                format!(
+                    "field \"k\" must be an integer in 1..={}",
+                    edge.config.max_k
+                ),
+            )
+        })?;
+    let categories = field(v, "categories")?
+        .as_array()
+        .ok_or_else(|| {
+            ApiError::new(
+                400,
+                "invalid_request",
+                "field \"categories\" must be an array",
+            )
+        })?
+        .iter()
+        .map(|c| {
+            c.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .map(CategoryId)
+                .ok_or_else(|| {
+                    ApiError::new(
+                        400,
+                        "invalid_request",
+                        "categories must be unsigned 32-bit integers",
+                    )
+                })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Query::new(source, target, categories, k))
+}
+
 /// Assembles and retains the request's trace, then attaches the
 /// `X-Kosr-Trace-Id` header iff the trace is actually retrievable:
 /// sampled traces always are; an unsampled request's edge-only trace only
@@ -296,53 +352,14 @@ fn handle_route(edge: &EdgeState, body: &[u8], received: Instant) -> Reply {
     let mut spans: Vec<Span> = Vec::new();
     let parsed = (|| {
         let v = parse_body(edge, body)?;
-        let source = VertexId(field_u32(&v, "source")?);
-        let target = VertexId(field_u32(&v, "target")?);
-        // The runners pre-size result buffers by `k`; cap it at admission
-        // so one request cannot demand an absurd allocation downstream.
-        let k = field(&v, "k")?
-            .as_u64()
-            .and_then(|n| (n <= edge.config.max_k as u64).then_some(n as usize))
-            .ok_or_else(|| {
-                ApiError::new(
-                    400,
-                    "invalid_request",
-                    format!(
-                        "field \"k\" must be an integer in 1..={}",
-                        edge.config.max_k
-                    ),
-                )
-            })?;
-        let categories = field(&v, "categories")?
-            .as_array()
-            .ok_or_else(|| {
-                ApiError::new(
-                    400,
-                    "invalid_request",
-                    "field \"categories\" must be an array",
-                )
-            })?
-            .iter()
-            .map(|c| {
-                c.as_u64()
-                    .and_then(|n| u32::try_from(n).ok())
-                    .map(CategoryId)
-                    .ok_or_else(|| {
-                        ApiError::new(
-                            400,
-                            "invalid_request",
-                            "categories must be unsigned 32-bit integers",
-                        )
-                    })
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let query = parse_query_fields(edge, &v)?;
         let deadline = match v.get("deadline_ms") {
             None | Some(Json::Null) => edge.config.default_deadline,
             Some(d) => Some(Duration::from_millis(d.as_u64().ok_or_else(|| {
                 ApiError::new(400, "invalid_request", "deadline_ms must be milliseconds")
             })?)),
         };
-        Ok((Query::new(source, target, categories, k), deadline))
+        Ok((query, deadline))
     })();
     // The parse span covers JSON decode + field validation, which began
     // when the request arrived.
@@ -431,36 +448,40 @@ fn handle_route(edge: &EdgeState, body: &[u8], received: Instant) -> Reply {
     }
 }
 
+/// One witness rendered with its cost, vertex tuple, and per-stop
+/// breakdown — a witness is ⟨s, c1…cj, t⟩, so the interior stops line up
+/// with the query's category sequence. Shared by `/v1/route` and the
+/// subscribe surface so standing queries render routes identically.
+fn witness_json(query: &Query, w: &kosr_core::Witness) -> Json {
+    let stops: Vec<Json> = w
+        .vertices
+        .iter()
+        .skip(1)
+        .take(query.categories.len())
+        .zip(&query.categories)
+        .map(|(v, c)| {
+            Json::Obj(vec![
+                ("vertex".into(), Json::from(v.0 as u64)),
+                ("category".into(), Json::from(c.0 as u64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("cost".into(), Json::from(w.cost)),
+        (
+            "vertices".into(),
+            Json::Arr(w.vertices.iter().map(|v| Json::from(v.0 as u64)).collect()),
+        ),
+        ("stops".into(), Json::Arr(stops)),
+    ])
+}
+
 fn route_body(query: &Query, resp: &ShardedResponse) -> Json {
     let routes: Vec<Json> = resp
         .outcome
         .witnesses
         .iter()
-        .map(|w| {
-            // A witness is ⟨s, c1…cj, t⟩: the interior stops line up with
-            // the query's category sequence — the per-route breakdown.
-            let stops: Vec<Json> = w
-                .vertices
-                .iter()
-                .skip(1)
-                .take(query.categories.len())
-                .zip(&query.categories)
-                .map(|(v, c)| {
-                    Json::Obj(vec![
-                        ("vertex".into(), Json::from(v.0 as u64)),
-                        ("category".into(), Json::from(c.0 as u64)),
-                    ])
-                })
-                .collect();
-            Json::Obj(vec![
-                ("cost".into(), Json::from(w.cost)),
-                (
-                    "vertices".into(),
-                    Json::Arr(w.vertices.iter().map(|v| Json::from(v.0 as u64)).collect()),
-                ),
-                ("stops".into(), Json::Arr(stops)),
-            ])
-        })
+        .map(|w| witness_json(query, w))
         .collect();
     Json::Obj(vec![
         ("k".into(), Json::from(query.k as u64)),
@@ -761,10 +782,165 @@ fn handle_update(edge: &EdgeState, body: &[u8]) -> Reply {
                         .map(|j| Json::from(j as u64))
                         .unwrap_or(Json::Null),
                 ),
+                // The fleet publish epoch this update committed at — the
+                // value subscription deltas are tagged with, so a client
+                // can correlate its own update with the delta it caused.
+                ("epoch".into(), Json::from(receipt.epoch)),
                 ("log_len".into(), Json::from(edge.bus.log_len() as u64)),
             ]),
         ),
         Err(e) => Reply::error(api_error_of(&e)),
+    }
+}
+
+fn delta_json(query: &Query, d: &Delta) -> Json {
+    let changed: Vec<Json> = d
+        .changed
+        .iter()
+        .map(|(rank, w)| {
+            Json::Obj(vec![
+                ("rank".into(), Json::from(*rank as u64)),
+                ("route".into(), witness_json(query, w)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("epoch".into(), Json::from(d.epoch)),
+        ("new_len".into(), Json::from(d.new_len as u64)),
+        ("changed".into(), Json::Arr(changed)),
+    ])
+}
+
+/// `POST /v1/subscribe`: `{"source", "target", "categories", "k"}` →
+/// the minted session id plus the initial full top-k and its epoch.
+/// Subsequent answer changes arrive as deltas via the poll endpoint.
+fn handle_subscribe(edge: &EdgeState, body: &[u8]) -> Reply {
+    let query = match parse_body(edge, body).and_then(|v| parse_query_fields(edge, &v)) {
+        Ok(q) => q,
+        Err(e) => return Reply::error(e),
+    };
+    match edge.subs.subscribe(query.clone()) {
+        Ok(reply) => {
+            let routes: Vec<Json> = reply
+                .routes
+                .iter()
+                .map(|w| witness_json(&query, w))
+                .collect();
+            Reply::json(
+                200,
+                &Json::Obj(vec![
+                    ("session".into(), Json::from(reply.id.0)),
+                    ("epoch".into(), Json::from(reply.epoch)),
+                    ("k".into(), Json::from(query.k as u64)),
+                    ("routes".into(), Json::Arr(routes)),
+                ]),
+            )
+        }
+        Err(e) => Reply::error(api_error_of(&e)),
+    }
+}
+
+fn parse_session_id(segment: &str) -> Result<SessionId, ApiError> {
+    segment.parse::<u64>().map(SessionId).map_err(|_| {
+        ApiError::new(
+            400,
+            "invalid_session",
+            "session ids are unsigned decimal integers",
+        )
+    })
+}
+
+fn unknown_session(id: SessionId) -> Reply {
+    Reply::error(ApiError::new(
+        404,
+        "unknown_session",
+        format!("no subscription {id}"),
+    ))
+}
+
+/// `GET /v1/subscribe/{id}/poll?wait_ms=`: drains the session's queued
+/// deltas, long-polling up to `wait_ms` (clamped to the configured
+/// maximum) when none are pending. After a queue overflow or a failed
+/// recompute the answer is a typed full resync instead — `resync: true`
+/// with the complete current top-k — telling the client to discard its
+/// replayed state. Streamed chunked: delta payloads are unbounded in the
+/// number of changed ranks.
+fn handle_subscribe_poll(edge: &EdgeState, id: &str, req: &HttpRequest) -> Reply {
+    let id = match parse_session_id(id) {
+        Ok(id) => id,
+        Err(e) => return Reply::error(e),
+    };
+    let raw_query = req.target.split_once('?').map_or("", |(_, q)| q);
+    let mut wait = Duration::ZERO;
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "wait_ms" => match value.parse::<u64>() {
+                Ok(ms) => wait = Duration::from_millis(ms).min(edge.config.max_poll_wait),
+                Err(_) => {
+                    return Reply::error(ApiError::new(
+                        400,
+                        "invalid_request",
+                        "wait_ms must be an unsigned integer",
+                    ))
+                }
+            },
+            other => {
+                return Reply::error(ApiError::new(
+                    400,
+                    "invalid_request",
+                    format!("unknown query parameter {other:?}"),
+                ))
+            }
+        }
+    }
+    match edge.subs.poll(id, wait) {
+        PollResponse::Deltas { query, deltas } => {
+            let deltas: Vec<Json> = deltas.iter().map(|d| delta_json(&query, d)).collect();
+            Reply::Chunked(
+                200,
+                JSON_TYPE,
+                Json::Obj(vec![
+                    ("resync".into(), Json::from(false)),
+                    ("deltas".into(), Json::Arr(deltas)),
+                ])
+                .to_string()
+                .into_bytes(),
+            )
+        }
+        PollResponse::Resync {
+            query,
+            routes,
+            epoch,
+        } => {
+            let routes: Vec<Json> = routes.iter().map(|w| witness_json(&query, w)).collect();
+            Reply::Chunked(
+                200,
+                JSON_TYPE,
+                Json::Obj(vec![
+                    ("resync".into(), Json::from(true)),
+                    ("epoch".into(), Json::from(epoch)),
+                    ("routes".into(), Json::Arr(routes)),
+                ])
+                .to_string()
+                .into_bytes(),
+            )
+        }
+        PollResponse::UnknownSession => unknown_session(id),
+        PollResponse::Failed(e) => Reply::error(api_error_of(&e)),
+    }
+}
+
+/// `DELETE /v1/subscribe/{id}`: ends the standing query.
+fn handle_unsubscribe(edge: &EdgeState, id: &str) -> Reply {
+    let id = match parse_session_id(id) {
+        Ok(id) => id,
+        Err(e) => return Reply::error(e),
+    };
+    if edge.subs.unsubscribe(id) {
+        Reply::json(200, &Json::Obj(vec![("removed".into(), Json::from(true))]))
+    } else {
+        unknown_session(id)
     }
 }
 
@@ -830,6 +1006,7 @@ fn handle_metrics(edge: &EdgeState) -> Reply {
     registry.collect(edge.router.as_ref());
     registry.collect(edge.router.events().as_ref());
     registry.collect(edge.router.slo().as_ref());
+    registry.collect(edge.subs.as_ref());
     if let Some(sup) = &edge.supervisor {
         registry.collect(sup.as_ref());
     }
@@ -849,11 +1026,35 @@ fn dispatch(edge: &EdgeState, req: &HttpRequest, received: Instant) -> (Endpoint
         ),
         ("GET", "/v1/events") => (Endpoint::Events, handle_events(edge, req)),
         ("GET", "/v1/alerts") => (Endpoint::Alerts, handle_alerts(edge)),
+        ("POST", "/v1/subscribe") => (Endpoint::Subscribe, handle_subscribe(edge, &req.body)),
+        ("GET", path)
+            if path
+                .strip_prefix("/v1/subscribe/")
+                .and_then(|rest| rest.strip_suffix("/poll"))
+                .is_some() =>
+        {
+            let id = path
+                .strip_prefix("/v1/subscribe/")
+                .and_then(|rest| rest.strip_suffix("/poll"))
+                .expect("guard matched");
+            (Endpoint::Subscribe, handle_subscribe_poll(edge, id, req))
+        }
+        ("DELETE", path) if path.starts_with("/v1/subscribe/") => (
+            Endpoint::Subscribe,
+            handle_unsubscribe(edge, path.trim_start_matches("/v1/subscribe/")),
+        ),
         (_, path)
             if matches!(
                 path,
-                "/v1/route" | "/v1/update" | "/healthz" | "/metrics" | "/v1/events" | "/v1/alerts"
-            ) || path.starts_with("/v1/traces/") =>
+                "/v1/route"
+                    | "/v1/update"
+                    | "/healthz"
+                    | "/metrics"
+                    | "/v1/events"
+                    | "/v1/alerts"
+                    | "/v1/subscribe"
+            ) || path.starts_with("/v1/traces/")
+                || path.starts_with("/v1/subscribe/") =>
         {
             (
                 Endpoint::Other,
@@ -949,6 +1150,7 @@ pub struct Gateway {
     accept_handle: Option<thread::JoinHandle<()>>,
     stats: Arc<GatewayStats>,
     traces: Arc<TraceStore>,
+    subs: Arc<SubscriptionHub>,
 }
 
 impl Gateway {
@@ -965,8 +1167,19 @@ impl Gateway {
         let addr = listener.local_addr()?;
         let stats = Arc::new(GatewayStats::default());
         let traces = Arc::new(TraceStore::new(config.trace_recent, config.trace_slow));
+        // The subscription hub rides the router's observer registry: every
+        // bus publish — from this edge or any other handle — sweeps the
+        // standing queries through the invalidation filter.
+        let subs = Arc::new(SubscriptionHub::new(
+            &router,
+            HubConfig {
+                queue_capacity: config.subscribe_queue,
+            },
+        ));
+        router.register_update_observer(Arc::clone(&subs) as _);
         let edge = Arc::new(EdgeState {
             bus: router.update_bus(),
+            subs: Arc::clone(&subs),
             json_limits: JsonLimits {
                 max_bytes: config.max_body_bytes,
                 max_depth: config.json_depth,
@@ -1074,6 +1287,7 @@ impl Gateway {
             accept_handle: Some(accept_handle),
             stats,
             traces,
+            subs,
         })
     }
 
@@ -1091,6 +1305,12 @@ impl Gateway {
     /// and the sampling counters — what `/v1/traces/*` serves from.
     pub fn traces(&self) -> &Arc<TraceStore> {
         &self.traces
+    }
+
+    /// The standing-query hub behind `/v1/subscribe` — its counters
+    /// (wakes, proven skips, deltas pushed) also ride `/metrics`.
+    pub fn subscriptions(&self) -> &Arc<SubscriptionHub> {
+        &self.subs
     }
 
     /// Stops accepting, wakes idle keep-alive handlers, joins everything.
@@ -1558,6 +1778,8 @@ mod tests {
         let receipt = resp.json().unwrap();
         assert_eq!(receipt.get("applied").unwrap().as_bool(), Some(true));
         assert!(receipt.get("replicas_touched").unwrap().as_u64().unwrap() > 0);
+        // The fleet publish epoch rides the receipt: log tail after commit.
+        assert_eq!(receipt.get("epoch").unwrap().as_u64(), Some(1));
         assert_eq!(receipt.get("log_len").unwrap().as_u64(), Some(1));
 
         let after = client::call(addr, "POST", "/v1/route", Some(&route_body(&fx, 1)))
@@ -1941,5 +2163,185 @@ mod tests {
             .is_some());
         drop(holder);
         gw.shutdown();
+    }
+
+    #[test]
+    fn subscribe_poll_unsubscribe_round_trip_over_http() {
+        let (router, _switches, fx) = fleet(3, 1);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+
+        // Subscribe: the initial payload is the full top-k with the same
+        // shape /v1/route renders.
+        let resp = client::call(addr, "POST", "/v1/subscribe", Some(&route_body(&fx, 3))).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        let session = v.get("session").unwrap().as_u64().unwrap();
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(0));
+        let routes = v.get("routes").unwrap().as_array().unwrap();
+        let costs: Vec<u64> = routes
+            .iter()
+            .map(|r| r.get("cost").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(costs, vec![20, 21, 22], "initial payload is Example 1");
+        assert!(routes[0].get("stops").unwrap().as_array().is_some());
+
+        // An empty immediate poll: nothing queued yet.
+        let poll_path = format!("/v1/subscribe/{session}/poll");
+        let resp = client::call(addr, "GET", &poll_path, None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        assert_eq!(v.get("resync").unwrap().as_bool(), Some(false));
+        assert!(v.get("deltas").unwrap().as_array().unwrap().is_empty());
+
+        // Close the best route's restaurant through /v1/update: the
+        // observer sweep queues exactly one delta for this session.
+        let gone = routes[0].get("stops").unwrap().as_array().unwrap()[1]
+            .get("vertex")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let update = format!(
+            r#"{{"op": "remove_membership", "vertex": {gone}, "category": {}}}"#,
+            fx.re.0
+        );
+        let resp = client::call(addr, "POST", "/v1/update", Some(&update)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let epoch = resp.json().unwrap().get("epoch").unwrap().as_u64().unwrap();
+        assert_eq!(epoch, 1);
+
+        let resp = client::call(addr, "GET", &format!("{poll_path}?wait_ms=2000"), None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        assert_eq!(v.get("resync").unwrap().as_bool(), Some(false));
+        let deltas = v.get("deltas").unwrap().as_array().unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].get("epoch").unwrap().as_u64(), Some(epoch));
+        assert_eq!(deltas[0].get("new_len").unwrap().as_u64(), Some(3));
+        let changed = deltas[0].get("changed").unwrap().as_array().unwrap();
+        assert!(!changed.is_empty());
+        assert!(changed[0].get("rank").unwrap().as_u64().is_some());
+        let route = changed[0].get("route").unwrap();
+        assert!(route.get("cost").unwrap().as_u64().is_some());
+        assert_eq!(route.get("stops").unwrap().as_array().unwrap().len(), 3);
+
+        // The hub's counters ride /metrics next to the fleet's.
+        let text = client::call(addr, "GET", "/metrics", None).unwrap().text();
+        validate_prometheus_text(&text).expect(&text);
+        for needle in [
+            "kosr_subscriptions_active 1",
+            "kosr_sub_wakeups_total{cause=\"membership\"} 1",
+            "kosr_sub_deltas_pushed_total 1",
+            "kosr_sub_skipped_total{cause=\"category\"}",
+            "kosr_gateway_requests_total{endpoint=\"subscribe\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+
+        // Unsubscribe ends the session; the id stops resolving.
+        let del_path = format!("/v1/subscribe/{session}");
+        let resp = client::call(addr, "DELETE", &del_path, None).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(
+            client::call(addr, "DELETE", &del_path, None)
+                .unwrap()
+                .status,
+            404
+        );
+        let resp = client::call(addr, "GET", &poll_path, None).unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(resp.text().contains("unknown_session"));
+        assert_eq!(gw.subscriptions().stats().active, 0);
+    }
+
+    #[test]
+    fn subscribe_surface_rejections_are_typed() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+
+        // Invalid body shapes reuse the /v1/route parse taxonomy.
+        let resp = client::call(addr, "POST", "/v1/subscribe", Some("{nope")).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("invalid_json"));
+        let resp = client::call(addr, "POST", "/v1/subscribe", Some(r#"{"source": 1}"#)).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("invalid_request"));
+        let body = format!(
+            r#"{{"source": {}, "target": {}, "categories": [40], "k": 1}}"#,
+            fx.s.0, fx.t.0
+        );
+        let resp = client::call(addr, "POST", "/v1/subscribe", Some(&body)).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("invalid_query"));
+
+        // Session id parsing and lookup failures.
+        let resp = client::call(addr, "GET", "/v1/subscribe/zero/poll", None).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(resp.text().contains("invalid_session"));
+        let resp = client::call(addr, "GET", "/v1/subscribe/7/poll", None).unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(resp.text().contains("unknown_session"));
+        let resp = client::call(addr, "GET", "/v1/subscribe/0/poll?wait_ms=soon", None).unwrap();
+        assert_eq!(resp.status, 400);
+        let resp = client::call(addr, "DELETE", "/v1/subscribe/7", None).unwrap();
+        assert_eq!(resp.status, 404);
+
+        // Wrong methods on the subscribe surface are 405, not 404.
+        assert_eq!(
+            client::call(addr, "GET", "/v1/subscribe", None)
+                .unwrap()
+                .status,
+            405
+        );
+        assert_eq!(
+            client::call(addr, "POST", "/v1/subscribe/7/poll", Some("{}"))
+                .unwrap()
+                .status,
+            405
+        );
+    }
+
+    #[test]
+    fn long_poll_parks_until_an_update_delivers() {
+        let (router, _switches, fx) = fleet(2, 1);
+        let gw = spawn_gateway(&router);
+        let addr = gw.addr();
+        let resp = client::call(addr, "POST", "/v1/subscribe", Some(&route_body(&fx, 1))).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        let session = v.get("session").unwrap().as_u64().unwrap();
+        let gone = v.get("routes").unwrap().as_array().unwrap()[0]
+            .get("stops")
+            .unwrap()
+            .as_array()
+            .unwrap()[1]
+            .get("vertex")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+
+        // Park a long-poll, then publish the answer-changing update from
+        // another connection: the parked poll wakes with the delta.
+        let publisher = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(100));
+            let update = format!(
+                r#"{{"op": "remove_membership", "vertex": {gone}, "category": {}}}"#,
+                fx.re.0
+            );
+            client::call(addr, "POST", "/v1/update", Some(&update)).unwrap()
+        });
+        let resp = client::call(
+            addr,
+            "GET",
+            &format!("/v1/subscribe/{session}/poll?wait_ms=5000"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(publisher.join().unwrap().status, 200);
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        assert_eq!(v.get("resync").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("deltas").unwrap().as_array().unwrap().len(), 1);
     }
 }

@@ -26,12 +26,15 @@ pub enum Endpoint {
     Events,
     /// `GET /v1/alerts`.
     Alerts,
+    /// `POST /v1/subscribe`, `GET /v1/subscribe/{id}/poll` and
+    /// `DELETE /v1/subscribe/{id}`.
+    Subscribe,
     /// Anything else (404/405/parse failures).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 8] = [
+    const ALL: [Endpoint; 9] = [
         Endpoint::Route,
         Endpoint::Update,
         Endpoint::Healthz,
@@ -39,6 +42,7 @@ impl Endpoint {
         Endpoint::Traces,
         Endpoint::Events,
         Endpoint::Alerts,
+        Endpoint::Subscribe,
         Endpoint::Other,
     ];
 
@@ -51,7 +55,8 @@ impl Endpoint {
             Endpoint::Traces => 4,
             Endpoint::Events => 5,
             Endpoint::Alerts => 6,
-            Endpoint::Other => 7,
+            Endpoint::Subscribe => 7,
+            Endpoint::Other => 8,
         }
     }
 
@@ -64,6 +69,7 @@ impl Endpoint {
             Endpoint::Traces => "traces",
             Endpoint::Events => "events",
             Endpoint::Alerts => "alerts",
+            Endpoint::Subscribe => "subscribe",
             Endpoint::Other => "other",
         }
     }
@@ -77,7 +83,7 @@ pub struct GatewayStats {
     connections_accepted: AtomicU64,
     /// Connections refused at the admission gate (pool full → 503).
     connections_rejected: AtomicU64,
-    requests: [AtomicU64; 8],
+    requests: [AtomicU64; 9],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,

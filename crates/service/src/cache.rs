@@ -43,6 +43,17 @@ impl CacheKey {
         self.categories.contains(&c)
     }
 
+    /// The distinct categories of the key, each yielded once even when the
+    /// sequence repeats it — the posting-list keys for category-level
+    /// invalidation.
+    fn distinct_categories(&self) -> impl Iterator<Item = CategoryId> + '_ {
+        self.categories
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| !self.categories[..*i].contains(c))
+            .map(|(_, &c)| c)
+    }
+
     /// The `k`-independent part of the key, under which all `k` variants
     /// of the same `(s, t, C)` template are grouped for prefix reuse.
     fn prefix(&self) -> PrefixKey {
@@ -78,6 +89,12 @@ pub struct CacheStats {
     /// Hits served by truncating a cached larger-`k` result (a subset of
     /// `hits`).
     pub prefix_hits: u64,
+    /// Entries *examined* by invalidation hooks. The per-category posting
+    /// lists make [`ResultCache::invalidate_category`] visit only entries
+    /// that actually mention the category, so on mixed traffic this stays
+    /// far below `invalidations × entries` — the counter the postings
+    /// test pins down.
+    pub invalidation_visits: u64,
     /// Live entries right now.
     pub entries: usize,
     /// Configured capacity.
@@ -108,12 +125,19 @@ struct Node {
 /// An LRU cache of complete query outcomes.
 ///
 /// Not internally synchronised: the service wraps it in a mutex. All
-/// operations are O(1) except the invalidation hooks, which scan.
+/// operations are O(1) except [`ResultCache::invalidate_if`], which scans;
+/// [`ResultCache::invalidate_category`] reads a per-category posting list
+/// instead and only visits entries that mention the category.
 pub struct ResultCache {
     map: HashMap<CacheKey, usize>,
     /// `(s, t, C)` → slab indexes of all cached `k` variants, for prefix
     /// (`k' < k`) truncation reuse.
     by_prefix: HashMap<PrefixKey, Vec<usize>>,
+    /// Category → slab indexes of every entry whose sequence mentions it
+    /// (posted once per distinct category): the index that turns
+    /// per-update category invalidation from an O(entries) scan into a
+    /// visit of exactly the touching entries.
+    by_category: HashMap<CategoryId, Vec<usize>>,
     slab: Vec<Node>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -125,6 +149,7 @@ pub struct ResultCache {
     insertions: u64,
     invalidations: u64,
     prefix_hits: u64,
+    invalidation_visits: u64,
 }
 
 impl ResultCache {
@@ -134,6 +159,7 @@ impl ResultCache {
         ResultCache {
             map: HashMap::with_capacity(capacity.min(1 << 20)),
             by_prefix: HashMap::new(),
+            by_category: HashMap::new(),
             slab: Vec::with_capacity(capacity.min(1 << 20)),
             free: Vec::new(),
             head: NIL,
@@ -145,6 +171,7 @@ impl ResultCache {
             insertions: 0,
             invalidations: 0,
             prefix_hits: 0,
+            invalidation_visits: 0,
         }
     }
 
@@ -167,13 +194,14 @@ impl ResultCache {
             insertions: self.insertions,
             invalidations: self.invalidations,
             prefix_hits: self.prefix_hits,
+            invalidation_visits: self.invalidation_visits,
             entries: self.map.len(),
             capacity: self.capacity,
         }
     }
 
-    // Fully detaches node `i`: recency list, key map and prefix index; the
-    // slot goes on the free list.
+    // Fully detaches node `i`: recency list, key map, prefix index and
+    // category postings; the slot goes on the free list.
     fn detach(&mut self, i: usize) {
         self.unlink(i);
         let key = self.slab[i].key.clone();
@@ -183,6 +211,14 @@ impl ResultCache {
             list.retain(|&j| j != i);
             if list.is_empty() {
                 self.by_prefix.remove(&pk);
+            }
+        }
+        for c in key.distinct_categories() {
+            if let Some(list) = self.by_category.get_mut(&c) {
+                list.retain(|&j| j != i);
+                if list.is_empty() {
+                    self.by_category.remove(&c);
+                }
             }
         }
         self.free.push(i);
@@ -340,13 +376,19 @@ impl ResultCache {
         };
         self.map.insert(key.clone(), i);
         self.by_prefix.entry(key.prefix()).or_default().push(i);
+        for c in key.distinct_categories().collect::<Vec<_>>() {
+            self.by_category.entry(c).or_default().push(i);
+        }
         self.push_front(i);
         self.insertions += 1;
     }
 
     /// Drops every entry whose predicate matches. Returns how many were
-    /// dropped. O(entries).
+    /// dropped. O(entries) — category-shaped predicates should use
+    /// [`ResultCache::invalidate_category`], which reads the posting list
+    /// instead of scanning.
     pub fn invalidate_if(&mut self, mut pred: impl FnMut(&CacheKey) -> bool) -> usize {
+        self.invalidation_visits += self.map.len() as u64;
         let doomed: Vec<usize> = self
             .map
             .iter()
@@ -362,9 +404,20 @@ impl ResultCache {
 
     /// Invalidation hook for dynamic category updates: drops every cached
     /// answer whose category sequence mentions `c` (their member sets — and
-    /// hence their answers — may have changed).
+    /// hence their answers — may have changed). O(touching entries), not
+    /// O(entries): the per-category posting list names exactly the entries
+    /// to drop, so an update to a cold category costs nothing even with a
+    /// full cache.
     pub fn invalidate_category(&mut self, c: CategoryId) -> usize {
-        self.invalidate_if(|k| k.touches_category(c))
+        let Some(doomed) = self.by_category.get(&c).cloned() else {
+            return 0;
+        };
+        self.invalidation_visits += doomed.len() as u64;
+        for i in doomed.iter().copied() {
+            self.detach(i);
+        }
+        self.invalidations += doomed.len() as u64;
+        doomed.len()
     }
 
     /// Invalidation hook for graph-structure updates (edge insertions,
@@ -374,6 +427,7 @@ impl ResultCache {
         let n = self.map.len();
         self.map.clear();
         self.by_prefix.clear();
+        self.by_category.clear();
         self.slab.clear();
         self.free.clear();
         self.head = NIL;
@@ -563,6 +617,52 @@ mod tests {
         assert_eq!(c.invalidate_category(CategoryId(3)), 1);
         assert!(c.get_prefix(&key(0, 1, &[2, 3], 2)).is_none());
         assert!(c.by_prefix.is_empty(), "prefix index cleaned");
+        assert!(c.by_category.is_empty(), "category postings cleaned");
+    }
+
+    #[test]
+    fn category_invalidation_visits_only_touching_entries() {
+        // 100 entries on category 0, two on category 1: invalidating
+        // category 1 must examine exactly its two posted entries, not the
+        // whole map — the counter proof that the postings replaced the
+        // O(entries) scan.
+        let mut c = ResultCache::new(256);
+        for i in 0..100u32 {
+            c.insert(key(i, 0, &[0], 1), outcome(i as u64));
+        }
+        c.insert(key(200, 0, &[1], 1), outcome(1));
+        c.insert(key(201, 0, &[1, 1, 0], 1), outcome(2)); // repeats post once
+        assert_eq!(c.invalidate_category(CategoryId(1)), 2);
+        assert_eq!(c.stats().invalidation_visits, 2);
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.len(), 100);
+        // A category nothing mentions is free.
+        assert_eq!(c.invalidate_category(CategoryId(9)), 0);
+        assert_eq!(c.stats().invalidation_visits, 2);
+        // The predicate path still works — and pays the full scan.
+        assert_eq!(c.invalidate_if(|k| k.touches_category(CategoryId(0))), 100);
+        assert_eq!(c.stats().invalidation_visits, 102);
+        assert!(c.is_empty());
+        assert!(c.by_category.is_empty());
+    }
+
+    #[test]
+    fn postings_follow_eviction_and_reinsertion() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(0, 0, &[0], 1), outcome(1));
+        c.insert(key(1, 0, &[1], 1), outcome(2));
+        c.insert(key(2, 0, &[1], 1), outcome(3)); // evicts the [0] entry
+        assert_eq!(
+            c.invalidate_category(CategoryId(0)),
+            0,
+            "evicted entry unposted"
+        );
+        assert_eq!(c.invalidate_category(CategoryId(1)), 2);
+        // Slot reuse must not leave stale postings behind.
+        c.insert(key(3, 0, &[2], 1), outcome(4));
+        c.insert(key(3, 0, &[2], 1), outcome(5)); // refresh: posted once
+        assert_eq!(c.invalidate_category(CategoryId(2)), 1);
+        assert_eq!(c.stats().invalidation_visits, 3);
     }
 
     #[test]

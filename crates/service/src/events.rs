@@ -141,10 +141,19 @@ pub enum EventKind {
     AlertFiring,
     /// A firing SLO recovered and its alert resolved.
     AlertResolved,
+    /// A standing subscription registered (continuous-query session
+    /// opened, initial top-k delivered).
+    SubscriptionCreated,
+    /// A subscription's delta queue overflowed (or its recompute failed):
+    /// queued deltas were dropped and the client must re-fetch the full
+    /// top-k.
+    SubscriptionResync,
+    /// A subscription was dropped (client unsubscribe).
+    SubscriptionDropped,
 }
 
 /// Number of [`EventKind`] variants (the width of the counter tables).
-pub(crate) const NUM_KINDS: usize = 14;
+pub(crate) const NUM_KINDS: usize = 17;
 
 impl EventKind {
     /// Every kind, slot order.
@@ -163,6 +172,9 @@ impl EventKind {
         EventKind::AdmissionRejected,
         EventKind::AlertFiring,
         EventKind::AlertResolved,
+        EventKind::SubscriptionCreated,
+        EventKind::SubscriptionResync,
+        EventKind::SubscriptionDropped,
     ];
 
     pub(crate) fn slot(self) -> usize {
@@ -181,6 +193,9 @@ impl EventKind {
             EventKind::AdmissionRejected => 11,
             EventKind::AlertFiring => 12,
             EventKind::AlertResolved => 13,
+            EventKind::SubscriptionCreated => 14,
+            EventKind::SubscriptionResync => 15,
+            EventKind::SubscriptionDropped => 16,
         }
     }
 
@@ -201,6 +216,9 @@ impl EventKind {
             EventKind::AdmissionRejected => "admission_rejected",
             EventKind::AlertFiring => "alert_firing",
             EventKind::AlertResolved => "alert_resolved",
+            EventKind::SubscriptionCreated => "subscription_created",
+            EventKind::SubscriptionResync => "subscription_resync",
+            EventKind::SubscriptionDropped => "subscription_dropped",
         }
     }
 
@@ -213,14 +231,17 @@ impl EventKind {
             EventKind::ReplicaQuarantined
             | EventKind::CursorTooOld
             | EventKind::RecoveryFailed
-            | EventKind::AdmissionRejected => Severity::Warn,
+            | EventKind::AdmissionRejected
+            | EventKind::SubscriptionResync => Severity::Warn,
             EventKind::ReplayRecovered
             | EventKind::SnapshotRefreshed
             | EventKind::LogCompacted
             | EventKind::UpdatePublished
             | EventKind::EpochSwap
             | EventKind::CalibrationAdjusted
-            | EventKind::AlertResolved => Severity::Info,
+            | EventKind::AlertResolved
+            | EventKind::SubscriptionCreated
+            | EventKind::SubscriptionDropped => Severity::Info,
         }
     }
 }

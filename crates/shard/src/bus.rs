@@ -29,6 +29,7 @@ use kosr_service::{EventJournal, EventKind, Source, TagValue, Update, UpdateErro
 use kosr_transport::{ReplicaSet, ShardTransport, TransportError};
 
 use crate::error::ShardError;
+use crate::observe::ObserverRegistry;
 use crate::state::{FanoutCache, UpdateLog};
 
 /// Fans dynamic updates out to the shard replica fleets.
@@ -51,11 +52,18 @@ pub struct LiveUpdateBus {
     fanout: Arc<FanoutCache>,
     log: Arc<UpdateLog>,
     events: Arc<EventJournal>,
+    observers: Arc<ObserverRegistry>,
 }
 
 /// What publishing one update did across the fleet.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BusReceipt {
+    /// The fleet **publish epoch** that contains this update: the update
+    /// log tail after the publish. Every replica whose log cursor reaches
+    /// `epoch` serves answers that include the update. Distinct from
+    /// per-replica *index* epochs (owner-shard replicas bump those twice
+    /// per membership update, for the shadow companion).
+    pub epoch: u64,
     /// `false` when the update was a validated no-op everywhere.
     pub applied: bool,
     /// The owner shard whose replicas additionally applied the
@@ -81,6 +89,7 @@ impl LiveUpdateBus {
         fanout: Arc<FanoutCache>,
         log: Arc<UpdateLog>,
         events: Arc<EventJournal>,
+        observers: Arc<ObserverRegistry>,
     ) -> LiveUpdateBus {
         LiveUpdateBus {
             shards,
@@ -89,6 +98,7 @@ impl LiveUpdateBus {
             fanout,
             log,
             events,
+            observers,
         }
     }
 
@@ -168,6 +178,7 @@ impl LiveUpdateBus {
         let mut receipt = BusReceipt::default();
         let mut log = self.log.lock();
         let seq = log.push(*update);
+        receipt.epoch = seq as u64;
         let mut applied_any = false;
         for (j, set) in self.shards.iter().enumerate() {
             let healthy = set.healthy_indices();
@@ -225,6 +236,10 @@ impl LiveUpdateBus {
         if !receipt.applied {
             receipt.owner_shard = None;
         }
+        // Release the log before the journal and the observers: an
+        // observer may re-enter the bus/router (recompute a standing
+        // query, read cursor state) and would deadlock on `self.log`.
+        drop(log);
         self.events.emit(
             Source::Service,
             EventKind::UpdatePublished,
@@ -238,6 +253,7 @@ impl LiveUpdateBus {
                 ),
             ],
         );
+        self.observers.notify(update, &receipt);
         Ok(receipt)
     }
 
@@ -492,6 +508,7 @@ mod tests {
         assert!(receipt.invalidated > 0, "warm caches must be swept");
         assert_eq!(receipt.deferred_replicas, 0);
         assert_eq!(bus.log_len(), 1);
+        assert_eq!(receipt.epoch, 1, "publish epoch = log tail after publish");
 
         // Every replica's base category and the owner's shadow shrank.
         for j in 0..router.num_shards() {
@@ -528,6 +545,7 @@ mod tests {
         assert!(!receipt.applied);
         assert_eq!(receipt.replicas_touched, 0);
         assert_eq!(receipt.owner_shard, None);
+        assert_eq!(receipt.epoch, 2, "no-ops still advance the publish epoch");
     }
 
     #[test]

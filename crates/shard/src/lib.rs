@@ -86,6 +86,7 @@ mod bus;
 mod error;
 mod merge;
 mod metrics;
+mod observe;
 mod router;
 mod state;
 mod supervisor;
@@ -105,6 +106,7 @@ pub use build::ShardSet;
 pub use bus::{BusReceipt, LiveUpdateBus};
 pub use error::ShardError;
 pub use merge::merge_topk;
+pub use observe::{ObserverRegistry, UpdateObserver};
 pub use router::{ShardRouter, ShardTicket, ShardedResponse};
 pub use supervisor::{FleetSupervisor, SupervisorConfig, SupervisorHandle, SupervisorReport};
 

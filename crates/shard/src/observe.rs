@@ -1,0 +1,74 @@
+//! Post-publish update observation: the hook continuous-query layers
+//! (e.g. `kosr-subscribe`) attach to see every update the moment the bus
+//! has committed it fleet-wide.
+//!
+//! The registry is shared by every [`crate::LiveUpdateBus`] handle a
+//! router hands out — the gateway's, the supervisor's, a test's — so a
+//! publish through *any* handle notifies the same observers, in publish
+//! (log) order. Observers run on the publishing thread **after** the
+//! update log lock is released: an observer may freely re-enter the
+//! router (submit queries, read cursor state) without deadlocking, at the
+//! price of adding its latency to the publish call.
+
+use std::sync::{Arc, RwLock};
+
+use kosr_service::Update;
+
+use crate::bus::BusReceipt;
+
+/// Sees every committed update, post-publish. Implementations must be
+/// cheap or explicitly accept that they run on the publisher's thread.
+pub trait UpdateObserver: Send + Sync {
+    /// Called once per logged publish, after all reachable replicas have
+    /// applied `update` (unreachable ones are deferred to replay — the
+    /// receipt says how many). `receipt.epoch` is the publish epoch that
+    /// contains the update.
+    fn on_update(&self, update: &Update, receipt: &BusReceipt);
+}
+
+/// The shared, ordered list of registered [`UpdateObserver`]s.
+#[derive(Default)]
+pub struct ObserverRegistry {
+    observers: RwLock<Vec<Arc<dyn UpdateObserver>>>,
+}
+
+impl ObserverRegistry {
+    /// An empty registry.
+    pub fn new() -> ObserverRegistry {
+        ObserverRegistry::default()
+    }
+
+    /// Appends `observer`; it sees every publish from now on.
+    pub fn register(&self, observer: Arc<dyn UpdateObserver>) {
+        self.observers
+            .write()
+            .expect("observer registry poisoned")
+            .push(observer);
+    }
+
+    /// Number of registered observers.
+    pub fn len(&self) -> usize {
+        self.observers
+            .read()
+            .expect("observer registry poisoned")
+            .len()
+    }
+
+    /// `true` when nothing is registered (the publish fast path).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn notify(&self, update: &Update, receipt: &BusReceipt) {
+        // Clone the Arcs out so observer callbacks never run under the
+        // registry lock (an observer may itself register observers).
+        let observers: Vec<Arc<dyn UpdateObserver>> = self
+            .observers
+            .read()
+            .expect("observer registry poisoned")
+            .clone();
+        for o in &observers {
+            o.on_update(update, receipt);
+        }
+    }
+}

@@ -20,6 +20,7 @@ use crate::build::ShardSet;
 use crate::bus::LiveUpdateBus;
 use crate::error::ShardError;
 use crate::merge::merge_topk_bounded;
+use crate::observe::{ObserverRegistry, UpdateObserver};
 use crate::state::{FanoutCache, UpdateLog};
 
 /// Routes queries across the shard replica fleets and merges their answers.
@@ -57,6 +58,7 @@ pub struct ShardRouter {
     fanout: Arc<FanoutCache>,
     log: Arc<UpdateLog>,
     events: Arc<EventJournal>,
+    observers: Arc<ObserverRegistry>,
     slo: Arc<SloEngine>,
     /// Planned shards proven empty by their category-chain bound and never
     /// queried (see [`ShardRouter::submit_traced`]).
@@ -264,6 +266,7 @@ impl ShardRouter {
             base_categories,
             partition_stats,
             events,
+            observers: Arc::new(ObserverRegistry::new()),
             slo,
             bound_skips: AtomicU64::new(0),
         }
@@ -345,7 +348,17 @@ impl ShardRouter {
             Arc::clone(&self.fanout),
             Arc::clone(&self.log),
             Arc::clone(&self.events),
+            Arc::clone(&self.observers),
         )
+    }
+
+    /// Registers `observer` to see every update published through **any**
+    /// bus handle of this router (see [`crate::UpdateObserver`]) — the
+    /// hook the continuous-query layer attaches its invalidation filter
+    /// to. Observers run on the publishing thread, post-commit, and may
+    /// re-enter the router.
+    pub fn register_update_observer(&self, observer: Arc<dyn UpdateObserver>) {
+        self.observers.register(observer);
     }
 
     /// A supervisor over this router's replica fleets: heartbeats, drives
@@ -473,10 +486,26 @@ impl ShardRouter {
             return Err(invalid(QueryError::EmptyCategory(c1)));
         }
         let k = query.k;
+        // Bound and infeasibility reads below come from replica 0's
+        // snapshot, but the stream may be served by a sibling replica.
+        // If replica 0 deferred an apply (fault mid-publish, kill) its
+        // chain table lags the live world: a stale bound can exceed a
+        // stream's true head cost — inadmissible, corrupting the bounded
+        // merge — and a stale infeasibility claim can skip a shard that
+        // now has answers. Trust replica 0's tables only for shards whose
+        // cursor is caught up to the log tail.
+        let caught_up: Vec<bool> = {
+            let log = self.log.lock();
+            let tail = log.tail();
+            targets
+                .iter()
+                .map(|&j| log.cursors[j].first().is_some_and(|&c| c == tail))
+                .collect()
+        };
         let mut parts = Vec::with_capacity(targets.len());
         let mut bounds = Vec::with_capacity(targets.len());
         let mut skipped = Vec::new();
-        for &j in &targets {
+        for (&j, &fresh) in targets.iter().zip(&caught_up) {
             let mut q = query.clone();
             if let Some(c1) = q.categories.first_mut() {
                 *c1 = self.shadow(*c1);
@@ -493,7 +522,7 @@ impl ShardRouter {
             // shards (no local handle) and fleets running with
             // `use_bounds: false` take the unconditional path.
             let mut bound = 0;
-            if let Some(svc) = self.local_shard_service(j) {
+            if let Some(svc) = self.local_shard_service(j).filter(|_| fresh) {
                 if svc.planner_config().use_bounds {
                     let sb = svc.indexed_graph().seq_bounds(&q);
                     if sb.infeasible() {

@@ -1,0 +1,141 @@
+//! Compact top-k diffs. A [`Delta`] is the positional difference between
+//! two canonical top-k lists: the ranks whose witness changed (including
+//! ranks that newly exist) plus the new list length. Because canonical
+//! top-k lists are totally ordered (nondecreasing cost, lexicographic
+//! tie-break), rank-wise replacement plus truncation reconstructs the new
+//! list exactly — replaying a subscription's deltas in epoch order over
+//! its initial payload is bit-identical to a fresh re-query, which the
+//! subscribe property suite enforces.
+
+use kosr_core::Witness;
+
+/// The difference between two delivered top-k lists, tagged with the
+/// publish epoch the new list reflects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delta {
+    /// The publish epoch the post-delta list is current at.
+    pub epoch: u64,
+    /// `(rank, new witness)` pairs in increasing rank order: every rank
+    /// whose witness differs from the old list, including ranks past the
+    /// old list's end (additions).
+    pub changed: Vec<(usize, Witness)>,
+    /// Length of the new list; ranks at or past it are removed.
+    pub new_len: usize,
+}
+
+impl Delta {
+    /// Diffs `new` against `old`. `None` when the lists are identical —
+    /// an empty diff is never pushed.
+    pub fn diff(old: &[Witness], new: &[Witness], epoch: u64) -> Option<Delta> {
+        let changed: Vec<(usize, Witness)> = new
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| old.get(*i) != Some(w))
+            .map(|(i, w)| (i, w.clone()))
+            .collect();
+        if changed.is_empty() && new.len() == old.len() {
+            return None;
+        }
+        Some(Delta {
+            epoch,
+            changed,
+            new_len: new.len(),
+        })
+    }
+
+    /// Applies this delta in place: rank-wise replacement, appends for
+    /// ranks past the current end, then truncation to `new_len`. Applying
+    /// a subscription's deltas in order reconstructs each epoch's top-k
+    /// exactly.
+    pub fn apply(&self, routes: &mut Vec<Witness>) {
+        for (rank, w) in &self.changed {
+            if *rank < routes.len() {
+                routes[*rank] = w.clone();
+            } else {
+                // `changed` is rank-ascending and additions are contiguous
+                // from the old length, so the append lands at `rank`.
+                debug_assert_eq!(*rank, routes.len(), "additions are contiguous");
+                routes.push(w.clone());
+            }
+        }
+        routes.truncate(self.new_len);
+    }
+
+    /// Number of rank replacements/additions the delta carries.
+    pub fn changed_ranks(&self) -> usize {
+        self.changed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::VertexId;
+
+    fn w(cost: u64, tail: u32) -> Witness {
+        Witness {
+            vertices: vec![VertexId(0), VertexId(tail), VertexId(1)],
+            cost,
+        }
+    }
+
+    fn replayed(old: &[Witness], delta: &Delta) -> Vec<Witness> {
+        let mut routes = old.to_vec();
+        delta.apply(&mut routes);
+        routes
+    }
+
+    #[test]
+    fn identical_lists_diff_to_none() {
+        let a = vec![w(1, 10), w(2, 11)];
+        assert_eq!(Delta::diff(&a, &a.clone(), 7), None);
+        assert_eq!(Delta::diff(&[], &[], 7), None);
+    }
+
+    #[test]
+    fn replacement_addition_removal_round_trip() {
+        let old = vec![w(1, 10), w(2, 11), w(3, 12)];
+        for new in [
+            vec![w(1, 10), w(2, 99), w(3, 12)],           // mid-rank change
+            vec![w(1, 10), w(2, 11), w(3, 12), w(4, 13)], // growth
+            vec![w(1, 10)],                               // shrink
+            vec![],                                       // all routes gone
+            vec![w(0, 9), w(1, 10), w(2, 11)],            // new best shifts ranks
+        ] {
+            let delta = Delta::diff(&old, &new, 3).expect("lists differ");
+            assert_eq!(delta.epoch, 3);
+            assert_eq!(replayed(&old, &delta), new);
+        }
+    }
+
+    #[test]
+    fn diff_is_minimal_on_suffix_changes() {
+        let old = vec![w(1, 10), w(2, 11), w(3, 12)];
+        let new = vec![w(1, 10), w(2, 11), w(3, 13)];
+        let delta = Delta::diff(&old, &new, 1).unwrap();
+        assert_eq!(delta.changed_ranks(), 1, "only the changed rank ships");
+        assert_eq!(delta.changed[0].0, 2);
+
+        // Pure shrink: no changed ranks at all, just the new length.
+        let delta = Delta::diff(&old, &old[..2], 2).unwrap();
+        assert_eq!(delta.changed_ranks(), 0);
+        assert_eq!(delta.new_len, 2);
+        assert_eq!(replayed(&old, &delta), old[..2].to_vec());
+    }
+
+    #[test]
+    fn chained_replay_reconstructs_every_epoch() {
+        let states = [
+            vec![w(5, 20), w(6, 21)],
+            vec![w(4, 19), w(5, 20)],
+            vec![w(4, 19)],
+            vec![w(2, 18), w(4, 19)],
+        ];
+        let mut client = states[0].clone();
+        for (e, pair) in states.windows(2).enumerate() {
+            let delta = Delta::diff(&pair[0], &pair[1], e as u64 + 1).unwrap();
+            delta.apply(&mut client);
+            assert_eq!(client, pair[1], "client state tracks epoch {}", e + 1);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The standing-query registry: every subscription with its last
+//! delivered top-k, its delivery epoch, and the precomputed *relevance
+//! signature* the invalidation filter intersects update footprints
+//! against — plus the category→session inverted index that lets a
+//! membership update enumerate only the sessions that mention its
+//! category.
+
+use std::collections::{HashMap, VecDeque};
+
+use kosr_core::{Query, Witness};
+use kosr_graph::CategoryId;
+
+use crate::delta::Delta;
+
+/// Opaque handle identifying one standing subscription.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// What an update's footprint is intersected against *before* touching
+/// the engine: the categories the query mentions, the shards its answers
+/// can start in, and the source's home region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelevanceSignature {
+    /// The query's category set, sorted and deduplicated — membership
+    /// updates of any other category are provably irrelevant (they leave
+    /// distances untouched and the query never tests them).
+    pub categories: Vec<CategoryId>,
+    /// Shards that can own the first stop of a currently relevant route.
+    /// Seeded from fan-out planning at subscribe time and refreshed on
+    /// every recompute, so it stays a superset of the owners of the
+    /// delivered witnesses' first stops — the invariant the shard-skip
+    /// fast path relies on.
+    pub shards: Vec<usize>,
+    /// The shard owning the query's source vertex. Recorded for
+    /// observability only: region intersection is **not** a sound filter
+    /// for edge updates, because the routing skeleton is global and route
+    /// legs cross regions freely.
+    pub source_region: usize,
+}
+
+impl RelevanceSignature {
+    /// Assembles a signature from raw parts, normalising the category set.
+    pub fn new(
+        categories: &[CategoryId],
+        mut shards: Vec<usize>,
+        source_region: usize,
+    ) -> RelevanceSignature {
+        let mut categories = categories.to_vec();
+        categories.sort_unstable();
+        categories.dedup();
+        shards.sort_unstable();
+        shards.dedup();
+        RelevanceSignature {
+            categories,
+            shards,
+            source_region,
+        }
+    }
+
+    /// Whether the query mentions `c` anywhere in its sequence.
+    pub fn mentions(&self, c: CategoryId) -> bool {
+        self.categories.binary_search(&c).is_ok()
+    }
+
+    /// Whether shard `j` can own the first stop of a relevant route.
+    pub fn touches_shard(&self, j: usize) -> bool {
+        self.shards.binary_search(&j).is_ok()
+    }
+
+    /// Replaces the first-stop shard set (post-recompute refresh).
+    pub fn refresh_shards(&mut self, mut shards: Vec<usize>) {
+        shards.sort_unstable();
+        shards.dedup();
+        self.shards = shards;
+    }
+}
+
+/// One standing query and everything needed to push it deltas.
+#[derive(Clone, Debug)]
+pub struct Subscription {
+    /// The session handle clients poll with.
+    pub id: SessionId,
+    /// The standing query, exactly as submitted.
+    pub query: Query,
+    /// The filter signature (see [`RelevanceSignature`]).
+    pub signature: RelevanceSignature,
+    /// The current top-k at [`Subscription::epoch`] — the baseline the
+    /// next delta is diffed against. Kept current on every wake even when
+    /// the client has not polled yet.
+    pub delivered: Vec<Witness>,
+    /// The publish epoch `delivered` reflects.
+    pub epoch: u64,
+    /// Deltas computed but not yet drained by a poll, oldest first.
+    pub queue: VecDeque<Delta>,
+    /// Set when the queue overflowed (or a recompute failed): queued
+    /// deltas were discarded and the next poll must answer with a full
+    /// resync instead.
+    pub needs_resync: bool,
+}
+
+impl Subscription {
+    /// The current k-th delivered cost, when a full `k` routes are held —
+    /// the admission bar bound-based skips compare against. `None` means
+    /// fewer than `k` routes exist, so any new feasible route changes the
+    /// answer.
+    pub fn kth_cost(&self) -> Option<kosr_graph::Weight> {
+        (self.delivered.len() == self.query.k).then(|| {
+            self.delivered
+                .last()
+                .map(|w| w.cost)
+                .expect("k == len > 0 when a query is valid")
+        })
+    }
+}
+
+/// The subscription registry: sessions by id plus the category→session
+/// inverted index the membership-update fast path walks.
+#[derive(Default)]
+pub struct SubscriptionTable {
+    subs: HashMap<u64, Subscription>,
+    by_category: HashMap<CategoryId, Vec<u64>>,
+    next_id: u64,
+}
+
+impl SubscriptionTable {
+    /// An empty table.
+    pub fn new() -> SubscriptionTable {
+        SubscriptionTable::default()
+    }
+
+    /// Registers a standing query with its initial answer; returns the
+    /// minted session id.
+    pub fn insert(
+        &mut self,
+        query: Query,
+        signature: RelevanceSignature,
+        delivered: Vec<Witness>,
+        epoch: u64,
+    ) -> SessionId {
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        for &c in &signature.categories {
+            self.by_category.entry(c).or_default().push(id.0);
+        }
+        self.subs.insert(
+            id.0,
+            Subscription {
+                id,
+                query,
+                signature,
+                delivered,
+                epoch,
+                queue: VecDeque::new(),
+                needs_resync: false,
+            },
+        );
+        id
+    }
+
+    /// Drops a subscription, unposting it from the inverted index.
+    pub fn remove(&mut self, id: SessionId) -> Option<Subscription> {
+        let sub = self.subs.remove(&id.0)?;
+        for c in &sub.signature.categories {
+            if let Some(list) = self.by_category.get_mut(c) {
+                list.retain(|&s| s != id.0);
+                if list.is_empty() {
+                    self.by_category.remove(c);
+                }
+            }
+        }
+        Some(sub)
+    }
+
+    /// Immutable access by session id.
+    pub fn get(&self, id: SessionId) -> Option<&Subscription> {
+        self.subs.get(&id.0)
+    }
+
+    /// Mutable access by session id.
+    pub fn get_mut(&mut self, id: SessionId) -> Option<&mut Subscription> {
+        self.subs.get_mut(&id.0)
+    }
+
+    /// Sessions whose query mentions category `c` — the only sessions a
+    /// membership update of `c` can possibly affect.
+    pub fn sessions_mentioning(&self, c: CategoryId) -> Vec<SessionId> {
+        self.by_category
+            .get(&c)
+            .map(|ids| ids.iter().map(|&s| SessionId(s)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Every registered session id.
+    pub fn sessions(&self) -> Vec<SessionId> {
+        self.subs.keys().map(|&s| SessionId(s)).collect()
+    }
+
+    /// Number of standing subscriptions.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// `true` when no subscription is registered.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosr_graph::VertexId;
+
+    fn query(cats: &[u32]) -> Query {
+        Query::new(
+            VertexId(0),
+            VertexId(1),
+            cats.iter().map(|&c| CategoryId(c)).collect(),
+            2,
+        )
+    }
+
+    fn signature(q: &Query) -> RelevanceSignature {
+        RelevanceSignature::new(&q.categories, vec![0], 0)
+    }
+
+    #[test]
+    fn signature_normalises_and_answers_membership() {
+        let q = query(&[3, 1, 3, 2]);
+        let sig = RelevanceSignature::new(&q.categories, vec![2, 0, 2], 1);
+        assert_eq!(
+            sig.categories,
+            vec![CategoryId(1), CategoryId(2), CategoryId(3)]
+        );
+        assert_eq!(sig.shards, vec![0, 2]);
+        assert!(sig.mentions(CategoryId(2)));
+        assert!(!sig.mentions(CategoryId(0)));
+        assert!(sig.touches_shard(2));
+        assert!(!sig.touches_shard(1));
+    }
+
+    #[test]
+    fn inverted_index_tracks_insert_and_remove() {
+        let mut t = SubscriptionTable::new();
+        let qa = query(&[1, 2]);
+        let qb = query(&[2, 3]);
+        let a = t.insert(qa.clone(), signature(&qa), vec![], 0);
+        let b = t.insert(qb.clone(), signature(&qb), vec![], 0);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.sessions_mentioning(CategoryId(1)), vec![a]);
+        let mut both = t.sessions_mentioning(CategoryId(2));
+        both.sort();
+        assert_eq!(both, vec![a, b]);
+        assert!(t.sessions_mentioning(CategoryId(9)).is_empty());
+
+        assert!(t.remove(a).is_some());
+        assert!(t.remove(a).is_none());
+        assert!(t.sessions_mentioning(CategoryId(1)).is_empty());
+        assert_eq!(t.sessions_mentioning(CategoryId(2)), vec![b]);
+    }
+
+    #[test]
+    fn kth_cost_requires_a_full_k() {
+        let q = query(&[1]);
+        let mut t = SubscriptionTable::new();
+        let id = t.insert(q.clone(), signature(&q), vec![], 0);
+        assert_eq!(t.get(id).unwrap().kth_cost(), None);
+        let w = |cost| Witness {
+            vertices: vec![VertexId(0), VertexId(5), VertexId(1)],
+            cost,
+        };
+        t.get_mut(id).unwrap().delivered = vec![w(4)];
+        assert_eq!(t.get(id).unwrap().kth_cost(), None, "1 of k=2 held");
+        t.get_mut(id).unwrap().delivered = vec![w(4), w(7)];
+        assert_eq!(t.get(id).unwrap().kth_cost(), Some(7));
+    }
+}

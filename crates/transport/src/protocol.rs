@@ -869,6 +869,9 @@ fn put_event_kind(k: EventKind, out: &mut Vec<u8>) {
         EventKind::AdmissionRejected => 11,
         EventKind::AlertFiring => 12,
         EventKind::AlertResolved => 13,
+        EventKind::SubscriptionCreated => 14,
+        EventKind::SubscriptionResync => 15,
+        EventKind::SubscriptionDropped => 16,
     });
 }
 
@@ -888,6 +891,9 @@ fn get_event_kind(r: &mut Rd) -> Result<EventKind, ProtocolError> {
         11 => EventKind::AdmissionRejected,
         12 => EventKind::AlertFiring,
         13 => EventKind::AlertResolved,
+        14 => EventKind::SubscriptionCreated,
+        15 => EventKind::SubscriptionResync,
+        16 => EventKind::SubscriptionDropped,
         _ => return Err(ProtocolError::Corrupt("unknown event-kind tag")),
     })
 }
